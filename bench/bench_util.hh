@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ */
+
+#ifndef PIMMMU_BENCH_BENCH_UTIL_HH
+#define PIMMMU_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+
+namespace pimmmu {
+namespace bench {
+
+/** Print a figure banner so bench output is self-describing. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s\n%s\n", experiment, description);
+    std::printf("==================================================="
+                "===========\n");
+}
+
+inline void
+printTable(const Table &table)
+{
+    std::fputs(table.str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+} // namespace bench
+} // namespace pimmmu
+
+#endif // PIMMMU_BENCH_BENCH_UTIL_HH

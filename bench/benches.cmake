@@ -1,0 +1,26 @@
+# One binary per paper table/figure (see DESIGN.md experiment index).
+# Included from the top-level CMakeLists so ${CMAKE_BINARY_DIR}/bench
+# contains only the runnable binaries:  for b in build/bench/*; do $b; done
+function(add_fig_bench name)
+    add_executable(${name} bench/${name}.cc)
+    target_link_libraries(${name} PRIVATE pimmmu_sim pimmmu_workloads)
+    target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+add_fig_bench(table1_config)
+add_fig_bench(fig04_cpu_util_power)
+add_fig_bench(fig06_channel_breakdown)
+add_fig_bench(fig08_mapping_throughput)
+add_fig_bench(fig13_contention)
+add_fig_bench(fig14_memcpy_scaling)
+add_fig_bench(fig15_ablation)
+add_fig_bench(fig16_prim_endtoend)
+add_fig_bench(overhead_area)
+
+add_executable(micro_simulator bench/micro_simulator.cc)
+target_link_libraries(micro_simulator PRIVATE pimmmu_sim benchmark::benchmark)
+target_include_directories(micro_simulator PRIVATE ${CMAKE_SOURCE_DIR})
+set_target_properties(micro_simulator PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

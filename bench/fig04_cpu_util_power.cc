@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Paper Fig. 4: fraction of active CPU cores and system power during
+ * (a) DRAM->PIM and (b) PIM->DRAM data transfers, sampled over time.
+ * The baseline software path pins every core in the AVX copy loop at
+ * ~70 W; the PIM-MMU path (shown for contrast) leaves the CPU idle.
+ */
+
+#include "bench/bench_util.hh"
+#include "sim/system.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+void
+timeline(sim::DesignPoint design, core::XferDirection dir)
+{
+    sim::System sys(sim::SystemConfig::paperTable1(design));
+    auto xfer = sys.startTransfer(dir, 512, 16 * kKiB);
+
+    Table t({"t (us)", "active cores (of 8)", "core util %",
+             "system power (W)"});
+    const Tick window = 100 * kPsPerUs;
+    sim::EnergySnapshot prev = sys.snapshot();
+    double utilSum = 0, powerSum = 0;
+    int samples = 0;
+    while (!xfer->done) {
+        const Tick limit = sys.eq().now() + window;
+        sys.runUntil([&] { return xfer->done; }, limit);
+        const sim::EnergySnapshot cur = sys.snapshot();
+        const Tick dt = cur.now - prev.now;
+        if (dt == 0)
+            break;
+        const double activeCores =
+            static_cast<double>(cur.cpuBusyPs - prev.cpuBusyPs) /
+            static_cast<double>(dt);
+        const sim::EnergyReport e = sim::computeEnergy(
+            sys.config().power, prev, cur, sys.totalChannels());
+        const double watts =
+            e.totalJ() / (static_cast<double>(dt) / 1e12);
+        t.row()
+            .num(static_cast<double>(cur.now) / 1e6, 0)
+            .num(activeCores)
+            .num(100.0 * activeCores / sys.cpu().numCores(), 1)
+            .num(watts, 1);
+        utilSum += activeCores / sys.cpu().numCores();
+        powerSum += watts;
+        ++samples;
+        prev = cur;
+    }
+    bench::printTable(t);
+    if (samples > 0) {
+        std::printf("mean core utilization %.1f%%, mean system power "
+                    "%.1f W\n",
+                    100.0 * utilSum / samples, powerSum / samples);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 4",
+                  "Active CPU cores and system power during DRAM<->PIM "
+                  "transfers (baseline; paper: ~100% cores, ~70 W)");
+
+    bench::note("\n(a) baseline DRAM->PIM");
+    timeline(sim::DesignPoint::Base, core::XferDirection::DramToPim);
+    bench::note("\n(b) baseline PIM->DRAM");
+    timeline(sim::DesignPoint::Base, core::XferDirection::PimToDram);
+    bench::note("\n(reference) PIM-MMU DRAM->PIM: transfer offloaded "
+                "to the DCE");
+    timeline(sim::DesignPoint::BaseDHP, core::XferDirection::DramToPim);
+    return 0;
+}

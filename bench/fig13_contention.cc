@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Paper Fig. 13: DRAM->PIM transfer latency when co-located with
+ * (a) an increasing number of compute-intensive contenders and
+ * (b) memory-intensive contenders of increasing access intensity on
+ * half of the CPU cores.
+ *
+ * Expected shape (paper): the baseline degrades sharply with compute
+ * contenders (its copy threads lose cores) while PIM-MMU is virtually
+ * insensitive; under memory contention both degrade, PIM-MMU less.
+ *
+ * Ablation: --quantum-sweep reruns (a) at several OS quanta
+ * (DESIGN.md scheduling-quantum ablation).
+ */
+
+#include <cstring>
+
+#include "bench/bench_util.hh"
+#include "sim/system.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+Tick
+runCompute(sim::DesignPoint dp, unsigned contenders, Tick quantum)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::paperTable1(dp);
+    cfg.cpu.quantumPs = quantum;
+    sim::System sys(cfg);
+    sys.addComputeContenders(contenders);
+    const auto stats =
+        sys.runTransfer(core::XferDirection::DramToPim, 512, 8 * kKiB);
+    sys.cpu().shutdown();
+    return stats.durationPs();
+}
+
+Tick
+runMemory(sim::DesignPoint dp, int intensity)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::paperTable1(dp);
+    sim::System sys(cfg);
+    if (intensity >= 0) {
+        sys.addMemoryContenders(
+            cfg.cpu.cores / 2,
+            static_cast<cpu::MemIntensity>(intensity), 256 * kMiB);
+    }
+    const auto stats =
+        sys.runTransfer(core::XferDirection::DramToPim, 512, 8 * kKiB);
+    sys.cpu().shutdown();
+    return stats.durationPs();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quantumSweep = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quantum-sweep") == 0)
+            quantumSweep = true;
+    }
+
+    bench::banner("Figure 13",
+                  "DRAM->PIM transfer latency under co-located "
+                  "contender workloads (normalized to no contention)");
+
+    const Tick quantum = Tick{3} * kPsPerMs / 2;
+
+    bench::note("\n(a) compute-intensive contenders");
+    {
+        Table t({"contenders", "Base ms", "Base (norm)", "PIM-MMU ms",
+                 "PIM-MMU (norm)"});
+        const Tick base0 =
+            runCompute(sim::DesignPoint::Base, 0, quantum);
+        const Tick mmu0 =
+            runCompute(sim::DesignPoint::BaseDHP, 0, quantum);
+        for (unsigned n : {0u, 2u, 4u, 8u, 16u, 24u}) {
+            const Tick b = runCompute(sim::DesignPoint::Base, n,
+                                      quantum);
+            const Tick m = runCompute(sim::DesignPoint::BaseDHP, n,
+                                      quantum);
+            t.row()
+                .num(std::uint64_t{n})
+                .num(static_cast<double>(b) / 1e9)
+                .num(static_cast<double>(b) /
+                     static_cast<double>(base0))
+                .num(static_cast<double>(m) / 1e9)
+                .num(static_cast<double>(m) /
+                     static_cast<double>(mmu0));
+        }
+        bench::printTable(t);
+    }
+
+    bench::note("\n(b) memory-intensive contenders (4 of 8 cores)");
+    {
+        Table t({"intensity", "Base ms", "Base (norm)", "PIM-MMU ms",
+                 "PIM-MMU (norm)"});
+        const Tick base0 = runMemory(sim::DesignPoint::Base, -1);
+        const Tick mmu0 = runMemory(sim::DesignPoint::BaseDHP, -1);
+        const char *names[] = {"none", "low", "medium", "high",
+                               "very-high"};
+        for (int i = -1; i <= 3; ++i) {
+            const Tick b = runMemory(sim::DesignPoint::Base, i);
+            const Tick m = runMemory(sim::DesignPoint::BaseDHP, i);
+            t.row()
+                .cell(names[i + 1])
+                .num(static_cast<double>(b) / 1e9)
+                .num(static_cast<double>(b) /
+                     static_cast<double>(base0))
+                .num(static_cast<double>(m) / 1e9)
+                .num(static_cast<double>(m) /
+                     static_cast<double>(mmu0));
+        }
+        bench::printTable(t);
+    }
+
+    if (quantumSweep) {
+        bench::note("\n(ablation) OS quantum sensitivity, baseline, "
+                    "8 compute contenders");
+        Table t({"quantum (us)", "Base ms"});
+        for (Tick q : {Tick{100}, Tick{500}, Tick{1500}, Tick{5000}}) {
+            const Tick b = runCompute(sim::DesignPoint::Base, 8,
+                                      q * kPsPerUs);
+            t.row().num(std::uint64_t{q}).num(
+                static_cast<double>(b) / 1e9);
+        }
+        bench::printTable(t);
+    }
+    return 0;
+}

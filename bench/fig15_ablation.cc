@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Paper Fig. 15: the additive ablation study. Starting from the
+ * baseline software transfer path (Base), add (D) the DCE as a vanilla
+ * DMA, (H) HetMap, and (P) PIM-MS, measuring (a) DRAM<->PIM transfer
+ * throughput and (b) energy efficiency, for both directions across
+ * transfer sizes.
+ *
+ * Expected shape (paper): Base+D is often *slower* than Base (vanilla
+ * DMA loses to multithreaded AVX); Base+D+H helps DRAM reads but stays
+ * bottlenecked on PIM writes; the full Base+D+H+P unlocks the PIM
+ * bandwidth (avg 4.1x, max 6.9x) and wins on energy.
+ *
+ * Ablation flag: pass --fcfs to rerun with a FCFS memory controller
+ * (DESIGN.md scheduler ablation).
+ */
+
+#include <cstring>
+
+#include "bench/bench_util.hh"
+#include "sim/system.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+struct Point
+{
+    double gbps;
+    double gbPerJoule;
+};
+
+Point
+measure(sim::DesignPoint design, core::XferDirection dir,
+        std::uint64_t bytesPerDpu, bool fcfs)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::paperTable1(design);
+    if (fcfs)
+        cfg.mc.policy = dram::SchedPolicy::Fcfs;
+    sim::System sys(cfg);
+    const auto stats = sys.runTransfer(dir, 512, bytesPerDpu);
+    return {stats.gbps(), stats.gbPerJoule()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool fcfs = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fcfs") == 0)
+            fcfs = true;
+    }
+
+    bench::banner("Figure 15",
+                  fcfs ? "Ablation (FCFS controller variant)"
+                       : "Ablation: Base / +D / +D+H / +D+H+P, "
+                         "throughput (a) and energy efficiency (b)");
+
+    const sim::DesignPoint designs[] = {
+        sim::DesignPoint::Base, sim::DesignPoint::BaseD,
+        sim::DesignPoint::BaseDH, sim::DesignPoint::BaseDHP};
+
+    Table thr({"direction", "KB/PIM-core", "Base GB/s", "+D", "+D+H",
+               "+D+H+P", "speedup"});
+    Table eff({"direction", "KB/PIM-core", "Base GB/J", "+D", "+D+H",
+               "+D+H+P", "eff. gain"});
+
+    double speedupSum = 0, speedupMax = 0, effSum = 0, effMax = 0;
+    int n = 0;
+    for (core::XferDirection dir : {core::XferDirection::DramToPim,
+                                    core::XferDirection::PimToDram}) {
+        const char *dirName =
+            dir == core::XferDirection::DramToPim ? "DRAM->PIM"
+                                                  : "PIM->DRAM";
+        for (std::uint64_t kb : {4ull, 8ull, 16ull, 32ull, 64ull}) {
+            Point points[4];
+            for (int d = 0; d < 4; ++d)
+                points[d] = measure(designs[d], dir, kb * kKiB, fcfs);
+            auto &t = thr.row().cell(dirName).num(kb);
+            for (int d = 0; d < 4; ++d)
+                t.num(points[d].gbps);
+            const double speedup = points[3].gbps / points[0].gbps;
+            t.num(speedup);
+            auto &e = eff.row().cell(dirName).num(kb);
+            for (int d = 0; d < 4; ++d)
+                e.num(points[d].gbPerJoule);
+            const double gain =
+                points[3].gbPerJoule / points[0].gbPerJoule;
+            e.num(gain);
+            speedupSum += speedup;
+            speedupMax = std::max(speedupMax, speedup);
+            effSum += gain;
+            effMax = std::max(effMax, gain);
+            ++n;
+        }
+    }
+
+    bench::note("\n(a) data transfer throughput");
+    bench::printTable(thr);
+    bench::note("\n(b) energy efficiency (GB moved per joule)");
+    bench::printTable(eff);
+    std::printf("\nthroughput gain: avg %.2fx max %.2fx "
+                "(paper: avg 4.1x, max 6.9x)\n",
+                speedupSum / n, speedupMax);
+    std::printf("energy-efficiency gain: avg %.2fx max %.2fx "
+                "(paper: avg 4.1x, max 6.9x)\n",
+                effSum / n, effMax);
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Paper Fig. 16: normalized end-to-end execution time of the 16
+ * memory-intensive PrIM workloads, baseline vs PIM-MMU, broken into
+ * DRAM->PIM transfer, PIM kernel, and PIM->DRAM transfer.
+ *
+ * Kernel time comes from the per-workload analytic model (the paper
+ * measures it on real UPMEM hardware; PIM-MMU does not change it), and
+ * transfer time from cycle-level simulation — the same hybrid
+ * methodology as the paper's section V.
+ *
+ * Expected shape (paper): transfers are 63.7% of baseline end-to-end
+ * time on average (up to 99.7% for BS); PIM-MMU cuts D->P latency 3.3x
+ * and P->D 3.8x on average, for a 2.2x average end-to-end speedup
+ * (max 4.0x), with TS barely improving.
+ */
+
+#include <cmath>
+
+#include "bench/bench_util.hh"
+#include "sim/system.hh"
+#include "workloads/prim.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+struct Breakdown
+{
+    double d2pMs;
+    double kernelMs;
+    double p2dMs;
+
+    double total() const { return d2pMs + kernelMs + p2dMs; }
+};
+
+Breakdown
+measure(sim::DesignPoint design, const workloads::PrimWorkload &w,
+        unsigned numDpus)
+{
+    sim::System sys(sim::SystemConfig::paperTable1(design));
+    Breakdown b{};
+    b.d2pMs = sys.runTransfer(core::XferDirection::DramToPim, numDpus,
+                              w.inputBytesPerDpu)
+                  .seconds() *
+              1e3;
+    b.kernelMs =
+        static_cast<double>(w.kernel.execTimePs(w.inputBytesPerDpu)) /
+        1e9;
+    b.p2dMs = sys.runTransfer(core::XferDirection::PimToDram, numDpus,
+                              w.outputBytesPerDpu)
+                  .seconds() *
+              1e3;
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 16",
+                  "End-to-end PrIM execution time (normalized to "
+                  "baseline), 512 PIM cores");
+
+    const unsigned numDpus = 512;
+    Table t({"workload", "base D2P ms", "base kern ms", "base P2D ms",
+             "xfer frac%", "mmu D2P ms", "mmu P2D ms", "norm. time",
+             "speedup"});
+
+    double speedupProd = 1.0, speedupMax = 0.0;
+    double d2pGainSum = 0, p2dGainSum = 0, fracSum = 0, fracMax = 0;
+    const auto &suite = workloads::primSuite();
+    for (const auto &w : suite) {
+        const Breakdown base =
+            measure(sim::DesignPoint::Base, w, numDpus);
+        const Breakdown mmu =
+            measure(sim::DesignPoint::BaseDHP, w, numDpus);
+        const double frac =
+            100.0 * (base.d2pMs + base.p2dMs) / base.total();
+        const double speedup = base.total() / mmu.total();
+        t.row()
+            .cell(w.name)
+            .num(base.d2pMs)
+            .num(base.kernelMs)
+            .num(base.p2dMs)
+            .num(frac, 1)
+            .num(mmu.d2pMs)
+            .num(mmu.p2dMs)
+            .num(mmu.total() / base.total())
+            .num(speedup);
+        speedupProd *= speedup;
+        speedupMax = std::max(speedupMax, speedup);
+        d2pGainSum += base.d2pMs / mmu.d2pMs;
+        p2dGainSum += base.p2dMs / mmu.p2dMs;
+        fracSum += frac;
+        fracMax = std::max(fracMax, frac);
+    }
+    bench::printTable(t);
+
+    const double n = static_cast<double>(suite.size());
+    std::printf("\nbaseline transfer share of end-to-end time: avg "
+                "%.1f%%, max %.1f%% (paper: 63.7%%, 99.7%%)\n",
+                fracSum / n, fracMax);
+    std::printf("D->P latency reduction: avg %.2fx (paper 3.3x); "
+                "P->D: avg %.2fx (paper 3.8x)\n",
+                d2pGainSum / n, p2dGainSum / n);
+    std::printf("end-to-end speedup: geomean %.2fx, max %.2fx "
+                "(paper: avg 2.2x, max 4.0x)\n",
+                std::pow(speedupProd, 1.0 / n), speedupMax);
+    return 0;
+}

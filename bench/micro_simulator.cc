@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * address mapping, transpose, and the DRAM controller tick loop.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "dram/controller.hh"
+#include "mapping/layout_mapper.hh"
+#include "pim/transpose.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+mapping::DramGeometry
+table1Geometry()
+{
+    mapping::DramGeometry g;
+    g.channels = 4;
+    g.ranksPerChannel = 2;
+    g.bankGroups = 4;
+    g.banksPerGroup = 4;
+    g.rows = 16384;
+    g.columns = 128;
+    return g;
+}
+
+void
+BM_MapLocality(benchmark::State &state)
+{
+    auto mapper =
+        mapping::makeLocalityCentricMapper(table1Geometry());
+    Rng rng(1);
+    const std::uint64_t lines =
+        mapper->geometry().totalLines();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper->map(rng.below(lines) * 64));
+    }
+}
+BENCHMARK(BM_MapLocality);
+
+void
+BM_MapMlpXor(benchmark::State &state)
+{
+    auto mapper = mapping::makeMlpCentricMapper(table1Geometry());
+    Rng rng(1);
+    const std::uint64_t lines =
+        mapper->geometry().totalLines();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper->map(rng.below(lines) * 64));
+    }
+}
+BENCHMARK(BM_MapMlpXor);
+
+void
+BM_MapRoundTrip(benchmark::State &state)
+{
+    auto mapper = mapping::makeMlpCentricMapper(table1Geometry());
+    Rng rng(1);
+    const std::uint64_t lines =
+        mapper->geometry().totalLines();
+    for (auto _ : state) {
+        const Addr a = rng.below(lines) * 64;
+        benchmark::DoNotOptimize(mapper->unmap(mapper->map(a)));
+    }
+}
+BENCHMARK(BM_MapRoundTrip);
+
+void
+BM_Transpose8x8(benchmark::State &state)
+{
+    std::uint8_t in[64], out[64];
+    Rng rng(2);
+    for (auto &b : in)
+        b = static_cast<std::uint8_t>(rng());
+    for (auto _ : state) {
+        device::transpose8x8(in, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Transpose8x8);
+
+void
+BM_ControllerStream(benchmark::State &state)
+{
+    // Simulated bytes per wall-second for a saturated channel.
+    for (auto _ : state) {
+        EventQueue eq;
+        dram::MemoryController mc(
+            eq, dram::timingPreset(dram::SpeedGrade::DDR4_2400),
+            table1Geometry(), 0);
+        unsigned outstanding = 0;
+        std::uint64_t issued = 0;
+        const std::uint64_t total = 4096;
+        std::function<void()> pump = [&] {
+            while (outstanding < 64 && issued < total) {
+                dram::MemRequest req;
+                req.coord = mapping::DramCoord{
+                    0,
+                    0,
+                    static_cast<unsigned>(issued % 4),
+                    static_cast<unsigned>((issued / 4) % 4),
+                    static_cast<unsigned>(issued / 2048),
+                    static_cast<unsigned>((issued / 16) % 128)};
+                req.onComplete = [&](const dram::MemRequest &) {
+                    --outstanding;
+                    pump();
+                };
+                if (!mc.enqueue(std::move(req)))
+                    break;
+                ++outstanding;
+                ++issued;
+            }
+        };
+        pump();
+        mc.onDrain([&] { pump(); });
+        eq.run();
+        benchmark::DoNotOptimize(mc.bytesRead());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4096 * 64);
+}
+BENCHMARK(BM_ControllerStream);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Paper section VI-C: PIM-MMU implementation overhead. The DCE's SRAM
+ * buffers dominate area; we report the CACTI-style estimate and the
+ * DESIGN.md data-buffer sizing ablation (throughput vs buffer size).
+ */
+
+#include "bench/bench_util.hh"
+#include "sim/energy.hh"
+#include "sim/system.hh"
+
+using namespace pimmmu;
+
+int
+main()
+{
+    bench::banner("Section VI-C",
+                  "PIM-MMU implementation overhead and DCE buffer "
+                  "sizing ablation");
+
+    const sim::SystemConfig cfg = sim::SystemConfig::paperTable1();
+    const double dataMm2 = sim::sramAreaMm2(cfg.dce.dataBufferBytes);
+    const double addrMm2 =
+        sim::sramAreaMm2(cfg.dce.addressBufferBytes);
+    const double total = dataMm2 + addrMm2;
+    const double dieMm2 = 230.0; // 0.85 mm^2 == 0.37% of die (paper)
+
+    Table t({"component", "size", "area mm^2 (32nm)"});
+    t.row()
+        .cell("DCE data buffer")
+        .cell(std::to_string(cfg.dce.dataBufferBytes / kKiB) + " KB")
+        .num(dataMm2, 3);
+    t.row()
+        .cell("DCE address buffer")
+        .cell(std::to_string(cfg.dce.addressBufferBytes / kKiB) +
+              " KB")
+        .num(addrMm2, 3);
+    t.row().cell("total").cell("80 KB").num(total, 3);
+    bench::printTable(t);
+    std::printf("\n%.2f mm^2 = %.2f%% of a %.0f mm^2 CPU die "
+                "(paper: 0.85 mm^2, 0.37%%)\n",
+                total, 100.0 * total / dieMm2, dieMm2);
+
+    bench::note("\ndata-buffer sizing ablation (DRAM->PIM, 512 cores, "
+                "16 KB per core)");
+    Table ab({"data buffer KB", "slots", "throughput GB/s"});
+    for (std::uint64_t kb : {1ull, 4ull, 16ull, 64ull}) {
+        sim::SystemConfig c =
+            sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+        c.dce.dataBufferBytes = kb * kKiB;
+        sim::System sys(c);
+        const auto stats = sys.runTransfer(
+            core::XferDirection::DramToPim, 512, 16 * kKiB);
+        ab.row().num(kb).num(kb * kKiB / 64).num(stats.gbps());
+    }
+    bench::printTable(ab);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Paper Table I: the baseline system and PIM-MMU configuration, as
+ * resolved by SystemConfig::paperTable1(). Every other bench runs on
+ * top of exactly this configuration unless it says otherwise.
+ */
+
+#include "bench/bench_util.hh"
+#include "dram/timing.hh"
+#include "sim/system.hh"
+
+using namespace pimmmu;
+
+int
+main()
+{
+    bench::banner("Table I", "Baseline system and PIM-MMU configuration");
+
+    const sim::SystemConfig cfg = sim::SystemConfig::paperTable1();
+    const auto &dramT = dram::timingPreset(cfg.dramSpeed);
+    const auto &pimT = dram::timingPreset(cfg.pimSpeed);
+
+    Table t({"Component", "Parameter", "Value"});
+    t.row().cell("Host CPU").cell("cores").num(
+        std::uint64_t{cfg.cpu.cores});
+    t.row().cell("").cell("clock").cell(
+        std::to_string(cfg.cpu.clockMhz / 1000.0).substr(0, 3) + " GHz");
+    t.row().cell("").cell("OS scheduling quantum").cell(
+        std::to_string(cfg.cpu.quantumPs / kPsPerUs) + " us");
+    t.row().cell("LLC").cell("capacity").cell(
+        std::to_string(cfg.llc.sizeBytes / kMiB) + " MiB");
+    t.row().cell("").cell("associativity").num(
+        std::uint64_t{cfg.llc.ways});
+    t.row().cell("").cell("line size").cell(
+        std::to_string(cfg.llc.lineBytes) + " B");
+    t.row().cell("Memory controller").cell("read/write queues").cell(
+        std::to_string(cfg.mc.readQueueDepth) + " / " +
+        std::to_string(cfg.mc.writeQueueDepth));
+    t.row().cell("").cell("policy").cell(
+        cfg.mc.policy == dram::SchedPolicy::FrFcfs ? "FR-FCFS"
+                                                   : "FCFS");
+    t.row().cell("DRAM system").cell("timing").cell(dramT.name);
+    t.row().cell("").cell("channels x ranks").cell(
+        std::to_string(cfg.dramGeom.channels) + " x " +
+        std::to_string(cfg.dramGeom.ranksPerChannel));
+    t.row().cell("").cell("peak bandwidth").num(
+        cfg.dramGeom.channels * dramT.peakBandwidth() / 1e9, 1);
+    t.row().cell("PIM system").cell("timing").cell(pimT.name);
+    t.row().cell("").cell("channels x ranks").cell(
+        std::to_string(cfg.pimGeom.banks.channels) + " x " +
+        std::to_string(cfg.pimGeom.banks.ranksPerChannel));
+    t.row().cell("").cell("PIM cores").num(
+        std::uint64_t{cfg.pimGeom.numDpus()});
+    t.row().cell("").cell("peak bandwidth").num(
+        cfg.pimGeom.banks.channels * pimT.peakBandwidth() / 1e9, 1);
+    t.row().cell("PIM-MMU DCE").cell("clock").cell("3.2 GHz");
+    t.row().cell("").cell("data buffer").cell(
+        std::to_string(cfg.dce.dataBufferBytes / kKiB) + " KB");
+    t.row().cell("").cell("address buffer").cell(
+        std::to_string(cfg.dce.addressBufferBytes / kKiB) + " KB");
+    t.row().cell("PIM-MS").cell("scheduling").cell(
+        "Algorithm 1 (bank-group interleaved)");
+    t.row().cell("HetMap").cell("DRAM side").cell(
+        "MLP-centric (XOR hashed)");
+    t.row().cell("").cell("PIM side").cell("ChRaBgBkRoCo");
+    bench::printTable(t);
+    return 0;
+}

@@ -1,0 +1,145 @@
+#include "cache/cache.hh"
+
+#include "common/bitutils.hh"
+
+namespace pimmmu {
+namespace cache {
+
+Cache::Cache(EventQueue &eq, const CacheConfig &config,
+             dram::MemorySystem &downstream)
+    : eq_(eq), config_(config), mem_(downstream),
+      lineMask_(config.lineBytes - 1),
+      numSets_(config.sizeBytes / (config.lineBytes * config.ways)),
+      lines_(numSets_ * config.ways), stats_("llc")
+{
+    if (!isPowerOfTwo(config.lineBytes) || !isPowerOfTwo(numSets_))
+        fatal("cache line count and line size must be powers of two");
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / config_.lineBytes) % numSets_;
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr / config_.lineBytes) / numSets_;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * config_.ways;
+    const std::uint64_t tag = tagOf(addr);
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+void
+Cache::installLine(Addr addr, bool dirty)
+{
+    const std::size_t base = setIndex(addr) * config_.ways;
+    Line *victim = &lines_[base];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = lines_[base + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    if (victim->valid && victim->dirty) {
+        // Write back the victim. Fire-and-forget: the writeback does
+        // not block the fill. If the controller queue is full the
+        // writeback is dropped from the timing plane (the functional
+        // plane is unaffected); count it so tests can watch for abuse.
+        const Addr victimAddr =
+            (victim->tag * numSets_ + setIndex(addr)) *
+            config_.lineBytes;
+        dram::MemRequest wb;
+        wb.paddr = victimAddr;
+        wb.write = true;
+        if (mem_.enqueue(std::move(wb)))
+            ++stats_.counter("writebacks");
+        else
+            ++stats_.counter("writebacks_dropped");
+    }
+
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = tagOf(addr);
+    victim->lruStamp = ++lruCounter_;
+}
+
+void
+Cache::handleFill(Addr lineAddr)
+{
+    auto it = mshrs_.find(lineAddr);
+    PIMMMU_ASSERT(it != mshrs_.end(), "fill with no MSHR");
+    installLine(lineAddr, it->second.anyWrite);
+    auto waiters = std::move(it->second.waiters);
+    mshrs_.erase(it);
+    for (auto &cb : waiters)
+        cb();
+}
+
+bool
+Cache::access(Addr addr, bool write, Callback onDone)
+{
+    const Addr lineAddr = lineAlign(addr);
+    const Tick hitLatency =
+        Tick{config_.hitLatencyCycles} * config_.cpuPeriodPs;
+
+    if (Line *line = findLine(lineAddr)) {
+        line->lruStamp = ++lruCounter_;
+        line->dirty = line->dirty || write;
+        ++hits_;
+        ++stats_.counter(write ? "write_hits" : "read_hits");
+        eq_.scheduleAfter(hitLatency, std::move(onDone));
+        return true;
+    }
+
+    // Miss: merge into an existing MSHR when possible.
+    if (auto it = mshrs_.find(lineAddr); it != mshrs_.end()) {
+        it->second.waiters.push_back(std::move(onDone));
+        it->second.anyWrite = it->second.anyWrite || write;
+        ++stats_.counter("mshr_merges");
+        return true;
+    }
+
+    if (mshrs_.size() >= config_.mshrs) {
+        ++stats_.counter("mshr_full_rejects");
+        return false;
+    }
+    if (!mem_.canAccept(lineAddr, false)) {
+        ++stats_.counter("queue_full_rejects");
+        return false;
+    }
+
+    ++misses_;
+    ++stats_.counter(write ? "write_misses" : "read_misses");
+    auto &mshr = mshrs_[lineAddr];
+    mshr.waiters.push_back(std::move(onDone));
+    mshr.anyWrite = write;
+
+    dram::MemRequest fill;
+    fill.paddr = lineAddr;
+    fill.write = false;
+    fill.onComplete = [this, lineAddr](const dram::MemRequest &) {
+        handleFill(lineAddr);
+    };
+    const bool accepted = mem_.enqueue(std::move(fill));
+    PIMMMU_ASSERT(accepted, "canAccept/enqueue mismatch");
+    return true;
+}
+
+} // namespace cache
+} // namespace pimmmu

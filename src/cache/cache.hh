@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A set-associative last-level cache with LRU replacement, write-back /
+ * write-allocate policy, and MSHR-based miss handling (paper Table I:
+ * 8 MB, 16-way, 64 B lines).
+ *
+ * PIM-space accesses are non-cacheable in the modeled system and never
+ * reach this cache; it serves the CPU's cacheable DRAM-space demand
+ * traffic (e.g. the memory-intensive contender workloads of Fig. 13).
+ */
+
+#ifndef PIMMMU_CACHE_CACHE_HH
+#define PIMMMU_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dram/memory_system.hh"
+
+namespace pimmmu {
+namespace cache {
+
+/** LLC tunables. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 8 * kMiB;
+    unsigned ways = 16;
+    unsigned lineBytes = 64;
+    unsigned hitLatencyCycles = 30;
+    unsigned mshrs = 64;
+    Tick cpuPeriodPs = 313; //!< 3.2 GHz
+};
+
+/**
+ * Timing-only LLC (data contents live in the backing store; the cache
+ * tracks tags, dirtiness and latency).
+ */
+class Cache
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Cache(EventQueue &eq, const CacheConfig &config,
+          dram::MemorySystem &downstream);
+
+    /**
+     * Issue a cacheable access.
+     *  - hit: @p onDone fires after the hit latency.
+     *  - miss: an MSHR is allocated (or the access merges into an
+     *    existing one) and @p onDone fires when the fill returns.
+     * @return false if the access cannot be accepted right now (MSHRs
+     *         exhausted or the memory controller queue is full).
+     */
+    bool access(Addr addr, bool write, Callback onDone);
+
+    stats::Group &stats() { return stats_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    double
+    hitRate() const
+    {
+        const auto total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) / total : 0.0;
+    }
+
+    std::size_t outstandingMisses() const { return mshrs_.size(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    struct Mshr
+    {
+        std::vector<Callback> waiters;
+        bool anyWrite = false;
+    };
+
+    Addr lineAlign(Addr addr) const { return addr & ~Addr{lineMask_}; }
+    std::size_t setIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    void installLine(Addr addr, bool dirty);
+    void handleFill(Addr lineAddr);
+
+    EventQueue &eq_;
+    CacheConfig config_;
+    dram::MemorySystem &mem_;
+
+    std::uint64_t lineMask_;
+    std::size_t numSets_;
+    std::vector<Line> lines_; //!< numSets * ways
+    std::uint64_t lruCounter_ = 0;
+
+    std::unordered_map<Addr, Mshr> mshrs_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    stats::Group stats_;
+};
+
+} // namespace cache
+} // namespace pimmmu
+
+#endif // PIMMMU_CACHE_CACHE_HH

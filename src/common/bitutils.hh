@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the address mapping functions.
+ */
+
+#ifndef PIMMMU_COMMON_BITUTILS_HH
+#define PIMMMU_COMMON_BITUTILS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace pimmmu {
+
+/** Extract bits [first, first+count) of @p value (count may be 0). */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned first, unsigned count)
+{
+    if (count == 0)
+        return 0;
+    if (count >= 64)
+        return value >> first;
+    return (value >> first) & ((std::uint64_t{1} << count) - 1);
+}
+
+/** Insert the low @p count bits of @p field at position @p first. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned first, unsigned count,
+           std::uint64_t field)
+{
+    if (count == 0)
+        return value;
+    std::uint64_t mask = (count >= 64) ? ~std::uint64_t{0}
+                                       : ((std::uint64_t{1} << count) - 1);
+    value &= ~(mask << first);
+    value |= (field & mask) << first;
+    return value;
+}
+
+/** True iff @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2Exact(std::uint64_t value)
+{
+    return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/** Ceil of log2 (log2Ceil(1) == 0). */
+constexpr unsigned
+log2Ceil(std::uint64_t value)
+{
+    unsigned lg = 64 - static_cast<unsigned>(std::countl_zero(value));
+    return isPowerOfTwo(value) ? lg - 1 : lg;
+}
+
+/** XOR-reduce (parity of) all bits of @p value. */
+constexpr std::uint64_t
+xorFold(std::uint64_t value)
+{
+    return static_cast<std::uint64_t>(std::popcount(value) & 1);
+}
+
+/** Round @p value up to the next multiple of @p align (power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+} // namespace pimmmu
+
+#endif // PIMMMU_COMMON_BITUTILS_HH

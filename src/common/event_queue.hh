@@ -1,0 +1,192 @@
+/**
+ * @file
+ * A minimal event-driven simulation kernel.
+ *
+ * Components in different clock domains (3.2 GHz CPU / DCE, 1.2 GHz or
+ * 1.6 GHz DRAM bus) share one global picosecond timeline. Each component
+ * schedules callbacks at absolute ticks; ties are broken by insertion
+ * order (FIFO) so simulation is deterministic.
+ */
+
+#ifndef PIMMMU_COMMON_EVENT_QUEUE_HH
+#define PIMMMU_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pimmmu {
+
+/**
+ * The global event queue. One instance drives a whole simulated system.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Current simulated time in picoseconds. */
+    Tick now() const { return now_; }
+
+    /** Number of events pending. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * @pre when >= now() (events cannot be scheduled in the past).
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        PIMMMU_ASSERT(when >= now_, "event scheduled in the past: ", when,
+                      " < ", now_);
+        heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay picoseconds from now. */
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Run events until the queue drains or @p limit ticks elapse.
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool
+    run(Tick limit = kTickMax)
+    {
+        while (!heap_.empty()) {
+            const Entry &top = heap_.top();
+            if (top.when > limit) {
+                now_ = limit;
+                return false;
+            }
+            now_ = top.when;
+            // Move the callback out before popping: running it may
+            // schedule new events and reallocate the heap.
+            Callback cb = std::move(const_cast<Entry &>(top).cb);
+            heap_.pop();
+            cb();
+        }
+        return true;
+    }
+
+    /** Execute exactly one event. @return false if the queue is empty. */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        const Entry &top = heap_.top();
+        now_ = top.when;
+        Callback cb = std::move(const_cast<Entry &>(top).cb);
+        heap_.pop();
+        cb();
+        return true;
+    }
+
+    /** Discard all pending events and reset time to zero. */
+    void
+    reset()
+    {
+        heap_ = {};
+        now_ = 0;
+        nextSeq_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+/**
+ * Helper that lets a component run a periodic tick handler efficiently:
+ * the component is only on the event queue while it has work, and can be
+ * re-armed when new work arrives.
+ */
+class Ticker
+{
+  public:
+    using Handler = std::function<bool()>;
+
+    /**
+     * @param eq      global event queue
+     * @param period  clock period of this component in picoseconds
+     * @param handler called once per cycle; returns true to stay awake
+     */
+    Ticker(EventQueue &eq, Tick period, Handler handler)
+        : eq_(eq), period_(period), handler_(std::move(handler))
+    {
+        PIMMMU_ASSERT(period_ > 0, "ticker period must be non-zero");
+    }
+
+    /** Ensure the ticker fires on (or after) the next cycle edge. */
+    void
+    arm()
+    {
+        if (armed_)
+            return;
+        armed_ = true;
+        // Align to the next edge of this component's clock.
+        Tick next = roundUpTick(eq_.now() + 1);
+        eq_.schedule(next, [this] { fire(); });
+    }
+
+    bool armed() const { return armed_; }
+    Tick period() const { return period_; }
+
+    /** Current cycle index of this clock domain. */
+    Cycle cycle() const { return eq_.now() / period_; }
+
+  private:
+    Tick
+    roundUpTick(Tick t) const
+    {
+        return ((t + period_ - 1) / period_) * period_;
+    }
+
+    void
+    fire()
+    {
+        armed_ = false;
+        bool again = handler_();
+        if (again)
+            arm();
+    }
+
+    EventQueue &eq_;
+    Tick period_;
+    Handler handler_;
+    bool armed_ = false;
+};
+
+} // namespace pimmmu
+
+#endif // PIMMMU_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,21 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace pimmmu {
+namespace detail {
+
+[[noreturn]] void
+throwError(const char *kind, const std::string &msg)
+{
+    throw SimError(std::string(kind) + ": " + msg);
+}
+
+void
+emitLog(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+} // namespace detail
+} // namespace pimmmu

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); throws.
+ * fatal()  - the user asked for something impossible (bad config); throws.
+ * warn()   - something questionable happened but simulation continues.
+ * inform() - plain status output.
+ *
+ * Both panic() and fatal() throw SimError rather than calling abort()
+ * so that unit tests can exercise failure paths; uncaught, the effect is
+ * still process termination with a diagnostic.
+ */
+
+#ifndef PIMMMU_COMMON_LOGGING_HH
+#define PIMMMU_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pimmmu {
+
+/** Thrown by panic()/fatal() so tests can assert on failure paths. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throwError(const char *kind, const std::string &msg);
+void emitLog(const char *kind, const std::string &msg);
+
+/** Stream-compose a message from a variadic pack. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::throwError("panic",
+                       detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Report an unrecoverable user/configuration error. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::throwError("fatal",
+                       detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Print a warning and continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog("warn",
+                    detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Print an informational message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog("info",
+                    detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** panic() unless the condition holds. */
+#define PIMMMU_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::pimmmu::panic("assertion '", #cond, "' failed at ",           \
+                            __FILE__, ":", __LINE__, ": ",                  \
+                            ::pimmmu::detail::composeMessage(__VA_ARGS__)); \
+        }                                                                   \
+    } while (0)
+
+} // namespace pimmmu
+
+#endif // PIMMMU_COMMON_LOGGING_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64 /
+ * xoshiro256**). The simulator never uses std::rand or hardware entropy
+ * so every run is bit-for-bit reproducible.
+ */
+
+#ifndef PIMMMU_COMMON_RANDOM_HH
+#define PIMMMU_COMMON_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace pimmmu {
+
+/** SplitMix64: used to seed the main generator and for cheap hashing. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** 1.0 — a small, fast, high-quality PRNG.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can be used
+ * with <random> distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x5eed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for simulation workload generation.
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>((*this)()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace pimmmu
+
+#endif // PIMMMU_COMMON_RANDOM_HH

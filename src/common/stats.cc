@@ -1,0 +1,25 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace pimmmu {
+namespace stats {
+
+void
+Group::dump(std::ostream &os) const
+{
+    os << "[" << name_ << "]\n";
+    for (const auto &kv : counters_) {
+        os << "  " << std::left << std::setw(32) << kv.first << " "
+           << kv.second.value() << "\n";
+    }
+    for (const auto &kv : averages_) {
+        os << "  " << std::left << std::setw(32) << kv.first << " mean="
+           << kv.second.mean() << " min=" << kv.second.min()
+           << " max=" << kv.second.max() << " n=" << kv.second.count()
+           << "\n";
+    }
+}
+
+} // namespace stats
+} // namespace pimmmu

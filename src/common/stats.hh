@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A tiny statistics framework: named scalar counters, averages, and
+ * histograms that components register into a group and that benches dump
+ * in a uniform format.
+ */
+
+#ifndef PIMMMU_COMMON_STATS_HH
+#define PIMMMU_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pimmmu {
+namespace stats {
+
+/** A monotonically increasing scalar counter. */
+class Counter
+{
+  public:
+    Counter &operator+=(std::uint64_t delta)
+    {
+        value_ += delta;
+        return *this;
+    }
+
+    Counter &operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Mean/min/max over a stream of samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = max_ = 0.0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-width-bucket histogram. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), counts_(buckets, 0)
+    {
+    }
+
+    void
+    sample(double v)
+    {
+        total_ += 1;
+        if (v < lo_) {
+            ++underflow_;
+            return;
+        }
+        if (v >= hi_) {
+            ++overflow_;
+            return;
+        }
+        const double width = (hi_ - lo_) / static_cast<double>(
+                                               counts_.size());
+        auto idx = static_cast<std::size_t>((v - lo_) / width);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+
+    std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of counters. Components expose a Group so test code
+ * and benches can inspect results without poking private state.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &key) { return counters_[key]; }
+    Average &average(const std::string &key) { return averages_[key]; }
+
+    std::uint64_t
+    counterValue(const std::string &key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    const std::string &name() const { return name_; }
+
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+        for (auto &kv : averages_)
+            kv.second.reset();
+    }
+
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+};
+
+} // namespace stats
+} // namespace pimmmu
+
+#endif // PIMMMU_COMMON_STATS_HH

@@ -1,0 +1,43 @@
+#include "common/table.hh"
+
+#include <algorithm>
+
+namespace pimmmu {
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c]
+                                                       : std::string();
+            os << " " << text
+               << std::string(width[c] - text.size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+    auto emitRule = [&] {
+        os << "|";
+        for (std::size_t c = 0; c < width.size(); ++c)
+            os << std::string(width[c] + 2, '-') << "|";
+        os << "\n";
+    };
+
+    emitRow(header_);
+    emitRule();
+    for (const auto &row : rows_)
+        emitRow(row);
+    return os.str();
+}
+
+} // namespace pimmmu

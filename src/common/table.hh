@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harness to emit the rows and
+ * series reported in the paper's tables and figures.
+ */
+
+#ifndef PIMMMU_COMMON_TABLE_HH
+#define PIMMMU_COMMON_TABLE_HH
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pimmmu {
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header))
+    {
+    }
+
+    /** Start a new row. Cells are appended with cell()/num(). */
+    Table &
+    row()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    Table &
+    cell(std::string text)
+    {
+        rows_.back().push_back(std::move(text));
+        return *this;
+    }
+
+    /** Append a numeric cell formatted to @p precision decimals. */
+    Table &
+    num(double value, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << value;
+        return cell(os.str());
+    }
+
+    Table &
+    num(std::uint64_t value)
+    {
+        return cell(std::to_string(value));
+    }
+
+    std::string str() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pimmmu
+
+#endif // PIMMMU_COMMON_TABLE_HH

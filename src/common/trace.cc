@@ -1,0 +1,125 @@
+#include "common/trace.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace pimmmu {
+namespace trace {
+
+namespace {
+
+struct TraceState
+{
+    std::array<bool, kNumCategories> enabled{};
+    std::ostream *out = &std::cerr;
+    bool envApplied = false;
+};
+
+TraceState &
+state()
+{
+    static TraceState instance;
+    return instance;
+}
+
+const char *const kNames[kNumCategories] = {"dram", "dce", "cpu",
+                                            "sched", "pim", "xfer"};
+
+} // namespace
+
+const char *
+categoryName(Category cat)
+{
+    return kNames[static_cast<std::size_t>(cat)];
+}
+
+bool
+parseCategory(const std::string &name, Category &out)
+{
+    for (std::size_t i = 0; i < kNumCategories; ++i) {
+        if (name == kNames[i]) {
+            out = static_cast<Category>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+enable(Category cat)
+{
+    state().enabled[static_cast<std::size_t>(cat)] = true;
+}
+
+void
+disable(Category cat)
+{
+    state().enabled[static_cast<std::size_t>(cat)] = false;
+}
+
+void
+enableAll()
+{
+    state().enabled.fill(true);
+}
+
+void
+disableAll()
+{
+    state().enabled.fill(false);
+}
+
+void
+applyEnvironment()
+{
+    TraceState &st = state();
+    if (st.envApplied)
+        return;
+    st.envApplied = true;
+    const char *env = std::getenv("PIMMMU_TRACE");
+    if (!env)
+        return;
+    std::string token;
+    for (const char *p = env;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (token == "all") {
+                enableAll();
+            } else if (!token.empty()) {
+                Category cat;
+                if (parseCategory(token, cat))
+                    enable(cat);
+            }
+            token.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            token += *p;
+        }
+    }
+}
+
+bool
+enabled(Category cat)
+{
+    applyEnvironment();
+    return state().enabled[static_cast<std::size_t>(cat)];
+}
+
+void
+setOutput(std::ostream *os)
+{
+    state().out = os;
+}
+
+void
+emit(Category cat, Tick now, const std::string &message)
+{
+    std::ostream *out = state().out;
+    if (!out)
+        return;
+    (*out) << now << "ps [" << categoryName(cat) << "] " << message
+           << "\n";
+}
+
+} // namespace trace
+} // namespace pimmmu

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Category-based execution tracing (gem5 DPRINTF-style).
+ *
+ * Tracing is compiled in but disabled by default; enable categories
+ * programmatically or from the PIMMMU_TRACE environment variable
+ * (comma-separated category names, or "all"):
+ *
+ *   PIMMMU_TRACE=dram,dce ./build/examples/quickstart
+ *
+ * Each line is prefixed with the simulated tick and category.
+ */
+
+#ifndef PIMMMU_COMMON_TRACE_HH
+#define PIMMMU_COMMON_TRACE_HH
+
+#include <array>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace trace {
+
+/** Trace categories, one per subsystem. */
+enum class Category : unsigned
+{
+    Dram,  //!< DRAM commands and controller decisions
+    Dce,   //!< Data Copy Engine issue/completion
+    Cpu,   //!< core step/stall activity
+    Sched, //!< OS thread scheduling events
+    Pim,   //!< PIM device / kernel launches
+    Xfer,  //!< runtime-level transfer lifecycle
+    NumCategories
+};
+
+constexpr std::size_t kNumCategories =
+    static_cast<std::size_t>(Category::NumCategories);
+
+/** Category name ("dram", "dce", ...). */
+const char *categoryName(Category cat);
+
+/** Parse a category name; returns false on unknown names. */
+bool parseCategory(const std::string &name, Category &out);
+
+/** Enable / disable categories. */
+void enable(Category cat);
+void disable(Category cat);
+void enableAll();
+void disableAll();
+bool enabled(Category cat);
+
+/**
+ * Apply the PIMMMU_TRACE environment variable (called lazily on first
+ * trace query; safe to call explicitly from main()).
+ */
+void applyEnvironment();
+
+/** Redirect trace output (default: stderr). Not owned. */
+void setOutput(std::ostream *os);
+
+/** Emit one trace line. Prefer the PIMMMU_TRACE_LOG macro. */
+void emit(Category cat, Tick now, const std::string &message);
+
+} // namespace trace
+} // namespace pimmmu
+
+/**
+ * Trace macro: evaluates its message arguments only when the category
+ * is enabled.
+ *
+ *   PIMMMU_TRACE_LOG(trace::Category::Dce, eq_.now(),
+ *                    "issue read slot=" << slot);
+ */
+#define PIMMMU_TRACE_LOG(cat, now, stream_expr)                       \
+    do {                                                              \
+        if (::pimmmu::trace::enabled(cat)) {                          \
+            std::ostringstream trace_os_;                             \
+            trace_os_ << stream_expr;                                 \
+            ::pimmmu::trace::emit(cat, now, trace_os_.str());         \
+        }                                                             \
+    } while (0)
+
+#endif // PIMMMU_COMMON_TRACE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the pim-mmu simulator.
+ */
+
+#ifndef PIMMMU_COMMON_TYPES_HH
+#define PIMMMU_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace pimmmu {
+
+/** A physical (or device) byte address. */
+using Addr = std::uint64_t;
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A clock-domain cycle count (CPU, DRAM, or DCE cycles). */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "no tick scheduled" / "infinitely far in the future". */
+constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr kAddrInvalid = std::numeric_limits<Addr>::max();
+
+/** Picoseconds per common SI time units. */
+constexpr Tick kPsPerNs = 1000;
+constexpr Tick kPsPerUs = 1000 * kPsPerNs;
+constexpr Tick kPsPerMs = 1000 * kPsPerUs;
+constexpr Tick kPsPerSec = 1000 * kPsPerMs;
+
+/** Bytes per common SI capacity units (binary powers). */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/**
+ * Convert a frequency in MHz to the corresponding clock period in
+ * picoseconds, rounded to the nearest picosecond.
+ */
+constexpr Tick
+periodPsFromMhz(std::uint64_t mhz)
+{
+    return (1000000 + mhz / 2) / mhz;
+}
+
+/** Convert (bytes, picoseconds) to GB/s (decimal gigabytes). */
+constexpr double
+gbPerSec(std::uint64_t bytes, Tick ps)
+{
+    if (ps == 0)
+        return 0.0;
+    return (static_cast<double>(bytes) / 1e9) /
+           (static_cast<double>(ps) / 1e12);
+}
+
+} // namespace pimmmu
+
+#endif // PIMMMU_COMMON_TYPES_HH

@@ -1,0 +1,356 @@
+#include "core/dce.hh"
+
+#include "common/trace.hh"
+
+namespace pimmmu {
+namespace core {
+
+namespace {
+constexpr std::uint64_t kLine = 64;
+}
+
+Dce::Dce(EventQueue &eq, const DceConfig &config, dram::MemorySystem &mem,
+         const device::PimGeometry &pimGeometry)
+    : eq_(eq), config_(config), mem_(mem), pimGeom_(pimGeometry),
+      ticker_(eq, config.periodPs(), [this] { return tick(); }),
+      freeDataSlots_(config.dataBufferSlots()), stats_("dce")
+{
+    mem_.onDrain([this] {
+        if (active_)
+            ticker_.arm();
+    });
+}
+
+void
+Dce::start(DceTransfer transfer, std::function<void()> onComplete)
+{
+    PIMMMU_ASSERT(!busy(), "DCE already busy");
+    PIMMMU_ASSERT(!transfer.streams.empty(), "empty transfer");
+    PIMMMU_ASSERT(transfer.streams.size() * 8 <=
+                      config_.addressBufferEntries(),
+                  "transfer exceeds address buffer capacity");
+
+    auto active = std::make_unique<ActiveTransfer>();
+    active->linesRemaining = transfer.totalLines();
+    active->state.assign(transfer.streams.size(), StreamState{});
+    active->onComplete = std::move(onComplete);
+    active->startedAt = eq_.now();
+    if (config_.usePimMs && transfer.dir != XferDirection::DramToDram) {
+        std::vector<unsigned> banks;
+        banks.reserve(transfer.streams.size());
+        for (const auto &s : transfer.streams)
+            banks.push_back(s.bankIdx);
+        active->scheduler = std::make_unique<PimMs>(pimGeom_, banks);
+        active->readBurstLeft.assign(active->scheduler->numChannels(),
+                                     config_.burstLines);
+        active->writeBurstLeft.assign(active->scheduler->numChannels(),
+                                      config_.burstLines);
+    }
+    active->dmaReadBurstLeft = config_.burstLines;
+    active->dmaWriteBurstLeft = config_.burstLines;
+    active->transfer = std::move(transfer);
+    active_ = std::move(active);
+    ++stats_.counter("transfers");
+    PIMMMU_TRACE_LOG(trace::Category::Dce, eq_.now(),
+                     "start transfer: " << transfer.streams.size()
+                                        << " bank streams, "
+                                        << transfer.totalLines()
+                                        << " lines");
+    ticker_.arm();
+}
+
+Addr
+Dce::readAddrOf(const BankStream &s, std::uint64_t k) const
+{
+    switch (active_->transfer.dir) {
+      case XferDirection::DramToPim:
+        return s.hostBase[k % 8] + (k / 8) * kLine;
+      case XferDirection::PimToDram:
+        return s.wireBase + k * kLine;
+      case XferDirection::DramToDram:
+        return s.hostBase[0] + k * kLine;
+    }
+    panic("bad direction");
+}
+
+Addr
+Dce::writeAddrOf(const BankStream &s, std::uint64_t k) const
+{
+    switch (active_->transfer.dir) {
+      case XferDirection::DramToPim:
+        return s.wireBase + k * kLine;
+      case XferDirection::PimToDram:
+        return s.hostBase[k % 8] + (k / 8) * kLine;
+      case XferDirection::DramToDram:
+        return s.wireBase + k * kLine;
+    }
+    panic("bad direction");
+}
+
+unsigned
+Dce::inflight() const
+{
+    return readsInflight_ + writesInflight_;
+}
+
+void
+Dce::onReadComplete(std::size_t slot)
+{
+    --readsInflight_;
+    // Preprocessing unit: the line becomes writable after the transpose
+    // pipeline latency.
+    eq_.scheduleAfter(
+        Tick{config_.transposeLatencyCycles} * config_.periodPs(),
+        [this, slot] {
+            if (!active_)
+                return;
+            ++active_->state[slot].writeCredits;
+            ticker_.arm();
+        });
+}
+
+void
+Dce::onWriteComplete(std::size_t slot)
+{
+    --writesInflight_;
+    ++freeDataSlots_;
+    StreamState &st = active_->state[slot];
+    ++st.writesDone;
+    PIMMMU_ASSERT(active_->linesRemaining > 0, "write overrun");
+    --active_->linesRemaining;
+    finishIfDone();
+    if (active_)
+        ticker_.arm();
+}
+
+std::size_t
+Dce::enqueue(DceTransfer transfer, std::function<void()> onComplete)
+{
+    if (!busy() && pending_.empty()) {
+        start(std::move(transfer), std::move(onComplete));
+        return 1;
+    }
+    pending_.emplace_back(std::move(transfer), std::move(onComplete));
+    ++stats_.counter("transfers_queued");
+    return pending_.size() + 1;
+}
+
+void
+Dce::finishIfDone()
+{
+    if (!active_ || active_->linesRemaining != 0)
+        return;
+    busyPs_ += eq_.now() - active_->startedAt;
+    PIMMMU_TRACE_LOG(trace::Category::Dce, eq_.now(),
+                     "transfer complete");
+    auto done = std::move(active_->onComplete);
+    active_.reset();
+    if (done)
+        done();
+    if (!active_ && !pending_.empty()) {
+        // Pop the next descriptor off the driver's ring.
+        auto next = std::move(pending_.front());
+        pending_.pop_front();
+        start(std::move(next.first), std::move(next.second));
+    }
+}
+
+bool
+Dce::issueWriteFor(std::size_t slot)
+{
+    StreamState &st = active_->state[slot];
+    if (st.writeCredits == 0)
+        return false;
+    const BankStream &stream = active_->transfer.streams[slot];
+    const Addr addr = writeAddrOf(stream, st.writesIssued);
+    if (!mem_.canAccept(addr, true))
+        return false;
+
+    dram::MemRequest req;
+    req.paddr = addr;
+    req.write = true;
+    req.onComplete = [this, slot](const dram::MemRequest &) {
+        onWriteComplete(slot);
+    };
+    const bool ok = mem_.enqueue(std::move(req));
+    PIMMMU_ASSERT(ok, "enqueue after canAccept failed");
+    --st.writeCredits;
+    ++st.writesIssued;
+    ++writesInflight_;
+    ++stats_.counter("writes_issued");
+    return true;
+}
+
+bool
+Dce::issueReadFor(std::size_t slot)
+{
+    StreamState &st = active_->state[slot];
+    const BankStream &stream = active_->transfer.streams[slot];
+    if (st.readsIssued >= stream.totalLines)
+        return false;
+    if (freeDataSlots_ == 0)
+        return false;
+    const Addr addr = readAddrOf(stream, st.readsIssued);
+    if (!mem_.canAccept(addr, false))
+        return false;
+
+    dram::MemRequest req;
+    req.paddr = addr;
+    req.write = false;
+    req.onComplete = [this, slot](const dram::MemRequest &) {
+        onReadComplete(slot);
+    };
+    const bool ok = mem_.enqueue(std::move(req));
+    PIMMMU_ASSERT(ok, "enqueue after canAccept failed");
+    ++st.readsIssued;
+    ++readsInflight_;
+    --freeDataSlots_;
+    ++stats_.counter("reads_issued");
+    return true;
+}
+
+bool
+Dce::tryIssueWrite()
+{
+    ActiveTransfer &at = *active_;
+    if (at.scheduler) {
+        // PIM-MS: burst-granular interleave across channels and banks.
+        PimMs &ms = *at.scheduler;
+        for (unsigned c = 0; c < ms.numChannels(); ++c) {
+            const unsigned ch = ms.nextChannel();
+            const auto &slots = ms.channelSlots(ch);
+            unsigned &cursor = ms.cursor(ch, true);
+            unsigned &burst = at.writeBurstLeft[ch];
+            for (std::size_t n = 0; n < slots.size(); ++n) {
+                const unsigned slot = slots[cursor];
+                if (issueWriteFor(slot)) {
+                    if (--burst == 0) {
+                        cursor = (cursor + 1) % slots.size();
+                        burst = config_.burstLines;
+                    }
+                    return true;
+                }
+                cursor = (cursor + 1) % slots.size();
+                burst = config_.burstLines;
+            }
+        }
+        return false;
+    }
+
+    if (at.transfer.dir == XferDirection::DramToDram) {
+        // Chunked memcpy: burst-granular round-robin over the chunks.
+        const std::size_t n = at.transfer.streams.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t slot = at.dmaWriteStream;
+            if (issueWriteFor(slot)) {
+                if (--at.dmaWriteBurstLeft == 0) {
+                    at.dmaWriteStream = (slot + 1) % n;
+                    at.dmaWriteBurstLeft = config_.burstLines;
+                }
+                return true;
+            }
+            at.dmaWriteStream = (slot + 1) % n;
+            at.dmaWriteBurstLeft = config_.burstLines;
+        }
+        return false;
+    }
+
+    // Vanilla DMA: strictly in descriptor order, shallow window.
+    if (inflight() >= config_.dmaWindow)
+        return false;
+    while (at.dmaWriteStream < at.transfer.streams.size()) {
+        StreamState &st = at.state[at.dmaWriteStream];
+        if (st.writesIssued <
+            at.transfer.streams[at.dmaWriteStream].totalLines) {
+            return issueWriteFor(at.dmaWriteStream);
+        }
+        ++at.dmaWriteStream;
+    }
+    return false;
+}
+
+bool
+Dce::tryIssueRead()
+{
+    ActiveTransfer &at = *active_;
+    if (at.scheduler) {
+        PimMs &ms = *at.scheduler;
+        for (unsigned c = 0; c < ms.numChannels(); ++c) {
+            const unsigned ch = ms.nextChannel();
+            const auto &slots = ms.channelSlots(ch);
+            unsigned &cursor = ms.cursor(ch, false);
+            unsigned &burst = at.readBurstLeft[ch];
+            for (std::size_t n = 0; n < slots.size(); ++n) {
+                const unsigned slot = slots[cursor];
+                if (issueReadFor(slot)) {
+                    if (--burst == 0) {
+                        cursor = (cursor + 1) % slots.size();
+                        burst = config_.burstLines;
+                    }
+                    return true;
+                }
+                cursor = (cursor + 1) % slots.size();
+                burst = config_.burstLines;
+            }
+        }
+        return false;
+    }
+
+    if (at.transfer.dir == XferDirection::DramToDram) {
+        const std::size_t n = at.transfer.streams.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t slot = at.dmaReadStream;
+            if (issueReadFor(slot)) {
+                if (--at.dmaReadBurstLeft == 0) {
+                    at.dmaReadStream = (slot + 1) % n;
+                    at.dmaReadBurstLeft = config_.burstLines;
+                }
+                return true;
+            }
+            at.dmaReadStream = (slot + 1) % n;
+            at.dmaReadBurstLeft = config_.burstLines;
+        }
+        return false;
+    }
+
+    if (inflight() >= config_.dmaWindow)
+        return false;
+    while (at.dmaReadStream < at.transfer.streams.size()) {
+        StreamState &st = at.state[at.dmaReadStream];
+        if (st.readsIssued <
+            at.transfer.streams[at.dmaReadStream].totalLines) {
+            return issueReadFor(at.dmaReadStream);
+        }
+        ++at.dmaReadStream;
+    }
+    return false;
+}
+
+bool
+Dce::tick()
+{
+    if (!active_)
+        return false;
+
+    unsigned issued = 0;
+    // Drain the data buffer first, then refill it.
+    for (unsigned i = 0; i < config_.issueWidth; ++i) {
+        if (!tryIssueWrite())
+            break;
+        ++issued;
+    }
+    for (unsigned i = issued; i < config_.issueWidth; ++i) {
+        if (!tryIssueRead())
+            break;
+        ++issued;
+    }
+
+    if (issued > 0)
+        return true;
+    // Nothing issuable this cycle: sleep until a completion, transpose
+    // output, or controller drain re-arms the ticker.
+    return false;
+}
+
+} // namespace core
+} // namespace pimmmu

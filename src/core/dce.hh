@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The Data Copy Engine (paper section IV-C, Fig. 11).
+ *
+ * The DCE offloads DRAM<->PIM transfers entirely from the CPU. It holds
+ * an address buffer of per-PIM-core stream descriptors, a 16 KB data
+ * buffer that decouples the read and write sides, an AGU that derives
+ * source/destination addresses from (base, offset), an on-the-fly
+ * transpose unit, and the PIM-MS scheduler that picks which stream to
+ * advance next.
+ *
+ * Dataflow for DRAM->PIM (Fig. 11 steps 1-7): PIM-MS selects an address
+ * buffer entry -> AGU emits the next read -> the memory controller
+ * services it -> data lands in the data buffer -> the preprocessing
+ * unit transposes it -> the AGU emits the matching PIM write.
+ */
+
+#ifndef PIMMMU_CORE_DCE_HH
+#define PIMMMU_CORE_DCE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "core/dce_config.hh"
+#include "core/pim_mmu_op.hh"
+#include "core/pim_ms.hh"
+#include "dram/memory_system.hh"
+#include "pim/pim_geometry.hh"
+
+namespace pimmmu {
+namespace core {
+
+/**
+ * One per-bank stream in the DCE's address buffer: the 8 per-DPU host
+ * arrays feeding (or fed by) the bank's wire lines.
+ */
+struct BankStream
+{
+    unsigned bankIdx = 0;
+    std::array<Addr, 8> hostBase{};
+    Addr wireBase = 0;              //!< PIM physical address
+    std::uint64_t totalLines = 0;   //!< host lines == wire lines
+};
+
+/** A fully prepared timing-plane transfer. */
+struct DceTransfer
+{
+    XferDirection dir = XferDirection::DramToPim;
+    std::vector<BankStream> streams;
+
+    std::uint64_t
+    totalLines() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &s : streams)
+            total += s.totalLines;
+        return total;
+    }
+};
+
+/** The engine. */
+class Dce
+{
+  public:
+    Dce(EventQueue &eq, const DceConfig &config,
+        dram::MemorySystem &mem, const device::PimGeometry &pimGeometry);
+
+    /**
+     * Begin a transfer. @p onComplete fires when the last write's data
+     * burst finishes (the driver layers interrupt latency on top).
+     * @pre !busy()
+     */
+    void start(DceTransfer transfer, std::function<void()> onComplete);
+
+    /**
+     * Queue a transfer: starts immediately if the engine is idle,
+     * otherwise runs when the preceding transfers complete — the
+     * driver's descriptor ring. @return queue depth including this
+     * transfer (1 = started immediately).
+     */
+    std::size_t enqueue(DceTransfer transfer,
+                        std::function<void()> onComplete);
+
+    bool busy() const { return active_ != nullptr; }
+
+    std::size_t queuedTransfers() const { return pending_.size(); }
+
+    /** Cumulative engine-active time, for the power model. */
+    Tick busyPs() const { return busyPs_; }
+
+    const DceConfig &config() const { return config_; }
+    stats::Group &stats() { return stats_; }
+
+  private:
+    struct StreamState
+    {
+        std::uint64_t readsIssued = 0;
+        std::uint64_t writeCredits = 0; //!< transposed, ready to write
+        std::uint64_t writesIssued = 0;
+        std::uint64_t writesDone = 0;
+    };
+
+    struct ActiveTransfer
+    {
+        DceTransfer transfer;
+        std::vector<StreamState> state;
+        std::unique_ptr<PimMs> scheduler; //!< null when PIM-MS disabled
+        std::uint64_t linesRemaining = 0;
+        std::function<void()> onComplete;
+        Tick startedAt = 0;
+        // Per-channel burst budgets for the PIM-MS cursors.
+        std::vector<unsigned> readBurstLeft;
+        std::vector<unsigned> writeBurstLeft;
+        // Vanilla-DMA / chunked-memcpy cursors.
+        std::size_t dmaReadStream = 0;
+        std::size_t dmaWriteStream = 0;
+        unsigned dmaReadBurstLeft = 0;
+        unsigned dmaWriteBurstLeft = 0;
+    };
+
+    bool tick();
+    bool tryIssueWrite();
+    bool tryIssueRead();
+    bool issueWriteFor(std::size_t slot);
+    bool issueReadFor(std::size_t slot);
+    Addr readAddrOf(const BankStream &s, std::uint64_t k) const;
+    Addr writeAddrOf(const BankStream &s, std::uint64_t k) const;
+    unsigned inflight() const;
+    void onReadComplete(std::size_t slot);
+    void onWriteComplete(std::size_t slot);
+    void finishIfDone();
+
+    EventQueue &eq_;
+    DceConfig config_;
+    dram::MemorySystem &mem_;
+    device::PimGeometry pimGeom_;
+    Ticker ticker_;
+
+    std::unique_ptr<ActiveTransfer> active_;
+    std::deque<std::pair<DceTransfer, std::function<void()>>> pending_;
+    std::uint64_t freeDataSlots_;
+    unsigned readsInflight_ = 0;
+    unsigned writesInflight_ = 0;
+
+    Tick busyPs_ = 0;
+    stats::Group stats_;
+};
+
+} // namespace core
+} // namespace pimmmu
+
+#endif // PIMMMU_CORE_DCE_HH

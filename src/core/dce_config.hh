@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Configuration of the Data Copy Engine (paper Table I: 3.2 GHz,
+ * 16 KB data buffer, 64 KB address buffer).
+ */
+
+#ifndef PIMMMU_CORE_DCE_CONFIG_HH
+#define PIMMMU_CORE_DCE_CONFIG_HH
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace core {
+
+/** DCE tunables. */
+struct DceConfig
+{
+    std::uint64_t clockMhz = 3200;
+
+    /** SRAM buffers (Table I). */
+    std::uint64_t dataBufferBytes = 16 * kKiB;
+    std::uint64_t addressBufferBytes = 64 * kKiB;
+
+    /** Bytes of one address-buffer entry (Fig. 11: DRAM addr, PIM
+     *  addr/core id, offset counter). */
+    unsigned addressEntryBytes = 16;
+
+    /** Memory requests the engine can issue per DCE cycle. */
+    unsigned issueWidth = 4;
+
+    /** Pipeline latency of the preprocessing (transpose) unit. */
+    unsigned transposeLatencyCycles = 4;
+
+    /**
+     * Lines issued per stream visit before the scheduler rotates to
+     * the next stream. Bursting preserves DRAM row locality on the
+     * host side while the queues keep enough distinct banks in flight
+     * for bank-group interleaving on the PIM side.
+     */
+    unsigned burstLines = 32;
+
+    /**
+     * Enable the PIM-aware Memory Scheduler. When disabled the engine
+     * degrades to a conventional DMA channel: descriptors are processed
+     * strictly in order with a shallow in-flight window (the "Base+D"
+     * ablation point, paper Fig. 15).
+     */
+    bool usePimMs = true;
+
+    /** In-flight request cap of the vanilla-DMA (no PIM-MS) mode. */
+    unsigned dmaWindow = 12;
+
+    /** Software-stack latencies (driver MMIO doorbell, interrupt). */
+    Tick mmioDoorbellPs = 300 * kPsPerNs;
+    Tick interruptPs = 2 * kPsPerUs;
+
+    Tick periodPs() const { return periodPsFromMhz(clockMhz); }
+
+    std::uint64_t
+    dataBufferSlots() const
+    {
+        return dataBufferBytes / 64;
+    }
+
+    std::uint64_t
+    addressBufferEntries() const
+    {
+        return addressBufferBytes / addressEntryBytes;
+    }
+};
+
+} // namespace core
+} // namespace pimmmu
+
+#endif // PIMMMU_CORE_DCE_CONFIG_HH

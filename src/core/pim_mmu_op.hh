@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The user-visible PIM-MMU transfer descriptor (paper Fig. 10(b)).
+ */
+
+#ifndef PIMMMU_CORE_PIM_MMU_OP_HH
+#define PIMMMU_CORE_PIM_MMU_OP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace core {
+
+/** Transfer direction across the DRAM / PIM physical address spaces. */
+enum class XferDirection
+{
+    DramToPim,
+    PimToDram,
+    /** DCE-internal: plain DRAM->DRAM copy (no transpose, no PIM). */
+    DramToDram
+};
+
+/**
+ * Argument block of pim_mmu_transfer. Mirrors the paper's pim_mmu_op:
+ * direction, per-PIM-core size, an array of host-side (DRAM physical)
+ * array pointers, the destination PIM core ids, and the MRAM heap base
+ * pointer. The PIM address of each stream is derived from the PIM core
+ * id plus the heap pointer (paper Fig. 10, lines 21-22).
+ */
+struct PimMmuOp
+{
+    XferDirection type = XferDirection::DramToPim;
+
+    /** Bytes per PIM core (must be a multiple of 8). */
+    std::uint64_t sizePerPim = 0;
+
+    /** One DRAM physical base address per PIM core. */
+    std::vector<Addr> dramAddrArr;
+
+    /** Destination/source PIM core (DPU) ids. */
+    std::vector<unsigned> pimIdArr;
+
+    /** Byte offset into each DPU's MRAM heap (8-byte aligned). */
+    Addr pimBaseHeapPtr = 0;
+};
+
+} // namespace core
+} // namespace pimmmu
+
+#endif // PIMMMU_CORE_PIM_MMU_OP_HH

@@ -1,0 +1,121 @@
+#include "core/pim_mmu_runtime.hh"
+
+#include "common/trace.hh"
+#include "pim/host_transfer.hh"
+#include "pim/transpose.hh"
+
+namespace pimmmu {
+namespace core {
+
+PimMmuRuntime::PimMmuRuntime(EventQueue &eq, Dce &dce,
+                             dram::MemorySystem &mem,
+                             device::PimDevice &pim)
+    : eq_(eq), dce_(dce), mem_(mem), pim_(pim)
+{
+}
+
+DceTransfer
+PimMmuRuntime::buildDescriptor(const PimMmuOp &op) const
+{
+    const device::PimGeometry &geom = pim_.geometry();
+    const device::BankGrouping grouping =
+        device::groupByBank(geom, op.pimIdArr, op.dramAddrArr,
+                            op.sizePerPim, op.pimBaseHeapPtr);
+
+    const Addr pimBase = mem_.systemMap().pimBase();
+    const std::uint64_t wordStart =
+        op.pimBaseHeapPtr / device::kWordBytes;
+
+    DceTransfer transfer;
+    transfer.dir = op.type;
+    transfer.streams.reserve(grouping.banks.size());
+    for (const auto &bank : grouping.banks) {
+        BankStream stream;
+        stream.bankIdx = bank.bankIdx;
+        stream.hostBase = bank.hostBase;
+        stream.wireBase = pimBase +
+                          geom.bankRegionOffset(bank.bankIdx) +
+                          wordStart * device::kBlockBytes;
+        stream.totalLines = op.sizePerPim / device::kWordBytes;
+        transfer.streams.push_back(stream);
+    }
+    return transfer;
+}
+
+void
+PimMmuRuntime::functionalCopy(const PimMmuOp &op)
+{
+    const device::BankGrouping grouping = device::groupByBank(
+        pim_.geometry(), op.pimIdArr, op.dramAddrArr, op.sizePerPim,
+        op.pimBaseHeapPtr);
+    device::functionalTransfer(mem_.store(), pim_,
+                               op.type == XferDirection::DramToPim,
+                               grouping, op.sizePerPim,
+                               op.pimBaseHeapPtr);
+}
+
+void
+PimMmuRuntime::transfer(const PimMmuOp &op,
+                        std::function<void()> onComplete)
+{
+    DceTransfer descriptor = buildDescriptor(op);
+    functionalCopy(op);
+    PIMMMU_TRACE_LOG(trace::Category::Xfer, eq_.now(),
+                     "pim_mmu_transfer: " << op.pimIdArr.size()
+                                          << " PIM cores x "
+                                          << op.sizePerPim << " B");
+
+    const DceConfig &cfg = dce_.config();
+    // Driver: write the op through the MMIO BAR (doorbell), then start
+    // the engine; completion raises an interrupt the driver services
+    // before waking the requesting process.
+    eq_.scheduleAfter(
+        cfg.mmioDoorbellPs,
+        [this, descriptor = std::move(descriptor),
+         onComplete = std::move(onComplete)]() mutable {
+            dce_.enqueue(std::move(descriptor),
+                         [this, onComplete = std::move(onComplete)] {
+                             eq_.scheduleAfter(
+                                 dce_.config().interruptPs,
+                                 [onComplete = std::move(onComplete)] {
+                                     if (onComplete)
+                                         onComplete();
+                                 });
+                         });
+        });
+}
+
+PimMmuRequestThread::PimMmuRequestThread(
+    PimMmuRuntime &runtime, PimMmuOp op,
+    std::function<void()> onComplete)
+    : runtime_(runtime), op_(std::move(op)),
+      onComplete_(std::move(onComplete))
+{
+}
+
+unsigned
+PimMmuRequestThread::step(cpu::Core &core)
+{
+    switch (state_) {
+      case State::Marshal: {
+        state_ = State::Sleeping;
+        cpu::Cpu &cpu = core.cpu();
+        runtime_.transfer(op_, [this, &cpu] {
+            state_ = State::Done;
+            if (onComplete_)
+                onComplete_();
+            cpu.wakeThread(*this);
+        });
+        // Descriptor marshalling: a handful of cycles per PIM core.
+        return static_cast<unsigned>(20 * op_.pimIdArr.size() + 500);
+      }
+      case State::Sleeping:
+        return 0; // process sleeps until the interrupt
+      case State::Done:
+        return 0;
+    }
+    panic("bad state");
+}
+
+} // namespace core
+} // namespace pimmmu

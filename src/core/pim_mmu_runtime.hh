@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The PIM-MMU software stack (paper section IV-B): the user-level
+ * runtime API (pim_mmu_transfer) and the device-driver model (MMIO
+ * doorbell, completion interrupt, requesting process sleep/wake).
+ *
+ * Unlike the baseline's multithreaded copy, a pim_mmu_transfer call is
+ * made from a single thread which only marshals the descriptor into the
+ * DCE's address buffer and then sleeps until the interrupt arrives.
+ */
+
+#ifndef PIMMMU_CORE_PIM_MMU_RUNTIME_HH
+#define PIMMMU_CORE_PIM_MMU_RUNTIME_HH
+
+#include <functional>
+#include <memory>
+
+#include "core/dce.hh"
+#include "cpu/cpu.hh"
+#include "cpu/thread.hh"
+#include "pim/pim_device.hh"
+
+namespace pimmmu {
+namespace core {
+
+/**
+ * Validated, bank-grouped form of a PimMmuOp plus the functional-copy
+ * plan. Built once per call by the runtime.
+ */
+class PimMmuRuntime
+{
+  public:
+    PimMmuRuntime(EventQueue &eq, Dce &dce, dram::MemorySystem &mem,
+                  device::PimDevice &pim);
+
+    /**
+     * Offload a DRAM<->PIM transfer to the DCE.
+     *
+     * Functional semantics are applied immediately (host buffers /
+     * DPU MRAM contents move now); the timing plane spans the MMIO
+     * doorbell write, the DCE transfer, and the completion interrupt.
+     *
+     * Constraints (checked): sizePerPim is a multiple of 8;
+     * pimBaseHeapPtr is 8-byte aligned; host arrays are 64-byte
+     * aligned; the listed PIM cores cover whole banks (all 8 chips of
+     * every touched bank), which is how PrIM-style workloads use the
+     * device.
+     *
+     * @param op         the transfer descriptor (paper Fig. 10(b))
+     * @param onComplete fired when the interrupt is handled
+     */
+    void transfer(const PimMmuOp &op, std::function<void()> onComplete);
+
+    /**
+     * Build the timing-plane descriptor without executing it (exposed
+     * for tests and for the DRAM->DRAM DCE-memcpy path).
+     */
+    DceTransfer buildDescriptor(const PimMmuOp &op) const;
+
+    /** Apply only the functional (data) semantics of @p op. */
+    void functionalCopy(const PimMmuOp &op);
+
+    Dce &dce() { return dce_; }
+
+  private:
+    void validate(const PimMmuOp &op) const;
+
+    EventQueue &eq_;
+    Dce &dce_;
+    dram::MemorySystem &mem_;
+    device::PimDevice &pim_;
+};
+
+/**
+ * The requesting user process: marshals the op (brief CPU work), rings
+ * the doorbell, then sleeps until the driver wakes it on interrupt.
+ * This is the only CPU involvement of a PIM-MMU transfer (Fig. 4(b)).
+ */
+class PimMmuRequestThread : public cpu::SoftThread
+{
+  public:
+    PimMmuRequestThread(PimMmuRuntime &runtime, PimMmuOp op,
+                        std::function<void()> onComplete = nullptr);
+
+    bool finished() const override { return state_ == State::Done; }
+    unsigned step(cpu::Core &core) override;
+    const char *label() const override { return "pim_mmu_transfer"; }
+
+    /** The process sleeps in the driver, releasing its core. */
+    bool yieldsWhenBlocked() const override { return true; }
+
+  private:
+    enum class State
+    {
+        Marshal,
+        Sleeping,
+        Done
+    };
+
+    PimMmuRuntime &runtime_;
+    PimMmuOp op_;
+    std::function<void()> onComplete_;
+    State state_ = State::Marshal;
+};
+
+} // namespace core
+} // namespace pimmmu
+
+#endif // PIMMMU_CORE_PIM_MMU_RUNTIME_HH

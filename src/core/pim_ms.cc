@@ -1,0 +1,57 @@
+#include "core/pim_ms.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pimmmu {
+namespace core {
+
+std::vector<unsigned>
+PimMs::algorithmOrder(const device::PimGeometry &geometry,
+                      const std::vector<unsigned> &banks,
+                      const std::vector<unsigned> &slots)
+{
+    // Algorithm 1 lines 29-37: for bk { for ra { for bg } } -- issuing
+    // successive column commands to different bank groups first.
+    std::vector<unsigned> order = slots;
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        const auto ca = geometry.bankCoord(banks[a]);
+        const auto cb = geometry.bankCoord(banks[b]);
+        if (ca.bk != cb.bk)
+            return ca.bk < cb.bk;
+        if (ca.ra != cb.ra)
+            return ca.ra < cb.ra;
+        return ca.bg < cb.bg;
+    });
+    return order;
+}
+
+PimMs::PimMs(const device::PimGeometry &geometry,
+             const std::vector<unsigned> &banks)
+{
+    const unsigned channels = geometry.banks.channels;
+    std::vector<std::vector<unsigned>> perChannel(channels);
+    for (unsigned slot = 0; slot < banks.size(); ++slot) {
+        const auto coord = geometry.bankCoord(banks[slot]);
+        perChannel[coord.ch].push_back(slot);
+    }
+
+    channelSlots_.reserve(channels);
+    for (unsigned ch = 0; ch < channels; ++ch) {
+        channelSlots_.push_back(
+            algorithmOrder(geometry, banks, perChannel[ch]));
+    }
+    // Drop channels with no work so round-robin never spins on them.
+    channelSlots_.erase(
+        std::remove_if(channelSlots_.begin(), channelSlots_.end(),
+                       [](const auto &v) { return v.empty(); }),
+        channelSlots_.end());
+    if (channelSlots_.empty())
+        fatal("PIM-MS built with no target banks");
+    readCursor_.assign(channelSlots_.size(), 0);
+    writeCursor_.assign(channelSlots_.size(), 0);
+}
+
+} // namespace core
+} // namespace pimmmu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * PIM-aware Memory Scheduler (paper section IV-D, Algorithm 1).
+ *
+ * PIM-MS exploits the fact that per-PIM-core transfer targets are
+ * mutually exclusive, so their memory transactions can be freely
+ * reordered. It issues requests to all PIM channels in parallel and,
+ * within a channel, walks banks in (bank, rank, bank-group) order so
+ * successive column commands land in different bank groups (dodging
+ * tCCD_L), one minimum-granularity access per visit.
+ */
+
+#ifndef PIMMMU_CORE_PIM_MS_HH
+#define PIMMMU_CORE_PIM_MS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pim/pim_geometry.hh"
+
+namespace pimmmu {
+namespace core {
+
+/**
+ * The scheduling order produced by Algorithm 1 over a set of target
+ * banks, organized per channel with rotating cursors.
+ */
+class PimMs
+{
+  public:
+    /**
+     * @param geometry PIM subsystem shape
+     * @param banks    flat bank indices participating in the transfer
+     *                 (each appears once); slot i refers back to the
+     *                 caller's stream i
+     */
+    PimMs(const device::PimGeometry &geometry,
+          const std::vector<unsigned> &banks);
+
+    /**
+     * Sort the (streamSlot, bankIdx) pairs of one channel into the
+     * Algorithm 1 issue order: bank outer, then rank, then bank group.
+     */
+    static std::vector<unsigned>
+    algorithmOrder(const device::PimGeometry &geometry,
+                   const std::vector<unsigned> &banks,
+                   const std::vector<unsigned> &slots);
+
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channelSlots_.size());
+    }
+
+    /** Stream slots of channel @p ch in Algorithm-1 order. */
+    const std::vector<unsigned> &
+    channelSlots(unsigned ch) const
+    {
+        return channelSlots_[ch];
+    }
+
+    /**
+     * Round-robin channel pick for the next issue attempt; advances the
+     * internal channel cursor.
+     */
+    unsigned
+    nextChannel()
+    {
+        const unsigned ch = channelCursor_;
+        channelCursor_ = (channelCursor_ + 1) % numChannels();
+        return ch;
+    }
+
+    /** Per-channel rotating cursor over that channel's slots. */
+    unsigned &cursor(unsigned ch, bool write)
+    {
+        return write ? writeCursor_[ch] : readCursor_[ch];
+    }
+
+  private:
+    std::vector<std::vector<unsigned>> channelSlots_;
+    std::vector<unsigned> readCursor_;
+    std::vector<unsigned> writeCursor_;
+    unsigned channelCursor_ = 0;
+};
+
+} // namespace core
+} // namespace pimmmu
+
+#endif // PIMMMU_CORE_PIM_MS_HH

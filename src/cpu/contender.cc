@@ -1,0 +1,86 @@
+#include "cpu/contender.hh"
+
+#include "cache/cache.hh"
+#include "common/logging.hh"
+
+namespace pimmmu {
+namespace cpu {
+
+unsigned
+gapCyclesFor(MemIntensity intensity)
+{
+    switch (intensity) {
+      case MemIntensity::Low:
+        return 256;
+      case MemIntensity::Medium:
+        return 64;
+      case MemIntensity::High:
+        return 16;
+      case MemIntensity::VeryHigh:
+        return 4;
+      default:
+        panic("bad intensity");
+    }
+}
+
+const char *
+intensityName(MemIntensity intensity)
+{
+    switch (intensity) {
+      case MemIntensity::Low:
+        return "low";
+      case MemIntensity::Medium:
+        return "medium";
+      case MemIntensity::High:
+        return "high";
+      case MemIntensity::VeryHigh:
+        return "very-high";
+      default:
+        panic("bad intensity");
+    }
+}
+
+MemoryContender::MemoryContender(MemIntensity intensity,
+                                 Addr footprintBase,
+                                 std::uint64_t footprintBytes,
+                                 std::uint64_t seed)
+    : intensity_(intensity), base_(footprintBase),
+      footprint_(footprintBytes), rng_(seed)
+{
+}
+
+unsigned
+MemoryContender::step(Core &core)
+{
+    setWaitingOnQueue(false);
+    if (outstanding_ >= kMaxOutstanding)
+        return 0; // wait for a completion
+
+    const Addr addr = base_ + (rng_.below(footprint_ / 64)) * 64;
+    Cpu &cpu = core.cpu();
+    auto onDone = [this, &cpu] {
+        --outstanding_;
+        cpu.wakeThread(*this);
+    };
+
+    bool accepted = false;
+    if (cache::Cache *llc = cpu.llc()) {
+        accepted = llc->access(addr, false, onDone);
+    } else {
+        dram::MemRequest req;
+        req.paddr = addr;
+        req.write = false;
+        req.onComplete = [onDone](const dram::MemRequest &) { onDone(); };
+        accepted = cpu.mem().enqueue(std::move(req));
+    }
+    if (!accepted) {
+        setWaitingOnQueue(true);
+        return 0;
+    }
+    ++outstanding_;
+    ++accesses_;
+    return gapCyclesFor(intensity_);
+}
+
+} // namespace cpu
+} // namespace pimmmu

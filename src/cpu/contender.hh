@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Co-located contender workloads for the resource-contention study
+ * (paper Fig. 13): a compute-intensive spinlock-like thread whose
+ * working set stays in on-chip caches, and a memory-intensive thread
+ * whose access intensity is tunable from "low" to "very high".
+ */
+
+#ifndef PIMMMU_CPU_CONTENDER_HH
+#define PIMMMU_CPU_CONTENDER_HH
+
+#include "common/random.hh"
+#include "cpu/cpu.hh"
+#include "cpu/thread.hh"
+
+namespace pimmmu {
+namespace cpu {
+
+/**
+ * Compute-bound contender: burns core cycles forever, no off-chip
+ * memory traffic.
+ */
+class ComputeContender : public SoftThread
+{
+  public:
+    bool finished() const override { return false; }
+
+    unsigned
+    step(Core &) override
+    {
+        return kBurstCycles;
+    }
+
+    const char *label() const override { return "compute-contender"; }
+
+  private:
+    static constexpr unsigned kBurstCycles = 4096;
+};
+
+/** How aggressively a memory contender issues off-chip accesses. */
+enum class MemIntensity
+{
+    Low,
+    Medium,
+    High,
+    VeryHigh
+};
+
+/** Compute cycles between successive memory accesses per intensity. */
+unsigned gapCyclesFor(MemIntensity intensity);
+const char *intensityName(MemIntensity intensity);
+
+/**
+ * Memory-bound contender: a pointer-chase-like loop over a footprint
+ * far larger than the LLC, issuing cacheable reads through the LLC
+ * (mostly missing) with a bounded number in flight.
+ */
+class MemoryContender : public SoftThread
+{
+  public:
+    /**
+     * @param intensity      ratio of memory to non-memory instructions
+     * @param footprintBase  start of the contender's DRAM working set
+     * @param footprintBytes working-set size (use >> LLC capacity)
+     * @param seed           deterministic RNG seed
+     */
+    MemoryContender(MemIntensity intensity, Addr footprintBase,
+                    std::uint64_t footprintBytes, std::uint64_t seed);
+
+    bool finished() const override { return false; }
+    unsigned step(Core &core) override;
+    const char *label() const override { return "memory-contender"; }
+
+    std::uint64_t accesses() const { return accesses_; }
+
+  private:
+    MemIntensity intensity_;
+    Addr base_;
+    std::uint64_t footprint_;
+    Rng rng_;
+    unsigned outstanding_ = 0;
+    std::uint64_t accesses_ = 0;
+    static constexpr unsigned kMaxOutstanding = 16;
+};
+
+} // namespace cpu
+} // namespace pimmmu
+
+#endif // PIMMMU_CPU_CONTENDER_HH

@@ -1,0 +1,120 @@
+#include "cpu/copy_thread.hh"
+
+namespace pimmmu {
+namespace cpu {
+
+namespace {
+constexpr std::uint64_t kLine = 64;
+}
+
+CopyThread::CopyThread(const CopyWork &work) : work_(work)
+{
+    // The copy loop reads a short run of consecutive lines from each
+    // chip stream before moving to the next (the runtime buffers a
+    // block per chip, then transposes), which keeps DRAM row locality.
+    const std::uint64_t lines = work_.linesPerDpu;
+    burst_ = 8;
+    while (burst_ > 1 && lines % burst_ != 0)
+        --burst_;
+}
+
+Addr
+CopyThread::chipStreamAddr(std::uint64_t k) const
+{
+    // Decompose k into (super-block, chip, line-in-run): runs of
+    // burst_ lines per chip stream, cycling over the 8 chips.
+    const std::uint64_t super = k / (8 * burst_);
+    const unsigned chip = static_cast<unsigned>((k / burst_) % 8);
+    const std::uint64_t line = super * burst_ + (k % burst_);
+    return work_.dpuHostBase[chip] + line * kLine;
+}
+
+Addr
+CopyThread::readAddr(std::uint64_t k) const
+{
+    switch (work_.kind) {
+      case CopyWork::Kind::DramToPim:
+        return chipStreamAddr(k);
+      case CopyWork::Kind::PimToDram:
+        return work_.wireBase + k * kLine;
+      case CopyWork::Kind::DramToDram:
+        return work_.src + k * kLine;
+    }
+    panic("bad copy kind");
+}
+
+Addr
+CopyThread::writeAddr(std::uint64_t k) const
+{
+    switch (work_.kind) {
+      case CopyWork::Kind::DramToPim:
+        return work_.wireBase + k * kLine;
+      case CopyWork::Kind::PimToDram:
+        return chipStreamAddr(k);
+      case CopyWork::Kind::DramToDram:
+        return work_.dst + k * kLine;
+    }
+    panic("bad copy kind");
+}
+
+unsigned
+CopyThread::step(Core &core)
+{
+    const CpuConfig &cfg = core.cpu().config();
+    dram::MemorySystem &mem = core.cpu().mem();
+    const std::uint64_t total = work_.totalLines();
+    const bool transpose = work_.kind != CopyWork::Kind::DramToDram;
+    setWaitingOnQueue(false);
+
+    // Drain side first: transpose + store anything whose load returned.
+    if (pendingTranspose_ > 0 && writesInflight_ < cfg.maxOutstandingWrites) {
+        const Addr addr = writeAddr(writesIssued_);
+        if (mem.canAccept(addr, true)) {
+            dram::MemRequest req;
+            req.paddr = addr;
+            req.write = true;
+            req.sourceId = 0;
+            Cpu &cpu = core.cpu();
+            req.onComplete = [this, &cpu](const dram::MemRequest &) {
+                --writesInflight_;
+                ++writesDone_;
+                cpu.wakeThread(*this);
+            };
+            const bool ok = mem.enqueue(std::move(req));
+            PIMMMU_ASSERT(ok, "enqueue after canAccept failed");
+            --pendingTranspose_;
+            ++writesIssued_;
+            ++writesInflight_;
+            return (transpose ? cfg.transposeCyclesPerLine : 0) +
+                   cfg.writeIssueCycles;
+        }
+        setWaitingOnQueue(true);
+    }
+
+    // Fill side: issue the next wide load.
+    if (readsIssued_ < total && readsInflight_ < cfg.maxOutstandingReads) {
+        const Addr addr = readAddr(readsIssued_);
+        if (mem.canAccept(addr, false)) {
+            dram::MemRequest req;
+            req.paddr = addr;
+            req.write = false;
+            Cpu &cpu = core.cpu();
+            req.onComplete = [this, &cpu](const dram::MemRequest &) {
+                --readsInflight_;
+                ++pendingTranspose_;
+                cpu.wakeThread(*this);
+            };
+            const bool ok = mem.enqueue(std::move(req));
+            PIMMMU_ASSERT(ok, "enqueue after canAccept failed");
+            ++readsIssued_;
+            ++readsInflight_;
+            return cfg.readIssueCycles;
+        }
+        setWaitingOnQueue(true);
+    }
+
+    return 0; // blocked on completions or queue space
+}
+
+} // namespace cpu
+} // namespace pimmmu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The software data-transfer thread: models one thread of the UPMEM
+ * runtime's multithreaded AVX-512 copy loop (paper sections II-C and
+ * III-B), or one thread of a plain DRAM->DRAM memcpy.
+ *
+ * Pipeline per 64 B line: issue wide load -> (transpose) -> issue wide
+ * non-temporal store, with bounded in-flight loads (MSHR share) and
+ * stores (write-combining buffers). PIM-space accesses are
+ * non-cacheable; the copy loop bypasses the LLC entirely.
+ */
+
+#ifndef PIMMMU_CPU_COPY_THREAD_HH
+#define PIMMMU_CPU_COPY_THREAD_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/cpu.hh"
+#include "cpu/thread.hh"
+
+namespace pimmmu {
+namespace cpu {
+
+/** What a copy thread moves. */
+struct CopyWork
+{
+    enum class Kind
+    {
+        DramToPim, //!< gather 8 DPU streams, transpose, write wire lines
+        PimToDram, //!< read wire lines, un-transpose, scatter to streams
+        DramToDram //!< plain memcpy (no transpose)
+    };
+
+    Kind kind = Kind::DramToDram;
+
+    /** Per-chip host arrays (source for D2P, destination for P2D). */
+    std::array<Addr, 8> dpuHostBase{};
+
+    /** PIM-region physical address of the bank's wire lines. */
+    Addr wireBase = 0;
+
+    /** Lines to move per DPU stream (D2P/P2D). */
+    std::uint64_t linesPerDpu = 0;
+
+    /** Plain memcpy parameters (DramToDram). */
+    Addr src = 0;
+    Addr dst = 0;
+    std::uint64_t lines = 0;
+
+    std::uint64_t
+    totalLines() const
+    {
+        return kind == Kind::DramToDram ? lines : linesPerDpu * 8;
+    }
+};
+
+/**
+ * One copy thread. Thread-level parallelism across banks/chunks is
+ * obtained by instantiating many of these, exactly as the UPMEM runtime
+ * spawns one worker per transfer target.
+ */
+class CopyThread : public SoftThread
+{
+  public:
+    explicit CopyThread(const CopyWork &work);
+
+    bool
+    finished() const override
+    {
+        return writesDone_ == work_.totalLines();
+    }
+
+    unsigned step(Core &core) override;
+    bool usesAvx() const override { return true; }
+    const char *label() const override { return "copy"; }
+
+    std::uint64_t bytesMoved() const { return writesDone_ * 64; }
+
+  private:
+    Addr readAddr(std::uint64_t k) const;
+    Addr writeAddr(std::uint64_t k) const;
+    Addr chipStreamAddr(std::uint64_t k) const;
+
+    CopyWork work_;
+    /** Consecutive lines fetched per chip stream before switching. */
+    std::uint64_t burst_ = 8;
+    std::uint64_t readsIssued_ = 0;
+    std::uint64_t writesIssued_ = 0;
+    std::uint64_t writesDone_ = 0;
+    unsigned readsInflight_ = 0;
+    unsigned writesInflight_ = 0;
+    std::uint64_t pendingTranspose_ = 0;
+};
+
+} // namespace cpu
+} // namespace pimmmu
+
+#endif // PIMMMU_CPU_COPY_THREAD_HH

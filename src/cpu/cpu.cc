@@ -1,0 +1,294 @@
+#include "cpu/cpu.hh"
+
+#include <algorithm>
+
+#include "cache/cache.hh"
+#include "common/trace.hh"
+
+namespace pimmmu {
+namespace cpu {
+
+Core::Core(EventQueue &eq, Cpu &cpu, unsigned id, Tick periodPs)
+    : eq_(eq), cpu_(cpu), id_(id), periodPs_(periodPs)
+{
+}
+
+void
+Core::settleBlocked()
+{
+    if (blockedSince_ == kTickMax)
+        return;
+    const Tick delta = eq_.now() - blockedSince_;
+    blockedSince_ = kTickMax;
+    busyPs_ += delta;
+    if (thread_ && thread_->usesAvx())
+        avxBusyPs_ += delta;
+}
+
+void
+Core::assign(SoftThread *thread, bool chargeSwitch)
+{
+    if (thread == thread_)
+        return;
+    settleBlocked();
+    thread_ = thread;
+    if (!thread_)
+        return;
+    Tick delay = 0;
+    if (chargeSwitch) {
+        delay = cpu_.config().ctxSwitchPs;
+        busyPs_ += delay;
+        ++cpu_.stats().counter("context_switches");
+    }
+    arm(delay);
+}
+
+void
+Core::arm(Tick delay)
+{
+    if (pendingStep_)
+        return;
+    pendingStep_ = true;
+    eq_.scheduleAfter(delay, [this] { stepLoop(); });
+}
+
+void
+Core::stepLoop()
+{
+    pendingStep_ = false;
+    if (!thread_)
+        return;
+    settleBlocked();
+    if (thread_->finished()) {
+        cpu_.onThreadDone(*this);
+        return;
+    }
+    const unsigned cycles = thread_->step(*this);
+    if (cycles == 0) {
+        // Blocked. Sleeping threads release the core; spinning threads
+        // hold it (fully busy) until Cpu::wakeThread re-arms the loop.
+        if (thread_->yieldsWhenBlocked())
+            cpu_.onThreadYield(*this);
+        else
+            blockedSince_ = eq_.now();
+        return;
+    }
+    const Tick duration = Tick{cycles} * periodPs_;
+    busyPs_ += duration;
+    if (thread_->usesAvx())
+        avxBusyPs_ += duration;
+    arm(duration);
+}
+
+Cpu::Cpu(EventQueue &eq, const CpuConfig &config, dram::MemorySystem &mem,
+         cache::Cache *llc)
+    : eq_(eq), config_(config), mem_(mem), llc_(llc), stats_("cpu")
+{
+    cores_.reserve(config_.cores);
+    for (unsigned i = 0; i < config_.cores; ++i) {
+        cores_.push_back(
+            std::make_unique<Core>(eq, *this, i, config_.periodPs()));
+    }
+    // Retry threads that stalled on a full controller queue.
+    mem_.onDrain([this] {
+        for (auto &core : cores_) {
+            SoftThread *t = core->current();
+            if (t && !t->finished() && t->waitingOnQueue())
+                core->arm();
+        }
+    });
+}
+
+SoftThread *
+Cpu::popRunnable()
+{
+    while (!runQueue_.empty()) {
+        SoftThread *t = runQueue_.front();
+        runQueue_.pop_front();
+        if (!t->finished())
+            return t;
+    }
+    return nullptr;
+}
+
+void
+Cpu::addThread(std::shared_ptr<SoftThread> thread)
+{
+    if (shutdown_)
+        return;
+    SoftThread *raw = thread.get();
+    allThreads_.push_back(std::move(thread));
+    dispatch(raw);
+    scheduleRotation();
+}
+
+bool
+Cpu::isQueued(const SoftThread *thread) const
+{
+    for (const SoftThread *t : runQueue_) {
+        if (t == thread)
+            return true;
+    }
+    return false;
+}
+
+void
+Cpu::dispatch(SoftThread *thread)
+{
+    // Idle core first.
+    for (auto &core : cores_) {
+        if (!core->current()) {
+            core->assign(thread, true);
+            return;
+        }
+    }
+    // Wakeup preemption: a freshly runnable thread displaces a running
+    // one (round-robin victim) instead of waiting a whole quantum, as
+    // a fair OS scheduler would arrange. The victim stays runnable.
+    Core &victim = *cores_[victimCursor_];
+    victimCursor_ = (victimCursor_ + 1) % cores_.size();
+    SoftThread *old = victim.current();
+    if (old && !old->finished())
+        runQueue_.push_back(old);
+    victim.settleBlocked();
+    victim.thread_ = nullptr;
+    victim.assign(thread, true);
+}
+
+void
+Cpu::runJob(std::vector<std::shared_ptr<SoftThread>> threads,
+            std::function<void()> onDone)
+{
+    Job job;
+    job.onDone = std::move(onDone);
+    for (auto &t : threads)
+        job.threads.push_back(t.get());
+    jobs_.push_back(std::move(job));
+    for (auto &t : threads)
+        addThread(std::move(t));
+}
+
+void
+Cpu::wakeThread(SoftThread &thread)
+{
+    if (shutdown_)
+        return;
+    for (auto &core : cores_) {
+        if (core->current() == &thread) {
+            // Also reached when the wake *is* the completion that
+            // finished the thread: the step loop retires it.
+            core->arm();
+            return;
+        }
+    }
+    if (thread.finished()) {
+        checkJobs();
+        return;
+    }
+    // Rotated-out threads keep their place in the run queue; sleeping
+    // threads (not queued anywhere) are dispatched immediately.
+    if (!isQueued(&thread))
+        dispatch(&thread);
+}
+
+void
+Cpu::onThreadDone(Core &core)
+{
+    checkJobs();
+    core.thread_ = nullptr;
+    if (SoftThread *next = popRunnable())
+        core.assign(next, true);
+}
+
+void
+Cpu::onThreadYield(Core &core)
+{
+    core.thread_ = nullptr;
+    if (SoftThread *next = popRunnable())
+        core.assign(next, true);
+}
+
+void
+Cpu::rotate()
+{
+    rotationScheduled_ = false;
+    if (shutdown_)
+        return;
+
+    // Retire finished threads that are still parked on a core.
+    for (auto &core : cores_) {
+        if (core->current() && core->current()->finished())
+            onThreadDone(*core);
+    }
+
+    PIMMMU_TRACE_LOG(trace::Category::Sched, eq_.now(),
+                     "quantum rotation, runnable=" << runQueue_.size());
+    // Round-robin: running threads go to the back of the queue in core
+    // order, then each core takes the head of the queue.
+    if (!runQueue_.empty()) {
+        for (auto &core : cores_) {
+            SoftThread *t = core->current();
+            if (t && !t->finished()) {
+                runQueue_.push_back(t);
+                core->settleBlocked();
+                core->thread_ = nullptr;
+            }
+        }
+        for (auto &core : cores_) {
+            if (!core->current()) {
+                if (SoftThread *next = popRunnable())
+                    core->assign(next, true);
+            }
+        }
+    }
+    checkJobs();
+    scheduleRotation();
+}
+
+void
+Cpu::scheduleRotation()
+{
+    if (rotationScheduled_ || shutdown_)
+        return;
+    // Only needed while there is anything to schedule.
+    bool anyWork = !runQueue_.empty();
+    for (auto &core : cores_) {
+        if (core->current())
+            anyWork = true;
+    }
+    if (!anyWork)
+        return;
+    rotationScheduled_ = true;
+    eq_.scheduleAfter(config_.quantumPs, [this] { rotate(); });
+}
+
+void
+Cpu::checkJobs()
+{
+    for (auto &job : jobs_) {
+        if (job.done)
+            continue;
+        const bool allDone = std::all_of(
+            job.threads.begin(), job.threads.end(),
+            [](const SoftThread *t) { return t->finished(); });
+        if (allDone) {
+            job.done = true;
+            if (job.onDone)
+                job.onDone();
+        }
+    }
+}
+
+void
+Cpu::shutdown()
+{
+    shutdown_ = true;
+    runQueue_.clear();
+    for (auto &core : cores_) {
+        core->settleBlocked();
+        core->thread_ = nullptr;
+    }
+}
+
+} // namespace cpu
+} // namespace pimmmu

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The host CPU model: N cores driven by a round-robin OS scheduler with
+ * a fixed preemption quantum (paper section V: 8 cores, 1.5 ms quantum).
+ *
+ * Cores are event-driven: a running thread consumes bursts of cycles;
+ * when it stalls on memory, the core idles until the completion wakes
+ * it. Per-core busy time (and AVX busy time) is tracked for the power
+ * model and the Fig. 4 utilization plots.
+ */
+
+#ifndef PIMMMU_CPU_CPU_HH
+#define PIMMMU_CPU_CPU_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/thread.hh"
+#include "dram/memory_system.hh"
+
+namespace pimmmu {
+namespace cache {
+class Cache;
+}
+
+namespace cpu {
+
+/** CPU model tunables (defaults follow paper Table I / section V). */
+struct CpuConfig
+{
+    unsigned cores = 8;
+    std::uint64_t clockMhz = 3200;
+    Tick quantumPs = Tick{3} * kPsPerMs / 2; //!< 1.5 ms RR quantum
+    Tick ctxSwitchPs = 2 * kPsPerUs;
+
+    /**
+     * Per-thread limits of the AVX-512 gather/transpose/scatter copy
+     * loop. The loop demand-loads one line from each chip stream
+     * before transposing, so only a handful of loads overlap — which
+     * is why the real runtime saturates 8 cores for ~9 GB/s.
+     */
+    unsigned maxOutstandingReads = 10;
+    unsigned maxOutstandingWrites = 8; //!< write-combining buffers
+    unsigned readIssueCycles = 4;
+    unsigned writeIssueCycles = 2;
+    unsigned transposeCyclesPerLine = 10;
+
+    Tick periodPs() const { return periodPsFromMhz(clockMhz); }
+};
+
+class Cpu;
+
+/** One out-of-order core, modeled at thread-step granularity. */
+class Core
+{
+  public:
+    Core(EventQueue &eq, Cpu &cpu, unsigned id, Tick periodPs);
+
+    unsigned id() const { return id_; }
+    SoftThread *current() const { return thread_; }
+
+    /** Total busy picoseconds (including context-switch overhead). */
+    Tick busyPs() const { return busyPs_; }
+    Tick avxBusyPs() const { return avxBusyPs_; }
+
+    EventQueue &eq() { return eq_; }
+    Cpu &cpu() { return cpu_; }
+
+  private:
+    friend class Cpu;
+
+    /** Install @p thread (nullptr idles the core). */
+    void assign(SoftThread *thread, bool chargeSwitch);
+
+    /** Ensure the step loop is scheduled. */
+    void arm(Tick delay = 0);
+
+    void stepLoop();
+
+    /**
+     * Account time spent spinning on a stalled non-yielding thread
+     * (an AVX copy loop waiting on memory keeps its core 100% busy).
+     */
+    void settleBlocked();
+
+    EventQueue &eq_;
+    Cpu &cpu_;
+    unsigned id_;
+    Tick periodPs_;
+    SoftThread *thread_ = nullptr;
+    bool pendingStep_ = false;
+    Tick blockedSince_ = kTickMax;
+    Tick busyPs_ = 0;
+    Tick avxBusyPs_ = 0;
+};
+
+/**
+ * The CPU: cores + run queue + quantum-based round-robin scheduler.
+ */
+class Cpu
+{
+  public:
+    Cpu(EventQueue &eq, const CpuConfig &config,
+        dram::MemorySystem &mem, cache::Cache *llc = nullptr);
+
+    const CpuConfig &config() const { return config_; }
+    dram::MemorySystem &mem() { return mem_; }
+    cache::Cache *llc() { return llc_; }
+    EventQueue &eq() { return eq_; }
+
+    /** Add a runnable thread to the tail of the run queue. */
+    void addThread(std::shared_ptr<SoftThread> thread);
+
+    /**
+     * Add a set of threads and invoke @p onDone once every one of them
+     * has finished.
+     */
+    void runJob(std::vector<std::shared_ptr<SoftThread>> threads,
+                std::function<void()> onDone);
+
+    /**
+     * Called by completion handlers when @p thread can make progress
+     * again. Only has an effect if the thread currently holds a core.
+     */
+    void wakeThread(SoftThread &thread);
+
+    /** Stop scheduling (contender threads never finish on their own). */
+    void shutdown();
+
+    unsigned numCores() const { return config_.cores; }
+    Core &core(unsigned i) { return *cores_[i]; }
+
+    Tick
+    totalBusyPs() const
+    {
+        Tick total = 0;
+        for (const auto &core : cores_)
+            total += core->busyPs();
+        return total;
+    }
+
+    Tick
+    totalAvxBusyPs() const
+    {
+        Tick total = 0;
+        for (const auto &core : cores_)
+            total += core->avxBusyPs();
+        return total;
+    }
+
+    stats::Group &stats() { return stats_; }
+
+  private:
+    friend class Core;
+
+    /** A core's thread finished: pick the next runnable one. */
+    void onThreadDone(Core &core);
+
+    /** A sleeping thread released its core. */
+    void onThreadYield(Core &core);
+
+    /** Quantum expiry: rotate every core's thread. */
+    void rotate();
+
+    /**
+     * Put a freshly runnable thread on a core now: an idle core if one
+     * exists, otherwise preempt a victim (wakeup preemption; the victim
+     * goes to the back of the run queue).
+     */
+    void dispatch(SoftThread *thread);
+
+    bool isQueued(const SoftThread *thread) const;
+    void scheduleRotation();
+    void checkJobs();
+    SoftThread *popRunnable();
+
+    EventQueue &eq_;
+    CpuConfig config_;
+    dram::MemorySystem &mem_;
+    cache::Cache *llc_;
+
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::deque<SoftThread *> runQueue_;
+    std::vector<std::shared_ptr<SoftThread>> allThreads_;
+
+    struct Job
+    {
+        std::vector<SoftThread *> threads;
+        std::function<void()> onDone;
+        bool done = false;
+    };
+
+    std::vector<Job> jobs_;
+    bool rotationScheduled_ = false;
+    bool shutdown_ = false;
+    unsigned victimCursor_ = 0;
+    stats::Group stats_;
+};
+
+} // namespace cpu
+} // namespace pimmmu
+
+#endif // PIMMMU_CPU_CPU_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The software-thread abstraction executed by the modeled CPU cores.
+ */
+
+#ifndef PIMMMU_CPU_THREAD_HH
+#define PIMMMU_CPU_THREAD_HH
+
+#include <cstdint>
+
+namespace pimmmu {
+namespace cpu {
+
+class Core;
+
+/**
+ * A runnable software thread. The core repeatedly calls step(); the
+ * thread performs a small amount of work (issue a memory request,
+ * transpose a line, spin) and reports how many core cycles it consumed.
+ * Returning zero means the thread is stalled on an asynchronous event
+ * (an outstanding memory access); the core then idles until the thread
+ * is woken through Cpu::wakeThread.
+ */
+class SoftThread
+{
+  public:
+    virtual ~SoftThread() = default;
+
+    /** True once the thread's work is complete (never for contenders). */
+    virtual bool finished() const = 0;
+
+    /**
+     * Make progress on @p core.
+     * @return busy core cycles consumed, or 0 if blocked.
+     */
+    virtual unsigned step(Core &core) = 0;
+
+    /** Threads built around AVX-512 copy loops draw extra power. */
+    virtual bool usesAvx() const { return false; }
+
+    /**
+     * True for threads that sleep (release their core) when blocked,
+     * e.g. a process waiting on a device interrupt. Spinning AVX copy
+     * loops keep their core and return false.
+     */
+    virtual bool yieldsWhenBlocked() const { return false; }
+
+    /** Short label for statistics. */
+    virtual const char *label() const = 0;
+
+    /**
+     * True when the thread returned 0 from step() because a memory
+     * controller queue was full (as opposed to its own in-flight
+     * limits); such threads are retried when a queue drains.
+     */
+    bool waitingOnQueue() const { return waitingOnQueue_; }
+
+  protected:
+    void setWaitingOnQueue(bool value) { waitingOnQueue_ = value; }
+
+  private:
+    bool waitingOnQueue_ = false;
+};
+
+} // namespace cpu
+} // namespace pimmmu
+
+#endif // PIMMMU_CPU_THREAD_HH

@@ -1,0 +1,58 @@
+#include "dram/backing_store.hh"
+
+#include <algorithm>
+
+namespace pimmmu {
+namespace dram {
+
+std::uint8_t *
+BackingStore::pageFor(Addr addr, bool allocate) const
+{
+    const Addr pageId = addr / kPageBytes;
+    auto it = pages_.find(pageId);
+    if (it != pages_.end())
+        return it->second.get();
+    if (!allocate)
+        return nullptr;
+    auto page = std::make_unique<std::uint8_t[]>(kPageBytes);
+    std::memset(page.get(), 0, kPageBytes);
+    auto *raw = page.get();
+    pages_.emplace(pageId, std::move(page));
+    return raw;
+}
+
+void
+BackingStore::write(Addr addr, const void *src, std::size_t bytes)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (bytes > 0) {
+        const std::size_t offset = addr % kPageBytes;
+        const std::size_t chunk = std::min(bytes, kPageBytes - offset);
+        std::memcpy(pageFor(addr, true) + offset, in, chunk);
+        addr += chunk;
+        in += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+BackingStore::read(Addr addr, void *dst, std::size_t bytes) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (bytes > 0) {
+        const std::size_t offset = addr % kPageBytes;
+        const std::size_t chunk = std::min(bytes, kPageBytes - offset);
+        const std::uint8_t *page = pageFor(addr, false);
+        if (page) {
+            std::memcpy(out, page + offset, chunk);
+        } else {
+            std::memset(out, 0, chunk);
+        }
+        addr += chunk;
+        out += chunk;
+        bytes -= chunk;
+    }
+}
+
+} // namespace dram
+} // namespace pimmmu

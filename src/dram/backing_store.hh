@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sparse functional byte store for the DRAM physical address space.
+ * Pages are allocated on first touch; untouched bytes read as zero.
+ */
+
+#ifndef PIMMMU_DRAM_BACKING_STORE_HH
+#define PIMMMU_DRAM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace dram {
+
+/** Page-granular sparse memory image. */
+class BackingStore
+{
+  public:
+    static constexpr std::size_t kPageBytes = 4096;
+
+    void write(Addr addr, const void *src, std::size_t bytes);
+    void read(Addr addr, void *dst, std::size_t bytes) const;
+
+    std::uint8_t
+    readByte(Addr addr) const
+    {
+        std::uint8_t v = 0;
+        read(addr, &v, 1);
+        return v;
+    }
+
+    void
+    writeByte(Addr addr, std::uint8_t v)
+    {
+        write(addr, &v, 1);
+    }
+
+    std::size_t allocatedPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::unique_ptr<std::uint8_t[]>;
+
+    std::uint8_t *pageFor(Addr addr, bool allocate) const;
+
+    mutable std::unordered_map<Addr, Page> pages_;
+};
+
+} // namespace dram
+} // namespace pimmmu
+
+#endif // PIMMMU_DRAM_BACKING_STORE_HH

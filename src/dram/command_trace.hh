@@ -1,0 +1,45 @@
+/**
+ * @file
+ * DRAM command-stream tracing: the controller can emit every ACT / PRE
+ * / RD / WR / REF it issues to a listener. Used by the protocol checker
+ * (tests/) to validate JEDEC timing compliance independently of the
+ * scheduler, and available for debugging.
+ */
+
+#ifndef PIMMMU_DRAM_COMMAND_TRACE_HH
+#define PIMMMU_DRAM_COMMAND_TRACE_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "mapping/geometry.hh"
+
+namespace pimmmu {
+namespace dram {
+
+/** DDR4 commands the controller issues. */
+enum class DramCommand
+{
+    Act,
+    Pre,
+    Rd,
+    Wr,
+    Ref
+};
+
+const char *commandName(DramCommand cmd);
+
+/** One issued command (REF carries only the rank in coord.ra). */
+struct CommandRecord
+{
+    Cycle cycle = 0;
+    DramCommand cmd = DramCommand::Act;
+    mapping::DramCoord coord;
+};
+
+using CommandListener = std::function<void(const CommandRecord &)>;
+
+} // namespace dram
+} // namespace pimmmu
+
+#endif // PIMMMU_DRAM_COMMAND_TRACE_HH

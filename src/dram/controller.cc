@@ -1,0 +1,473 @@
+#include "dram/controller.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/trace.hh"
+
+namespace pimmmu {
+namespace dram {
+
+MemoryController::MemoryController(EventQueue &eq,
+                                   const TimingParams &timing,
+                                   const mapping::DramGeometry &geometry,
+                                   unsigned channelId,
+                                   ControllerConfig config)
+    : eq_(eq), timing_(timing), geom_(geometry), channelId_(channelId),
+      config_(config),
+      ticker_(eq, timing.tCKps, [this] { return tick(); }),
+      banks_(geometry.ranksPerChannel * geometry.banksPerRank()),
+      bankGroups_(geometry.ranksPerChannel * geometry.bankGroups),
+      ranks_(geometry.ranksPerChannel),
+      openRowHasHit_(banks_.size(), false),
+      stats_("mc.ch" + std::to_string(channelId))
+{
+    if (config_.writeLowWatermark >= config_.writeHighWatermark)
+        fatal("write watermarks misordered");
+}
+
+const char *
+commandName(DramCommand cmd)
+{
+    switch (cmd) {
+      case DramCommand::Act:
+        return "ACT";
+      case DramCommand::Pre:
+        return "PRE";
+      case DramCommand::Rd:
+        return "RD";
+      case DramCommand::Wr:
+        return "WR";
+      case DramCommand::Ref:
+        return "REF";
+      default:
+        panic("bad command");
+    }
+}
+
+unsigned
+MemoryController::bankIndexOf(const mapping::DramCoord &c) const
+{
+    return c.bankIndex(geom_);
+}
+
+MemoryController::BankState &
+MemoryController::bank(const mapping::DramCoord &c)
+{
+    return banks_[bankIndexOf(c)];
+}
+
+MemoryController::BankGroupState &
+MemoryController::bankGroup(const mapping::DramCoord &c)
+{
+    return bankGroups_[c.ra * geom_.bankGroups + c.bg];
+}
+
+MemoryController::RankState &
+MemoryController::rank(const mapping::DramCoord &c)
+{
+    return ranks_[c.ra];
+}
+
+bool
+MemoryController::canAccept(bool write) const
+{
+    const auto &queue = write ? writeQueue_ : readQueue_;
+    const unsigned depth =
+        write ? config_.writeQueueDepth : config_.readQueueDepth;
+    return queue.size() < depth;
+}
+
+bool
+MemoryController::enqueue(MemRequest req)
+{
+    PIMMMU_ASSERT(req.coord.ch == channelId_,
+                  "request routed to wrong channel");
+    if (!canAccept(req.write))
+        return false;
+
+    req.enqueuedAt = eq_.now();
+    if (wasIdle_) {
+        // Reset refresh phase after an idle period so a returning
+        // traffic burst does not hit a pile of deferred refreshes
+        // (idle-time refresh is not modeled; see DESIGN.md).
+        wasIdle_ = false;
+        const Cycle now = nowCycle();
+        for (std::size_t r = 0; r < ranks_.size(); ++r) {
+            ranks_[r].refreshDue = std::max<Cycle>(
+                ranks_[r].refreshDue,
+                now + timing_.tREFI * (r + 1) / ranks_.size());
+        }
+    }
+    (req.write ? writeQueue_ : readQueue_).push_back(std::move(req));
+    ticker_.arm();
+    return true;
+}
+
+std::size_t
+MemoryController::pending() const
+{
+    return readQueue_.size() + writeQueue_.size() + inflight_;
+}
+
+void
+MemoryController::notifyDrain()
+{
+    for (auto &listener : drainListeners_)
+        listener();
+}
+
+void
+MemoryController::updateRowHitMap()
+{
+    // Only requests in the currently serviced queue can actually use
+    // an open row; honoring hits from the other queue would let an
+    // unservable request veto the precharge forever (deadlock).
+    std::fill(openRowHasHit_.begin(), openRowHasHit_.end(), false);
+    const auto &queue = writeMode_ ? writeQueue_ : readQueue_;
+    for (const auto &req : queue) {
+        const unsigned idx = bankIndexOf(req.coord);
+        const BankState &bs = banks_[idx];
+        if (bs.open && bs.row == req.coord.ro)
+            openRowHasHit_[idx] = true;
+    }
+}
+
+bool
+MemoryController::serviceRefresh(Cycle now)
+{
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        RankState &rs = ranks_[r];
+        if (!config_.refreshEnabled)
+            continue;
+        if (!rs.refreshPending && now >= rs.refreshDue)
+            rs.refreshPending = true;
+        if (!rs.refreshPending)
+            continue;
+
+        // All banks of the rank must be precharged before REF.
+        bool allClosed = true;
+        for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
+            BankState &bs = banks_[r * geom_.banksPerRank() + b];
+            if (bs.open) {
+                allClosed = false;
+                if (now >= bs.preReady) {
+                    bs.open = false;
+                    bs.actReady =
+                        std::max<Cycle>(bs.actReady, now + timing_.tRP);
+                    ++stats_.counter("refresh_forced_pre");
+                    if (commandListener_) {
+                        mapping::DramCoord c;
+                        c.ch = channelId_;
+                        c.ra = static_cast<unsigned>(r);
+                        c.bg = b / geom_.banksPerGroup;
+                        c.bk = b % geom_.banksPerGroup;
+                        c.ro = bs.row;
+                        commandListener_(CommandRecord{
+                            now, DramCommand::Pre, c});
+                    }
+                    return true; // one command this cycle
+                }
+            }
+        }
+        if (!allClosed)
+            continue;
+
+        // Issue REF.
+        bool ready = true;
+        for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
+            if (now < banks_[r * geom_.banksPerRank() + b].actReady)
+                ready = false;
+        }
+        if (!ready)
+            continue;
+        for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
+            banks_[r * geom_.banksPerRank() + b].actReady =
+                now + timing_.tRFC;
+        }
+        rs.refreshDone = now + timing_.tRFC;
+        rs.refreshDue += timing_.tREFI;
+        rs.refreshPending = false;
+        ++stats_.counter("refreshes");
+        if (commandListener_) {
+            mapping::DramCoord c;
+            c.ch = channelId_;
+            c.ra = static_cast<unsigned>(r);
+            commandListener_(CommandRecord{now, DramCommand::Ref, c});
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::tryIssueColumn(const MemRequest &req, Cycle now)
+{
+    const mapping::DramCoord &c = req.coord;
+    BankState &bs = bank(c);
+    if (!bs.open || bs.row != c.ro)
+        return false;
+
+    BankGroupState &bgs = bankGroup(c);
+    RankState &rs = rank(c);
+    // A rank draining for refresh accepts no new column commands, or
+    // row hits would keep pushing the precharge (and the REF) out.
+    if (rs.refreshPending)
+        return false;
+    if (now < bs.colReady || now < bgs.colReady || now < rs.colReady)
+        return false;
+    if (req.write) {
+        if (now < rs.wrReady)
+            return false;
+    } else {
+        if (now < rs.rdReady || now < bgs.rdReady)
+            return false;
+    }
+
+    // Shared data bus: the burst must not overlap the previous one, and
+    // switching driving rank costs tRTRS.
+    const Cycle lat = req.write ? timing_.CWL : timing_.CL;
+    Cycle busNeeded = dataBusFree_;
+    if (lastDataRank_ >= 0 &&
+        static_cast<unsigned>(lastDataRank_) != c.ra) {
+        busNeeded += timing_.tRTRS;
+    }
+    if (now + lat < busNeeded)
+        return false;
+    return true;
+}
+
+bool
+MemoryController::tryIssueActOrPre(const MemRequest &req, Cycle now)
+{
+    const mapping::DramCoord &c = req.coord;
+    BankState &bs = bank(c);
+    BankGroupState &bgs = bankGroup(c);
+    RankState &rs = rank(c);
+
+    if (bs.open) {
+        // Row conflict: precharge, unless the open row still has
+        // useful pending requests (preserve row hits).
+        PIMMMU_ASSERT(bs.row != c.ro, "column path should have handled");
+        if (openRowHasHit_[bankIndexOf(c)])
+            return false;
+        if (now < bs.preReady)
+            return false;
+        const unsigned closedRow = bs.row;
+        bs.open = false;
+        bs.actReady = std::max<Cycle>(bs.actReady, now + timing_.tRP);
+        ++stats_.counter("row_conflicts");
+        ++stats_.counter("precharges");
+        if (commandListener_) {
+            mapping::DramCoord pc = c;
+            pc.ro = closedRow;
+            commandListener_(CommandRecord{now, DramCommand::Pre, pc});
+        }
+        return true;
+    }
+
+    // Activate. A rank draining for refresh accepts no new ACTs, or
+    // the forced precharges would chase reopened rows forever.
+    if (rs.refreshPending)
+        return false;
+    if (now < bs.actReady || now < bgs.actReady || now < rs.actReady)
+        return false;
+    // tFAW: at most four ACTs per rank in any tFAW window. A zero ring
+    // entry means fewer than four ACTs have ever been issued.
+    const Cycle oldestAct = rs.fawRing[rs.fawIdx];
+    if (oldestAct != 0 && now < oldestAct + timing_.tFAW)
+        return false;
+
+    bs.open = true;
+    bs.row = c.ro;
+    bs.colReady = now + timing_.tRCD;
+    bs.preReady = std::max<Cycle>(bs.preReady, now + timing_.tRAS);
+    bs.actReady = now + timing_.tRC;
+    bgs.actReady = now + timing_.tRRD_L;
+    rs.actReady = now + timing_.tRRD_S;
+    rs.fawRing[rs.fawIdx] = now;
+    rs.fawIdx = (rs.fawIdx + 1) % rs.fawRing.size();
+    ++stats_.counter("activates");
+    PIMMMU_TRACE_LOG(trace::Category::Dram, eq_.now(),
+                     "ch" << channelId_ << " ACT " << c.str());
+    if (commandListener_)
+        commandListener_(CommandRecord{now, DramCommand::Act, c});
+    return true;
+}
+
+void
+MemoryController::finishColumn(MemRequest req, Cycle issue, bool write)
+{
+    const Cycle lat = write ? timing_.CWL : timing_.CL;
+    const Cycle dataStart = issue + lat;
+    const Cycle dataEnd = dataStart + timing_.tBL;
+
+    dataBusFree_ = dataEnd;
+    lastDataRank_ = static_cast<int>(req.coord.ra);
+    busBusyPs_ += timing_.cyclesToPs(timing_.tBL);
+
+    if (write) {
+        bytesWritten_ += geom_.lineBytes;
+        ++stats_.counter("writes");
+    } else {
+        bytesRead_ += geom_.lineBytes;
+        ++stats_.counter("reads");
+    }
+    stats_.average("queue_latency_ns")
+        .sample(static_cast<double>(eq_.now() - req.enqueuedAt) / 1e3);
+
+    ++inflight_;
+    eq_.schedule(timing_.cyclesToPs(dataEnd), [this, req = std::move(
+                                                         req)]() mutable {
+        --inflight_;
+        if (req.onComplete)
+            req.onComplete(req);
+        notifyDrain();
+    });
+}
+
+void
+MemoryController::issueRead(std::deque<MemRequest>::iterator it, Cycle now)
+{
+    const mapping::DramCoord &c = it->coord;
+    BankGroupState &bgs = bankGroup(c);
+    RankState &rs = rank(c);
+    BankState &bs = bank(c);
+
+    bs.preReady = std::max<Cycle>(bs.preReady, now + timing_.tRTP);
+    bgs.colReady = now + timing_.tCCD_L;
+    rs.colReady = now + timing_.tCCD_S;
+    // Read-to-write turnaround: the write burst must not collide with
+    // this read burst on the bus plus one bubble cycle.
+    rs.wrReady = std::max<Cycle>(
+        rs.wrReady, now + timing_.CL + timing_.tBL + 2 - timing_.CWL);
+
+    ++stats_.counter("row_hits");
+    if (commandListener_)
+        commandListener_(CommandRecord{now, DramCommand::Rd, c});
+    finishColumn(std::move(*it), now, false);
+    readQueue_.erase(it);
+}
+
+void
+MemoryController::issueWrite(std::deque<MemRequest>::iterator it,
+                             Cycle now)
+{
+    const mapping::DramCoord &c = it->coord;
+    BankGroupState &bgs = bankGroup(c);
+    RankState &rs = rank(c);
+    BankState &bs = bank(c);
+
+    const Cycle dataEnd = now + timing_.CWL + timing_.tBL;
+    bs.preReady = std::max<Cycle>(bs.preReady, dataEnd + timing_.tWR);
+    bgs.colReady = now + timing_.tCCD_L;
+    rs.colReady = now + timing_.tCCD_S;
+    bgs.rdReady = std::max<Cycle>(bgs.rdReady, dataEnd + timing_.tWTR_L);
+    rs.rdReady = std::max<Cycle>(rs.rdReady, dataEnd + timing_.tWTR_S);
+
+    ++stats_.counter("row_hits");
+    if (commandListener_)
+        commandListener_(CommandRecord{now, DramCommand::Wr, c});
+    finishColumn(std::move(*it), now, true);
+    writeQueue_.erase(it);
+}
+
+void
+MemoryController::dumpState(std::ostream &os) const
+{
+    const Cycle now = nowCycle();
+    os << "MC ch" << channelId_ << " @cycle " << now
+       << " mode=" << (writeMode_ ? "W" : "R")
+       << " rq=" << readQueue_.size() << " wq=" << writeQueue_.size()
+       << " busFree=" << dataBusFree_ << "\n";
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        const BankState &bs = banks_[b];
+        os << "  bank" << b << (bs.open ? " open row=" : " closed row=")
+           << bs.row << " act>=" << bs.actReady << " pre>="
+           << bs.preReady << " col>=" << bs.colReady
+           << " hitPending=" << (openRowHasHit_[b] ? 1 : 0) << "\n";
+    }
+    auto dumpQueue = [&](const char *name,
+                         const std::deque<MemRequest> &queue) {
+        os << "  " << name << ":";
+        for (const auto &req : queue) {
+            os << " b" << bankIndexOf(req.coord) << ".r" << req.coord.ro
+               << ".c" << req.coord.co;
+        }
+        os << "\n";
+    };
+    dumpQueue("reads", readQueue_);
+    dumpQueue("writes", writeQueue_);
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        os << "  rank" << r << " refreshPending="
+           << ranks_[r].refreshPending << " due=" << ranks_[r].refreshDue
+           << " colS>=" << ranks_[r].colReady << " rd>="
+           << ranks_[r].rdReady << " wr>=" << ranks_[r].wrReady << "\n";
+    }
+}
+
+bool
+MemoryController::tick()
+{
+    const Cycle now = nowCycle();
+
+    if (readQueue_.empty() && writeQueue_.empty()) {
+        // Nothing to do: sleep. Refresh bookkeeping restarts on the
+        // next enqueue.
+        wasIdle_ = true;
+        return false;
+    }
+
+    if (serviceRefresh(now))
+        return true;
+
+    // Write drain mode control.
+    if (writeMode_) {
+        if (writeQueue_.size() <= config_.writeLowWatermark &&
+            !readQueue_.empty()) {
+            writeMode_ = false;
+        } else if (writeQueue_.empty()) {
+            writeMode_ = false;
+        }
+    } else {
+        if (writeQueue_.size() >= config_.writeHighWatermark ||
+            readQueue_.empty()) {
+            writeMode_ = !writeQueue_.empty();
+        }
+    }
+
+    auto &queue = writeMode_ ? writeQueue_ : readQueue_;
+    const bool isWrite = writeMode_;
+
+    const std::size_t horizon =
+        config_.policy == SchedPolicy::Fcfs ? 1 : queue.size();
+
+    // Pass 1 (FR): oldest row-hit whose column command is legal now.
+    for (std::size_t i = 0; i < horizon; ++i) {
+        auto it = queue.begin() + static_cast<std::ptrdiff_t>(i);
+        if (tryIssueColumn(*it, now)) {
+            if (isWrite)
+                issueWrite(it, now);
+            else
+                issueRead(it, now);
+            return true;
+        }
+    }
+
+    // Pass 2 (FCFS): oldest request that needs ACT or PRE.
+    updateRowHitMap();
+    for (std::size_t i = 0; i < horizon; ++i) {
+        auto it = queue.begin() + static_cast<std::ptrdiff_t>(i);
+        BankState &bs = bank(it->coord);
+        if (bs.open && bs.row == it->coord.ro)
+            continue; // waiting on column timing only
+        if (tryIssueActOrPre(*it, now))
+            return true;
+    }
+
+    ++stats_.counter("idle_cycles");
+    return true;
+}
+
+} // namespace dram
+} // namespace pimmmu

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * A per-channel DDR4 memory controller with command-level timing and
+ * FR-FCFS scheduling (the baseline configuration in paper Table I).
+ *
+ * The controller models the DDR4 command protocol: ACT/PRE/RD/WR/REF
+ * with tRCD/tRP/tRAS/tRC, bank-group aware tCCD/tRRD, tFAW, read/write
+ * turnaround (tWTR/tRTW), shared data-bus occupancy with rank-to-rank
+ * switch penalties, and periodic all-bank refresh. It accepts line-sized
+ * (64 B) requests and invokes each request's completion callback when
+ * its data burst finishes on the bus.
+ */
+
+#ifndef PIMMMU_DRAM_CONTROLLER_HH
+#define PIMMMU_DRAM_CONTROLLER_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "dram/command_trace.hh"
+#include "dram/request.hh"
+#include "dram/timing.hh"
+#include "mapping/geometry.hh"
+
+namespace pimmmu {
+namespace dram {
+
+/** Request scheduling policy within the read/write queues. */
+enum class SchedPolicy
+{
+    FrFcfs, //!< first-ready, first-come-first-served (row hits first)
+    Fcfs    //!< strict in-order (ablation)
+};
+
+/** Tunables for one controller instance. */
+struct ControllerConfig
+{
+    unsigned readQueueDepth = 64;
+    unsigned writeQueueDepth = 64;
+    unsigned writeHighWatermark = 48;
+    unsigned writeLowWatermark = 16;
+    SchedPolicy policy = SchedPolicy::FrFcfs;
+    bool refreshEnabled = true;
+};
+
+/**
+ * One memory channel: command scheduling across its ranks/banks plus the
+ * shared data bus.
+ */
+class MemoryController
+{
+  public:
+    MemoryController(EventQueue &eq, const TimingParams &timing,
+                     const mapping::DramGeometry &geometry,
+                     unsigned channelId,
+                     ControllerConfig config = ControllerConfig{});
+
+    /** True if the matching queue has a free slot. */
+    bool canAccept(bool write) const;
+
+    /**
+     * Hand a request to the controller. The coordinate must already be
+     * resolved and must target this channel.
+     * @return false (request untouched) when the queue is full.
+     */
+    bool enqueue(MemRequest req);
+
+    /** Requests currently queued or in flight on this channel. */
+    std::size_t pending() const;
+
+    /**
+     * Register a callback fired whenever queue space frees up, so
+     * backpressured sources can retry.
+     */
+    void
+    onDrain(std::function<void()> listener)
+    {
+        drainListeners_.push_back(std::move(listener));
+    }
+
+    unsigned channelId() const { return channelId_; }
+    const TimingParams &timing() const { return timing_; }
+    const mapping::DramGeometry &geometry() const { return geom_; }
+
+    stats::Group &stats() { return stats_; }
+    const stats::Group &stats() const { return stats_; }
+
+    /** Dump queues and bank state (debugging aid). */
+    void dumpState(std::ostream &os) const;
+
+    /** Observe every issued DRAM command (protocol checker hook). */
+    void
+    onCommand(CommandListener listener)
+    {
+        commandListener_ = std::move(listener);
+    }
+
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+    std::uint64_t bytesMoved() const { return bytesRead_ + bytesWritten_; }
+
+    /** Data-bus busy time, for bandwidth-utilization reports. */
+    Tick busBusyPs() const { return busBusyPs_; }
+
+  private:
+    struct BankState
+    {
+        bool open = false;
+        unsigned row = 0;
+        Cycle actReady = 0; //!< earliest ACT issue cycle
+        Cycle preReady = 0; //!< earliest PRE issue cycle
+        Cycle colReady = 0; //!< earliest RD/WR issue cycle (tRCD)
+    };
+
+    struct BankGroupState
+    {
+        Cycle actReady = 0; //!< tRRD_L
+        Cycle colReady = 0; //!< tCCD_L
+        Cycle rdReady = 0;  //!< tWTR_L
+    };
+
+    struct RankState
+    {
+        Cycle actReady = 0; //!< tRRD_S
+        Cycle colReady = 0; //!< tCCD_S
+        Cycle rdReady = 0;  //!< tWTR_S
+        Cycle wrReady = 0;  //!< read-to-write turnaround
+        std::array<Cycle, 4> fawRing{};
+        unsigned fawIdx = 0;
+        Cycle refreshDue = 0;
+        Cycle refreshDone = 0;
+        bool refreshPending = false;
+    };
+
+    bool tick();
+    bool tryIssueColumn(const MemRequest &req, Cycle now);
+    bool tryIssueActOrPre(const MemRequest &req, Cycle now);
+    bool serviceRefresh(Cycle now);
+    /** Refresh openRowHasHit_ from the current queue contents. */
+    void updateRowHitMap();
+    void issueRead(std::deque<MemRequest>::iterator it, Cycle now);
+    void issueWrite(std::deque<MemRequest>::iterator it, Cycle now);
+    void finishColumn(MemRequest req, Cycle issue, bool write);
+    void notifyDrain();
+
+    Cycle nowCycle() const { return eq_.now() / timing_.tCKps; }
+
+    BankState &bank(const mapping::DramCoord &c);
+    BankGroupState &bankGroup(const mapping::DramCoord &c);
+    RankState &rank(const mapping::DramCoord &c);
+    unsigned bankIndexOf(const mapping::DramCoord &c) const;
+
+    EventQueue &eq_;
+    TimingParams timing_;
+    mapping::DramGeometry geom_;
+    unsigned channelId_;
+    ControllerConfig config_;
+    Ticker ticker_;
+
+    std::deque<MemRequest> readQueue_;
+    std::deque<MemRequest> writeQueue_;
+    bool writeMode_ = false;
+    bool wasIdle_ = true;
+
+    std::vector<BankState> banks_;
+    std::vector<BankGroupState> bankGroups_;
+    std::vector<RankState> ranks_;
+    /** Per-bank: a queued request targets the currently open row. */
+    std::vector<bool> openRowHasHit_;
+
+    Cycle dataBusFree_ = 0;
+    int lastDataRank_ = -1;
+
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+    Tick busBusyPs_ = 0;
+    std::size_t inflight_ = 0;
+
+    std::vector<std::function<void()>> drainListeners_;
+    CommandListener commandListener_;
+    stats::Group stats_;
+};
+
+} // namespace dram
+} // namespace pimmmu
+
+#endif // PIMMMU_DRAM_CONTROLLER_HH

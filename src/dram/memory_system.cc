@@ -1,0 +1,108 @@
+#include "dram/memory_system.hh"
+
+namespace pimmmu {
+namespace dram {
+
+MemorySystem::MemorySystem(EventQueue &eq, const mapping::SystemMap &map,
+                           const TimingParams &dramTiming,
+                           const TimingParams &pimTiming,
+                           ControllerConfig config)
+    : eq_(eq), map_(map)
+{
+    const auto &dramGeom = map.dramMapper().geometry();
+    const auto &pimGeom = map.pimMapper().geometry();
+    dramControllers_.reserve(dramGeom.channels);
+    for (unsigned ch = 0; ch < dramGeom.channels; ++ch) {
+        dramControllers_.push_back(std::make_unique<MemoryController>(
+            eq, dramTiming, dramGeom, ch, config));
+    }
+    pimControllers_.reserve(pimGeom.channels);
+    for (unsigned ch = 0; ch < pimGeom.channels; ++ch) {
+        pimControllers_.push_back(std::make_unique<MemoryController>(
+            eq, pimTiming, pimGeom, ch, config));
+    }
+}
+
+bool
+MemorySystem::enqueue(MemRequest req)
+{
+    req.paddr = toPhysical(req.paddr);
+    const mapping::MappedTarget target = map_.map(req.paddr);
+    req.space = target.space;
+    req.coord = target.coord;
+    auto &controllers = target.space == mapping::MemSpace::Dram
+                            ? dramControllers_
+                            : pimControllers_;
+    return controllers[target.coord.ch]->enqueue(std::move(req));
+}
+
+bool
+MemorySystem::canAccept(Addr addr, bool write) const
+{
+    const mapping::MappedTarget target = map_.map(toPhysical(addr));
+    const auto &controllers = target.space == mapping::MemSpace::Dram
+                                  ? dramControllers_
+                                  : pimControllers_;
+    return controllers[target.coord.ch]->canAccept(write);
+}
+
+void
+MemorySystem::onDrain(std::function<void()> listener)
+{
+    for (auto &mc : dramControllers_)
+        mc->onDrain(listener);
+    for (auto &mc : pimControllers_)
+        mc->onDrain(listener);
+}
+
+std::size_t
+MemorySystem::pending() const
+{
+    std::size_t total = 0;
+    for (const auto &mc : dramControllers_)
+        total += mc->pending();
+    for (const auto &mc : pimControllers_)
+        total += mc->pending();
+    return total;
+}
+
+std::uint64_t
+MemorySystem::dramBytesMoved() const
+{
+    std::uint64_t total = 0;
+    for (const auto &mc : dramControllers_)
+        total += mc->bytesMoved();
+    return total;
+}
+
+std::uint64_t
+MemorySystem::pimBytesMoved() const
+{
+    std::uint64_t total = 0;
+    for (const auto &mc : pimControllers_)
+        total += mc->bytesMoved();
+    return total;
+}
+
+double
+MemorySystem::dramPeakBandwidth() const
+{
+    if (dramControllers_.empty())
+        return 0.0;
+    return dramControllers_.size() *
+           dramControllers_[0]->timing().peakBandwidth(
+               dramControllers_[0]->geometry().lineBytes);
+}
+
+double
+MemorySystem::pimPeakBandwidth() const
+{
+    if (pimControllers_.empty())
+        return 0.0;
+    return pimControllers_.size() *
+           pimControllers_[0]->timing().peakBandwidth(
+               pimControllers_[0]->geometry().lineBytes);
+}
+
+} // namespace dram
+} // namespace pimmmu

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The full memory subsystem: DRAM channels plus PIM channels behind one
+ * physical address space, routed by a SystemMap (HetMap or the baseline
+ * homogeneous locality map).
+ */
+
+#ifndef PIMMMU_DRAM_MEMORY_SYSTEM_HH
+#define PIMMMU_DRAM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dram/backing_store.hh"
+#include "dram/controller.hh"
+#include "dram/request.hh"
+#include "mapping/frame_scatter.hh"
+#include "mapping/hetmap.hh"
+
+namespace pimmmu {
+namespace dram {
+
+/**
+ * Owns the per-channel controllers for both the DRAM and the PIM
+ * subsystems and routes physical-address requests through the system
+ * map. Also hosts the functional backing store for the DRAM region
+ * (PIM-region contents live in the PIM device model).
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(EventQueue &eq, const mapping::SystemMap &map,
+                 const TimingParams &dramTiming,
+                 const TimingParams &pimTiming,
+                 ControllerConfig config = ControllerConfig{});
+
+    /**
+     * Map and enqueue a line request. The request's space/coord fields
+     * are filled in here.
+     * @return false if the destination controller queue is full.
+     */
+    bool enqueue(MemRequest req);
+
+    /** Would a request to @p addr be accepted right now? */
+    bool canAccept(Addr addr, bool write) const;
+
+    /**
+     * Enable huge-page frame scattering of the DRAM region: software
+     * addresses stay virtually contiguous but land in permuted 2 MiB
+     * physical frames, as a real OS would allocate them. PIM-region
+     * addresses are device memory and stay identity-mapped.
+     */
+    void
+    enableScatter(std::uint64_t frameBytes =
+                      mapping::FrameScatter::kDefaultFrameBytes)
+    {
+        scatter_.emplace(map_.dramCapacity(), frameBytes);
+    }
+
+    /** Software address -> physical address (identity if no scatter). */
+    Addr
+    toPhysical(Addr addr) const
+    {
+        if (scatter_ && addr < map_.dramCapacity())
+            return scatter_->translate(addr);
+        return addr;
+    }
+
+    /** Register a drain listener on every controller. */
+    void onDrain(std::function<void()> listener);
+
+    std::size_t pending() const;
+
+    unsigned
+    dramChannels() const
+    {
+        return static_cast<unsigned>(dramControllers_.size());
+    }
+
+    unsigned
+    pimChannels() const
+    {
+        return static_cast<unsigned>(pimControllers_.size());
+    }
+
+    MemoryController &dramController(unsigned ch)
+    {
+        return *dramControllers_[ch];
+    }
+
+    MemoryController &pimController(unsigned ch)
+    {
+        return *pimControllers_[ch];
+    }
+
+    const MemoryController &dramController(unsigned ch) const
+    {
+        return *dramControllers_[ch];
+    }
+
+    const MemoryController &pimController(unsigned ch) const
+    {
+        return *pimControllers_[ch];
+    }
+
+    const mapping::SystemMap &systemMap() const { return map_; }
+
+    BackingStore &store() { return store_; }
+    const BackingStore &store() const { return store_; }
+
+    /** Total bytes moved on DRAM-side / PIM-side buses. */
+    std::uint64_t dramBytesMoved() const;
+    std::uint64_t pimBytesMoved() const;
+
+    /** Aggregate peak bandwidth of one subsystem in bytes/sec. */
+    double dramPeakBandwidth() const;
+    double pimPeakBandwidth() const;
+
+  private:
+    EventQueue &eq_;
+    const mapping::SystemMap &map_;
+    std::vector<std::unique_ptr<MemoryController>> dramControllers_;
+    std::vector<std::unique_ptr<MemoryController>> pimControllers_;
+    BackingStore store_;
+    std::optional<mapping::FrameScatter> scatter_;
+};
+
+} // namespace dram
+} // namespace pimmmu
+
+#endif // PIMMMU_DRAM_MEMORY_SYSTEM_HH

@@ -1,0 +1,187 @@
+#include "dram/protocol_checker.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pimmmu {
+namespace dram {
+
+ProtocolChecker::ProtocolChecker(const TimingParams &timing,
+                                 const mapping::DramGeometry &geometry)
+    : timing_(timing), geom_(geometry),
+      banks_(geometry.ranksPerChannel * geometry.banksPerRank()),
+      ranks_(geometry.ranksPerChannel),
+      bgLastAct_(geometry.ranksPerChannel * geometry.bankGroups,
+                 kNever),
+      bgLastCol_(geometry.ranksPerChannel * geometry.bankGroups,
+                 kNever),
+      bgLastWrEnd_(geometry.ranksPerChannel * geometry.bankGroups,
+                   kNever)
+{
+}
+
+ProtocolChecker::BankState &
+ProtocolChecker::bank(const mapping::DramCoord &c)
+{
+    return banks_[c.bankIndex(geom_)];
+}
+
+ProtocolChecker::RankState &
+ProtocolChecker::rank(const mapping::DramCoord &c)
+{
+    return ranks_[c.ra];
+}
+
+void
+ProtocolChecker::fail(const CommandRecord &record, const std::string &why)
+{
+    std::ostringstream os;
+    os << "cycle " << record.cycle << " " << commandName(record.cmd)
+       << " " << record.coord.str() << ": " << why;
+    if (violations_.size() < 100)
+        violations_.push_back(os.str());
+}
+
+void
+ProtocolChecker::requireGap(const CommandRecord &record, Cycle since,
+                            unsigned gap, const char *rule)
+{
+    if (since == kNever)
+        return;
+    if (record.cycle < since + gap) {
+        std::ostringstream os;
+        os << rule << " violated: " << (record.cycle - since)
+           << " < " << gap;
+        fail(record, os.str());
+    }
+}
+
+void
+ProtocolChecker::observe(const CommandRecord &record)
+{
+    ++commands_;
+    const mapping::DramCoord &c = record.coord;
+    const Cycle now = record.cycle;
+
+    if (lastCommandCycle_ != kNever && now < lastCommandCycle_)
+        fail(record, "commands out of time order");
+    if (lastCommandCycle_ != kNever && now == lastCommandCycle_)
+        fail(record, "two commands in one cycle on the command bus");
+    lastCommandCycle_ = now;
+
+    RankState &rs = rank(c);
+
+    // Nothing may target a rank mid-refresh.
+    if (rs.lastRefresh != kNever && now < rs.lastRefresh + timing_.tRFC)
+        fail(record, "command during tRFC");
+
+    switch (record.cmd) {
+      case DramCommand::Act: {
+        BankState &bs = bank(c);
+        if (bs.open)
+            fail(record, "ACT to an open bank");
+        requireGap(record, bs.lastAct, timing_.tRC, "tRC");
+        requireGap(record, bs.lastPre, timing_.tRP, "tRP");
+        const std::size_t bg = c.ra * geom_.bankGroups + c.bg;
+        requireGap(record, bgLastAct_[bg], timing_.tRRD_L, "tRRD_L");
+        // tRRD_S against the most recent ACT anywhere in the rank.
+        if (!rs.actHistory.empty()) {
+            requireGap(record, rs.actHistory.back(), timing_.tRRD_S,
+                       "tRRD_S");
+        }
+        // tFAW: no more than 4 ACTs per rank in any tFAW window.
+        rs.actHistory.push_back(now);
+        if (rs.actHistory.size() > 4) {
+            const Cycle fourAgo =
+                rs.actHistory[rs.actHistory.size() - 5];
+            if (now < fourAgo + timing_.tFAW)
+                fail(record, "tFAW violated");
+            if (rs.actHistory.size() > 64) {
+                rs.actHistory.erase(rs.actHistory.begin(),
+                                    rs.actHistory.end() - 8);
+            }
+        }
+        bgLastAct_[bg] = now;
+        bs.open = true;
+        bs.row = c.ro;
+        bs.lastAct = now;
+        break;
+      }
+      case DramCommand::Pre: {
+        BankState &bs = bank(c);
+        if (!bs.open)
+            fail(record, "PRE to a closed bank");
+        requireGap(record, bs.lastAct, timing_.tRAS, "tRAS");
+        requireGap(record, bs.lastRd, timing_.tRTP, "tRTP");
+        if (bs.lastWr != kNever) {
+            requireGap(record, bs.lastWr,
+                       timing_.CWL + timing_.tBL + timing_.tWR,
+                       "write recovery (tWR)");
+        }
+        bs.open = false;
+        bs.lastPre = now;
+        break;
+      }
+      case DramCommand::Rd:
+      case DramCommand::Wr: {
+        BankState &bs = bank(c);
+        const bool isWrite = record.cmd == DramCommand::Wr;
+        if (!bs.open)
+            fail(record, "column command to a closed bank");
+        else if (bs.row != c.ro)
+            fail(record, "column command to the wrong open row");
+        requireGap(record, bs.lastAct, timing_.tRCD, "tRCD");
+
+        const std::size_t bg = c.ra * geom_.bankGroups + c.bg;
+        requireGap(record, bgLastCol_[bg], timing_.tCCD_L, "tCCD_L");
+        const Cycle lastColAny =
+            std::max(rs.lastColRd == kNever ? 0 : rs.lastColRd,
+                     rs.lastColWr == kNever ? 0 : rs.lastColWr);
+        if (rs.lastColRd != kNever || rs.lastColWr != kNever) {
+            requireGap(record, lastColAny, timing_.tCCD_S, "tCCD_S");
+        }
+        if (!isWrite && bgLastWrEnd_[bg] != kNever) {
+            // Write-to-read turnaround (same bank group).
+            requireGap(record, bgLastWrEnd_[bg], timing_.tWTR_L,
+                       "tWTR_L");
+        }
+
+        // Data bus occupancy.
+        const Cycle lat = isWrite ? timing_.CWL : timing_.CL;
+        const Cycle dataStart = now + lat;
+        if (dataStart < dataBusFreeAt_)
+            fail(record, "data bus collision");
+        dataBusFreeAt_ = dataStart + timing_.tBL;
+
+        if (isWrite) {
+            bs.lastWr = now;
+            rs.lastColWr = now;
+            bgLastWrEnd_[bg] = now + timing_.CWL + timing_.tBL;
+        } else {
+            bs.lastRd = now;
+            rs.lastColRd = now;
+        }
+        bgLastCol_[bg] = now;
+        break;
+      }
+      case DramCommand::Ref: {
+        for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
+            const BankState &bs =
+                banks_[c.ra * geom_.banksPerRank() + b];
+            if (bs.open)
+                fail(record, "REF with a bank open");
+            if (bs.lastPre != kNever &&
+                now < bs.lastPre + timing_.tRP) {
+                fail(record, "REF before tRP after PRE");
+            }
+        }
+        rs.lastRefresh = now;
+        break;
+      }
+      default:
+        fail(record, "unknown command");
+    }
+}
+
+} // namespace dram
+} // namespace pimmmu

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * An independent DDR4 protocol checker. Attach it to a controller's
+ * command stream (MemoryController::onCommand) and it validates every
+ * command against bank state and JEDEC timing constraints, without
+ * sharing any logic with the scheduler it checks. Used by the property
+ * tests; also handy when modifying the controller.
+ */
+
+#ifndef PIMMMU_DRAM_PROTOCOL_CHECKER_HH
+#define PIMMMU_DRAM_PROTOCOL_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/command_trace.hh"
+#include "dram/timing.hh"
+#include "mapping/geometry.hh"
+
+namespace pimmmu {
+namespace dram {
+
+/** Validates one channel's command stream. */
+class ProtocolChecker
+{
+  public:
+    ProtocolChecker(const TimingParams &timing,
+                    const mapping::DramGeometry &geometry);
+
+    /** Feed the next issued command (must be non-decreasing in time). */
+    void observe(const CommandRecord &record);
+
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+
+    std::uint64_t commandsChecked() const { return commands_; }
+
+    bool clean() const { return violations_.empty(); }
+
+  private:
+    struct BankState
+    {
+        bool open = false;
+        unsigned row = 0;
+        Cycle lastAct = kNever;
+        Cycle lastPre = kNever;
+        Cycle lastRd = kNever;
+        Cycle lastWr = kNever;
+    };
+
+    struct RankState
+    {
+        std::vector<Cycle> actHistory; //!< all ACT times (pruned)
+        Cycle lastRefresh = kNever;
+        Cycle lastColRd = kNever;
+        Cycle lastColWr = kNever;
+    };
+
+    static constexpr Cycle kNever = ~Cycle{0};
+
+    void fail(const CommandRecord &record, const std::string &why);
+    void requireGap(const CommandRecord &record, Cycle since,
+                    unsigned gap, const char *rule);
+
+    BankState &bank(const mapping::DramCoord &c);
+    RankState &rank(const mapping::DramCoord &c);
+
+    TimingParams timing_;
+    mapping::DramGeometry geom_;
+    std::vector<BankState> banks_;          //!< per (rank, bank)
+    std::vector<RankState> ranks_;
+    std::vector<Cycle> bgLastAct_;          //!< per (rank, bank group)
+    std::vector<Cycle> bgLastCol_;
+    std::vector<Cycle> bgLastWrEnd_;        //!< for tWTR_L
+    Cycle lastCommandCycle_ = kNever;
+    Cycle dataBusFreeAt_ = 0;
+    std::uint64_t commands_ = 0;
+    std::vector<std::string> violations_;
+};
+
+} // namespace dram
+} // namespace pimmmu
+
+#endif // PIMMMU_DRAM_PROTOCOL_CHECKER_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Memory request type exchanged between request sources (CPU cores,
+ * the DCE, contenders) and the per-channel memory controllers.
+ */
+
+#ifndef PIMMMU_DRAM_REQUEST_HH
+#define PIMMMU_DRAM_REQUEST_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "mapping/hetmap.hh"
+
+namespace pimmmu {
+namespace dram {
+
+/**
+ * One cache-line (64 B) read or write. Requests are always line-sized:
+ * AVX-512 transfers and DCE bursts are sequences of line requests.
+ */
+struct MemRequest
+{
+    using Callback = std::function<void(const MemRequest &)>;
+
+    Addr paddr = 0;
+    bool write = false;
+
+    /** Resolved by the system map before the controller sees it. */
+    mapping::MemSpace space = mapping::MemSpace::Dram;
+    mapping::DramCoord coord;
+
+    /** Requestor id, used for per-source statistics. */
+    unsigned sourceId = 0;
+
+    /** Opaque tag the requestor can use to match completions. */
+    std::uint64_t tag = 0;
+
+    /** Invoked when the data burst finishes on the bus. */
+    Callback onComplete;
+
+    Tick enqueuedAt = 0;
+};
+
+} // namespace dram
+} // namespace pimmmu
+
+#endif // PIMMMU_DRAM_REQUEST_HH

@@ -1,0 +1,74 @@
+#include "dram/timing.hh"
+
+#include "common/logging.hh"
+
+namespace pimmmu {
+namespace dram {
+
+namespace {
+
+const TimingParams kDdr4_2400{
+    /*tCKps=*/833,
+    /*CL=*/16,
+    /*CWL=*/12,
+    /*tRCD=*/16,
+    /*tRP=*/16,
+    /*tRAS=*/39,
+    /*tRC=*/55,
+    /*tCCD_S=*/4,
+    /*tCCD_L=*/6,
+    /*tRRD_S=*/4,
+    /*tRRD_L=*/6,
+    /*tFAW=*/26,
+    /*tWR=*/18,
+    /*tWTR_S=*/3,
+    /*tWTR_L=*/9,
+    /*tRTP=*/9,
+    /*tBL=*/4,
+    /*tRTRS=*/2,
+    /*tRFC=*/420,
+    /*tREFI=*/9363,
+    "DDR4-2400",
+};
+
+const TimingParams kDdr4_3200{
+    /*tCKps=*/625,
+    /*CL=*/22,
+    /*CWL=*/16,
+    /*tRCD=*/22,
+    /*tRP=*/22,
+    /*tRAS=*/52,
+    /*tRC=*/74,
+    /*tCCD_S=*/4,
+    /*tCCD_L=*/8,
+    /*tRRD_S=*/4,
+    /*tRRD_L=*/8,
+    /*tFAW=*/34,
+    /*tWR=*/24,
+    /*tWTR_S=*/4,
+    /*tWTR_L=*/12,
+    /*tRTP=*/12,
+    /*tBL=*/4,
+    /*tRTRS=*/2,
+    /*tRFC=*/560,
+    /*tREFI=*/12480,
+    "DDR4-3200",
+};
+
+} // namespace
+
+const TimingParams &
+timingPreset(SpeedGrade grade)
+{
+    switch (grade) {
+      case SpeedGrade::DDR4_2400:
+        return kDdr4_2400;
+      case SpeedGrade::DDR4_3200:
+        return kDdr4_3200;
+      default:
+        panic("unknown speed grade");
+    }
+}
+
+} // namespace dram
+} // namespace pimmmu

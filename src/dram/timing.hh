@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DDR4 timing parameters. All values are in device clock cycles (tCK)
+ * except tCKps. Presets follow JEDEC DDR4-2400R and DDR4-3200AA grades
+ * as used by Ramulator.
+ */
+
+#ifndef PIMMMU_DRAM_TIMING_HH
+#define PIMMMU_DRAM_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace dram {
+
+/** DDR4 speed grades used in the paper (UPMEM DIMMs are DDR4-2400). */
+enum class SpeedGrade
+{
+    DDR4_2400,
+    DDR4_3200
+};
+
+/** The timing constraint set for one channel's devices. */
+struct TimingParams
+{
+    Tick tCKps;       //!< clock period, picoseconds
+    unsigned CL;      //!< read (CAS) latency
+    unsigned CWL;     //!< write (CAS) latency
+    unsigned tRCD;    //!< ACT to column command
+    unsigned tRP;     //!< PRE to ACT
+    unsigned tRAS;    //!< ACT to PRE
+    unsigned tRC;     //!< ACT to ACT, same bank
+    unsigned tCCD_S;  //!< column to column, different bank group
+    unsigned tCCD_L;  //!< column to column, same bank group
+    unsigned tRRD_S;  //!< ACT to ACT, different bank group
+    unsigned tRRD_L;  //!< ACT to ACT, same bank group
+    unsigned tFAW;    //!< four-activate window, per rank
+    unsigned tWR;     //!< write recovery (end of write data to PRE)
+    unsigned tWTR_S;  //!< write-to-read turnaround, different bank group
+    unsigned tWTR_L;  //!< write-to-read turnaround, same bank group
+    unsigned tRTP;    //!< read to PRE
+    unsigned tBL;     //!< burst length in clocks (BL8 => 4)
+    unsigned tRTRS;   //!< rank-to-rank data bus switch
+    unsigned tRFC;    //!< refresh cycle time
+    unsigned tREFI;   //!< refresh interval
+
+    std::string name;
+
+    /** Peak data-bus bandwidth of one channel in bytes/second. */
+    double
+    peakBandwidth(unsigned lineBytes = 64) const
+    {
+        const double burstSec =
+            static_cast<double>(tBL) * static_cast<double>(tCKps) / 1e12;
+        return static_cast<double>(lineBytes) / burstSec;
+    }
+
+    Tick cyclesToPs(std::uint64_t cycles) const { return cycles * tCKps; }
+};
+
+/** Look up a preset by speed grade. */
+const TimingParams &timingPreset(SpeedGrade grade);
+
+} // namespace dram
+} // namespace pimmmu
+
+#endif // PIMMMU_DRAM_TIMING_HH

@@ -1,0 +1,53 @@
+#include "mapping/bios_config.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+MapperPtr
+makeBiosMapper(const DramGeometry &geometry, const BiosConfig &config)
+{
+    // LSB-first assembly: N-way levels first (channel, bank group, bank,
+    // rank), then column, then row, then the 1-way levels stacked toward
+    // the MSB in hierarchy order (bank, bank group, rank, channel) so
+    // that all-1-way reproduces the ChRaBgBkRoCo locality layout.
+    std::vector<Field> lsbFirst;
+    auto nway = [&](Interleave i) { return i == Interleave::NWay; };
+
+    if (nway(config.channel))
+        lsbFirst.push_back(Field::Channel);
+    if (nway(config.bankGroup))
+        lsbFirst.push_back(Field::BankGroup);
+    if (nway(config.bank))
+        lsbFirst.push_back(Field::Bank);
+    lsbFirst.push_back(Field::Column);
+    if (nway(config.rank))
+        lsbFirst.push_back(Field::Rank);
+    lsbFirst.push_back(Field::Row);
+    if (!nway(config.bank))
+        lsbFirst.push_back(Field::Bank);
+    if (!nway(config.bankGroup))
+        lsbFirst.push_back(Field::BankGroup);
+    if (!nway(config.rank))
+        lsbFirst.push_back(Field::Rank);
+    if (!nway(config.channel))
+        lsbFirst.push_back(Field::Channel);
+
+    auto mapper = std::make_unique<LayoutMapper>(
+        geometry, lsbFirst,
+        "bios:" + layoutSpecString(lsbFirst) +
+            (config.xorHashing ? "+xor" : ""));
+
+    if (config.xorHashing) {
+        if (!nway(config.channel))
+            fatal("XOR hashing requires N-way channel interleaving");
+        const unsigned roShift = mapper->fieldShift(Field::Row);
+        for (unsigned b = 0; b < geometry.chBits(); ++b) {
+            mapper->addXorHash(Field::Channel, b,
+                               std::uint64_t{1} << (roShift + b));
+        }
+    }
+    return mapper;
+}
+
+} // namespace mapping
+} // namespace pimmmu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Model of the BIOS memory-interleaving knobs from paper Fig. 1.
+ *
+ * Server BIOSes expose per-level "N-way vs 1-way" interleaving switches
+ * (IMC level, channel level, rank level, ...). 1-way pushes that level's
+ * address bits toward the MSB (contiguous slabs per unit); N-way pulls
+ * them toward the LSB (fine-grained striping). PIM-specific BIOS updates
+ * force 1-way everywhere, which is exactly the locality-centric mapping.
+ */
+
+#ifndef PIMMMU_MAPPING_BIOS_CONFIG_HH
+#define PIMMMU_MAPPING_BIOS_CONFIG_HH
+
+#include "mapping/layout_mapper.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+/** One interleaving switch: fine-grained (N-way) or slab (1-way). */
+enum class Interleave
+{
+    OneWay,
+    NWay
+};
+
+/**
+ * The subset of BIOS knobs the paper discusses. Levels configured NWay
+ * get their bits placed right above the line offset (LSB side), in the
+ * order channel, bank-group, bank, rank; OneWay levels stack at the MSB
+ * in hierarchy order.
+ */
+struct BiosConfig
+{
+    Interleave channel = Interleave::NWay;
+    Interleave rank = Interleave::NWay;
+    Interleave bankGroup = Interleave::NWay;
+    Interleave bank = Interleave::NWay;
+    /** XOR hashing requires N-way channel interleaving. */
+    bool xorHashing = true;
+
+    /** The PIM-specific BIOS update: 1-way everywhere, no hashing. */
+    static BiosConfig
+    pimSeparated()
+    {
+        return BiosConfig{Interleave::OneWay, Interleave::OneWay,
+                          Interleave::OneWay, Interleave::OneWay, false};
+    }
+
+    /** Stock server defaults: everything N-way plus XOR hashing. */
+    static BiosConfig
+    conventional()
+    {
+        return BiosConfig{};
+    }
+};
+
+/**
+ * Build the address mapping function a given BIOS configuration induces
+ * (paper Fig. 1(b)-(d)).
+ */
+MapperPtr makeBiosMapper(const DramGeometry &geometry,
+                         const BiosConfig &config);
+
+} // namespace mapping
+} // namespace pimmmu
+
+#endif // PIMMMU_MAPPING_BIOS_CONFIG_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Physical-frame scattering of host buffers.
+ *
+ * Software-visible buffers are virtually contiguous but physically
+ * allocated in scattered frames (transparent huge pages: 2 MiB). The
+ * scatter is what lets the real baseline's locality-mapped reads touch
+ * more than one bank/channel; without it a multi-megabyte buffer would
+ * sit inside a single bank's slab. Modeled as a deterministic bijective
+ * permutation of frame indices over the DRAM region.
+ */
+
+#ifndef PIMMMU_MAPPING_FRAME_SCATTER_HH
+#define PIMMMU_MAPPING_FRAME_SCATTER_HH
+
+#include <cstdint>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+/**
+ * Bijective frame permutation over a power-of-two frame count.
+ * Rounds of (odd-multiply, xor-shift) modulo 2^k are each bijections,
+ * so the composition is too.
+ */
+class FrameScatter
+{
+  public:
+    static constexpr std::uint64_t kDefaultFrameBytes = 2 * kMiB;
+
+    /**
+     * @param regionBytes size of the scatterable region (the DRAM
+     *                    physical range); must be a multiple of the
+     *                    frame size with a power-of-two frame count
+     * @param frameBytes  physical allocation granularity
+     * @param seed        permutation seed (deterministic)
+     */
+    FrameScatter(std::uint64_t regionBytes,
+                 std::uint64_t frameBytes = kDefaultFrameBytes,
+                 std::uint64_t seed = 0x5ca7735eed)
+        : frameBytes_(frameBytes), seed_(seed)
+    {
+        if (regionBytes < frameBytes_) {
+            frames_ = 1; // region smaller than one frame: identity
+        } else {
+            if (regionBytes % frameBytes_ != 0)
+                fatal("region must be a multiple of the frame size");
+            frames_ = regionBytes / frameBytes_;
+            if (!isPowerOfTwo(frames_))
+                fatal("frame count must be a power of two");
+        }
+        bits_ = log2Exact(frames_);
+    }
+
+    /** Translate a virtual address to its scattered physical address. */
+    Addr
+    translate(Addr vaddr) const
+    {
+        if (frames_ <= 1)
+            return vaddr;
+        const std::uint64_t frame = vaddr / frameBytes_;
+        const std::uint64_t offset = vaddr % frameBytes_;
+        return permute(frame) * frameBytes_ + offset;
+    }
+
+    std::uint64_t frameBytes() const { return frameBytes_; }
+    std::uint64_t frames() const { return frames_; }
+
+    /** The frame-index permutation (exposed for property tests). */
+    std::uint64_t
+    permute(std::uint64_t frame) const
+    {
+        const std::uint64_t mask = frames_ - 1;
+        std::uint64_t x = frame & mask;
+        std::uint64_t key = seed_;
+        for (int round = 0; round < 3; ++round) {
+            const std::uint64_t odd = splitMixOdd(key);
+            x = (x * odd + (key & mask)) & mask;
+            if (bits_ > 1)
+                x ^= x >> (bits_ / 2 + 1);
+            x &= mask;
+        }
+        return x;
+    }
+
+  private:
+    static std::uint64_t
+    splitMixOdd(std::uint64_t &state)
+    {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return (z ^ (z >> 31)) | 1;
+    }
+
+    std::uint64_t frameBytes_;
+    std::uint64_t seed_;
+    std::uint64_t frames_ = 1;
+    unsigned bits_ = 0;
+};
+
+} // namespace mapping
+} // namespace pimmmu
+
+#endif // PIMMMU_MAPPING_FRAME_SCATTER_HH

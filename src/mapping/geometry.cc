@@ -1,0 +1,18 @@
+#include "mapping/geometry.hh"
+
+#include <sstream>
+
+namespace pimmmu {
+namespace mapping {
+
+std::string
+DramCoord::str() const
+{
+    std::ostringstream os;
+    os << "ch" << ch << ".ra" << ra << ".bg" << bg << ".bk" << bk << ".ro"
+       << ro << ".co" << co;
+    return os.str();
+}
+
+} // namespace mapping
+} // namespace pimmmu

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * DRAM subsystem geometry and device coordinates.
+ */
+
+#ifndef PIMMMU_MAPPING_GEOMETRY_HH
+#define PIMMMU_MAPPING_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+/**
+ * The shape of one memory subsystem (a set of channels of identical
+ * DIMMs). All dimensions must be powers of two so addresses decompose
+ * into bit fields.
+ */
+struct DramGeometry
+{
+    unsigned channels = 4;
+    unsigned ranksPerChannel = 2;
+    unsigned bankGroups = 4;
+    unsigned banksPerGroup = 4;
+    unsigned rows = 32768;
+    /** Row width in cache lines (columns / (lineBytes / device width)). */
+    unsigned columns = 128;
+    unsigned lineBytes = 64;
+
+    unsigned banksPerRank() const { return bankGroups * banksPerGroup; }
+
+    std::uint64_t
+    rowBytes() const
+    {
+        return std::uint64_t{columns} * lineBytes;
+    }
+
+    std::uint64_t
+    bankBytes() const
+    {
+        return std::uint64_t{rows} * rowBytes();
+    }
+
+    std::uint64_t
+    rankBytes() const
+    {
+        return std::uint64_t{banksPerRank()} * bankBytes();
+    }
+
+    std::uint64_t
+    channelBytes() const
+    {
+        return std::uint64_t{ranksPerChannel} * rankBytes();
+    }
+
+    std::uint64_t
+    capacityBytes() const
+    {
+        return std::uint64_t{channels} * channelBytes();
+    }
+
+    std::uint64_t
+    totalLines() const
+    {
+        return capacityBytes() / lineBytes;
+    }
+
+    unsigned chBits() const { return log2Exact(channels); }
+    unsigned raBits() const { return log2Exact(ranksPerChannel); }
+    unsigned bgBits() const { return log2Exact(bankGroups); }
+    unsigned bkBits() const { return log2Exact(banksPerGroup); }
+    unsigned roBits() const { return log2Exact(rows); }
+    unsigned coBits() const { return log2Exact(columns); }
+    unsigned offsetBits() const { return log2Exact(lineBytes); }
+
+    /** Validate that every dimension is a power of two. */
+    bool
+    valid() const
+    {
+        return isPowerOfTwo(channels) && isPowerOfTwo(ranksPerChannel) &&
+               isPowerOfTwo(bankGroups) && isPowerOfTwo(banksPerGroup) &&
+               isPowerOfTwo(rows) && isPowerOfTwo(columns) &&
+               isPowerOfTwo(lineBytes);
+    }
+};
+
+/**
+ * A fully decoded device coordinate: which channel / rank / bank group /
+ * bank / row / column (in cache-line units) an address maps to.
+ */
+struct DramCoord
+{
+    unsigned ch = 0;
+    unsigned ra = 0;
+    unsigned bg = 0;
+    unsigned bk = 0;
+    unsigned ro = 0;
+    unsigned co = 0;
+
+    bool
+    operator==(const DramCoord &other) const = default;
+
+    /** Flat bank index within a channel: (ra, bg, bk). */
+    unsigned
+    bankIndex(const DramGeometry &g) const
+    {
+        return (ra * g.bankGroups + bg) * g.banksPerGroup + bk;
+    }
+
+    /** Flat bank index across the whole subsystem. */
+    unsigned
+    globalBankIndex(const DramGeometry &g) const
+    {
+        return ch * g.ranksPerChannel * g.banksPerRank() + bankIndex(g);
+    }
+
+    std::string str() const;
+};
+
+} // namespace mapping
+} // namespace pimmmu
+
+#endif // PIMMMU_MAPPING_GEOMETRY_HH

@@ -1,0 +1,52 @@
+#include "mapping/hetmap.hh"
+
+#include "common/logging.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+SystemMap::SystemMap(MapperPtr dramMapper, MapperPtr pimMapper)
+    : dram_(std::move(dramMapper)), pim_(std::move(pimMapper)),
+      dramCapacity_(dram_->geometry().capacityBytes()),
+      pimCapacity_(pim_->geometry().capacityBytes())
+{
+}
+
+MappedTarget
+SystemMap::map(Addr addr) const
+{
+    PIMMMU_ASSERT(addr < totalCapacity(), "physical address 0x", std::hex,
+                  addr, " out of range");
+    if (addr < dramCapacity_)
+        return MappedTarget{MemSpace::Dram, dram_->map(addr)};
+    return MappedTarget{MemSpace::Pim, pim_->map(addr - dramCapacity_)};
+}
+
+Addr
+SystemMap::unmap(const MappedTarget &target) const
+{
+    if (target.space == MemSpace::Dram)
+        return dram_->unmap(target.coord);
+    return dramCapacity_ + pim_->unmap(target.coord);
+}
+
+SystemMapPtr
+makeHetMap(const DramGeometry &dramGeometry,
+           const DramGeometry &pimGeometry)
+{
+    return std::make_unique<SystemMap>(
+        makeMlpCentricMapper(dramGeometry),
+        makeLocalityCentricMapper(pimGeometry));
+}
+
+SystemMapPtr
+makeBaselineMap(const DramGeometry &dramGeometry,
+                const DramGeometry &pimGeometry)
+{
+    return std::make_unique<SystemMap>(
+        makeLocalityCentricMapper(dramGeometry),
+        makeLocalityCentricMapper(pimGeometry));
+}
+
+} // namespace mapping
+} // namespace pimmmu

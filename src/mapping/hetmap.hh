@@ -1,0 +1,105 @@
+/**
+ * @file
+ * HetMap: the Heterogeneous Memory Mapping Unit (paper section IV-E).
+ *
+ * The physical address space is split into a DRAM region and a PIM
+ * region (established by the BIOS at boot). HetMap dispatches each
+ * incoming physical address to one of two mapping functions:
+ *
+ *  - DRAM region: MLP-centric mapping (XOR hashing, channel bits near
+ *    the LSB) over the conventional DRAM channels.
+ *  - PIM region: locality-centric ChRaBgBkRoCo mapping over the PIM
+ *    channels, honoring per-bank PIM address spaces.
+ *
+ * The baseline (pre-PIM-MMU) system instead applies the locality-centric
+ * function homogeneously to both regions; makeBaselineMap() builds that.
+ */
+
+#ifndef PIMMMU_MAPPING_HETMAP_HH
+#define PIMMMU_MAPPING_HETMAP_HH
+
+#include <memory>
+
+#include "mapping/layout_mapper.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+/** Which region of the physical address space a request targets. */
+enum class MemSpace
+{
+    Dram,
+    Pim
+};
+
+/** A fully resolved target: region + device coordinate inside it. */
+struct MappedTarget
+{
+    MemSpace space;
+    DramCoord coord;
+};
+
+/**
+ * Two-region physical address map. Region layout:
+ *   [0, dramCapacity)                -> DRAM subsystem
+ *   [dramCapacity, + pimCapacity)    -> PIM subsystem
+ */
+class SystemMap
+{
+  public:
+    /**
+     * @param dramMapper mapping for the DRAM region
+     * @param pimMapper  mapping for the PIM region
+     */
+    SystemMap(MapperPtr dramMapper, MapperPtr pimMapper);
+
+    /** Decode a physical address into (region, coordinate). */
+    MappedTarget map(Addr addr) const;
+
+    /** Re-encode (region, coordinate) to the physical address. */
+    Addr unmap(const MappedTarget &target) const;
+
+    /** First physical address of the PIM region. */
+    Addr pimBase() const { return dramCapacity_; }
+
+    Addr dramCapacity() const { return dramCapacity_; }
+    Addr pimCapacity() const { return pimCapacity_; }
+    Addr totalCapacity() const { return dramCapacity_ + pimCapacity_; }
+
+    bool
+    isPim(Addr addr) const
+    {
+        return addr >= dramCapacity_ && addr < totalCapacity();
+    }
+
+    const AddressMapper &dramMapper() const { return *dram_; }
+    const AddressMapper &pimMapper() const { return *pim_; }
+
+  private:
+    MapperPtr dram_;
+    MapperPtr pim_;
+    Addr dramCapacity_;
+    Addr pimCapacity_;
+};
+
+using SystemMapPtr = std::unique_ptr<SystemMap>;
+
+/**
+ * HetMap proper: MLP-centric for DRAM, locality-centric for PIM
+ * (paper Fig. 9, right side).
+ */
+SystemMapPtr makeHetMap(const DramGeometry &dramGeometry,
+                        const DramGeometry &pimGeometry);
+
+/**
+ * The baseline PIM-enabled system: one locality-centric function
+ * enforced homogeneously on both regions (paper Fig. 7(a), the
+ * side-effect characterized as Challenge #3).
+ */
+SystemMapPtr makeBaselineMap(const DramGeometry &dramGeometry,
+                             const DramGeometry &pimGeometry);
+
+} // namespace mapping
+} // namespace pimmmu
+
+#endif // PIMMMU_MAPPING_HETMAP_HH

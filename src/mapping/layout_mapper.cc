@@ -1,0 +1,279 @@
+#include "mapping/layout_mapper.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+namespace {
+
+struct SpecToken
+{
+    const char *token;
+    Field field;
+};
+
+constexpr SpecToken kSpecTokens[] = {
+    {"Ch", Field::Channel}, {"Ra", Field::Rank}, {"Bg", Field::BankGroup},
+    {"Bk", Field::Bank},    {"Ro", Field::Row},  {"Co", Field::Column},
+};
+
+const char *
+fieldToken(Field field)
+{
+    for (const auto &tok : kSpecTokens) {
+        if (tok.field == field)
+            return tok.token;
+    }
+    panic("unknown field in layout spec");
+}
+
+} // namespace
+
+std::vector<Field>
+parseLayoutSpec(const std::string &spec)
+{
+    std::vector<Field> msbFirst;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        bool matched = false;
+        for (const auto &tok : kSpecTokens) {
+            if (spec.compare(pos, 2, tok.token) == 0) {
+                msbFirst.push_back(tok.field);
+                pos += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            fatal("bad layout spec '", spec, "' at offset ", pos);
+    }
+    if (msbFirst.size() != kNumFields)
+        fatal("layout spec '", spec, "' must name all six fields once");
+    std::array<bool, kNumFields> seen{};
+    for (Field f : msbFirst) {
+        auto idx = static_cast<std::size_t>(f);
+        if (seen[idx])
+            fatal("layout spec '", spec, "' repeats a field");
+        seen[idx] = true;
+    }
+    // Specs are written MSB-first (ChRaBgBkRoCo); we store LSB-first.
+    std::reverse(msbFirst.begin(), msbFirst.end());
+    return msbFirst;
+}
+
+std::string
+layoutSpecString(const std::vector<Field> &lsbFirst)
+{
+    std::string out;
+    for (auto it = lsbFirst.rbegin(); it != lsbFirst.rend(); ++it)
+        out += fieldToken(*it);
+    return out;
+}
+
+LayoutMapper::LayoutMapper(const DramGeometry &geometry,
+                           std::vector<Field> lsbFirst, std::string name)
+    : geom_(geometry), order_(std::move(lsbFirst)), name_(std::move(name))
+{
+    if (!geom_.valid())
+        fatal("DRAM geometry dimensions must be powers of two");
+    if (order_.size() != kNumFields)
+        fatal("layout must contain all six fields");
+
+    std::array<bool, kNumFields> seen{};
+    unsigned shift = geom_.offsetBits();
+    for (Field field : order_) {
+        auto idx = static_cast<std::size_t>(field);
+        if (seen[idx])
+            fatal("layout repeats a field");
+        seen[idx] = true;
+        shift_[idx] = shift;
+        width_[idx] = bitsOf(field);
+        shift += width_[idx];
+    }
+}
+
+unsigned
+LayoutMapper::bitsOf(Field field) const
+{
+    switch (field) {
+      case Field::Channel:
+        return geom_.chBits();
+      case Field::Rank:
+        return geom_.raBits();
+      case Field::BankGroup:
+        return geom_.bgBits();
+      case Field::Bank:
+        return geom_.bkBits();
+      case Field::Row:
+        return geom_.roBits();
+      case Field::Column:
+        return geom_.coBits();
+      default:
+        panic("bad field");
+    }
+}
+
+unsigned
+LayoutMapper::fieldShift(Field field) const
+{
+    return shift_[static_cast<std::size_t>(field)];
+}
+
+unsigned
+LayoutMapper::fieldBits(Field field) const
+{
+    return width_[static_cast<std::size_t>(field)];
+}
+
+void
+LayoutMapper::addXorHash(Field field, unsigned bit, std::uint64_t mask)
+{
+    const auto idx = static_cast<std::size_t>(field);
+    PIMMMU_ASSERT(bit < width_[idx], "hash bit outside field width");
+    const std::uint64_t own =
+        width_[idx] >= 64
+            ? ~std::uint64_t{0}
+            : ((std::uint64_t{1} << width_[idx]) - 1) << shift_[idx];
+    if ((mask & own) != 0)
+        fatal("XOR hash mask overlaps its own field; not invertible");
+    hashes_.push_back(HashRule{field, bit, mask});
+}
+
+unsigned
+LayoutMapper::coordOf(const DramCoord &coord, Field field) const
+{
+    switch (field) {
+      case Field::Channel:
+        return coord.ch;
+      case Field::Rank:
+        return coord.ra;
+      case Field::BankGroup:
+        return coord.bg;
+      case Field::Bank:
+        return coord.bk;
+      case Field::Row:
+        return coord.ro;
+      case Field::Column:
+        return coord.co;
+      default:
+        panic("bad field");
+    }
+}
+
+void
+LayoutMapper::setCoord(DramCoord &coord, Field field, unsigned value)
+{
+    switch (field) {
+      case Field::Channel:
+        coord.ch = value;
+        break;
+      case Field::Rank:
+        coord.ra = value;
+        break;
+      case Field::BankGroup:
+        coord.bg = value;
+        break;
+      case Field::Bank:
+        coord.bk = value;
+        break;
+      case Field::Row:
+        coord.ro = value;
+        break;
+      case Field::Column:
+        coord.co = value;
+        break;
+      default:
+        panic("bad field");
+    }
+}
+
+DramCoord
+LayoutMapper::map(Addr addr) const
+{
+    PIMMMU_ASSERT(addr < geom_.capacityBytes(),
+                  "address 0x", std::hex, addr, " beyond capacity");
+    DramCoord coord;
+    for (Field field : order_) {
+        const auto idx = static_cast<std::size_t>(field);
+        auto value = static_cast<unsigned>(
+            bits(addr, shift_[idx], width_[idx]));
+        setCoord(coord, field, value);
+    }
+    for (const auto &rule : hashes_) {
+        unsigned value = coordOf(coord, rule.field);
+        value ^= static_cast<unsigned>(xorFold(addr & rule.mask))
+                 << rule.bit;
+        setCoord(coord, rule.field, value);
+    }
+    return coord;
+}
+
+Addr
+LayoutMapper::unmap(const DramCoord &coord) const
+{
+    // Assemble the address from the un-hashed fields first; hash masks
+    // never cover their own field so the parity sources are already
+    // correct, letting each hashed field be recovered by re-XOR.
+    Addr addr = 0;
+    for (Field field : order_) {
+        const auto idx = static_cast<std::size_t>(field);
+        addr = insertBits(addr, shift_[idx], width_[idx],
+                          coordOf(coord, field));
+    }
+    for (const auto &rule : hashes_) {
+        const auto idx = static_cast<std::size_t>(rule.field);
+        auto value = static_cast<unsigned>(
+            bits(addr, shift_[idx], width_[idx]));
+        value ^= static_cast<unsigned>(xorFold(addr & rule.mask))
+                 << rule.bit;
+        addr = insertBits(addr, shift_[idx], width_[idx], value);
+    }
+    return addr;
+}
+
+MapperPtr
+makeLocalityCentricMapper(const DramGeometry &geometry)
+{
+    auto mapper = std::make_unique<LayoutMapper>(
+        geometry, parseLayoutSpec("ChRaBgBkRoCo"), "locality-centric");
+    return mapper;
+}
+
+MapperPtr
+makeMlpCentricMapper(const DramGeometry &geometry, bool xorHashing)
+{
+    // Channel and bank-group bits sit immediately above the line offset
+    // so consecutive lines round-robin across channels and bank groups;
+    // columns stay below rows so sequential streams hit open rows.
+    auto mapper = std::make_unique<LayoutMapper>(
+        geometry, parseLayoutSpec("RoRaCoBkBgCh"),
+        xorHashing ? "mlp-centric" : "mlp-centric-noxor");
+    if (xorHashing) {
+        // Fold row bits into channel / bank-group / bank indices so that
+        // power-of-two strides still spread across the subsystem.
+        const unsigned roShift = mapper->fieldShift(Field::Row);
+        for (unsigned b = 0; b < geometry.chBits(); ++b) {
+            mapper->addXorHash(Field::Channel, b,
+                               std::uint64_t{1} << (roShift + b));
+        }
+        for (unsigned b = 0; b < geometry.bgBits(); ++b) {
+            mapper->addXorHash(
+                Field::BankGroup, b,
+                std::uint64_t{1} << (roShift + geometry.chBits() + b));
+        }
+        for (unsigned b = 0; b < geometry.bkBits(); ++b) {
+            mapper->addXorHash(Field::Bank, b,
+                               std::uint64_t{1}
+                                   << (roShift + geometry.chBits() +
+                                       geometry.bgBits() + b));
+        }
+    }
+    return mapper;
+}
+
+} // namespace mapping
+} // namespace pimmmu

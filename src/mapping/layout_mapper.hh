@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A configurable bit-field address mapper.
+ *
+ * A layout is an ordered list of DRAM-hierarchy fields from LSB to MSB
+ * (above the cache-line offset). Optional XOR-hash masks fold higher
+ * physical-address bits into a field's value (permutation-based
+ * interleaving, Zhang et al. [115]); masks must not overlap the hashed
+ * field's own bit positions so the mapping stays invertible.
+ */
+
+#ifndef PIMMMU_MAPPING_LAYOUT_MAPPER_HH
+#define PIMMMU_MAPPING_LAYOUT_MAPPER_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "mapping/mapper.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+/** The decodable address fields, in no particular order. */
+enum class Field : unsigned
+{
+    Channel = 0,
+    Rank,
+    BankGroup,
+    Bank,
+    Row,
+    Column,
+    NumFields
+};
+
+constexpr std::size_t kNumFields =
+    static_cast<std::size_t>(Field::NumFields);
+
+/** Parse a layout spec like "ChRaBgBkRoCo" (MSB-first order). */
+std::vector<Field> parseLayoutSpec(const std::string &spec);
+
+/** Render a layout (given LSB-first) as an MSB-first spec string. */
+std::string layoutSpecString(const std::vector<Field> &lsbFirst);
+
+/**
+ * Bit-slicing mapper with optional per-field XOR hashing.
+ */
+class LayoutMapper : public AddressMapper
+{
+  public:
+    /**
+     * @param geometry subsystem shape (all dims powers of two)
+     * @param lsbFirst fields ordered from least significant (just above
+     *                 the line offset) to most significant; each of the
+     *                 six fields must appear exactly once
+     * @param name     mapping name for reports
+     */
+    LayoutMapper(const DramGeometry &geometry,
+                 std::vector<Field> lsbFirst, std::string name);
+
+    /**
+     * Fold the parity of (physical address & mask) into bit @p bit of
+     * @p field. The mask must not cover the field's own bit positions.
+     */
+    void addXorHash(Field field, unsigned bit, std::uint64_t mask);
+
+    DramCoord map(Addr addr) const override;
+    Addr unmap(const DramCoord &coord) const override;
+    const DramGeometry &geometry() const override { return geom_; }
+    const char *name() const override { return name_.c_str(); }
+
+    /** Bit position (from address LSB) where @p field starts. */
+    unsigned fieldShift(Field field) const;
+    unsigned fieldBits(Field field) const;
+
+  private:
+    struct HashRule
+    {
+        Field field;
+        unsigned bit;
+        std::uint64_t mask;
+    };
+
+    unsigned bitsOf(Field field) const;
+    unsigned coordOf(const DramCoord &coord, Field field) const;
+    static void setCoord(DramCoord &coord, Field field, unsigned value);
+
+    DramGeometry geom_;
+    std::vector<Field> order_;
+    std::array<unsigned, kNumFields> shift_{};
+    std::array<unsigned, kNumFields> width_{};
+    std::vector<HashRule> hashes_;
+    std::string name_;
+};
+
+/**
+ * Locality-centric mapping (paper Fig. 7(a)): ChRaBgBkRoCo from the MSB.
+ * Consecutive addresses stay within one row of one bank; whole channels
+ * own contiguous slabs of the physical space. This is the mapping the
+ * PIM-specific BIOS enforces to keep DRAM and PIM DIMMs separable.
+ */
+MapperPtr makeLocalityCentricMapper(const DramGeometry &geometry);
+
+/**
+ * MLP-centric mapping (paper Fig. 7(b)): channel and bank-group bits
+ * immediately above the line offset plus XOR hashing of row bits into
+ * the channel/bank indices, maximizing memory-level parallelism.
+ *
+ * @param xorHashing disable to reproduce the "no XOR" ablation.
+ */
+MapperPtr makeMlpCentricMapper(const DramGeometry &geometry,
+                               bool xorHashing = true);
+
+} // namespace mapping
+} // namespace pimmmu
+
+#endif // PIMMMU_MAPPING_LAYOUT_MAPPER_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The address-mapping interface: a bijection between a physical address
+ * range and device coordinates of one memory subsystem.
+ */
+
+#ifndef PIMMMU_MAPPING_MAPPER_HH
+#define PIMMMU_MAPPING_MAPPER_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "mapping/geometry.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+/**
+ * Maps physical addresses (relative to the subsystem base) to DRAM
+ * coordinates and back. Implementations must be bijective over
+ * [0, geometry().capacityBytes()).
+ */
+class AddressMapper
+{
+  public:
+    virtual ~AddressMapper() = default;
+
+    /** Decode @p addr (line-aligned offsets are ignored). */
+    virtual DramCoord map(Addr addr) const = 0;
+
+    /** Re-encode a coordinate into the line-aligned physical address. */
+    virtual Addr unmap(const DramCoord &coord) const = 0;
+
+    virtual const DramGeometry &geometry() const = 0;
+
+    /** Human-readable mapping name for bench output. */
+    virtual const char *name() const = 0;
+};
+
+using MapperPtr = std::unique_ptr<AddressMapper>;
+
+} // namespace mapping
+} // namespace pimmmu
+
+#endif // PIMMMU_MAPPING_MAPPER_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Functional model of one DPU (bank-level PIM core) and its MRAM.
+ */
+
+#ifndef PIMMMU_PIM_DPU_HH
+#define PIMMMU_PIM_DPU_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace device {
+
+/**
+ * One PIM core with its private MRAM. MRAM storage grows on demand up
+ * to the configured capacity; kernels are C++ callables that read and
+ * write the MRAM through this interface.
+ */
+class Dpu
+{
+  public:
+    Dpu(unsigned id, std::uint64_t mramCapacity)
+        : id_(id), capacity_(mramCapacity)
+    {
+    }
+
+    unsigned id() const { return id_; }
+    std::uint64_t mramCapacity() const { return capacity_; }
+
+    void
+    mramWrite(Addr offset, const void *src, std::size_t bytes)
+    {
+        ensure(offset + bytes);
+        std::memcpy(mram_.data() + offset, src, bytes);
+    }
+
+    void
+    mramRead(Addr offset, void *dst, std::size_t bytes) const
+    {
+        PIMMMU_ASSERT(offset + bytes <= capacity_,
+                      "MRAM read out of bounds");
+        if (offset + bytes <= mram_.size()) {
+            std::memcpy(dst, mram_.data() + offset, bytes);
+            return;
+        }
+        // Partially (or fully) untouched MRAM reads as zero.
+        std::memset(dst, 0, bytes);
+        if (offset < mram_.size()) {
+            std::memcpy(dst, mram_.data() + offset,
+                        mram_.size() - offset);
+        }
+    }
+
+    template <typename T>
+    T
+    load(Addr offset) const
+    {
+        T value;
+        mramRead(offset, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    store(Addr offset, const T &value)
+    {
+        mramWrite(offset, &value, sizeof(T));
+    }
+
+  private:
+    void
+    ensure(std::uint64_t bytes)
+    {
+        PIMMMU_ASSERT(bytes <= capacity_, "MRAM write beyond capacity (",
+                      bytes, " > ", capacity_, ")");
+        if (mram_.size() < bytes)
+            mram_.resize(bytes, 0);
+    }
+
+    unsigned id_;
+    std::uint64_t capacity_;
+    std::vector<std::uint8_t> mram_;
+};
+
+} // namespace device
+} // namespace pimmmu
+
+#endif // PIMMMU_PIM_DPU_HH

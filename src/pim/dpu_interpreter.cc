@@ -1,0 +1,203 @@
+#include "pim/dpu_interpreter.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace pimmmu {
+namespace device {
+
+DpuRunResult
+DpuInterpreter::run(Dpu &dpu, const DpuProgram &program,
+                    const std::vector<std::int64_t> &args)
+{
+    if (program.code.empty())
+        fatal("empty DPU program");
+    if (args.size() > 20)
+        fatal("too many kernel arguments");
+
+    std::vector<std::uint8_t> wram(config_.wramBytes, 0);
+    std::vector<Tasklet> tasklets(config_.tasklets);
+    for (unsigned t = 0; t < config_.tasklets; ++t) {
+        for (std::size_t a = 0; a < args.size(); ++a)
+            tasklets[t].regs[a + 1] = args[a];
+    }
+
+    auto wcheck = [&](std::int64_t addr, std::size_t bytes) {
+        if (addr < 0 ||
+            static_cast<std::uint64_t>(addr) + bytes > wram.size())
+            fatal("WRAM access out of bounds: ", addr);
+    };
+
+    DpuRunResult result;
+    Cycle cycle = 0;
+    unsigned live = config_.tasklets;
+    unsigned cursor = 0;
+
+    while (live > 0) {
+        if (cycle >= config_.maxCycles)
+            fatal("DPU program exceeded the cycle limit (runaway?)");
+
+        // Round-robin issue: find the next tasklet that can issue.
+        bool issued = false;
+        for (unsigned probe = 0; probe < config_.tasklets; ++probe) {
+            Tasklet &tk = tasklets[(cursor + probe) % config_.tasklets];
+            if (tk.halted || tk.nextIssue > cycle)
+                continue;
+            cursor = (cursor + probe + 1) % config_.tasklets;
+
+            PIMMMU_ASSERT(tk.pc < program.code.size(),
+                          "PC past end of program (missing halt?)");
+            const Instr &in = program.code[tk.pc];
+            ++tk.pc;
+            ++result.instructions;
+            tk.nextIssue = cycle + config_.revolverDepth;
+
+            auto &r = tk.regs;
+            switch (in.op) {
+              case Op::Ldi:
+                r[in.rd] = in.imm;
+                break;
+              case Op::Mov:
+                r[in.rd] = r[in.ra];
+                break;
+              case Op::Add:
+                r[in.rd] = r[in.ra] + r[in.rb];
+                break;
+              case Op::Addi:
+                r[in.rd] = r[in.ra] + in.imm;
+                break;
+              case Op::Sub:
+                r[in.rd] = r[in.ra] - r[in.rb];
+                break;
+              case Op::Mul:
+                r[in.rd] = r[in.ra] * r[in.rb];
+                break;
+              case Op::And:
+                r[in.rd] = r[in.ra] & r[in.rb];
+                break;
+              case Op::Or:
+                r[in.rd] = r[in.ra] | r[in.rb];
+                break;
+              case Op::Xor:
+                r[in.rd] = r[in.ra] ^ r[in.rb];
+                break;
+              case Op::Shl:
+                r[in.rd] = r[in.ra] << (in.imm & 63);
+                break;
+              case Op::Shr:
+                r[in.rd] = static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(r[in.ra]) >>
+                    (in.imm & 63));
+                break;
+              case Op::Lw: {
+                const std::int64_t addr = r[in.ra] + in.imm;
+                wcheck(addr, 4);
+                std::int32_t v;
+                std::memcpy(&v, wram.data() + addr, 4);
+                r[in.rd] = v;
+                break;
+              }
+              case Op::Ld: {
+                const std::int64_t addr = r[in.ra] + in.imm;
+                wcheck(addr, 8);
+                std::memcpy(&r[in.rd], wram.data() + addr, 8);
+                break;
+              }
+              case Op::Sw: {
+                const std::int64_t addr = r[in.ra] + in.imm;
+                wcheck(addr, 4);
+                const auto v = static_cast<std::int32_t>(r[in.rb]);
+                std::memcpy(wram.data() + addr, &v, 4);
+                break;
+              }
+              case Op::Sd: {
+                const std::int64_t addr = r[in.ra] + in.imm;
+                wcheck(addr, 8);
+                std::memcpy(wram.data() + addr, &r[in.rb], 8);
+                break;
+              }
+              case Op::Mrd:
+              case Op::Mwr: {
+                const std::int64_t wramAddr = r[in.ra];
+                const std::int64_t mramAddr = r[in.rb];
+                const std::int64_t bytes = r[in.rc];
+                if (bytes <= 0 || bytes % 8 != 0)
+                    fatal("DMA size must be a positive multiple of 8");
+                wcheck(wramAddr, static_cast<std::size_t>(bytes));
+                if (mramAddr < 0)
+                    fatal("negative MRAM address");
+                if (in.op == Op::Mrd) {
+                    dpu.mramRead(static_cast<Addr>(mramAddr),
+                                 wram.data() + wramAddr,
+                                 static_cast<std::size_t>(bytes));
+                } else {
+                    dpu.mramWrite(static_cast<Addr>(mramAddr),
+                                  wram.data() + wramAddr,
+                                  static_cast<std::size_t>(bytes));
+                }
+                result.dmaBytes += static_cast<std::uint64_t>(bytes);
+                // The tasklet blocks for the DMA duration.
+                tk.nextIssue =
+                    cycle + config_.dmaSetupCycles +
+                    config_.dmaCyclesPerWord *
+                        static_cast<Cycle>(bytes / 8);
+                break;
+              }
+              case Op::Beq:
+                if (r[in.ra] == r[in.rb])
+                    tk.pc = static_cast<std::uint64_t>(in.imm);
+                break;
+              case Op::Bne:
+                if (r[in.ra] != r[in.rb])
+                    tk.pc = static_cast<std::uint64_t>(in.imm);
+                break;
+              case Op::Blt:
+                if (r[in.ra] < r[in.rb])
+                    tk.pc = static_cast<std::uint64_t>(in.imm);
+                break;
+              case Op::Bge:
+                if (r[in.ra] >= r[in.rb])
+                    tk.pc = static_cast<std::uint64_t>(in.imm);
+                break;
+              case Op::Jmp:
+                tk.pc = static_cast<std::uint64_t>(in.imm);
+                break;
+              case Op::Tid:
+                r[in.rd] = static_cast<std::int64_t>(
+                    (&tk - tasklets.data()));
+                break;
+              case Op::Ntask:
+                r[in.rd] = config_.tasklets;
+                break;
+              case Op::Halt:
+                tk.halted = true;
+                --live;
+                break;
+              default:
+                panic("bad opcode");
+            }
+            r[0] = 0; // r0 is hardwired to zero
+            issued = true;
+            break;
+        }
+
+        if (!issued && live > 0) {
+            // Everyone is stalled on DMA: jump to the next issue time.
+            Cycle next = ~Cycle{0};
+            for (const auto &tk : tasklets) {
+                if (!tk.halted)
+                    next = std::min(next, tk.nextIssue);
+            }
+            cycle = next;
+            continue;
+        }
+        ++cycle;
+    }
+
+    result.cycles = cycle;
+    return result;
+}
+
+} // namespace device
+} // namespace pimmmu

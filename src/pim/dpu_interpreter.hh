@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cycle-counting interpreter for the mini DPU ISA.
+ *
+ * Models the UPMEM DPU execution style: up to 24 tasklets issue
+ * instructions round-robin into a single in-order pipeline (one
+ * instruction per DPU cycle across all runnable tasklets), each
+ * tasklet has a register file and a WRAM slice, and MRAM is reached
+ * only through blocking DMA transfers with per-byte cost.
+ */
+
+#ifndef PIMMMU_PIM_DPU_INTERPRETER_HH
+#define PIMMMU_PIM_DPU_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pim/dpu.hh"
+#include "pim/dpu_isa.hh"
+
+namespace pimmmu {
+namespace device {
+
+/** Interpreter tunables (UPMEM-like defaults). */
+struct DpuCoreConfig
+{
+    unsigned tasklets = 16;          //!< runnable hardware threads
+    std::uint64_t wramBytes = 64 * kKiB;
+    double clockMhz = 350.0;
+    /** DMA engine: setup cycles plus cycles per 8 B beat. */
+    unsigned dmaSetupCycles = 16;
+    unsigned dmaCyclesPerWord = 1;
+    /** Pipeline depth: a tasklet re-issues at most every N cycles. */
+    unsigned revolverDepth = 11;
+    /** Safety valve against runaway programs. */
+    std::uint64_t maxCycles = 1ull << 32;
+};
+
+/** Result of executing one program on one DPU. */
+struct DpuRunResult
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t dmaBytes = 0;
+
+    Tick
+    timePs(double clockMhz) const
+    {
+        return static_cast<Tick>(static_cast<double>(cycles) /
+                                 clockMhz * 1e6);
+    }
+};
+
+/**
+ * Executes a DpuProgram against a Dpu's MRAM. All tasklets start at
+ * instruction 0 with r0 = 0; programs partition work using `tid` /
+ * `ntask`. WRAM is shared across tasklets (as on hardware).
+ */
+class DpuInterpreter
+{
+  public:
+    explicit DpuInterpreter(const DpuCoreConfig &config = DpuCoreConfig{})
+        : config_(config)
+    {
+    }
+
+    const DpuCoreConfig &config() const { return config_; }
+
+    /**
+     * Run @p program to completion (every tasklet halts).
+     * @param dpu  the DPU whose MRAM the program reads/writes
+     * @param args initial values for r1..rN of every tasklet
+     *             (kernel arguments, e.g. element counts and offsets)
+     */
+    DpuRunResult run(Dpu &dpu, const DpuProgram &program,
+                     const std::vector<std::int64_t> &args = {});
+
+  private:
+    struct Tasklet
+    {
+        std::array<std::int64_t, 24> regs{};
+        std::uint64_t pc = 0;
+        bool halted = false;
+        Cycle nextIssue = 0; //!< pipeline revolver constraint
+    };
+
+    DpuCoreConfig config_;
+};
+
+} // namespace device
+} // namespace pimmmu
+
+#endif // PIMMMU_PIM_DPU_INTERPRETER_HH

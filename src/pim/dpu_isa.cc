@@ -1,0 +1,228 @@
+#include "pim/dpu_isa.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pimmmu {
+namespace device {
+
+namespace {
+
+struct OpInfo
+{
+    Op op;
+    /** Operand pattern: r = register, i = immediate, t = branch
+     *  target (label or number). */
+    const char *operands;
+};
+
+const std::map<std::string, OpInfo> kOps = {
+    {"ldi", {Op::Ldi, "ri"}},   {"mov", {Op::Mov, "rr"}},
+    {"add", {Op::Add, "rrr"}},  {"addi", {Op::Addi, "rri"}},
+    {"sub", {Op::Sub, "rrr"}},  {"mul", {Op::Mul, "rrr"}},
+    {"and", {Op::And, "rrr"}},  {"or", {Op::Or, "rrr"}},
+    {"xor", {Op::Xor, "rrr"}},  {"shl", {Op::Shl, "rri"}},
+    {"shr", {Op::Shr, "rri"}},  {"lw", {Op::Lw, "rri"}},
+    {"ld", {Op::Ld, "rri"}},    {"sw", {Op::Sw, "rri*"}},
+    {"sd", {Op::Sd, "rri*"}},   {"mrd", {Op::Mrd, "rrr"}},
+    {"mwr", {Op::Mwr, "rrr"}},  {"beq", {Op::Beq, "rrt"}},
+    {"bne", {Op::Bne, "rrt"}},  {"blt", {Op::Blt, "rrt"}},
+    {"bge", {Op::Bge, "rrt"}},  {"jmp", {Op::Jmp, "t"}},
+    {"tid", {Op::Tid, "r"}},    {"ntask", {Op::Ntask, "r"}},
+    {"halt", {Op::Halt, ""}},
+};
+
+std::string
+stripComment(const std::string &line)
+{
+    const auto pos = line.find_first_of(";#");
+    return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string token;
+    for (char ch : line) {
+        if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+            if (!token.empty()) {
+                tokens.push_back(token);
+                token.clear();
+            }
+        } else {
+            token += ch;
+        }
+    }
+    if (!token.empty())
+        tokens.push_back(token);
+    return tokens;
+}
+
+std::uint8_t
+parseReg(const std::string &token, int line)
+{
+    if (token.size() < 2 || (token[0] != 'r' && token[0] != 'R'))
+        fatal("line ", line, ": expected register, got '", token, "'");
+    const int n = std::atoi(token.c_str() + 1);
+    if (n < 0 || n >= 24)
+        fatal("line ", line, ": register out of range '", token, "'");
+    return static_cast<std::uint8_t>(n);
+}
+
+std::int64_t
+parseImm(const std::string &token, int line)
+{
+    char *end = nullptr;
+    const std::int64_t value =
+        std::strtoll(token.c_str(), &end, 0);
+    if (end == token.c_str() || *end != '\0')
+        fatal("line ", line, ": bad immediate '", token, "'");
+    return value;
+}
+
+} // namespace
+
+DpuProgram
+DpuAssembler::assemble(const std::string &source)
+{
+    // Pass 1: collect labels.
+    std::map<std::string, std::int64_t> labels;
+    {
+        std::istringstream in(source);
+        std::string raw;
+        std::int64_t pc = 0;
+        int lineNo = 0;
+        while (std::getline(in, raw)) {
+            ++lineNo;
+            auto tokens = tokenize(stripComment(raw));
+            if (tokens.empty())
+                continue;
+            if (tokens[0].back() == ':') {
+                const std::string label =
+                    tokens[0].substr(0, tokens[0].size() - 1);
+                if (labels.count(label))
+                    fatal("line ", lineNo, ": duplicate label '",
+                          label, "'");
+                labels[label] = pc;
+                tokens.erase(tokens.begin());
+                if (tokens.empty())
+                    continue;
+            }
+            ++pc;
+        }
+    }
+
+    // Pass 2: encode.
+    DpuProgram program;
+    std::istringstream in(source);
+    std::string raw;
+    int lineNo = 0;
+    while (std::getline(in, raw)) {
+        ++lineNo;
+        auto tokens = tokenize(stripComment(raw));
+        if (tokens.empty())
+            continue;
+        if (tokens[0].back() == ':') {
+            tokens.erase(tokens.begin());
+            if (tokens.empty())
+                continue;
+        }
+        std::string mnemonic = tokens[0];
+        for (auto &c : mnemonic)
+            c = static_cast<char>(std::tolower(c));
+        const auto it = kOps.find(mnemonic);
+        if (it == kOps.end())
+            fatal("line ", lineNo, ": unknown mnemonic '", mnemonic,
+                  "'");
+        const OpInfo &info = it->second;
+
+        Instr instr;
+        instr.op = info.op;
+        // Operand pattern interpretation. "rri*" means (base, off,
+        // src) store-style encoding: ra = base, imm = off, rb = src.
+        const std::string pattern = info.operands;
+        const bool storeStyle = pattern == "rri*";
+        const std::size_t expected =
+            storeStyle ? 3 : pattern.size();
+        if (tokens.size() - 1 != expected) {
+            fatal("line ", lineNo, ": '", mnemonic, "' expects ",
+                  expected, " operands");
+        }
+        auto resolveTarget = [&](const std::string &token) {
+            if (labels.count(token))
+                return labels.at(token);
+            return parseImm(token, lineNo);
+        };
+
+        if (storeStyle) {
+            instr.ra = parseReg(tokens[1], lineNo); // base
+            instr.imm = parseImm(tokens[2], lineNo);
+            instr.rb = parseReg(tokens[3], lineNo); // value
+        } else {
+            unsigned regSlot = 0;
+            for (std::size_t i = 0; i < pattern.size(); ++i) {
+                const std::string &token = tokens[i + 1];
+                switch (pattern[i]) {
+                  case 'r': {
+                    const std::uint8_t reg = parseReg(token, lineNo);
+                    if (regSlot == 0)
+                        instr.rd = reg;
+                    else if (regSlot == 1)
+                        instr.ra = reg;
+                    else
+                        instr.rb = reg;
+                    ++regSlot;
+                    break;
+                  }
+                  case 'i':
+                    instr.imm = parseImm(token, lineNo);
+                    break;
+                  case 't':
+                    instr.imm = resolveTarget(token);
+                    break;
+                  default:
+                    panic("bad operand pattern");
+                }
+            }
+            // DMA ops take three registers: wram, mram, count.
+            if (instr.op == Op::Mrd || instr.op == Op::Mwr) {
+                instr.rc = instr.rb;
+                instr.rb = instr.ra;
+                instr.ra = instr.rd;
+                instr.rd = 0;
+            }
+            // Branches: rd/ra hold the two compared registers.
+            if (instr.op == Op::Beq || instr.op == Op::Bne ||
+                instr.op == Op::Blt || instr.op == Op::Bge) {
+                instr.rb = instr.ra;
+                instr.ra = instr.rd;
+                instr.rd = 0;
+            }
+        }
+        program.code.push_back(instr);
+    }
+    return program;
+}
+
+std::string
+disassemble(const Instr &instr)
+{
+    std::ostringstream os;
+    for (const auto &kv : kOps) {
+        if (kv.second.op == instr.op) {
+            os << kv.first;
+            break;
+        }
+    }
+    os << " rd=" << int{instr.rd} << " ra=" << int{instr.ra}
+       << " rb=" << int{instr.rb} << " rc=" << int{instr.rc}
+       << " imm=" << instr.imm;
+    return os.str();
+}
+
+} // namespace device
+} // namespace pimmmu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A miniature DPU instruction set, modeled after the UPMEM DPU's
+ * character: a scalar RISC core with many hardware threads (tasklets),
+ * a small fast WRAM, and DMA transfers to/from the large MRAM.
+ *
+ * Programs can be built directly as instruction vectors or assembled
+ * from text (see DpuAssembler). The interpreter (dpu_interpreter.hh)
+ * executes them functionally and reports cycle counts from which
+ * kernel time is derived — replacing the purely analytic kernel model
+ * for workloads expressed as DPU programs.
+ */
+
+#ifndef PIMMMU_PIM_DPU_ISA_HH
+#define PIMMMU_PIM_DPU_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimmmu {
+namespace device {
+
+/** Opcodes of the mini-ISA. */
+enum class Op : std::uint8_t
+{
+    Ldi,   //!< rd = imm
+    Mov,   //!< rd = ra
+    Add,   //!< rd = ra + rb
+    Addi,  //!< rd = ra + imm
+    Sub,   //!< rd = ra - rb
+    Mul,   //!< rd = ra * rb
+    And,   //!< rd = ra & rb
+    Or,    //!< rd = ra | rb
+    Xor,   //!< rd = ra ^ rb
+    Shl,   //!< rd = ra << imm
+    Shr,   //!< rd = ra >> imm (logical)
+    Lw,    //!< rd = *(int32*)(wram + ra + imm), sign-extended
+    Ld,    //!< rd = *(int64*)(wram + ra + imm)
+    Sw,    //!< *(int32*)(wram + ra + imm) = rb
+    Sd,    //!< *(int64*)(wram + ra + imm) = rb
+    Mrd,   //!< DMA: wram[ra] <- mram[rb], rc bytes (8B aligned)
+    Mwr,   //!< DMA: mram[rb] <- wram[ra], rc bytes (8B aligned)
+    Beq,   //!< if (ra == rb) goto target
+    Bne,   //!< if (ra != rb) goto target
+    Blt,   //!< if (ra <  rb) goto target (signed)
+    Bge,   //!< if (ra >= rb) goto target (signed)
+    Jmp,   //!< goto target
+    Tid,   //!< rd = tasklet id
+    Ntask, //!< rd = number of tasklets
+    Halt   //!< stop this tasklet
+};
+
+/** One decoded instruction. */
+struct Instr
+{
+    Op op = Op::Halt;
+    std::uint8_t rd = 0;
+    std::uint8_t ra = 0;
+    std::uint8_t rb = 0;
+    std::uint8_t rc = 0;      //!< DMA byte-count register
+    std::int64_t imm = 0;     //!< immediate / branch target
+};
+
+/** An executable DPU program. */
+struct DpuProgram
+{
+    std::vector<Instr> code;
+
+    std::size_t size() const { return code.size(); }
+};
+
+/**
+ * Two-pass text assembler for the mini-ISA.
+ *
+ * Syntax (one instruction per line, ';' or '#' comments):
+ *   loop:                 ; label
+ *     ldi   r1, 100
+ *     add   r2, r1, r3
+ *     addi  r2, r2, -1
+ *     lw    r4, r2, 8     ; rd, base, offset
+ *     mrd   r0, r5, r6    ; wram base, mram addr, byte count
+ *     blt   r2, r1, loop
+ *     halt
+ */
+class DpuAssembler
+{
+  public:
+    /** Assemble @p source; fatal() with line info on syntax errors. */
+    static DpuProgram assemble(const std::string &source);
+};
+
+/** Pretty-print one instruction (debugging / tests). */
+std::string disassemble(const Instr &instr);
+
+} // namespace device
+} // namespace pimmmu
+
+#endif // PIMMMU_PIM_DPU_ISA_HH

@@ -1,0 +1,109 @@
+#include "pim/host_transfer.hh"
+
+#include <map>
+
+#include "pim/transpose.hh"
+
+namespace pimmmu {
+namespace device {
+
+BankGrouping
+groupByBank(const PimGeometry &geometry,
+            const std::vector<unsigned> &dpuIds,
+            const std::vector<Addr> &hostAddrs,
+            std::uint64_t bytesPerDpu, Addr heapOffset)
+{
+    if (dpuIds.empty())
+        fatal("transfer lists no PIM cores");
+    if (dpuIds.size() != hostAddrs.size())
+        fatal("dpu id and host address arrays differ in length");
+    if (bytesPerDpu == 0 || bytesPerDpu % 64 != 0)
+        fatal("bytesPerDpu must be a non-zero multiple of 64");
+    if (heapOffset % kWordBytes != 0)
+        fatal("MRAM heap offset must be 8-byte aligned");
+    if (heapOffset + bytesPerDpu > geometry.mramBytesPerDpu())
+        fatal("transfer exceeds MRAM capacity");
+
+    std::map<unsigned, BankGrouping::Bank> banks;
+    std::map<unsigned, unsigned> chipsSeen;
+    for (std::size_t i = 0; i < dpuIds.size(); ++i) {
+        const unsigned dpu = dpuIds[i];
+        if (dpu >= geometry.numDpus())
+            fatal("PIM core id ", dpu, " out of range");
+        if (hostAddrs[i] % 64 != 0)
+            fatal("host arrays must be 64-byte aligned");
+        const unsigned bankIdx = geometry.dpuBank(dpu);
+        const unsigned chip = geometry.dpuChip(dpu);
+        if (chipsSeen[bankIdx] & (1u << chip))
+            fatal("PIM core id ", dpu, " listed twice");
+        chipsSeen[bankIdx] |= 1u << chip;
+        BankGrouping::Bank &bank = banks[bankIdx];
+        bank.bankIdx = bankIdx;
+        bank.hostBase[chip] = hostAddrs[i];
+        bank.dpuId[chip] = dpu;
+    }
+
+    BankGrouping grouping;
+    grouping.banks.reserve(banks.size());
+    for (auto &kv : banks) {
+        if (chipsSeen[kv.first] != 0xffu) {
+            fatal("bank ", kv.first,
+                  " is only partially covered; transfers must address "
+                  "all 8 chips of each touched bank");
+        }
+        grouping.banks.push_back(kv.second);
+    }
+    return grouping;
+}
+
+void
+functionalTransfer(dram::BackingStore &store, PimDevice &pim, bool toPim,
+                   const BankGrouping &grouping,
+                   std::uint64_t bytesPerDpu, Addr heapOffset)
+{
+    const std::uint64_t words = bytesPerDpu / kWordBytes;
+    std::uint8_t wire[kBlockBytes];
+    std::uint8_t word[kWordBytes];
+
+    for (const auto &bank : grouping.banks) {
+        for (std::uint64_t w = 0; w < words; ++w) {
+            const Addr wordOff = w * kWordBytes;
+            if (toPim) {
+                std::uint8_t gathered[8][kWordBytes];
+                const std::uint8_t *rows[8];
+                for (unsigned c = 0; c < 8; ++c) {
+                    store.read(bank.hostBase[c] + wordOff, gathered[c],
+                               kWordBytes);
+                    rows[c] = gathered[c];
+                }
+                packWireBlock(rows, wire);
+                for (unsigned c = 0; c < 8; ++c) {
+                    unpackWireWord(wire, c, word);
+                    pim.dpu(bank.dpuId[c])
+                        .mramWrite(heapOffset + wordOff, word,
+                                   kWordBytes);
+                }
+            } else {
+                std::uint8_t gathered[8][kWordBytes];
+                const std::uint8_t *rows[8];
+                for (unsigned c = 0; c < 8; ++c) {
+                    pim.dpu(bank.dpuId[c])
+                        .mramRead(heapOffset + wordOff, gathered[c],
+                                  kWordBytes);
+                    rows[c] = gathered[c];
+                }
+                // PIM->DRAM rides the wire in transposed form too; the
+                // host-side (un)transpose restores per-DPU words.
+                packWireBlock(rows, wire);
+                for (unsigned c = 0; c < 8; ++c) {
+                    unpackWireWord(wire, c, word);
+                    store.write(bank.hostBase[c] + wordOff, word,
+                                kWordBytes);
+                }
+            }
+        }
+    }
+}
+
+} // namespace device
+} // namespace pimmmu

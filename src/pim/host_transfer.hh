@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared host<->PIM transfer plumbing used by both the baseline UPMEM
+ * runtime and the PIM-MMU runtime: validation + grouping of per-DPU
+ * entries into whole banks, and the functional (data) copy through the
+ * wire format (gather -> transpose -> per-chip delivery).
+ */
+
+#ifndef PIMMMU_PIM_HOST_TRANSFER_HH
+#define PIMMMU_PIM_HOST_TRANSFER_HH
+
+#include <array>
+#include <vector>
+
+#include "dram/backing_store.hh"
+#include "pim/pim_device.hh"
+
+namespace pimmmu {
+namespace device {
+
+/** Per-DPU transfer entries grouped into whole banks. */
+struct BankGrouping
+{
+    struct Bank
+    {
+        unsigned bankIdx = 0;
+        /** Host array base per chip lane. */
+        std::array<Addr, 8> hostBase{};
+        /** DPU id per chip lane. */
+        std::array<unsigned, 8> dpuId{};
+    };
+
+    std::vector<Bank> banks;
+};
+
+/**
+ * Validate and group a per-DPU transfer list.
+ *
+ * Requirements (fatal() on violation): dpuIds and hostAddrs have equal
+ * non-zero length; ids are unique and in range; every touched bank is
+ * fully covered (all 8 chips); host arrays are 64-byte aligned;
+ * @p bytesPerDpu is a non-zero multiple of 64; @p heapOffset is 8-byte
+ * aligned and the transfer fits in MRAM.
+ */
+BankGrouping groupByBank(const PimGeometry &geometry,
+                         const std::vector<unsigned> &dpuIds,
+                         const std::vector<Addr> &hostAddrs,
+                         std::uint64_t bytesPerDpu, Addr heapOffset);
+
+/**
+ * Apply the functional semantics of a transfer: move @p bytesPerDpu
+ * bytes between each DPU's host array (in @p store) and its MRAM at
+ * @p heapOffset, routing every word through the 8x8 wire-block
+ * transpose exactly as the hardware does.
+ */
+void functionalTransfer(dram::BackingStore &store, PimDevice &pim,
+                        bool toPim, const BankGrouping &grouping,
+                        std::uint64_t bytesPerDpu, Addr heapOffset);
+
+} // namespace device
+} // namespace pimmmu
+
+#endif // PIMMMU_PIM_HOST_TRANSFER_HH

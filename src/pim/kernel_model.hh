@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Analytic DPU kernel execution-time model.
+ *
+ * The paper measures PIM kernel time on real UPMEM hardware (section V);
+ * PIM-MMU does not change kernel time, only transfer time. We therefore
+ * substitute a calibrated analytic model: a fixed launch overhead plus a
+ * per-byte processing cost at the DPU's effective streaming rate. Each
+ * PrIM workload supplies its own constants (see src/workloads/prim.hh).
+ */
+
+#ifndef PIMMMU_PIM_KERNEL_MODEL_HH
+#define PIMMMU_PIM_KERNEL_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace device {
+
+/** Per-kernel timing constants. */
+struct KernelModel
+{
+    /** DPU pipeline clock (UPMEM P21: 350 MHz). */
+    double dpuMhz = 350.0;
+
+    /** Average pipeline cycles spent per input byte (includes MRAM
+     *  access amortization; ~1 GB/s streaming => ~0.35 cycles/B). */
+    double cyclesPerByte = 1.0;
+
+    /** Fixed per-launch overhead in microseconds. */
+    double launchOverheadUs = 20.0;
+
+    /** Modeled execution time for @p bytesPerDpu input bytes. */
+    Tick
+    execTimePs(std::uint64_t bytesPerDpu) const
+    {
+        const double cycles =
+            cyclesPerByte * static_cast<double>(bytesPerDpu);
+        const double us = launchOverheadUs + cycles / dpuMhz;
+        return static_cast<Tick>(us * static_cast<double>(kPsPerUs));
+    }
+};
+
+} // namespace device
+} // namespace pimmmu
+
+#endif // PIMMMU_PIM_KERNEL_MODEL_HH

@@ -1,0 +1,55 @@
+#include "pim/pim_device.hh"
+
+namespace pimmmu {
+namespace device {
+
+PimDevice::PimDevice(const PimGeometry &geometry) : geom_(geometry)
+{
+    if (!geom_.banks.valid())
+        fatal("PIM bank geometry dimensions must be powers of two");
+    if (!isPowerOfTwo(geom_.chipsPerRank))
+        fatal("chipsPerRank must be a power of two");
+    dpus_.reserve(geom_.numDpus());
+    for (unsigned id = 0; id < geom_.numDpus(); ++id)
+        dpus_.emplace_back(id, geom_.mramBytesPerDpu());
+}
+
+Tick
+PimDevice::launch(const std::vector<unsigned> &dpuIds,
+                  const std::function<void(Dpu &, unsigned)> &kernel,
+                  const KernelModel &model, std::uint64_t bytesPerDpu)
+{
+    unsigned index = 0;
+    for (unsigned id : dpuIds) {
+        PIMMMU_ASSERT(id < numDpus(), "DPU id out of range");
+        kernel(dpus_[id], index++);
+    }
+    return model.execTimePs(bytesPerDpu);
+}
+
+Tick
+PimDevice::launchProgram(
+    const std::vector<unsigned> &dpuIds, const DpuProgram &program,
+    const std::vector<std::vector<std::int64_t>> &argsPerDpu,
+    const DpuCoreConfig &coreConfig)
+{
+    if (argsPerDpu.size() > 1 && argsPerDpu.size() != dpuIds.size())
+        fatal("argsPerDpu must be empty, one vector, or one per DPU");
+    DpuInterpreter interpreter(coreConfig);
+    Cycle worst = 0;
+    for (std::size_t i = 0; i < dpuIds.size(); ++i) {
+        const unsigned id = dpuIds[i];
+        PIMMMU_ASSERT(id < numDpus(), "DPU id out of range");
+        static const std::vector<std::int64_t> kNoArgs;
+        const std::vector<std::int64_t> &args =
+            argsPerDpu.empty()
+                ? kNoArgs
+                : argsPerDpu[argsPerDpu.size() == 1 ? 0 : i];
+        const DpuRunResult r = interpreter.run(dpus_[id], program, args);
+        worst = std::max(worst, r.cycles);
+    }
+    return DpuRunResult{worst, 0, 0}.timePs(coreConfig.clockMhz);
+}
+
+} // namespace device
+} // namespace pimmmu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The PIM device: all DPUs of the PIM subsystem plus helpers to
+ * translate between DPU ids, banks, and PIM-region physical addresses.
+ */
+
+#ifndef PIMMMU_PIM_PIM_DEVICE_HH
+#define PIMMMU_PIM_PIM_DEVICE_HH
+
+#include <functional>
+#include <vector>
+
+#include "pim/dpu.hh"
+#include "pim/dpu_interpreter.hh"
+#include "pim/kernel_model.hh"
+#include "pim/pim_geometry.hh"
+#include "pim/transpose.hh"
+
+namespace pimmmu {
+namespace device {
+
+/**
+ * Container for every DPU in the system. The timing plane schedules at
+ * bank granularity; this class is the functional plane (real MRAM
+ * contents, real kernel results).
+ */
+class PimDevice
+{
+  public:
+    explicit PimDevice(const PimGeometry &geometry);
+
+    const PimGeometry &geometry() const { return geom_; }
+
+    Dpu &dpu(unsigned id) { return dpus_[id]; }
+    const Dpu &dpu(unsigned id) const { return dpus_[id]; }
+
+    unsigned numDpus() const { return geom_.numDpus(); }
+    unsigned numBanks() const { return geom_.numBanks(); }
+
+    /**
+     * Wire-line offset bookkeeping: the 8 B word at MRAM offset
+     * 8*w of any DPU in bank b travels in the 64 B wire line at PIM
+     * region offset bankRegionOffset(b) + 64*w.
+     */
+    Addr
+    wireLineOffset(unsigned bank, Addr mramWordOffset) const
+    {
+        return geom_.bankRegionOffset(bank) +
+               (mramWordOffset / kWordBytes) * kBlockBytes;
+    }
+
+    /**
+     * Run a kernel functionally on every listed DPU and return the
+     * modeled execution time (SPMD: all DPUs run the same program, the
+     * slowest one gates completion; the model assumes balanced work).
+     *
+     * @param dpuIds      participating DPUs
+     * @param kernel      callable invoked as kernel(dpu, indexInList)
+     * @param model       analytic timing model for this kernel
+     * @param bytesPerDpu input bytes each DPU touches (for the model)
+     */
+    Tick launch(const std::vector<unsigned> &dpuIds,
+                const std::function<void(Dpu &, unsigned)> &kernel,
+                const KernelModel &model, std::uint64_t bytesPerDpu);
+
+    /**
+     * Run a mini-ISA DPU program (SPMD) on every listed DPU via the
+     * cycle-counting interpreter. Execution time is derived from the
+     * slowest DPU's instruction/DMA cycle count rather than an
+     * analytic model.
+     *
+     * @param argsPerDpu per-DPU kernel arguments loaded into r1..rN
+     *                   (one vector per DPU, or a single vector
+     *                   broadcast to all)
+     * @return modeled wall time of the launch
+     */
+    Tick launchProgram(const std::vector<unsigned> &dpuIds,
+                       const DpuProgram &program,
+                       const std::vector<std::vector<std::int64_t>>
+                           &argsPerDpu,
+                       const DpuCoreConfig &coreConfig =
+                           DpuCoreConfig{});
+
+  private:
+    PimGeometry geom_;
+    std::vector<Dpu> dpus_;
+};
+
+} // namespace device
+} // namespace pimmmu
+
+#endif // PIMMMU_PIM_PIM_DEVICE_HH

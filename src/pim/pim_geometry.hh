@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Geometry of a UPMEM-like bank-level PIM subsystem.
+ *
+ * The memory controller sees ordinary DDR4 banks; each bank is shared by
+ * `chipsPerRank` chips in lockstep, and every chip contributes one DPU
+ * (PIM core) per bank. A 64 B burst to a bank therefore carries 8 B of
+ * payload to each of the bank's 8 DPUs, which is why host data must be
+ * byte-transposed before transfer (paper Fig. 3).
+ */
+
+#ifndef PIMMMU_PIM_PIM_GEOMETRY_HH
+#define PIMMMU_PIM_PIM_GEOMETRY_HH
+
+#include "common/logging.hh"
+#include "mapping/geometry.hh"
+
+namespace pimmmu {
+namespace device {
+
+/** Shape of the PIM subsystem. */
+struct PimGeometry
+{
+    /** Bank-level shape as seen by the memory controller. */
+    mapping::DramGeometry banks;
+
+    /** Chips per rank == DPUs per bank (x8 DIMM => 8). */
+    unsigned chipsPerRank = 8;
+
+    unsigned
+    numBanks() const
+    {
+        return banks.channels * banks.ranksPerChannel *
+               banks.banksPerRank();
+    }
+
+    unsigned numDpus() const { return numBanks() * chipsPerRank; }
+
+    /** MRAM capacity of one DPU: its byte-lane slice of a bank. */
+    std::uint64_t
+    mramBytesPerDpu() const
+    {
+        return banks.bankBytes() / chipsPerRank;
+    }
+
+    /** DPU id decomposition: id = bank * chipsPerRank + chip. */
+    unsigned dpuBank(unsigned dpuId) const { return dpuId / chipsPerRank; }
+    unsigned dpuChip(unsigned dpuId) const { return dpuId % chipsPerRank; }
+
+    unsigned
+    dpuId(unsigned bank, unsigned chip) const
+    {
+        return bank * chipsPerRank + chip;
+    }
+
+    /**
+     * Device coordinate (row/column zero) of a flat bank index. The
+     * flat ordering matches DramCoord::globalBankIndex: channel outer,
+     * then rank, bank group, bank.
+     */
+    mapping::DramCoord
+    bankCoord(unsigned bankIdx) const
+    {
+        PIMMMU_ASSERT(bankIdx < numBanks(), "bank index out of range");
+        mapping::DramCoord c;
+        const unsigned perChannel =
+            banks.ranksPerChannel * banks.banksPerRank();
+        c.ch = bankIdx / perChannel;
+        unsigned rest = bankIdx % perChannel;
+        c.ra = rest / banks.banksPerRank();
+        rest %= banks.banksPerRank();
+        c.bg = rest / banks.banksPerGroup;
+        c.bk = rest % banks.banksPerGroup;
+        return c;
+    }
+
+    /**
+     * Byte offset of a bank's contiguous slab within the PIM region
+     * under the locality-centric (ChRaBgBkRoCo) mapping.
+     */
+    Addr
+    bankRegionOffset(unsigned bankIdx) const
+    {
+        return Addr{bankIdx} * banks.bankBytes();
+    }
+
+    /** Paper Table I shape: 4 channels x 2 ranks, 512 DPUs. */
+    static PimGeometry
+    paperTable1()
+    {
+        PimGeometry g;
+        g.banks.channels = 4;
+        g.banks.ranksPerChannel = 2;
+        g.banks.bankGroups = 4;
+        g.banks.banksPerGroup = 2; // 8 banks/rank, one per UPMEM chip bank
+        g.banks.rows = 16384;
+        g.banks.columns = 128; // 8 KiB rows
+        g.banks.lineBytes = 64;
+        g.chipsPerRank = 8;
+        return g;
+    }
+};
+
+} // namespace device
+} // namespace pimmmu
+
+#endif // PIMMMU_PIM_PIM_GEOMETRY_HH

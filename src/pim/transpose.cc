@@ -1,0 +1,37 @@
+#include "pim/transpose.hh"
+
+namespace pimmmu {
+namespace device {
+
+void
+transpose8x8(const std::uint8_t *in, std::uint8_t *out)
+{
+    for (unsigned w = 0; w < kBlockWords; ++w) {
+        for (unsigned c = 0; c < kWordBytes; ++c)
+            out[c * kBlockWords + w] = in[w * kWordBytes + c];
+    }
+}
+
+void
+packWireBlock(const std::uint8_t *const words[kBlockWords],
+              std::uint8_t *out)
+{
+    // Row c of the logical matrix is the word for chip c; the wire block
+    // is the transpose so that byte-interleaving across chips puts row c
+    // back together inside chip c.
+    for (unsigned c = 0; c < kBlockWords; ++c) {
+        for (unsigned b = 0; b < kWordBytes; ++b)
+            out[b * kWordBytes + c] = words[c][b];
+    }
+}
+
+void
+unpackWireWord(const std::uint8_t *block, unsigned chip,
+               std::uint8_t *wordOut)
+{
+    for (unsigned b = 0; b < kWordBytes; ++b)
+        wordOut[b] = block[b * kWordBytes + chip];
+}
+
+} // namespace device
+} // namespace pimmmu

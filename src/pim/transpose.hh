@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The 8x8 byte transpose applied to DRAM<->PIM transfer data
+ * (paper Fig. 3 and the DCE preprocessing unit, section IV-C).
+ *
+ * A x8 DIMM byte-interleaves every 8-byte word across its 8 chips, so a
+ * DPU (which lives in one chip) would only see one byte of each word.
+ * Transposing each 64 B block before the transfer makes wire word j
+ * carry the bytes that chip j receives, i.e. one full 8 B data word per
+ * DPU per block.
+ */
+
+#ifndef PIMMMU_PIM_TRANSPOSE_HH
+#define PIMMMU_PIM_TRANSPOSE_HH
+
+#include <cstdint>
+
+namespace pimmmu {
+namespace device {
+
+constexpr unsigned kWordBytes = 8;
+constexpr unsigned kBlockWords = 8;
+constexpr unsigned kBlockBytes = kWordBytes * kBlockWords;
+
+/**
+ * Transpose one 64 B block viewed as an 8x8 byte matrix:
+ * out[c * 8 + w] = in[w * 8 + c]. The operation is an involution.
+ * @p in and @p out must not alias.
+ */
+void transpose8x8(const std::uint8_t *in, std::uint8_t *out);
+
+/**
+ * Pack one wire block for a bank: word lane @p c of the output block is
+ * the 8 B word destined for the DPU in chip @p c.
+ * Equivalent to building the matrix whose row c is words[c], then
+ * transposing it so that chip interleaving delivers row c to chip c.
+ *
+ * @param words 8 pointers, each to an 8 B source word (one per chip)
+ * @param out   64 B wire block
+ */
+void packWireBlock(const std::uint8_t *const words[kBlockWords],
+                   std::uint8_t *out);
+
+/**
+ * Unpack one wire block: extract the 8 B word belonging to chip
+ * @p chip from a 64 B wire block.
+ */
+void unpackWireWord(const std::uint8_t *block, unsigned chip,
+                    std::uint8_t *wordOut);
+
+} // namespace device
+} // namespace pimmmu
+
+#endif // PIMMMU_PIM_TRANSPOSE_HH

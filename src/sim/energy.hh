@@ -1,0 +1,83 @@
+/**
+ * @file
+ * System power/energy model in the spirit of the paper's McPAT/CACTI
+ * methodology (section V, 32 nm constants folded into component-level
+ * wattages). Processor-side components dominate system energy during
+ * transfers (paper Fig. 15(b)), so the model is CPU-centric: package
+ * idle power, per-active-core power, an AVX-512 adder (AVX copy loops
+ * are power hungry, Fig. 4), DCE active power, plus DRAM background and
+ * per-byte dynamic energy.
+ */
+
+#ifndef PIMMMU_SIM_ENERGY_HH
+#define PIMMMU_SIM_ENERGY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace sim {
+
+/**
+ * Component wattages / energies. Calibrated so the baseline transfer
+ * operating point matches paper Fig. 4 (~70 W with all 8 cores in the
+ * AVX loop) while the package static share dominates — which is why
+ * the paper's energy-efficiency gains track its latency gains.
+ */
+struct PowerModel
+{
+    double packageIdleW = 52.0;  //!< uncore + static + idle cores
+    double coreActiveW = 2.0;    //!< per busy core
+    double avxAdderW = 0.25;     //!< extra per core running AVX-512
+    double dceActiveW = 0.8;     //!< DCE engaged (SRAM + logic)
+    double dramPjPerByte = 150.0;
+    double dramBackgroundWPerChannel = 0.7;
+};
+
+/** Cumulative activity counters at one instant. */
+struct EnergySnapshot
+{
+    Tick now = 0;
+    Tick cpuBusyPs = 0;   //!< sum over cores
+    Tick avxBusyPs = 0;   //!< sum over cores
+    Tick dceBusyPs = 0;
+    std::uint64_t dramBytes = 0; //!< bus bytes, DRAM subsystem
+    std::uint64_t pimBytes = 0;  //!< bus bytes, PIM subsystem
+};
+
+/** Energy spent between two snapshots, by component. */
+struct EnergyReport
+{
+    double cpuJ = 0.0;
+    double dramJ = 0.0;
+    double dceJ = 0.0;
+
+    double totalJ() const { return cpuJ + dramJ + dceJ; }
+
+    /** GB moved per joule; the paper's energy-efficiency metric. */
+    double
+    gbPerJoule(std::uint64_t bytes) const
+    {
+        const double total = totalJ();
+        return total > 0.0 ? (static_cast<double>(bytes) / 1e9) / total
+                           : 0.0;
+    }
+};
+
+/** Integrate the power model between two snapshots. */
+EnergyReport computeEnergy(const PowerModel &model,
+                           const EnergySnapshot &from,
+                           const EnergySnapshot &to,
+                           unsigned totalChannels);
+
+/**
+ * CACTI-style SRAM area estimate for the DCE buffers (section VI-C):
+ * returns mm^2 at 32 nm for @p bytes of SRAM.
+ */
+double sramAreaMm2(std::uint64_t bytes);
+
+} // namespace sim
+} // namespace pimmmu
+
+#endif // PIMMMU_SIM_ENERGY_HH

@@ -1,0 +1,62 @@
+#include "sim/stream_driver.hh"
+
+namespace pimmmu {
+namespace sim {
+
+StreamDriver::StreamDriver(EventQueue &eq, dram::MemorySystem &mem,
+                           unsigned maxOutstanding)
+    : eq_(eq), mem_(mem), maxOutstanding_(maxOutstanding)
+{
+    mem_.onDrain([this] { pump(); });
+}
+
+void
+StreamDriver::pump()
+{
+    if (!addrs_)
+        return;
+    while (outstanding_ < maxOutstanding_ &&
+           nextIdx_ < addrs_->size()) {
+        const Addr addr = (*addrs_)[nextIdx_];
+        if (!mem_.canAccept(addr, write_))
+            return;
+        dram::MemRequest req;
+        req.paddr = addr;
+        req.write = write_;
+        req.onComplete = [this](const dram::MemRequest &) {
+            --outstanding_;
+            ++completed_;
+            pump();
+        };
+        const bool ok = mem_.enqueue(std::move(req));
+        PIMMMU_ASSERT(ok, "enqueue after canAccept failed");
+        ++nextIdx_;
+        ++outstanding_;
+    }
+}
+
+StreamResult
+StreamDriver::run(const std::vector<Addr> &addrs, bool write)
+{
+    PIMMMU_ASSERT(!addrs_, "StreamDriver::run is not reentrant");
+    addrs_ = &addrs;
+    write_ = write;
+    nextIdx_ = 0;
+    completed_ = 0;
+    outstanding_ = 0;
+
+    const Tick start = eq_.now();
+    pump();
+    while (completed_ < addrs.size()) {
+        const bool progressed = eq_.step();
+        PIMMMU_ASSERT(progressed, "event queue drained mid-stream");
+    }
+    StreamResult result;
+    result.durationPs = eq_.now() - start;
+    result.bytes = std::uint64_t{addrs.size()} * 64;
+    addrs_ = nullptr;
+    return result;
+}
+
+} // namespace sim
+} // namespace pimmmu

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A bare request-stream driver: issues a list of line addresses to the
+ * memory system with bounded outstanding requests and runs the event
+ * loop to completion. Used to measure raw subsystem bandwidth under a
+ * given mapping function (paper Fig. 8) without any CPU-model effects.
+ */
+
+#ifndef PIMMMU_SIM_STREAM_DRIVER_HH
+#define PIMMMU_SIM_STREAM_DRIVER_HH
+
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "dram/memory_system.hh"
+
+namespace pimmmu {
+namespace sim {
+
+/** Result of one driven stream. */
+struct StreamResult
+{
+    Tick durationPs = 0;
+    std::uint64_t bytes = 0;
+
+    double gbps() const { return gbPerSec(bytes, durationPs); }
+};
+
+/**
+ * Issues addresses in order, keeping up to @p maxOutstanding requests
+ * in flight (a deep hardware-prefetch-style stream).
+ */
+class StreamDriver
+{
+  public:
+    StreamDriver(EventQueue &eq, dram::MemorySystem &mem,
+                 unsigned maxOutstanding = 64);
+
+    /**
+     * Drive all of @p addrs as reads or writes; runs the event queue
+     * until every request completes.
+     */
+    StreamResult run(const std::vector<Addr> &addrs, bool write);
+
+  private:
+    void pump();
+
+    EventQueue &eq_;
+    dram::MemorySystem &mem_;
+    unsigned maxOutstanding_;
+
+    const std::vector<Addr> *addrs_ = nullptr;
+    bool write_ = false;
+    std::size_t nextIdx_ = 0;
+    std::size_t completed_ = 0;
+    unsigned outstanding_ = 0;
+};
+
+} // namespace sim
+} // namespace pimmmu
+
+#endif // PIMMMU_SIM_STREAM_DRIVER_HH

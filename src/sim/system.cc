@@ -1,0 +1,378 @@
+#include "sim/system.hh"
+
+#include <numeric>
+
+namespace pimmmu {
+namespace sim {
+
+const char *
+designPointName(DesignPoint dp)
+{
+    switch (dp) {
+      case DesignPoint::Base:
+        return "Base";
+      case DesignPoint::BaseD:
+        return "Base+D";
+      case DesignPoint::BaseDH:
+        return "Base+D+H";
+      case DesignPoint::BaseDHP:
+        return "Base+D+H+P";
+      default:
+        panic("bad design point");
+    }
+}
+
+SystemConfig
+SystemConfig::paperTable1(DesignPoint design)
+{
+    SystemConfig cfg;
+    // DRAM: 4 channels, 2 ranks per channel, DDR4-2400 (Table I).
+    cfg.dramGeom.channels = 4;
+    cfg.dramGeom.ranksPerChannel = 2;
+    cfg.dramGeom.bankGroups = 4;
+    cfg.dramGeom.banksPerGroup = 4;
+    cfg.dramGeom.rows = 16384;
+    cfg.dramGeom.columns = 128; // 8 KiB rows
+    cfg.dramGeom.lineBytes = 64;
+    // PIM: 4 channels, 2 ranks per channel, 512 PIM cores.
+    cfg.pimGeom = device::PimGeometry::paperTable1();
+    cfg.design = design;
+    cfg.dce.usePimMs = (design == DesignPoint::BaseDHP);
+    return cfg;
+}
+
+System::System(const SystemConfig &config) : config_(config)
+{
+    const auto &dramTiming = dram::timingPreset(config_.dramSpeed);
+    const auto &pimTiming = dram::timingPreset(config_.pimSpeed);
+
+    map_ = config_.hetMap()
+               ? mapping::makeHetMap(config_.dramGeom,
+                                     config_.pimGeom.banks)
+               : mapping::makeBaselineMap(config_.dramGeom,
+                                          config_.pimGeom.banks);
+    mem_ = std::make_unique<dram::MemorySystem>(eq_, *map_, dramTiming,
+                                                pimTiming, config_.mc);
+    // Host buffers are virtually contiguous but physically scattered
+    // at huge-page granularity, as on a real machine.
+    if (config_.scatterHostFrames)
+        mem_->enableScatter();
+    pim_ = std::make_unique<device::PimDevice>(config_.pimGeom);
+    if (config_.useLlc) {
+        cache::CacheConfig llcCfg = config_.llc;
+        llcCfg.cpuPeriodPs = config_.cpu.periodPs();
+        llc_ = std::make_unique<cache::Cache>(eq_, llcCfg, *mem_);
+    }
+    cpu_ = std::make_unique<cpu::Cpu>(eq_, config_.cpu, *mem_,
+                                      llc_.get());
+
+    core::DceConfig dceCfg = config_.dce;
+    dceCfg.usePimMs = config_.usePimMs();
+    dce_ = std::make_unique<core::Dce>(eq_, dceCfg, *mem_,
+                                       config_.pimGeom);
+    pimMmuRuntime_ = std::make_unique<core::PimMmuRuntime>(
+        eq_, *dce_, *mem_, *pim_);
+    upmemRuntime_ = std::make_unique<upmem::UpmemRuntime>(
+        eq_, *cpu_, *mem_, *pim_);
+}
+
+System::~System()
+{
+    cpu_->shutdown();
+}
+
+Addr
+System::allocDram(std::uint64_t bytes, std::uint64_t align)
+{
+    PIMMMU_ASSERT(isPowerOfTwo(align), "alignment must be a power of 2");
+    const Addr base = roundUp(dramAllocTop_, align);
+    if (base + bytes > map_->dramCapacity())
+        fatal("out of simulated DRAM (", bytes, " bytes requested)");
+    dramAllocTop_ = base + bytes;
+    return base;
+}
+
+bool
+System::runUntil(const std::function<bool()> &pred, Tick limitPs)
+{
+    while (!pred()) {
+        if (eq_.now() > limitPs)
+            return false;
+        if (!eq_.step())
+            return pred();
+    }
+    return true;
+}
+
+EnergySnapshot
+System::snapshot() const
+{
+    EnergySnapshot snap;
+    snap.now = eq_.now();
+    snap.cpuBusyPs = cpu_->totalBusyPs();
+    snap.avxBusyPs = cpu_->totalAvxBusyPs();
+    snap.dceBusyPs = dce_->busyPs();
+    snap.dramBytes = mem_->dramBytesMoved();
+    snap.pimBytes = mem_->pimBytesMoved();
+    return snap;
+}
+
+unsigned
+System::totalChannels() const
+{
+    return mem_->dramChannels() + mem_->pimChannels();
+}
+
+std::shared_ptr<AsyncTransfer>
+System::startSoftwareTransfer(core::XferDirection dir,
+                              const std::vector<unsigned> &dpuIds,
+                              const std::vector<Addr> &hostAddrs,
+                              std::uint64_t bytesPerDpu, Addr heapOffset)
+{
+    auto xfer = std::make_shared<AsyncTransfer>();
+    xfer->startPs = eq_.now();
+    xfer->bytes = bytesPerDpu * dpuIds.size();
+    upmemRuntime_->pushXfer(dir == core::XferDirection::DramToPim
+                                ? upmem::XferKind::ToDpu
+                                : upmem::XferKind::FromDpu,
+                            dpuIds, hostAddrs, bytesPerDpu, heapOffset,
+                            [this, xfer] {
+                                xfer->done = true;
+                                xfer->endPs = eq_.now();
+                            });
+    return xfer;
+}
+
+std::shared_ptr<AsyncTransfer>
+System::startDceTransfer(core::XferDirection dir,
+                         const std::vector<unsigned> &dpuIds,
+                         const std::vector<Addr> &hostAddrs,
+                         std::uint64_t bytesPerDpu, Addr heapOffset)
+{
+    core::PimMmuOp op;
+    op.type = dir;
+    op.sizePerPim = bytesPerDpu;
+    op.dramAddrArr = hostAddrs;
+    op.pimIdArr = dpuIds;
+    op.pimBaseHeapPtr = heapOffset;
+
+    auto xfer = std::make_shared<AsyncTransfer>();
+    xfer->startPs = eq_.now();
+    xfer->bytes = bytesPerDpu * dpuIds.size();
+
+    auto thread = std::make_shared<core::PimMmuRequestThread>(
+        *pimMmuRuntime_, std::move(op), [this, xfer] {
+            xfer->done = true;
+            xfer->endPs = eq_.now();
+        });
+    cpu_->runJob({thread}, nullptr);
+    return xfer;
+}
+
+std::shared_ptr<AsyncTransfer>
+System::startTransfer(core::XferDirection dir, unsigned numDpus,
+                      std::uint64_t bytesPerDpu, Addr heapOffset)
+{
+    PIMMMU_ASSERT(numDpus > 0 && numDpus <= pim_->numDpus(),
+                  "bad DPU count");
+    std::vector<unsigned> dpuIds(numDpus);
+    std::iota(dpuIds.begin(), dpuIds.end(), 0u);
+
+    // One contiguous host allocation partitioned per DPU (Fig. 10).
+    const Addr base = allocDram(std::uint64_t{numDpus} * bytesPerDpu);
+    std::vector<Addr> hostAddrs(numDpus);
+    for (unsigned i = 0; i < numDpus; ++i)
+        hostAddrs[i] = base + std::uint64_t{i} * bytesPerDpu;
+
+    if (config_.useDce())
+        return startDceTransfer(dir, dpuIds, hostAddrs, bytesPerDpu,
+                                heapOffset);
+    return startSoftwareTransfer(dir, dpuIds, hostAddrs, bytesPerDpu,
+                                 heapOffset);
+}
+
+TransferStats
+System::finishStats(const AsyncTransfer &xfer,
+                    const EnergySnapshot &before,
+                    const std::vector<std::uint64_t> &dramB,
+                    const std::vector<std::uint64_t> &pimB)
+{
+    TransferStats stats;
+    stats.startPs = xfer.startPs;
+    stats.endPs = xfer.endPs;
+    stats.bytes = xfer.bytes;
+    const EnergySnapshot after = snapshot();
+    stats.energy =
+        computeEnergy(config_.power, before, after, totalChannels());
+    const double durSec =
+        static_cast<double>(stats.durationPs()) / 1e12;
+    if (durSec > 0.0) {
+        stats.avgActiveCores =
+            static_cast<double>(after.cpuBusyPs - before.cpuBusyPs) /
+            static_cast<double>(stats.durationPs());
+    }
+    for (unsigned ch = 0; ch < mem_->dramChannels(); ++ch) {
+        stats.dramChannelGbps.push_back(gbPerSec(
+            mem_->dramController(ch).bytesMoved() - dramB[ch],
+            stats.durationPs()));
+    }
+    for (unsigned ch = 0; ch < mem_->pimChannels(); ++ch) {
+        stats.pimChannelGbps.push_back(gbPerSec(
+            mem_->pimController(ch).bytesMoved() - pimB[ch],
+            stats.durationPs()));
+    }
+    return stats;
+}
+
+TransferStats
+System::runTransfer(core::XferDirection dir, unsigned numDpus,
+                    std::uint64_t bytesPerDpu, Addr heapOffset)
+{
+    const EnergySnapshot before = snapshot();
+    std::vector<std::uint64_t> dramB, pimB;
+    for (unsigned ch = 0; ch < mem_->dramChannels(); ++ch)
+        dramB.push_back(mem_->dramController(ch).bytesMoved());
+    for (unsigned ch = 0; ch < mem_->pimChannels(); ++ch)
+        pimB.push_back(mem_->pimController(ch).bytesMoved());
+
+    auto xfer = startTransfer(dir, numDpus, bytesPerDpu, heapOffset);
+
+    // Run in 100 us windows and track instantaneous PIM-channel load
+    // imbalance (max channel bytes / mean channel bytes per window).
+    const Tick window = 100 * kPsPerUs;
+    std::vector<std::uint64_t> prev(mem_->pimChannels());
+    for (unsigned ch = 0; ch < mem_->pimChannels(); ++ch)
+        prev[ch] = mem_->pimController(ch).bytesMoved();
+    double imbalanceSum = 0.0;
+    unsigned windows = 0;
+    while (!xfer->done) {
+        const Tick limit = eq_.now() + window;
+        runUntil([&] { return xfer->done; }, limit);
+        if (eq_.now() <= xfer->startPs)
+            continue;
+        std::uint64_t total = 0, peak = 0;
+        for (unsigned ch = 0; ch < mem_->pimChannels(); ++ch) {
+            const std::uint64_t cur =
+                mem_->pimController(ch).bytesMoved();
+            const std::uint64_t delta = cur - prev[ch];
+            prev[ch] = cur;
+            total += delta;
+            peak = std::max(peak, delta);
+        }
+        // Ignore windows with negligible traffic (ramp-up/drain).
+        if (total < 64 * mem_->pimChannels())
+            continue;
+        imbalanceSum += static_cast<double>(peak) /
+                        (static_cast<double>(total) /
+                         mem_->pimChannels());
+        ++windows;
+        if (eq_.pending() == 0 && !xfer->done)
+            break;
+    }
+    PIMMMU_ASSERT(xfer->done, "transfer did not complete");
+    TransferStats stats = finishStats(*xfer, before, dramB, pimB);
+    if (windows > 0)
+        stats.pimWindowImbalance = imbalanceSum / windows;
+    return stats;
+}
+
+TransferStats
+System::runMemcpy(std::uint64_t totalBytes, unsigned threads)
+{
+    PIMMMU_ASSERT(totalBytes % 64 == 0, "memcpy size must be 64B-aligned");
+    const Addr src = allocDram(totalBytes);
+    const Addr dst = allocDram(totalBytes);
+
+    // Functional copy.
+    std::vector<std::uint8_t> buf(64);
+    for (std::uint64_t off = 0; off < totalBytes; off += 64) {
+        mem_->store().read(src + off, buf.data(), 64);
+        mem_->store().write(dst + off, buf.data(), 64);
+    }
+
+    const EnergySnapshot before = snapshot();
+    std::vector<std::uint64_t> dramB, pimB;
+    for (unsigned ch = 0; ch < mem_->dramChannels(); ++ch)
+        dramB.push_back(mem_->dramController(ch).bytesMoved());
+    for (unsigned ch = 0; ch < mem_->pimChannels(); ++ch)
+        pimB.push_back(mem_->pimController(ch).bytesMoved());
+
+    auto xfer = std::make_shared<AsyncTransfer>();
+    xfer->startPs = eq_.now();
+    xfer->bytes = totalBytes;
+
+    if (config_.useDce()) {
+        // Offload to the DCE as fine-grained chunks.
+        const unsigned chunks = 64;
+        const std::uint64_t lines = totalBytes / 64;
+        const std::uint64_t perChunk =
+            std::max<std::uint64_t>(1, lines / chunks);
+        core::DceTransfer transfer;
+        transfer.dir = core::XferDirection::DramToDram;
+        std::uint64_t line = 0;
+        while (line < lines) {
+            const std::uint64_t n =
+                std::min(perChunk, lines - line);
+            core::BankStream stream;
+            stream.hostBase[0] = src + line * 64;
+            stream.wireBase = dst + line * 64;
+            stream.totalLines = n;
+            transfer.streams.push_back(stream);
+            line += n;
+        }
+        eq_.scheduleAfter(
+            config_.dce.mmioDoorbellPs,
+            [this, transfer = std::move(transfer), xfer]() mutable {
+                dce_->enqueue(std::move(transfer), [this, xfer] {
+                    xfer->done = true;
+                    xfer->endPs = eq_.now();
+                });
+            });
+    } else {
+        // Software multithreaded memcpy (AVX-512 streaming copy).
+        const std::uint64_t lines = totalBytes / 64;
+        const std::uint64_t perThread =
+            std::max<std::uint64_t>(1, lines / threads);
+        std::vector<std::shared_ptr<cpu::SoftThread>> workers;
+        std::uint64_t line = 0;
+        while (line < lines) {
+            const std::uint64_t n = std::min(perThread, lines - line);
+            cpu::CopyWork work;
+            work.kind = cpu::CopyWork::Kind::DramToDram;
+            work.src = src + line * 64;
+            work.dst = dst + line * 64;
+            work.lines = n;
+            workers.push_back(std::make_shared<cpu::CopyThread>(work));
+            line += n;
+        }
+        cpu_->runJob(std::move(workers), [this, xfer] {
+            xfer->done = true;
+            xfer->endPs = eq_.now();
+        });
+    }
+
+    const bool ok = runUntil([&] { return xfer->done; });
+    PIMMMU_ASSERT(ok, "memcpy did not complete");
+    return finishStats(*xfer, before, dramB, pimB);
+}
+
+void
+System::addComputeContenders(unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i)
+        cpu_->addThread(std::make_shared<cpu::ComputeContender>());
+}
+
+void
+System::addMemoryContenders(unsigned count, cpu::MemIntensity intensity,
+                            std::uint64_t footprintBytes)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        const Addr base = allocDram(footprintBytes, 4096);
+        cpu_->addThread(std::make_shared<cpu::MemoryContender>(
+            intensity, base, footprintBytes, 0x5eed + contenderSeed_++));
+    }
+}
+
+} // namespace sim
+} // namespace pimmmu

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The full simulated system (paper Table I): host CPU + LLC + memory
+ * controllers + DRAM and PIM subsystems + (optionally) the PIM-MMU.
+ *
+ * A System is built at one of the paper's design points:
+ *   Base      - software transfers, homogeneous locality-centric map
+ *   BaseD     - DCE as a vanilla DMA (no PIM-MS), locality map
+ *   BaseDH    - DCE + HetMap, still no PIM-MS
+ *   BaseDHP   - full PIM-MMU (DCE + HetMap + PIM-MS)
+ * which is exactly the additive ablation of paper Fig. 15.
+ */
+
+#ifndef PIMMMU_SIM_SYSTEM_HH
+#define PIMMMU_SIM_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/event_queue.hh"
+#include "core/dce.hh"
+#include "core/pim_mmu_runtime.hh"
+#include "cpu/contender.hh"
+#include "cpu/cpu.hh"
+#include "dram/memory_system.hh"
+#include "pim/pim_device.hh"
+#include "sim/energy.hh"
+#include "upmem/dpu_runtime.hh"
+
+namespace pimmmu {
+namespace sim {
+
+/** The additive design points of the Fig. 15 ablation. */
+enum class DesignPoint
+{
+    Base,
+    BaseD,
+    BaseDH,
+    BaseDHP
+};
+
+const char *designPointName(DesignPoint dp);
+
+/** Everything needed to build a System. */
+struct SystemConfig
+{
+    cpu::CpuConfig cpu;
+    cache::CacheConfig llc;
+    bool useLlc = true;
+
+    mapping::DramGeometry dramGeom;
+    device::PimGeometry pimGeom;
+    dram::SpeedGrade dramSpeed = dram::SpeedGrade::DDR4_2400;
+    dram::SpeedGrade pimSpeed = dram::SpeedGrade::DDR4_2400;
+    dram::ControllerConfig mc;
+    core::DceConfig dce;
+
+    DesignPoint design = DesignPoint::BaseDHP;
+    PowerModel power;
+
+    /**
+     * Scatter host buffers across physical 2 MiB frames (default: the
+     * OS-allocated reality). Disable to model pinned, physically
+     * contiguous hugepage buffers (controlled microbenchmarks).
+     */
+    bool scatterHostFrames = true;
+
+    bool hetMap() const { return design >= DesignPoint::BaseDH; }
+    bool useDce() const { return design != DesignPoint::Base; }
+    bool usePimMs() const { return design == DesignPoint::BaseDHP; }
+
+    /** Paper Table I configuration at the given design point. */
+    static SystemConfig paperTable1(
+        DesignPoint design = DesignPoint::BaseDHP);
+};
+
+/** Timing/energy outcome of one measured operation. */
+struct TransferStats
+{
+    Tick startPs = 0;
+    Tick endPs = 0;
+    std::uint64_t bytes = 0;
+    EnergyReport energy;
+    double avgActiveCores = 0.0;
+    std::vector<double> dramChannelGbps;
+    std::vector<double> pimChannelGbps;
+
+    /**
+     * Mean over 100 us windows of (busiest PIM channel's bytes /
+     * average per-channel bytes): 1.0 = perfectly balanced, numChannels
+     * = all traffic on one channel. Captures the instantaneous channel
+     * congestion of paper Figs. 6/12 that whole-run averages hide.
+     */
+    double pimWindowImbalance = 1.0;
+
+    Tick durationPs() const { return endPs - startPs; }
+    double seconds() const
+    {
+        return static_cast<double>(durationPs()) / 1e12;
+    }
+    double gbps() const { return gbPerSec(bytes, durationPs()); }
+    double gbPerJoule() const { return energy.gbPerJoule(bytes); }
+};
+
+/** Handle to a transfer running concurrently with other activity. */
+struct AsyncTransfer
+{
+    bool done = false;
+    Tick startPs = 0;
+    Tick endPs = 0;
+    std::uint64_t bytes = 0;
+};
+
+/** The simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    const SystemConfig &config() const { return config_; }
+    EventQueue &eq() { return eq_; }
+    dram::MemorySystem &mem() { return *mem_; }
+    device::PimDevice &pim() { return *pim_; }
+    cpu::Cpu &cpu() { return *cpu_; }
+    cache::Cache *llc() { return llc_.get(); }
+    core::Dce &dce() { return *dce_; }
+    core::PimMmuRuntime &pimMmu() { return *pimMmuRuntime_; }
+    upmem::UpmemRuntime &upmem() { return *upmemRuntime_; }
+    const mapping::SystemMap &map() const { return *map_; }
+
+    /** Bump-allocate host memory in the DRAM physical region. */
+    Addr allocDram(std::uint64_t bytes, std::uint64_t align = 64);
+
+    /**
+     * Run the event loop until @p pred returns true (or the queue
+     * drains / @p limitPs passes). @return whether pred was satisfied.
+     */
+    bool runUntil(const std::function<bool()> &pred,
+                  Tick limitPs = kTickMax);
+
+    EnergySnapshot snapshot() const;
+
+    /** Total channels (DRAM + PIM) for the background-power term. */
+    unsigned totalChannels() const;
+
+    // ------------------------------------------------------------------
+    // High-level measured operations used by the benches and examples.
+    // ------------------------------------------------------------------
+
+    /**
+     * Launch a DRAM<->PIM transfer of @p bytesPerDpu bytes to each of
+     * the first @p numDpus DPUs. Host arrays are carved out of one
+     * contiguous allocation, exactly like the paper's Fig. 10 example.
+     * Routed through the software path (Base) or the PIM-MMU path
+     * (BaseD and above) according to the design point.
+     */
+    std::shared_ptr<AsyncTransfer>
+    startTransfer(core::XferDirection dir, unsigned numDpus,
+                  std::uint64_t bytesPerDpu, Addr heapOffset = 0);
+
+    /** Blocking variant of startTransfer with full stats. */
+    TransferStats runTransfer(core::XferDirection dir, unsigned numDpus,
+                              std::uint64_t bytesPerDpu,
+                              Addr heapOffset = 0);
+
+    /**
+     * DRAM->DRAM memcpy of @p totalBytes. Software path uses
+     * @p threads copy threads; at DCE design points the copy is
+     * offloaded to the engine in fine-grained chunks.
+     */
+    TransferStats runMemcpy(std::uint64_t totalBytes,
+                            unsigned threads = 8);
+
+    /** Add co-located contender threads (Fig. 13). */
+    void addComputeContenders(unsigned count);
+    void addMemoryContenders(unsigned count, cpu::MemIntensity intensity,
+                             std::uint64_t footprintBytes = 512 * kMiB);
+
+  private:
+    std::shared_ptr<AsyncTransfer>
+    startSoftwareTransfer(core::XferDirection dir,
+                          const std::vector<unsigned> &dpuIds,
+                          const std::vector<Addr> &hostAddrs,
+                          std::uint64_t bytesPerDpu, Addr heapOffset);
+
+    std::shared_ptr<AsyncTransfer>
+    startDceTransfer(core::XferDirection dir,
+                     const std::vector<unsigned> &dpuIds,
+                     const std::vector<Addr> &hostAddrs,
+                     std::uint64_t bytesPerDpu, Addr heapOffset);
+
+    TransferStats finishStats(const AsyncTransfer &xfer,
+                              const EnergySnapshot &before,
+                              const std::vector<std::uint64_t> &dramB,
+                              const std::vector<std::uint64_t> &pimB);
+
+    SystemConfig config_;
+    EventQueue eq_;
+    mapping::SystemMapPtr map_;
+    std::unique_ptr<dram::MemorySystem> mem_;
+    std::unique_ptr<device::PimDevice> pim_;
+    std::unique_ptr<cache::Cache> llc_;
+    std::unique_ptr<cpu::Cpu> cpu_;
+    std::unique_ptr<core::Dce> dce_;
+    std::unique_ptr<core::PimMmuRuntime> pimMmuRuntime_;
+    std::unique_ptr<upmem::UpmemRuntime> upmemRuntime_;
+
+    Addr dramAllocTop_ = 0;
+    unsigned contenderSeed_ = 1;
+};
+
+} // namespace sim
+} // namespace pimmmu
+
+#endif // PIMMMU_SIM_SYSTEM_HH

@@ -1,0 +1,96 @@
+#include "upmem/dpu_runtime.hh"
+
+#include <numeric>
+
+#include "common/trace.hh"
+#include "pim/host_transfer.hh"
+
+namespace pimmmu {
+namespace upmem {
+
+UpmemRuntime::UpmemRuntime(EventQueue &eq, cpu::Cpu &cpu,
+                           dram::MemorySystem &mem,
+                           device::PimDevice &pim)
+    : eq_(eq), cpu_(cpu), mem_(mem), pim_(pim)
+{
+}
+
+void
+UpmemRuntime::pushXfer(XferKind kind,
+                       const std::vector<unsigned> &dpuIds,
+                       const std::vector<Addr> &hostAddrs,
+                       std::uint64_t bytesPerDpu, Addr heapOffset,
+                       std::function<void()> onComplete)
+{
+    const bool toPim = kind == XferKind::ToDpu;
+    const device::PimGeometry &geom = pim_.geometry();
+    const device::BankGrouping grouping = device::groupByBank(
+        geom, dpuIds, hostAddrs, bytesPerDpu, heapOffset);
+
+    device::functionalTransfer(mem_.store(), pim_, toPim, grouping,
+                               bytesPerDpu, heapOffset);
+
+    // Timing plane: one software copy thread per bank, exactly like the
+    // runtime library's worker pool.
+    const Addr pimBase = mem_.systemMap().pimBase();
+    const std::uint64_t wordStart = heapOffset / device::kWordBytes;
+
+    std::vector<std::shared_ptr<cpu::SoftThread>> threads;
+    threads.reserve(grouping.banks.size());
+    for (const auto &bank : grouping.banks) {
+        cpu::CopyWork work;
+        work.kind = toPim ? cpu::CopyWork::Kind::DramToPim
+                          : cpu::CopyWork::Kind::PimToDram;
+        work.dpuHostBase = bank.hostBase;
+        work.wireBase = pimBase + geom.bankRegionOffset(bank.bankIdx) +
+                        wordStart * device::kBlockBytes;
+        work.linesPerDpu = bytesPerDpu / 64;
+        threads.push_back(std::make_shared<cpu::CopyThread>(work));
+    }
+    PIMMMU_TRACE_LOG(trace::Category::Xfer, eq_.now(),
+                     "dpu_push_xfer: " << grouping.banks.size()
+                                       << " banks x " << bytesPerDpu
+                                       << " B/DPU ("
+                                       << threads.size()
+                                       << " copy threads)");
+    cpu_.runJob(std::move(threads), std::move(onComplete));
+}
+
+DpuSet::DpuSet(UpmemRuntime &runtime, unsigned count)
+    : runtime_(runtime), dpuIds_(count), hostAddrs_(count, kAddrInvalid)
+{
+    if (count == 0 || count > runtime.pim().numDpus())
+        fatal("DpuSet: bad DPU count ", count);
+    std::iota(dpuIds_.begin(), dpuIds_.end(), 0u);
+}
+
+void
+DpuSet::prepareXfer(unsigned index, Addr hostAddr)
+{
+    PIMMMU_ASSERT(index < dpuIds_.size(), "prepareXfer out of range");
+    hostAddrs_[index] = hostAddr;
+}
+
+Tick
+DpuSet::launch(
+    const std::function<void(device::Dpu &, unsigned)> &kernel,
+    const device::KernelModel &model, std::uint64_t bytesPerDpu)
+{
+    return runtime_.pim().launch(dpuIds_, kernel, model, bytesPerDpu);
+}
+
+void
+DpuSet::pushXfer(XferKind kind, Addr heapOffset,
+                 std::uint64_t bytesPerDpu,
+                 std::function<void()> onComplete)
+{
+    for (Addr a : hostAddrs_) {
+        if (a == kAddrInvalid)
+            fatal("pushXfer before every DPU has a prepared buffer");
+    }
+    runtime_.pushXfer(kind, dpuIds_, hostAddrs_, bytesPerDpu,
+                      heapOffset, std::move(onComplete));
+}
+
+} // namespace upmem
+} // namespace pimmmu

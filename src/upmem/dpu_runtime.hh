@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Baseline UPMEM-like runtime: the software data-transfer path the
+ * paper characterizes (sections II-C and III). dpu_push_xfer spawns
+ * one AVX-512 copy thread per target bank; the OS scheduler time-slices
+ * them across the CPU cores, which is exactly the coarse-grained
+ * software scheduling whose throughput the paper root-causes.
+ */
+
+#ifndef PIMMMU_UPMEM_DPU_RUNTIME_HH
+#define PIMMMU_UPMEM_DPU_RUNTIME_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/copy_thread.hh"
+#include "cpu/cpu.hh"
+#include "dram/memory_system.hh"
+#include "pim/pim_device.hh"
+
+namespace pimmmu {
+namespace upmem {
+
+/** Transfer direction, mirroring DPU_XFER_TO_DPU / DPU_XFER_FROM_DPU. */
+enum class XferKind
+{
+    ToDpu,
+    FromDpu
+};
+
+/**
+ * The runtime. One instance per simulated system.
+ */
+class UpmemRuntime
+{
+  public:
+    UpmemRuntime(EventQueue &eq, cpu::Cpu &cpu,
+                 dram::MemorySystem &mem, device::PimDevice &pim);
+
+    /**
+     * dpu_push_xfer: move @p bytesPerDpu bytes between each listed
+     * DPU's host array and its MRAM heap at @p heapOffset.
+     *
+     * Functional semantics apply immediately; the timing plane spawns
+     * one CopyThread per bank on the CPU and fires @p onComplete when
+     * the last write retires.
+     */
+    void pushXfer(XferKind kind, const std::vector<unsigned> &dpuIds,
+                  const std::vector<Addr> &hostAddrs,
+                  std::uint64_t bytesPerDpu, Addr heapOffset,
+                  std::function<void()> onComplete);
+
+    device::PimDevice &pim() { return pim_; }
+    cpu::Cpu &cpu() { return cpu_; }
+
+  private:
+    EventQueue &eq_;
+    cpu::Cpu &cpu_;
+    dram::MemorySystem &mem_;
+    device::PimDevice &pim_;
+};
+
+/**
+ * Convenience wrapper mirroring the dpu_set_t programming style of
+ * paper Fig. 10(a): allocate a set, prepare per-DPU host pointers,
+ * push the transfer.
+ */
+class DpuSet
+{
+  public:
+    /** Select DPUs [0, count). */
+    DpuSet(UpmemRuntime &runtime, unsigned count);
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(dpuIds_.size());
+    }
+
+    /** dpu_prepare_xfer: bind a host array to the i-th DPU. */
+    void prepareXfer(unsigned index, Addr hostAddr);
+
+    /** dpu_push_xfer over the whole set. */
+    void pushXfer(XferKind kind, Addr heapOffset,
+                  std::uint64_t bytesPerDpu,
+                  std::function<void()> onComplete);
+
+    /**
+     * dpu_launch: run a functional SPMD kernel on every DPU of the
+     * set; returns the modeled execution time.
+     */
+    Tick launch(const std::function<void(device::Dpu &, unsigned)>
+                    &kernel,
+                const device::KernelModel &model,
+                std::uint64_t bytesPerDpu);
+
+    const std::vector<unsigned> &dpuIds() const { return dpuIds_; }
+
+  private:
+    UpmemRuntime &runtime_;
+    std::vector<unsigned> dpuIds_;
+    std::vector<Addr> hostAddrs_;
+};
+
+} // namespace upmem
+} // namespace pimmmu
+
+#endif // PIMMMU_UPMEM_DPU_RUNTIME_HH

@@ -1,0 +1,121 @@
+#include "workloads/kernels.hh"
+
+namespace pimmmu {
+namespace workloads {
+
+DpuKernel
+vecAddKernel(std::uint64_t elemsPerDpu, Addr aOff, Addr bOff, Addr outOff)
+{
+    return [=](device::Dpu &dpu, unsigned) {
+        for (std::uint64_t i = 0; i < elemsPerDpu; ++i) {
+            const auto a = dpu.load<std::int32_t>(aOff + i * 4);
+            const auto b = dpu.load<std::int32_t>(bOff + i * 4);
+            dpu.store<std::int32_t>(outOff + i * 4, a + b);
+        }
+    };
+}
+
+DpuKernel
+reduceKernel(std::uint64_t elemsPerDpu, Addr inOff, Addr outOff)
+{
+    return [=](device::Dpu &dpu, unsigned) {
+        std::int64_t sum = 0;
+        for (std::uint64_t i = 0; i < elemsPerDpu; ++i)
+            sum += dpu.load<std::int32_t>(inOff + i * 4);
+        dpu.store<std::int64_t>(outOff, sum);
+    };
+}
+
+DpuKernel
+histogramKernel(std::uint64_t bytesPerDpu, Addr inOff, Addr outOff)
+{
+    return [=](device::Dpu &dpu, unsigned) {
+        std::uint32_t bins[256] = {};
+        for (std::uint64_t i = 0; i < bytesPerDpu; ++i)
+            ++bins[dpu.load<std::uint8_t>(inOff + i)];
+        for (unsigned b = 0; b < 256; ++b)
+            dpu.store<std::uint32_t>(outOff + b * 4, bins[b]);
+    };
+}
+
+DpuKernel
+gemvKernel(std::uint64_t rows, std::uint64_t cols, Addr mOff, Addr xOff,
+           Addr yOff)
+{
+    return [=](device::Dpu &dpu, unsigned) {
+        for (std::uint64_t r = 0; r < rows; ++r) {
+            std::int64_t acc = 0;
+            for (std::uint64_t c = 0; c < cols; ++c) {
+                const auto m =
+                    dpu.load<std::int32_t>(mOff + (r * cols + c) * 4);
+                const auto x = dpu.load<std::int32_t>(xOff + c * 4);
+                acc += std::int64_t{m} * x;
+            }
+            dpu.store<std::int32_t>(yOff + r * 4,
+                                    static_cast<std::int32_t>(acc));
+        }
+    };
+}
+
+DpuKernel
+selectKernel(std::uint64_t elemsPerDpu, Addr inOff, Addr outOff,
+             std::int32_t threshold)
+{
+    return [=](device::Dpu &dpu, unsigned) {
+        std::int64_t count = 0;
+        for (std::uint64_t i = 0; i < elemsPerDpu; ++i) {
+            const auto v = dpu.load<std::int32_t>(inOff + i * 4);
+            if (v > threshold) {
+                dpu.store<std::int32_t>(outOff + 8 + count * 4, v);
+                ++count;
+            }
+        }
+        dpu.store<std::int64_t>(outOff, count);
+    };
+}
+
+std::vector<std::int32_t>
+hostVecAdd(const std::vector<std::int32_t> &a,
+           const std::vector<std::int32_t> &b)
+{
+    std::vector<std::int32_t> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+std::int64_t
+hostReduce(const std::vector<std::int32_t> &in)
+{
+    std::int64_t sum = 0;
+    for (auto v : in)
+        sum += v;
+    return sum;
+}
+
+std::vector<std::uint32_t>
+hostHistogram(const std::vector<std::uint8_t> &in)
+{
+    std::vector<std::uint32_t> bins(256, 0);
+    for (auto v : in)
+        ++bins[v];
+    return bins;
+}
+
+std::vector<std::int32_t>
+hostGemv(const std::vector<std::int32_t> &m,
+         const std::vector<std::int32_t> &x, std::uint64_t rows,
+         std::uint64_t cols)
+{
+    std::vector<std::int32_t> y(rows);
+    for (std::uint64_t r = 0; r < rows; ++r) {
+        std::int64_t acc = 0;
+        for (std::uint64_t c = 0; c < cols; ++c)
+            acc += std::int64_t{m[r * cols + c]} * x[c];
+        y[r] = static_cast<std::int32_t>(acc);
+    }
+    return y;
+}
+
+} // namespace workloads
+} // namespace pimmmu

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional DPU kernels (C++ callables over MRAM) plus host-side
+ * reference implementations, used by the examples and the end-to-end
+ * correctness tests. Each kernel follows the SPMD model: the same
+ * program runs on every participating DPU over its private MRAM slice.
+ */
+
+#ifndef PIMMMU_WORKLOADS_KERNELS_HH
+#define PIMMMU_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pim/dpu.hh"
+
+namespace pimmmu {
+namespace workloads {
+
+using DpuKernel = std::function<void(device::Dpu &, unsigned)>;
+
+/** out[i] = a[i] + b[i] over int32 elements (PrIM VA). */
+DpuKernel vecAddKernel(std::uint64_t elemsPerDpu, Addr aOff, Addr bOff,
+                       Addr outOff);
+
+/** 64-bit sum of int32 input, stored at outOff (PrIM RED). */
+DpuKernel reduceKernel(std::uint64_t elemsPerDpu, Addr inOff,
+                       Addr outOff);
+
+/** 256-bin byte histogram, uint32 bins at outOff (PrIM HST). */
+DpuKernel histogramKernel(std::uint64_t bytesPerDpu, Addr inOff,
+                          Addr outOff);
+
+/**
+ * y = M * x for this DPU's row block: rows x cols int32 matrix at mOff
+ * (row-major), x (cols int32) at xOff, y (rows int32) at yOff
+ * (PrIM GEMV).
+ */
+DpuKernel gemvKernel(std::uint64_t rows, std::uint64_t cols, Addr mOff,
+                     Addr xOff, Addr yOff);
+
+/**
+ * Stream select: copy int32 elements greater than @p threshold to
+ * outOff + 8, storing the survivor count (int64) at outOff
+ * (PrIM SEL).
+ */
+DpuKernel selectKernel(std::uint64_t elemsPerDpu, Addr inOff,
+                       Addr outOff, std::int32_t threshold);
+
+// Host-side references for verification.
+std::vector<std::int32_t> hostVecAdd(const std::vector<std::int32_t> &a,
+                                     const std::vector<std::int32_t> &b);
+std::int64_t hostReduce(const std::vector<std::int32_t> &in);
+std::vector<std::uint32_t>
+hostHistogram(const std::vector<std::uint8_t> &in);
+std::vector<std::int32_t> hostGemv(const std::vector<std::int32_t> &m,
+                                   const std::vector<std::int32_t> &x,
+                                   std::uint64_t rows,
+                                   std::uint64_t cols);
+
+} // namespace workloads
+} // namespace pimmmu
+
+#endif // PIMMMU_WORKLOADS_KERNELS_HH

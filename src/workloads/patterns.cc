@@ -1,0 +1,55 @@
+#include "workloads/patterns.hh"
+
+#include "common/logging.hh"
+
+namespace pimmmu {
+namespace workloads {
+
+std::vector<Addr>
+sequentialPattern(Addr base, std::size_t count)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        addrs.push_back(base + Addr{i} * 64);
+    return addrs;
+}
+
+std::vector<Addr>
+stridedPattern(Addr base, std::size_t count, std::uint64_t strideBytes,
+               std::uint64_t regionBytes)
+{
+    PIMMMU_ASSERT(strideBytes % 64 == 0, "stride must be line-aligned");
+    PIMMMU_ASSERT(regionBytes >= strideBytes, "region too small");
+    std::vector<Addr> addrs;
+    addrs.reserve(count);
+    Addr offset = 0;
+    // Wrap with a 64 B phase shift per pass so repeated passes do not
+    // re-touch identical lines.
+    Addr phase = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        addrs.push_back(base + offset + phase);
+        offset += strideBytes;
+        if (offset + strideBytes > regionBytes) {
+            offset = 0;
+            phase = (phase + 64) % strideBytes;
+        }
+    }
+    return addrs;
+}
+
+std::vector<Addr>
+randomPattern(Addr base, std::size_t count, std::uint64_t regionBytes,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Addr> addrs;
+    addrs.reserve(count);
+    const std::uint64_t lines = regionBytes / 64;
+    for (std::size_t i = 0; i < count; ++i)
+        addrs.push_back(base + rng.below(lines) * 64);
+    return addrs;
+}
+
+} // namespace workloads
+} // namespace pimmmu

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Address-pattern generators for bandwidth microbenchmarks
+ * (paper Fig. 8: sequential and strided access patterns).
+ */
+
+#ifndef PIMMMU_WORKLOADS_PATTERNS_HH
+#define PIMMMU_WORKLOADS_PATTERNS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace workloads {
+
+/** @p count line addresses starting at @p base, 64 B apart. */
+std::vector<Addr> sequentialPattern(Addr base, std::size_t count);
+
+/**
+ * @p count line addresses @p strideBytes apart (wrapping within
+ * @p regionBytes so the footprint stays bounded).
+ */
+std::vector<Addr> stridedPattern(Addr base, std::size_t count,
+                                 std::uint64_t strideBytes,
+                                 std::uint64_t regionBytes);
+
+/** @p count uniformly random line addresses within a region. */
+std::vector<Addr> randomPattern(Addr base, std::size_t count,
+                                std::uint64_t regionBytes,
+                                std::uint64_t seed);
+
+} // namespace workloads
+} // namespace pimmmu
+
+#endif // PIMMMU_WORKLOADS_PATTERNS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The 16 memory-intensive PrIM workloads used in the paper's end-to-end
+ * evaluation (Fig. 16), as transfer/kernel descriptors.
+ *
+ * The paper measures kernel time on real UPMEM hardware; we substitute
+ * per-workload analytic kernel models (DESIGN.md, substitution table)
+ * whose constants are set so the baseline's transfer-time share of
+ * end-to-end execution matches the published characterization (up to
+ * 99.7% for BS, marginal for TS, ~64% on average).
+ */
+
+#ifndef PIMMMU_WORKLOADS_PRIM_HH
+#define PIMMMU_WORKLOADS_PRIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pim/kernel_model.hh"
+
+namespace pimmmu {
+namespace workloads {
+
+/** One PrIM workload's transfer/compute profile. */
+struct PrimWorkload
+{
+    const char *name;
+    const char *description;
+    /** DRAM->PIM bytes per DPU (inputs). */
+    std::uint64_t inputBytesPerDpu;
+    /** PIM->DRAM bytes per DPU (results). */
+    std::uint64_t outputBytesPerDpu;
+    /** Analytic kernel-time model. */
+    device::KernelModel kernel;
+};
+
+/** The 16-workload suite (PrIM defaults scaled to per-DPU shares). */
+const std::vector<PrimWorkload> &primSuite();
+
+/** Look up a workload by name; fatal() if unknown. */
+const PrimWorkload &primWorkload(const char *name);
+
+} // namespace workloads
+} // namespace pimmmu
+
+#endif // PIMMMU_WORKLOADS_PRIM_HH

@@ -1,0 +1,596 @@
+#include "workloads/prim_impl.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/random.hh"
+#include "workloads/prim.hh"
+
+namespace pimmmu {
+namespace workloads {
+
+namespace {
+
+constexpr std::uint64_t kI32 = sizeof(std::int32_t);
+
+std::uint64_t
+pad64(std::uint64_t bytes)
+{
+    return roundUp(bytes, 64);
+}
+
+/** Write a vector of POD values into the host store. */
+template <typename T>
+void
+writeHost(sim::System &sys, Addr addr, const std::vector<T> &v)
+{
+    sys.mem().store().write(addr, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+std::vector<T>
+readHost(sim::System &sys, Addr addr, std::size_t n)
+{
+    std::vector<T> v(n);
+    sys.mem().store().read(addr, v.data(), n * sizeof(T));
+    return v;
+}
+
+/** Common scaffolding: per-DPU host buffer allocation. */
+class PrimBase : public PrimBenchmark
+{
+  public:
+    explicit PrimBase(const PrimRunConfig &config) : PrimBenchmark(config)
+    {
+        if (config.numDpus == 0 || config.numDpus % 8 != 0)
+            fatal("numDpus must be a non-zero multiple of 8");
+        if (config.elemsPerDpu == 0 || config.elemsPerDpu % 64 != 0)
+            fatal("elemsPerDpu must be a non-zero multiple of 64");
+    }
+
+    /** Allocate one region of @p bytesPerDpu (padded) per DPU. */
+    std::vector<Addr>
+    allocPerDpu(sim::System &sys, std::uint64_t bytesPerDpu)
+    {
+        const std::uint64_t stride = pad64(bytesPerDpu);
+        const Addr base =
+            sys.allocDram(stride * config_.numDpus, 64);
+        std::vector<Addr> addrs(config_.numDpus);
+        for (unsigned d = 0; d < config_.numDpus; ++d)
+            addrs[d] = base + Addr{d} * stride;
+        return addrs;
+    }
+
+    XferPlan
+    plan(core::XferDirection dir, const std::vector<Addr> &addrs,
+         std::uint64_t bytesPerDpu, Addr heapOffset) const
+    {
+        XferPlan p;
+        p.dir = dir;
+        p.hostAddrs = addrs;
+        p.bytesPerDpu = pad64(bytesPerDpu);
+        p.heapOffset = heapOffset;
+        return p;
+    }
+};
+
+// --------------------------------------------------------------------
+// VA: element-wise vector addition.
+// --------------------------------------------------------------------
+class VaBench : public PrimBase
+{
+  public:
+    using PrimBase::PrimBase;
+    const char *name() const override { return "VA"; }
+
+    void
+    prepare(sim::System &sys) override
+    {
+        const std::uint64_t bytes = config_.elemsPerDpu * kI32;
+        a_ = allocPerDpu(sys, bytes);
+        b_ = allocPerDpu(sys, bytes);
+        c_ = allocPerDpu(sys, bytes);
+        Rng rng(config_.seed);
+        hostA_.resize(config_.numDpus * config_.elemsPerDpu);
+        hostB_.resize(hostA_.size());
+        for (auto &v : hostA_)
+            v = static_cast<std::int32_t>(rng() & 0xffffff);
+        for (auto &v : hostB_)
+            v = static_cast<std::int32_t>(rng() & 0xffffff);
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            sys.mem().store().write(
+                a_[d], hostA_.data() + d * config_.elemsPerDpu,
+                config_.elemsPerDpu * kI32);
+            sys.mem().store().write(
+                b_[d], hostB_.data() + d * config_.elemsPerDpu,
+                config_.elemsPerDpu * kI32);
+        }
+    }
+
+    std::vector<XferPlan>
+    inputTransfers() const override
+    {
+        const std::uint64_t bytes = config_.elemsPerDpu * kI32;
+        return {plan(core::XferDirection::DramToPim, a_, bytes, 0),
+                plan(core::XferDirection::DramToPim, b_, bytes,
+                     pad64(bytes))};
+    }
+
+    DpuKernel
+    kernel() const override
+    {
+        const std::uint64_t s = pad64(config_.elemsPerDpu * kI32);
+        return vecAddKernel(config_.elemsPerDpu, 0, s, 2 * s);
+    }
+
+    std::vector<XferPlan>
+    outputTransfers() const override
+    {
+        const std::uint64_t bytes = config_.elemsPerDpu * kI32;
+        return {plan(core::XferDirection::PimToDram, c_, bytes,
+                     2 * pad64(bytes))};
+    }
+
+    bool
+    verify(sim::System &sys) const override
+    {
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            const auto out = readHost<std::int32_t>(
+                sys, c_[d], config_.elemsPerDpu);
+            for (std::uint64_t i = 0; i < config_.elemsPerDpu; ++i) {
+                const std::size_t g = d * config_.elemsPerDpu + i;
+                if (out[i] != hostA_[g] + hostB_[g])
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::vector<Addr> a_, b_, c_;
+    std::vector<std::int32_t> hostA_, hostB_;
+};
+
+// --------------------------------------------------------------------
+// GEMV: per-DPU row block times a broadcast vector.
+// --------------------------------------------------------------------
+class GemvBench : public PrimBase
+{
+  public:
+    using PrimBase::PrimBase;
+    const char *name() const override { return "GEMV"; }
+
+    void
+    prepare(sim::System &sys) override
+    {
+        cols_ = 64;
+        rows_ = config_.elemsPerDpu / cols_;
+        const std::uint64_t mBytes = rows_ * cols_ * kI32;
+        m_ = allocPerDpu(sys, mBytes);
+        x_ = allocPerDpu(sys, cols_ * kI32);
+        y_ = allocPerDpu(sys, rows_ * kI32);
+
+        Rng rng(config_.seed);
+        hostM_.resize(config_.numDpus * rows_ * cols_);
+        hostX_.resize(cols_);
+        for (auto &v : hostM_)
+            v = static_cast<std::int32_t>(rng() % 256) - 128;
+        for (auto &v : hostX_)
+            v = static_cast<std::int32_t>(rng() % 256) - 128;
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            sys.mem().store().write(m_[d],
+                                    hostM_.data() + d * rows_ * cols_,
+                                    rows_ * cols_ * kI32);
+            writeHost(sys, x_[d], hostX_); // broadcast
+        }
+    }
+
+    std::vector<XferPlan>
+    inputTransfers() const override
+    {
+        return {plan(core::XferDirection::DramToPim, m_,
+                     rows_ * cols_ * kI32, 0),
+                plan(core::XferDirection::DramToPim, x_, cols_ * kI32,
+                     pad64(rows_ * cols_ * kI32))};
+    }
+
+    DpuKernel
+    kernel() const override
+    {
+        const Addr mEnd = pad64(rows_ * cols_ * kI32);
+        const Addr xEnd = mEnd + pad64(cols_ * kI32);
+        return gemvKernel(rows_, cols_, 0, mEnd, xEnd);
+    }
+
+    std::vector<XferPlan>
+    outputTransfers() const override
+    {
+        const Addr mEnd = pad64(rows_ * cols_ * kI32);
+        const Addr xEnd = mEnd + pad64(cols_ * kI32);
+        return {plan(core::XferDirection::PimToDram, y_, rows_ * kI32,
+                     xEnd)};
+    }
+
+    bool
+    verify(sim::System &sys) const override
+    {
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            std::vector<std::int32_t> block(
+                hostM_.begin() + d * rows_ * cols_,
+                hostM_.begin() + (d + 1) * rows_ * cols_);
+            const auto expect = hostGemv(block, hostX_, rows_, cols_);
+            const auto got =
+                readHost<std::int32_t>(sys, y_[d], rows_);
+            if (got != expect)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::uint64_t rows_ = 0, cols_ = 0;
+    std::vector<Addr> m_, x_, y_;
+    std::vector<std::int32_t> hostM_, hostX_;
+};
+
+// --------------------------------------------------------------------
+// SpMV: CSR block per DPU, dense broadcast x.
+// Input layout per DPU: [rowptr R+1][colidx NNZ][vals NNZ][x C].
+// --------------------------------------------------------------------
+class SpmvBench : public PrimBase
+{
+  public:
+    using PrimBase::PrimBase;
+    const char *name() const override { return "SpMV"; }
+
+    void
+    prepare(sim::System &sys) override
+    {
+        rows_ = config_.elemsPerDpu / 8;
+        cols_ = 64;
+        Rng rng(config_.seed + 1);
+
+        hostX_.resize(cols_);
+        for (auto &v : hostX_)
+            v = static_cast<std::int32_t>(rng() % 64) - 32;
+
+        rowptr_.resize(config_.numDpus);
+        colidx_.resize(config_.numDpus);
+        vals_.resize(config_.numDpus);
+        std::uint64_t maxWords = 0;
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            auto &rp = rowptr_[d];
+            auto &ci = colidx_[d];
+            auto &va = vals_[d];
+            rp.push_back(0);
+            for (std::uint64_t r = 0; r < rows_; ++r) {
+                const unsigned deg =
+                    1 + static_cast<unsigned>(rng.below(4));
+                for (unsigned e = 0; e < deg; ++e) {
+                    ci.push_back(
+                        static_cast<std::int32_t>(rng.below(cols_)));
+                    va.push_back(
+                        static_cast<std::int32_t>(rng() % 32) - 16);
+                }
+                rp.push_back(static_cast<std::int32_t>(ci.size()));
+            }
+            maxWords = std::max<std::uint64_t>(
+                maxWords,
+                rp.size() + 2 * ci.size() + hostX_.size() + 4);
+        }
+
+        inBytes_ = pad64(maxWords * kI32);
+        in_ = allocPerDpu(sys, inBytes_);
+        y_ = allocPerDpu(sys, rows_ * kI32);
+
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            // Serialized header: [R, NNZ] then payloads.
+            std::vector<std::int32_t> blob;
+            blob.push_back(static_cast<std::int32_t>(rows_));
+            blob.push_back(
+                static_cast<std::int32_t>(colidx_[d].size()));
+            blob.insert(blob.end(), rowptr_[d].begin(),
+                        rowptr_[d].end());
+            blob.insert(blob.end(), colidx_[d].begin(),
+                        colidx_[d].end());
+            blob.insert(blob.end(), vals_[d].begin(), vals_[d].end());
+            blob.insert(blob.end(), hostX_.begin(), hostX_.end());
+            writeHost(sys, in_[d], blob);
+        }
+    }
+
+    std::vector<XferPlan>
+    inputTransfers() const override
+    {
+        return {plan(core::XferDirection::DramToPim, in_, inBytes_, 0)};
+    }
+
+    DpuKernel
+    kernel() const override
+    {
+        const Addr outOff = inBytes_;
+        return [outOff](device::Dpu &dpu, unsigned) {
+            const auto rows = dpu.load<std::int32_t>(0);
+            const auto nnz = dpu.load<std::int32_t>(4);
+            const Addr rowptr = 8;
+            const Addr colidx = rowptr + (rows + 1) * kI32;
+            const Addr vals = colidx + nnz * kI32;
+            const Addr x = vals + nnz * kI32;
+            for (std::int32_t r = 0; r < rows; ++r) {
+                const auto lo =
+                    dpu.load<std::int32_t>(rowptr + r * kI32);
+                const auto hi =
+                    dpu.load<std::int32_t>(rowptr + (r + 1) * kI32);
+                std::int64_t acc = 0;
+                for (std::int32_t e = lo; e < hi; ++e) {
+                    const auto c =
+                        dpu.load<std::int32_t>(colidx + e * kI32);
+                    const auto v =
+                        dpu.load<std::int32_t>(vals + e * kI32);
+                    acc += std::int64_t{v} *
+                           dpu.load<std::int32_t>(x + c * kI32);
+                }
+                dpu.store<std::int32_t>(
+                    outOff + r * kI32,
+                    static_cast<std::int32_t>(acc));
+            }
+        };
+    }
+
+    std::vector<XferPlan>
+    outputTransfers() const override
+    {
+        return {plan(core::XferDirection::PimToDram, y_, rows_ * kI32,
+                     inBytes_)};
+    }
+
+    bool
+    verify(sim::System &sys) const override
+    {
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            const auto got = readHost<std::int32_t>(sys, y_[d], rows_);
+            for (std::uint64_t r = 0; r < rows_; ++r) {
+                std::int64_t acc = 0;
+                for (std::int32_t e = rowptr_[d][r];
+                     e < rowptr_[d][r + 1]; ++e) {
+                    acc += std::int64_t{vals_[d][e]} *
+                           hostX_[colidx_[d][e]];
+                }
+                if (got[r] != static_cast<std::int32_t>(acc))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::uint64_t rows_ = 0, cols_ = 0, inBytes_ = 0;
+    std::vector<Addr> in_, y_;
+    std::vector<std::vector<std::int32_t>> rowptr_, colidx_, vals_;
+    std::vector<std::int32_t> hostX_;
+};
+
+// --------------------------------------------------------------------
+// SEL: stream select (keep values above a threshold).
+// Output layout per DPU: [count i64][selected ...].
+// --------------------------------------------------------------------
+class SelBench : public PrimBase
+{
+  public:
+    explicit SelBench(const PrimRunConfig &config, bool unique = false)
+        : PrimBase(config), unique_(unique)
+    {
+    }
+
+    const char *name() const override { return unique_ ? "UNI" : "SEL"; }
+
+    void
+    prepare(sim::System &sys) override
+    {
+        const std::uint64_t bytes = config_.elemsPerDpu * kI32;
+        in_ = allocPerDpu(sys, bytes);
+        outBytes_ = pad64(8 + bytes);
+        out_ = allocPerDpu(sys, outBytes_);
+        Rng rng(config_.seed + 2);
+        hostIn_.resize(config_.numDpus * config_.elemsPerDpu);
+        std::int32_t prev = 0;
+        for (auto &v : hostIn_) {
+            if (unique_) {
+                // Non-decreasing stream with duplicate runs.
+                prev += static_cast<std::int32_t>(rng.below(3));
+                v = prev;
+            } else {
+                v = static_cast<std::int32_t>(rng() % 1000);
+            }
+        }
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            sys.mem().store().write(
+                in_[d], hostIn_.data() + d * config_.elemsPerDpu,
+                config_.elemsPerDpu * kI32);
+        }
+    }
+
+    std::vector<XferPlan>
+    inputTransfers() const override
+    {
+        return {plan(core::XferDirection::DramToPim, in_,
+                     config_.elemsPerDpu * kI32, 0)};
+    }
+
+    DpuKernel
+    kernel() const override
+    {
+        const std::uint64_t elems = config_.elemsPerDpu;
+        const Addr outOff = pad64(elems * kI32);
+        if (!unique_)
+            return selectKernel(elems, 0, outOff, kThreshold);
+        return [elems, outOff](device::Dpu &dpu, unsigned) {
+            std::int64_t count = 0;
+            std::int32_t last = 0;
+            for (std::uint64_t i = 0; i < elems; ++i) {
+                const auto v = dpu.load<std::int32_t>(i * kI32);
+                if (i == 0 || v != last) {
+                    dpu.store<std::int32_t>(outOff + 8 + count * kI32,
+                                            v);
+                    ++count;
+                }
+                last = v;
+            }
+            dpu.store<std::int64_t>(outOff, count);
+        };
+    }
+
+    std::vector<XferPlan>
+    outputTransfers() const override
+    {
+        return {plan(core::XferDirection::PimToDram, out_, outBytes_,
+                     pad64(config_.elemsPerDpu * kI32))};
+    }
+
+    bool
+    verify(sim::System &sys) const override
+    {
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            // Host reference.
+            std::vector<std::int32_t> expect;
+            const auto *base =
+                hostIn_.data() + d * config_.elemsPerDpu;
+            for (std::uint64_t i = 0; i < config_.elemsPerDpu; ++i) {
+                if (unique_) {
+                    if (i == 0 || base[i] != base[i - 1])
+                        expect.push_back(base[i]);
+                } else if (base[i] > kThreshold) {
+                    expect.push_back(base[i]);
+                }
+            }
+            std::int64_t count = 0;
+            sys.mem().store().read(out_[d], &count, 8);
+            if (count != static_cast<std::int64_t>(expect.size()))
+                return false;
+            const auto got = readHost<std::int32_t>(
+                sys, out_[d] + 8, expect.size());
+            if (got != expect)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr std::int32_t kThreshold = 500;
+    bool unique_;
+    std::uint64_t outBytes_ = 0;
+    std::vector<Addr> in_, out_;
+    std::vector<std::int32_t> hostIn_;
+};
+
+// --------------------------------------------------------------------
+// BS: binary search of Q queries over a per-DPU sorted array.
+// Input layout: [sorted E][queries Q]; output: [index Q].
+// --------------------------------------------------------------------
+class BsBench : public PrimBase
+{
+  public:
+    using PrimBase::PrimBase;
+    const char *name() const override { return "BS"; }
+
+    void
+    prepare(sim::System &sys) override
+    {
+        queries_ = config_.elemsPerDpu / 4;
+        const std::uint64_t bytes =
+            (config_.elemsPerDpu + queries_) * kI32;
+        in_ = allocPerDpu(sys, bytes);
+        out_ = allocPerDpu(sys, queries_ * kI32);
+
+        Rng rng(config_.seed + 3);
+        hostSorted_.resize(config_.numDpus);
+        hostQueries_.resize(config_.numDpus);
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            auto &sorted = hostSorted_[d];
+            sorted.resize(config_.elemsPerDpu);
+            std::int32_t acc = 0;
+            for (auto &v : sorted) {
+                acc += static_cast<std::int32_t>(rng.below(5));
+                v = acc;
+            }
+            auto &queries = hostQueries_[d];
+            queries.resize(queries_);
+            for (auto &q : queries)
+                q = static_cast<std::int32_t>(rng.below(acc + 1));
+            std::vector<std::int32_t> blob = sorted;
+            blob.insert(blob.end(), queries.begin(), queries.end());
+            writeHost(sys, in_[d], blob);
+        }
+    }
+
+    std::vector<XferPlan>
+    inputTransfers() const override
+    {
+        return {plan(core::XferDirection::DramToPim, in_,
+                     (config_.elemsPerDpu + queries_) * kI32, 0)};
+    }
+
+    DpuKernel
+    kernel() const override
+    {
+        const std::uint64_t elems = config_.elemsPerDpu;
+        const std::uint64_t q = queries_;
+        const Addr outOff = pad64((elems + q) * kI32);
+        return [elems, q, outOff](device::Dpu &dpu, unsigned) {
+            const Addr queries = elems * kI32;
+            for (std::uint64_t i = 0; i < q; ++i) {
+                const auto key =
+                    dpu.load<std::int32_t>(queries + i * kI32);
+                std::uint64_t lo = 0, hi = elems;
+                while (lo < hi) {
+                    const std::uint64_t mid = (lo + hi) / 2;
+                    if (dpu.load<std::int32_t>(mid * kI32) < key)
+                        lo = mid + 1;
+                    else
+                        hi = mid;
+                }
+                dpu.store<std::int32_t>(
+                    outOff + i * kI32,
+                    static_cast<std::int32_t>(lo));
+            }
+        };
+    }
+
+    std::vector<XferPlan>
+    outputTransfers() const override
+    {
+        return {plan(core::XferDirection::PimToDram, out_,
+                     queries_ * kI32,
+                     pad64((config_.elemsPerDpu + queries_) * kI32))};
+    }
+
+    bool
+    verify(sim::System &sys) const override
+    {
+        for (unsigned d = 0; d < config_.numDpus; ++d) {
+            const auto got =
+                readHost<std::int32_t>(sys, out_[d], queries_);
+            for (std::uint64_t i = 0; i < queries_; ++i) {
+                const auto it = std::lower_bound(
+                    hostSorted_[d].begin(), hostSorted_[d].end(),
+                    hostQueries_[d][i]);
+                if (got[i] != static_cast<std::int32_t>(
+                                  it - hostSorted_[d].begin()))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::uint64_t queries_ = 0;
+    std::vector<Addr> in_, out_;
+    std::vector<std::vector<std::int32_t>> hostSorted_, hostQueries_;
+};
+
+} // namespace
+
+} // namespace workloads
+} // namespace pimmmu
+
+#include "workloads/prim_impl_part2.inc"

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Full functional implementations of the 16 PrIM workloads: host data
+ * generation, the SPMD DPU kernel, the DRAM<->PIM transfer plans, and
+ * host-side verification. These run end-to-end on the simulated system
+ * through either the baseline (dpu_push_xfer) or PIM-MMU transfer path
+ * and produce verifiably correct results.
+ */
+
+#ifndef PIMMMU_WORKLOADS_PRIM_IMPL_HH
+#define PIMMMU_WORKLOADS_PRIM_IMPL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pim_mmu_op.hh"
+#include "sim/system.hh"
+#include "workloads/kernels.hh"
+
+namespace pimmmu {
+namespace workloads {
+
+/** One direction of host<->PIM data movement for a benchmark phase. */
+struct XferPlan
+{
+    core::XferDirection dir = core::XferDirection::DramToPim;
+    std::vector<Addr> hostAddrs; //!< one per DPU
+    std::uint64_t bytesPerDpu = 0;
+    Addr heapOffset = 0;
+};
+
+/** Scale knobs for a benchmark run. */
+struct PrimRunConfig
+{
+    unsigned numDpus = 64;          //!< multiple of 8 (whole banks)
+    std::uint64_t elemsPerDpu = 1024;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * A runnable PrIM workload. Lifecycle:
+ *   prepare(sys) -> inputTransfers() -> kernel() on all DPUs ->
+ *   outputTransfers() -> verify(sys).
+ */
+class PrimBenchmark
+{
+  public:
+    virtual ~PrimBenchmark() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Allocate and initialize host inputs. Called exactly once. */
+    virtual void prepare(sim::System &sys) = 0;
+
+    /** Host->PIM transfer plan(s), in order. */
+    virtual std::vector<XferPlan> inputTransfers() const = 0;
+
+    /** The SPMD kernel (receives the DPU and its index in the set). */
+    virtual DpuKernel kernel() const = 0;
+
+    /** PIM->host transfer plan(s), in order. */
+    virtual std::vector<XferPlan> outputTransfers() const = 0;
+
+    /** Check results against the host reference. */
+    virtual bool verify(sim::System &sys) const = 0;
+
+    const PrimRunConfig &config() const { return config_; }
+
+  protected:
+    explicit PrimBenchmark(const PrimRunConfig &config)
+        : config_(config)
+    {
+    }
+
+    PrimRunConfig config_;
+};
+
+/** All implemented benchmark names (the 16 PrIM workloads). */
+const std::vector<std::string> &primBenchmarkNames();
+
+/** Instantiate a benchmark by PrIM name (VA, GEMV, ..., TRNS). */
+std::unique_ptr<PrimBenchmark>
+makePrimBenchmark(const std::string &name, const PrimRunConfig &config);
+
+/** Outcome of one end-to-end run. */
+struct PrimRunResult
+{
+    Tick inXferPs = 0;
+    Tick kernelPs = 0;
+    Tick outXferPs = 0;
+    bool correct = false;
+
+    Tick totalPs() const { return inXferPs + kernelPs + outXferPs; }
+};
+
+/**
+ * Execute a benchmark end-to-end on @p sys, using the software path at
+ * DesignPoint::Base and the PIM-MMU path otherwise, with the analytic
+ * kernel-time model from the matching PrIM descriptor.
+ */
+PrimRunResult runPrimBenchmark(sim::System &sys, PrimBenchmark &bench);
+
+} // namespace workloads
+} // namespace pimmmu
+
+#endif // PIMMMU_WORKLOADS_PRIM_IMPL_HH

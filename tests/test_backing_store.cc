@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.hh"
+#include "dram/backing_store.hh"
+
+namespace pimmmu {
+namespace dram {
+
+TEST(BackingStore, UntouchedMemoryReadsZero)
+{
+    BackingStore store;
+    std::uint8_t buf[128];
+    std::memset(buf, 0xaa, sizeof(buf));
+    store.read(0x123456, buf, sizeof(buf));
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(store.allocatedPages(), 0u);
+}
+
+TEST(BackingStore, WriteThenReadRoundTrips)
+{
+    BackingStore store;
+    const char msg[] = "pim-mmu backing store";
+    store.write(0x1000, msg, sizeof(msg));
+    char out[sizeof(msg)];
+    store.read(0x1000, out, sizeof(out));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(BackingStore, CrossesPageBoundaries)
+{
+    BackingStore store;
+    std::vector<std::uint8_t> data(3 * BackingStore::kPageBytes);
+    Rng rng(5);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng());
+    const Addr base = BackingStore::kPageBytes - 100;
+    store.write(base, data.data(), data.size());
+    std::vector<std::uint8_t> out(data.size());
+    store.read(base, out.data(), out.size());
+    EXPECT_EQ(data, out);
+    EXPECT_EQ(store.allocatedPages(), 4u);
+}
+
+TEST(BackingStore, SparseAllocationOnlyTouchedPages)
+{
+    BackingStore store;
+    store.writeByte(0, 1);
+    store.writeByte(100 * kMiB, 2);
+    EXPECT_EQ(store.allocatedPages(), 2u);
+    EXPECT_EQ(store.readByte(0), 1);
+    EXPECT_EQ(store.readByte(100 * kMiB), 2);
+    EXPECT_EQ(store.readByte(50 * kMiB), 0);
+}
+
+TEST(BackingStore, OverwritePartial)
+{
+    BackingStore store;
+    std::uint8_t ones[16];
+    std::memset(ones, 1, sizeof(ones));
+    store.write(64, ones, 16);
+    std::uint8_t twos[4];
+    std::memset(twos, 2, sizeof(twos));
+    store.write(70, twos, 4);
+    std::uint8_t out[16];
+    store.read(64, out, 16);
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i], (i >= 6 && i < 10) ? 2 : 1) << i;
+}
+
+} // namespace dram
+} // namespace pimmmu

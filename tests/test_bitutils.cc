@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+
+namespace pimmmu {
+
+TEST(BitUtils, BitsExtractsRanges)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 4), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 4, 4), 0xeu);
+    EXPECT_EQ(bits(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xff, 0, 0), 0u);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+}
+
+TEST(BitUtils, InsertBitsRoundTripsWithBits)
+{
+    std::uint64_t v = 0;
+    v = insertBits(v, 3, 5, 0x1b);
+    EXPECT_EQ(bits(v, 3, 5), 0x1bu);
+    v = insertBits(v, 3, 5, 0x00);
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(BitUtils, InsertBitsMasksField)
+{
+    // Value wider than the field must be truncated.
+    const std::uint64_t v = insertBits(0, 0, 4, 0xff);
+    EXPECT_EQ(v, 0xfu);
+}
+
+TEST(BitUtils, PowerOfTwoPredicates)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(4096), 12u);
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_EQ(log2Ceil(8), 3u);
+}
+
+TEST(BitUtils, XorFoldIsParity)
+{
+    EXPECT_EQ(xorFold(0), 0u);
+    EXPECT_EQ(xorFold(1), 1u);
+    EXPECT_EQ(xorFold(0b1011), 1u);
+    EXPECT_EQ(xorFold(0b1111), 0u);
+}
+
+TEST(BitUtils, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundDown(127, 64), 64u);
+}
+
+} // namespace pimmmu

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "mapping/hetmap.hh"
+
+namespace pimmmu {
+namespace cache {
+
+namespace {
+
+struct Harness
+{
+    EventQueue eq;
+    mapping::DramGeometry geom;
+    mapping::SystemMapPtr map;
+    std::unique_ptr<dram::MemorySystem> mem;
+    std::unique_ptr<Cache> cache;
+
+    explicit Harness(CacheConfig cfg = CacheConfig{})
+    {
+        geom.channels = 2;
+        geom.ranksPerChannel = 1;
+        geom.bankGroups = 4;
+        geom.banksPerGroup = 4;
+        geom.rows = 1024;
+        geom.columns = 128;
+        map = mapping::makeHetMap(geom, geom);
+        mem = std::make_unique<dram::MemorySystem>(
+            eq, *map, dram::timingPreset(dram::SpeedGrade::DDR4_2400),
+            dram::timingPreset(dram::SpeedGrade::DDR4_2400));
+        cache = std::make_unique<Cache>(eq, cfg, *mem);
+    }
+};
+
+} // namespace
+
+TEST(CacheTest, MissThenHit)
+{
+    Harness h;
+    bool missDone = false, hitDone = false;
+    Tick missAt = 0, hitAt = 0;
+    ASSERT_TRUE(h.cache->access(0x1000, false, [&] {
+        missDone = true;
+        missAt = h.eq.now();
+    }));
+    h.eq.run();
+    ASSERT_TRUE(missDone);
+    ASSERT_TRUE(h.cache->access(0x1000, false, [&] {
+        hitDone = true;
+        hitAt = h.eq.now() - missAt;
+    }));
+    h.eq.run();
+    ASSERT_TRUE(hitDone);
+    EXPECT_EQ(h.cache->hits(), 1u);
+    EXPECT_EQ(h.cache->misses(), 1u);
+    EXPECT_LT(hitAt, missAt) << "hit should be faster than miss";
+}
+
+TEST(CacheTest, SameLineDifferentOffsetIsAHit)
+{
+    Harness h;
+    bool done = false;
+    ASSERT_TRUE(h.cache->access(0x2000, false, [&] { done = true; }));
+    h.eq.run();
+    ASSERT_TRUE(done);
+    ASSERT_TRUE(h.cache->access(0x2030, true, [] {}));
+    h.eq.run();
+    EXPECT_EQ(h.cache->hits(), 1u);
+}
+
+TEST(CacheTest, MshrMergesConcurrentMissesToOneLine)
+{
+    Harness h;
+    unsigned done = 0;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(h.cache->access(0x3000, false, [&] { ++done; }));
+    h.eq.run();
+    EXPECT_EQ(done, 4u);
+    EXPECT_EQ(h.cache->misses(), 1u);
+    EXPECT_EQ(h.cache->stats().counterValue("mshr_merges"), 3u);
+}
+
+TEST(CacheTest, MshrExhaustionRejects)
+{
+    CacheConfig cfg;
+    cfg.mshrs = 2;
+    Harness h(cfg);
+    EXPECT_TRUE(h.cache->access(0x0000, false, [] {}));
+    EXPECT_TRUE(h.cache->access(0x4000, false, [] {}));
+    EXPECT_FALSE(h.cache->access(0x8000, false, [] {}));
+    EXPECT_EQ(h.cache->stats().counterValue("mshr_full_rejects"), 1u);
+    h.eq.run();
+    EXPECT_TRUE(h.cache->access(0x8000, false, [] {}));
+    h.eq.run();
+}
+
+TEST(CacheTest, EvictionWritesBackDirtyLines)
+{
+    // Tiny cache: 2 sets x 2 ways of 64 B lines.
+    CacheConfig cfg;
+    cfg.sizeBytes = 256;
+    cfg.ways = 2;
+    Harness h(cfg);
+
+    // Fill set 0 (addresses with the same set index) with dirty lines.
+    auto touch = [&](Addr a, bool write) {
+        bool done = false;
+        EXPECT_TRUE(h.cache->access(a, write, [&] { done = true; }));
+        h.eq.run();
+        EXPECT_TRUE(done);
+    };
+    touch(0 * 128, true);
+    touch(1 * 128, true);
+    touch(2 * 128, true); // evicts the LRU dirty line
+    EXPECT_GE(h.cache->stats().counterValue("writebacks"), 1u);
+}
+
+TEST(CacheTest, LruKeepsRecentlyUsedLine)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 256; // 2 sets x 2 ways
+    cfg.ways = 2;
+    Harness h(cfg);
+    auto touch = [&](Addr a) {
+        bool done = false;
+        EXPECT_TRUE(h.cache->access(a, false, [&] { done = true; }));
+        h.eq.run();
+    };
+    touch(0 * 128); // A
+    touch(1 * 128); // B
+    touch(0 * 128); // A again (A is MRU)
+    touch(2 * 128); // C evicts B
+    const auto missesBefore = h.cache->misses();
+    touch(0 * 128); // A must still be resident
+    EXPECT_EQ(h.cache->misses(), missesBefore);
+    touch(1 * 128); // B was evicted
+    EXPECT_EQ(h.cache->misses(), missesBefore + 1);
+}
+
+TEST(CacheTest, HitRateReflectsAccesses)
+{
+    Harness h;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (Addr a = 0; a < 64 * 64; a += 64) {
+            h.cache->access(a, false, [] {});
+            h.eq.run();
+        }
+    }
+    EXPECT_GT(h.cache->hitRate(), 0.7);
+}
+
+} // namespace cache
+} // namespace pimmmu

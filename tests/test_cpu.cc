@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "cpu/contender.hh"
+#include "cpu/copy_thread.hh"
+#include "cpu/cpu.hh"
+#include "mapping/hetmap.hh"
+
+namespace pimmmu {
+namespace cpu {
+
+namespace {
+
+struct Harness
+{
+    EventQueue eq;
+    mapping::DramGeometry geom;
+    mapping::SystemMapPtr map;
+    std::unique_ptr<dram::MemorySystem> mem;
+    std::unique_ptr<Cpu> cpu;
+
+    explicit Harness(CpuConfig cfg = CpuConfig{})
+    {
+        geom.channels = 2;
+        geom.ranksPerChannel = 1;
+        geom.bankGroups = 4;
+        geom.banksPerGroup = 4;
+        geom.rows = 512;
+        geom.columns = 128;
+        map = mapping::makeHetMap(geom, geom);
+        mem = std::make_unique<dram::MemorySystem>(
+            eq, *map, dram::timingPreset(dram::SpeedGrade::DDR4_2400),
+            dram::timingPreset(dram::SpeedGrade::DDR4_2400));
+        cpu = std::make_unique<Cpu>(eq, cfg, *mem);
+    }
+
+    std::shared_ptr<CopyThread>
+    memcpyThread(Addr src, Addr dst, std::uint64_t lines)
+    {
+        CopyWork work;
+        work.kind = CopyWork::Kind::DramToDram;
+        work.src = src;
+        work.dst = dst;
+        work.lines = lines;
+        return std::make_shared<CopyThread>(work);
+    }
+};
+
+/** A thread that burns a fixed number of steps then finishes. */
+class FiniteThread : public SoftThread
+{
+  public:
+    explicit FiniteThread(unsigned steps) : remaining_(steps) {}
+
+    bool finished() const override { return remaining_ == 0; }
+
+    unsigned
+    step(Core &) override
+    {
+        --remaining_;
+        return 100;
+    }
+
+    const char *label() const override { return "finite"; }
+
+  private:
+    unsigned remaining_;
+};
+
+} // namespace
+
+TEST(CpuTest, JobCompletionFiresWhenAllThreadsFinish)
+{
+    Harness h;
+    bool done = false;
+    std::vector<std::shared_ptr<SoftThread>> threads;
+    for (int i = 0; i < 4; ++i)
+        threads.push_back(std::make_shared<FiniteThread>(10));
+    h.cpu->runJob(threads, [&] { done = true; });
+    h.eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_GT(h.cpu->totalBusyPs(), 0u);
+}
+
+TEST(CpuTest, CopyThreadMovesAllLines)
+{
+    Harness h;
+    bool done = false;
+    auto t = h.memcpyThread(0, 8 * kMiB, 256);
+    h.cpu->runJob({t}, [&] { done = true; });
+    h.eq.run();
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(t->finished());
+    EXPECT_EQ(t->bytesMoved(), 256u * 64);
+    EXPECT_EQ(h.mem->dramBytesMoved(), 2u * 256 * 64);
+}
+
+TEST(CpuTest, MoreThreadsThanCoresStillFinish)
+{
+    CpuConfig cfg;
+    cfg.cores = 2;
+    cfg.quantumPs = 50 * kPsPerUs;
+    Harness h(cfg);
+    bool done = false;
+    std::vector<std::shared_ptr<SoftThread>> threads;
+    for (Addr i = 0; i < 12; ++i)
+        threads.push_back(
+            h.memcpyThread(i * kMiB, 32 * kMiB + i * kMiB, 64));
+    h.cpu->runJob(threads, [&] { done = true; });
+    h.eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_GT(h.cpu->stats().counterValue("context_switches"), 12u);
+}
+
+TEST(CpuTest, AvxBusyTimeTrackedForCopyThreads)
+{
+    Harness h;
+    bool done = false;
+    h.cpu->runJob({h.memcpyThread(0, 8 * kMiB, 128)},
+                  [&] { done = true; });
+    h.eq.run();
+    ASSERT_TRUE(done);
+    EXPECT_GT(h.cpu->totalAvxBusyPs(), 0u);
+    EXPECT_LE(h.cpu->totalAvxBusyPs(), h.cpu->totalBusyPs());
+}
+
+TEST(CpuTest, ComputeContenderNeverFinishesButSharesCores)
+{
+    CpuConfig cfg;
+    cfg.cores = 1;
+    cfg.quantumPs = 20 * kPsPerUs;
+    Harness h(cfg);
+    h.cpu->addThread(std::make_shared<ComputeContender>());
+    bool done = false;
+    h.cpu->runJob({h.memcpyThread(0, 8 * kMiB, 64)},
+                  [&] { done = true; });
+    // The contender never finishes, so the queue never drains; run
+    // until the copy job is done.
+    while (!done && h.eq.step()) {
+    }
+    EXPECT_TRUE(done);
+    h.cpu->shutdown();
+}
+
+TEST(CpuTest, WakeupPreemptionLetsNewThreadsRunQuickly)
+{
+    CpuConfig cfg;
+    cfg.cores = 2;
+    cfg.quantumPs = Tick{10} * kPsPerMs; // huge quantum
+    Harness h(cfg);
+    // Saturate both cores with contenders.
+    h.cpu->addThread(std::make_shared<ComputeContender>());
+    h.cpu->addThread(std::make_shared<ComputeContender>());
+    bool done = false;
+    h.cpu->runJob({std::make_shared<FiniteThread>(5)},
+                  [&] { done = true; });
+    // Without wakeup preemption the finite thread would wait 10 ms.
+    while (!done && h.eq.step()) {
+        if (h.eq.now() > kPsPerMs)
+            break;
+    }
+    EXPECT_TRUE(done) << "new thread waited a full quantum";
+    h.cpu->shutdown();
+}
+
+TEST(CpuTest, MemoryContenderIssuesTraffic)
+{
+    Harness h;
+    auto contender = std::make_shared<MemoryContender>(
+        MemIntensity::High, 0, 4 * kMiB, 42);
+    h.cpu->addThread(contender);
+    h.eq.run(Tick{200} * kPsPerUs);
+    EXPECT_GT(contender->accesses(), 100u);
+    EXPECT_GT(h.mem->dramBytesMoved(), 0u);
+    h.cpu->shutdown();
+}
+
+TEST(CpuTest, IntensityControlsTrafficRate)
+{
+    auto accessesAt = [](MemIntensity intensity) {
+        Harness h;
+        auto contender = std::make_shared<MemoryContender>(
+            intensity, 0, 4 * kMiB, 42);
+        h.cpu->addThread(contender);
+        h.eq.run(Tick{200} * kPsPerUs);
+        h.cpu->shutdown();
+        return contender->accesses();
+    };
+    EXPECT_GT(accessesAt(MemIntensity::VeryHigh),
+              2 * accessesAt(MemIntensity::Low));
+}
+
+TEST(CpuTest, ShutdownStopsScheduling)
+{
+    Harness h;
+    h.cpu->addThread(std::make_shared<ComputeContender>());
+    h.eq.run(Tick{10} * kPsPerUs);
+    h.cpu->shutdown();
+    // After shutdown the event queue eventually drains.
+    EXPECT_TRUE(h.eq.run(Tick{100} * kPsPerMs));
+}
+
+TEST(CpuConfigTest, PeriodMatchesClock)
+{
+    CpuConfig cfg;
+    cfg.clockMhz = 3200;
+    EXPECT_EQ(cfg.periodPs(), 313u); // 312.5 ps rounded
+    EXPECT_EQ(cfg.quantumPs, Tick{1500} * kPsPerUs);
+}
+
+} // namespace cpu
+} // namespace pimmmu

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "pim/dpu_interpreter.hh"
+#include "pim/pim_device.hh"
+
+namespace pimmmu {
+namespace device {
+
+namespace {
+
+DpuCoreConfig
+oneTasklet()
+{
+    DpuCoreConfig cfg;
+    cfg.tasklets = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(DpuAssembler, AssemblesBasicProgram)
+{
+    const DpuProgram p = DpuAssembler::assemble(R"(
+        ; compute 6 * 7 and halt
+        ldi r1, 6
+        ldi r2, 7
+        mul r3, r1, r2
+        halt
+    )");
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.code[0].op, Op::Ldi);
+    EXPECT_EQ(p.code[0].imm, 6);
+    EXPECT_EQ(p.code[2].op, Op::Mul);
+    EXPECT_EQ(p.code[3].op, Op::Halt);
+}
+
+TEST(DpuAssembler, ResolvesLabelsBothDirections)
+{
+    const DpuProgram p = DpuAssembler::assemble(R"(
+        ldi  r1, 3
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        jmp  end
+        ldi  r2, 99   ; skipped
+end:    halt
+    )");
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.code[2].imm, 1); // loop label
+    EXPECT_EQ(p.code[3].imm, 5); // end label
+}
+
+TEST(DpuAssembler, RejectsSyntaxErrors)
+{
+    EXPECT_THROW(DpuAssembler::assemble("frobnicate r1"), SimError);
+    EXPECT_THROW(DpuAssembler::assemble("ldi r99, 1\nhalt"), SimError);
+    EXPECT_THROW(DpuAssembler::assemble("add r1, r2\nhalt"), SimError);
+    EXPECT_THROW(DpuAssembler::assemble("x: halt\nx: halt"), SimError);
+    EXPECT_THROW(DpuAssembler::assemble("ldi r1, zork\nhalt"),
+                 SimError);
+}
+
+TEST(DpuInterpreter, ArithmeticAndWramRoundTrip)
+{
+    Dpu dpu(0, kMiB);
+    const DpuProgram p = DpuAssembler::assemble(R"(
+        ldi r1, 40
+        ldi r2, 2
+        add r3, r1, r2
+        sw  r0, 0, r3     ; wram[0] = 42
+        lw  r4, r0, 0
+        shl r5, r4, 1     ; 84
+        sd  r0, 8, r5
+        ld  r6, r0, 8
+        halt
+    )");
+    DpuInterpreter interp(oneTasklet());
+    const DpuRunResult r = interp.run(dpu, p);
+    EXPECT_EQ(r.instructions, 9u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(DpuInterpreter, DmaMovesDataBetweenWramAndMram)
+{
+    Dpu dpu(0, kMiB);
+    std::int64_t values[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    dpu.mramWrite(256, values, sizeof(values));
+
+    // Read 64 B from MRAM@256, double each i64, write to MRAM@512.
+    const DpuProgram p = DpuAssembler::assemble(R"(
+        ldi r1, 0       ; wram addr
+        ldi r2, 256     ; mram src
+        ldi r3, 64      ; bytes
+        mrd r1, r2, r3
+        ldi r4, 0       ; index
+        ldi r5, 8       ; count
+loop:   shl r6, r4, 3
+        ld  r7, r6, 0
+        add r7, r7, r7
+        sd  r6, 0, r7
+        addi r4, r4, 1
+        blt r4, r5, loop
+        ldi r2, 512
+        mwr r1, r2, r3
+        halt
+    )");
+    DpuInterpreter interp(oneTasklet());
+    const DpuRunResult r = interp.run(dpu, p);
+    EXPECT_EQ(r.dmaBytes, 128u);
+
+    std::int64_t out[8];
+    dpu.mramRead(512, out, sizeof(out));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i], values[i] * 2);
+}
+
+TEST(DpuInterpreter, TaskletsPartitionWorkByTid)
+{
+    // Each tasklet writes its id into wram, then tasklet 0's result
+    // is summed into MRAM... simpler: each tasklet increments its own
+    // MRAM slot via WRAM staging.
+    Dpu dpu(0, kMiB);
+    DpuCoreConfig cfg;
+    cfg.tasklets = 8;
+    const DpuProgram p = DpuAssembler::assemble(R"(
+        tid  r1
+        shl  r2, r1, 3     ; wram offset = tid*8
+        addi r3, r1, 100
+        sd   r2, 0, r3     ; wram[tid*8] = 100+tid
+        ldi  r4, 8
+        mul  r5, r1, r4    ; mram offset = tid*8
+        mwr  r2, r5, r4    ; 8 bytes to mram
+        halt
+    )");
+    DpuInterpreter interp(cfg);
+    interp.run(dpu, p);
+    for (int t = 0; t < 8; ++t)
+        EXPECT_EQ(dpu.load<std::int64_t>(t * 8), 100 + t);
+}
+
+TEST(DpuInterpreter, MoreTaskletsHidePipelineLatency)
+{
+    // The revolver pipeline issues one instruction per cycle only when
+    // enough tasklets are runnable — the classic UPMEM behavior.
+    auto cyclesWith = [](unsigned tasklets) {
+        Dpu dpu(0, kMiB);
+        DpuCoreConfig cfg;
+        cfg.tasklets = tasklets;
+        const DpuProgram p = DpuAssembler::assemble(R"(
+            ldi r1, 200
+loop:       addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        )");
+        DpuInterpreter interp(cfg);
+        return interp.run(dpu, p).cycles;
+    };
+    const Cycle one = cyclesWith(1);
+    const Cycle eleven = cyclesWith(11);
+    // 11 tasklets do 11x the work in roughly the same time.
+    EXPECT_LT(eleven, one * 2);
+}
+
+TEST(DpuInterpreter, RunawayProgramsAreCaught)
+{
+    Dpu dpu(0, kMiB);
+    DpuCoreConfig cfg = oneTasklet();
+    cfg.maxCycles = 10000;
+    const DpuProgram p = DpuAssembler::assemble("spin: jmp spin");
+    DpuInterpreter interp(cfg);
+    EXPECT_THROW(interp.run(dpu, p), SimError);
+}
+
+TEST(DpuInterpreter, WramBoundsAreEnforced)
+{
+    Dpu dpu(0, kMiB);
+    const DpuProgram p = DpuAssembler::assemble(R"(
+        ldi r1, 999999999
+        lw  r2, r1, 0
+        halt
+    )");
+    DpuInterpreter interp(oneTasklet());
+    EXPECT_THROW(interp.run(dpu, p), SimError);
+}
+
+TEST(PimDeviceProgram, LaunchProgramRunsSpmdAcrossDpus)
+{
+    PimGeometry g = PimGeometry::paperTable1();
+    g.banks.rows = 256;
+    PimDevice dev(g);
+
+    // y = x + bias for 16 i64 elements at MRAM 0, bias in r1.
+    const DpuProgram p = DpuAssembler::assemble(R"(
+        ldi r2, 0        ; wram
+        ldi r3, 0        ; mram
+        ldi r4, 128      ; bytes
+        mrd r2, r3, r4
+        ldi r5, 0
+        ldi r6, 16
+loop:   shl r7, r5, 3
+        ld  r8, r7, 0
+        add r8, r8, r1
+        sd  r7, 0, r8
+        addi r5, r5, 1
+        blt r5, r6, loop
+        ldi r3, 256
+        mwr r2, r3, r4
+        halt
+    )");
+
+    std::vector<unsigned> ids = {0, 8, 16};
+    std::vector<std::vector<std::int64_t>> args;
+    for (std::int64_t i = 0; i < 3; ++i)
+        args.push_back({1000 * (i + 1)});
+    for (unsigned i = 0; i < ids.size(); ++i) {
+        for (std::int64_t e = 0; e < 16; ++e)
+            dev.dpu(ids[i]).store<std::int64_t>(e * 8, e);
+    }
+    DpuCoreConfig cfg;
+    cfg.tasklets = 1; // single tasklet: deterministic layout
+    const Tick t = dev.launchProgram(ids, p, args, cfg);
+    EXPECT_GT(t, 0u);
+    for (unsigned i = 0; i < ids.size(); ++i) {
+        for (std::int64_t e = 0; e < 16; ++e) {
+            EXPECT_EQ(dev.dpu(ids[i]).load<std::int64_t>(256 + e * 8),
+                      e + 1000 * (i + 1));
+        }
+    }
+}
+
+} // namespace device
+} // namespace pimmmu

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Larger DPU-assembly programs on the tasklet interpreter: a parallel
+ * reduction with a tasklet tree and a strided memset, checking both
+ * functional results and timing monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "pim/dpu_interpreter.hh"
+
+namespace pimmmu {
+namespace device {
+
+namespace {
+
+/**
+ * Parallel sum of r1 i64 elements at MRAM 0; result at MRAM offset r2.
+ * Phase 1: each tasklet accumulates its strided share into
+ * wram[tid*8]. Phase 2: tasklet 0 spins until all partials are
+ * published (each tasklet sets a flag byte), then folds them.
+ */
+const char *const kParallelSum = R"(
+        tid   r10
+        ntask r11
+        ; --- phase 1: strided partial sums through MRAM DMA ---
+        ldi   r12, 0        ; partial
+        mov   r13, r10      ; element index = tid
+        ldi   r20, 2048     ; per-tasklet staging buffer base
+        mul   r21, r10, r20
+        ldi   r20, 8
+loop:   bge   r13, r1, done1
+        shl   r14, r13, 3   ; byte offset
+        mrd   r21, r14, r20 ; 8 bytes into my staging slot
+        ld    r15, r21, 0
+        add   r12, r12, r15
+        add   r13, r13, r11
+        jmp   loop
+done1:  shl   r16, r10, 3
+        sd    r16, 0, r12   ; wram[tid*8] = partial
+        ldi   r17, 1
+        shl   r18, r10, 3
+        addi  r18, r18, 1024
+        sd    r18, 0, r17   ; publish flag word at wram[1024 + tid*8]
+        ; --- phase 2: tasklet 0 folds ---
+        bne   r10, r0, end
+        ldi   r3, 0         ; scanning tasklet index
+wait:   bge   r3, r11, fold
+        shl   r4, r3, 3
+        ld    r5, r4, 1024
+        beq   r5, r0, wait  ; spin until published
+        addi  r3, r3, 1
+        jmp   wait
+fold:   ldi   r6, 0
+        ldi   r3, 0
+fsum:   bge   r3, r11, emit
+        shl   r4, r3, 3
+        ld    r5, r4, 0
+        add   r6, r6, r5
+        addi  r3, r3, 1
+        jmp   fsum
+emit:   sd    r16, 0, r6    ; reuse tasklet-0 slot (r16 = 0)
+        ldi   r7, 8
+        mwr   r16, r2, r7   ; write the sum to MRAM @ r2
+end:    halt
+)";
+
+} // namespace
+
+TEST(DpuPrograms, ParallelSumMatchesHostAcrossTaskletCounts)
+{
+    Rng rng(2026);
+    const std::int64_t n = 192;
+    std::vector<std::int64_t> data(n);
+    std::int64_t expect = 0;
+    for (auto &v : data) {
+        v = static_cast<std::int64_t>(rng() % 10007) - 5000;
+        expect += v;
+    }
+
+    const DpuProgram p = DpuAssembler::assemble(kParallelSum);
+    for (unsigned tasklets : {1u, 2u, 8u, 16u}) {
+        Dpu dpu(0, kMiB);
+        dpu.mramWrite(0, data.data(), n * 8);
+        DpuCoreConfig cfg;
+        cfg.tasklets = tasklets;
+        DpuInterpreter interp(cfg);
+        const DpuRunResult r = interp.run(dpu, p, {n, 4096});
+        EXPECT_EQ(dpu.load<std::int64_t>(4096), expect)
+            << tasklets << " tasklets";
+        EXPECT_GT(r.instructions, static_cast<std::uint64_t>(n));
+    }
+}
+
+TEST(DpuPrograms, TimingScalesWithWork)
+{
+    const DpuProgram p = DpuAssembler::assemble(kParallelSum);
+    auto cyclesFor = [&](std::int64_t n) {
+        Dpu dpu(0, kMiB);
+        std::vector<std::int64_t> data(static_cast<std::size_t>(n), 1);
+        dpu.mramWrite(0, data.data(), data.size() * 8);
+        DpuCoreConfig cfg;
+        cfg.tasklets = 8;
+        DpuInterpreter interp(cfg);
+        return interp.run(dpu, p, {n, 8192}).cycles;
+    };
+    const Cycle small = cyclesFor(64);
+    const Cycle big = cyclesFor(512);
+    EXPECT_GT(big, small);
+    // Roughly linear in elements (within 3x of proportional).
+    EXPECT_LT(big, small * 24);
+    EXPECT_GT(big, small * 2);
+}
+
+} // namespace device
+} // namespace pimmmu

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "dram/controller.hh"
+#include "dram/memory_system.hh"
+#include "mapping/hetmap.hh"
+#include "workloads/patterns.hh"
+
+namespace pimmmu {
+namespace dram {
+
+namespace {
+
+mapping::DramGeometry
+testGeometry()
+{
+    mapping::DramGeometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 2;
+    g.bankGroups = 4;
+    g.banksPerGroup = 4;
+    g.rows = 1024;
+    g.columns = 128;
+    return g;
+}
+
+struct Harness
+{
+    EventQueue eq;
+    TimingParams timing = timingPreset(SpeedGrade::DDR4_2400);
+    mapping::DramGeometry geom = testGeometry();
+    MemoryController mc{eq, timing, geom, 0};
+
+    /** Enqueue a request at coordinate, return completion tick holder. */
+    std::shared_ptr<Tick>
+    issue(unsigned ra, unsigned bg, unsigned bk, unsigned ro,
+          unsigned co, bool write)
+    {
+        auto done = std::make_shared<Tick>(kTickMax);
+        MemRequest req;
+        req.paddr = 0;
+        req.write = write;
+        req.coord = mapping::DramCoord{0, ra, bg, bk, ro, co};
+        req.onComplete = [done, this](const MemRequest &) {
+            *done = eq.now();
+        };
+        EXPECT_TRUE(mc.enqueue(std::move(req)));
+        return done;
+    }
+};
+
+} // namespace
+
+TEST(MemoryController, SingleReadLatencyIsActPlusCasPlusBurst)
+{
+    Harness h;
+    auto done = h.issue(0, 0, 0, 5, 3, false);
+    h.eq.run();
+    ASSERT_NE(*done, kTickMax);
+    // Cold read: one cycle to issue ACT (the controller ticks on the
+    // next edge), tRCD, one cycle scheduling the column, CL + burst.
+    const Cycle cycles = *done / h.timing.tCKps;
+    const Cycle expectedMin =
+        h.timing.tRCD + h.timing.CL + h.timing.tBL;
+    EXPECT_GE(cycles, expectedMin);
+    EXPECT_LE(cycles, expectedMin + 4) << "excess scheduling bubbles";
+}
+
+TEST(MemoryController, RowHitsStreamAtCcd)
+{
+    Harness h;
+    std::vector<std::shared_ptr<Tick>> dones;
+    const unsigned n = 16;
+    for (unsigned i = 0; i < n; ++i)
+        dones.push_back(h.issue(0, 0, 0, 7, i, false));
+    h.eq.run();
+    // After the first access the remaining 15 row hits to one bank
+    // stream at tCCD_L.
+    const Tick last = *dones.back();
+    const Tick first = *dones.front();
+    const Cycle perLine = (last - first) / h.timing.tCKps / (n - 1);
+    EXPECT_EQ(perLine, h.timing.tCCD_L);
+}
+
+TEST(MemoryController, BankGroupInterleavingBeatsSameGroup)
+{
+    // Column commands alternating bank groups are tCCD_S-limited;
+    // within one group they are tCCD_L-limited.
+    auto runPattern = [](bool alternate) {
+        Harness h;
+        std::vector<std::shared_ptr<Tick>> dones;
+        const unsigned n = 32;
+        for (unsigned i = 0; i < n; ++i) {
+            const unsigned bg = alternate ? (i % 4) : 0;
+            dones.push_back(h.issue(0, bg, 0, 3, i / 4, false));
+        }
+        h.eq.run();
+        return *dones.back();
+    };
+    const Tick sameGroup = runPattern(false);
+    const Tick interleaved = runPattern(true);
+    EXPECT_LT(interleaved, sameGroup);
+}
+
+TEST(MemoryController, RowConflictsCostPrechargeActivate)
+{
+    // Under strict FCFS, alternating rows in one bank ping-pong the row
+    // buffer: each access pays a full row cycle.
+    EventQueue eq;
+    const TimingParams &t = timingPreset(SpeedGrade::DDR4_2400);
+    ControllerConfig cfg;
+    cfg.policy = SchedPolicy::Fcfs;
+    MemoryController mc(eq, t, testGeometry(), 0, cfg);
+
+    std::vector<std::shared_ptr<Tick>> dones;
+    const unsigned n = 8;
+    for (unsigned i = 0; i < n; ++i) {
+        auto done = std::make_shared<Tick>(kTickMax);
+        MemRequest req;
+        req.coord =
+            mapping::DramCoord{0, 0, 0, 0, i % 2 ? 100u : 200u, i};
+        req.onComplete = [done, &eq](const MemRequest &) {
+            *done = eq.now();
+        };
+        ASSERT_TRUE(mc.enqueue(std::move(req)));
+        dones.push_back(done);
+    }
+    eq.run();
+    const Cycle perLine =
+        (*dones.back() - *dones.front()) / t.tCKps / (n - 1);
+    // Each conflict pays at least a row-cycle-dominated delay.
+    EXPECT_GE(perLine, t.tRAS);
+    EXPECT_GT(mc.stats().counterValue("row_conflicts"), 0u);
+}
+
+TEST(MemoryController, FrFcfsBatchesRowHitsAcrossConflictingStreams)
+{
+    // Same pattern under FR-FCFS: the scheduler batches all same-row
+    // requests before switching rows, paying far fewer conflicts.
+    Harness h;
+    std::vector<std::shared_ptr<Tick>> dones;
+    const unsigned n = 8;
+    for (unsigned i = 0; i < n; ++i)
+        dones.push_back(h.issue(0, 0, 0, i % 2 ? 100 : 200, i, false));
+    h.eq.run();
+    const Cycle perLine =
+        (*dones.back() - *dones.front()) / h.timing.tCKps / (n - 1);
+    EXPECT_LT(perLine, h.timing.tRAS);
+    EXPECT_LE(h.mc.stats().counterValue("row_conflicts"), 2u);
+}
+
+TEST(MemoryController, WritesDrainAndComplete)
+{
+    Harness h;
+    std::vector<std::shared_ptr<Tick>> dones;
+    for (unsigned i = 0; i < 32; ++i)
+        dones.push_back(h.issue(0, i % 4, i % 4, 1, i / 4, true));
+    h.eq.run();
+    for (auto &d : dones)
+        EXPECT_NE(*d, kTickMax);
+    EXPECT_EQ(h.mc.bytesWritten(), 32u * 64);
+    EXPECT_EQ(h.mc.pending(), 0u);
+}
+
+TEST(MemoryController, QueueBackpressure)
+{
+    Harness h;
+    unsigned accepted = 0;
+    // Fill beyond the read queue depth without running the clock.
+    for (unsigned i = 0; i < 100; ++i) {
+        MemRequest req;
+        req.coord = mapping::DramCoord{0, 0, 0, 0, 0, i % 64};
+        if (h.mc.enqueue(std::move(req)))
+            ++accepted;
+    }
+    EXPECT_EQ(accepted, 64u); // default read queue depth
+    EXPECT_FALSE(h.mc.canAccept(false));
+    EXPECT_TRUE(h.mc.canAccept(true));
+    h.eq.run();
+    EXPECT_TRUE(h.mc.canAccept(false));
+}
+
+TEST(MemoryController, DrainListenersFire)
+{
+    Harness h;
+    unsigned drains = 0;
+    h.mc.onDrain([&] { ++drains; });
+    h.issue(0, 0, 0, 0, 0, false);
+    h.eq.run();
+    EXPECT_GE(drains, 1u);
+}
+
+TEST(MemoryController, RefreshHappensUnderLoad)
+{
+    Harness h;
+    // Keep the controller busy past several tREFI windows.
+    std::uint64_t completed = 0;
+    std::function<void()> refill = [&] {
+        while (h.mc.canAccept(false)) {
+            static unsigned i = 0;
+            MemRequest req;
+            req.coord = mapping::DramCoord{
+                0, 0, (i / 128) % 4, 0, (i / 512) % 1024, i % 128};
+            ++i;
+            req.onComplete = [&](const MemRequest &) { ++completed; };
+            ASSERT_TRUE(h.mc.enqueue(std::move(req)));
+        }
+    };
+    refill();
+    h.mc.onDrain(refill);
+    // Run for 3 refresh intervals.
+    h.eq.run(Tick{3} * h.timing.tREFI * h.timing.tCKps);
+    EXPECT_GE(h.mc.stats().counterValue("refreshes"), 2u);
+    EXPECT_GT(completed, 0u);
+}
+
+TEST(MemoryController, FcfsIsNoFasterThanFrFcfs)
+{
+    auto run = [](SchedPolicy policy) {
+        EventQueue eq;
+        const TimingParams &t = timingPreset(SpeedGrade::DDR4_2400);
+        ControllerConfig cfg;
+        cfg.policy = policy;
+        MemoryController mc(eq, t, testGeometry(), 0, cfg);
+        // Interleave two row streams in one bank: FR-FCFS can batch
+        // hits, FCFS ping-pongs between rows.
+        unsigned done = 0;
+        for (unsigned i = 0; i < 64; ++i) {
+            MemRequest req;
+            req.coord =
+                mapping::DramCoord{0, 0, 0, 0, i % 2 ? 10u : 20u,
+                                   i / 2};
+            req.onComplete = [&](const MemRequest &) { ++done; };
+            EXPECT_TRUE(mc.enqueue(std::move(req)));
+        }
+        eq.run();
+        EXPECT_EQ(done, 64u);
+        return eq.now();
+    };
+    EXPECT_LE(run(SchedPolicy::FrFcfs), run(SchedPolicy::Fcfs));
+}
+
+TEST(MemorySystemTest, RoutesByRegionAndChannel)
+{
+    EventQueue eq;
+    mapping::DramGeometry g = testGeometry();
+    g.channels = 2;
+    auto map = mapping::makeHetMap(g, g);
+    MemorySystem mem(eq, *map, timingPreset(SpeedGrade::DDR4_3200),
+                     timingPreset(SpeedGrade::DDR4_2400));
+
+    unsigned done = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        MemRequest req;
+        req.paddr = Addr{i} * 64; // DRAM region
+        req.onComplete = [&](const MemRequest &) { ++done; };
+        ASSERT_TRUE(mem.enqueue(std::move(req)));
+    }
+    for (unsigned i = 0; i < 16; ++i) {
+        MemRequest req;
+        req.paddr = map->pimBase() + Addr{i} * 64; // PIM region
+        req.write = true;
+        req.onComplete = [&](const MemRequest &) { ++done; };
+        ASSERT_TRUE(mem.enqueue(std::move(req)));
+    }
+    eq.run();
+    EXPECT_EQ(done, 32u);
+    EXPECT_EQ(mem.dramBytesMoved(), 16u * 64);
+    EXPECT_EQ(mem.pimBytesMoved(), 16u * 64);
+    // MLP mapping spreads DRAM lines across both channels.
+    EXPECT_GT(mem.dramController(0).bytesMoved(), 0u);
+    EXPECT_GT(mem.dramController(1).bytesMoved(), 0u);
+    // Locality mapping keeps the PIM stream in one channel.
+    EXPECT_EQ(mem.pimController(1).bytesMoved(), 0u);
+}
+
+TEST(MemorySystemTest, PeakBandwidthMatchesTimingPreset)
+{
+    EventQueue eq;
+    mapping::DramGeometry g = testGeometry();
+    g.channels = 4;
+    auto map = mapping::makeHetMap(g, g);
+    MemorySystem mem(eq, *map, timingPreset(SpeedGrade::DDR4_2400),
+                     timingPreset(SpeedGrade::DDR4_2400));
+    // DDR4-2400: 19.2 GB/s per channel.
+    EXPECT_NEAR(mem.dramPeakBandwidth() / 1e9, 4 * 19.2, 0.2);
+}
+
+} // namespace dram
+} // namespace pimmmu

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "sim/energy.hh"
+
+namespace pimmmu {
+namespace sim {
+
+TEST(Energy, IdleSystemBurnsOnlyBackgroundPower)
+{
+    PowerModel model;
+    EnergySnapshot a, b;
+    a.now = 0;
+    b.now = kPsPerSec; // one second
+    const EnergyReport r = computeEnergy(model, a, b, 8);
+    EXPECT_NEAR(r.cpuJ, model.packageIdleW, 1e-9);
+    EXPECT_NEAR(r.dramJ, model.dramBackgroundWPerChannel * 8, 1e-9);
+    EXPECT_DOUBLE_EQ(r.dceJ, 0.0);
+}
+
+TEST(Energy, ActiveCoresAndAvxAddPower)
+{
+    PowerModel model;
+    EnergySnapshot a, b;
+    b.now = kPsPerSec;
+    b.cpuBusyPs = 8 * kPsPerSec; // 8 core-seconds
+    b.avxBusyPs = 8 * kPsPerSec;
+    const EnergyReport r = computeEnergy(model, a, b, 8);
+    const double expected = model.packageIdleW +
+                            8 * (model.coreActiveW + model.avxAdderW);
+    EXPECT_NEAR(r.cpuJ, expected, 1e-9);
+    // The paper's Fig. 4 operating point: ~70 W system power while all
+    // 8 cores run the AVX copy loop.
+    EXPECT_NEAR(expected, 70.0, 5.0);
+}
+
+TEST(Energy, DramEnergyScalesWithBytes)
+{
+    PowerModel model;
+    model.dramBackgroundWPerChannel = 0.0;
+    EnergySnapshot a, b;
+    b.now = kPsPerSec;
+    b.dramBytes = 1000000000ull; // 1 GB
+    b.pimBytes = 1000000000ull;
+    const EnergyReport r = computeEnergy(model, a, b, 8);
+    EXPECT_NEAR(r.dramJ, model.dramPjPerByte * 2e9 * 1e-12, 1e-9);
+}
+
+TEST(Energy, GbPerJouleMetric)
+{
+    EnergyReport r;
+    r.cpuJ = 1.0;
+    r.dramJ = 0.5;
+    r.dceJ = 0.5;
+    EXPECT_DOUBLE_EQ(r.totalJ(), 2.0);
+    EXPECT_DOUBLE_EQ(r.gbPerJoule(4000000000ull), 2.0);
+}
+
+TEST(Energy, SramAreaMatchesPaperOverhead)
+{
+    // Paper section VI-C: 16 KB + 64 KB of DCE SRAM = 0.85 mm^2.
+    const double area = sramAreaMm2(80 * kKiB);
+    EXPECT_NEAR(area, 0.85, 0.02);
+}
+
+TEST(Energy, SnapshotDeltasAreMonotonic)
+{
+    PowerModel model;
+    EnergySnapshot a, b;
+    a.now = 100;
+    a.cpuBusyPs = 50;
+    b.now = 200;
+    b.cpuBusyPs = 80;
+    const EnergyReport r = computeEnergy(model, a, b, 4);
+    EXPECT_GT(r.cpuJ, 0.0);
+}
+
+} // namespace sim
+} // namespace pimmmu

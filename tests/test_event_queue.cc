@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/event_queue.hh"
+
+namespace pimmmu {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(100, [&, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10)
+            eq.scheduleAfter(5, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.now(), 45u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), SimError);
+}
+
+TEST(EventQueue, RunWithLimitStops)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(1000, [&] { ++fired; });
+    EXPECT_FALSE(eq.run(100));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Ticker, AlignsToClockEdges)
+{
+    EventQueue eq;
+    std::vector<Tick> fireTimes;
+    int remaining = 3;
+    Ticker ticker(eq, 833, [&] {
+        fireTimes.push_back(eq.now());
+        return --remaining > 0;
+    });
+    eq.schedule(100, [&] { ticker.arm(); });
+    eq.run();
+    ASSERT_EQ(fireTimes.size(), 3u);
+    for (Tick t : fireTimes)
+        EXPECT_EQ(t % 833, 0u) << "tick not clock-aligned";
+    EXPECT_EQ(fireTimes[1] - fireTimes[0], 833u);
+}
+
+TEST(Ticker, RearmWhileArmedIsIdempotent)
+{
+    EventQueue eq;
+    int fires = 0;
+    Ticker ticker(eq, 100, [&] {
+        ++fires;
+        return false;
+    });
+    ticker.arm();
+    ticker.arm();
+    ticker.arm();
+    eq.run();
+    EXPECT_EQ(fires, 1);
+}
+
+} // namespace pimmmu

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/memory_system.hh"
+#include "mapping/frame_scatter.hh"
+#include "mapping/hetmap.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+TEST(FrameScatter, PermutationIsBijective)
+{
+    FrameScatter scatter(64 * kMiB, 2 * kMiB); // 32 frames
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t f = 0; f < scatter.frames(); ++f) {
+        const std::uint64_t p = scatter.permute(f);
+        EXPECT_LT(p, scatter.frames());
+        EXPECT_TRUE(seen.insert(p).second) << "collision at frame " << f;
+    }
+}
+
+TEST(FrameScatter, PreservesOffsetsWithinFrames)
+{
+    FrameScatter scatter(256 * kMiB);
+    for (Addr base : {Addr{0}, Addr{2 * kMiB}, Addr{100 * kMiB}}) {
+        const Addr t0 = scatter.translate(base);
+        for (Addr off : {Addr{1}, Addr{64}, Addr{4096},
+                         Addr{2 * kMiB - 1}}) {
+            EXPECT_EQ(scatter.translate(base + off), t0 + off);
+        }
+    }
+}
+
+TEST(FrameScatter, ActuallyScatters)
+{
+    FrameScatter scatter(1 * kGiB);
+    unsigned moved = 0;
+    for (std::uint64_t f = 0; f < scatter.frames(); ++f)
+        moved += (scatter.permute(f) != f);
+    // A permutation that leaves most frames in place is not a scatter.
+    EXPECT_GT(moved, scatter.frames() * 3 / 4);
+}
+
+TEST(FrameScatter, DeterministicAcrossInstances)
+{
+    FrameScatter a(1 * kGiB), b(1 * kGiB);
+    for (std::uint64_t f = 0; f < a.frames(); f += 7)
+        EXPECT_EQ(a.permute(f), b.permute(f));
+    FrameScatter c(1 * kGiB, FrameScatter::kDefaultFrameBytes, 999);
+    unsigned diff = 0;
+    for (std::uint64_t f = 0; f < a.frames(); ++f)
+        diff += (a.permute(f) != c.permute(f));
+    EXPECT_GT(diff, a.frames() / 2) << "seed should change the layout";
+}
+
+TEST(FrameScatter, TinyRegionIsIdentity)
+{
+    FrameScatter scatter(1 * kMiB); // smaller than one frame
+    EXPECT_EQ(scatter.translate(12345), 12345u);
+}
+
+TEST(FrameScatter, MemorySystemAppliesItToDramOnly)
+{
+    EventQueue eq;
+    DramGeometry g;
+    g.channels = 2;
+    g.ranksPerChannel = 1;
+    g.bankGroups = 4;
+    g.banksPerGroup = 4;
+    g.rows = 2048;
+    g.columns = 128;
+    auto map = makeHetMap(g, g);
+    const Addr pimBase = map->pimBase();
+    dram::MemorySystem mem(
+        eq, *map, dram::timingPreset(dram::SpeedGrade::DDR4_2400),
+        dram::timingPreset(dram::SpeedGrade::DDR4_2400));
+
+    // Without scatter: identity.
+    EXPECT_EQ(mem.toPhysical(4 * kMiB), 4 * kMiB);
+    mem.enableScatter();
+    // DRAM addresses may move (to a frame boundary-preserving spot)...
+    const Addr moved = mem.toPhysical(4 * kMiB);
+    EXPECT_EQ(moved % (2 * kMiB), 0u);
+    EXPECT_LT(moved, map->dramCapacity());
+    // ...but PIM-region addresses never do.
+    EXPECT_EQ(mem.toPhysical(pimBase + 4 * kMiB), pimBase + 4 * kMiB);
+}
+
+} // namespace mapping
+} // namespace pimmmu

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.hh"
+#include "pim/host_transfer.hh"
+
+namespace pimmmu {
+namespace device {
+
+namespace {
+
+PimGeometry
+smallGeometry()
+{
+    PimGeometry g = PimGeometry::paperTable1();
+    g.banks.rows = 256;
+    return g;
+}
+
+/** ids/addrs covering banks [0, banks), host arrays contiguous. */
+void
+fullBanks(const PimGeometry &g, unsigned banks, std::uint64_t bytes,
+          std::vector<unsigned> &ids, std::vector<Addr> &addrs)
+{
+    for (unsigned d = 0; d < banks * g.chipsPerRank; ++d) {
+        ids.push_back(d);
+        addrs.push_back(Addr{d} * bytes);
+    }
+}
+
+} // namespace
+
+TEST(GroupByBank, AcceptsFullBanksAndOrdersChips)
+{
+    const PimGeometry g = smallGeometry();
+    std::vector<unsigned> ids;
+    std::vector<Addr> addrs;
+    fullBanks(g, 2, 4096, ids, addrs);
+
+    const BankGrouping grouping = groupByBank(g, ids, addrs, 4096, 0);
+    ASSERT_EQ(grouping.banks.size(), 2u);
+    for (unsigned b = 0; b < 2; ++b) {
+        EXPECT_EQ(grouping.banks[b].bankIdx, b);
+        for (unsigned c = 0; c < 8; ++c) {
+            EXPECT_EQ(grouping.banks[b].dpuId[c], g.dpuId(b, c));
+            EXPECT_EQ(grouping.banks[b].hostBase[c],
+                      Addr{g.dpuId(b, c)} * 4096);
+        }
+    }
+}
+
+TEST(GroupByBank, RejectsPartialBanks)
+{
+    const PimGeometry g = smallGeometry();
+    std::vector<unsigned> ids = {0, 1, 2};
+    std::vector<Addr> addrs = {0, 4096, 8192};
+    EXPECT_THROW(groupByBank(g, ids, addrs, 4096, 0), SimError);
+}
+
+TEST(GroupByBank, RejectsDuplicatesAndBadArgs)
+{
+    const PimGeometry g = smallGeometry();
+    std::vector<unsigned> ids;
+    std::vector<Addr> addrs;
+    fullBanks(g, 1, 4096, ids, addrs);
+
+    {
+        auto dup = ids;
+        dup[1] = dup[0];
+        EXPECT_THROW(groupByBank(g, dup, addrs, 4096, 0), SimError);
+    }
+    EXPECT_THROW(groupByBank(g, ids, addrs, 100, 0), SimError); // !64x
+    EXPECT_THROW(groupByBank(g, ids, addrs, 0, 0), SimError);
+    EXPECT_THROW(groupByBank(g, ids, addrs, 4096, 3), SimError);
+    {
+        auto bad = addrs;
+        bad[0] += 8; // unaligned host array
+        EXPECT_THROW(groupByBank(g, ids, bad, 4096, 0), SimError);
+    }
+    EXPECT_THROW(
+        groupByBank(g, ids, addrs, g.mramBytesPerDpu() + 64, 0),
+        SimError);
+    {
+        auto shortAddrs = addrs;
+        shortAddrs.pop_back();
+        EXPECT_THROW(groupByBank(g, ids, shortAddrs, 4096, 0),
+                     SimError);
+    }
+}
+
+TEST(FunctionalTransfer, ToPimDeliversEachDpuItsArray)
+{
+    const PimGeometry g = smallGeometry();
+    PimDevice pim(g);
+    dram::BackingStore store;
+
+    const std::uint64_t bytes = 1024;
+    std::vector<unsigned> ids;
+    std::vector<Addr> addrs;
+    fullBanks(g, 2, bytes, ids, addrs);
+
+    Rng rng(31);
+    std::vector<std::uint8_t> host(ids.size() * bytes);
+    for (auto &b : host)
+        b = static_cast<std::uint8_t>(rng());
+    store.write(0, host.data(), host.size());
+
+    const auto grouping = groupByBank(g, ids, addrs, bytes, 512);
+    functionalTransfer(store, pim, true, grouping, bytes, 512);
+
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        std::vector<std::uint8_t> mram(bytes);
+        pim.dpu(ids[i]).mramRead(512, mram.data(), bytes);
+        EXPECT_EQ(0, std::memcmp(mram.data(), host.data() + i * bytes,
+                                 bytes))
+            << "DPU " << ids[i];
+    }
+}
+
+TEST(FunctionalTransfer, RoundTripToPimAndBack)
+{
+    const PimGeometry g = smallGeometry();
+    PimDevice pim(g);
+    dram::BackingStore store;
+
+    const std::uint64_t bytes = 512;
+    std::vector<unsigned> ids;
+    std::vector<Addr> addrs;
+    fullBanks(g, 1, bytes, ids, addrs);
+
+    Rng rng(77);
+    std::vector<std::uint8_t> host(ids.size() * bytes);
+    for (auto &b : host)
+        b = static_cast<std::uint8_t>(rng());
+    store.write(0, host.data(), host.size());
+
+    const auto grouping = groupByBank(g, ids, addrs, bytes, 0);
+    functionalTransfer(store, pim, true, grouping, bytes, 0);
+
+    // Clobber the host image, bring the data back, verify.
+    std::vector<std::uint8_t> zero(host.size(), 0);
+    store.write(0, zero.data(), zero.size());
+    functionalTransfer(store, pim, false, grouping, bytes, 0);
+
+    std::vector<std::uint8_t> out(host.size());
+    store.read(0, out.data(), out.size());
+    EXPECT_EQ(host, out);
+}
+
+} // namespace device
+} // namespace pimmmu

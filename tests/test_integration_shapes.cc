@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Integration tests asserting the paper's qualitative result shapes —
+ * the properties that make the reproduction a reproduction. Each test
+ * uses a reduced-size system so the whole file runs in seconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/stream_driver.hh"
+#include "sim/system.hh"
+#include "workloads/patterns.hh"
+
+namespace pimmmu {
+namespace sim {
+
+namespace {
+
+SystemConfig
+shrunk(DesignPoint dp)
+{
+    SystemConfig cfg = SystemConfig::paperTable1(dp);
+    cfg.dramGeom.rows = 2048;
+    cfg.pimGeom.banks.rows = 2048;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Shapes, Challenge1_BaselineBurnsCoresPimMmuDoesNot)
+{
+    System base(shrunk(DesignPoint::Base));
+    System mmu(shrunk(DesignPoint::BaseDHP));
+    const auto b =
+        base.runTransfer(core::XferDirection::DramToPim, 512, 2 * kKiB);
+    const auto m =
+        mmu.runTransfer(core::XferDirection::DramToPim, 512, 2 * kKiB);
+    // Paper Fig. 4: baseline pins ~all cores; PIM-MMU nearly none.
+    EXPECT_GT(b.avgActiveCores, 6.0);
+    EXPECT_LT(m.avgActiveCores, 0.5);
+    // Power: baseline near 70 W; PIM-MMU clearly below it.
+    const double bWatts = b.energy.totalJ() / b.seconds();
+    const double mWatts = m.energy.totalJ() / m.seconds();
+    EXPECT_GT(bWatts, 62.0);
+    EXPECT_LT(bWatts, 85.0);
+    EXPECT_LT(mWatts, bWatts - 5.0);
+}
+
+TEST(Shapes, Challenge2_BaselinePimWritesUnderutilizeBandwidth)
+{
+    System base(shrunk(DesignPoint::Base));
+    const auto b =
+        base.runTransfer(core::XferDirection::DramToPim, 512, 4 * kKiB);
+    // Paper: ~15.5% of PIM peak during DRAM->PIM.
+    const double util = b.gbps() * 1e9 / base.mem().pimPeakBandwidth();
+    EXPECT_LT(util, 0.35);
+    EXPECT_GT(util, 0.02);
+}
+
+TEST(Shapes, Challenge3_LocalityMappingThrottlesDram)
+{
+    mapping::DramGeometry g;
+    g.channels = 4;
+    g.ranksPerChannel = 2;
+    g.bankGroups = 4;
+    g.banksPerGroup = 4;
+    g.rows = 2048;
+    g.columns = 128;
+
+    auto measure = [&](bool mlp) {
+        EventQueue eq;
+        mapping::DramGeometry pimG = g;
+        pimG.rows = 64;
+        mapping::SystemMap map(
+            mlp ? mapping::makeMlpCentricMapper(g)
+                : mapping::makeLocalityCentricMapper(g),
+            mapping::makeLocalityCentricMapper(pimG));
+        dram::MemorySystem mem(
+            eq, map, dram::timingPreset(dram::SpeedGrade::DDR4_2400),
+            dram::timingPreset(dram::SpeedGrade::DDR4_2400));
+        StreamDriver driver(eq, mem);
+        return driver.run(workloads::sequentialPattern(0, 16384), false)
+            .gbps();
+    };
+    const double loc = measure(false);
+    const double mlp = measure(true);
+    // Paper Fig. 8: locality-centric reaches ~30% of MLP-centric.
+    EXPECT_LT(loc / mlp, 0.5);
+    EXPECT_GT(mlp / loc, 2.0);
+}
+
+TEST(Shapes, Fig15_AblationOrderingHolds)
+{
+    // Base+D (vanilla DMA) must not beat the full PIM-MMU, and the
+    // full stack must clearly beat the baseline.
+    auto gbps = [&](DesignPoint dp) {
+        System sys(shrunk(dp));
+        return sys
+            .runTransfer(core::XferDirection::DramToPim, 512, 4 * kKiB)
+            .gbps();
+    };
+    const double base = gbps(DesignPoint::Base);
+    const double baseD = gbps(DesignPoint::BaseD);
+    const double baseDH = gbps(DesignPoint::BaseDH);
+    const double full = gbps(DesignPoint::BaseDHP);
+    EXPECT_GT(full, 2.0 * base);
+    EXPECT_GT(full, baseD);
+    EXPECT_GT(full, baseDH);
+    // Vanilla DMA should not dramatically beat the baseline (the
+    // paper finds it often loses).
+    EXPECT_LT(baseD, 2.0 * base);
+}
+
+TEST(Shapes, Fig15_EnergyEfficiencyFollowsThroughput)
+{
+    auto eff = [&](DesignPoint dp) {
+        System sys(shrunk(dp));
+        return sys
+            .runTransfer(core::XferDirection::DramToPim, 512, 4 * kKiB)
+            .gbPerJoule();
+    };
+    EXPECT_GT(eff(DesignPoint::BaseDHP), 2.0 * eff(DesignPoint::Base));
+}
+
+TEST(Shapes, Fig14_MemcpyScalesWithChannelsNotRanks)
+{
+    auto gbps = [&](unsigned channels, unsigned ranks) {
+        SystemConfig cfg = shrunk(DesignPoint::BaseDHP);
+        cfg.dramGeom.channels = channels;
+        cfg.dramGeom.ranksPerChannel = ranks;
+        System sys(cfg);
+        return sys.runMemcpy(2 * kMiB).gbps();
+    };
+    const double c1 = gbps(1, 1);
+    const double c4 = gbps(4, 1);
+    const double c4r2 = gbps(4, 2);
+    EXPECT_GT(c4, 2.5 * c1);          // channels scale bandwidth
+    EXPECT_LT(std::abs(c4r2 - c4) / c4, 0.25); // ranks do not
+}
+
+TEST(Shapes, Fig16_TransferBoundWorkloadsGainKernelBoundDoNot)
+{
+    // BS-like (no kernel) vs TS-like (kernel-dominated) end-to-end.
+    auto endToEnd = [&](DesignPoint dp, double kernelMs) {
+        System sys(shrunk(dp));
+        const auto d2p = sys.runTransfer(core::XferDirection::DramToPim,
+                                         512, 4 * kKiB);
+        const auto p2d = sys.runTransfer(core::XferDirection::PimToDram,
+                                         512, 256);
+        return d2p.seconds() * 1e3 + kernelMs + p2d.seconds() * 1e3;
+    };
+    const double bsBase = endToEnd(DesignPoint::Base, 0.01);
+    const double bsMmu = endToEnd(DesignPoint::BaseDHP, 0.01);
+    const double tsBase = endToEnd(DesignPoint::Base, 50.0);
+    const double tsMmu = endToEnd(DesignPoint::BaseDHP, 50.0);
+    EXPECT_GT(bsBase / bsMmu, 2.0);  // transfer-bound: big win
+    EXPECT_LT(tsBase / tsMmu, 1.1);  // kernel-bound: marginal
+}
+
+TEST(Shapes, PimMsBalancesPimChannelsBaselineDoesNot)
+{
+    System base(shrunk(DesignPoint::Base));
+    System mmu(shrunk(DesignPoint::BaseDHP));
+    const auto b =
+        base.runTransfer(core::XferDirection::DramToPim, 512, 2 * kKiB);
+    const auto m =
+        mmu.runTransfer(core::XferDirection::DramToPim, 512, 2 * kKiB);
+    // Paper Figs. 6/12: software scheduling congests channels from
+    // instant to instant; PIM-MS spreads traffic evenly. Windowed
+    // imbalance: 1.0 = balanced, 4.0 = one channel at a time.
+    EXPECT_LT(m.pimWindowImbalance, 1.3);
+    EXPECT_GT(b.pimWindowImbalance, 1.4);
+}
+
+} // namespace sim
+} // namespace pimmmu

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sim/system.hh"
+#include "workloads/kernels.hh"
+
+namespace pimmmu {
+namespace workloads {
+
+namespace {
+
+sim::SystemConfig
+smallConfig()
+{
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    cfg.dramGeom.rows = 1024;
+    cfg.pimGeom.banks.rows = 1024;
+    return cfg;
+}
+
+/** Write a vector of int32 into the host store. */
+void
+writeHost(sim::System &sys, Addr base,
+          const std::vector<std::int32_t> &v)
+{
+    sys.mem().store().write(base, v.data(), v.size() * 4);
+}
+
+std::vector<std::int32_t>
+readHost(sim::System &sys, Addr base, std::size_t n)
+{
+    std::vector<std::int32_t> v(n);
+    sys.mem().store().read(base, v.data(), n * 4);
+    return v;
+}
+
+/** Run a full offload: D2P transfer, kernel, P2D transfer. */
+void
+offload(sim::System &sys, const core::PimMmuOp &in,
+        const DpuKernel &kernel, const core::PimMmuOp &out)
+{
+    bool done = false;
+    sys.pimMmu().transfer(in, [&] { done = true; });
+    ASSERT_TRUE(sys.runUntil([&] { return done; }));
+    device::KernelModel model;
+    std::vector<unsigned> ids = in.pimIdArr;
+    sys.pim().launch(ids, kernel, model, in.sizePerPim);
+    done = false;
+    sys.pimMmu().transfer(out, [&] { done = true; });
+    ASSERT_TRUE(sys.runUntil([&] { return done; }));
+}
+
+core::PimMmuOp
+makeOp(core::XferDirection dir, Addr hostBase, unsigned numDpus,
+       std::uint64_t bytesPerDpu, Addr heapOff)
+{
+    core::PimMmuOp op;
+    op.type = dir;
+    op.sizePerPim = bytesPerDpu;
+    op.pimBaseHeapPtr = heapOff;
+    for (unsigned i = 0; i < numDpus; ++i) {
+        op.dramAddrArr.push_back(hostBase + Addr{i} * bytesPerDpu);
+        op.pimIdArr.push_back(i);
+    }
+    return op;
+}
+
+} // namespace
+
+TEST(Kernels, VectorAddEndToEnd)
+{
+    sim::System sys(smallConfig());
+    const unsigned numDpus = 16;
+    const std::uint64_t elems = 64; // per DPU, per operand
+    const std::uint64_t bytes = elems * 4;
+
+    Rng rng(8);
+    std::vector<std::int32_t> a(numDpus * elems), b(a.size());
+    for (auto &v : a)
+        v = static_cast<std::int32_t>(rng() & 0xffff);
+    for (auto &v : b)
+        v = static_cast<std::int32_t>(rng() & 0xffff);
+
+    const Addr aBase = sys.allocDram(numDpus * bytes);
+    const Addr bBase = sys.allocDram(numDpus * bytes);
+    const Addr outBase = sys.allocDram(numDpus * bytes);
+    writeHost(sys, aBase, a);
+    writeHost(sys, bBase, b);
+
+    // Two input transfers (operand A at MRAM 0, B at MRAM bytes).
+    bool done = false;
+    sys.pimMmu().transfer(makeOp(core::XferDirection::DramToPim, aBase,
+                                 numDpus, bytes, 0),
+                          [&] { done = true; });
+    ASSERT_TRUE(sys.runUntil([&] { return done; }));
+
+    offload(sys,
+            makeOp(core::XferDirection::DramToPim, bBase, numDpus,
+                   bytes, bytes),
+            vecAddKernel(elems, 0, bytes, 2 * bytes),
+            makeOp(core::XferDirection::PimToDram, outBase, numDpus,
+                   bytes, 2 * bytes));
+
+    const auto result = readHost(sys, outBase, numDpus * elems);
+    EXPECT_EQ(result, hostVecAdd(a, b));
+}
+
+TEST(Kernels, ReduceMatchesHostReference)
+{
+    sim::System sys(smallConfig());
+    const unsigned numDpus = 8;
+    const std::uint64_t elems = 128;
+    const std::uint64_t bytes = elems * 4;
+
+    Rng rng(15);
+    std::vector<std::int32_t> in(numDpus * elems);
+    for (auto &v : in)
+        v = static_cast<std::int32_t>(rng() % 1000) - 500;
+
+    const Addr inBase = sys.allocDram(numDpus * bytes);
+    const Addr outBase = sys.allocDram(numDpus * 64);
+    writeHost(sys, inBase, in);
+
+    offload(sys,
+            makeOp(core::XferDirection::DramToPim, inBase, numDpus,
+                   bytes, 0),
+            reduceKernel(elems, 0, bytes),
+            makeOp(core::XferDirection::PimToDram, outBase, numDpus, 64,
+                   bytes));
+
+    // Host-side final reduction over per-DPU partial sums.
+    std::int64_t total = 0;
+    for (unsigned d = 0; d < numDpus; ++d) {
+        std::int64_t partial = 0;
+        sys.mem().store().read(outBase + Addr{d} * 64, &partial, 8);
+        total += partial;
+    }
+    EXPECT_EQ(total, hostReduce(in));
+}
+
+TEST(Kernels, HistogramMatchesHostReference)
+{
+    sim::System sys(smallConfig());
+    const unsigned numDpus = 8;
+    const std::uint64_t bytes = 2048;
+
+    Rng rng(23);
+    std::vector<std::uint8_t> in(numDpus * bytes);
+    for (auto &v : in)
+        v = static_cast<std::uint8_t>(rng());
+    const Addr inBase = sys.allocDram(in.size());
+    sys.mem().store().write(inBase, in.data(), in.size());
+    const Addr outBase = sys.allocDram(numDpus * 1024);
+
+    offload(sys,
+            makeOp(core::XferDirection::DramToPim, inBase, numDpus,
+                   bytes, 0),
+            histogramKernel(bytes, 0, bytes),
+            makeOp(core::XferDirection::PimToDram, outBase, numDpus,
+                   1024, bytes));
+
+    std::vector<std::uint32_t> merged(256, 0);
+    for (unsigned d = 0; d < numDpus; ++d) {
+        std::vector<std::uint32_t> bins(256);
+        sys.mem().store().read(outBase + Addr{d} * 1024, bins.data(),
+                               1024);
+        for (unsigned b = 0; b < 256; ++b)
+            merged[b] += bins[b];
+    }
+    EXPECT_EQ(merged, hostHistogram(in));
+}
+
+TEST(Kernels, GemvMatchesHostReference)
+{
+    sim::System sys(smallConfig());
+    const unsigned numDpus = 8;
+    const std::uint64_t rows = 8, cols = 16;
+    const std::uint64_t mBytes = rows * cols * 4;
+    const std::uint64_t xBytes = cols * 4;
+
+    Rng rng(44);
+    std::vector<std::int32_t> m(numDpus * rows * cols), x(cols);
+    for (auto &v : m)
+        v = static_cast<std::int32_t>(rng() % 64) - 32;
+    for (auto &v : x)
+        v = static_cast<std::int32_t>(rng() % 64) - 32;
+
+    const Addr mBase = sys.allocDram(numDpus * mBytes);
+    writeHost(sys, mBase, m);
+    // Broadcast x: same vector to every DPU.
+    const Addr xBase = sys.allocDram(numDpus * xBytes);
+    for (unsigned d = 0; d < numDpus; ++d)
+        sys.mem().store().write(xBase + Addr{d} * xBytes, x.data(),
+                                xBytes);
+    const Addr yBase = sys.allocDram(numDpus * 64);
+
+    bool done = false;
+    sys.pimMmu().transfer(makeOp(core::XferDirection::DramToPim, mBase,
+                                 numDpus, mBytes, 0),
+                          [&] { done = true; });
+    ASSERT_TRUE(sys.runUntil([&] { return done; }));
+
+    offload(sys,
+            makeOp(core::XferDirection::DramToPim, xBase, numDpus,
+                   xBytes, mBytes),
+            gemvKernel(rows, cols, 0, mBytes, mBytes + xBytes),
+            makeOp(core::XferDirection::PimToDram, yBase, numDpus, 64,
+                   mBytes + xBytes));
+
+    for (unsigned d = 0; d < numDpus; ++d) {
+        std::vector<std::int32_t> slice(
+            m.begin() + d * rows * cols,
+            m.begin() + (d + 1) * rows * cols);
+        const auto expect = hostGemv(slice, x, rows, cols);
+        const auto y = readHost(sys, yBase + Addr{d} * 64, rows);
+        EXPECT_EQ(y, expect) << "DPU " << d;
+    }
+}
+
+TEST(Kernels, SelectCountsAndFilters)
+{
+    sim::System sys(smallConfig());
+    const std::uint64_t elems = 64;
+    std::vector<std::int32_t> in(elems);
+    for (std::uint64_t i = 0; i < elems; ++i)
+        in[i] = static_cast<std::int32_t>(i);
+
+    device::Dpu &dpu = sys.pim().dpu(0);
+    dpu.mramWrite(0, in.data(), elems * 4);
+    selectKernel(elems, 0, elems * 4, 31)(dpu, 0);
+
+    EXPECT_EQ(dpu.load<std::int64_t>(elems * 4), 32);
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(dpu.load<std::int32_t>(elems * 4 + 8 + i * 4),
+                  static_cast<std::int32_t>(32 + i));
+}
+
+} // namespace workloads
+} // namespace pimmmu

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "mapping/bios_config.hh"
+#include "mapping/hetmap.hh"
+#include "mapping/layout_mapper.hh"
+
+namespace pimmmu {
+namespace mapping {
+
+namespace {
+
+DramGeometry
+smallGeometry()
+{
+    DramGeometry g;
+    g.channels = 4;
+    g.ranksPerChannel = 2;
+    g.bankGroups = 4;
+    g.banksPerGroup = 2;
+    g.rows = 256;
+    g.columns = 32;
+    g.lineBytes = 64;
+    return g;
+}
+
+} // namespace
+
+TEST(LayoutSpec, ParsesAndRoundTrips)
+{
+    auto fields = parseLayoutSpec("ChRaBgBkRoCo");
+    ASSERT_EQ(fields.size(), 6u);
+    // LSB-first storage: Co is first.
+    EXPECT_EQ(fields.front(), Field::Column);
+    EXPECT_EQ(fields.back(), Field::Channel);
+    EXPECT_EQ(layoutSpecString(fields), "ChRaBgBkRoCo");
+}
+
+TEST(LayoutSpec, RejectsBadSpecs)
+{
+    EXPECT_THROW(parseLayoutSpec("ChRaBgBkRo"), SimError);   // missing Co
+    EXPECT_THROW(parseLayoutSpec("XxRaBgBkRoCo"), SimError); // bad token
+    EXPECT_THROW(parseLayoutSpec("ChChBgBkRoCo"), SimError); // repeat
+}
+
+TEST(LocalityMapper, IsContiguousPerBank)
+{
+    const DramGeometry g = smallGeometry();
+    auto mapper = makeLocalityCentricMapper(g);
+
+    // Consecutive lines within one bank region share the bank.
+    const DramCoord first = mapper->map(0);
+    const std::uint64_t bankSpan = g.bankBytes();
+    for (Addr a = 0; a < bankSpan; a += bankSpan / 16) {
+        const DramCoord c = mapper->map(a);
+        EXPECT_EQ(c.ch, first.ch);
+        EXPECT_EQ(c.ra, first.ra);
+        EXPECT_EQ(c.bg, first.bg);
+        EXPECT_EQ(c.bk, first.bk);
+    }
+    // The next bank region lands in a different bank.
+    const DramCoord next = mapper->map(bankSpan);
+    EXPECT_NE(next.bankIndex(g), first.bankIndex(g));
+}
+
+TEST(LocalityMapper, ChannelsOwnContiguousSlabs)
+{
+    const DramGeometry g = smallGeometry();
+    auto mapper = makeLocalityCentricMapper(g);
+    const std::uint64_t slab = g.channelBytes();
+    for (unsigned ch = 0; ch < g.channels; ++ch) {
+        EXPECT_EQ(mapper->map(Addr{ch} * slab).ch, ch);
+        EXPECT_EQ(mapper->map(Addr{ch} * slab + slab - 64).ch, ch);
+    }
+}
+
+TEST(MlpMapper, SequentialLinesSpreadAcrossChannels)
+{
+    const DramGeometry g = smallGeometry();
+    auto mapper = makeMlpCentricMapper(g);
+    std::vector<unsigned> hits(g.channels, 0);
+    for (Addr a = 0; a < 64 * g.channels * 4; a += 64)
+        ++hits[mapper->map(a).ch];
+    for (unsigned ch = 0; ch < g.channels; ++ch)
+        EXPECT_EQ(hits[ch], 4u) << "channel " << ch;
+}
+
+TEST(MlpMapper, XorHashSpreadsPowerOfTwoStrides)
+{
+    const DramGeometry g = smallGeometry();
+    auto hashed = makeMlpCentricMapper(g, true);
+    auto plain = makeMlpCentricMapper(g, false);
+
+    // Stride of exactly channels*64 bytes pins the raw channel bits;
+    // XOR hashing must still spread accesses over rows.
+    const std::uint64_t stride = std::uint64_t{g.channels} * 64;
+    const unsigned rows = 64;
+    std::vector<unsigned> hashedHits(g.channels, 0);
+    std::vector<unsigned> plainHits(g.channels, 0);
+    const unsigned roShift = 6 + g.chBits() + g.bgBits() + g.bkBits() +
+                             g.coBits() + g.raBits();
+    for (unsigned r = 0; r < rows; ++r) {
+        const Addr a = (Addr{r} << roShift);
+        ++hashedHits[hashed->map(a).ch];
+        ++plainHits[plain->map(a).ch];
+        (void)stride;
+    }
+    // Without hashing everything lands in channel 0.
+    EXPECT_EQ(plainHits[0], rows);
+    // With hashing the traffic spreads evenly.
+    for (unsigned ch = 0; ch < g.channels; ++ch)
+        EXPECT_EQ(hashedHits[ch], rows / g.channels);
+}
+
+struct MapperCase
+{
+    const char *name;
+    unsigned channels, ranks, bankGroups, banks, rows, columns;
+    bool mlp;
+    bool xorHash;
+};
+
+class MapperRoundTrip : public ::testing::TestWithParam<MapperCase>
+{
+};
+
+TEST_P(MapperRoundTrip, BijectiveOverSampledAddresses)
+{
+    const MapperCase &tc = GetParam();
+    DramGeometry g;
+    g.channels = tc.channels;
+    g.ranksPerChannel = tc.ranks;
+    g.bankGroups = tc.bankGroups;
+    g.banksPerGroup = tc.banks;
+    g.rows = tc.rows;
+    g.columns = tc.columns;
+    ASSERT_TRUE(g.valid());
+
+    MapperPtr mapper = tc.mlp ? makeMlpCentricMapper(g, tc.xorHash)
+                              : makeLocalityCentricMapper(g);
+
+    Rng rng(0xabcdef);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr addr = rng.below(g.totalLines()) * 64;
+        const DramCoord coord = mapper->map(addr);
+        EXPECT_LT(coord.ch, g.channels);
+        EXPECT_LT(coord.ra, g.ranksPerChannel);
+        EXPECT_LT(coord.bg, g.bankGroups);
+        EXPECT_LT(coord.bk, g.banksPerGroup);
+        EXPECT_LT(coord.ro, g.rows);
+        EXPECT_LT(coord.co, g.columns);
+        EXPECT_EQ(mapper->unmap(coord), addr)
+            << tc.name << " addr 0x" << std::hex << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MapperRoundTrip,
+    ::testing::Values(
+        MapperCase{"loc-small", 2, 1, 2, 2, 64, 16, false, false},
+        MapperCase{"loc-table1", 4, 2, 4, 4, 16384, 128, false, false},
+        MapperCase{"loc-1ch", 1, 1, 4, 4, 512, 64, false, false},
+        MapperCase{"mlp-small", 2, 1, 2, 2, 64, 16, true, true},
+        MapperCase{"mlp-table1", 4, 2, 4, 4, 16384, 128, true, true},
+        MapperCase{"mlp-noxor", 4, 2, 4, 4, 16384, 128, true, false},
+        MapperCase{"mlp-8ch", 8, 2, 4, 4, 1024, 128, true, true},
+        MapperCase{"mlp-1ch", 1, 1, 2, 2, 256, 32, true, true}),
+    [](const ::testing::TestParamInfo<MapperCase> &info) {
+        std::string n = info.param.name;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(MapperRoundTripExhaustive, TinyGeometryFullSweep)
+{
+    DramGeometry g;
+    g.channels = 2;
+    g.ranksPerChannel = 2;
+    g.bankGroups = 2;
+    g.banksPerGroup = 2;
+    g.rows = 16;
+    g.columns = 8;
+
+    for (bool mlp : {false, true}) {
+        MapperPtr mapper = mlp ? makeMlpCentricMapper(g)
+                               : makeLocalityCentricMapper(g);
+        std::vector<bool> seen(g.totalLines(), false);
+        for (Addr a = 0; a < g.capacityBytes(); a += 64) {
+            const DramCoord c = mapper->map(a);
+            EXPECT_EQ(mapper->unmap(c), a);
+            // Injectivity: no two addresses share a coordinate.
+            const std::uint64_t flat =
+                ((((std::uint64_t{c.ch} * g.ranksPerChannel + c.ra) *
+                       g.bankGroups +
+                   c.bg) * g.banksPerGroup +
+                  c.bk) * g.rows +
+                 c.ro) * g.columns +
+                c.co;
+            EXPECT_FALSE(seen[flat]) << "collision at 0x" << std::hex
+                                     << a;
+            seen[flat] = true;
+        }
+    }
+}
+
+TEST(BiosConfig, OneWayEverywhereMatchesLocalityMapping)
+{
+    const DramGeometry g = smallGeometry();
+    auto bios = makeBiosMapper(g, BiosConfig::pimSeparated());
+    auto locality = makeLocalityCentricMapper(g);
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.below(g.totalLines()) * 64;
+        EXPECT_EQ(bios->map(a).ch, locality->map(a).ch);
+        EXPECT_EQ(bios->map(a).bankIndex(g),
+                  locality->map(a).bankIndex(g));
+    }
+}
+
+TEST(BiosConfig, NWayChannelPutsChannelBitsAtLsb)
+{
+    const DramGeometry g = smallGeometry();
+    BiosConfig cfg = BiosConfig::conventional();
+    cfg.xorHashing = false;
+    auto mapper = makeBiosMapper(g, cfg);
+    // Consecutive lines must round-robin channels (Fig. 1(d)).
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(mapper->map(Addr{i} * 64).ch, i % g.channels);
+}
+
+TEST(BiosConfig, XorWithoutNWayChannelIsRejected)
+{
+    const DramGeometry g = smallGeometry();
+    BiosConfig cfg;
+    cfg.channel = Interleave::OneWay;
+    cfg.xorHashing = true;
+    EXPECT_THROW(makeBiosMapper(g, cfg), SimError);
+}
+
+TEST(BiosConfig, RoundTripsForAllKnobCombinations)
+{
+    const DramGeometry g = smallGeometry();
+    Rng rng(99);
+    for (int mask = 0; mask < 16; ++mask) {
+        BiosConfig cfg;
+        cfg.channel = (mask & 1) ? Interleave::NWay : Interleave::OneWay;
+        cfg.rank = (mask & 2) ? Interleave::NWay : Interleave::OneWay;
+        cfg.bankGroup =
+            (mask & 4) ? Interleave::NWay : Interleave::OneWay;
+        cfg.bank = (mask & 8) ? Interleave::NWay : Interleave::OneWay;
+        cfg.xorHashing = false;
+        auto mapper = makeBiosMapper(g, cfg);
+        for (int i = 0; i < 500; ++i) {
+            const Addr a = rng.below(g.totalLines()) * 64;
+            EXPECT_EQ(mapper->unmap(mapper->map(a)), a)
+                << "knob mask " << mask;
+        }
+    }
+}
+
+TEST(HetMap, DispatchesByRegion)
+{
+    const DramGeometry dramGeom = smallGeometry();
+    DramGeometry pimGeom = smallGeometry();
+    pimGeom.rows = 128;
+    auto het = makeHetMap(dramGeom, pimGeom);
+
+    EXPECT_FALSE(het->isPim(0));
+    EXPECT_TRUE(het->isPim(het->pimBase()));
+    EXPECT_EQ(het->map(0).space, MemSpace::Dram);
+    EXPECT_EQ(het->map(het->pimBase()).space, MemSpace::Pim);
+    EXPECT_THROW(het->map(het->totalCapacity()), SimError);
+}
+
+TEST(HetMap, DramSideUsesMlpPimSideUsesLocality)
+{
+    const DramGeometry g = smallGeometry();
+    auto het = makeHetMap(g, g);
+
+    // DRAM side: consecutive lines spread across channels.
+    EXPECT_NE(het->map(0).coord.ch, het->map(64).coord.ch);
+    // PIM side: a whole bank region stays in one (ch, bank).
+    const auto first = het->map(het->pimBase()).coord;
+    const auto later =
+        het->map(het->pimBase() + g.bankBytes() - 64).coord;
+    EXPECT_EQ(first.ch, later.ch);
+    EXPECT_EQ(first.bankIndex(g), later.bankIndex(g));
+}
+
+TEST(HetMap, BaselineMapIsLocalityOnBothSides)
+{
+    const DramGeometry g = smallGeometry();
+    auto base = makeBaselineMap(g, g);
+    EXPECT_EQ(base->map(0).coord.ch, base->map(64).coord.ch);
+    const auto a = base->map(base->pimBase()).coord;
+    const auto b = base->map(base->pimBase() + 64).coord;
+    EXPECT_EQ(a.bankIndex(g), b.bankIndex(g));
+}
+
+TEST(HetMap, RoundTripsAcrossBothRegions)
+{
+    const DramGeometry g = smallGeometry();
+    auto het = makeHetMap(g, g);
+    Rng rng(1234);
+    for (int i = 0; i < 4000; ++i) {
+        const Addr a = rng.below(het->totalCapacity() / 64) * 64;
+        const MappedTarget t = het->map(a);
+        EXPECT_EQ(het->unmap(t), a);
+    }
+}
+
+} // namespace mapping
+} // namespace pimmmu

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pim/pim_device.hh"
+
+namespace pimmmu {
+namespace device {
+
+TEST(PimGeometry, PaperTable1Shape)
+{
+    const PimGeometry g = PimGeometry::paperTable1();
+    EXPECT_EQ(g.banks.channels, 4u);
+    EXPECT_EQ(g.banks.ranksPerChannel, 2u);
+    EXPECT_EQ(g.banks.banksPerRank(), 8u); // 8 banks per UPMEM chip
+    EXPECT_EQ(g.numBanks(), 64u);
+    EXPECT_EQ(g.numDpus(), 512u);
+}
+
+TEST(PimGeometry, DpuIdDecomposition)
+{
+    const PimGeometry g = PimGeometry::paperTable1();
+    for (unsigned dpu : {0u, 7u, 8u, 100u, 511u}) {
+        EXPECT_EQ(g.dpuId(g.dpuBank(dpu), g.dpuChip(dpu)), dpu);
+        EXPECT_LT(g.dpuChip(dpu), g.chipsPerRank);
+        EXPECT_LT(g.dpuBank(dpu), g.numBanks());
+    }
+}
+
+TEST(PimGeometry, BankCoordIsInverseOfGlobalBankIndex)
+{
+    const PimGeometry g = PimGeometry::paperTable1();
+    for (unsigned b = 0; b < g.numBanks(); ++b) {
+        const mapping::DramCoord c = g.bankCoord(b);
+        EXPECT_EQ(c.globalBankIndex(g.banks), b);
+    }
+    EXPECT_THROW(g.bankCoord(g.numBanks()), SimError);
+}
+
+TEST(PimGeometry, BankRegionsTileThePimSpace)
+{
+    const PimGeometry g = PimGeometry::paperTable1();
+    EXPECT_EQ(g.bankRegionOffset(0), 0u);
+    EXPECT_EQ(g.bankRegionOffset(1), g.banks.bankBytes());
+    EXPECT_EQ(g.bankRegionOffset(g.numBanks() - 1) + g.banks.bankBytes(),
+              g.banks.capacityBytes());
+}
+
+TEST(PimGeometry, MramCapacityIsBankSliceAcrossChips)
+{
+    const PimGeometry g = PimGeometry::paperTable1();
+    EXPECT_EQ(g.mramBytesPerDpu() * g.chipsPerRank, g.banks.bankBytes());
+}
+
+TEST(Dpu, MramReadWriteRoundTrip)
+{
+    Dpu dpu(3, 1 * kMiB);
+    const char msg[] = "hello mram";
+    dpu.mramWrite(4096, msg, sizeof(msg));
+    char out[sizeof(msg)];
+    dpu.mramRead(4096, out, sizeof(out));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(Dpu, UntouchedMramReadsZero)
+{
+    Dpu dpu(0, kMiB);
+    std::uint64_t v = 0xdead;
+    dpu.mramRead(512 * kKiB, &v, sizeof(v));
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(Dpu, TypedLoadStore)
+{
+    Dpu dpu(0, kMiB);
+    dpu.store<std::int32_t>(64, -12345);
+    EXPECT_EQ(dpu.load<std::int32_t>(64), -12345);
+    dpu.store<double>(128, 2.5);
+    EXPECT_DOUBLE_EQ(dpu.load<double>(128), 2.5);
+}
+
+TEST(Dpu, CapacityIsEnforced)
+{
+    Dpu dpu(0, 4096);
+    std::uint8_t buf[64] = {};
+    EXPECT_THROW(dpu.mramWrite(4096 - 32, buf, 64), SimError);
+    EXPECT_THROW(dpu.mramRead(4096, buf, 1), SimError);
+}
+
+TEST(PimDevice, LaunchRunsKernelOnSelectedDpus)
+{
+    PimGeometry g = PimGeometry::paperTable1();
+    g.banks.rows = 256; // keep it small
+    PimDevice dev(g);
+
+    std::vector<unsigned> ids = {0, 5, 17, 100};
+    KernelModel model;
+    model.cyclesPerByte = 1.0;
+    const Tick t = dev.launch(
+        ids,
+        [](Dpu &dpu, unsigned idx) {
+            dpu.store<std::uint32_t>(0, 1000 + idx);
+        },
+        model, 4096);
+    EXPECT_GT(t, 0u);
+    for (unsigned i = 0; i < ids.size(); ++i)
+        EXPECT_EQ(dev.dpu(ids[i]).load<std::uint32_t>(0), 1000 + i);
+    // Untouched DPU unaffected.
+    EXPECT_EQ(dev.dpu(1).load<std::uint32_t>(0), 0u);
+}
+
+TEST(KernelModelTest, ScalesWithBytesAndOverhead)
+{
+    KernelModel m;
+    m.dpuMhz = 350;
+    m.cyclesPerByte = 2.0;
+    m.launchOverheadUs = 10.0;
+    const Tick small = m.execTimePs(0);
+    EXPECT_EQ(small, Tick{10} * kPsPerUs);
+    const Tick big = m.execTimePs(350000);
+    // 700k cycles at 350 MHz = 2 ms, plus overhead.
+    EXPECT_NEAR(static_cast<double>(big),
+                static_cast<double>(Tick{10} * kPsPerUs) + 2e9, 1e6);
+}
+
+} // namespace device
+} // namespace pimmmu

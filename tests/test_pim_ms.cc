@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/pim_ms.hh"
+
+namespace pimmmu {
+namespace core {
+
+namespace {
+
+device::PimGeometry
+geom()
+{
+    device::PimGeometry g = device::PimGeometry::paperTable1();
+    g.banks.rows = 256;
+    return g;
+}
+
+} // namespace
+
+TEST(PimMsTest, PartitionsBanksByChannel)
+{
+    const auto g = geom();
+    std::vector<unsigned> banks(g.numBanks());
+    std::iota(banks.begin(), banks.end(), 0u);
+    PimMs ms(g, banks);
+
+    ASSERT_EQ(ms.numChannels(), g.banks.channels);
+    std::size_t total = 0;
+    for (unsigned ch = 0; ch < ms.numChannels(); ++ch) {
+        for (unsigned slot : ms.channelSlots(ch))
+            EXPECT_EQ(g.bankCoord(banks[slot]).ch, ch);
+        total += ms.channelSlots(ch).size();
+    }
+    EXPECT_EQ(total, banks.size());
+}
+
+TEST(PimMsTest, AlgorithmOrderInterleavesBankGroupsFirst)
+{
+    // Paper Algorithm 1 lines 29-37: bk outer, then ra, then bg, so
+    // successive issues target different bank groups (dodging tCCD_L).
+    const auto g = geom();
+    std::vector<unsigned> banks(g.numBanks());
+    std::iota(banks.begin(), banks.end(), 0u);
+    PimMs ms(g, banks);
+
+    const auto &slots = ms.channelSlots(0);
+    ASSERT_GE(slots.size(), 4u);
+    // Within one (bk) group of the order, consecutive entries differ
+    // in rank or bank group, never only in bank.
+    for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+        const auto a = g.bankCoord(banks[slots[i]]);
+        const auto b = g.bankCoord(banks[slots[i + 1]]);
+        if (a.bk == b.bk) {
+            EXPECT_TRUE(a.ra != b.ra || a.bg != b.bg)
+                << "consecutive issues must change rank/bank-group";
+        }
+    }
+    // The very first two issues hit different bank groups.
+    const auto first = g.bankCoord(banks[slots[0]]);
+    const auto second = g.bankCoord(banks[slots[1]]);
+    EXPECT_NE(first.bg, second.bg);
+}
+
+TEST(PimMsTest, NextChannelRoundRobins)
+{
+    const auto g = geom();
+    std::vector<unsigned> banks(g.numBanks());
+    std::iota(banks.begin(), banks.end(), 0u);
+    PimMs ms(g, banks);
+
+    std::vector<unsigned> seq;
+    for (unsigned i = 0; i < 2 * ms.numChannels(); ++i)
+        seq.push_back(ms.nextChannel());
+    for (unsigned i = 0; i < ms.numChannels(); ++i) {
+        EXPECT_EQ(seq[i], i);
+        EXPECT_EQ(seq[i + ms.numChannels()], i);
+    }
+}
+
+TEST(PimMsTest, DropsEmptyChannels)
+{
+    const auto g = geom();
+    // Only banks from channel 2.
+    std::vector<unsigned> banks;
+    for (unsigned b = 0; b < g.numBanks(); ++b) {
+        if (g.bankCoord(b).ch == 2)
+            banks.push_back(b);
+    }
+    PimMs ms(g, banks);
+    EXPECT_EQ(ms.numChannels(), 1u);
+    EXPECT_EQ(ms.channelSlots(0).size(), banks.size());
+}
+
+TEST(PimMsTest, EmptyBankSetIsRejected)
+{
+    const auto g = geom();
+    EXPECT_THROW(PimMs(g, {}), SimError);
+}
+
+TEST(PimMsTest, CursorsAreIndependentPerChannelAndDirection)
+{
+    const auto g = geom();
+    std::vector<unsigned> banks(g.numBanks());
+    std::iota(banks.begin(), banks.end(), 0u);
+    PimMs ms(g, banks);
+    ms.cursor(0, false) = 3;
+    ms.cursor(0, true) = 5;
+    ms.cursor(1, false) = 7;
+    EXPECT_EQ(ms.cursor(0, false), 3u);
+    EXPECT_EQ(ms.cursor(0, true), 5u);
+    EXPECT_EQ(ms.cursor(1, false), 7u);
+}
+
+} // namespace core
+} // namespace pimmmu

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * End-to-end correctness of all 16 functional PrIM workloads through
+ * BOTH transfer paths (baseline dpu_push_xfer and PIM-MMU), each
+ * verified against its host reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/prim.hh"
+#include "workloads/prim_impl.hh"
+
+namespace pimmmu {
+namespace workloads {
+
+namespace {
+
+sim::SystemConfig
+smallConfig(sim::DesignPoint dp)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::paperTable1(dp);
+    cfg.dramGeom.rows = 1024;
+    cfg.pimGeom.banks.rows = 1024;
+    return cfg;
+}
+
+struct PrimCase
+{
+    const char *name;
+    sim::DesignPoint design;
+};
+
+class PrimEndToEnd : public ::testing::TestWithParam<PrimCase>
+{
+};
+
+} // namespace
+
+TEST_P(PrimEndToEnd, ProducesCorrectResults)
+{
+    const PrimCase &tc = GetParam();
+    sim::System sys(smallConfig(tc.design));
+    PrimRunConfig cfg;
+    cfg.numDpus = 16;
+    cfg.elemsPerDpu = 128;
+    auto bench = makePrimBenchmark(tc.name, cfg);
+    const PrimRunResult result = runPrimBenchmark(sys, *bench);
+    EXPECT_TRUE(result.correct) << tc.name << " verification failed";
+    EXPECT_GT(result.inXferPs, 0u);
+    EXPECT_GT(result.kernelPs, 0u);
+    EXPECT_GT(result.outXferPs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PrimEndToEnd,
+    ::testing::ValuesIn([] {
+        std::vector<PrimCase> cases;
+        for (const auto &name : primBenchmarkNames()) {
+            cases.push_back({name.c_str(), sim::DesignPoint::Base});
+            cases.push_back({name.c_str(), sim::DesignPoint::BaseDHP});
+        }
+        return cases;
+    }()),
+    [](const ::testing::TestParamInfo<PrimCase> &info) {
+        std::string n = info.param.name;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n + (info.param.design == sim::DesignPoint::Base
+                        ? "_base"
+                        : "_pimmmu");
+    });
+
+TEST(PrimImpl, NamesMatchDescriptorSuite)
+{
+    // Every analytic descriptor (Fig. 16) has a functional twin.
+    const auto &names = primBenchmarkNames();
+    EXPECT_EQ(names.size(), 16u);
+    for (const auto &name : names) {
+        EXPECT_NO_THROW(primWorkload(name.c_str())) << name;
+    }
+}
+
+TEST(PrimImpl, RejectsBadConfigs)
+{
+    PrimRunConfig cfg;
+    cfg.numDpus = 7; // not a multiple of 8
+    EXPECT_THROW(makePrimBenchmark("VA", cfg), SimError);
+    cfg.numDpus = 8;
+    cfg.elemsPerDpu = 100; // not a multiple of 64
+    EXPECT_THROW(makePrimBenchmark("VA", cfg), SimError);
+    cfg.elemsPerDpu = 64;
+    EXPECT_THROW(makePrimBenchmark("NOPE", cfg), SimError);
+}
+
+TEST(PrimImpl, ScanVariantsAgree)
+{
+    // SSA and RSS must produce identical global scans.
+    auto run = [](const char *name) {
+        sim::System sys(smallConfig(sim::DesignPoint::BaseDHP));
+        PrimRunConfig cfg;
+        cfg.numDpus = 8;
+        cfg.elemsPerDpu = 128;
+        auto bench = makePrimBenchmark(name, cfg);
+        return runPrimBenchmark(sys, *bench).correct;
+    };
+    EXPECT_TRUE(run("SCAN-SSA"));
+    EXPECT_TRUE(run("SCAN-RSS"));
+}
+
+} // namespace workloads
+} // namespace pimmmu

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * DDR4 protocol-compliance property tests: the controller's command
+ * stream is validated by an independent checker under randomized and
+ * adversarial workloads across a sweep of geometries and speed grades.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "dram/controller.hh"
+#include "dram/protocol_checker.hh"
+
+namespace pimmmu {
+namespace dram {
+
+namespace {
+
+struct ProtocolCase
+{
+    const char *name;
+    SpeedGrade grade;
+    unsigned ranks, bankGroups, banks, rows;
+    SchedPolicy policy;
+    unsigned rowRange; //!< how many distinct rows traffic touches
+    double writeRatio;
+};
+
+class ProtocolSweep : public ::testing::TestWithParam<ProtocolCase>
+{
+};
+
+} // namespace
+
+TEST_P(ProtocolSweep, CommandStreamIsJedecCompliant)
+{
+    const ProtocolCase &tc = GetParam();
+
+    EventQueue eq;
+    mapping::DramGeometry g;
+    g.channels = 1;
+    g.ranksPerChannel = tc.ranks;
+    g.bankGroups = tc.bankGroups;
+    g.banksPerGroup = tc.banks;
+    g.rows = tc.rows;
+    g.columns = 128;
+    ASSERT_TRUE(g.valid());
+
+    const TimingParams &timing = timingPreset(tc.grade);
+    ControllerConfig cfg;
+    cfg.policy = tc.policy;
+    MemoryController mc(eq, timing, g, 0, cfg);
+    ProtocolChecker checker(timing, g);
+    mc.onCommand([&](const CommandRecord &r) { checker.observe(r); });
+
+    Rng rng(std::uint64_t{0xfeed} + tc.ranks * 131 + tc.rows);
+    std::uint64_t issued = 0, completed = 0;
+    const std::uint64_t target = 6000;
+    std::function<void()> refill = [&] {
+        while (issued < target) {
+            const bool write = rng.uniform() < tc.writeRatio;
+            if (!mc.canAccept(write))
+                return;
+            MemRequest req;
+            req.write = write;
+            req.coord = mapping::DramCoord{
+                0,
+                static_cast<unsigned>(rng.below(g.ranksPerChannel)),
+                static_cast<unsigned>(rng.below(g.bankGroups)),
+                static_cast<unsigned>(rng.below(g.banksPerGroup)),
+                static_cast<unsigned>(rng.below(tc.rowRange)),
+                static_cast<unsigned>(rng.below(g.columns))};
+            req.onComplete = [&](const MemRequest &) { ++completed; };
+            ASSERT_TRUE(mc.enqueue(std::move(req)));
+            ++issued;
+        }
+    };
+    mc.onDrain(refill);
+    refill();
+    eq.run();
+
+    EXPECT_EQ(completed, target);
+    EXPECT_GT(checker.commandsChecked(), target);
+    ASSERT_TRUE(checker.clean())
+        << tc.name << ": " << checker.violations().size()
+        << " violations, first: " << checker.violations().front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Traffic, ProtocolSweep,
+    ::testing::Values(
+        ProtocolCase{"seq2400", SpeedGrade::DDR4_2400, 2, 4, 4, 4096,
+                     SchedPolicy::FrFcfs, 1, 0.0},
+        ProtocolCase{"thrash2400", SpeedGrade::DDR4_2400, 2, 4, 4,
+                     4096, SchedPolicy::FrFcfs, 4096, 0.5},
+        ProtocolCase{"writes2400", SpeedGrade::DDR4_2400, 2, 4, 4,
+                     4096, SchedPolicy::FrFcfs, 64, 0.9},
+        ProtocolCase{"mixed3200", SpeedGrade::DDR4_3200, 2, 4, 4, 4096,
+                     SchedPolicy::FrFcfs, 256, 0.5},
+        ProtocolCase{"fcfs2400", SpeedGrade::DDR4_2400, 2, 4, 4, 4096,
+                     SchedPolicy::Fcfs, 128, 0.3},
+        ProtocolCase{"onerank", SpeedGrade::DDR4_2400, 1, 4, 2, 1024,
+                     SchedPolicy::FrFcfs, 1024, 0.5},
+        ProtocolCase{"upmem", SpeedGrade::DDR4_2400, 2, 4, 2, 16384,
+                     SchedPolicy::FrFcfs, 512, 0.7}),
+    [](const ::testing::TestParamInfo<ProtocolCase> &info) {
+        return std::string(info.param.name);
+    });
+
+TEST(ProtocolChecker, DetectsViolationsItself)
+{
+    // Sanity: the checker is not vacuously clean.
+    mapping::DramGeometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 1;
+    g.bankGroups = 4;
+    g.banksPerGroup = 4;
+    g.rows = 1024;
+    g.columns = 128;
+    const TimingParams &t = timingPreset(SpeedGrade::DDR4_2400);
+
+    {
+        ProtocolChecker checker(t, g);
+        // RD to a closed bank.
+        checker.observe({100, DramCommand::Rd,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        EXPECT_FALSE(checker.clean());
+    }
+    {
+        ProtocolChecker checker(t, g);
+        // ACT then RD before tRCD.
+        checker.observe({100, DramCommand::Act,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        checker.observe({100 + t.tRCD - 1, DramCommand::Rd,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        EXPECT_FALSE(checker.clean());
+    }
+    {
+        ProtocolChecker checker(t, g);
+        // Five ACTs inside tFAW.
+        for (unsigned i = 0; i < 5; ++i) {
+            checker.observe({100 + i * t.tRRD_L, DramCommand::Act,
+                             mapping::DramCoord{0, 0, i % 4, i / 4, 1,
+                                                0}});
+        }
+        EXPECT_FALSE(checker.clean());
+    }
+    {
+        ProtocolChecker checker(t, g);
+        // PRE before tRAS.
+        checker.observe({100, DramCommand::Act,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        checker.observe({100 + t.tRAS - 1, DramCommand::Pre,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        EXPECT_FALSE(checker.clean());
+    }
+    {
+        ProtocolChecker checker(t, g);
+        // A legal little sequence stays clean.
+        checker.observe({100, DramCommand::Act,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        checker.observe({100 + t.tRCD, DramCommand::Rd,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        checker.observe({100 + t.tRCD + t.tCCD_L, DramCommand::Rd,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 1}});
+        EXPECT_TRUE(checker.clean())
+            << checker.violations().front();
+    }
+}
+
+} // namespace dram
+} // namespace pimmmu

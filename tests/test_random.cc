@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace pimmmu {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3u);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    const unsigned buckets = 8;
+    std::vector<unsigned> hits(buckets, 0);
+    const unsigned n = 80000;
+    for (unsigned i = 0; i < n; ++i)
+        ++hits[rng.below(buckets)];
+    for (unsigned b = 0; b < buckets; ++b) {
+        EXPECT_NEAR(static_cast<double>(hits[b]), n / buckets,
+                    0.05 * n / buckets);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(SplitMix, KnownSequenceIsStable)
+{
+    std::uint64_t s = 0;
+    const std::uint64_t first = splitMix64(s);
+    std::uint64_t s2 = 0;
+    EXPECT_EQ(splitMix64(s2), first);
+    EXPECT_NE(splitMix64(s2), first); // state advanced
+}
+
+} // namespace pimmmu

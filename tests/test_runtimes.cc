@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.hh"
+#include "sim/system.hh"
+
+namespace pimmmu {
+
+namespace {
+
+sim::SystemConfig
+smallConfig(sim::DesignPoint dp)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::paperTable1(dp);
+    cfg.dramGeom.rows = 1024;
+    cfg.pimGeom.banks.rows = 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(UpmemRuntime, DpuSetApiMirrorsFig10a)
+{
+    sim::System sys(smallConfig(sim::DesignPoint::Base));
+    const unsigned numDpus = 16;
+    const std::uint64_t bytes = 1024;
+
+    upmem::DpuSet set(sys.upmem(), numDpus);
+    EXPECT_EQ(set.size(), numDpus);
+
+    const Addr base = sys.allocDram(numDpus * bytes);
+    Rng rng(3);
+    std::vector<std::uint8_t> data(numDpus * bytes);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng());
+    sys.mem().store().write(base, data.data(), data.size());
+
+    for (unsigned i = 0; i < numDpus; ++i)
+        set.prepareXfer(i, base + Addr{i} * bytes);
+
+    bool done = false;
+    set.pushXfer(upmem::XferKind::ToDpu, 0, bytes,
+                 [&] { done = true; });
+    ASSERT_TRUE(sys.runUntil([&] { return done; }));
+
+    for (unsigned i = 0; i < numDpus; ++i) {
+        std::vector<std::uint8_t> mram(bytes);
+        sys.pim().dpu(i).mramRead(0, mram.data(), bytes);
+        EXPECT_EQ(0, std::memcmp(mram.data(), data.data() + i * bytes,
+                                 bytes));
+    }
+}
+
+TEST(UpmemRuntime, DpuSetLaunchRunsKernelOnWholeSet)
+{
+    sim::System sys(smallConfig(sim::DesignPoint::Base));
+    upmem::DpuSet set(sys.upmem(), 8);
+    device::KernelModel model;
+    const Tick t = set.launch(
+        [](device::Dpu &dpu, unsigned idx) {
+            dpu.store<std::uint32_t>(0, 7000 + idx);
+        },
+        model, 1024);
+    EXPECT_GT(t, 0u);
+    for (unsigned d = 0; d < 8; ++d)
+        EXPECT_EQ(sys.pim().dpu(d).load<std::uint32_t>(0), 7000 + d);
+}
+
+TEST(UpmemRuntime, PushXferBeforePrepareIsRejected)
+{
+    sim::System sys(smallConfig(sim::DesignPoint::Base));
+    upmem::DpuSet set(sys.upmem(), 8);
+    set.prepareXfer(0, 0); // others unprepared
+    EXPECT_THROW(
+        set.pushXfer(upmem::XferKind::ToDpu, 0, 64, nullptr),
+        SimError);
+}
+
+TEST(UpmemRuntime, SoftwareXferDrivesCpuTraffic)
+{
+    sim::System sys(smallConfig(sim::DesignPoint::Base));
+    const auto before = sys.cpu().totalAvxBusyPs();
+    sys.runTransfer(core::XferDirection::DramToPim, 16, 1024);
+    EXPECT_GT(sys.cpu().totalAvxBusyPs(), before);
+}
+
+TEST(PimMmuRuntimeTest, DescriptorDerivesPimAddressFromCoreId)
+{
+    sim::System sys(smallConfig(sim::DesignPoint::BaseDHP));
+    core::PimMmuOp op;
+    op.type = core::XferDirection::DramToPim;
+    op.sizePerPim = 512;
+    op.pimBaseHeapPtr = 256;
+    for (unsigned i = 0; i < 16; ++i) {
+        op.dramAddrArr.push_back(Addr{i} * 512);
+        op.pimIdArr.push_back(i);
+    }
+    const core::DceTransfer t = sys.pimMmu().buildDescriptor(op);
+    ASSERT_EQ(t.streams.size(), 2u); // 16 DPUs = 2 banks
+    const auto &geom = sys.pim().geometry();
+    for (unsigned b = 0; b < 2; ++b) {
+        // Paper Fig. 10 line 21-22: PIM address = f(core id, heap ptr).
+        const Addr expected = sys.map().pimBase() +
+                              geom.bankRegionOffset(b) +
+                              (256 / 8) * 64;
+        EXPECT_EQ(t.streams[b].wireBase, expected);
+        EXPECT_EQ(t.streams[b].totalLines, 512u / 8);
+    }
+}
+
+TEST(PimMmuRuntimeTest, TransferExceedingMramIsRejected)
+{
+    sim::System sys(smallConfig(sim::DesignPoint::BaseDHP));
+    core::PimMmuOp op;
+    op.type = core::XferDirection::DramToPim;
+    op.sizePerPim =
+        sys.pim().geometry().mramBytesPerDpu() + 64;
+    for (unsigned i = 0; i < 8; ++i) {
+        op.dramAddrArr.push_back(Addr{i} * kMiB);
+        op.pimIdArr.push_back(i);
+    }
+    EXPECT_THROW(sys.pimMmu().buildDescriptor(op), SimError);
+}
+
+TEST(PimMmuRuntimeTest, SingleThreadOffloadUsesAlmostNoCpu)
+{
+    sim::System sys(smallConfig(sim::DesignPoint::BaseDHP));
+    const auto stats =
+        sys.runTransfer(core::XferDirection::DramToPim, 128, 8 * kKiB);
+    // The requesting thread marshals and sleeps; CPU-seconds consumed
+    // should be well under 5% of one core for the duration.
+    EXPECT_LT(stats.avgActiveCores, 0.25);
+    // And no AVX activity at all.
+    EXPECT_EQ(sys.cpu().totalAvxBusyPs(), 0u);
+}
+
+TEST(PimMmuRuntimeTest, DriverLatenciesAreModeled)
+{
+    // With a tiny payload, end-to-end latency is dominated by the
+    // doorbell + interrupt path.
+    sim::SystemConfig cfg = smallConfig(sim::DesignPoint::BaseDHP);
+    cfg.dce.mmioDoorbellPs = 5 * kPsPerUs;
+    cfg.dce.interruptPs = 7 * kPsPerUs;
+    sim::System sys(cfg);
+    const auto stats =
+        sys.runTransfer(core::XferDirection::DramToPim, 8, 64);
+    EXPECT_GE(stats.durationPs(), 12 * kPsPerUs);
+}
+
+} // namespace pimmmu

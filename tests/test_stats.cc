@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace pimmmu {
+
+TEST(Stats, CounterBasics)
+{
+    stats::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageTracksMinMaxMean)
+{
+    stats::Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    h.sample(-1.0);
+    h.sample(0.5);
+    h.sample(9.5);
+    h.sample(10.0);
+    h.sample(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Stats, GroupLookupAndDump)
+{
+    stats::Group g("test");
+    g.counter("reads") += 5;
+    g.average("lat").sample(3.0);
+    EXPECT_EQ(g.counterValue("reads"), 5u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("reads"), std::string::npos);
+    EXPECT_NE(os.str().find("lat"), std::string::npos);
+    g.reset();
+    EXPECT_EQ(g.counterValue("reads"), 0u);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").num(1.5);
+    t.row().cell("b").num(std::uint64_t{42});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("| name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    // Every line has the same width.
+    std::istringstream is(s);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+} // namespace pimmmu

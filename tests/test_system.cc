@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+
+namespace pimmmu {
+namespace sim {
+
+namespace {
+
+/** A small system so integration tests run in milliseconds. */
+SystemConfig
+smallConfig(DesignPoint design)
+{
+    SystemConfig cfg = SystemConfig::paperTable1(design);
+    cfg.dramGeom.rows = 1024;
+    cfg.pimGeom.banks.rows = 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SystemTest, Table1ConfigIsPaperShaped)
+{
+    const SystemConfig cfg = SystemConfig::paperTable1();
+    EXPECT_EQ(cfg.cpu.cores, 8u);
+    EXPECT_EQ(cfg.dramGeom.channels, 4u);
+    EXPECT_EQ(cfg.dramGeom.ranksPerChannel, 2u);
+    EXPECT_EQ(cfg.pimGeom.numDpus(), 512u);
+    EXPECT_EQ(cfg.dce.dataBufferBytes, 16 * kKiB);
+    EXPECT_EQ(cfg.dce.addressBufferBytes, 64 * kKiB);
+    EXPECT_TRUE(cfg.hetMap());
+    EXPECT_TRUE(cfg.usePimMs());
+}
+
+TEST(SystemTest, BaselineTransferCompletes)
+{
+    System sys(smallConfig(DesignPoint::Base));
+    const auto stats = sys.runTransfer(core::XferDirection::DramToPim,
+                                       64, 4 * kKiB);
+    EXPECT_EQ(stats.bytes, 64u * 4 * kKiB);
+    EXPECT_GT(stats.durationPs(), 0u);
+    EXPECT_GT(stats.gbps(), 0.1);
+    // The software path keeps CPU cores busy.
+    EXPECT_GT(stats.avgActiveCores, 0.5);
+}
+
+TEST(SystemTest, PimMmuTransferCompletes)
+{
+    System sys(smallConfig(DesignPoint::BaseDHP));
+    const auto stats = sys.runTransfer(core::XferDirection::DramToPim,
+                                       64, 4 * kKiB);
+    EXPECT_EQ(stats.bytes, 64u * 4 * kKiB);
+    EXPECT_GT(stats.gbps(), 0.1);
+    // The offloaded path barely touches the CPU.
+    EXPECT_LT(stats.avgActiveCores, 1.0);
+}
+
+TEST(SystemTest, PimMmuBeatsBaselineThroughput)
+{
+    System base(smallConfig(DesignPoint::Base));
+    System mmu(smallConfig(DesignPoint::BaseDHP));
+    const auto b = base.runTransfer(core::XferDirection::DramToPim,
+                                    128, 8 * kKiB);
+    const auto m = mmu.runTransfer(core::XferDirection::DramToPim,
+                                   128, 8 * kKiB);
+    EXPECT_GT(m.gbps(), 1.5 * b.gbps())
+        << "PIM-MMU " << m.gbps() << " GB/s vs base " << b.gbps();
+}
+
+TEST(SystemTest, PimToDramAlsoWorks)
+{
+    for (DesignPoint dp : {DesignPoint::Base, DesignPoint::BaseDHP}) {
+        System sys(smallConfig(dp));
+        const auto stats = sys.runTransfer(
+            core::XferDirection::PimToDram, 64, 4 * kKiB);
+        EXPECT_EQ(stats.bytes, 64u * 4 * kKiB);
+        EXPECT_GT(stats.gbps(), 0.1) << designPointName(dp);
+    }
+}
+
+TEST(SystemTest, TransferMovesRealData)
+{
+    System sys(smallConfig(DesignPoint::BaseDHP));
+    const unsigned numDpus = 16;
+    const std::uint64_t bytes = 512;
+
+    // Hand-roll the transfer so we control the host buffer contents.
+    const Addr base = sys.allocDram(numDpus * bytes);
+    std::vector<std::uint8_t> data(numDpus * bytes);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    sys.mem().store().write(base, data.data(), data.size());
+
+    core::PimMmuOp op;
+    op.type = core::XferDirection::DramToPim;
+    op.sizePerPim = bytes;
+    for (unsigned i = 0; i < numDpus; ++i) {
+        op.dramAddrArr.push_back(base + Addr{i} * bytes);
+        op.pimIdArr.push_back(i);
+    }
+    bool done = false;
+    sys.pimMmu().transfer(op, [&] { done = true; });
+    ASSERT_TRUE(sys.runUntil([&] { return done; }));
+
+    for (unsigned i = 0; i < numDpus; ++i) {
+        std::vector<std::uint8_t> mram(bytes);
+        sys.pim().dpu(i).mramRead(0, mram.data(), bytes);
+        EXPECT_EQ(0, std::memcmp(mram.data(), data.data() + i * bytes,
+                                 bytes))
+            << "DPU " << i;
+    }
+
+    // And back: clobber the host copy, transfer PIM->DRAM, re-check.
+    std::vector<std::uint8_t> zero(data.size(), 0);
+    sys.mem().store().write(base, zero.data(), zero.size());
+    op.type = core::XferDirection::PimToDram;
+    done = false;
+    sys.pimMmu().transfer(op, [&] { done = true; });
+    ASSERT_TRUE(sys.runUntil([&] { return done; }));
+    std::vector<std::uint8_t> out(data.size());
+    sys.mem().store().read(base, out.data(), out.size());
+    EXPECT_EQ(data, out);
+}
+
+TEST(SystemTest, MemcpyCompletesOnBothPaths)
+{
+    System base(smallConfig(DesignPoint::Base));
+    System mmu(smallConfig(DesignPoint::BaseDHP));
+    const auto sw = base.runMemcpy(2 * kMiB, 8);
+    const auto hw = mmu.runMemcpy(2 * kMiB);
+    EXPECT_EQ(sw.bytes, 2 * kMiB);
+    EXPECT_EQ(hw.bytes, 2 * kMiB);
+    EXPECT_GT(sw.gbps(), 0.1);
+    // HetMap's MLP-centric DRAM mapping gives the DCE path a big edge.
+    EXPECT_GT(hw.gbps(), sw.gbps());
+}
+
+TEST(SystemTest, ContendersSlowBaselineMoreThanPimMmu)
+{
+    auto run = [](DesignPoint dp, unsigned contenders) {
+        SystemConfig cfg = smallConfig(dp);
+        // A short quantum keeps the test fast while still spanning
+        // many scheduling periods.
+        cfg.cpu.quantumPs = 100 * kPsPerUs;
+        System sys(cfg);
+        sys.addComputeContenders(contenders);
+        const auto stats = sys.runTransfer(
+            core::XferDirection::DramToPim, 128, 8 * kKiB);
+        sys.cpu().shutdown();
+        return stats.durationPs();
+    };
+    const double baseSlowdown =
+        static_cast<double>(run(DesignPoint::Base, 24)) /
+        static_cast<double>(run(DesignPoint::Base, 0));
+    const double mmuSlowdown =
+        static_cast<double>(run(DesignPoint::BaseDHP, 24)) /
+        static_cast<double>(run(DesignPoint::BaseDHP, 0));
+    EXPECT_GT(baseSlowdown, 1.1);
+    EXPECT_LT(mmuSlowdown, baseSlowdown);
+    EXPECT_LT(mmuSlowdown, 1.5);
+}
+
+TEST(SystemTest, EnergyAccountingIsPositiveAndCpuDominated)
+{
+    System sys(smallConfig(DesignPoint::Base));
+    const auto stats = sys.runTransfer(core::XferDirection::DramToPim,
+                                       64, 4 * kKiB);
+    EXPECT_GT(stats.energy.cpuJ, 0.0);
+    EXPECT_GT(stats.energy.dramJ, 0.0);
+    EXPECT_GT(stats.energy.cpuJ, stats.energy.dramJ);
+    EXPECT_GT(stats.gbPerJoule(), 0.0);
+}
+
+TEST(SystemTest, AllocDramRespectsCapacity)
+{
+    SystemConfig cfg = smallConfig(DesignPoint::Base);
+    System sys(cfg);
+    const Addr a = sys.allocDram(1 * kMiB);
+    const Addr b = sys.allocDram(1 * kMiB, 4096);
+    EXPECT_GE(b, a + 1 * kMiB);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_THROW(sys.allocDram(1ull << 40), SimError);
+}
+
+} // namespace sim
+} // namespace pimmmu

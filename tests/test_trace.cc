@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/trace.hh"
+#include "sim/system.hh"
+
+namespace pimmmu {
+namespace trace {
+
+namespace {
+
+/** RAII: capture trace output and restore global state afterwards. */
+struct TraceCapture
+{
+    std::ostringstream os;
+
+    TraceCapture()
+    {
+        disableAll();
+        setOutput(&os);
+    }
+
+    ~TraceCapture()
+    {
+        disableAll();
+        setOutput(nullptr);
+    }
+};
+
+} // namespace
+
+TEST(Trace, CategoriesParseAndRoundTrip)
+{
+    for (unsigned i = 0; i < kNumCategories; ++i) {
+        const auto cat = static_cast<Category>(i);
+        Category parsed;
+        ASSERT_TRUE(parseCategory(categoryName(cat), parsed));
+        EXPECT_EQ(parsed, cat);
+    }
+    Category dummy;
+    EXPECT_FALSE(parseCategory("bogus", dummy));
+}
+
+TEST(Trace, DisabledCategoriesEmitNothing)
+{
+    TraceCapture capture;
+    PIMMMU_TRACE_LOG(Category::Dram, 123, "should not appear");
+    EXPECT_TRUE(capture.os.str().empty());
+}
+
+TEST(Trace, EnabledCategoriesEmitPrefixedLines)
+{
+    TraceCapture capture;
+    enable(Category::Dce);
+    PIMMMU_TRACE_LOG(Category::Dce, 4567, "hello " << 42);
+    PIMMMU_TRACE_LOG(Category::Dram, 9999, "suppressed");
+    const std::string out = capture.os.str();
+    EXPECT_NE(out.find("4567ps [dce] hello 42"), std::string::npos);
+    EXPECT_EQ(out.find("suppressed"), std::string::npos);
+}
+
+TEST(Trace, TransferEmitsXferAndDceEvents)
+{
+    TraceCapture capture;
+    enable(Category::Xfer);
+    enable(Category::Dce);
+
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    cfg.dramGeom.rows = 1024;
+    cfg.pimGeom.banks.rows = 1024;
+    sim::System sys(cfg);
+    sys.runTransfer(core::XferDirection::DramToPim, 16, 512);
+
+    const std::string out = capture.os.str();
+    EXPECT_NE(out.find("[xfer] pim_mmu_transfer: 16 PIM cores"),
+              std::string::npos);
+    EXPECT_NE(out.find("[dce] start transfer"), std::string::npos);
+    EXPECT_NE(out.find("[dce] transfer complete"), std::string::npos);
+}
+
+TEST(Trace, BaselineTransferEmitsPushXfer)
+{
+    TraceCapture capture;
+    enable(Category::Xfer);
+
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::Base);
+    cfg.dramGeom.rows = 1024;
+    cfg.pimGeom.banks.rows = 1024;
+    sim::System sys(cfg);
+    sys.runTransfer(core::XferDirection::DramToPim, 16, 512);
+
+    EXPECT_NE(capture.os.str().find("[xfer] dpu_push_xfer: 2 banks"),
+              std::string::npos);
+}
+
+} // namespace trace
+} // namespace pimmmu

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.hh"
+#include "pim/transpose.hh"
+
+namespace pimmmu {
+namespace device {
+
+TEST(Transpose, IsAnInvolution)
+{
+    Rng rng(42);
+    std::uint8_t in[kBlockBytes], once[kBlockBytes], twice[kBlockBytes];
+    for (auto &b : in)
+        b = static_cast<std::uint8_t>(rng());
+    transpose8x8(in, once);
+    transpose8x8(once, twice);
+    EXPECT_EQ(0, std::memcmp(in, twice, kBlockBytes));
+}
+
+TEST(Transpose, MatrixSemantics)
+{
+    std::uint8_t in[kBlockBytes];
+    for (unsigned w = 0; w < 8; ++w)
+        for (unsigned c = 0; c < 8; ++c)
+            in[w * 8 + c] = static_cast<std::uint8_t>(w * 16 + c);
+    std::uint8_t out[kBlockBytes];
+    transpose8x8(in, out);
+    for (unsigned w = 0; w < 8; ++w)
+        for (unsigned c = 0; c < 8; ++c)
+            EXPECT_EQ(out[c * 8 + w], in[w * 8 + c]);
+}
+
+TEST(Transpose, PackThenUnpackRecoversEachChipsWord)
+{
+    // The property that makes PIM transfers work (paper Fig. 3):
+    // pack 8 words, byte-interleave across chips, and every chip ends
+    // up holding its own complete word.
+    Rng rng(7);
+    std::uint8_t words[8][kWordBytes];
+    const std::uint8_t *rows[8];
+    for (unsigned c = 0; c < 8; ++c) {
+        for (unsigned b = 0; b < kWordBytes; ++b)
+            words[c][b] = static_cast<std::uint8_t>(rng());
+        rows[c] = words[c];
+    }
+
+    std::uint8_t wire[kBlockBytes];
+    packWireBlock(rows, wire);
+
+    // Chip interleaving: chip j receives byte j of every wire word.
+    std::uint8_t chipBytes[8][kWordBytes];
+    for (unsigned w = 0; w < 8; ++w)
+        for (unsigned j = 0; j < 8; ++j)
+            chipBytes[j][w] = wire[w * 8 + j];
+
+    for (unsigned c = 0; c < 8; ++c) {
+        EXPECT_EQ(0, std::memcmp(chipBytes[c], words[c], kWordBytes))
+            << "chip " << c << " did not receive its word";
+    }
+}
+
+TEST(Transpose, UnpackMatchesInterleaveModel)
+{
+    Rng rng(13);
+    std::uint8_t wire[kBlockBytes];
+    for (auto &b : wire)
+        b = static_cast<std::uint8_t>(rng());
+    for (unsigned chip = 0; chip < 8; ++chip) {
+        std::uint8_t word[kWordBytes];
+        unpackWireWord(wire, chip, word);
+        for (unsigned b = 0; b < kWordBytes; ++b)
+            EXPECT_EQ(word[b], wire[b * 8 + chip]);
+    }
+}
+
+TEST(Transpose, PackUnpackRoundTripAllChips)
+{
+    Rng rng(99);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::uint8_t words[8][kWordBytes];
+        const std::uint8_t *rows[8];
+        for (unsigned c = 0; c < 8; ++c) {
+            for (unsigned b = 0; b < kWordBytes; ++b)
+                words[c][b] = static_cast<std::uint8_t>(rng());
+            rows[c] = words[c];
+        }
+        std::uint8_t wire[kBlockBytes];
+        packWireBlock(rows, wire);
+        for (unsigned c = 0; c < 8; ++c) {
+            std::uint8_t word[kWordBytes];
+            unpackWireWord(wire, c, word);
+            EXPECT_EQ(0, std::memcmp(word, words[c], kWordBytes));
+        }
+    }
+}
+
+} // namespace device
+} // namespace pimmmu

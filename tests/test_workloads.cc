@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "workloads/patterns.hh"
+#include "workloads/prim.hh"
+
+namespace pimmmu {
+namespace workloads {
+
+TEST(Patterns, SequentialIsDense)
+{
+    const auto addrs = sequentialPattern(4096, 16);
+    ASSERT_EQ(addrs.size(), 16u);
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(addrs[i], 4096u + i * 64);
+}
+
+TEST(Patterns, StridedWrapsWithinRegion)
+{
+    const std::uint64_t stride = 4096, region = 64 * kKiB;
+    const auto addrs = stridedPattern(0, 100, stride, region);
+    ASSERT_EQ(addrs.size(), 100u);
+    for (Addr a : addrs)
+        EXPECT_LT(a, region);
+    // First pass is strided exactly.
+    EXPECT_EQ(addrs[1] - addrs[0], stride);
+}
+
+TEST(Patterns, StridedPhaseShiftAvoidsRetouchingLines)
+{
+    const auto addrs = stridedPattern(0, 64, 1024, 16 * 1024);
+    std::set<Addr> unique(addrs.begin(), addrs.end());
+    EXPECT_EQ(unique.size(), addrs.size());
+}
+
+TEST(Patterns, RandomIsDeterministicAndBounded)
+{
+    const auto a = randomPattern(0, 1000, kMiB, 9);
+    const auto b = randomPattern(0, 1000, kMiB, 9);
+    const auto c = randomPattern(0, 1000, kMiB, 10);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    for (Addr addr : a) {
+        EXPECT_LT(addr, kMiB);
+        EXPECT_EQ(addr % 64, 0u);
+    }
+}
+
+TEST(Prim, SuiteHasSixteenUniqueWorkloads)
+{
+    const auto &suite = primSuite();
+    EXPECT_EQ(suite.size(), 16u);
+    std::set<std::string> names;
+    for (const auto &w : suite) {
+        names.insert(w.name);
+        EXPECT_GT(w.inputBytesPerDpu, 0u);
+        EXPECT_GT(w.outputBytesPerDpu, 0u);
+        EXPECT_EQ(w.inputBytesPerDpu % 64, 0u)
+            << w.name << ": transfer sizes must be line-aligned";
+        EXPECT_EQ(w.outputBytesPerDpu % 64, 0u);
+        EXPECT_GT(w.kernel.cyclesPerByte, 0.0);
+    }
+    EXPECT_EQ(names.size(), 16u);
+}
+
+TEST(Prim, LookupByName)
+{
+    EXPECT_STREQ(primWorkload("BS").name, "BS");
+    EXPECT_STREQ(primWorkload("SCAN-SSA").name, "SCAN-SSA");
+    EXPECT_THROW(primWorkload("NOPE"), SimError);
+}
+
+TEST(Prim, KernelIntensityOrderingMatchesCharacterization)
+{
+    // BS is transfer-dominated (tiny kernel); TS is kernel-dominated.
+    EXPECT_LT(primWorkload("BS").kernel.cyclesPerByte, 0.5);
+    EXPECT_GT(primWorkload("TS").kernel.cyclesPerByte, 100.0);
+    EXPECT_LT(primWorkload("SEL").kernel.cyclesPerByte,
+              primWorkload("BFS").kernel.cyclesPerByte);
+}
+
+} // namespace workloads
+} // namespace pimmmu
