@@ -1,18 +1,122 @@
 /**
  * @file
- * Shared helpers for the figure-reproduction benchmark binaries.
+ * Shared helpers for the figure-reproduction benchmark binaries:
+ * banner/table printing plus the common telemetry CLI
+ * (--stats-json <path>, --trace-json <path>).
  */
 
 #ifndef PIMMMU_BENCH_BENCH_UTIL_HH
 #define PIMMMU_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
 #include <string>
 
 #include "common/table.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
 
 namespace pimmmu {
 namespace bench {
+
+/** Telemetry output selections shared by every figure bench. */
+struct BenchOptions
+{
+    std::string statsJson; //!< registry JSON path ("" = don't write)
+    std::string traceJson; //!< timeline JSON path ("" = don't trace)
+};
+
+inline void
+printUsage(const char *prog,
+           std::initializer_list<const char *> passthrough)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--stats-json <path>] "
+                 "[--trace-json <path>]",
+                 prog);
+    for (const char *flag : passthrough)
+        std::fprintf(stderr, " [%s]", flag);
+    std::fprintf(stderr, "\n");
+}
+
+/**
+ * Parse the shared telemetry flags. Flags listed in @p passthrough are
+ * left for the bench's own loop; anything else unrecognized prints
+ * usage and exits 2. Enables the global Timeline when --trace-json is
+ * requested (it is off, and free, otherwise).
+ */
+inline BenchOptions
+parseOptions(int argc, char **argv,
+             std::initializer_list<const char *> passthrough = {})
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--stats-json") == 0 ||
+            std::strcmp(arg, "--trace-json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a path\n", argv[0],
+                             arg);
+                std::exit(2);
+            }
+            (arg[2] == 's' ? opts.statsJson : opts.traceJson) =
+                argv[++i];
+            continue;
+        }
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            printUsage(argv[0], passthrough);
+            std::exit(0);
+        }
+        bool known = false;
+        for (const char *flag : passthrough)
+            known = known || std::strcmp(arg, flag) == 0;
+        if (!known) {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         arg);
+            printUsage(argv[0], passthrough);
+            std::exit(2);
+        }
+    }
+    if (!opts.traceJson.empty())
+        telemetry::Timeline::global().setEnabled(true);
+    return opts;
+}
+
+/**
+ * Write the requested telemetry files; returns the bench's exit code
+ * (non-zero if a requested file could not be written).
+ */
+inline int
+finish(const BenchOptions &opts)
+{
+    int rc = 0;
+    if (!opts.statsJson.empty()) {
+        if (telemetry::StatsRegistry::global().dumpJsonFile(
+                opts.statsJson)) {
+            std::printf("\nstats JSON: %s\n", opts.statsJson.c_str());
+        } else {
+            std::fprintf(stderr, "failed to write %s\n",
+                         opts.statsJson.c_str());
+            rc = 1;
+        }
+    }
+    if (!opts.traceJson.empty()) {
+        if (telemetry::Timeline::global().dumpJsonFile(
+                opts.traceJson)) {
+            std::printf("trace JSON: %s (load in "
+                        "https://ui.perfetto.dev)\n",
+                        opts.traceJson.c_str());
+        } else {
+            std::fprintf(stderr, "failed to write %s\n",
+                         opts.traceJson.c_str());
+            rc = 1;
+        }
+    }
+    return rc;
+}
 
 /** Print a figure banner so bench output is self-describing. */
 inline void

@@ -60,8 +60,10 @@ timeline(sim::DesignPoint design, core::XferDirection dir)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts =
+        bench::parseOptions(argc, argv);
     bench::banner("Figure 4",
                   "Active CPU cores and system power during DRAM<->PIM "
                   "transfers (baseline; paper: ~100% cores, ~70 W)");
@@ -73,5 +75,5 @@ main()
     bench::note("\n(reference) PIM-MMU DRAM->PIM: transfer offloaded "
                 "to the DCE");
     timeline(sim::DesignPoint::BaseDHP, core::XferDirection::DramToPim);
-    return 0;
+    return bench::finish(opts);
 }

@@ -41,8 +41,10 @@ printChannels(const char *label, const std::vector<double> &gbps,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts =
+        bench::parseOptions(argc, argv);
     bench::banner("Figure 6",
                   "Per-channel write throughput: software coarse-"
                   "grained vs hardware fine-grained transfers");
@@ -82,5 +84,5 @@ main()
         std::printf("windowed imbalance (peak/mean per 100us): %.2f\n",
                     stats.pimWindowImbalance);
     }
-    return 0;
+    return bench::finish(opts);
 }

@@ -67,8 +67,10 @@ measure(const mapping::DramGeometry &geom, int mappingKind,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts =
+        bench::parseOptions(argc, argv);
     bench::banner("Figure 8",
                   "DRAM bandwidth: locality-centric vs MLP-centric "
                   "mapping (normalized to MLP-centric)");
@@ -118,5 +120,5 @@ main()
     std::printf("\nmean locality/MLP throughput ratio: %.2f "
                 "(paper: ~0.30)\n",
                 locSum / n);
-    return 0;
+    return bench::finish(opts);
 }

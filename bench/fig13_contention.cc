@@ -56,6 +56,8 @@ runMemory(sim::DesignPoint dp, int intensity)
 int
 main(int argc, char **argv)
 {
+    const bench::BenchOptions opts =
+        bench::parseOptions(argc, argv, {"--quantum-sweep"});
     bool quantumSweep = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quantum-sweep") == 0)
@@ -128,5 +130,5 @@ main(int argc, char **argv)
         }
         bench::printTable(t);
     }
-    return 0;
+    return bench::finish(opts);
 }

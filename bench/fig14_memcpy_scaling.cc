@@ -36,8 +36,10 @@ measure(sim::DesignPoint design, unsigned channels, unsigned ranks,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts =
+        bench::parseOptions(argc, argv);
     bench::banner("Figure 14",
                   "DRAM->DRAM memcpy throughput across xC-yR configs "
                   "(Base vs PIM-MMU/HetMap)");
@@ -71,5 +73,5 @@ main()
     std::printf("\nmean speedup %.2fx, max %.2fx "
                 "(paper: avg 4.9x, max 6.0x)\n",
                 sum / n, maxSpeedup);
-    return 0;
+    return bench::finish(opts);
 }

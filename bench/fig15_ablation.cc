@@ -47,6 +47,8 @@ measure(sim::DesignPoint design, core::XferDirection dir,
 int
 main(int argc, char **argv)
 {
+    const bench::BenchOptions opts =
+        bench::parseOptions(argc, argv, {"--fcfs"});
     bool fcfs = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fcfs") == 0)
@@ -107,5 +109,5 @@ main(int argc, char **argv)
     std::printf("energy-efficiency gain: avg %.2fx max %.2fx "
                 "(paper: avg 4.1x, max 6.9x)\n",
                 effSum / n, effMax);
-    return 0;
+    return bench::finish(opts);
 }

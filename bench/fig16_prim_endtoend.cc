@@ -57,8 +57,10 @@ measure(sim::DesignPoint design, const workloads::PrimWorkload &w,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts =
+        bench::parseOptions(argc, argv);
     bench::banner("Figure 16",
                   "End-to-end PrIM execution time (normalized to "
                   "baseline), 512 PIM cores");
@@ -108,5 +110,5 @@ main()
     std::printf("end-to-end speedup: geomean %.2fx, max %.2fx "
                 "(paper: avg 2.2x, max 4.0x)\n",
                 std::pow(speedupProd, 1.0 / n), speedupMax);
-    return 0;
+    return bench::finish(opts);
 }

@@ -12,8 +12,10 @@
 using namespace pimmmu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts =
+        bench::parseOptions(argc, argv);
     bench::banner("Section VI-C",
                   "PIM-MMU implementation overhead and DCE buffer "
                   "sizing ablation");
@@ -54,5 +56,5 @@ main()
         ab.row().num(kb).num(kb * kKiB / 64).num(stats.gbps());
     }
     bench::printTable(ab);
-    return 0;
+    return bench::finish(opts);
 }

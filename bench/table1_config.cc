@@ -12,8 +12,10 @@
 using namespace pimmmu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchOptions opts =
+        bench::parseOptions(argc, argv);
     bench::banner("Table I", "Baseline system and PIM-MMU configuration");
 
     const sim::SystemConfig cfg = sim::SystemConfig::paperTable1();
@@ -64,5 +66,5 @@ main()
         "MLP-centric (XOR hashed)");
     t.row().cell("").cell("PIM side").cell("ChRaBgBkRoCo");
     bench::printTable(t);
-    return 0;
+    return bench::finish(opts);
 }

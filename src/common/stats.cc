@@ -1,9 +1,83 @@
 #include "common/stats.hh"
 
+#include <cstdio>
 #include <iomanip>
 
 namespace pimmmu {
 namespace stats {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Shortest round-trippable representation of a double. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os << buf;
+}
+
+} // namespace
+
+double
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double target = p / 100.0 * static_cast<double>(total_);
+    // Underflow samples sit at lo, overflow samples at hi.
+    double cum = static_cast<double>(underflow_);
+    if (target <= cum)
+        return lo_;
+    const double width =
+        (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cum + static_cast<double>(counts_[i]);
+        if (target <= next && counts_[i] > 0) {
+            const double frac = (target - cum) /
+                                static_cast<double>(counts_[i]);
+            return lo_ + width * (static_cast<double>(i) + frac);
+        }
+        cum = next;
+    }
+    return hi_;
+}
 
 void
 Group::dump(std::ostream &os) const
@@ -13,12 +87,91 @@ Group::dump(std::ostream &os) const
         os << "  " << std::left << std::setw(32) << kv.first << " "
            << kv.second.value() << "\n";
     }
+    for (const auto &kv : gauges_) {
+        os << "  " << std::left << std::setw(32) << kv.first << " "
+           << kv.second << "\n";
+    }
     for (const auto &kv : averages_) {
         os << "  " << std::left << std::setw(32) << kv.first << " mean="
            << kv.second.mean() << " min=" << kv.second.min()
            << " max=" << kv.second.max() << " n=" << kv.second.count()
            << "\n";
     }
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        os << "  " << std::left << std::setw(32) << kv.first
+           << " n=" << h.total() << " mean=" << h.mean()
+           << " p50=" << h.percentile(50) << " p95=" << h.percentile(95)
+           << " p99=" << h.percentile(99) << "\n";
+    }
+}
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    os << "{\"name\":\"" << jsonEscape(name_) << "\"";
+
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const auto &kv : counters_) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(kv.first)
+           << "\":" << kv.second.value();
+        first = false;
+    }
+    os << "}";
+
+    os << ",\"gauges\":{";
+    first = true;
+    for (const auto &kv : gauges_) {
+        os << (first ? "" : ",") << "\"" << jsonEscape(kv.first)
+           << "\":";
+        jsonNumber(os, kv.second);
+        first = false;
+    }
+    os << "}";
+
+    os << ",\"averages\":{";
+    first = true;
+    for (const auto &kv : averages_) {
+        const Average &a = kv.second;
+        os << (first ? "" : ",") << "\"" << jsonEscape(kv.first)
+           << "\":{\"mean\":";
+        jsonNumber(os, a.mean());
+        os << ",\"min\":";
+        jsonNumber(os, a.min());
+        os << ",\"max\":";
+        jsonNumber(os, a.max());
+        os << ",\"count\":" << a.count() << "}";
+        first = false;
+    }
+    os << "}";
+
+    os << ",\"histograms\":{";
+    first = true;
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        os << (first ? "" : ",") << "\"" << jsonEscape(kv.first)
+           << "\":{\"lo\":";
+        jsonNumber(os, h.lo());
+        os << ",\"hi\":";
+        jsonNumber(os, h.hi());
+        os << ",\"total\":" << h.total()
+           << ",\"underflow\":" << h.underflow()
+           << ",\"overflow\":" << h.overflow() << ",\"mean\":";
+        jsonNumber(os, h.mean());
+        os << ",\"p50\":";
+        jsonNumber(os, h.percentile(50));
+        os << ",\"p95\":";
+        jsonNumber(os, h.percentile(95));
+        os << ",\"p99\":";
+        jsonNumber(os, h.percentile(99));
+        os << ",\"buckets\":[";
+        for (std::size_t i = 0; i < h.buckets(); ++i)
+            os << (i ? "," : "") << h.bucket(i);
+        os << "]}";
+        first = false;
+    }
+    os << "}}";
 }
 
 } // namespace stats

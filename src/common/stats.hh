@@ -1,8 +1,9 @@
 /**
  * @file
- * A tiny statistics framework: named scalar counters, averages, and
- * histograms that components register into a group and that benches dump
- * in a uniform format.
+ * A tiny statistics framework: named scalar counters, gauges, averages,
+ * and histograms that components register into a group and that benches
+ * dump in a uniform format (plain text or JSON via the telemetry
+ * layer's StatsRegistry).
  */
 
 #ifndef PIMMMU_COMMON_STATS_HH
@@ -10,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <string>
@@ -17,6 +19,9 @@
 
 namespace pimmmu {
 namespace stats {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
 
 /** A monotonically increasing scalar counter. */
 class Counter
@@ -50,8 +55,8 @@ class Average
     {
         sum_ += v;
         count_ += 1;
-        min_ = count_ == 1 ? v : std::min(min_, v);
-        max_ = count_ == 1 ? v : std::max(max_, v);
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
     }
 
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -59,22 +64,28 @@ class Average
     double max() const { return count_ ? max_ : 0.0; }
     std::uint64_t count() const { return count_; }
 
+    /**
+     * Return to the freshly constructed state. The extrema use infinity
+     * sentinels (not the last observed values), so a reset Average
+     * reports exactly like a fresh one on every accessor.
+     */
     void
     reset()
     {
         sum_ = 0.0;
         count_ = 0;
-        min_ = max_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
     }
 
   private:
     double sum_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
     std::uint64_t count_ = 0;
 };
 
-/** Fixed-width-bucket histogram. */
+/** Fixed-width-bucket histogram with percentile queries. */
 class Histogram
 {
   public:
@@ -87,6 +98,7 @@ class Histogram
     sample(double v)
     {
         total_ += 1;
+        sum_ += v;
         if (v < lo_) {
             ++underflow_;
             return;
@@ -108,6 +120,24 @@ class Histogram
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t total() const { return total_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+
+    /**
+     * Value below which @p p percent of the samples fall (p in
+     * [0, 100]), linearly interpolated within the containing bucket.
+     * Underflow samples count at @c lo, overflow samples at @c hi.
+     */
+    double percentile(double p) const;
+
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        underflow_ = overflow_ = total_ = 0;
+        sum_ = 0.0;
+    }
 
   private:
     double lo_;
@@ -116,11 +146,14 @@ class Histogram
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
     std::uint64_t total_ = 0;
+    double sum_ = 0.0;
 };
 
 /**
- * A named collection of counters. Components expose a Group so test code
- * and benches can inspect results without poking private state.
+ * A named collection of counters, gauges, averages, and histograms.
+ * Components expose a Group so test code and benches can inspect
+ * results without poking private state; the telemetry StatsRegistry
+ * collects every live Group for uniform text/JSON export.
  */
 class Group
 {
@@ -130,6 +163,21 @@ class Group
     Counter &counter(const std::string &key) { return counters_[key]; }
     Average &average(const std::string &key) { return averages_[key]; }
 
+    /** Last-value gauge (set by pre-dump refresh hooks). */
+    double &gauge(const std::string &key) { return gauges_[key]; }
+
+    /**
+     * Named histogram; created with the given shape on first use,
+     * returned as-is (shape arguments ignored) afterwards.
+     */
+    Histogram &
+    histogram(const std::string &key, double lo, double hi,
+              std::size_t buckets)
+    {
+        return histograms_.try_emplace(key, lo, hi, buckets)
+            .first->second;
+    }
+
     std::uint64_t
     counterValue(const std::string &key) const
     {
@@ -137,7 +185,45 @@ class Group
         return it == counters_.end() ? 0 : it->second.value();
     }
 
+    double
+    gaugeValue(const std::string &key) const
+    {
+        auto it = gauges_.find(key);
+        return it == gauges_.end() ? 0.0 : it->second;
+    }
+
+    const Histogram *
+    findHistogram(const std::string &key) const
+    {
+        auto it = histograms_.find(key);
+        return it == histograms_.end() ? nullptr : &it->second;
+    }
+
+    const Average *
+    findAverage(const std::string &key) const
+    {
+        auto it = averages_.find(key);
+        return it == averages_.end() ? nullptr : &it->second;
+    }
+
     const std::string &name() const { return name_; }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Average> &averages() const
+    {
+        return averages_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+    const std::map<std::string, double> &gauges() const
+    {
+        return gauges_;
+    }
 
     void
     reset()
@@ -146,14 +232,23 @@ class Group
             kv.second.reset();
         for (auto &kv : averages_)
             kv.second.reset();
+        for (auto &kv : histograms_)
+            kv.second.reset();
+        for (auto &kv : gauges_)
+            kv.second = 0.0;
     }
 
     void dump(std::ostream &os) const;
+
+    /** One JSON object: {"name":..,"counters":{..},..}. */
+    void dumpJson(std::ostream &os) const;
 
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, double> gauges_;
 };
 
 } // namespace stats

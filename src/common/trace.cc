@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/event_queue.hh"
+
 namespace pimmmu {
 namespace trace {
 
@@ -12,6 +14,7 @@ struct TraceState
 {
     std::array<bool, kNumCategories> enabled{};
     std::ostream *out = &std::cerr;
+    const EventQueue *clock = nullptr;
     bool envApplied = false;
 };
 
@@ -109,6 +112,26 @@ void
 setOutput(std::ostream *os)
 {
     state().out = os;
+}
+
+void
+setClock(const EventQueue *eq)
+{
+    state().clock = eq;
+}
+
+void
+clearClock(const EventQueue *eq)
+{
+    if (state().clock == eq)
+        state().clock = nullptr;
+}
+
+Tick
+now()
+{
+    const EventQueue *eq = state().clock;
+    return eq ? eq->now() : Tick{0};
 }
 
 void

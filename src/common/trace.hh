@@ -22,6 +22,9 @@
 #include "common/types.hh"
 
 namespace pimmmu {
+
+class EventQueue;
+
 namespace trace {
 
 /** Trace categories, one per subsystem. */
@@ -60,6 +63,19 @@ void applyEnvironment();
 
 /** Redirect trace output (default: stderr). Not owned. */
 void setOutput(std::ostream *os);
+
+/**
+ * Register the simulated clock (normally done by sim::System) so
+ * functional-plane code without an EventQueue reference can still
+ * timestamp its trace lines. Not owned; pass nullptr to clear.
+ */
+void setClock(const EventQueue *eq);
+
+/** Clear the clock only if @p eq is the registered one. */
+void clearClock(const EventQueue *eq);
+
+/** Current simulated tick of the registered clock (0 when none). */
+Tick now();
 
 /** Emit one trace line. Prefer the PIMMMU_TRACE_LOG macro. */
 void emit(Category cat, Tick now, const std::string &message);

@@ -1,6 +1,8 @@
 #include "core/dce.hh"
 
 #include "common/trace.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
 
 namespace pimmmu {
 namespace core {
@@ -19,10 +21,32 @@ Dce::Dce(EventQueue &eq, const DceConfig &config, dram::MemorySystem &mem,
         if (active_)
             ticker_.arm();
     });
+    timelineTrack_ = telemetry::Timeline::global().track("dce");
+    telemetry::StatsRegistry::global().add(stats_, [this] {
+        stats_.gauge("busy_us") = static_cast<double>(busyPs_) / 1e6;
+        stats_.gauge("busy_pct") =
+            eq_.now() > 0 ? 100.0 * static_cast<double>(busyPs_) /
+                                static_cast<double>(eq_.now())
+                          : 0.0;
+    });
+}
+
+Dce::~Dce()
+{
+    telemetry::StatsRegistry::global().remove(stats_);
 }
 
 void
 Dce::start(DceTransfer transfer, std::function<void()> onComplete)
+{
+    beginTransfer(std::move(transfer), std::move(onComplete), eq_.now(),
+                  nextTransferId_++);
+}
+
+void
+Dce::beginTransfer(DceTransfer transfer,
+                   std::function<void()> onComplete, Tick enqueuedAt,
+                   std::uint64_t id)
 {
     PIMMMU_ASSERT(!busy(), "DCE already busy");
     PIMMMU_ASSERT(!transfer.streams.empty(), "empty transfer");
@@ -34,13 +58,16 @@ Dce::start(DceTransfer transfer, std::function<void()> onComplete)
     active->linesRemaining = transfer.totalLines();
     active->state.assign(transfer.streams.size(), StreamState{});
     active->onComplete = std::move(onComplete);
+    active->id = id;
+    active->enqueuedAt = enqueuedAt;
     active->startedAt = eq_.now();
     if (config_.usePimMs && transfer.dir != XferDirection::DramToDram) {
         std::vector<unsigned> banks;
         banks.reserve(transfer.streams.size());
         for (const auto &s : transfer.streams)
             banks.push_back(s.bankIdx);
-        active->scheduler = std::make_unique<PimMs>(pimGeom_, banks);
+        active->scheduler =
+            std::make_unique<PimMs>(pimGeom_, banks, eq_.now());
         active->readBurstLeft.assign(active->scheduler->numChannels(),
                                      config_.burstLines);
         active->writeBurstLeft.assign(active->scheduler->numChannels(),
@@ -51,11 +78,14 @@ Dce::start(DceTransfer transfer, std::function<void()> onComplete)
     active->transfer = std::move(transfer);
     active_ = std::move(active);
     ++stats_.counter("transfers");
+    stats_.average("phase_queue_us")
+        .sample(static_cast<double>(eq_.now() - enqueuedAt) / 1e6);
     PIMMMU_TRACE_LOG(trace::Category::Dce, eq_.now(),
-                     "start transfer: " << transfer.streams.size()
-                                        << " bank streams, "
-                                        << transfer.totalLines()
-                                        << " lines");
+                     "start transfer #"
+                         << id << ": "
+                         << active_->transfer.streams.size()
+                         << " bank streams, "
+                         << active_->transfer.totalLines() << " lines");
     ticker_.arm();
 }
 
@@ -126,11 +156,20 @@ Dce::onWriteComplete(std::size_t slot)
 std::size_t
 Dce::enqueue(DceTransfer transfer, std::function<void()> onComplete)
 {
+    const std::uint64_t id = nextTransferId_++;
+    telemetry::Timeline &tl = telemetry::Timeline::global();
+    if (tl.enabled()) {
+        tl.instant(timelineTrack_, "enqueue#" + std::to_string(id),
+                   eq_.now());
+    }
     if (!busy() && pending_.empty()) {
-        start(std::move(transfer), std::move(onComplete));
+        beginTransfer(std::move(transfer), std::move(onComplete),
+                      eq_.now(), id);
         return 1;
     }
-    pending_.emplace_back(std::move(transfer), std::move(onComplete));
+    pending_.push_back(PendingTransfer{std::move(transfer),
+                                       std::move(onComplete), eq_.now(),
+                                       id});
     ++stats_.counter("transfers_queued");
     return pending_.size() + 1;
 }
@@ -140,18 +179,40 @@ Dce::finishIfDone()
 {
     if (!active_ || active_->linesRemaining != 0)
         return;
-    busyPs_ += eq_.now() - active_->startedAt;
+    const Tick now = eq_.now();
+    busyPs_ += now - active_->startedAt;
+
+    // Phase-latency breakdown: schedule -> first issue -> last write.
+    const Tick firstIssue = active_->firstIssueAt == kTickMax
+                                ? now
+                                : active_->firstIssueAt;
+    stats_.average("phase_issue_us")
+        .sample(static_cast<double>(firstIssue - active_->startedAt) /
+                1e6);
+    stats_.average("phase_drain_us")
+        .sample(static_cast<double>(now - firstIssue) / 1e6);
+    stats_.histogram("transfer_us", 0.0, 20000.0, 200)
+        .sample(static_cast<double>(now - active_->enqueuedAt) / 1e6);
+
+    telemetry::Timeline &tl = telemetry::Timeline::global();
+    if (tl.enabled()) {
+        tl.span(timelineTrack_,
+                "transfer#" + std::to_string(active_->id),
+                active_->startedAt, now);
+    }
     PIMMMU_TRACE_LOG(trace::Category::Dce, eq_.now(),
-                     "transfer complete");
+                     "transfer complete #" << active_->id);
     auto done = std::move(active_->onComplete);
     active_.reset();
     if (done)
         done();
     if (!active_ && !pending_.empty()) {
         // Pop the next descriptor off the driver's ring.
-        auto next = std::move(pending_.front());
+        PendingTransfer next = std::move(pending_.front());
         pending_.pop_front();
-        start(std::move(next.first), std::move(next.second));
+        beginTransfer(std::move(next.transfer),
+                      std::move(next.onComplete), next.enqueuedAt,
+                      next.id);
     }
 }
 
@@ -178,6 +239,7 @@ Dce::issueWriteFor(std::size_t slot)
     ++st.writesIssued;
     ++writesInflight_;
     ++stats_.counter("writes_issued");
+    noteFirstIssue();
     return true;
 }
 
@@ -206,7 +268,15 @@ Dce::issueReadFor(std::size_t slot)
     ++readsInflight_;
     --freeDataSlots_;
     ++stats_.counter("reads_issued");
+    noteFirstIssue();
     return true;
+}
+
+void
+Dce::noteFirstIssue()
+{
+    if (active_->firstIssueAt == kTickMax)
+        active_->firstIssueAt = eq_.now();
 }
 
 bool

@@ -71,6 +71,8 @@ class Dce
     Dce(EventQueue &eq, const DceConfig &config,
         dram::MemorySystem &mem, const device::PimGeometry &pimGeometry);
 
+    ~Dce();
+
     /**
      * Begin a transfer. @p onComplete fires when the last write's data
      * burst finishes (the driver layers interrupt latency on top).
@@ -113,7 +115,10 @@ class Dce
         std::unique_ptr<PimMs> scheduler; //!< null when PIM-MS disabled
         std::uint64_t linesRemaining = 0;
         std::function<void()> onComplete;
+        std::uint64_t id = 0;
+        Tick enqueuedAt = 0;
         Tick startedAt = 0;
+        Tick firstIssueAt = kTickMax;
         // Per-channel burst budgets for the PIM-MS cursors.
         std::vector<unsigned> readBurstLeft;
         std::vector<unsigned> writeBurstLeft;
@@ -124,6 +129,18 @@ class Dce
         unsigned dmaWriteBurstLeft = 0;
     };
 
+    struct PendingTransfer
+    {
+        DceTransfer transfer;
+        std::function<void()> onComplete;
+        Tick enqueuedAt = 0;
+        std::uint64_t id = 0;
+    };
+
+    void beginTransfer(DceTransfer transfer,
+                       std::function<void()> onComplete,
+                       Tick enqueuedAt, std::uint64_t id);
+    void noteFirstIssue();
     bool tick();
     bool tryIssueWrite();
     bool tryIssueRead();
@@ -143,12 +160,14 @@ class Dce
     Ticker ticker_;
 
     std::unique_ptr<ActiveTransfer> active_;
-    std::deque<std::pair<DceTransfer, std::function<void()>>> pending_;
+    std::deque<PendingTransfer> pending_;
     std::uint64_t freeDataSlots_;
     unsigned readsInflight_ = 0;
     unsigned writesInflight_ = 0;
 
     Tick busyPs_ = 0;
+    std::uint64_t nextTransferId_ = 0;
+    unsigned timelineTrack_ = 0;
     stats::Group stats_;
 };
 

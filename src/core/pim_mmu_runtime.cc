@@ -3,6 +3,8 @@
 #include "common/trace.hh"
 #include "pim/host_transfer.hh"
 #include "pim/transpose.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
 
 namespace pimmmu {
 namespace core {
@@ -10,8 +12,15 @@ namespace core {
 PimMmuRuntime::PimMmuRuntime(EventQueue &eq, Dce &dce,
                              dram::MemorySystem &mem,
                              device::PimDevice &pim)
-    : eq_(eq), dce_(dce), mem_(mem), pim_(pim)
+    : eq_(eq), dce_(dce), mem_(mem), pim_(pim), stats_("pim_mmu")
 {
+    timelineTrack_ = telemetry::Timeline::global().track("pim-mmu");
+    telemetry::StatsRegistry::global().add(stats_);
+}
+
+PimMmuRuntime::~PimMmuRuntime()
+{
+    telemetry::StatsRegistry::global().remove(stats_);
 }
 
 DceTransfer
@@ -66,22 +75,44 @@ PimMmuRuntime::transfer(const PimMmuOp &op,
                                           << op.sizePerPim << " B");
 
     const DceConfig &cfg = dce_.config();
+    const Tick calledAt = eq_.now();
+    const std::uint64_t callId = nextCallId_++;
+    stats_.counter("transfers") += 1;
+    stats_.counter("bytes") += op.pimIdArr.size() * op.sizePerPim;
     // Driver: write the op through the MMIO BAR (doorbell), then start
     // the engine; completion raises an interrupt the driver services
     // before waking the requesting process.
     eq_.scheduleAfter(
         cfg.mmioDoorbellPs,
-        [this, descriptor = std::move(descriptor),
+        [this, calledAt, callId, descriptor = std::move(descriptor),
          onComplete = std::move(onComplete)]() mutable {
-            dce_.enqueue(std::move(descriptor),
-                         [this, onComplete = std::move(onComplete)] {
-                             eq_.scheduleAfter(
-                                 dce_.config().interruptPs,
-                                 [onComplete = std::move(onComplete)] {
-                                     if (onComplete)
-                                         onComplete();
-                                 });
-                         });
+            auto &tl = telemetry::Timeline::global();
+            if (tl.enabled())
+                tl.instant(timelineTrack_,
+                           "doorbell#" + std::to_string(callId),
+                           eq_.now());
+            dce_.enqueue(
+                std::move(descriptor),
+                [this, calledAt, callId,
+                 onComplete = std::move(onComplete)] {
+                    eq_.scheduleAfter(
+                        dce_.config().interruptPs,
+                        [this, calledAt, callId,
+                         onComplete = std::move(onComplete)] {
+                            const Tick now = eq_.now();
+                            stats_.average("e2e_us").sample(
+                                static_cast<double>(now - calledAt) /
+                                1e6);
+                            auto &tl = telemetry::Timeline::global();
+                            if (tl.enabled())
+                                tl.span(timelineTrack_,
+                                        "transfer#" +
+                                            std::to_string(callId),
+                                        calledAt, now);
+                            if (onComplete)
+                                onComplete();
+                        });
+                });
         });
 }
 

@@ -33,6 +33,8 @@ class PimMmuRuntime
     PimMmuRuntime(EventQueue &eq, Dce &dce, dram::MemorySystem &mem,
                   device::PimDevice &pim);
 
+    ~PimMmuRuntime();
+
     /**
      * Offload a DRAM<->PIM transfer to the DCE.
      *
@@ -61,6 +63,7 @@ class PimMmuRuntime
     void functionalCopy(const PimMmuOp &op);
 
     Dce &dce() { return dce_; }
+    stats::Group &stats() { return stats_; }
 
   private:
     void validate(const PimMmuOp &op) const;
@@ -69,6 +72,9 @@ class PimMmuRuntime
     Dce &dce_;
     dram::MemorySystem &mem_;
     device::PimDevice &pim_;
+    std::uint64_t nextCallId_ = 0;
+    unsigned timelineTrack_ = 0;
+    stats::Group stats_;
 };
 
 /**

@@ -1,8 +1,10 @@
 #include "core/pim_ms.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace pimmmu {
 namespace core {
@@ -28,7 +30,7 @@ PimMs::algorithmOrder(const device::PimGeometry &geometry,
 }
 
 PimMs::PimMs(const device::PimGeometry &geometry,
-             const std::vector<unsigned> &banks)
+             const std::vector<unsigned> &banks, Tick now)
 {
     const unsigned channels = geometry.banks.channels;
     std::vector<std::vector<unsigned>> perChannel(channels);
@@ -51,6 +53,21 @@ PimMs::PimMs(const device::PimGeometry &geometry,
         fatal("PIM-MS built with no target banks");
     readCursor_.assign(channelSlots_.size(), 0);
     writeCursor_.assign(channelSlots_.size(), 0);
+
+    PIMMMU_TRACE_LOG(trace::Category::Sched, now,
+                     "pim-ms: " << banks.size() << " banks over "
+                                << channelSlots_.size()
+                                << " active channels");
+    if (trace::enabled(trace::Category::Sched)) {
+        for (std::size_t ch = 0; ch < channelSlots_.size(); ++ch) {
+            std::ostringstream order;
+            for (unsigned slot : channelSlots_[ch])
+                order << " bk" << banks[slot];
+            trace::emit(trace::Category::Sched, now,
+                        "pim-ms issue order, channel slot " +
+                            std::to_string(ch) + ":" + order.str());
+        }
+    }
 }
 
 } // namespace core

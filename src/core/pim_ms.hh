@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/types.hh"
 #include "pim/pim_geometry.hh"
 
 namespace pimmmu {
@@ -33,9 +34,11 @@ class PimMs
      * @param banks    flat bank indices participating in the transfer
      *                 (each appears once); slot i refers back to the
      *                 caller's stream i
+     * @param now      simulated tick for trace lines (scheduler state
+     *                 is time-independent)
      */
     PimMs(const device::PimGeometry &geometry,
-          const std::vector<unsigned> &banks);
+          const std::vector<unsigned> &banks, Tick now = 0);
 
     /**
      * Sort the (streamSlot, bankIdx) pairs of one channel into the

@@ -65,6 +65,8 @@ CopyThread::step(Core &core)
     const std::uint64_t total = work_.totalLines();
     const bool transpose = work_.kind != CopyWork::Kind::DramToDram;
     setWaitingOnQueue(false);
+    if (startedAt_ == kTickMax)
+        startedAt_ = core.eq().now();
 
     // Drain side first: transpose + store anything whose load returned.
     if (pendingTranspose_ > 0 && writesInflight_ < cfg.maxOutstandingWrites) {
@@ -78,6 +80,14 @@ CopyThread::step(Core &core)
             req.onComplete = [this, &cpu](const dram::MemRequest &) {
                 --writesInflight_;
                 ++writesDone_;
+                if (finished()) {
+                    cpu.stats().counter("copy_lines") +=
+                        work_.totalLines();
+                    cpu.stats().average("copy_thread_us").sample(
+                        static_cast<double>(cpu.eq().now() -
+                                            startedAt_) /
+                        1e6);
+                }
                 cpu.wakeThread(*this);
             };
             const bool ok = mem.enqueue(std::move(req));

@@ -85,6 +85,7 @@ class CopyThread : public SoftThread
     CopyWork work_;
     /** Consecutive lines fetched per chip stream before switching. */
     std::uint64_t burst_ = 8;
+    Tick startedAt_ = kTickMax;
     std::uint64_t readsIssued_ = 0;
     std::uint64_t writesIssued_ = 0;
     std::uint64_t writesDone_ = 0;

@@ -4,6 +4,8 @@
 
 #include "cache/cache.hh"
 #include "common/trace.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
 
 namespace pimmmu {
 namespace cpu {
@@ -11,6 +13,8 @@ namespace cpu {
 Core::Core(EventQueue &eq, Cpu &cpu, unsigned id, Tick periodPs)
     : eq_(eq), cpu_(cpu), id_(id), periodPs_(periodPs)
 {
+    timelineTrack_ = telemetry::Timeline::global().track(
+        "cpu.core" + std::to_string(id));
 }
 
 void
@@ -26,14 +30,29 @@ Core::settleBlocked()
 }
 
 void
+Core::clearThread()
+{
+    settleBlocked();
+    if (thread_ && runStart_ != kTickMax) {
+        auto &tl = telemetry::Timeline::global();
+        if (tl.enabled() && eq_.now() > runStart_)
+            tl.span(timelineTrack_, thread_->label(), runStart_,
+                    eq_.now());
+    }
+    thread_ = nullptr;
+    runStart_ = kTickMax;
+}
+
+void
 Core::assign(SoftThread *thread, bool chargeSwitch)
 {
     if (thread == thread_)
         return;
-    settleBlocked();
+    clearThread();
     thread_ = thread;
     if (!thread_)
         return;
+    runStart_ = eq_.now();
     Tick delay = 0;
     if (chargeSwitch) {
         delay = cpu_.config().ctxSwitchPs;
@@ -97,6 +116,24 @@ Cpu::Cpu(EventQueue &eq, const CpuConfig &config, dram::MemorySystem &mem,
                 core->arm();
         }
     });
+
+    telemetry::StatsRegistry::global().add(stats_, [this] {
+        stats_.gauge("busy_us_total") =
+            static_cast<double>(totalBusyPs()) / 1e6;
+        stats_.gauge("avx_busy_us_total") =
+            static_cast<double>(totalAvxBusyPs()) / 1e6;
+        const Tick now = eq_.now();
+        if (now > 0) {
+            stats_.gauge("core_util_pct") =
+                100.0 * static_cast<double>(totalBusyPs()) /
+                (static_cast<double>(now) * cores_.size());
+        }
+    });
+}
+
+Cpu::~Cpu()
+{
+    telemetry::StatsRegistry::global().remove(stats_);
 }
 
 SoftThread *
@@ -150,8 +187,7 @@ Cpu::dispatch(SoftThread *thread)
     SoftThread *old = victim.current();
     if (old && !old->finished())
         runQueue_.push_back(old);
-    victim.settleBlocked();
-    victim.thread_ = nullptr;
+    victim.clearThread();
     victim.assign(thread, true);
 }
 
@@ -195,7 +231,7 @@ void
 Cpu::onThreadDone(Core &core)
 {
     checkJobs();
-    core.thread_ = nullptr;
+    core.clearThread();
     if (SoftThread *next = popRunnable())
         core.assign(next, true);
 }
@@ -203,7 +239,7 @@ Cpu::onThreadDone(Core &core)
 void
 Cpu::onThreadYield(Core &core)
 {
-    core.thread_ = nullptr;
+    core.clearThread();
     if (SoftThread *next = popRunnable())
         core.assign(next, true);
 }
@@ -230,8 +266,7 @@ Cpu::rotate()
             SoftThread *t = core->current();
             if (t && !t->finished()) {
                 runQueue_.push_back(t);
-                core->settleBlocked();
-                core->thread_ = nullptr;
+                core->clearThread();
             }
         }
         for (auto &core : cores_) {
@@ -284,10 +319,8 @@ Cpu::shutdown()
 {
     shutdown_ = true;
     runQueue_.clear();
-    for (auto &core : cores_) {
-        core->settleBlocked();
-        core->thread_ = nullptr;
-    }
+    for (auto &core : cores_)
+        core->clearThread();
 }
 
 } // namespace cpu

@@ -77,6 +77,13 @@ class Core
     /** Install @p thread (nullptr idles the core). */
     void assign(SoftThread *thread, bool chargeSwitch);
 
+    /**
+     * Vacate the core: settle blocked time, close the occupancy span
+     * on the timeline, and drop the thread pointer. The single exit
+     * path for every way a thread leaves a core.
+     */
+    void clearThread();
+
     /** Ensure the step loop is scheduled. */
     void arm(Tick delay = 0);
 
@@ -95,8 +102,10 @@ class Core
     SoftThread *thread_ = nullptr;
     bool pendingStep_ = false;
     Tick blockedSince_ = kTickMax;
+    Tick runStart_ = kTickMax;
     Tick busyPs_ = 0;
     Tick avxBusyPs_ = 0;
+    unsigned timelineTrack_ = 0;
 };
 
 /**
@@ -107,6 +116,8 @@ class Cpu
   public:
     Cpu(EventQueue &eq, const CpuConfig &config,
         dram::MemorySystem &mem, cache::Cache *llc = nullptr);
+
+    ~Cpu();
 
     const CpuConfig &config() const { return config_; }
     dram::MemorySystem &mem() { return mem_; }

@@ -4,6 +4,8 @@
 #include <ostream>
 
 #include "common/trace.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
 
 namespace pimmmu {
 namespace dram {
@@ -12,7 +14,8 @@ MemoryController::MemoryController(EventQueue &eq,
                                    const TimingParams &timing,
                                    const mapping::DramGeometry &geometry,
                                    unsigned channelId,
-                                   ControllerConfig config)
+                                   ControllerConfig config,
+                                   std::string name)
     : eq_(eq), timing_(timing), geom_(geometry), channelId_(channelId),
       config_(config),
       ticker_(eq, timing.tCKps, [this] { return tick(); }),
@@ -20,10 +23,30 @@ MemoryController::MemoryController(EventQueue &eq,
       bankGroups_(geometry.ranksPerChannel * geometry.bankGroups),
       ranks_(geometry.ranksPerChannel),
       openRowHasHit_(banks_.size(), false),
-      stats_("mc.ch" + std::to_string(channelId))
+      stats_(name.empty() ? "mc.ch" + std::to_string(channelId)
+                          : std::move(name))
 {
     if (config_.writeLowWatermark >= config_.writeHighWatermark)
         fatal("write watermarks misordered");
+    timelineTrack_ = telemetry::Timeline::global().track(stats_.name());
+    telemetry::StatsRegistry::global().add(stats_, [this] {
+        // Channel utilization: data-bus busy share of elapsed time.
+        const Tick now = eq_.now();
+        stats_.gauge("bus_busy_us") =
+            static_cast<double>(busBusyPs_) / 1e6;
+        stats_.gauge("bus_util_pct") =
+            now > 0 ? 100.0 * static_cast<double>(busBusyPs_) /
+                          static_cast<double>(now)
+                    : 0.0;
+        stats_.gauge("bytes_read") = static_cast<double>(bytesRead_);
+        stats_.gauge("bytes_written") =
+            static_cast<double>(bytesWritten_);
+    });
+}
+
+MemoryController::~MemoryController()
+{
+    telemetry::StatsRegistry::global().remove(stats_);
 }
 
 const char *
@@ -189,6 +212,11 @@ MemoryController::serviceRefresh(Cycle now)
         rs.refreshDue += timing_.tREFI;
         rs.refreshPending = false;
         ++stats_.counter("refreshes");
+        telemetry::Timeline &tl = telemetry::Timeline::global();
+        if (tl.enabled()) {
+            tl.span(timelineTrack_, "REF", timing_.cyclesToPs(now),
+                    timing_.cyclesToPs(now + timing_.tRFC));
+        }
         if (commandListener_) {
             mapping::DramCoord c;
             c.ch = channelId_;
@@ -313,8 +341,18 @@ MemoryController::finishColumn(MemRequest req, Cycle issue, bool write)
         bytesRead_ += geom_.lineBytes;
         ++stats_.counter("reads");
     }
-    stats_.average("queue_latency_ns")
-        .sample(static_cast<double>(eq_.now() - req.enqueuedAt) / 1e3);
+    const double queueNs =
+        static_cast<double>(eq_.now() - req.enqueuedAt) / 1e3;
+    stats_.average("queue_latency_ns").sample(queueNs);
+    stats_.histogram("queue_latency_ns", 0.0, 4000.0, 200)
+        .sample(queueNs);
+
+    telemetry::Timeline &tl = telemetry::Timeline::global();
+    if (tl.enabled()) {
+        tl.span(timelineTrack_, write ? "WR" : "RD",
+                timing_.cyclesToPs(dataStart),
+                timing_.cyclesToPs(dataEnd));
+    }
 
     ++inflight_;
     eq_.schedule(timing_.cyclesToPs(dataEnd), [this, req = std::move(

@@ -55,10 +55,19 @@ struct ControllerConfig
 class MemoryController
 {
   public:
+    /**
+     * @param name stats/timeline track name; empty derives the legacy
+     *             "mc.ch<N>" (MemorySystem passes "dram.ch<N>" /
+     *             "pim.ch<N>" so the two subsystems stay apart in
+     *             telemetry output)
+     */
     MemoryController(EventQueue &eq, const TimingParams &timing,
                      const mapping::DramGeometry &geometry,
                      unsigned channelId,
-                     ControllerConfig config = ControllerConfig{});
+                     ControllerConfig config = ControllerConfig{},
+                     std::string name = {});
+
+    ~MemoryController();
 
     /** True if the matching queue has a free slot. */
     bool canAccept(bool write) const;
@@ -184,6 +193,7 @@ class MemoryController
     std::vector<std::function<void()>> drainListeners_;
     CommandListener commandListener_;
     stats::Group stats_;
+    unsigned timelineTrack_ = 0;
 };
 
 } // namespace dram

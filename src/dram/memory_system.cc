@@ -14,12 +14,14 @@ MemorySystem::MemorySystem(EventQueue &eq, const mapping::SystemMap &map,
     dramControllers_.reserve(dramGeom.channels);
     for (unsigned ch = 0; ch < dramGeom.channels; ++ch) {
         dramControllers_.push_back(std::make_unique<MemoryController>(
-            eq, dramTiming, dramGeom, ch, config));
+            eq, dramTiming, dramGeom, ch, config,
+            "dram.ch" + std::to_string(ch)));
     }
     pimControllers_.reserve(pimGeom.channels);
     for (unsigned ch = 0; ch < pimGeom.channels; ++ch) {
         pimControllers_.push_back(std::make_unique<MemoryController>(
-            eq, pimTiming, pimGeom, ch, config));
+            eq, pimTiming, pimGeom, ch, config,
+            "pim.ch" + std::to_string(ch)));
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/trace.hh"
 #include "pim/transpose.hh"
 
 namespace pimmmu {
@@ -53,6 +54,13 @@ groupByBank(const PimGeometry &geometry,
         }
         grouping.banks.push_back(kv.second);
     }
+    PIMMMU_TRACE_LOG(trace::Category::Xfer, trace::now(),
+                     "groupByBank: " << dpuIds.size()
+                                     << " PIM cores -> "
+                                     << grouping.banks.size()
+                                     << " whole banks, " << bytesPerDpu
+                                     << " B/core at heap+"
+                                     << heapOffset);
     return grouping;
 }
 
@@ -64,6 +72,12 @@ functionalTransfer(dram::BackingStore &store, PimDevice &pim, bool toPim,
     const std::uint64_t words = bytesPerDpu / kWordBytes;
     std::uint8_t wire[kBlockBytes];
     std::uint8_t word[kWordBytes];
+
+    PIMMMU_TRACE_LOG(trace::Category::Xfer, trace::now(),
+                     "functionalTransfer: "
+                         << (toPim ? "DRAM->PIM" : "PIM->DRAM") << ", "
+                         << grouping.banks.size() << " banks x "
+                         << bytesPerDpu << " B/core");
 
     for (const auto &bank : grouping.banks) {
         for (std::uint64_t w = 0; w < words; ++w) {

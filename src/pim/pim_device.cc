@@ -1,9 +1,14 @@
 #include "pim/pim_device.hh"
 
+#include "common/trace.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
+
 namespace pimmmu {
 namespace device {
 
-PimDevice::PimDevice(const PimGeometry &geometry) : geom_(geometry)
+PimDevice::PimDevice(const PimGeometry &geometry)
+    : geom_(geometry), stats_("pim")
 {
     if (!geom_.banks.valid())
         fatal("PIM bank geometry dimensions must be powers of two");
@@ -12,6 +17,33 @@ PimDevice::PimDevice(const PimGeometry &geometry) : geom_(geometry)
     dpus_.reserve(geom_.numDpus());
     for (unsigned id = 0; id < geom_.numDpus(); ++id)
         dpus_.emplace_back(id, geom_.mramBytesPerDpu());
+    timelineTrack_ = telemetry::Timeline::global().track("pim.kernel");
+    telemetry::StatsRegistry::global().add(stats_);
+}
+
+PimDevice::~PimDevice()
+{
+    telemetry::StatsRegistry::global().remove(stats_);
+}
+
+Tick
+PimDevice::recordLaunch(const char *what, std::size_t dpus, Tick execPs)
+{
+    const Tick startedAt = trace::now();
+    stats_.counter("kernel_launches") += 1;
+    stats_.average("kernel_us").sample(
+        static_cast<double>(execPs) / 1e6);
+    PIMMMU_TRACE_LOG(trace::Category::Pim, startedAt,
+                     what << ": " << dpus << " DPUs, "
+                          << execPs / 1000 << " ns modeled");
+    auto &tl = telemetry::Timeline::global();
+    if (tl.enabled())
+        tl.span(timelineTrack_,
+                std::string(what) + "#" +
+                    std::to_string(nextLaunchId_),
+                startedAt, startedAt + execPs);
+    ++nextLaunchId_;
+    return execPs;
 }
 
 Tick
@@ -24,7 +56,8 @@ PimDevice::launch(const std::vector<unsigned> &dpuIds,
         PIMMMU_ASSERT(id < numDpus(), "DPU id out of range");
         kernel(dpus_[id], index++);
     }
-    return model.execTimePs(bytesPerDpu);
+    return recordLaunch("kernel", dpuIds.size(),
+                        model.execTimePs(bytesPerDpu));
 }
 
 Tick
@@ -48,7 +81,9 @@ PimDevice::launchProgram(
         const DpuRunResult r = interpreter.run(dpus_[id], program, args);
         worst = std::max(worst, r.cycles);
     }
-    return DpuRunResult{worst, 0, 0}.timePs(coreConfig.clockMhz);
+    return recordLaunch(
+        "program", dpuIds.size(),
+        DpuRunResult{worst, 0, 0}.timePs(coreConfig.clockMhz));
 }
 
 } // namespace device

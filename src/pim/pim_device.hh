@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/stats.hh"
 #include "pim/dpu.hh"
 #include "pim/dpu_interpreter.hh"
 #include "pim/kernel_model.hh"
@@ -29,7 +30,10 @@ class PimDevice
   public:
     explicit PimDevice(const PimGeometry &geometry);
 
+    ~PimDevice();
+
     const PimGeometry &geometry() const { return geom_; }
+    stats::Group &stats() { return stats_; }
 
     Dpu &dpu(unsigned id) { return dpus_[id]; }
     const Dpu &dpu(unsigned id) const { return dpus_[id]; }
@@ -82,8 +86,14 @@ class PimDevice
                            DpuCoreConfig{});
 
   private:
+    /** Record one launch in stats and on the kernel timeline track. */
+    Tick recordLaunch(const char *what, std::size_t dpus, Tick execPs);
+
     PimGeometry geom_;
     std::vector<Dpu> dpus_;
+    std::uint64_t nextLaunchId_ = 0;
+    unsigned timelineTrack_ = 0;
+    stats::Group stats_;
 };
 
 } // namespace device

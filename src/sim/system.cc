@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "common/trace.hh"
+
 namespace pimmmu {
 namespace sim {
 
@@ -43,6 +45,10 @@ SystemConfig::paperTable1(DesignPoint design)
 
 System::System(const SystemConfig &config) : config_(config)
 {
+    // Functional-plane code (host_transfer, PimDevice) has no event
+    // queue reference; give trace lines and kernel spans our clock.
+    trace::setClock(&eq_);
+
     const auto &dramTiming = dram::timingPreset(config_.dramSpeed);
     const auto &pimTiming = dram::timingPreset(config_.pimSpeed);
 
@@ -79,6 +85,7 @@ System::System(const SystemConfig &config) : config_(config)
 System::~System()
 {
     cpu_->shutdown();
+    trace::clearClock(&eq_);
 }
 
 Addr

@@ -1,0 +1,126 @@
+#include "telemetry/stats_registry.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+namespace pimmmu {
+namespace telemetry {
+
+StatsRegistry &
+StatsRegistry::global()
+{
+    static StatsRegistry instance;
+    return instance;
+}
+
+bool
+StatsRegistry::add(stats::Group &group, std::function<void()> refresh)
+{
+    if (isRegistered(group))
+        return false;
+    live_.push_back(Entry{&group, std::move(refresh)});
+    return true;
+}
+
+bool
+StatsRegistry::isRegistered(const stats::Group &group) const
+{
+    return std::any_of(live_.begin(), live_.end(),
+                       [&](const Entry &e) { return e.group == &group; });
+}
+
+void
+StatsRegistry::remove(stats::Group &group)
+{
+    auto it = std::find_if(
+        live_.begin(), live_.end(),
+        [&](const Entry &e) { return e.group == &group; });
+    if (it == live_.end())
+        return;
+    if (it->refresh)
+        it->refresh();
+    if (retired_.size() >= kMaxRetired) {
+        retired_.erase(retired_.begin());
+        ++retiredDropped_;
+    }
+    retired_.push_back(*it->group);
+    live_.erase(it);
+}
+
+std::vector<std::string>
+StatsRegistry::liveGroupNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(live_.size());
+    for (const Entry &e : live_)
+        names.push_back(e.group->name());
+    return names;
+}
+
+void
+StatsRegistry::clear()
+{
+    live_.clear();
+    retired_.clear();
+    retiredDropped_ = 0;
+}
+
+void
+StatsRegistry::refreshAll()
+{
+    for (Entry &e : live_) {
+        if (e.refresh)
+            e.refresh();
+    }
+}
+
+void
+StatsRegistry::dumpText(std::ostream &os)
+{
+    refreshAll();
+    for (const Entry &e : live_)
+        e.group->dump(os);
+    for (const stats::Group &g : retired_)
+        g.dump(os);
+    if (retiredDropped_ > 0) {
+        os << "(" << retiredDropped_
+           << " retired stat groups dropped at the " << kMaxRetired
+           << "-snapshot cap)\n";
+    }
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os)
+{
+    refreshAll();
+    os << "{\"schema\":\"pim-mmu-stats-v1\",\"retired_dropped\":"
+       << retiredDropped_ << ",\"groups\":[";
+    bool first = true;
+    for (const Entry &e : live_) {
+        if (!first)
+            os << ",";
+        e.group->dumpJson(os);
+        first = false;
+    }
+    for (const stats::Group &g : retired_) {
+        if (!first)
+            os << ",";
+        g.dumpJson(os);
+        first = false;
+    }
+    os << "]}\n";
+}
+
+bool
+StatsRegistry::dumpJsonFile(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    dumpJson(os);
+    return os.good();
+}
+
+} // namespace telemetry
+} // namespace pimmmu

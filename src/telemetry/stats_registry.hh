@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Process-wide statistics registry: every simulator component registers
+ * its stats::Group here at construction, and benches/tools dump all of
+ * them uniformly as text or JSON.
+ *
+ * Components are shorter-lived than a bench process (fig benches build
+ * and tear down several Systems), so a group that unregisters leaves a
+ * value snapshot behind ("retired" groups) and still shows up in an
+ * end-of-run dump. A refresh hook registered alongside the group runs
+ * just before every dump (and before retiring), letting components
+ * publish derived gauges such as bus utilization.
+ */
+
+#ifndef PIMMMU_TELEMETRY_STATS_REGISTRY_HH
+#define PIMMMU_TELEMETRY_STATS_REGISTRY_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace pimmmu {
+namespace telemetry {
+
+class StatsRegistry
+{
+  public:
+    /** The default process-wide instance. */
+    static StatsRegistry &global();
+
+    /**
+     * Register a live group. @p refresh (optional) runs before every
+     * dump and before the group is retired.
+     * @return false (no-op) if this exact group is already registered.
+     */
+    bool add(stats::Group &group,
+             std::function<void()> refresh = nullptr);
+
+    /**
+     * Unregister a live group, retaining a value snapshot for later
+     * dumps. Unknown groups are ignored. Snapshots are capped (oldest
+     * dropped first) so long-running processes stay bounded; drops are
+     * reported in the dump, never silent.
+     */
+    void remove(stats::Group &group);
+
+    bool isRegistered(const stats::Group &group) const;
+
+    std::size_t liveGroups() const { return live_.size(); }
+    std::size_t retiredGroups() const { return retired_.size(); }
+    std::vector<std::string> liveGroupNames() const;
+
+    /** Drop all live registrations and retired snapshots. */
+    void clear();
+
+    /** Human-readable dump of every live + retired group. */
+    void dumpText(std::ostream &os);
+
+    /**
+     * Machine-readable dump:
+     * {"schema":"pim-mmu-stats-v1","groups":[{...},...]}.
+     * Live groups first (refresh hooks applied), then retired
+     * snapshots in retirement order.
+     */
+    void dumpJson(std::ostream &os);
+
+    /** dumpJson to a file. @return false on I/O failure. */
+    bool dumpJsonFile(const std::string &path);
+
+  private:
+    struct Entry
+    {
+        stats::Group *group;
+        std::function<void()> refresh;
+    };
+
+    static constexpr std::size_t kMaxRetired = 4096;
+
+    void refreshAll();
+
+    std::vector<Entry> live_;
+    std::vector<stats::Group> retired_;
+    std::uint64_t retiredDropped_ = 0;
+};
+
+} // namespace telemetry
+} // namespace pimmmu
+
+#endif // PIMMMU_TELEMETRY_STATS_REGISTRY_HH

@@ -1,0 +1,135 @@
+#include "telemetry/timeline.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/stats.hh"
+
+namespace pimmmu {
+namespace telemetry {
+
+Timeline &
+Timeline::global()
+{
+    static Timeline instance;
+    return instance;
+}
+
+unsigned
+Timeline::track(const std::string &name)
+{
+    auto it = trackIds_.find(name);
+    if (it != trackIds_.end())
+        return it->second;
+    // tid 0 is reserved for the process row; tracks start at 1.
+    const unsigned id = static_cast<unsigned>(trackNames_.size()) + 1;
+    trackNames_.push_back(name);
+    trackIds_.emplace(name, id);
+    return id;
+}
+
+void
+Timeline::span(unsigned track, const std::string &name, Tick startPs,
+               Tick endPs)
+{
+    if (!enabled_)
+        return;
+    events_.push_back(Event{Phase::Span, track, startPs,
+                            endPs >= startPs ? endPs - startPs : 0, 0.0,
+                            name});
+}
+
+void
+Timeline::instant(unsigned track, const std::string &name, Tick atPs)
+{
+    if (!enabled_)
+        return;
+    events_.push_back(Event{Phase::Instant, track, atPs, 0, 0.0, name});
+}
+
+void
+Timeline::counter(unsigned track, const std::string &name, Tick atPs,
+                  double value)
+{
+    if (!enabled_)
+        return;
+    events_.push_back(
+        Event{Phase::Counter, track, atPs, 0, value, name});
+}
+
+void
+Timeline::clear()
+{
+    trackNames_.clear();
+    trackIds_.clear();
+    events_.clear();
+}
+
+namespace {
+
+/** Picoseconds -> trace microseconds with full ps resolution. */
+void
+emitTs(std::ostream &os, Tick ps)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06u",
+                  static_cast<std::uint64_t>(ps / 1000000),
+                  static_cast<unsigned>(ps % 1000000));
+    os << buf;
+}
+
+} // namespace
+
+void
+Timeline::dumpJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"pim-mmu-sim\"}}";
+    for (std::size_t i = 0; i < trackNames_.size(); ++i) {
+        const unsigned tid = static_cast<unsigned>(i) + 1;
+        os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << stats::jsonEscape(trackNames_[i]) << "\"}}";
+        os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+           << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":"
+           << tid << "}}";
+    }
+    for (const Event &e : events_) {
+        os << ",\n{\"pid\":1,\"tid\":" << e.track << ",\"name\":\""
+           << stats::jsonEscape(e.name) << "\",\"cat\":\"sim\",\"ts\":";
+        emitTs(os, e.ts);
+        switch (e.phase) {
+          case Phase::Span:
+            os << ",\"ph\":\"X\",\"dur\":";
+            emitTs(os, e.dur);
+            break;
+          case Phase::Instant:
+            os << ",\"ph\":\"i\",\"s\":\"t\"";
+            break;
+          case Phase::Counter: {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.12g", e.value);
+            os << ",\"ph\":\"C\",\"args\":{\"value\":" << buf << "}";
+            break;
+          }
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+bool
+Timeline::dumpJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    dumpJson(os);
+    return os.good();
+}
+
+} // namespace telemetry
+} // namespace pimmmu

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Simulated-time timeline tracer exporting Chrome trace-event JSON
+ * (loadable in Perfetto / chrome://tracing).
+ *
+ * Components register named tracks once (cheap, works while disabled)
+ * and record spans / instants / counter samples against them while the
+ * timeline is enabled. Each track becomes one "thread" row in the
+ * viewer; the simulated picosecond clock is exported as fractional
+ * trace microseconds, so the viewer's time axis reads in simulated
+ * time.
+ *
+ * Recording is disabled by default: every record call is a single
+ * branch until a bench enables the global timeline via --trace-json.
+ */
+
+#ifndef PIMMMU_TELEMETRY_TIMELINE_HH
+#define PIMMMU_TELEMETRY_TIMELINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace telemetry {
+
+class Timeline
+{
+  public:
+    /** The default process-wide instance. */
+    static Timeline &global();
+
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Create (or look up) a track by name and return its id. Track ids
+     * are stable for the lifetime of the timeline; components cache
+     * them at construction.
+     */
+    unsigned track(const std::string &name);
+
+    std::size_t tracks() const { return trackNames_.size(); }
+    std::size_t events() const { return events_.size(); }
+
+    /** A [startPs, endPs] slice on @p track ("ph":"X"). */
+    void span(unsigned track, const std::string &name, Tick startPs,
+              Tick endPs);
+
+    /** A zero-duration marker ("ph":"i"). */
+    void instant(unsigned track, const std::string &name, Tick atPs);
+
+    /** A counter-series sample ("ph":"C", one series per name). */
+    void counter(unsigned track, const std::string &name, Tick atPs,
+                 double value);
+
+    /** Drop all events and tracks (not the enabled flag). */
+    void clear();
+
+    /** {"traceEvents":[...]} in Chrome trace-event format. */
+    void dumpJson(std::ostream &os) const;
+
+    /** dumpJson to a file. @return false on I/O failure. */
+    bool dumpJsonFile(const std::string &path) const;
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        Span,
+        Instant,
+        Counter
+    };
+
+    struct Event
+    {
+        Phase phase;
+        unsigned track;
+        Tick ts;
+        Tick dur;
+        double value;
+        std::string name;
+    };
+
+    bool enabled_ = false;
+    std::vector<std::string> trackNames_;
+    std::map<std::string, unsigned> trackIds_;
+    std::vector<Event> events_;
+};
+
+} // namespace telemetry
+} // namespace pimmmu
+
+#endif // PIMMMU_TELEMETRY_TIMELINE_HH

@@ -4,6 +4,8 @@
 
 #include "common/trace.hh"
 #include "pim/host_transfer.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
 
 namespace pimmmu {
 namespace upmem {
@@ -11,8 +13,15 @@ namespace upmem {
 UpmemRuntime::UpmemRuntime(EventQueue &eq, cpu::Cpu &cpu,
                            dram::MemorySystem &mem,
                            device::PimDevice &pim)
-    : eq_(eq), cpu_(cpu), mem_(mem), pim_(pim)
+    : eq_(eq), cpu_(cpu), mem_(mem), pim_(pim), stats_("upmem")
 {
+    timelineTrack_ = telemetry::Timeline::global().track("upmem.xfer");
+    telemetry::StatsRegistry::global().add(stats_);
+}
+
+UpmemRuntime::~UpmemRuntime()
+{
+    telemetry::StatsRegistry::global().remove(stats_);
 }
 
 void
@@ -53,7 +62,26 @@ UpmemRuntime::pushXfer(XferKind kind,
                                        << " B/DPU ("
                                        << threads.size()
                                        << " copy threads)");
-    cpu_.runJob(std::move(threads), std::move(onComplete));
+    stats_.counter("push_xfers") += 1;
+    stats_.counter("bytes") += dpuIds.size() * bytesPerDpu;
+    stats_.average("copy_threads").sample(
+        static_cast<double>(threads.size()));
+    const Tick startedAt = eq_.now();
+    const std::uint64_t xferId = nextXferId_++;
+    cpu_.runJob(std::move(threads),
+                [this, startedAt, xferId,
+                 onComplete = std::move(onComplete)] {
+                    const Tick now = eq_.now();
+                    stats_.average("xfer_us").sample(
+                        static_cast<double>(now - startedAt) / 1e6);
+                    auto &tl = telemetry::Timeline::global();
+                    if (tl.enabled())
+                        tl.span(timelineTrack_,
+                                "push_xfer#" + std::to_string(xferId),
+                                startedAt, now);
+                    if (onComplete)
+                        onComplete();
+                });
 }
 
 DpuSet::DpuSet(UpmemRuntime &runtime, unsigned count)

@@ -51,14 +51,20 @@ class UpmemRuntime
                   std::uint64_t bytesPerDpu, Addr heapOffset,
                   std::function<void()> onComplete);
 
+    ~UpmemRuntime();
+
     device::PimDevice &pim() { return pim_; }
     cpu::Cpu &cpu() { return cpu_; }
+    stats::Group &stats() { return stats_; }
 
   private:
     EventQueue &eq_;
     cpu::Cpu &cpu_;
     dram::MemorySystem &mem_;
     device::PimDevice &pim_;
+    std::uint64_t nextXferId_ = 0;
+    unsigned timelineTrack_ = 0;
+    stats::Group stats_;
 };
 
 /**

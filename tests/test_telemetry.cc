@@ -1,0 +1,584 @@
+/**
+ * @file
+ * Tests for the telemetry layer: StatsRegistry registration and JSON
+ * export, stats::Group JSON round-trips, histogram percentile math,
+ * and Chrome-trace-event output from the Timeline.
+ *
+ * JSON outputs are validated with a mini recursive-descent parser so
+ * the tests catch malformed output (trailing commas, bad escapes),
+ * not just missing substrings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/system.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
+
+namespace pimmmu {
+namespace telemetry {
+
+namespace {
+
+/** A parsed JSON value (enough of JSON for our emitted subset). */
+struct Json
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Json> array;
+    std::map<std::string, Json> object;
+
+    const Json &
+    at(const std::string &key) const
+    {
+        auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return object.count(key) != 0;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing content");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected ") + c);
+        ++pos_;
+    }
+
+    Json
+    value()
+    {
+        const char c = peek();
+        if (c == '{')
+            return objectValue();
+        if (c == '[')
+            return arrayValue();
+        if (c == '"')
+            return stringValue();
+        if (c == 't' || c == 'f')
+            return boolValue();
+        if (c == 'n')
+            return nullValue();
+        return numberValue();
+    }
+
+    Json
+    objectValue()
+    {
+        expect('{');
+        Json v;
+        v.kind = Json::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            Json key = stringValue();
+            expect(':');
+            v.object.emplace(key.string, value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Json
+    arrayValue()
+    {
+        expect('[');
+        Json v;
+        v.kind = Json::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Json
+    stringValue()
+    {
+        expect('"');
+        Json v;
+        v.kind = Json::Kind::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                throw std::runtime_error("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    throw std::runtime_error("bad escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    v.string.push_back(e);
+                    break;
+                  case 'n':
+                    v.string.push_back('\n');
+                    break;
+                  case 'r':
+                    v.string.push_back('\r');
+                    break;
+                  case 't':
+                    v.string.push_back('\t');
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        throw std::runtime_error("bad \\u escape");
+                    const unsigned code = static_cast<unsigned>(
+                        std::stoul(text_.substr(pos_, 4), nullptr, 16));
+                    pos_ += 4;
+                    // Emitted escapes only cover control chars.
+                    v.string.push_back(static_cast<char>(code));
+                    break;
+                  }
+                  default:
+                    throw std::runtime_error("bad escape");
+                }
+                continue;
+            }
+            v.string.push_back(c);
+        }
+    }
+
+    Json
+    boolValue()
+    {
+        Json v;
+        v.kind = Json::Kind::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            throw std::runtime_error("bad literal");
+        }
+        return v;
+    }
+
+    Json
+    nullValue()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            throw std::runtime_error("bad literal");
+        pos_ += 4;
+        return Json{};
+    }
+
+    Json
+    numberValue()
+    {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (start == pos_)
+            throw std::runtime_error("bad number");
+        Json v;
+        v.kind = Json::Kind::Number;
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+Json
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace
+
+TEST(StatsRegistryTest, AddRemoveRetire)
+{
+    StatsRegistry reg;
+    stats::Group g("unit.group");
+    g.counter("hits") += 7;
+
+    EXPECT_TRUE(reg.add(g));
+    EXPECT_FALSE(reg.add(g)) << "double-add must be rejected";
+    EXPECT_TRUE(reg.isRegistered(g));
+    EXPECT_EQ(reg.liveGroups(), 1u);
+
+    reg.remove(g);
+    EXPECT_FALSE(reg.isRegistered(g));
+    EXPECT_EQ(reg.liveGroups(), 0u);
+    EXPECT_EQ(reg.retiredGroups(), 1u) << "removal retains a snapshot";
+
+    // Removing an unknown group is a no-op.
+    stats::Group other("unit.other");
+    reg.remove(other);
+    EXPECT_EQ(reg.retiredGroups(), 1u);
+}
+
+TEST(StatsRegistryTest, RefreshHookRunsBeforeDumpAndRetire)
+{
+    StatsRegistry reg;
+    stats::Group g("unit.refresh");
+    int calls = 0;
+    reg.add(g, [&] {
+        ++calls;
+        g.gauge("derived") = 42.0;
+    });
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_EQ(calls, 1);
+    const Json doc = parseJson(os.str());
+    EXPECT_DOUBLE_EQ(
+        doc.at("groups").array.at(0).at("gauges").at("derived").number,
+        42.0);
+
+    reg.remove(g);
+    EXPECT_EQ(calls, 2) << "refresh must run before the snapshot";
+}
+
+TEST(StatsRegistryTest, JsonRoundTripLiveAndRetired)
+{
+    StatsRegistry reg;
+    stats::Group live("unit.live");
+    live.counter("ops") += 3;
+    live.average("lat_us").sample(1.0);
+    live.average("lat_us").sample(3.0);
+    live.gauge("util_pct") = 51.5;
+    auto &h = live.histogram("size", 0.0, 100.0, 10);
+    h.sample(5.0);
+    h.sample(95.0);
+
+    stats::Group dying("unit.retired");
+    dying.counter("ops") += 11;
+    reg.add(live);
+    reg.add(dying);
+    reg.remove(dying);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const Json doc = parseJson(os.str());
+
+    EXPECT_EQ(doc.at("schema").string, "pim-mmu-stats-v1");
+    EXPECT_DOUBLE_EQ(doc.at("retired_dropped").number, 0.0);
+    const auto &groups = doc.at("groups").array;
+    ASSERT_EQ(groups.size(), 2u);
+
+    // Live groups dump first, retired snapshots after.
+    const Json &jLive = groups[0];
+    EXPECT_EQ(jLive.at("name").string, "unit.live");
+    EXPECT_DOUBLE_EQ(jLive.at("counters").at("ops").number, 3.0);
+    EXPECT_DOUBLE_EQ(jLive.at("gauges").at("util_pct").number, 51.5);
+    const Json &lat = jLive.at("averages").at("lat_us");
+    EXPECT_DOUBLE_EQ(lat.at("mean").number, 2.0);
+    EXPECT_DOUBLE_EQ(lat.at("min").number, 1.0);
+    EXPECT_DOUBLE_EQ(lat.at("max").number, 3.0);
+    EXPECT_DOUBLE_EQ(lat.at("count").number, 2.0);
+    const Json &size = jLive.at("histograms").at("size");
+    EXPECT_DOUBLE_EQ(size.at("lo").number, 0.0);
+    EXPECT_DOUBLE_EQ(size.at("hi").number, 100.0);
+    EXPECT_DOUBLE_EQ(size.at("total").number, 2.0);
+    EXPECT_DOUBLE_EQ(size.at("mean").number, 50.0);
+    EXPECT_EQ(size.at("buckets").array.size(), 10u);
+
+    EXPECT_EQ(groups[1].at("name").string, "unit.retired");
+    EXPECT_DOUBLE_EQ(groups[1].at("counters").at("ops").number, 11.0);
+}
+
+TEST(StatsRegistryTest, JsonEscapesAwkwardNames)
+{
+    StatsRegistry reg;
+    stats::Group g("we\"ird\\na\tme");
+    g.counter("c\"ount") += 1;
+    reg.add(g);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const Json doc = parseJson(os.str());
+    const Json &jg = doc.at("groups").array.at(0);
+    EXPECT_EQ(jg.at("name").string, "we\"ird\\na\tme");
+    EXPECT_DOUBLE_EQ(jg.at("counters").at("c\"ount").number, 1.0);
+}
+
+TEST(StatsTest, AverageResetMatchesFreshInstance)
+{
+    stats::Average a;
+    a.sample(-3.0);
+    a.sample(9.0);
+    a.reset();
+
+    const stats::Average fresh;
+    EXPECT_EQ(a.count(), fresh.count());
+    EXPECT_DOUBLE_EQ(a.mean(), fresh.mean());
+    EXPECT_DOUBLE_EQ(a.min(), fresh.min());
+    EXPECT_DOUBLE_EQ(a.max(), fresh.max());
+
+    // Post-reset extrema must track new samples only.
+    a.sample(5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(StatsTest, HistogramPercentilesOnKnownDistribution)
+{
+    // 100 samples, one at each of 0.5, 1.5, ..., 99.5: percentile p
+    // should land close to p.
+    stats::Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+
+    EXPECT_NEAR(h.percentile(50.0), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(95.0), 95.0, 1.0);
+    EXPECT_NEAR(h.percentile(99.0), 99.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.0), 0.0, 1.0);
+    EXPECT_NEAR(h.percentile(100.0), 100.0, 1.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.0);
+}
+
+TEST(StatsTest, HistogramOutOfRangeSamplesClampToBounds)
+{
+    stats::Histogram h(10.0, 20.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(-100.0); // underflow counts at lo
+    for (int i = 0; i < 10; ++i)
+        h.sample(500.0); // overflow counts at hi
+    EXPECT_EQ(h.underflow(), 10u);
+    EXPECT_EQ(h.overflow(), 10u);
+    EXPECT_DOUBLE_EQ(h.percentile(25.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 20.0);
+
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(TimelineTest, TraceEventJsonIsWellFormed)
+{
+    Timeline tl;
+    tl.setEnabled(true);
+    const unsigned a = tl.track("unit.track.a");
+    const unsigned b = tl.track("unit.track.b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tl.track("unit.track.a"), a) << "track ids are stable";
+
+    tl.span(a, "work", 1000000, 3000000);
+    tl.instant(b, "marker", 2000000);
+    tl.counter(b, "depth", 2500000, 3.0);
+
+    std::ostringstream os;
+    tl.dumpJson(os);
+    const Json doc = parseJson(os.str());
+
+    EXPECT_EQ(doc.at("displayTimeUnit").string, "ns");
+    const auto &events = doc.at("traceEvents").array;
+    // process_name + 2 * (thread_name + sort_index) + 3 events.
+    ASSERT_EQ(events.size(), 8u);
+
+    std::size_t spans = 0, instants = 0, counters = 0, meta = 0;
+    for (const Json &e : events) {
+        const std::string &ph = e.at("ph").string;
+        if (ph == "M") {
+            ++meta;
+            continue;
+        }
+        EXPECT_EQ(e.at("cat").string, "sim");
+        if (ph == "X") {
+            ++spans;
+            EXPECT_EQ(e.at("name").string, "work");
+            EXPECT_DOUBLE_EQ(e.at("ts").number, 1.0);
+            EXPECT_DOUBLE_EQ(e.at("dur").number, 2.0);
+        } else if (ph == "i") {
+            ++instants;
+            EXPECT_EQ(e.at("s").string, "t");
+        } else if (ph == "C") {
+            ++counters;
+            EXPECT_DOUBLE_EQ(e.at("args").at("value").number, 3.0);
+        } else {
+            FAIL() << "unexpected phase " << ph;
+        }
+    }
+    EXPECT_EQ(meta, 5u);
+    EXPECT_EQ(spans, 1u);
+    EXPECT_EQ(instants, 1u);
+    EXPECT_EQ(counters, 1u);
+}
+
+TEST(TimelineTest, DisabledTimelineRecordsNothing)
+{
+    Timeline tl;
+    const unsigned t = tl.track("unit.track");
+    tl.span(t, "work", 0, 10);
+    tl.instant(t, "marker", 5);
+    EXPECT_EQ(tl.events(), 0u);
+}
+
+TEST(TimelineTest, SubPicosecondTimestampsKeepFullResolution)
+{
+    Timeline tl;
+    tl.setEnabled(true);
+    const unsigned t = tl.track("unit.track");
+    tl.span(t, "tiny", 1234567, 1234567 + 1); // 1.234567 us + 1 ps
+    std::ostringstream os;
+    tl.dumpJson(os);
+    EXPECT_NE(os.str().find("\"ts\":1.234567"), std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("\"dur\":0.000001"), std::string::npos)
+        << os.str();
+}
+
+TEST(TelemetryIntegrationTest, SystemRunPopulatesRegistryAndTimeline)
+{
+    Timeline &tl = Timeline::global();
+    tl.clear();
+    tl.setEnabled(true);
+
+    {
+        sim::SystemConfig cfg =
+            sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+        cfg.dramGeom.rows = 1024;
+        cfg.pimGeom.banks.rows = 1024;
+        sim::System sys(cfg);
+
+        const auto names =
+            StatsRegistry::global().liveGroupNames();
+        auto hasName = [&](const std::string &n) {
+            return std::find(names.begin(), names.end(), n) !=
+                   names.end();
+        };
+        EXPECT_TRUE(hasName("dce"));
+        EXPECT_TRUE(hasName("cpu"));
+        EXPECT_TRUE(hasName("pim"));
+        EXPECT_TRUE(hasName("pim_mmu"));
+        EXPECT_TRUE(hasName("upmem"));
+        EXPECT_TRUE(hasName("dram.ch0"));
+        EXPECT_TRUE(hasName("pim.ch0"));
+
+        const auto stats = sys.runTransfer(
+            core::XferDirection::DramToPim, 64, 4 * kKiB);
+        EXPECT_GT(stats.durationPs(), 0u);
+
+        std::ostringstream os;
+        StatsRegistry::global().dumpJson(os);
+        const Json doc = parseJson(os.str());
+        bool sawDcePhases = false;
+        bool sawChannelUtil = false;
+        for (const Json &g : doc.at("groups").array) {
+            if (g.at("name").string == "dce") {
+                sawDcePhases =
+                    g.at("averages").has("phase_queue_us") &&
+                    g.at("histograms").has("transfer_us");
+            }
+            if (g.at("name").string == "pim.ch0") {
+                sawChannelUtil = g.at("gauges").has("bus_util_pct") &&
+                                 g.at("gauges").at("bus_util_pct")
+                                         .number > 0.0;
+            }
+        }
+        EXPECT_TRUE(sawDcePhases);
+        EXPECT_TRUE(sawChannelUtil);
+    }
+
+    EXPECT_GT(tl.events(), 0u) << "transfer must leave trace events";
+    std::ostringstream os;
+    tl.dumpJson(os);
+    const Json doc = parseJson(os.str());
+    bool sawDceTrack = false, sawChannelTrack = false;
+    for (const Json &e : doc.at("traceEvents").array) {
+        if (e.at("ph").string == "M" &&
+            e.at("name").string == "thread_name") {
+            const std::string &track = e.at("args").at("name").string;
+            sawDceTrack = sawDceTrack || track == "dce";
+            sawChannelTrack = sawChannelTrack || track == "pim.ch0";
+        }
+    }
+    EXPECT_TRUE(sawDceTrack);
+    EXPECT_TRUE(sawChannelTrack);
+
+    tl.setEnabled(false);
+    tl.clear();
+}
+
+} // namespace telemetry
+} // namespace pimmmu
