@@ -18,6 +18,11 @@ add_fig_bench(fig14_memcpy_scaling)
 add_fig_bench(fig15_ablation)
 add_fig_bench(fig16_prim_endtoend)
 add_fig_bench(overhead_area)
+add_fig_bench(fig_queue_depth)
+
+# Smoke entry so the descriptor-ring depth > 1 path runs in every ctest
+# invocation, not only in the unit tests.
+add_test(NAME fig_queue_depth_smoke COMMAND fig_queue_depth)
 
 add_executable(micro_simulator bench/micro_simulator.cc)
 target_link_libraries(micro_simulator PRIVATE pimmmu_sim benchmark::benchmark)

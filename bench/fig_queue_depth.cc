@@ -1,0 +1,113 @@
+/**
+ * @file
+ * DCE descriptor-ring depth sweep. The paper's DCE accepts transfer
+ * descriptors through a ring, so software can enqueue the next transfer
+ * while the engine drains the current one; `phase_queue_us` measures
+ * the time a descriptor waits behind its predecessors. This bench
+ * issues back-to-back transfers at increasing queue depths and reports
+ * the queue/issue/drain phase split — depth 1 should show ~zero queue
+ * time, deeper rings should pipeline doorbell overhead away.
+ */
+
+#include "bench/bench_util.hh"
+#include "sim/system.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+constexpr unsigned kTransfers = 8;
+constexpr unsigned kBanksPerXfer = 8; // 64 DPUs per transfer
+constexpr std::uint64_t kBytesPerDpu = 4 * kKiB;
+
+struct DepthResult
+{
+    std::uint64_t transfers = 0;
+    std::uint64_t queued = 0;
+    double queueUs = 0.0;
+    double issueUs = 0.0;
+    double drainUs = 0.0;
+    double transferUs = 0.0;
+    double wallMs = 0.0;
+};
+
+DepthResult
+runDepth(unsigned depth)
+{
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    sim::System sys(cfg);
+
+    // One op template spanning kBanksPerXfer whole banks.
+    std::vector<unsigned> dpuIds;
+    for (unsigned bank = 0; bank < kBanksPerXfer; ++bank)
+        for (unsigned chip = 0; chip < cfg.pimGeom.chipsPerRank; ++chip)
+            dpuIds.push_back(cfg.pimGeom.dpuId(bank, chip));
+    std::vector<Addr> hostAddrs;
+    const Addr base =
+        sys.allocDram(dpuIds.size() * kBytesPerDpu, 64);
+    for (std::size_t i = 0; i < dpuIds.size(); ++i)
+        hostAddrs.push_back(base + i * kBytesPerDpu);
+
+    unsigned issued = 0, done = 0;
+    while (issued < kTransfers) {
+        const unsigned wave =
+            std::min(depth, kTransfers - issued);
+        for (unsigned i = 0; i < wave; ++i) {
+            core::PimMmuOp op;
+            op.type = core::XferDirection::DramToPim;
+            op.sizePerPim = kBytesPerDpu;
+            op.dramAddrArr = hostAddrs;
+            op.pimIdArr = dpuIds;
+            op.pimBaseHeapPtr = 0;
+            sys.pimMmu().transfer(op, [&done] { ++done; });
+        }
+        issued += wave;
+        sys.runUntil([&] { return done == issued; }, kTickMax);
+    }
+
+    const stats::Group &dce = sys.dce().stats();
+    DepthResult r;
+    r.transfers = dce.counterValue("transfers");
+    r.queued = dce.counterValue("transfers_queued");
+    if (const stats::Average *a = dce.findAverage("phase_queue_us"))
+        r.queueUs = a->mean();
+    if (const stats::Average *a = dce.findAverage("phase_issue_us"))
+        r.issueUs = a->mean();
+    if (const stats::Average *a = dce.findAverage("phase_drain_us"))
+        r.drainUs = a->mean();
+    if (const stats::Histogram *h = dce.findHistogram("transfer_us"))
+        r.transferUs = h->mean();
+    r.wallMs = static_cast<double>(sys.eq().now()) / 1e9;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseOptions(argc, argv);
+    bench::banner("DCE queue-depth sweep",
+                  "phase_queue_us vs descriptor-ring occupancy, "
+                  "8 x 256 KiB DRAM->PIM transfers per depth");
+
+    Table t({"depth", "transfers", "queued", "queue us", "issue us",
+             "drain us", "e2e us", "total ms"});
+    for (unsigned depth : {1u, 2u, 4u, 8u}) {
+        const DepthResult r = runDepth(depth);
+        t.row()
+            .num(std::uint64_t{depth})
+            .num(r.transfers)
+            .num(r.queued)
+            .num(r.queueUs)
+            .num(r.issueUs)
+            .num(r.drainUs)
+            .num(r.transferUs)
+            .num(r.wallMs);
+    }
+    bench::printTable(t);
+    bench::note("\nqueued counts descriptors that waited behind an "
+                "in-flight transfer; queue us is their average wait.");
+    return bench::finish(opts);
+}

@@ -3,6 +3,7 @@
 #include "common/trace.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
+#include "testing/fault_injection.hh"
 
 namespace pimmmu {
 namespace core {
@@ -267,7 +268,8 @@ Dce::issueReadFor(std::size_t slot)
     ++st.readsIssued;
     ++readsInflight_;
     --freeDataSlots_;
-    ++stats_.counter("reads_issued");
+    if (!testing::fault::fire("dce.leak_read_counter"))
+        ++stats_.counter("reads_issued");
     noteFirstIssue();
     return true;
 }

@@ -6,6 +6,7 @@
 #include "common/trace.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
+#include "testing/fault_injection.hh"
 
 namespace pimmmu {
 namespace dram {
@@ -318,7 +319,7 @@ MemoryController::tryIssueActOrPre(const MemRequest &req, Cycle now)
     ++stats_.counter("activates");
     PIMMMU_TRACE_LOG(trace::Category::Dram, eq_.now(),
                      "ch" << channelId_ << " ACT " << c.str());
-    if (commandListener_)
+    if (commandListener_ && !testing::fault::fire("dram.drop_act_report"))
         commandListener_(CommandRecord{now, DramCommand::Act, c});
     return true;
 }

@@ -4,6 +4,7 @@
 
 #include "common/trace.hh"
 #include "pim/transpose.hh"
+#include "testing/fault_injection.hh"
 
 namespace pimmmu {
 namespace device {
@@ -93,6 +94,8 @@ functionalTransfer(dram::BackingStore &store, PimDevice &pim, bool toPim,
                 packWireBlock(rows, wire);
                 for (unsigned c = 0; c < 8; ++c) {
                     unpackWireWord(wire, c, word);
+                    if (testing::fault::fire("xfer.corrupt_data"))
+                        word[0] ^= 0x5a;
                     pim.dpu(bank.dpuId[c])
                         .mramWrite(heapOffset + wordOff, word,
                                    kWordBytes);
@@ -111,6 +114,8 @@ functionalTransfer(dram::BackingStore &store, PimDevice &pim, bool toPim,
                 packWireBlock(rows, wire);
                 for (unsigned c = 0; c < 8; ++c) {
                     unpackWireWord(wire, c, word);
+                    if (testing::fault::fire("xfer.corrupt_data"))
+                        word[0] ^= 0x5a;
                     store.write(bank.hostBase[c] + wordOff, word,
                                 kWordBytes);
                 }

@@ -1,0 +1,66 @@
+#include "testing/fault_injection.hh"
+
+#include <map>
+
+namespace pimmmu {
+namespace testing {
+namespace fault {
+
+bool gAnyArmed = false;
+
+namespace {
+
+/** site -> trigger count; presence means armed. */
+std::map<std::string, std::uint64_t> &
+sites()
+{
+    static std::map<std::string, std::uint64_t> s;
+    return s;
+}
+
+} // namespace
+
+bool
+fireSlow(const char *site)
+{
+    auto it = sites().find(site);
+    if (it == sites().end())
+        return false;
+    ++it->second;
+    return true;
+}
+
+void
+arm(const std::string &site)
+{
+    sites().emplace(site, 0);
+    gAnyArmed = true;
+}
+
+void
+disarmAll()
+{
+    sites().clear();
+    gAnyArmed = false;
+}
+
+std::uint64_t
+count(const std::string &site)
+{
+    auto it = sites().find(site);
+    return it == sites().end() ? 0 : it->second;
+}
+
+std::vector<std::string>
+armedSites()
+{
+    std::vector<std::string> names;
+    names.reserve(sites().size());
+    for (const auto &kv : sites())
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace fault
+} // namespace testing
+} // namespace pimmmu

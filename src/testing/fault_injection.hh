@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fault-injection points for negative testing.
+ *
+ * Production code marks the rare places where a deliberate bug can be
+ * switched on (`fault::fire("site.name")`); the property tests arm one
+ * site at a time to prove each correctness property actually fails when
+ * the corresponding invariant is broken. All sites are disarmed by
+ * default and the fast path is a single global bool, so shipping the
+ * hooks costs nothing.
+ *
+ * This library is dependency-free on purpose: any simulator layer can
+ * link it without creating a cycle.
+ */
+
+#ifndef PIMMMU_TESTING_FAULT_INJECTION_HH
+#define PIMMMU_TESTING_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pimmmu {
+namespace testing {
+namespace fault {
+
+/** True iff at least one site is armed (fast-path gate). */
+extern bool gAnyArmed;
+
+/** Slow path of fire(): name lookup + count. */
+bool fireSlow(const char *site);
+
+/**
+ * Should the fault at @p site trigger now? Counts the trigger when it
+ * does. Near-zero cost while nothing is armed.
+ */
+inline bool
+fire(const char *site)
+{
+    return gAnyArmed && fireSlow(site);
+}
+
+/** Arm a site; it fires on every fire() call until disarmed. */
+void arm(const std::string &site);
+
+/** Disarm everything and reset trigger counts. */
+void disarmAll();
+
+/** How many times an armed site has fired. */
+std::uint64_t count(const std::string &site);
+
+/** Names of the currently armed sites. */
+std::vector<std::string> armedSites();
+
+/** RAII guard: arms a site for one test scope. */
+class Armed
+{
+  public:
+    explicit Armed(const std::string &site) { arm(site); }
+    ~Armed() { disarmAll(); }
+    Armed(const Armed &) = delete;
+    Armed &operator=(const Armed &) = delete;
+};
+
+} // namespace fault
+} // namespace testing
+} // namespace pimmmu
+
+#endif // PIMMMU_TESTING_FAULT_INJECTION_HH

@@ -1,0 +1,101 @@
+#include "testing/golden.hh"
+
+#include <sstream>
+
+#include "sim/system.hh"
+
+namespace pimmmu {
+namespace testing {
+
+void
+GoldenModel::hostWrite(Addr addr, const std::uint8_t *data,
+                       std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        host_[addr + i] = data[i];
+}
+
+void
+GoldenModel::mramWrite(unsigned dpuId, std::uint64_t offset,
+                       const std::uint8_t *data, std::size_t len)
+{
+    auto &mram = mram_[dpuId];
+    for (std::size_t i = 0; i < len; ++i)
+        mram[offset + i] = data[i];
+}
+
+std::uint8_t
+GoldenModel::hostByte(Addr addr) const
+{
+    auto it = host_.find(addr);
+    return it == host_.end() ? 0 : it->second;
+}
+
+std::uint8_t
+GoldenModel::mramByte(unsigned dpuId, std::uint64_t offset) const
+{
+    auto dpu = mram_.find(dpuId);
+    if (dpu == mram_.end())
+        return 0;
+    auto it = dpu->second.find(offset);
+    return it == dpu->second.end() ? 0 : it->second;
+}
+
+void
+GoldenModel::apply(bool toPim, const std::vector<unsigned> &dpuIds,
+                   const std::vector<Addr> &hostAddrs,
+                   std::uint64_t bytesPerDpu, Addr heapOffset)
+{
+    for (std::size_t i = 0; i < dpuIds.size(); ++i) {
+        const unsigned dpu = dpuIds[i];
+        const Addr host = hostAddrs[i];
+        if (toPim) {
+            auto &mram = mram_[dpu];
+            for (std::uint64_t b = 0; b < bytesPerDpu; ++b)
+                mram[heapOffset + b] = hostByte(host + b);
+        } else {
+            for (std::uint64_t b = 0; b < bytesPerDpu; ++b)
+                host_[host + b] = mramByte(dpu, heapOffset + b);
+        }
+    }
+}
+
+std::vector<std::string>
+GoldenModel::compare(sim::System &sys, std::size_t maxDiffs) const
+{
+    std::vector<std::string> diffs;
+    for (const auto &kv : host_) {
+        if (diffs.size() >= maxDiffs)
+            return diffs;
+        std::uint8_t actual = 0;
+        sys.mem().store().read(kv.first, &actual, 1);
+        if (actual != kv.second) {
+            std::ostringstream os;
+            os << "host[0x" << std::hex << kv.first
+               << "]: golden=" << std::dec
+               << static_cast<unsigned>(kv.second)
+               << " sim=" << static_cast<unsigned>(actual);
+            diffs.push_back(os.str());
+        }
+    }
+    for (const auto &dpu : mram_) {
+        for (const auto &kv : dpu.second) {
+            if (diffs.size() >= maxDiffs)
+                return diffs;
+            std::uint8_t actual = 0;
+            sys.pim().dpu(dpu.first).mramRead(kv.first, &actual, 1);
+            if (actual != kv.second) {
+                std::ostringstream os;
+                os << "mram[dpu " << dpu.first << "][0x" << std::hex
+                   << kv.first << "]: golden=" << std::dec
+                   << static_cast<unsigned>(kv.second)
+                   << " sim=" << static_cast<unsigned>(actual);
+                diffs.push_back(os.str());
+            }
+        }
+    }
+    return diffs;
+}
+
+} // namespace testing
+} // namespace pimmmu

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Independent golden model for DRAM<->PIM transfers.
+ *
+ * The simulator moves data through bank grouping, 8x8 wire transpose,
+ * and the DCE/software timing planes; the golden model is a plain
+ * per-DPU byte copy over sparse shadow copies of host memory and MRAM.
+ * Because the two implementations share no code, a byte-exact match is
+ * strong evidence the whole pipeline is data-preserving.
+ */
+
+#ifndef PIMMMU_TESTING_GOLDEN_HH
+#define PIMMMU_TESTING_GOLDEN_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace sim {
+class System;
+}
+
+namespace testing {
+
+class GoldenModel
+{
+  public:
+    /** Mirror a host-buffer initialization. */
+    void hostWrite(Addr addr, const std::uint8_t *data, std::size_t len);
+
+    /** Mirror an MRAM seed write. */
+    void mramWrite(unsigned dpuId, std::uint64_t offset,
+                   const std::uint8_t *data, std::size_t len);
+
+    /**
+     * Apply one transfer's semantics: per listed DPU, copy
+     * @p bytesPerDpu bytes between its host array and its MRAM heap
+     * slice. Unwritten locations read as zero, matching the simulator's
+     * sparse backing store and zero-initialized MRAM.
+     */
+    void apply(bool toPim, const std::vector<unsigned> &dpuIds,
+               const std::vector<Addr> &hostAddrs,
+               std::uint64_t bytesPerDpu, Addr heapOffset);
+
+    /**
+     * Compare every shadowed byte against the simulated system's
+     * backing store and DPU MRAMs. @return up to @p maxDiffs mismatch
+     * descriptions (empty = byte-exact).
+     */
+    std::vector<std::string> compare(sim::System &sys,
+                                     std::size_t maxDiffs = 8) const;
+
+    std::size_t hostBytesTracked() const { return host_.size(); }
+
+  private:
+    std::uint8_t hostByte(Addr addr) const;
+    std::uint8_t mramByte(unsigned dpuId, std::uint64_t offset) const;
+
+    std::map<Addr, std::uint8_t> host_;
+    std::map<unsigned, std::map<std::uint64_t, std::uint8_t>> mram_;
+};
+
+} // namespace testing
+} // namespace pimmmu
+
+#endif // PIMMMU_TESTING_GOLDEN_HH

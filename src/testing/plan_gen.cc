@@ -1,0 +1,219 @@
+#include "testing/plan_gen.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/random.hh"
+
+namespace pimmmu {
+namespace testing {
+
+mapping::DramGeometry
+propDramGeometry()
+{
+    mapping::DramGeometry g;
+    g.channels = 2;
+    g.ranksPerChannel = 1;
+    g.bankGroups = 2;
+    g.banksPerGroup = 2;
+    g.rows = 1024; // 16 MiB: several 2 MiB frames for the scatter knob
+    g.columns = 32;
+    g.lineBytes = 64;
+    return g;
+}
+
+device::PimGeometry
+propPimGeometry()
+{
+    device::PimGeometry g;
+    g.banks.channels = 2;
+    g.banks.ranksPerChannel = 1;
+    g.banks.bankGroups = 2;
+    g.banks.banksPerGroup = 2;
+    g.banks.rows = 64; // 8 banks, 64 DPUs, 16 KiB MRAM per DPU
+    g.banks.columns = 32;
+    g.banks.lineBytes = 64;
+    g.chipsPerRank = 8;
+    return g;
+}
+
+sim::SystemConfig
+planConfig(const TransferPlan &plan)
+{
+    sim::SystemConfig cfg;
+    cfg.dramGeom = propDramGeometry();
+    cfg.pimGeom = propPimGeometry();
+    cfg.design = plan.design;
+    // No LLC: the harness checks exact request conservation, and cache
+    // fills/evictions would make controller byte counts plan-dependent.
+    cfg.useLlc = false;
+    cfg.scatterHostFrames = plan.scatterFrames;
+    cfg.mc.policy =
+        plan.fcfs ? dram::SchedPolicy::Fcfs : dram::SchedPolicy::FrFcfs;
+    cfg.dce.usePimMs = plan.design == sim::DesignPoint::BaseDHP;
+    return cfg;
+}
+
+TransferPlan
+generatePlan(std::uint64_t seed, unsigned caseIdx)
+{
+    // Derive an independent stream per (seed, case) so cases never share
+    // a prefix of random draws.
+    std::uint64_t sm = seed;
+    std::uint64_t mixed = splitMix64(sm);
+    sm = mixed ^ (std::uint64_t{caseIdx} * 0x9e3779b97f4a7c15ull);
+    Rng rng(splitMix64(sm));
+
+    TransferPlan plan;
+    plan.seed = seed;
+    plan.caseIdx = caseIdx;
+
+    // Design mix: every point appears, full PIM-MMU most often.
+    switch (rng.below(8)) {
+      case 0:
+        plan.design = sim::DesignPoint::Base;
+        break;
+      case 1:
+      case 2:
+        plan.design = sim::DesignPoint::BaseD;
+        break;
+      case 3:
+      case 4:
+        plan.design = sim::DesignPoint::BaseDH;
+        break;
+      default:
+        plan.design = sim::DesignPoint::BaseDHP;
+        break;
+    }
+    plan.scatterFrames = rng.below(2) == 0;
+    plan.fcfs = rng.below(4) == 0;
+    // Descriptor-ring depth > 1 only exists on the DCE path; the
+    // software path executes strictly synchronously.
+    plan.queueDepth =
+        plan.design == sim::DesignPoint::Base
+            ? 1
+            : 1 + static_cast<unsigned>(rng.below(4));
+
+    const device::PimGeometry pimGeom = propPimGeometry();
+    const unsigned numBanks = pimGeom.numBanks();
+    const unsigned numOps = 1 + static_cast<unsigned>(rng.below(5));
+    for (unsigned i = 0; i < numOps; ++i) {
+        TransferOp op;
+        op.dir = rng.below(3) == 0 ? core::XferDirection::PimToDram
+                                   : core::XferDirection::DramToPim;
+
+        // Sample a non-empty bank subset without replacement.
+        std::vector<unsigned> pool(numBanks);
+        for (unsigned b = 0; b < numBanks; ++b)
+            pool[b] = b;
+        const unsigned count =
+            1 + static_cast<unsigned>(rng.below(numBanks));
+        for (unsigned k = 0; k < count; ++k) {
+            const std::size_t pick =
+                k + static_cast<std::size_t>(rng.below(pool.size() - k));
+            std::swap(pool[k], pool[pick]);
+        }
+        op.banks.assign(pool.begin(), pool.begin() + count);
+        std::sort(op.banks.begin(), op.banks.end());
+
+        op.bytesPerDpu = 64 * (1 + rng.below(16)); // 64 B .. 1 KiB
+        // Mostly line-aligned heap offsets, sometimes odd 8-byte ones.
+        op.heapOffset = rng.below(4) == 0 ? 8 * rng.below(512)
+                                          : 64 * rng.below(64);
+        op.fillWidth = 1u << rng.below(4);
+        op.strideFactor = 1 + static_cast<unsigned>(rng.below(3));
+        plan.ops.push_back(std::move(op));
+    }
+    return plan;
+}
+
+std::string
+validatePlan(const TransferPlan &plan)
+{
+    const device::PimGeometry pimGeom = propPimGeometry();
+    std::ostringstream why;
+    if (plan.queueDepth < 1) {
+        why << "queueDepth must be >= 1";
+        return why.str();
+    }
+    if (plan.design == sim::DesignPoint::Base && plan.queueDepth != 1) {
+        why << "software path has no descriptor ring";
+        return why.str();
+    }
+    if (plan.ops.empty()) {
+        why << "plan has no ops";
+        return why.str();
+    }
+    for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+        const TransferOp &op = plan.ops[i];
+        if (op.banks.empty()) {
+            why << "op " << i << ": no banks";
+            return why.str();
+        }
+        for (std::size_t k = 0; k < op.banks.size(); ++k) {
+            if (op.banks[k] >= pimGeom.numBanks()) {
+                why << "op " << i << ": bank " << op.banks[k]
+                    << " out of range";
+                return why.str();
+            }
+            if (k > 0 && op.banks[k] <= op.banks[k - 1]) {
+                why << "op " << i << ": banks not strictly ascending";
+                return why.str();
+            }
+        }
+        if (op.bytesPerDpu == 0 || op.bytesPerDpu % 64 != 0) {
+            why << "op " << i << ": bytesPerDpu not a 64-byte multiple";
+            return why.str();
+        }
+        if (op.heapOffset % 8 != 0) {
+            why << "op " << i << ": heapOffset not 8-byte aligned";
+            return why.str();
+        }
+        if (op.heapOffset + op.bytesPerDpu >
+            pimGeom.mramBytesPerDpu()) {
+            why << "op " << i << ": transfer exceeds MRAM";
+            return why.str();
+        }
+        if (op.fillWidth != 1 && op.fillWidth != 2 &&
+            op.fillWidth != 4 && op.fillWidth != 8) {
+            why << "op " << i << ": bad fillWidth";
+            return why.str();
+        }
+        if (op.strideFactor < 1) {
+            why << "op " << i << ": bad strideFactor";
+            return why.str();
+        }
+        if (op.dir == core::XferDirection::DramToDram) {
+            why << "op " << i << ": DramToDram is not a PIM transfer";
+            return why.str();
+        }
+    }
+    return std::string{};
+}
+
+std::string
+TransferPlan::str() const
+{
+    std::ostringstream os;
+    os << "plan seed=" << seed << " case=" << caseIdx
+       << " design=" << sim::designPointName(design)
+       << " scatter=" << (scatterFrames ? 1 : 0)
+       << " fcfs=" << (fcfs ? 1 : 0) << " queueDepth=" << queueDepth
+       << "\n";
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const TransferOp &op = ops[i];
+        os << "  op[" << i << "] "
+           << (op.dir == core::XferDirection::DramToPim ? "D->P"
+                                                        : "P->D")
+           << " banks={";
+        for (std::size_t k = 0; k < op.banks.size(); ++k)
+            os << (k ? "," : "") << op.banks[k];
+        os << "} bytesPerDpu=" << op.bytesPerDpu
+           << " heap=" << op.heapOffset << " fillWidth=" << op.fillWidth
+           << " stride=x" << op.strideFactor << "\n";
+    }
+    return os.str();
+}
+
+} // namespace testing
+} // namespace pimmmu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Seed-deterministic random transfer-plan generation for the property
+ * harness. A (seed, case) pair fully determines a plan; generating it
+ * twice yields bit-identical plans, which is what makes CI failures
+ * replayable with `prop_runner --replay <seed>:<case>`.
+ */
+
+#ifndef PIMMMU_TESTING_PLAN_GEN_HH
+#define PIMMMU_TESTING_PLAN_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pim_mmu_op.hh"
+#include "sim/system.hh"
+
+namespace pimmmu {
+namespace testing {
+
+/**
+ * One randomized DRAM<->PIM transfer: a set of whole banks (all 8
+ * chips each), a per-DPU size, an MRAM heap offset, and the host-side
+ * array spacing. fillWidth picks the element width of the generated
+ * host/MRAM payload (1/2/4/8-byte elements).
+ */
+struct TransferOp
+{
+    core::XferDirection dir = core::XferDirection::DramToPim;
+    std::vector<unsigned> banks;   //!< touched PIM banks, ascending
+    std::uint64_t bytesPerDpu = 64;
+    Addr heapOffset = 0;           //!< 8-byte aligned MRAM offset
+    unsigned fillWidth = 8;        //!< payload element width in bytes
+    unsigned strideFactor = 1;     //!< host arrays bytesPerDpu*factor apart
+
+    std::uint64_t hostStride() const { return bytesPerDpu * strideFactor; }
+    std::uint64_t dpuCount() const { return banks.size() * 8; }
+    std::uint64_t bytes() const { return dpuCount() * bytesPerDpu; }
+};
+
+/** A complete generated test case. */
+struct TransferPlan
+{
+    std::uint64_t seed = 0;
+    unsigned caseIdx = 0;
+
+    sim::DesignPoint design = sim::DesignPoint::BaseDHP;
+    bool scatterFrames = true;   //!< OS-scattered 2 MiB host frames
+    bool fcfs = false;           //!< FCFS instead of FR-FCFS controllers
+    unsigned queueDepth = 1;     //!< transfers issued back-to-back
+    std::vector<TransferOp> ops;
+
+    std::uint64_t
+    totalBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &op : ops)
+            total += op.bytes();
+        return total;
+    }
+
+    /** Human-readable dump (the shrunk-reproducer format). */
+    std::string str() const;
+};
+
+/** Harness geometry: small enough that a case runs in milliseconds. */
+mapping::DramGeometry propDramGeometry();
+device::PimGeometry propPimGeometry();
+
+/** System configuration a plan runs under. */
+sim::SystemConfig planConfig(const TransferPlan &plan);
+
+/** Deterministically generate the (seed, case) plan. */
+TransferPlan generatePlan(std::uint64_t seed, unsigned caseIdx);
+
+/**
+ * Plan well-formedness (bank ids in range and unique, sizes 64-byte
+ * multiples, heap offsets 8-byte aligned and inside MRAM, ...).
+ * @return empty string if valid, else the reason.
+ */
+std::string validatePlan(const TransferPlan &plan);
+
+} // namespace testing
+} // namespace pimmmu
+
+#endif // PIMMMU_TESTING_PLAN_GEN_HH

@@ -1,0 +1,340 @@
+#include "testing/properties.hh"
+
+#include <memory>
+#include <sstream>
+
+#include "common/random.hh"
+#include "dram/protocol_checker.hh"
+#include "testing/golden.hh"
+
+namespace pimmmu {
+namespace testing {
+
+namespace {
+
+/** Concrete form of one op: DPU ids + host arrays, ready to execute. */
+struct PreparedOp
+{
+    bool toPim = true;
+    std::vector<unsigned> dpuIds;
+    std::vector<Addr> hostAddrs;
+    std::uint64_t bytesPerDpu = 0;
+    Addr heapOffset = 0;
+};
+
+/** Deterministic payload: fillWidth-sized elements from one stream. */
+std::vector<std::uint8_t>
+makePayload(Rng &rng, std::uint64_t bytes, unsigned fillWidth)
+{
+    std::vector<std::uint8_t> data(bytes);
+    for (std::uint64_t i = 0; i < bytes; i += fillWidth) {
+        const std::uint64_t elem = rng();
+        for (unsigned b = 0; b < fillWidth && i + b < bytes; ++b)
+            data[i + b] =
+                static_cast<std::uint8_t>(elem >> (8 * b));
+    }
+    return data;
+}
+
+class PlanRunner
+{
+  public:
+    explicit PlanRunner(const TransferPlan &plan)
+        : plan_(plan), cfg_(planConfig(plan)), sys_(cfg_)
+    {
+        attachCheckers();
+    }
+
+    PropertyResult
+    run()
+    {
+        prepare();
+        execute();
+        if (!result_.violations.empty())
+            return result_; // liveness failure: don't pile on
+        checkData();
+        checkProtocol();
+        checkConservation();
+        return result_;
+    }
+
+  private:
+    void
+    fail(const char *property, const std::string &detail)
+    {
+        result_.violations.push_back(PropertyViolation{property, detail});
+    }
+
+    void
+    attachCheckers()
+    {
+        const auto &dramTiming = dram::timingPreset(cfg_.dramSpeed);
+        const auto &pimTiming = dram::timingPreset(cfg_.pimSpeed);
+        auto &mem = sys_.mem();
+        for (unsigned ch = 0; ch < mem.dramChannels(); ++ch) {
+            checkers_.push_back(std::make_unique<dram::ProtocolChecker>(
+                dramTiming, cfg_.dramGeom));
+            checkerNames_.push_back("dram.ch" + std::to_string(ch));
+            dram::ProtocolChecker *checker = checkers_.back().get();
+            mem.dramController(ch).onCommand(
+                [checker](const dram::CommandRecord &r) {
+                    checker->observe(r);
+                });
+        }
+        for (unsigned ch = 0; ch < mem.pimChannels(); ++ch) {
+            checkers_.push_back(std::make_unique<dram::ProtocolChecker>(
+                pimTiming, cfg_.pimGeom.banks));
+            checkerNames_.push_back("pim.ch" + std::to_string(ch));
+            dram::ProtocolChecker *checker = checkers_.back().get();
+            mem.pimController(ch).onCommand(
+                [checker](const dram::CommandRecord &r) {
+                    checker->observe(r);
+                });
+        }
+    }
+
+    /** Allocate host arrays and seed both planes with the payloads. */
+    void
+    prepare()
+    {
+        std::uint64_t sm =
+            plan_.seed ^ 0xf111f111f111f111ull;
+        sm = splitMix64(sm) + plan_.caseIdx;
+        Rng fill(splitMix64(sm));
+
+        for (const TransferOp &op : plan_.ops) {
+            PreparedOp prep;
+            prep.toPim = op.dir == core::XferDirection::DramToPim;
+            prep.bytesPerDpu = op.bytesPerDpu;
+            prep.heapOffset = op.heapOffset;
+            const Addr base = sys_.allocDram(
+                op.dpuCount() * op.hostStride(), 64);
+            for (unsigned bank : op.banks) {
+                for (unsigned chip = 0; chip < 8; ++chip) {
+                    const std::size_t i = prep.dpuIds.size();
+                    prep.dpuIds.push_back(
+                        cfg_.pimGeom.dpuId(bank, chip));
+                    prep.hostAddrs.push_back(base +
+                                             i * op.hostStride());
+                }
+            }
+            if (prep.toPim) {
+                // Payload starts in host memory.
+                for (Addr addr : prep.hostAddrs) {
+                    const auto data =
+                        makePayload(fill, op.bytesPerDpu, op.fillWidth);
+                    sys_.mem().store().write(addr, data.data(),
+                                             data.size());
+                    golden_.hostWrite(addr, data.data(), data.size());
+                }
+            } else {
+                // Payload starts in MRAM.
+                for (unsigned dpu : prep.dpuIds) {
+                    const auto data =
+                        makePayload(fill, op.bytesPerDpu, op.fillWidth);
+                    sys_.pim().dpu(dpu).mramWrite(
+                        op.heapOffset, data.data(), data.size());
+                    golden_.mramWrite(dpu, op.heapOffset, data.data(),
+                                      data.size());
+                }
+            }
+            prepared_.push_back(std::move(prep));
+        }
+    }
+
+    void
+    execute()
+    {
+        // Waves of queueDepth transfers issued back-to-back exercise
+        // the DCE descriptor ring; the golden model applies ops in call
+        // order, matching the simulator's call-time functional copies.
+        std::size_t next = 0;
+        while (next < prepared_.size()) {
+            const std::size_t end = std::min(
+                next + plan_.queueDepth, prepared_.size());
+            unsigned done = 0;
+            for (std::size_t i = next; i < end; ++i) {
+                const PreparedOp &prep = prepared_[i];
+                if (cfg_.useDce()) {
+                    core::PimMmuOp op;
+                    op.type = prep.toPim
+                                  ? core::XferDirection::DramToPim
+                                  : core::XferDirection::PimToDram;
+                    op.sizePerPim = prep.bytesPerDpu;
+                    op.dramAddrArr = prep.hostAddrs;
+                    op.pimIdArr = prep.dpuIds;
+                    op.pimBaseHeapPtr = prep.heapOffset;
+                    sys_.pimMmu().transfer(op, [&done] { ++done; });
+                } else {
+                    sys_.upmem().pushXfer(
+                        prep.toPim ? upmem::XferKind::ToDpu
+                                   : upmem::XferKind::FromDpu,
+                        prep.dpuIds, prep.hostAddrs, prep.bytesPerDpu,
+                        prep.heapOffset, [&done] { ++done; });
+                }
+                golden_.apply(prep.toPim, prep.dpuIds, prep.hostAddrs,
+                              prep.bytesPerDpu, prep.heapOffset);
+            }
+            const unsigned expect = static_cast<unsigned>(end - next);
+            const Tick limit = sys_.eq().now() + Tick{100} * kPsPerMs;
+            if (!sys_.runUntil([&] { return done == expect; }, limit)) {
+                std::ostringstream os;
+                os << "wave [" << next << ", " << end
+                   << ") did not complete within 100 ms simulated";
+                fail("liveness", os.str());
+                return;
+            }
+            next = end;
+        }
+    }
+
+    void
+    checkData()
+    {
+        for (const std::string &diff : golden_.compare(sys_))
+            fail("data", diff);
+    }
+
+    void
+    checkProtocol()
+    {
+        std::uint64_t commands = 0;
+        for (std::size_t i = 0; i < checkers_.size(); ++i) {
+            commands += checkers_[i]->commandsChecked();
+            for (const std::string &v : checkers_[i]->violations())
+                fail("protocol", checkerNames_[i] + ": " + v);
+        }
+        if (commands == 0 && plan_.totalBytes() > 0)
+            fail("protocol", "no DRAM commands observed at all");
+    }
+
+    void
+    expectEq(const char *property, const std::string &what,
+             std::uint64_t actual, std::uint64_t expected)
+    {
+        if (actual != expected) {
+            std::ostringstream os;
+            os << what << ": " << actual << " != expected " << expected;
+            fail(property, os.str());
+        }
+    }
+
+    void
+    checkConservation()
+    {
+        std::uint64_t totalBytes = 0, toPim = 0, fromPim = 0;
+        for (const TransferOp &op : plan_.ops) {
+            totalBytes += op.bytes();
+            (op.dir == core::XferDirection::DramToPim ? toPim
+                                                      : fromPim) +=
+                op.bytes();
+        }
+        const std::uint64_t numOps = plan_.ops.size();
+
+        if (cfg_.useDce()) {
+            const stats::Group &dce = sys_.dce().stats();
+            expectEq("conservation", "dce.transfers",
+                     dce.counterValue("transfers"), numOps);
+            expectEq("conservation", "dce.reads_issued",
+                     dce.counterValue("reads_issued"), totalBytes / 64);
+            expectEq("conservation", "dce.writes_issued",
+                     dce.counterValue("writes_issued"),
+                     totalBytes / 64);
+            const stats::Histogram *xferHist =
+                dce.findHistogram("transfer_us");
+            expectEq("conservation", "dce.transfer_us histogram total",
+                     xferHist ? xferHist->total() : 0, numOps);
+
+            const stats::Group &mmu = sys_.pimMmu().stats();
+            expectEq("conservation", "pim_mmu.transfers",
+                     mmu.counterValue("transfers"), numOps);
+            expectEq("conservation", "pim_mmu.bytes",
+                     mmu.counterValue("bytes"), totalBytes);
+        } else {
+            const stats::Group &up = sys_.upmem().stats();
+            expectEq("conservation", "upmem.push_xfers",
+                     up.counterValue("push_xfers"), numOps);
+            expectEq("conservation", "upmem.bytes",
+                     up.counterValue("bytes"), totalBytes);
+        }
+
+        // Per-controller internal consistency: byte counts match the
+        // request counters, and the per-request latency histogram
+        // sampled exactly once per retired request.
+        auto &mem = sys_.mem();
+        std::uint64_t dramRead = 0, dramWritten = 0;
+        std::uint64_t pimRead = 0, pimWritten = 0;
+        auto checkController = [&](const dram::MemoryController &mc,
+                                   const std::string &name) {
+            const stats::Group &st = mc.stats();
+            expectEq("conservation", name + " reads*64 vs bytesRead",
+                     st.counterValue("reads") * 64, mc.bytesRead());
+            expectEq("conservation",
+                     name + " writes*64 vs bytesWritten",
+                     st.counterValue("writes") * 64, mc.bytesWritten());
+            const stats::Histogram *lat =
+                st.findHistogram("queue_latency_ns");
+            expectEq("conservation",
+                     name + " queue_latency_ns histogram total",
+                     lat ? lat->total() : 0,
+                     st.counterValue("reads") +
+                         st.counterValue("writes"));
+        };
+        for (unsigned ch = 0; ch < mem.dramChannels(); ++ch) {
+            const auto &mc = mem.dramController(ch);
+            checkController(mc, "dram.ch" + std::to_string(ch));
+            dramRead += mc.bytesRead();
+            dramWritten += mc.bytesWritten();
+        }
+        for (unsigned ch = 0; ch < mem.pimChannels(); ++ch) {
+            const auto &mc = mem.pimController(ch);
+            checkController(mc, "pim.ch" + std::to_string(ch));
+            pimRead += mc.bytesRead();
+            pimWritten += mc.bytesWritten();
+        }
+
+        // Cross-plane conservation: with no LLC and no other memory
+        // traffic, every plan byte crosses each bus exactly once.
+        expectEq("conservation", "pim-side bytes written", pimWritten,
+                 toPim);
+        expectEq("conservation", "pim-side bytes read", pimRead,
+                 fromPim);
+        expectEq("conservation", "dram-side bytes read", dramRead,
+                 toPim);
+        expectEq("conservation", "dram-side bytes written", dramWritten,
+                 fromPim);
+    }
+
+    const TransferPlan &plan_;
+    sim::SystemConfig cfg_;
+    sim::System sys_;
+    std::vector<std::unique_ptr<dram::ProtocolChecker>> checkers_;
+    std::vector<std::string> checkerNames_;
+    GoldenModel golden_;
+    std::vector<PreparedOp> prepared_;
+    PropertyResult result_;
+};
+
+} // namespace
+
+std::string
+PropertyResult::str() const
+{
+    if (pass())
+        return "PASS";
+    std::ostringstream os;
+    os << violations.size() << " violation(s):\n";
+    for (const PropertyViolation &v : violations)
+        os << "  [" << v.property << "] " << v.detail << "\n";
+    return os.str();
+}
+
+PropertyResult
+runPlan(const TransferPlan &plan)
+{
+    PlanRunner runner(plan);
+    return runner.run();
+}
+
+} // namespace testing
+} // namespace pimmmu

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Property evaluation: run a generated TransferPlan on a full System
+ * (DCE, PIM-MS, HetMap, transpose, controllers with protocol checkers
+ * attached) and check three end-to-end properties against independent
+ * oracles:
+ *
+ *  1. data         - every DRAM<->PIM copy is byte-exact vs the golden
+ *                    model's plain per-DPU copy
+ *  2. protocol     - no DDR4 timing/state violation on any channel
+ *  3. conservation - telemetry counters balance: bytes moved == bytes
+ *                    requested, per-request histograms total to the
+ *                    request counts, engine line counters match plan
+ *                    sizes
+ */
+
+#ifndef PIMMMU_TESTING_PROPERTIES_HH
+#define PIMMMU_TESTING_PROPERTIES_HH
+
+#include <string>
+#include <vector>
+
+#include "testing/plan_gen.hh"
+
+namespace pimmmu {
+namespace testing {
+
+struct PropertyViolation
+{
+    std::string property; //!< "data", "protocol", "conservation", ...
+    std::string detail;
+};
+
+struct PropertyResult
+{
+    std::vector<PropertyViolation> violations;
+
+    bool pass() const { return violations.empty(); }
+
+    /** First failing property name ("" when passing). */
+    std::string
+    firstProperty() const
+    {
+        return violations.empty() ? std::string{}
+                                  : violations.front().property;
+    }
+
+    std::string str() const;
+};
+
+/** Execute @p plan on a fresh System and evaluate all properties. */
+PropertyResult runPlan(const TransferPlan &plan);
+
+} // namespace testing
+} // namespace pimmmu
+
+#endif // PIMMMU_TESTING_PROPERTIES_HH

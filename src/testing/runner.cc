@@ -1,0 +1,211 @@
+#include "testing/runner.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace pimmmu {
+namespace testing {
+
+namespace {
+
+std::string
+replayCommand(std::uint64_t seed, unsigned caseIdx)
+{
+    std::ostringstream os;
+    os << "prop_runner --replay " << seed << ":" << caseIdx;
+    return os.str();
+}
+
+void
+writeArtifact(const std::string &outDir, const CaseFailure &failure)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(outDir, ec);
+    std::ostringstream name;
+    name << outDir << "/fail_seed" << failure.seed << "_case"
+         << failure.caseIdx << ".txt";
+    std::ofstream out(name.str());
+    if (!out)
+        return;
+    out << "replay: " << replayCommand(failure.seed, failure.caseIdx)
+        << "\n\noriginal plan:\n"
+        << generatePlan(failure.seed, failure.caseIdx).str()
+        << "\noriginal result: " << failure.original.str()
+        << "\nshrunk reproducer (" << failure.shrunk.evaluations
+        << " evaluations):\n"
+        << failure.shrunk.plan.str()
+        << "\nshrunk result: " << failure.shrunk.result.str();
+}
+
+void
+logFailure(std::ostream &log, const CaseFailure &failure)
+{
+    log << "FAIL seed=" << failure.seed << " case=" << failure.caseIdx
+        << " property=" << failure.original.firstProperty() << "\n"
+        << "  replay: "
+        << replayCommand(failure.seed, failure.caseIdx) << "\n"
+        << "  shrunk reproducer:\n";
+    std::istringstream planLines(failure.shrunk.plan.str());
+    std::string line;
+    while (std::getline(planLines, line))
+        log << "    " << line << "\n";
+    for (const PropertyViolation &v : failure.shrunk.result.violations)
+        log << "    [" << v.property << "] " << v.detail << "\n";
+    log.flush();
+}
+
+} // namespace
+
+CaseFailure
+runCase(std::uint64_t seed, unsigned caseIdx, bool &passed)
+{
+    CaseFailure failure;
+    failure.seed = seed;
+    failure.caseIdx = caseIdx;
+
+    const TransferPlan plan = generatePlan(seed, caseIdx);
+    failure.original = runPlan(plan);
+    passed = failure.original.pass();
+    if (!passed)
+        failure.shrunk = shrinkPlan(plan);
+    return failure;
+}
+
+CorpusResult
+runCorpus(const RunnerOptions &options, std::ostream &log)
+{
+    const auto start = std::chrono::steady_clock::now();
+    auto budgetLeft = [&] {
+        if (options.timeBudgetS <= 0.0)
+            return true;
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return elapsed.count() < options.timeBudgetS;
+    };
+
+    std::vector<std::uint64_t> seeds = options.seeds;
+    if (seeds.empty())
+        seeds.push_back(1);
+
+    CorpusResult result;
+    for (std::uint64_t seed : seeds) {
+        for (unsigned c = 0; c < options.cases; ++c) {
+            if (!budgetLeft()) {
+                result.budgetExhausted = true;
+                log << "time budget reached after " << result.casesRun
+                    << " cases\n";
+                return result;
+            }
+            bool passed = false;
+            CaseFailure outcome = runCase(seed, c, passed);
+            ++result.casesRun;
+            if (options.verbose)
+                log << (passed ? "pass" : "FAIL") << " seed=" << seed
+                    << " case=" << c << "\n";
+            if (!passed) {
+                logFailure(log, outcome);
+                if (!options.outDir.empty())
+                    writeArtifact(options.outDir, outcome);
+                result.failures.push_back(std::move(outcome));
+            }
+        }
+    }
+    return result;
+}
+
+int
+runnerMain(int argc, char **argv)
+{
+    RunnerOptions options;
+    bool replay = false;
+    std::uint64_t replaySeed = 0;
+    unsigned replayCase = 0;
+
+    auto needValue = [&](int i) {
+        if (i + 1 >= argc) {
+            std::cerr << argv[0] << ": " << argv[i]
+                      << " needs a value\n";
+            std::exit(2);
+        }
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--seed") == 0) {
+            options.seeds.push_back(
+                std::strtoull(needValue(i), nullptr, 0));
+            ++i;
+        } else if (std::strcmp(arg, "--cases") == 0) {
+            options.cases = static_cast<unsigned>(
+                std::strtoul(needValue(i), nullptr, 0));
+            ++i;
+        } else if (std::strcmp(arg, "--time-budget-s") == 0) {
+            options.timeBudgetS = std::strtod(needValue(i), nullptr);
+            ++i;
+        } else if (std::strcmp(arg, "--out-dir") == 0) {
+            options.outDir = needValue(i);
+            ++i;
+        } else if (std::strcmp(arg, "--replay") == 0) {
+            const std::string spec = needValue(i);
+            ++i;
+            const std::size_t colon = spec.find(':');
+            if (colon == std::string::npos) {
+                std::cerr << argv[0]
+                          << ": --replay wants <seed>:<case>\n";
+                return 2;
+            }
+            replay = true;
+            replaySeed =
+                std::strtoull(spec.substr(0, colon).c_str(), nullptr, 0);
+            replayCase = static_cast<unsigned>(std::strtoul(
+                spec.substr(colon + 1).c_str(), nullptr, 0));
+        } else if (std::strcmp(arg, "--verbose") == 0 ||
+                   std::strcmp(arg, "-v") == 0) {
+            options.verbose = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::cout
+                << "usage: " << argv[0]
+                << " [--seed N]... [--cases M] [--time-budget-s S]\n"
+                << "       [--out-dir DIR] [--replay SEED:CASE] "
+                   "[--verbose]\n";
+            return 0;
+        } else {
+            std::cerr << argv[0] << ": unknown option " << arg << "\n";
+            return 2;
+        }
+    }
+
+    if (replay) {
+        std::cout << "replaying seed=" << replaySeed
+                  << " case=" << replayCase << "\n";
+        const TransferPlan plan = generatePlan(replaySeed, replayCase);
+        std::cout << plan.str();
+        bool passed = false;
+        CaseFailure outcome = runCase(replaySeed, replayCase, passed);
+        if (passed) {
+            std::cout << "PASS\n";
+            return 0;
+        }
+        logFailure(std::cout, outcome);
+        if (!options.outDir.empty())
+            writeArtifact(options.outDir, outcome);
+        return 1;
+    }
+
+    CorpusResult result = runCorpus(options, std::cout);
+    std::cout << result.casesRun << " cases, "
+              << result.failures.size() << " failure(s)"
+              << (result.budgetExhausted ? " (budget reached)" : "")
+              << "\n";
+    return result.pass() ? 0 : 1;
+}
+
+} // namespace testing
+} // namespace pimmmu

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Corpus driver behind the prop_runner CLI: run (seed, case) ranges,
+ * shrink failures, emit replay commands and reproducer artifacts.
+ */
+
+#ifndef PIMMMU_TESTING_RUNNER_HH
+#define PIMMMU_TESTING_RUNNER_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "testing/shrink.hh"
+
+namespace pimmmu {
+namespace testing {
+
+struct RunnerOptions
+{
+    std::vector<std::uint64_t> seeds; //!< defaults to {1}
+    unsigned cases = 64;              //!< cases per seed
+    double timeBudgetS = 0.0;         //!< stop after this long (0 = off)
+    std::string outDir;               //!< reproducer artifacts ("" = off)
+    bool verbose = false;
+};
+
+struct CaseFailure
+{
+    std::uint64_t seed = 0;
+    unsigned caseIdx = 0;
+    PropertyResult original;
+    ShrinkResult shrunk;
+};
+
+struct CorpusResult
+{
+    std::uint64_t casesRun = 0;
+    bool budgetExhausted = false;
+    std::vector<CaseFailure> failures;
+
+    bool pass() const { return failures.empty(); }
+};
+
+/** Run one case, shrinking on failure. @return pass/fail + details. */
+CaseFailure runCase(std::uint64_t seed, unsigned caseIdx,
+                    bool &passed);
+
+/** Run the corpus, logging progress and failures to @p log. */
+CorpusResult runCorpus(const RunnerOptions &options, std::ostream &log);
+
+/** Full CLI entry point (prop_runner's main). */
+int runnerMain(int argc, char **argv);
+
+} // namespace testing
+} // namespace pimmmu
+
+#endif // PIMMMU_TESTING_RUNNER_HH

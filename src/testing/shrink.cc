@@ -1,0 +1,160 @@
+#include "testing/shrink.hh"
+
+namespace pimmmu {
+namespace testing {
+
+namespace {
+
+class Shrinker
+{
+  public:
+    Shrinker(const TransferPlan &plan, unsigned maxEvaluations)
+        : best_(plan), maxEvaluations_(maxEvaluations)
+    {
+        bestResult_ = runPlan(best_);
+        ++evaluations_;
+    }
+
+    ShrinkResult
+    shrink()
+    {
+        if (bestResult_.pass())
+            return {best_, bestResult_, evaluations_};
+        bool changed = true;
+        while (changed && evaluations_ < maxEvaluations_) {
+            changed = false;
+            changed |= dropOps();
+            changed |= reduceQueueDepth();
+            changed |= reduceBanks();
+            changed |= reduceBytes();
+            changed |= simplifyKnobs();
+        }
+        return {best_, bestResult_, evaluations_};
+    }
+
+  private:
+    /** Adopt @p candidate if it is valid and still fails. */
+    bool
+    accept(TransferPlan candidate)
+    {
+        if (evaluations_ >= maxEvaluations_)
+            return false;
+        if (!validatePlan(candidate).empty())
+            return false;
+        PropertyResult r = runPlan(candidate);
+        ++evaluations_;
+        if (r.pass())
+            return false;
+        best_ = std::move(candidate);
+        bestResult_ = std::move(r);
+        return true;
+    }
+
+    bool
+    dropOps()
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < best_.ops.size();) {
+            if (best_.ops.size() == 1)
+                break;
+            TransferPlan candidate = best_;
+            candidate.ops.erase(candidate.ops.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            if (accept(std::move(candidate)))
+                changed = true; // same index now holds the next op
+            else
+                ++i;
+        }
+        return changed;
+    }
+
+    bool
+    reduceQueueDepth()
+    {
+        if (best_.queueDepth == 1)
+            return false;
+        TransferPlan candidate = best_;
+        candidate.queueDepth = 1;
+        return accept(std::move(candidate));
+    }
+
+    bool
+    reduceBanks()
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < best_.ops.size(); ++i) {
+            while (best_.ops[i].banks.size() > 1) {
+                TransferPlan candidate = best_;
+                auto &banks = candidate.ops[i].banks;
+                banks.resize((banks.size() + 1) / 2);
+                if (!accept(std::move(candidate)))
+                    break;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    bool
+    reduceBytes()
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < best_.ops.size(); ++i) {
+            while (best_.ops[i].bytesPerDpu > 64) {
+                TransferPlan candidate = best_;
+                std::uint64_t &bytes = candidate.ops[i].bytesPerDpu;
+                bytes = ((bytes / 2 + 63) / 64) * 64;
+                if (!accept(std::move(candidate)))
+                    break;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    bool
+    simplifyKnobs()
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < best_.ops.size(); ++i) {
+            if (best_.ops[i].heapOffset != 0) {
+                TransferPlan candidate = best_;
+                candidate.ops[i].heapOffset = 0;
+                changed |= accept(std::move(candidate));
+            }
+            if (best_.ops[i].strideFactor != 1) {
+                TransferPlan candidate = best_;
+                candidate.ops[i].strideFactor = 1;
+                changed |= accept(std::move(candidate));
+            }
+        }
+        if (best_.scatterFrames) {
+            TransferPlan candidate = best_;
+            candidate.scatterFrames = false;
+            changed |= accept(std::move(candidate));
+        }
+        if (best_.fcfs) {
+            TransferPlan candidate = best_;
+            candidate.fcfs = false;
+            changed |= accept(std::move(candidate));
+        }
+        return changed;
+    }
+
+    TransferPlan best_;
+    PropertyResult bestResult_;
+    unsigned evaluations_ = 0;
+    unsigned maxEvaluations_;
+};
+
+} // namespace
+
+ShrinkResult
+shrinkPlan(const TransferPlan &plan, unsigned maxEvaluations)
+{
+    Shrinker shrinker(plan, maxEvaluations);
+    return shrinker.shrink();
+}
+
+} // namespace testing
+} // namespace pimmmu

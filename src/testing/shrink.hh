@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Deterministic greedy shrinking of a failing TransferPlan: repeatedly
+ * try simpler candidate plans (fewer ops, fewer banks, smaller sizes,
+ * depth 1, no scatter, ...) and keep any candidate that still fails.
+ * The result is a local minimum: removing any single op, bank, or knob
+ * makes the failure disappear.
+ */
+
+#ifndef PIMMMU_TESTING_SHRINK_HH
+#define PIMMMU_TESTING_SHRINK_HH
+
+#include "testing/properties.hh"
+
+namespace pimmmu {
+namespace testing {
+
+struct ShrinkResult
+{
+    TransferPlan plan;     //!< minimal still-failing plan
+    PropertyResult result; //!< its violations
+    unsigned evaluations = 0;
+};
+
+/**
+ * Shrink @p plan, which must currently fail. Purely deterministic: the
+ * same input plan always shrinks to the same reproducer.
+ */
+ShrinkResult shrinkPlan(const TransferPlan &plan,
+                        unsigned maxEvaluations = 200);
+
+} // namespace testing
+} // namespace pimmmu
+
+#endif // PIMMMU_TESTING_SHRINK_HH

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/random.hh"
+#include "telemetry/stats_registry.hh"
 #include "workloads/prim.hh"
 
 namespace pimmmu {

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Property-testing CLI. Runs seed-deterministic random transfer plans
+ * through the full system and checks data fidelity, DDR4 protocol
+ * cleanliness, and counter conservation against independent oracles.
+ *
+ *   prop_runner --seed 1 --cases 64          # pinned CI corpus
+ *   prop_runner --time-budget-s 60 --seed 7  # bounded fuzzing
+ *   prop_runner --replay 1:17                # reproduce a CI failure
+ */
+
+#include "testing/runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    return pimmmu::testing::runnerMain(argc, argv);
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Generator-level properties: determinism (same (seed, case) -> bit
+ * identical plan), validity of every generated plan, and diversity
+ * (the corpus actually covers the design points, directions, and
+ * queue depths the harness claims to exercise).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/plan_gen.hh"
+
+namespace pimmmu {
+namespace testing {
+
+TEST(PlanGen, DeterministicPerSeedAndCase)
+{
+    for (unsigned c = 0; c < 16; ++c) {
+        const TransferPlan a = generatePlan(42, c);
+        const TransferPlan b = generatePlan(42, c);
+        EXPECT_EQ(a.str(), b.str()) << "case " << c;
+    }
+}
+
+TEST(PlanGen, DifferentSeedsAndCasesDiffer)
+{
+    std::set<std::string> unique;
+    for (unsigned c = 0; c < 32; ++c) {
+        unique.insert(generatePlan(1, c).str());
+        unique.insert(generatePlan(2, c).str());
+    }
+    // Collisions would mean cases share random streams.
+    EXPECT_GE(unique.size(), 60u);
+}
+
+TEST(PlanGen, EveryGeneratedPlanIsValid)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 0xdeadbeefull}) {
+        for (unsigned c = 0; c < 64; ++c) {
+            const TransferPlan plan = generatePlan(seed, c);
+            EXPECT_EQ(validatePlan(plan), "")
+                << "seed " << seed << " case " << c << "\n"
+                << plan.str();
+        }
+    }
+}
+
+TEST(PlanGen, CorpusCoversTheClaimedSpace)
+{
+    std::set<sim::DesignPoint> designs;
+    bool sawToPim = false, sawFromPim = false, sawDeepQueue = false;
+    bool sawScatterOn = false, sawScatterOff = false, sawFcfs = false;
+    bool sawMultiOp = false, sawOddHeap = false, sawStride = false;
+    for (unsigned c = 0; c < 64; ++c) {
+        const TransferPlan plan = generatePlan(1, c);
+        designs.insert(plan.design);
+        sawDeepQueue |= plan.queueDepth > 1;
+        sawScatterOn |= plan.scatterFrames;
+        sawScatterOff |= !plan.scatterFrames;
+        sawFcfs |= plan.fcfs;
+        sawMultiOp |= plan.ops.size() > 1;
+        for (const TransferOp &op : plan.ops) {
+            sawToPim |= op.dir == core::XferDirection::DramToPim;
+            sawFromPim |= op.dir == core::XferDirection::PimToDram;
+            sawOddHeap |= op.heapOffset % 64 != 0;
+            sawStride |= op.strideFactor > 1;
+        }
+    }
+    EXPECT_EQ(designs.size(), 4u) << "all Fig. 15 design points";
+    EXPECT_TRUE(sawToPim);
+    EXPECT_TRUE(sawFromPim);
+    EXPECT_TRUE(sawDeepQueue);
+    EXPECT_TRUE(sawScatterOn);
+    EXPECT_TRUE(sawScatterOff);
+    EXPECT_TRUE(sawFcfs);
+    EXPECT_TRUE(sawMultiOp);
+    EXPECT_TRUE(sawOddHeap);
+    EXPECT_TRUE(sawStride);
+}
+
+TEST(PlanGen, ValidatorRejectsMalformedPlans)
+{
+    TransferPlan plan = generatePlan(1, 0);
+    ASSERT_EQ(validatePlan(plan), "");
+
+    TransferPlan noOps = plan;
+    noOps.ops.clear();
+    EXPECT_NE(validatePlan(noOps), "");
+
+    TransferPlan badBank = plan;
+    badBank.ops[0].banks = {999};
+    EXPECT_NE(validatePlan(badBank), "");
+
+    TransferPlan badBytes = plan;
+    badBytes.ops[0].bytesPerDpu = 96;
+    EXPECT_NE(validatePlan(badBytes), "");
+
+    TransferPlan badHeap = plan;
+    badHeap.ops[0].heapOffset = 4;
+    EXPECT_NE(validatePlan(badHeap), "");
+
+    TransferPlan tooBig = plan;
+    tooBig.ops[0].bytesPerDpu =
+        propPimGeometry().mramBytesPerDpu() + 64;
+    EXPECT_NE(validatePlan(tooBig), "");
+}
+
+} // namespace testing
+} // namespace pimmmu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shrinker tests: a failing plan reduces to the global minimum when
+ * the bug is unconditional, the shrunk plan still fails, and shrinking
+ * is deterministic (same input -> identical reproducer, twice).
+ */
+
+#include <gtest/gtest.h>
+
+#include "testing/fault_injection.hh"
+#include "testing/shrink.hh"
+
+namespace pimmmu {
+namespace testing {
+
+namespace {
+
+TransferPlan
+bulkyFailingPlan()
+{
+    TransferPlan plan;
+    plan.design = sim::DesignPoint::BaseDHP;
+    plan.scatterFrames = true;
+    plan.fcfs = true;
+    plan.queueDepth = 3;
+    for (unsigned i = 0; i < 3; ++i) {
+        TransferOp op;
+        op.dir = core::XferDirection::DramToPim;
+        op.banks = {0, 2, 4, 5};
+        op.bytesPerDpu = 512;
+        op.heapOffset = 128;
+        op.fillWidth = 4;
+        op.strideFactor = 2;
+        plan.ops.push_back(op);
+    }
+    return plan;
+}
+
+} // namespace
+
+TEST(Shrink, UnconditionalBugShrinksToTheGlobalMinimum)
+{
+    fault::Armed armed("xfer.corrupt_data");
+    const ShrinkResult shrunk = shrinkPlan(bulkyFailingPlan());
+
+    ASSERT_FALSE(shrunk.result.pass());
+    ASSERT_EQ(shrunk.plan.ops.size(), 1u);
+    const TransferOp &op = shrunk.plan.ops[0];
+    EXPECT_EQ(op.banks.size(), 1u);
+    EXPECT_EQ(op.bytesPerDpu, 64u);
+    EXPECT_EQ(op.heapOffset, 0u);
+    EXPECT_EQ(op.strideFactor, 1u);
+    EXPECT_EQ(shrunk.plan.queueDepth, 1u);
+    EXPECT_FALSE(shrunk.plan.scatterFrames);
+    EXPECT_FALSE(shrunk.plan.fcfs);
+    EXPECT_EQ(validatePlan(shrunk.plan), "");
+}
+
+TEST(Shrink, ShrinkingIsDeterministic)
+{
+    fault::Armed armed("xfer.corrupt_data");
+    const ShrinkResult a = shrinkPlan(bulkyFailingPlan());
+    const ShrinkResult b = shrinkPlan(bulkyFailingPlan());
+    EXPECT_EQ(a.plan.str(), b.plan.str());
+    EXPECT_EQ(a.evaluations, b.evaluations);
+    EXPECT_EQ(a.result.str(), b.result.str());
+}
+
+TEST(Shrink, PassingPlanIsReturnedUntouched)
+{
+    const TransferPlan plan = generatePlan(3, 1);
+    const ShrinkResult shrunk = shrinkPlan(plan);
+    EXPECT_TRUE(shrunk.result.pass());
+    EXPECT_EQ(shrunk.plan.str(), plan.str());
+    EXPECT_EQ(shrunk.evaluations, 1u);
+}
+
+TEST(Shrink, EvaluationBudgetIsRespected)
+{
+    fault::Armed armed("xfer.corrupt_data");
+    const ShrinkResult shrunk = shrinkPlan(bulkyFailingPlan(), 5);
+    EXPECT_LE(shrunk.evaluations, 5u);
+    EXPECT_FALSE(shrunk.result.pass());
+}
+
+} // namespace testing
+} // namespace pimmmu

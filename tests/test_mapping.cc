@@ -299,6 +299,75 @@ TEST(HetMap, BaselineMapIsLocalityOnBothSides)
     EXPECT_EQ(a.bankIndex(g), b.bankIndex(g));
 }
 
+TEST(HetMap, CoordinateSideRoundTripIsExhaustive)
+{
+    // Encode -> decode identity from the coordinate side: every
+    // (space, ch, ra, bg, bk, ro, co) tuple at a tiny geometry, for
+    // both HetMap mapping functions. The address-side sweeps above
+    // cannot see a mapper that drops one coordinate and aliases
+    // another; this direction can.
+    DramGeometry g;
+    g.channels = 2;
+    g.ranksPerChannel = 2;
+    g.bankGroups = 2;
+    g.banksPerGroup = 2;
+    g.rows = 16;
+    g.columns = 8;
+    ASSERT_TRUE(g.valid());
+
+    for (bool baseline : {false, true}) {
+        auto sysMap =
+            baseline ? makeBaselineMap(g, g) : makeHetMap(g, g);
+        for (MemSpace space : {MemSpace::Dram, MemSpace::Pim}) {
+            for (unsigned ch = 0; ch < g.channels; ++ch)
+              for (unsigned ra = 0; ra < g.ranksPerChannel; ++ra)
+                for (unsigned bg = 0; bg < g.bankGroups; ++bg)
+                  for (unsigned bk = 0; bk < g.banksPerGroup; ++bk)
+                    for (unsigned ro = 0; ro < g.rows; ++ro)
+                      for (unsigned co = 0; co < g.columns; ++co) {
+                          const MappedTarget t{
+                              space,
+                              DramCoord{ch, ra, bg, bk, ro, co}};
+                          const Addr a = sysMap->unmap(t);
+                          EXPECT_EQ(sysMap->isPim(a),
+                                    space == MemSpace::Pim);
+                          const MappedTarget back = sysMap->map(a);
+                          EXPECT_EQ(back.space, space);
+                          EXPECT_EQ(back.coord.ch, ch);
+                          EXPECT_EQ(back.coord.ra, ra);
+                          EXPECT_EQ(back.coord.bg, bg);
+                          EXPECT_EQ(back.coord.bk, bk);
+                          EXPECT_EQ(back.coord.ro, ro);
+                          EXPECT_EQ(back.coord.co, co);
+                      }
+        }
+    }
+}
+
+TEST(MlpMapper, XorHashKeepsPerRowChannelDistributionUniform)
+{
+    // Fig. 8 setup: row-stride traffic (the pathological case for
+    // plain bit-sliced channel selection). The XOR hash must assign
+    // each channel and each bank group an equal share of rows — a
+    // distribution property, stronger than mere bijectivity.
+    const DramGeometry g = smallGeometry();
+    auto mapper = makeMlpCentricMapper(g, true);
+    std::vector<unsigned> chHits(g.channels, 0);
+    std::vector<unsigned> bgHits(g.bankGroups, 0);
+    const unsigned roShift = 6 + g.chBits() + g.bgBits() + g.bkBits() +
+                             g.coBits() + g.raBits();
+    for (unsigned r = 0; r < g.rows; ++r) {
+        const DramCoord c = mapper->map(Addr{r} << roShift);
+        EXPECT_EQ(c.ro, r);
+        ++chHits[c.ch];
+        ++bgHits[c.bg];
+    }
+    for (unsigned ch = 0; ch < g.channels; ++ch)
+        EXPECT_EQ(chHits[ch], g.rows / g.channels) << "channel " << ch;
+    for (unsigned bg = 0; bg < g.bankGroups; ++bg)
+        EXPECT_EQ(bgHits[bg], g.rows / g.bankGroups) << "bg " << bg;
+}
+
 TEST(HetMap, RoundTripsAcrossBothRegions)
 {
     const DramGeometry g = smallGeometry();

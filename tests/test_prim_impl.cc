@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "telemetry/stats_registry.hh"
 #include "workloads/prim.hh"
 #include "workloads/prim_impl.hh"
 
@@ -91,6 +94,28 @@ TEST(PrimImpl, RejectsBadConfigs)
     EXPECT_THROW(makePrimBenchmark("VA", cfg), SimError);
     cfg.elemsPerDpu = 64;
     EXPECT_THROW(makePrimBenchmark("NOPE", cfg), SimError);
+}
+
+TEST(PrimImpl, RegistersWorkloadStatsGroup)
+{
+    sim::System sys(smallConfig(sim::DesignPoint::BaseDHP));
+    PrimRunConfig cfg;
+    cfg.numDpus = 8;
+    cfg.elemsPerDpu = 64;
+    auto bench = makePrimBenchmark("VA", cfg);
+    const PrimRunResult result = runPrimBenchmark(sys, *bench);
+    ASSERT_TRUE(result.correct);
+
+    // The group retires at the end of the run but must still appear in
+    // a registry dump (--stats-json covers workloads, not just
+    // components).
+    std::ostringstream os;
+    telemetry::StatsRegistry::global().dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"workload.VA\""), std::string::npos);
+    EXPECT_NE(json.find("\"in_bytes\""), std::string::npos);
+    EXPECT_NE(json.find("\"kernel_us\""), std::string::npos);
+    EXPECT_NE(json.find("\"verified\""), std::string::npos);
 }
 
 TEST(PrimImpl, ScanVariantsAgree)

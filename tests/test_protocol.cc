@@ -154,6 +154,47 @@ TEST(ProtocolChecker, DetectsViolationsItself)
                          mapping::DramCoord{0, 0, 0, 0, 5, 0}});
         EXPECT_FALSE(checker.clean());
     }
+    const auto flagged = [](const ProtocolChecker &checker,
+                            const std::string &needle) {
+        for (const std::string &v : checker.violations())
+            if (v.find(needle) != std::string::npos)
+                return true;
+        return false;
+    };
+    {
+        ProtocolChecker checker(t, g);
+        // PRE (legal) then re-ACT of the same bank before tRP.
+        checker.observe({100, DramCommand::Act,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        checker.observe({100 + t.tRAS, DramCommand::Pre,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        checker.observe({100 + t.tRAS + t.tRP - 1, DramCommand::Act,
+                         mapping::DramCoord{0, 0, 0, 0, 6, 0}});
+        ASSERT_FALSE(checker.clean());
+        EXPECT_TRUE(flagged(checker, "tRP"));
+    }
+    {
+        ProtocolChecker checker(t, g);
+        // ACT into a rank still busy refreshing.
+        checker.observe({100, DramCommand::Ref,
+                         mapping::DramCoord{0, 0, 0, 0, 0, 0}});
+        checker.observe({100 + t.tRFC - 1, DramCommand::Act,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        ASSERT_FALSE(checker.clean());
+        EXPECT_TRUE(flagged(checker, "tRFC"));
+    }
+    {
+        ProtocolChecker checker(t, g);
+        // Back-to-back reads in one bank group inside tCCD_L.
+        checker.observe({100, DramCommand::Act,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        checker.observe({100 + t.tRCD, DramCommand::Rd,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 0}});
+        checker.observe({100 + t.tRCD + t.tCCD_L - 1, DramCommand::Rd,
+                         mapping::DramCoord{0, 0, 0, 0, 5, 1}});
+        ASSERT_FALSE(checker.clean());
+        EXPECT_TRUE(flagged(checker, "tCCD_L"));
+    }
     {
         ProtocolChecker checker(t, g);
         // A legal little sequence stays clean.
