@@ -2,7 +2,8 @@
  * @file
  * Shared helpers for the figure-reproduction benchmark binaries:
  * banner/table printing plus the common telemetry CLI
- * (--stats-json <path>, --trace-json <path>).
+ * (--stats-json <path>, --trace-json <path>, --trace-tracks <globs>,
+ * --trace-coalesce-ps <gap>, --threads <n>).
  */
 
 #ifndef PIMMMU_BENCH_BENCH_UTIL_HH
@@ -26,6 +27,9 @@ struct BenchOptions
 {
     std::string statsJson; //!< registry JSON path ("" = don't write)
     std::string traceJson; //!< timeline JSON path ("" = don't trace)
+    std::string traceTracks; //!< comma-separated track globs ("" = all)
+    Tick traceCoalescePs = 0; //!< merge same-name spans within this gap
+    unsigned threads = 1; //!< sweep workers (0 = one per hardware thread)
 };
 
 inline void
@@ -34,7 +38,8 @@ printUsage(const char *prog,
 {
     std::fprintf(stderr,
                  "usage: %s [--stats-json <path>] "
-                 "[--trace-json <path>]",
+                 "[--trace-json <path>] [--trace-tracks <globs>] "
+                 "[--trace-coalesce-ps <gap>] [--threads <n>]",
                  prog);
     for (const char *flag : passthrough)
         std::fprintf(stderr, " [%s]", flag);
@@ -65,6 +70,36 @@ parseOptions(int argc, char **argv,
                 argv[++i];
             continue;
         }
+        if (std::strcmp(arg, "--trace-tracks") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs glob list\n",
+                             argv[0], arg);
+                std::exit(2);
+            }
+            opts.traceTracks = argv[++i];
+            continue;
+        }
+        if (std::strcmp(arg, "--trace-coalesce-ps") == 0 ||
+            std::strcmp(arg, "--threads") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a number\n",
+                             argv[0], arg);
+                std::exit(2);
+            }
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(argv[++i], &end, 10);
+            if (end == nullptr || *end != '\0') {
+                std::fprintf(stderr, "%s: bad number for %s: %s\n",
+                             argv[0], arg, argv[i]);
+                std::exit(2);
+            }
+            if (arg[2] == 't' && arg[3] == 'h')
+                opts.threads = static_cast<unsigned>(v);
+            else
+                opts.traceCoalescePs = static_cast<Tick>(v);
+            continue;
+        }
         if (std::strcmp(arg, "--help") == 0 ||
             std::strcmp(arg, "-h") == 0) {
             printUsage(argv[0], passthrough);
@@ -80,8 +115,13 @@ parseOptions(int argc, char **argv,
             std::exit(2);
         }
     }
+    telemetry::Timeline &tl = telemetry::Timeline::global();
     if (!opts.traceJson.empty())
-        telemetry::Timeline::global().setEnabled(true);
+        tl.setEnabled(true);
+    if (!opts.traceTracks.empty())
+        tl.setTrackFilter(opts.traceTracks);
+    if (opts.traceCoalescePs > 0)
+        tl.setCoalesceGap(opts.traceCoalescePs);
     return opts;
 }
 

@@ -24,6 +24,13 @@ add_fig_bench(fig_queue_depth)
 # invocation, not only in the unit tests.
 add_test(NAME fig_queue_depth_smoke COMMAND fig_queue_depth)
 
+# Engine wall-clock throughput harness (not a paper figure). The smoke
+# entry runs the scaled-down scenarios so a perf-harness regression
+# (crash, bad flag parsing, broken JSON) is caught by every ctest run.
+add_fig_bench(perf_engine)
+add_test(NAME perf_engine_smoke
+         COMMAND perf_engine --quick --out perf_engine_smoke.json)
+
 add_executable(micro_simulator bench/micro_simulator.cc)
 target_link_libraries(micro_simulator PRIVATE pimmmu_sim benchmark::benchmark)
 target_include_directories(micro_simulator PRIVATE ${CMAKE_SOURCE_DIR})

@@ -11,6 +11,7 @@
 #include <numeric>
 
 #include "bench/bench_util.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 
 using namespace pimmmu;
@@ -51,38 +52,45 @@ main(int argc, char **argv)
 
     const double chPeak = 19.2;
 
-    {
-        sim::System sys(
-            sim::SystemConfig::paperTable1(sim::DesignPoint::Base));
-        const auto stats = sys.runTransfer(
-            core::XferDirection::DramToPim, 512, 8 * kKiB);
-        printChannels("(a) software-based DRAM->PIM (PIM channels)",
-                      stats.pimChannelGbps, chPeak);
-        std::printf("windowed imbalance (peak/mean per 100us): %.2f "
-                    "(1.0 = balanced, 4.0 = one channel at a time)\n",
-                    stats.pimWindowImbalance);
-    }
-    {
-        sim::System sys(
-            sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP));
-        const auto stats = sys.runMemcpy(8 * kMiB);
-        std::vector<double> writeGbps = stats.dramChannelGbps;
-        for (auto &v : writeGbps)
-            v /= 2.0; // reads+writes share each channel evenly
-        printChannels("(b) hardware-based DRAM->DRAM memcpy "
-                      "(DRAM channels, write half)",
-                      writeGbps, chPeak);
-    }
-    {
-        sim::System sys(
-            sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP));
-        const auto stats = sys.runTransfer(
-            core::XferDirection::DramToPim, 512, 8 * kKiB);
-        printChannels("(c) PIM-MMU DRAM->PIM with PIM-MS "
-                      "(PIM channels)",
-                      stats.pimChannelGbps, chPeak);
-        std::printf("windowed imbalance (peak/mean per 100us): %.2f\n",
-                    stats.pimWindowImbalance);
-    }
+    // The three measurements are independent Systems: run them as a
+    // sweep (serial with --threads 1, the default) and print in order.
+    sim::TransferStats results[3];
+    sim::SweepRunner runner(opts.threads);
+    runner.run(3, [&](std::size_t j) {
+        if (j == 0) {
+            sim::System sys(sim::SystemConfig::paperTable1(
+                sim::DesignPoint::Base));
+            results[0] = sys.runTransfer(core::XferDirection::DramToPim,
+                                         512, 8 * kKiB);
+        } else if (j == 1) {
+            sim::System sys(sim::SystemConfig::paperTable1(
+                sim::DesignPoint::BaseDHP));
+            results[1] = sys.runMemcpy(8 * kMiB);
+        } else {
+            sim::System sys(sim::SystemConfig::paperTable1(
+                sim::DesignPoint::BaseDHP));
+            results[2] = sys.runTransfer(core::XferDirection::DramToPim,
+                                         512, 8 * kKiB);
+        }
+    });
+
+    printChannels("(a) software-based DRAM->PIM (PIM channels)",
+                  results[0].pimChannelGbps, chPeak);
+    std::printf("windowed imbalance (peak/mean per 100us): %.2f "
+                "(1.0 = balanced, 4.0 = one channel at a time)\n",
+                results[0].pimWindowImbalance);
+
+    std::vector<double> writeGbps = results[1].dramChannelGbps;
+    for (auto &v : writeGbps)
+        v /= 2.0; // reads+writes share each channel evenly
+    printChannels("(b) hardware-based DRAM->DRAM memcpy "
+                  "(DRAM channels, write half)",
+                  writeGbps, chPeak);
+
+    printChannels("(c) PIM-MMU DRAM->PIM with PIM-MS "
+                  "(PIM channels)",
+                  results[2].pimChannelGbps, chPeak);
+    std::printf("windowed imbalance (peak/mean per 100us): %.2f\n",
+                results[2].pimWindowImbalance);
     return bench::finish(opts);
 }

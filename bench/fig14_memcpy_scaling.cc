@@ -8,7 +8,10 @@
  * scales linearly with channel count, and is flat in rank count.
  */
 
+#include <vector>
+
 #include "bench/bench_util.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 
 using namespace pimmmu;
@@ -47,14 +50,36 @@ main(int argc, char **argv)
     const std::uint64_t bytes = 4 * kMiB;
     Table t({"config", "Base GB/s", "PIM-MMU GB/s", "speedup",
              "peak GB/s"});
-    double sum = 0, maxSpeedup = 0;
-    int n = 0;
+
+    // Each (config, design) point is an independent System: run them
+    // as sweep jobs and fill the table in the original loop order.
+    struct Job
+    {
+        sim::DesignPoint design;
+        unsigned channels;
+        unsigned ranks;
+    };
+    std::vector<Job> jobs;
     for (unsigned channels : {1u, 2u, 4u}) {
         for (unsigned ranks : {1u, 2u}) {
-            const double base =
-                measure(sim::DesignPoint::Base, channels, ranks, bytes);
-            const double mmu = measure(sim::DesignPoint::BaseDHP,
-                                       channels, ranks, bytes);
+            jobs.push_back({sim::DesignPoint::Base, channels, ranks});
+            jobs.push_back({sim::DesignPoint::BaseDHP, channels, ranks});
+        }
+    }
+    std::vector<double> gbps(jobs.size());
+    sim::SweepRunner runner(opts.threads);
+    runner.run(jobs.size(), [&](std::size_t j) {
+        gbps[j] = measure(jobs[j].design, jobs[j].channels,
+                          jobs[j].ranks, bytes);
+    });
+
+    double sum = 0, maxSpeedup = 0;
+    int n = 0;
+    std::size_t cell = 0;
+    for (unsigned channels : {1u, 2u, 4u}) {
+        for (unsigned ranks : {1u, 2u}) {
+            const double base = gbps[cell++];
+            const double mmu = gbps[cell++];
             const double peak = channels * 19.2;
             const double speedup = mmu / base;
             t.row()

@@ -16,8 +16,10 @@
  */
 
 #include <cstring>
+#include <vector>
 
 #include "bench/bench_util.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 
 using namespace pimmmu;
@@ -69,8 +71,33 @@ main(int argc, char **argv)
     Table eff({"direction", "KB/PIM-core", "Base GB/J", "+D", "+D+H",
                "+D+H+P", "eff. gain"});
 
+    // Every (direction, size, design) cell is an independent System:
+    // enumerate them as sweep jobs, run (serially unless --threads),
+    // then assemble the tables in the original loop order.
+    struct Job
+    {
+        core::XferDirection dir;
+        std::uint64_t kb;
+        sim::DesignPoint design;
+    };
+    std::vector<Job> jobs;
+    for (core::XferDirection dir : {core::XferDirection::DramToPim,
+                                    core::XferDirection::PimToDram}) {
+        for (std::uint64_t kb : {4ull, 8ull, 16ull, 32ull, 64ull}) {
+            for (int d = 0; d < 4; ++d)
+                jobs.push_back({dir, kb, designs[d]});
+        }
+    }
+    std::vector<Point> cells(jobs.size());
+    sim::SweepRunner runner(opts.threads);
+    runner.run(jobs.size(), [&](std::size_t j) {
+        const Job &job = jobs[j];
+        cells[j] = measure(job.design, job.dir, job.kb * kKiB, fcfs);
+    });
+
     double speedupSum = 0, speedupMax = 0, effSum = 0, effMax = 0;
     int n = 0;
+    std::size_t cell = 0;
     for (core::XferDirection dir : {core::XferDirection::DramToPim,
                                     core::XferDirection::PimToDram}) {
         const char *dirName =
@@ -79,7 +106,7 @@ main(int argc, char **argv)
         for (std::uint64_t kb : {4ull, 8ull, 16ull, 32ull, 64ull}) {
             Point points[4];
             for (int d = 0; d < 4; ++d)
-                points[d] = measure(designs[d], dir, kb * kKiB, fcfs);
+                points[d] = cells[cell++];
             auto &t = thr.row().cell(dirName).num(kb);
             for (int d = 0; d < 4; ++d)
                 t.num(points[d].gbps);

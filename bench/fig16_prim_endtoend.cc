@@ -16,8 +16,10 @@
  */
 
 #include <cmath>
+#include <vector>
 
 #include "bench/bench_util.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 #include "workloads/prim.hh"
 
@@ -70,14 +72,26 @@ main(int argc, char **argv)
              "xfer frac%", "mmu D2P ms", "mmu P2D ms", "norm. time",
              "speedup"});
 
+    // One job per (workload, design). A job stays a full measure()
+    // call — both transfers run on the same System, so splitting them
+    // would change the simulated machine state between them.
+    const auto &suite = workloads::primSuite();
+    std::vector<Breakdown> cells(suite.size() * 2);
+    sim::SweepRunner runner(opts.threads);
+    runner.run(cells.size(), [&](std::size_t j) {
+        const auto &w = suite[j / 2];
+        const sim::DesignPoint design = (j % 2) == 0
+                                            ? sim::DesignPoint::Base
+                                            : sim::DesignPoint::BaseDHP;
+        cells[j] = measure(design, w, numDpus);
+    });
+
     double speedupProd = 1.0, speedupMax = 0.0;
     double d2pGainSum = 0, p2dGainSum = 0, fracSum = 0, fracMax = 0;
-    const auto &suite = workloads::primSuite();
+    std::size_t cell = 0;
     for (const auto &w : suite) {
-        const Breakdown base =
-            measure(sim::DesignPoint::Base, w, numDpus);
-        const Breakdown mmu =
-            measure(sim::DesignPoint::BaseDHP, w, numDpus);
+        const Breakdown base = cells[cell++];
+        const Breakdown mmu = cells[cell++];
         const double frac =
             100.0 * (base.d2pMs + base.p2dMs) / base.total();
         const double speedup = base.total() / mmu.total();

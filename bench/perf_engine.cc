@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Wall-clock performance harness for the simulation engine itself (not
+ * a paper figure). Runs a fixed set of simulation scenarios, reports
+ * events/second and simulated-time per wall-second for each, and
+ * optionally writes a machine-readable BENCH_engine.json so CI can
+ * archive engine-throughput history.
+ *
+ * Scenarios:
+ *   xfer_sw  - Fig. 6(a): software DRAM->PIM transfer, Base design
+ *   xfer_mmu - Fig. 6(c): PIM-MMU DRAM->PIM transfer, BaseDHP design
+ *   va       - Fig. 16 VA workload, both transfer directions, BaseDHP
+ *   memcpy   - Fig. 14-style DRAM->DRAM memcpy, BaseDHP design
+ *
+ * Usage: perf_engine [--quick] [--reps <n>] [--out <path>]
+ *   --quick scales the scenarios down (fewer DPUs, smaller buffers) so
+ *   the binary doubles as a fast ctest smoke test; the JSON records
+ *   which mode produced it. Wall times are best-of-<reps> to shave
+ *   scheduler noise; events/sim-time are identical across reps by
+ *   determinism.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "workloads/prim.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+struct ScenarioResult
+{
+    std::string name;
+    std::uint64_t events = 0;  //!< events executed (per rep)
+    Tick simPs = 0;            //!< simulated time covered (per rep)
+    double bestWallSec = 0.0;  //!< best-of-reps wall time
+};
+
+double
+wallSecondsSince(std::chrono::steady_clock::time_point t0)
+{
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double>(dt).count();
+}
+
+/**
+ * Run @p body (which builds a System and runs it to completion) once
+ * per rep, keeping the best wall time. The event/sim-time counts are
+ * taken from the last rep; determinism makes every rep identical.
+ */
+template <typename Body>
+ScenarioResult
+runScenario(const char *name, int reps, Body &&body)
+{
+    ScenarioResult r;
+    r.name = name;
+    r.bestWallSec = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        body(r);
+        const double wall = wallSecondsSince(t0);
+        if (wall < r.bestWallSec)
+            r.bestWallSec = wall;
+    }
+    std::printf("  %-8s  %12llu events  %8.1f ms wall  %6.2f Mev/s  "
+                "%7.3f sim-ms/wall-s\n",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.events),
+                r.bestWallSec * 1e3,
+                static_cast<double>(r.events) / r.bestWallSec / 1e6,
+                static_cast<double>(r.simPs) / 1e9 / r.bestWallSec);
+    std::fflush(stdout);
+    return r;
+}
+
+bool
+writeJson(const std::string &path, bool quick, int reps,
+          const std::vector<ScenarioResult> &results)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << "{\n  \"schema\": \"pim-mmu-bench-engine-v1\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"reps\": " << reps << ",\n";
+    os << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &r = results[i];
+        const double evPerSec =
+            static_cast<double>(r.events) / r.bestWallSec;
+        char buf[384];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"events\": %llu, "
+                      "\"sim_ps\": %llu, \"wall_s\": %.6f, "
+                      "\"events_per_sec\": %.0f}%s\n",
+                      r.name.c_str(),
+                      static_cast<unsigned long long>(r.events),
+                      static_cast<unsigned long long>(r.simPs),
+                      r.bestWallSec, evPerSec,
+                      i + 1 < results.size() ? "," : "");
+        os << buf;
+    }
+    os << "  ]\n}\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    int reps = 3;
+    std::string outPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--reps") == 0 &&
+                   i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+            if (reps < 1)
+                reps = 1;
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            outPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--reps <n>] "
+                         "[--out <path>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (quick)
+        reps = 1;
+
+    const unsigned dpus = quick ? 64 : 512;
+    const std::uint64_t xferBytes = quick ? 2 * kKiB : 8 * kKiB;
+    const std::uint64_t memcpyBytes = quick ? kMiB : 8 * kMiB;
+
+    std::printf("engine throughput harness (%s mode, best of %d)\n",
+                quick ? "quick" : "full", reps);
+
+    std::vector<ScenarioResult> results;
+
+    results.push_back(runScenario(
+        "xfer_sw", reps, [&](ScenarioResult &r) {
+            sim::System sys(sim::SystemConfig::paperTable1(
+                sim::DesignPoint::Base));
+            sys.runTransfer(core::XferDirection::DramToPim, dpus,
+                            xferBytes);
+            r.events = sys.eq().executed();
+            r.simPs = sys.eq().now();
+        }));
+
+    results.push_back(runScenario(
+        "xfer_mmu", reps, [&](ScenarioResult &r) {
+            sim::System sys(sim::SystemConfig::paperTable1(
+                sim::DesignPoint::BaseDHP));
+            sys.runTransfer(core::XferDirection::DramToPim, dpus,
+                            xferBytes);
+            r.events = sys.eq().executed();
+            r.simPs = sys.eq().now();
+        }));
+
+    results.push_back(runScenario("va", reps, [&](ScenarioResult &r) {
+        const workloads::PrimWorkload &w = workloads::primWorkload("VA");
+        const std::uint64_t inB =
+            quick ? w.inputBytesPerDpu / 8 : w.inputBytesPerDpu;
+        const std::uint64_t outB =
+            quick ? w.outputBytesPerDpu / 8 : w.outputBytesPerDpu;
+        sim::System sys(sim::SystemConfig::paperTable1(
+            sim::DesignPoint::BaseDHP));
+        sys.runTransfer(core::XferDirection::DramToPim, dpus, inB);
+        sys.runTransfer(core::XferDirection::PimToDram, dpus, outB);
+        r.events = sys.eq().executed();
+        r.simPs = sys.eq().now();
+    }));
+
+    results.push_back(runScenario(
+        "memcpy", reps, [&](ScenarioResult &r) {
+            sim::System sys(sim::SystemConfig::paperTable1(
+                sim::DesignPoint::BaseDHP));
+            sys.runMemcpy(memcpyBytes);
+            r.events = sys.eq().executed();
+            r.simPs = sys.eq().now();
+        }));
+
+    std::uint64_t totalEvents = 0;
+    double totalWall = 0;
+    for (const ScenarioResult &r : results) {
+        totalEvents += r.events;
+        totalWall += r.bestWallSec;
+    }
+    std::printf("total: %llu events in %.2f s => %.2f Mev/s\n",
+                static_cast<unsigned long long>(totalEvents), totalWall,
+                static_cast<double>(totalEvents) / totalWall / 1e6);
+
+    if (!outPath.empty()) {
+        if (!writeJson(outPath, quick, reps, results)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", outPath.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A small-buffer-optimized, move-only callable wrapper for the event
+ * kernel's hot path.
+ *
+ * `std::function` heap-allocates for captures beyond ~16 bytes, which
+ * makes every EventQueue::schedule() of a non-trivial lambda an
+ * allocation. InlineFunction stores captures up to `Capacity` bytes
+ * inline in the event entry itself (larger callables fall back to one
+ * heap allocation), so the common controller/Ticker reschedule never
+ * touches the allocator.
+ *
+ * Move-only on purpose: event callbacks are consumed exactly once, and
+ * copyability is what forces std::function to type-erase with an
+ * allocating clone operation.
+ */
+
+#ifndef PIMMMU_COMMON_INLINE_FUNCTION_HH
+#define PIMMMU_COMMON_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace pimmmu {
+
+template <std::size_t Capacity>
+class InlineFunction
+{
+  public:
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineFunction(F &&f) // NOLINT: implicit like std::function
+    {
+        using D = std::decay_t<F>;
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(storage_))
+                D(std::forward<F>(f));
+            vt_ = &kInlineVTable<D>;
+        } else {
+            *reinterpret_cast<D **>(storage_) =
+                new D(std::forward<F>(f));
+            vt_ = &kHeapVTable<D>;
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept
+        : vt_(other.vt_)
+    {
+        if (vt_) {
+            vt_->relocate(storage_, other.storage_);
+            other.vt_ = nullptr;
+        }
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this == &other)
+            return *this;
+        if (vt_)
+            vt_->destroy(storage_);
+        vt_ = other.vt_;
+        if (vt_) {
+            vt_->relocate(storage_, other.storage_);
+            other.vt_ = nullptr;
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction()
+    {
+        if (vt_)
+            vt_->destroy(storage_);
+    }
+
+    void
+    operator()()
+    {
+        PIMMMU_ASSERT(vt_, "calling an empty InlineFunction");
+        vt_->invoke(storage_);
+    }
+
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    /** True when a callable of type F avoids the heap fallback. */
+    template <typename F>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(F) <= Capacity &&
+               alignof(F) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<F>;
+    }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *slot);
+        /** Move-construct into @p dst from @p src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *slot) noexcept;
+    };
+
+    template <typename F>
+    static F *
+    inlineObj(void *slot)
+    {
+        return std::launder(reinterpret_cast<F *>(slot));
+    }
+
+    template <typename F>
+    static constexpr VTable kInlineVTable = {
+        [](void *slot) { (*inlineObj<F>(slot))(); },
+        [](void *dst, void *src) noexcept {
+            F *from = inlineObj<F>(src);
+            ::new (dst) F(std::move(*from));
+            from->~F();
+        },
+        [](void *slot) noexcept { inlineObj<F>(slot)->~F(); },
+    };
+
+    template <typename F>
+    static F *&
+    heapObj(void *slot)
+    {
+        return *std::launder(reinterpret_cast<F **>(slot));
+    }
+
+    template <typename F>
+    static constexpr VTable kHeapVTable = {
+        [](void *slot) { (*heapObj<F>(slot))(); },
+        [](void *dst, void *src) noexcept {
+            // Steal the pointer; no object is moved.
+            *reinterpret_cast<F **>(dst) = heapObj<F>(src);
+        },
+        [](void *slot) noexcept { delete heapObj<F>(slot); },
+    };
+
+    const VTable *vt_ = nullptr;
+    alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+} // namespace pimmmu
+
+#endif // PIMMMU_COMMON_INLINE_FUNCTION_HH

@@ -1,7 +1,9 @@
 #include "common/trace.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 #include "common/event_queue.hh"
 
@@ -12,10 +14,11 @@ namespace {
 
 struct TraceState
 {
-    std::array<bool, kNumCategories> enabled{};
+    // Written at startup / from tests, read from every simulation
+    // thread; relaxed atomics keep concurrent sweeps race-free.
+    std::array<std::atomic<bool>, kNumCategories> enabled{};
     std::ostream *out = &std::cerr;
-    const EventQueue *clock = nullptr;
-    bool envApplied = false;
+    std::once_flag envOnce;
 };
 
 TraceState &
@@ -24,6 +27,12 @@ state()
     static TraceState instance;
     return instance;
 }
+
+/**
+ * The registered simulated clock. Thread-local: each sweep worker's
+ * System stamps trace lines with its own clock, without racing.
+ */
+thread_local const EventQueue *tlsClock = nullptr;
 
 const char *const kNames[kNumCategories] = {"dram", "dce", "cpu",
                                             "sched", "pim", "xfer"};
@@ -51,61 +60,64 @@ parseCategory(const std::string &name, Category &out)
 void
 enable(Category cat)
 {
-    state().enabled[static_cast<std::size_t>(cat)] = true;
+    state().enabled[static_cast<std::size_t>(cat)].store(
+        true, std::memory_order_relaxed);
 }
 
 void
 disable(Category cat)
 {
-    state().enabled[static_cast<std::size_t>(cat)] = false;
+    state().enabled[static_cast<std::size_t>(cat)].store(
+        false, std::memory_order_relaxed);
 }
 
 void
 enableAll()
 {
-    state().enabled.fill(true);
+    for (auto &flag : state().enabled)
+        flag.store(true, std::memory_order_relaxed);
 }
 
 void
 disableAll()
 {
-    state().enabled.fill(false);
+    for (auto &flag : state().enabled)
+        flag.store(false, std::memory_order_relaxed);
 }
 
 void
 applyEnvironment()
 {
-    TraceState &st = state();
-    if (st.envApplied)
-        return;
-    st.envApplied = true;
-    const char *env = std::getenv("PIMMMU_TRACE");
-    if (!env)
-        return;
-    std::string token;
-    for (const char *p = env;; ++p) {
-        if (*p == ',' || *p == '\0') {
-            if (token == "all") {
-                enableAll();
-            } else if (!token.empty()) {
-                Category cat;
-                if (parseCategory(token, cat))
-                    enable(cat);
+    std::call_once(state().envOnce, [] {
+        const char *env = std::getenv("PIMMMU_TRACE");
+        if (!env)
+            return;
+        std::string token;
+        for (const char *p = env;; ++p) {
+            if (*p == ',' || *p == '\0') {
+                if (token == "all") {
+                    enableAll();
+                } else if (!token.empty()) {
+                    Category cat;
+                    if (parseCategory(token, cat))
+                        enable(cat);
+                }
+                token.clear();
+                if (*p == '\0')
+                    break;
+            } else {
+                token += *p;
             }
-            token.clear();
-            if (*p == '\0')
-                break;
-        } else {
-            token += *p;
         }
-    }
+    });
 }
 
 bool
 enabled(Category cat)
 {
     applyEnvironment();
-    return state().enabled[static_cast<std::size_t>(cat)];
+    return state().enabled[static_cast<std::size_t>(cat)].load(
+        std::memory_order_relaxed);
 }
 
 void
@@ -117,20 +129,20 @@ setOutput(std::ostream *os)
 void
 setClock(const EventQueue *eq)
 {
-    state().clock = eq;
+    tlsClock = eq;
 }
 
 void
 clearClock(const EventQueue *eq)
 {
-    if (state().clock == eq)
-        state().clock = nullptr;
+    if (tlsClock == eq)
+        tlsClock = nullptr;
 }
 
 Tick
 now()
 {
-    const EventQueue *eq = state().clock;
+    const EventQueue *eq = tlsClock;
     return eq ? eq->now() : Tick{0};
 }
 

@@ -67,7 +67,8 @@ void setOutput(std::ostream *os);
 /**
  * Register the simulated clock (normally done by sim::System) so
  * functional-plane code without an EventQueue reference can still
- * timestamp its trace lines. Not owned; pass nullptr to clear.
+ * timestamp its trace lines. Thread-local: each sweep worker's System
+ * registers its own clock. Not owned; pass nullptr to clear.
  */
 void setClock(const EventQueue *eq);
 

@@ -1,5 +1,7 @@
 #include "core/dce.hh"
 
+#include <sstream>
+
 #include "common/trace.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
@@ -152,6 +154,39 @@ Dce::onWriteComplete(std::size_t slot)
     finishIfDone();
     if (active_)
         ticker_.arm();
+}
+
+std::string
+Dce::outstandingSummary() const
+{
+    std::ostringstream os;
+    if (!active_) {
+        os << "dce idle";
+        if (!pending_.empty())
+            os << " (" << pending_.size() << " transfers still queued)";
+        return os.str();
+    }
+    const ActiveTransfer &at = *active_;
+    os << "transfer#" << at.id << " "
+       << (at.transfer.dir == XferDirection::DramToPim ? "D->P" : "P->D")
+       << " linesRemaining=" << at.linesRemaining << "/"
+       << at.transfer.totalLines() << " readsInflight=" << readsInflight_
+       << " writesInflight=" << writesInflight_ << " freeDataSlots="
+       << freeDataSlots_ << " queued=" << pending_.size();
+    // Name the first few unfinished streams: usually one stuck bank
+    // explains the hang.
+    unsigned shown = 0;
+    for (std::size_t i = 0; i < at.state.size() && shown < 4; ++i) {
+        const StreamState &st = at.state[i];
+        const BankStream &s = at.transfer.streams[i];
+        if (st.writesDone >= s.totalLines)
+            continue;
+        os << " [stream" << i << " bank" << s.bankIdx << " reads="
+           << st.readsIssued << " credits=" << st.writeCredits
+           << " writes=" << st.writesDone << "/" << s.totalLines << "]";
+        ++shown;
+    }
+    return os.str();
 }
 
 std::size_t

@@ -96,6 +96,14 @@ class Dce
     /** Cumulative engine-active time, for the power model. */
     Tick busyPs() const { return busyPs_; }
 
+    /**
+     * One-line description of whatever the engine still owes: active
+     * transfer progress, stuck streams, in-flight request counts and
+     * buffer credits. Used by drained-queue diagnostics when a run
+     * ends with a transfer incomplete.
+     */
+    std::string outstandingSummary() const;
+
     const DceConfig &config() const { return config_; }
     stats::Group &stats() { return stats_; }
 

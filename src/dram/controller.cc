@@ -124,6 +124,7 @@ MemoryController::enqueue(MemRequest req)
         }
     }
     (req.write ? writeQueue_ : readQueue_).push_back(std::move(req));
+    rowHitMapValid_ = false;
     ticker_.arm();
     return true;
 }
@@ -144,17 +145,127 @@ MemoryController::notifyDrain()
 void
 MemoryController::updateRowHitMap()
 {
+    if (rowHitMapValid_)
+        return;
     // Only requests in the currently serviced queue can actually use
     // an open row; honoring hits from the other queue would let an
     // unservable request veto the precharge forever (deadlock).
     std::fill(openRowHasHit_.begin(), openRowHasHit_.end(), false);
+    if (bankHasNonHit_.size() != banks_.size())
+        bankHasNonHit_.assign(banks_.size(), false);
+    else
+        std::fill(bankHasNonHit_.begin(), bankHasNonHit_.end(), false);
+    rowHitCount_ = 0;
+    nonHitRequests_ = 0;
     const auto &queue = writeMode_ ? writeQueue_ : readQueue_;
     for (const auto &req : queue) {
         const unsigned idx = bankIndexOf(req.coord);
         const BankState &bs = banks_[idx];
-        if (bs.open && bs.row == req.coord.ro)
-            openRowHasHit_[idx] = true;
+        if (bs.open && bs.row == req.coord.ro) {
+            if (!openRowHasHit_[idx]) {
+                openRowHasHit_[idx] = true;
+                ++rowHitCount_;
+            }
+        } else {
+            ++nonHitRequests_;
+            bankHasNonHit_[idx] = true;
+        }
     }
+    rowHitMapValid_ = true;
+}
+
+bool
+MemoryController::anyRankColumnReady(Cycle now, bool write) const
+{
+    const Cycle lat = write ? timing_.CWL : timing_.CL;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        const RankState &rs = ranks_[r];
+        if (rs.refreshPending || now < rs.colReady)
+            continue;
+        if (write ? now < rs.wrReady : now < rs.rdReady)
+            continue;
+        Cycle busNeeded = dataBusFree_;
+        if (lastDataRank_ >= 0 &&
+            static_cast<unsigned>(lastDataRank_) != r) {
+            busNeeded += timing_.tRTRS;
+        }
+        if (now + lat < busNeeded)
+            continue;
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::anyBankColumnReady(Cycle now, bool write) const
+{
+    const Cycle lat = write ? timing_.CWL : timing_.CL;
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        if (!openRowHasHit_[b])
+            continue;
+        const BankState &bs = banks_[b];
+        if (now < bs.colReady)
+            continue;
+        const unsigned ra =
+            static_cast<unsigned>(b) / geom_.banksPerRank();
+        const RankState &rs = ranks_[ra];
+        if (rs.refreshPending || now < rs.colReady)
+            continue;
+        if (write ? now < rs.wrReady : now < rs.rdReady)
+            continue;
+        const unsigned bg = (static_cast<unsigned>(b) %
+                             geom_.banksPerRank()) /
+                            geom_.banksPerGroup;
+        const BankGroupState &bgs =
+            bankGroups_[ra * geom_.bankGroups + bg];
+        if (now < bgs.colReady || (!write && now < bgs.rdReady))
+            continue;
+        Cycle busNeeded = dataBusFree_;
+        if (lastDataRank_ >= 0 &&
+            static_cast<unsigned>(lastDataRank_) != ra) {
+            busNeeded += timing_.tRTRS;
+        }
+        if (now + lat < busNeeded)
+            continue;
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::anyBankActPreReady(Cycle now) const
+{
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        if (!bankHasNonHit_[b])
+            continue;
+        const BankState &bs = banks_[b];
+        if (bs.open) {
+            // A non-hit request on an open bank is a row conflict: PRE
+            // is legal unless the open row still has pending hits.
+            if (!openRowHasHit_[b] && now >= bs.preReady)
+                return true;
+            continue;
+        }
+        const unsigned ra =
+            static_cast<unsigned>(b) / geom_.banksPerRank();
+        const RankState &rs = ranks_[ra];
+        if (rs.refreshPending)
+            continue;
+        if (now < bs.actReady)
+            continue;
+        const unsigned bg = (static_cast<unsigned>(b) %
+                             geom_.banksPerRank()) /
+                            geom_.banksPerGroup;
+        const BankGroupState &bgs =
+            bankGroups_[ra * geom_.bankGroups + bg];
+        if (now < bgs.actReady || now < rs.actReady)
+            continue;
+        const Cycle oldestAct = rs.fawRing[rs.fawIdx];
+        if (oldestAct != 0 && now < oldestAct + timing_.tFAW)
+            continue;
+        return true;
+    }
+    return false;
 }
 
 bool
@@ -179,6 +290,7 @@ MemoryController::serviceRefresh(Cycle now)
                     bs.open = false;
                     bs.actReady =
                         std::max<Cycle>(bs.actReady, now + timing_.tRP);
+                    rowHitMapValid_ = false;
                     ++stats_.counter("refresh_forced_pre");
                     if (commandListener_) {
                         mapping::DramCoord c;
@@ -285,6 +397,7 @@ MemoryController::tryIssueActOrPre(const MemRequest &req, Cycle now)
         const unsigned closedRow = bs.row;
         bs.open = false;
         bs.actReady = std::max<Cycle>(bs.actReady, now + timing_.tRP);
+        rowHitMapValid_ = false;
         ++stats_.counter("row_conflicts");
         ++stats_.counter("precharges");
         if (commandListener_) {
@@ -309,6 +422,7 @@ MemoryController::tryIssueActOrPre(const MemRequest &req, Cycle now)
 
     bs.open = true;
     bs.row = c.ro;
+    rowHitMapValid_ = false;
     bs.colReady = now + timing_.tRCD;
     bs.preReady = std::max<Cycle>(bs.preReady, now + timing_.tRAS);
     bs.actReady = now + timing_.tRC;
@@ -356,11 +470,21 @@ MemoryController::finishColumn(MemRequest req, Cycle issue, bool write)
     }
 
     ++inflight_;
-    eq_.schedule(timing_.cyclesToPs(dataEnd), [this, req = std::move(
-                                                         req)]() mutable {
+    std::uint32_t slot;
+    if (freeInflightSlots_.empty()) {
+        slot = static_cast<std::uint32_t>(inflightReqs_.size());
+        inflightReqs_.emplace_back();
+    } else {
+        slot = freeInflightSlots_.back();
+        freeInflightSlots_.pop_back();
+    }
+    inflightReqs_[slot] = std::move(req);
+    eq_.schedule(timing_.cyclesToPs(dataEnd), [this, slot] {
+        MemRequest done = std::move(inflightReqs_[slot]);
+        freeInflightSlots_.push_back(slot);
         --inflight_;
-        if (req.onComplete)
-            req.onComplete(req);
+        if (done.onComplete)
+            done.onComplete(done);
         notifyDrain();
     });
 }
@@ -386,6 +510,7 @@ MemoryController::issueRead(std::deque<MemRequest>::iterator it, Cycle now)
         commandListener_(CommandRecord{now, DramCommand::Rd, c});
     finishColumn(std::move(*it), now, false);
     readQueue_.erase(it);
+    rowHitMapValid_ = false;
 }
 
 void
@@ -409,6 +534,7 @@ MemoryController::issueWrite(std::deque<MemRequest>::iterator it,
         commandListener_(CommandRecord{now, DramCommand::Wr, c});
     finishColumn(std::move(*it), now, true);
     writeQueue_.erase(it);
+    rowHitMapValid_ = false;
 }
 
 void
@@ -448,7 +574,9 @@ MemoryController::dumpState(std::ostream &os) const
 bool
 MemoryController::tick()
 {
-    const Cycle now = nowCycle();
+    // tick() only runs as the ticker handler, so the ticker's cached
+    // cycle index is valid — saves a 64-bit division per DRAM cycle.
+    const Cycle now = ticker_.firingCycle();
 
     if (readQueue_.empty() && writeQueue_.empty()) {
         // Nothing to do: sleep. Refresh bookkeeping restarts on the
@@ -461,6 +589,7 @@ MemoryController::tick()
         return true;
 
     // Write drain mode control.
+    const bool prevMode = writeMode_;
     if (writeMode_) {
         if (writeQueue_.size() <= config_.writeLowWatermark &&
             !readQueue_.empty()) {
@@ -474,6 +603,8 @@ MemoryController::tick()
             writeMode_ = !writeQueue_.empty();
         }
     }
+    if (writeMode_ != prevMode)
+        rowHitMapValid_ = false;
 
     auto &queue = writeMode_ ? writeQueue_ : readQueue_;
     const bool isWrite = writeMode_;
@@ -482,30 +613,107 @@ MemoryController::tick()
         config_.policy == SchedPolicy::Fcfs ? 1 : queue.size();
 
     // Pass 1 (FR): oldest row-hit whose column command is legal now.
-    for (std::size_t i = 0; i < horizon; ++i) {
-        auto it = queue.begin() + static_cast<std::ptrdiff_t>(i);
-        if (tryIssueColumn(*it, now)) {
-            if (isWrite)
-                issueWrite(it, now);
-            else
-                issueRead(it, now);
-            return true;
+    // The scan can only succeed when some queued request targets an
+    // open row AND some rank clears the rank-level column gates; both
+    // prefilters are exact, so skipping changes no issue decision —
+    // it just avoids an O(queue) walk on the (common) stalled cycles.
+    updateRowHitMap();
+    if (rowHitCount_ > 0 && anyRankColumnReady(now, isWrite) &&
+        anyBankColumnReady(now, isWrite)) {
+        for (std::size_t i = 0; i < horizon; ++i) {
+            auto it = queue.begin() + static_cast<std::ptrdiff_t>(i);
+            if (tryIssueColumn(*it, now)) {
+                if (isWrite)
+                    issueWrite(it, now);
+                else
+                    issueRead(it, now);
+                return true;
+            }
         }
     }
 
-    // Pass 2 (FCFS): oldest request that needs ACT or PRE.
-    updateRowHitMap();
-    for (std::size_t i = 0; i < horizon; ++i) {
-        auto it = queue.begin() + static_cast<std::ptrdiff_t>(i);
-        BankState &bs = bank(it->coord);
-        if (bs.open && bs.row == it->coord.ro)
-            continue; // waiting on column timing only
-        if (tryIssueActOrPre(*it, now))
-            return true;
+    // Pass 2 (FCFS): oldest request that needs ACT or PRE. When every
+    // queued request is a row hit there is nothing to activate or
+    // precharge — and when no targeted bank clears the ACT/PRE gates
+    // the scan must come up empty — so it is skipped (exact).
+    if (nonHitRequests_ > 0 && anyBankActPreReady(now)) {
+        for (std::size_t i = 0; i < horizon; ++i) {
+            auto it = queue.begin() + static_cast<std::ptrdiff_t>(i);
+            BankState &bs = bank(it->coord);
+            if (bs.open && bs.row == it->coord.ro)
+                continue; // waiting on column timing only
+            if (tryIssueActOrPre(*it, now))
+                return true;
+        }
     }
 
-    ++stats_.counter("idle_cycles");
+    if (!idleCycles_) {
+        idleCycles_ = &stats_.counter("idle_cycles");
+        stallRefresh_ = &stats_.counter("stall_refresh_cycles");
+        stallBankGroup_ = &stats_.counter("stall_bank_group_cycles");
+        stallBus_ = &stats_.counter("stall_bus_cycles");
+        stallOther_ = &stats_.counter("stall_other_cycles");
+    }
+    ++*idleCycles_;
+    classifyStall(now);
     return true;
+}
+
+void
+MemoryController::classifyStall(Cycle now)
+{
+    // Why did a non-empty queue issue nothing this cycle? Attribute
+    // the idle cycle to the oldest blocked request: mirror the
+    // issue-path checks in queue (age) order and charge the first
+    // definite blocker found — refresh drain, bank-group conflict
+    // (tCCD_L / tWTR_L / tRRD_L), or shared data bus. Requests waiting
+    // on intra-bank timing (tRCD, tRP, tFAW, rank-level turnaround, or
+    // a row held open for someone else) classify as "other" and the
+    // scan moves on. This runs every idle DRAM cycle, so it stops at
+    // the first verdict instead of sweeping the whole queue.
+    // Quantifies the bus-utilization gap flagged in ROADMAP.
+    const auto &queue = writeMode_ ? writeQueue_ : readQueue_;
+    for (const auto &req : queue) {
+        const mapping::DramCoord &c = req.coord;
+        const RankState &rs = ranks_[c.ra];
+        if (rs.refreshPending || now < rs.refreshDone) {
+            ++*stallRefresh_;
+            return;
+        }
+        const BankState &bs = banks_[bankIndexOf(c)];
+        const BankGroupState &bgs =
+            bankGroups_[c.ra * geom_.bankGroups + c.bg];
+        if (bs.open && bs.row == c.ro) {
+            if (now < bs.colReady)
+                continue; // tRCD: other
+            if (now < bgs.colReady ||
+                (!req.write && now < bgs.rdReady)) {
+                ++*stallBankGroup_;
+                return;
+            }
+            if (now < rs.colReady ||
+                (req.write ? now < rs.wrReady : now < rs.rdReady))
+                continue; // rank-level timing: other
+            const Cycle lat = req.write ? timing_.CWL : timing_.CL;
+            Cycle busNeeded = dataBusFree_;
+            if (lastDataRank_ >= 0 &&
+                static_cast<unsigned>(lastDataRank_) != c.ra) {
+                busNeeded += timing_.tRTRS;
+            }
+            if (now + lat < busNeeded) {
+                ++*stallBus_;
+                return;
+            }
+        } else if (!bs.open) {
+            if (now >= bs.actReady && now < bgs.actReady) {
+                ++*stallBankGroup_; // tRRD_L is the binding constraint
+                return;
+            }
+        }
+        // Row conflicts held open for other requests, tRP, tRRD_S and
+        // tFAW all land in "other".
+    }
+    ++*stallOther_;
 }
 
 } // namespace dram

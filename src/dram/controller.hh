@@ -150,8 +150,29 @@ class MemoryController
     bool tryIssueColumn(const MemRequest &req, Cycle now);
     bool tryIssueActOrPre(const MemRequest &req, Cycle now);
     bool serviceRefresh(Cycle now);
+    /** Attribute an idle cycle to its dominant blocker (stats). */
+    void classifyStall(Cycle now);
     /** Refresh openRowHasHit_ from the current queue contents. */
     void updateRowHitMap();
+    /**
+     * Can any rank pass the rank-level column gates (refresh drain,
+     * tCCD_S, turnaround, shared data bus) this cycle? When not, no
+     * column command can issue at all and the FR scan is skipped.
+     */
+    bool anyRankColumnReady(Cycle now, bool write) const;
+    /**
+     * Full column-feasibility gate: does any bank with a pending row
+     * hit clear every check tryIssueColumn applies? Column legality
+     * depends only on bank/bank-group/rank state (the serviced queue
+     * is all-read or all-write), so this O(banks) scan is an exact
+     * stand-in for the O(queue) FR scan on cycles where it must fail.
+     */
+    bool anyBankColumnReady(Cycle now, bool write) const;
+    /**
+     * Same idea for the ACT/PRE pass: can any bank with a queued
+     * non-hit request issue a precharge or activate this cycle?
+     */
+    bool anyBankActPreReady(Cycle now) const;
     void issueRead(std::deque<MemRequest>::iterator it, Cycle now);
     void issueWrite(std::deque<MemRequest>::iterator it, Cycle now);
     void finishColumn(MemRequest req, Cycle issue, bool write);
@@ -181,6 +202,22 @@ class MemoryController
     std::vector<RankState> ranks_;
     /** Per-bank: a queued request targets the currently open row. */
     std::vector<bool> openRowHasHit_;
+    /**
+     * openRowHasHit_ / rowHitCount_ are valid for the current serviced
+     * queue. tick() runs every DRAM cycle but the map's inputs (queue
+     * contents, bank open rows, write mode) only change when a command
+     * issues or a request arrives, so consecutive idle cycles reuse it.
+     */
+    bool rowHitMapValid_ = false;
+    /** Banks with a pending row hit (0 => the FR pass cannot issue). */
+    unsigned rowHitCount_ = 0;
+    /**
+     * Queued requests that are NOT row hits (0 => the ACT/PRE pass
+     * cannot issue: every request just waits on column timing).
+     */
+    unsigned nonHitRequests_ = 0;
+    /** Per-bank: a queued non-hit request targets this bank. */
+    std::vector<bool> bankHasNonHit_;
 
     Cycle dataBusFree_ = 0;
     int lastDataRank_ = -1;
@@ -189,11 +226,29 @@ class MemoryController
     std::uint64_t bytesWritten_ = 0;
     Tick busBusyPs_ = 0;
     std::size_t inflight_ = 0;
+    /**
+     * Requests whose data burst is on the bus, parked here so the
+     * completion event only captures a slot index (keeps the event
+     * callback inside EventQueue's inline storage; slots are recycled).
+     */
+    std::vector<MemRequest> inflightReqs_;
+    std::vector<std::uint32_t> freeInflightSlots_;
 
     std::vector<std::function<void()>> drainListeners_;
     CommandListener commandListener_;
     stats::Group stats_;
     unsigned timelineTrack_ = 0;
+
+    /**
+     * Stall counters, cached on the first idle cycle: tick() runs per
+     * DRAM cycle and a by-name counter lookup there is measurable.
+     * Group counters live in a std::map, so the addresses are stable.
+     */
+    stats::Counter *idleCycles_ = nullptr;
+    stats::Counter *stallRefresh_ = nullptr;
+    stats::Counter *stallBankGroup_ = nullptr;
+    stats::Counter *stallBus_ = nullptr;
+    stats::Counter *stallOther_ = nullptr;
 };
 
 } // namespace dram

@@ -1,0 +1,105 @@
+#include "sim/sweep_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
+
+namespace pimmmu {
+namespace sim {
+
+unsigned
+SweepRunner::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(threads == 0 ? defaultThreads() : threads)
+{
+}
+
+void
+SweepRunner::run(std::size_t jobCount,
+                 const std::function<void(std::size_t)> &fn)
+{
+    if (jobCount == 0)
+        return;
+
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, jobCount));
+    if (workers <= 1) {
+        // Caller-thread fast path: telemetry accumulates directly in
+        // the caller's registries, exactly like the pre-pool benches.
+        for (std::size_t j = 0; j < jobCount; ++j)
+            fn(j);
+        return;
+    }
+
+    struct JobResult
+    {
+        std::vector<stats::Group> retired;
+        telemetry::Timeline timeline;
+        std::exception_ptr error;
+    };
+    std::vector<JobResult> results(jobCount);
+
+    // Snapshot the caller's timeline configuration (enabled flag,
+    // coalesce gap, track filter) so worker-thread timelines record
+    // under the same policy.
+    telemetry::Timeline config;
+    config.configureLike(telemetry::Timeline::global());
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        telemetry::Timeline::global().configureLike(config);
+        for (;;) {
+            const std::size_t j =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (j >= jobCount)
+                break;
+            try {
+                fn(j);
+            } catch (...) {
+                results[j].error = std::current_exception();
+            }
+            // Harvest this job's telemetry before the next job reuses
+            // the worker's thread-local registries.
+            results[j].retired =
+                telemetry::StatsRegistry::global().takeRetired();
+            results[j].timeline = telemetry::Timeline::global().take();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    // Merge in job-index order: dumps come out deterministic no matter
+    // how jobs were scheduled across workers.
+    std::exception_ptr firstError;
+    for (std::size_t j = 0; j < jobCount; ++j) {
+        telemetry::StatsRegistry::global().absorbRetired(
+            std::move(results[j].retired));
+        telemetry::Timeline::global().mergeFrom(
+            std::move(results[j].timeline),
+            "job" + std::to_string(j) + "/");
+        if (results[j].error && !firstError)
+            firstError = results[j].error;
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace sim
+} // namespace pimmmu

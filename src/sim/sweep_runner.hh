@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parallel driver for independent simulation jobs.
+ *
+ * A figure bench is a sweep: dozens of short, fully independent
+ * System runs whose results are assembled into a table afterwards.
+ * SweepRunner executes those jobs on a small thread pool, one System
+ * per job, and reconciles the per-thread telemetry so the launching
+ * thread observes the same aggregate state as a serial run:
+ *
+ *  - every simulator global that jobs touch is thread-local
+ *    (StatsRegistry, Timeline, trace clock, fault-injection registry),
+ *    so concurrent Systems cannot race on shared registries;
+ *  - after each job the worker harvests that job's retired stats
+ *    snapshots and timeline events;
+ *  - after the pool drains, harvested telemetry is merged into the
+ *    caller's thread-local registries in job-index order, so dumps are
+ *    deterministic regardless of which worker ran which job.
+ *
+ * With one thread (or one job) the runner degrades to plain in-order
+ * calls on the caller thread — bit-identical to the pre-pool benches.
+ */
+
+#ifndef PIMMMU_SIM_SWEEP_RUNNER_HH
+#define PIMMMU_SIM_SWEEP_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace pimmmu {
+namespace sim {
+
+class SweepRunner
+{
+  public:
+    /**
+     * @param threads worker count; 0 means one per hardware thread.
+     */
+    explicit SweepRunner(unsigned threads = 0);
+
+    unsigned threads() const { return threads_; }
+
+    /** Worker count chosen for threads == 0. */
+    static unsigned defaultThreads();
+
+    /**
+     * Run fn(0) .. fn(jobCount-1), each job exactly once. Jobs must be
+     * independent: they may build Systems, register stats and record
+     * timeline events, but must not share mutable state with other
+     * jobs (communicate results through per-job slots the caller owns,
+     * e.g. a pre-sized vector indexed by the job id).
+     *
+     * On return, retired stats groups from every job are present in
+     * the caller's StatsRegistry::global() in job order, and timeline
+     * events are merged into the caller's Timeline::global(). When the
+     * pool has more than one worker, merged timeline tracks get a
+     * "job<N>/" prefix to keep per-job rows distinguishable.
+     *
+     * If any job throws, the remaining jobs still run; the first
+     * exception by job index is rethrown after telemetry is merged.
+     */
+    void run(std::size_t jobCount,
+             const std::function<void(std::size_t)> &fn);
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace sim
+} // namespace pimmmu
+
+#endif // PIMMMU_SIM_SWEEP_RUNNER_HH

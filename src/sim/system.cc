@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <numeric>
+#include <sstream>
 
 #include "common/trace.hh"
 
@@ -276,7 +277,28 @@ System::runTransfer(core::XferDirection dir, unsigned numDpus,
         if (eq_.pending() == 0 && !xfer->done)
             break;
     }
-    PIMMMU_ASSERT(xfer->done, "transfer did not complete");
+    if (!xfer->done) {
+        // The event queue drained with the transfer incomplete: some
+        // component dropped a completion. Name what is still owed
+        // instead of dying on a bare assert.
+        std::ostringstream os;
+        os << "transfer did not complete: event queue drained at "
+           << eq_.now() << "ps (pending=" << eq_.pending() << "); "
+           << dce_->outstandingSummary();
+        for (unsigned ch = 0; ch < mem_->dramChannels(); ++ch) {
+            if (mem_->dramController(ch).pending() > 0) {
+                os << "; dram.ch" << ch << " pending="
+                   << mem_->dramController(ch).pending();
+            }
+        }
+        for (unsigned ch = 0; ch < mem_->pimChannels(); ++ch) {
+            if (mem_->pimController(ch).pending() > 0) {
+                os << "; pim.ch" << ch << " pending="
+                   << mem_->pimController(ch).pending();
+            }
+        }
+        fatal(os.str());
+    }
     TransferStats stats = finishStats(*xfer, before, dramB, pimB);
     if (windows > 0)
         stats.pimWindowImbalance = imbalanceSum / windows;

@@ -10,7 +10,7 @@ namespace telemetry {
 StatsRegistry &
 StatsRegistry::global()
 {
-    static StatsRegistry instance;
+    static thread_local StatsRegistry instance;
     return instance;
 }
 
@@ -46,6 +46,26 @@ StatsRegistry::remove(stats::Group &group)
     }
     retired_.push_back(*it->group);
     live_.erase(it);
+}
+
+std::vector<stats::Group>
+StatsRegistry::takeRetired()
+{
+    std::vector<stats::Group> out = std::move(retired_);
+    retired_.clear();
+    return out;
+}
+
+void
+StatsRegistry::absorbRetired(std::vector<stats::Group> groups)
+{
+    for (stats::Group &g : groups) {
+        if (retired_.size() >= kMaxRetired) {
+            retired_.erase(retired_.begin());
+            ++retiredDropped_;
+        }
+        retired_.push_back(std::move(g));
+    }
 }
 
 std::vector<std::string>

@@ -28,7 +28,15 @@ namespace telemetry {
 class StatsRegistry
 {
   public:
-    /** The default process-wide instance. */
+    /**
+     * The calling thread's default instance. Thread-local so that
+     * independent Systems can run concurrently (sim::SweepRunner):
+     * each worker's components register into that worker's registry,
+     * and the sweep driver moves the retired snapshots into the
+     * launching thread's registry afterwards (takeRetired /
+     * absorbRetired). Single-threaded programs see exactly the old
+     * process-wide behavior.
+     */
     static StatsRegistry &global();
 
     /**
@@ -48,6 +56,12 @@ class StatsRegistry
     void remove(stats::Group &group);
 
     bool isRegistered(const stats::Group &group) const;
+
+    /** Move out all retired snapshots (cross-thread aggregation). */
+    std::vector<stats::Group> takeRetired();
+
+    /** Append retired snapshots taken from another registry. */
+    void absorbRetired(std::vector<stats::Group> groups);
 
     std::size_t liveGroups() const { return live_.size(); }
     std::size_t retiredGroups() const { return retired_.size(); }

@@ -4,17 +4,75 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <utility>
 
 #include "common/stats.hh"
 
 namespace pimmmu {
 namespace telemetry {
 
+namespace {
+
+/** Classic iterative glob match supporting '*' and '?'. */
+bool
+globMatch(const char *pat, const char *patEnd, const std::string &name)
+{
+    const char *s = name.c_str();
+    const char *star = nullptr;
+    const char *starS = nullptr;
+    const char *p = pat;
+    while (*s) {
+        if (p < patEnd && (*p == '?' || *p == *s)) {
+            ++p;
+            ++s;
+        } else if (p < patEnd && *p == '*') {
+            star = p++;
+            starS = s;
+        } else if (star) {
+            p = star + 1;
+            s = ++starS;
+        } else {
+            return false;
+        }
+    }
+    while (p < patEnd && *p == '*')
+        ++p;
+    return p == patEnd;
+}
+
+} // namespace
+
+bool
+trackGlobMatch(const std::string &globs, const std::string &name)
+{
+    if (globs.empty())
+        return true;
+    std::size_t begin = 0;
+    while (begin <= globs.size()) {
+        std::size_t end = globs.find(',', begin);
+        if (end == std::string::npos)
+            end = globs.size();
+        if (end > begin &&
+            globMatch(globs.data() + begin, globs.data() + end, name))
+            return true;
+        begin = end + 1;
+    }
+    return false;
+}
+
 Timeline &
 Timeline::global()
 {
-    static Timeline instance;
+    static thread_local Timeline instance;
     return instance;
+}
+
+void
+Timeline::setTrackFilter(const std::string &globs)
+{
+    trackFilter_ = globs;
+    for (std::size_t i = 0; i < trackNames_.size(); ++i)
+        trackEnabled_[i] = trackGlobMatch(trackFilter_, trackNames_[i]);
 }
 
 unsigned
@@ -26,45 +84,112 @@ Timeline::track(const std::string &name)
     // tid 0 is reserved for the process row; tracks start at 1.
     const unsigned id = static_cast<unsigned>(trackNames_.size()) + 1;
     trackNames_.push_back(name);
+    trackEnabled_.push_back(trackGlobMatch(trackFilter_, name));
+    lastEventOnTrack_.push_back(0);
     trackIds_.emplace(name, id);
     return id;
+}
+
+bool
+Timeline::trackRecords(unsigned track) const
+{
+    return track >= 1 && track <= trackEnabled_.size() &&
+           trackEnabled_[track - 1];
 }
 
 void
 Timeline::span(unsigned track, const std::string &name, Tick startPs,
                Tick endPs)
 {
-    if (!enabled_)
+    if (!enabled_ || !trackRecords(track))
         return;
-    events_.push_back(Event{Phase::Span, track, startPs,
-                            endPs >= startPs ? endPs - startPs : 0, 0.0,
-                            name});
+    const Tick dur = endPs >= startPs ? endPs - startPs : 0;
+    if (coalesceGapPs_ > 0) {
+        const std::size_t lastIdx = lastEventOnTrack_[track - 1];
+        if (lastIdx > 0) {
+            Event &last = events_[lastIdx - 1];
+            const Tick lastEnd = last.ts + last.dur;
+            if (last.phase == Phase::Span && startPs >= lastEnd &&
+                startPs - lastEnd <= coalesceGapPs_ &&
+                last.name == name) {
+                last.dur = endPs >= last.ts ? endPs - last.ts : 0;
+                ++coalescedSpans_;
+                return;
+            }
+        }
+    }
+    events_.push_back(Event{Phase::Span, track, startPs, dur, 0.0, name});
+    lastEventOnTrack_[track - 1] = events_.size();
 }
 
 void
 Timeline::instant(unsigned track, const std::string &name, Tick atPs)
 {
-    if (!enabled_)
+    if (!enabled_ || !trackRecords(track))
         return;
     events_.push_back(Event{Phase::Instant, track, atPs, 0, 0.0, name});
+    lastEventOnTrack_[track - 1] = events_.size();
 }
 
 void
 Timeline::counter(unsigned track, const std::string &name, Tick atPs,
                   double value)
 {
-    if (!enabled_)
+    if (!enabled_ || !trackRecords(track))
         return;
     events_.push_back(
         Event{Phase::Counter, track, atPs, 0, value, name});
+    lastEventOnTrack_[track - 1] = events_.size();
+}
+
+Timeline
+Timeline::take()
+{
+    Timeline out;
+    out.configureLike(*this);
+    out.trackNames_ = std::move(trackNames_);
+    out.trackEnabled_ = std::move(trackEnabled_);
+    out.trackIds_ = std::move(trackIds_);
+    out.events_ = std::move(events_);
+    out.lastEventOnTrack_ = std::move(lastEventOnTrack_);
+    out.coalescedSpans_ = coalescedSpans_;
+    clear();
+    return out;
+}
+
+void
+Timeline::mergeFrom(Timeline &&other, const std::string &trackPrefix)
+{
+    std::vector<unsigned> remap(other.trackNames_.size());
+    for (std::size_t i = 0; i < other.trackNames_.size(); ++i)
+        remap[i] = track(trackPrefix + other.trackNames_[i]);
+    for (Event &e : other.events_) {
+        e.track = remap[e.track - 1];
+        // No cross-boundary coalescing: append verbatim.
+        events_.push_back(std::move(e));
+        lastEventOnTrack_[e.track - 1] = 0;
+    }
+    coalescedSpans_ += other.coalescedSpans_;
+    other.clear();
+}
+
+void
+Timeline::configureLike(const Timeline &other)
+{
+    enabled_ = other.enabled_;
+    coalesceGapPs_ = other.coalesceGapPs_;
+    setTrackFilter(other.trackFilter_);
 }
 
 void
 Timeline::clear()
 {
     trackNames_.clear();
+    trackEnabled_.clear();
     trackIds_.clear();
     events_.clear();
+    lastEventOnTrack_.clear();
+    coalescedSpans_ = 0;
 }
 
 namespace {

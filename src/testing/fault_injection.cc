@@ -6,15 +6,15 @@ namespace pimmmu {
 namespace testing {
 namespace fault {
 
-bool gAnyArmed = false;
+thread_local bool gAnyArmed = false;
 
 namespace {
 
-/** site -> trigger count; presence means armed. */
+/** site -> trigger count; presence means armed. Thread-local. */
 std::map<std::string, std::uint64_t> &
 sites()
 {
-    static std::map<std::string, std::uint64_t> s;
+    static thread_local std::map<std::string, std::uint64_t> s;
     return s;
 }
 

@@ -24,8 +24,13 @@ namespace pimmmu {
 namespace testing {
 namespace fault {
 
-/** True iff at least one site is armed (fast-path gate). */
-extern bool gAnyArmed;
+/**
+ * True iff at least one site is armed on this thread (fast-path gate).
+ * Thread-local, like the whole registry: a fault armed by a test fires
+ * only on the arming thread, so concurrent sweep workers (and their
+ * Systems) are isolated from each other's injected faults.
+ */
+extern thread_local bool gAnyArmed;
 
 /** Slow path of fire(): name lookup + count. */
 bool fireSlow(const char *site);

@@ -148,6 +148,29 @@ TEST(MemoryController, FrFcfsBatchesRowHitsAcrossConflictingStreams)
     EXPECT_LE(h.mc.stats().counterValue("row_conflicts"), 2u);
 }
 
+TEST(MemoryController, StallBreakdownAccountsIdleCycles)
+{
+    // Busy single-bank read stream: the controller is idle on most
+    // cycles (waiting out tRCD / CAS / burst timing), and every such
+    // cycle must be attributed to exactly one stall class.
+    Harness h;
+    std::vector<std::shared_ptr<Tick>> dones;
+    for (unsigned i = 0; i < 16; ++i)
+        dones.push_back(h.issue(0, 0, 0, 7, i, false));
+    h.eq.run();
+    const stats::Group &s = h.mc.stats();
+    const std::uint64_t idle = s.counterValue("idle_cycles");
+    const std::uint64_t classified =
+        s.counterValue("stall_refresh_cycles") +
+        s.counterValue("stall_bank_group_cycles") +
+        s.counterValue("stall_bus_cycles") +
+        s.counterValue("stall_other_cycles");
+    EXPECT_GT(idle, 0u);
+    EXPECT_EQ(classified, idle);
+    // Same-bank-group CAS gaps dominate this access pattern.
+    EXPECT_GT(s.counterValue("stall_bank_group_cycles"), 0u);
+}
+
 TEST(MemoryController, WritesDrainAndComplete)
 {
     Harness h;

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <utility>
+#include <vector>
+
 #include "common/event_queue.hh"
 
 namespace pimmmu {
@@ -60,6 +64,113 @@ TEST(EventQueue, RunWithLimitStops)
     EXPECT_EQ(eq.now(), 100u);
     EXPECT_TRUE(eq.run());
     EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SameTickAcrossWheelAndHeapRunsFifo)
+{
+    // An event scheduled far ahead lands in the heap; by the time the
+    // clock gets close, a second event at the very same tick lands in
+    // the wheel. Execution must still follow schedule order.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick meet = 300 * 1024; // beyond the wheel span from t=0
+    eq.schedule(meet, [&] { order.push_back(1); }); // heap
+    eq.schedule(meet - 100, [&] {
+        eq.schedule(meet, [&] { order.push_back(2); }); // wheel
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, LargeCaptureFallsBackToHeapAllocation)
+{
+    // Captures larger than the inline buffer must still work (they take
+    // the InlineFunction heap path).
+    EventQueue eq;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    eq.schedule(10, [payload, &sum] {
+        for (std::uint64_t v : payload)
+            sum += v;
+    });
+    eq.run();
+    EXPECT_EQ(sum, 3u * 120 + 16); // 3 * sum(0..15) + 16
+
+}
+
+TEST(EventQueue, StormIsDeterministic)
+{
+    // A pseudo-random mix of near (wheel) and far (heap) events, with
+    // handlers that reschedule, must execute in an identical (when, id)
+    // sequence on every run.
+    auto storm = [] {
+        EventQueue eq;
+        std::vector<std::pair<Tick, int>> trace;
+        std::uint64_t lcg = 12345;
+        auto rnd = [&lcg](std::uint64_t mod) {
+            lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+            return (lcg >> 33) % mod;
+        };
+        int nextId = 0;
+        std::function<void(int, int)> spawn = [&](int id, int depth) {
+            trace.emplace_back(eq.now(), id);
+            if (depth <= 0)
+                return;
+            const unsigned kids = 1 + rnd(3);
+            for (unsigned k = 0; k < kids; ++k) {
+                // Mix short delays (wheel) with multi-bucket-span
+                // delays (heap).
+                const Tick delay =
+                    rnd(2) ? 1 + rnd(2000) : 250000 + rnd(500000);
+                const int childId = ++nextId;
+                eq.scheduleAfter(delay, [&spawn, childId, depth] {
+                    spawn(childId, depth - 1);
+                });
+            }
+        };
+        for (int i = 0; i < 8; ++i) {
+            const int id = ++nextId;
+            eq.schedule(rnd(4096), [&spawn, id] { spawn(id, 4); });
+        }
+        eq.run();
+        return trace;
+    };
+    const auto a = storm();
+    const auto b = storm();
+    ASSERT_GT(a.size(), 100u);
+    EXPECT_EQ(a, b);
+}
+
+TEST(EventQueue, ResetReusesQueue)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5000, [&] { ++fired; });
+    eq.schedule(9000, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(eq.executed(), 2u);
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+    EXPECT_TRUE(eq.empty());
+    // Times earlier than the pre-reset clock are legal again.
+    eq.schedule(10, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, CountsNearAndFarScheduling)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});          // wheel
+    eq.schedule(1000000, [] {});      // heap (far beyond the wheel span)
+    EXPECT_EQ(eq.scheduled(), 2u);
+    EXPECT_EQ(eq.scheduledNear(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.executed(), 2u);
 }
 
 TEST(Ticker, AlignsToClockEdges)

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/sweep_runner.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
+
+namespace pimmmu {
+namespace {
+
+TEST(SweepRunner, RunsEveryJobExactlyOnce)
+{
+    sim::SweepRunner runner(3);
+    std::vector<std::atomic<int>> hits(17);
+    runner.run(hits.size(), [&](std::size_t j) { ++hits[j]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepRunner, SerialPathPreservesJobOrder)
+{
+    sim::SweepRunner runner(1);
+    EXPECT_EQ(runner.threads(), 1u);
+    std::vector<std::size_t> order;
+    runner.run(5, [&](std::size_t j) { order.push_back(j); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SweepRunner, ParallelMatchesSerialResults)
+{
+    // The same deterministic per-job computation must land in the same
+    // result slots regardless of worker count.
+    auto compute = [](std::size_t j) {
+        std::uint64_t v = j + 1;
+        for (int i = 0; i < 1000; ++i)
+            v = v * 6364136223846793005ull + 1442695040888963407ull;
+        return v;
+    };
+    std::vector<std::uint64_t> serial(32), parallel(32);
+    sim::SweepRunner{1}.run(serial.size(), [&](std::size_t j) {
+        serial[j] = compute(j);
+    });
+    sim::SweepRunner{4}.run(parallel.size(), [&](std::size_t j) {
+        parallel[j] = compute(j);
+    });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepRunner, WorkerStatsAggregateIntoLauncherRegistry)
+{
+    telemetry::StatsRegistry &reg = telemetry::StatsRegistry::global();
+    const std::size_t retiredBefore = reg.retiredGroups();
+    const std::size_t liveBefore = reg.liveGroups();
+
+    sim::SweepRunner runner(2);
+    runner.run(6, [&](std::size_t j) {
+        // Each job registers a group in its worker's thread-local
+        // registry and retires it, like a System teardown does.
+        stats::Group g("sweep_job" + std::to_string(j));
+        g.counter("value") += j;
+        telemetry::StatsRegistry::global().add(g);
+        telemetry::StatsRegistry::global().remove(g);
+    });
+
+    // All six retired snapshots were moved into the launching thread's
+    // registry; nothing stayed live.
+    EXPECT_EQ(reg.retiredGroups(), retiredBefore + 6);
+    EXPECT_EQ(reg.liveGroups(), liveBefore);
+}
+
+TEST(SweepRunner, ParallelTimelinesMergeWithJobPrefix)
+{
+    telemetry::Timeline &tl = telemetry::Timeline::global();
+    tl.clear();
+    tl.setEnabled(true);
+
+    sim::SweepRunner runner(2);
+    runner.run(2, [&](std::size_t j) {
+        telemetry::Timeline &wtl = telemetry::Timeline::global();
+        // Workers inherit the launcher's enabled flag.
+        EXPECT_TRUE(wtl.enabled());
+        const unsigned t = wtl.track("engine");
+        wtl.span(t, "work", 100 * (j + 1), 200 * (j + 1));
+    });
+
+    std::ostringstream os;
+    tl.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("job0/engine"), std::string::npos);
+    EXPECT_NE(json.find("job1/engine"), std::string::npos);
+    tl.clear();
+    tl.setEnabled(false);
+}
+
+TEST(SweepRunner, SerialTimelineKeepsTrackNames)
+{
+    telemetry::Timeline &tl = telemetry::Timeline::global();
+    tl.clear();
+    tl.setEnabled(true);
+
+    sim::SweepRunner runner(1);
+    runner.run(2, [&](std::size_t j) {
+        telemetry::Timeline &wtl = telemetry::Timeline::global();
+        wtl.span(wtl.track("engine"), "work", 100 * (j + 1),
+                 200 * (j + 1));
+    });
+
+    std::ostringstream os;
+    tl.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"engine\""), std::string::npos);
+    EXPECT_EQ(json.find("job0/"), std::string::npos);
+    tl.clear();
+    tl.setEnabled(false);
+}
+
+TEST(SweepRunner, FirstJobExceptionPropagates)
+{
+    sim::SweepRunner runner(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        runner.run(4,
+                   [&](std::size_t j) {
+                       ++ran;
+                       if (j == 1)
+                           throw std::runtime_error("job 1 failed");
+                   }),
+        std::runtime_error);
+    // Other jobs still completed; only the exception is re-raised.
+    EXPECT_EQ(ran.load(), 4);
+}
+
+} // namespace
+} // namespace pimmmu
