@@ -24,6 +24,14 @@ add_fig_bench(fig_queue_depth)
 # invocation, not only in the unit tests.
 add_test(NAME fig_queue_depth_smoke COMMAND fig_queue_depth)
 
+# Resilience campaign (fault-rate sweep x recovery policy). The smoke
+# entry runs the scaled-down sweep and enforces the campaign's own
+# invariants (rate 0 bit- and cycle-identical, retry+mask delivers
+# golden data); the JSON lands in the build dir for the CI artifact.
+add_fig_bench(fig_resilience)
+add_test(NAME fig_resilience_smoke
+         COMMAND fig_resilience --quick --out BENCH_resilience.json)
+
 # Engine wall-clock throughput harness (not a paper figure). The smoke
 # entry runs the scaled-down scenarios so a perf-harness regression
 # (crash, bad flag parsing, broken JSON) is caught by every ctest run.

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Resilience campaign: fault-rate sweep x recovery policy.
+ *
+ * Arms the transfer path's rate-based fault sites (link bit flips,
+ * past-ECC payload corruption, dropped DCE write completions, permanent
+ * PIM-core failures) at rates from 0 to 1e-3 and drives round-trip
+ * DRAM->PIM->DRAM transfers under the three campaign policies:
+ *
+ *   off         no detection, no recovery (the pre-resilience path)
+ *   retry       ECC+CRC detection, word/descriptor retry, watchdog
+ *   retry+mask  retry plus permanent health-masking of failed cores
+ *
+ * Every delivered buffer is checked against a golden CRC (health-masked
+ * cores excluded), so the table shows exactly what each policy buys:
+ * `off` silently corrupts or stalls, `retry` heals transient faults,
+ * `retry+mask` additionally survives dead cores. Rate 0 must be
+ * bit-identical and cycle-identical across policies (checked, exit 1).
+ *
+ * The --out JSON (BENCH_resilience.json in CI) records per-scenario
+ * outcomes, the resilience.* counters, and the raw fault-site fire
+ * counts so campaigns can reconcile detections against injections.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "resilience/crc.hh"
+#include "sim/system.hh"
+#include "testing/fault_injection.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+struct PolicyCase
+{
+    const char *name;
+    resilience::Policy policy;
+};
+
+struct ScenarioResult
+{
+    std::string policy;
+    double rate = 0.0;
+    unsigned rounds = 0;          //!< round trips attempted
+    unsigned completedRounds = 0; //!< round trips that ran to the end
+    unsigned failedCalls = 0;     //!< calls that reported failure
+    unsigned stalls = 0;          //!< event queue drained mid-transfer
+    unsigned checkedDpus = 0;
+    unsigned corruptDpus = 0; //!< delivered CRC != golden CRC
+    unsigned skippedDpus = 0; //!< excluded by the health mask
+    Tick firstRoundPs = 0;    //!< first round trip, for rate-0 parity
+
+    // resilience.* counters (0 when no manager is attached).
+    std::uint64_t eccCorrected = 0;
+    std::uint64_t eccUncorrectable = 0;
+    std::uint64_t burstRetries = 0;
+    std::uint64_t crcRetries = 0;
+    std::uint64_t eccRetries = 0;
+    std::uint64_t watchdogFires = 0;
+    std::uint64_t dpusMasked = 0;
+    std::uint64_t transfersFailed = 0;
+    std::uint64_t transfersDegraded = 0;
+
+    // Raw fire counts of the armed sites, for reconciliation.
+    std::uint64_t firedFlips = 0;
+    std::uint64_t firedDoubleFlips = 0;
+    std::uint64_t firedCorrupt = 0;
+    std::uint64_t firedDrops = 0;
+    std::uint64_t firedKills = 0;
+};
+
+/** Deterministic per-(policy, rate) seed: no wall clock, replayable. */
+std::uint64_t
+scenarioSeed(unsigned policyIdx, double rate)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &rate, sizeof(bits));
+    return (bits * 0x9e3779b97f4a7c15ull) ^ (policyIdx + 1);
+}
+
+ScenarioResult
+runScenario(unsigned policyIdx, const PolicyCase &pc, double rate,
+            unsigned rounds, unsigned numDpus,
+            std::uint64_t bytesPerDpu)
+{
+    testing::fault::disarmAll();
+
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    cfg.resilience = pc.policy;
+    sim::System sys(cfg);
+
+    std::vector<unsigned> dpuIds(numDpus);
+    for (unsigned i = 0; i < numDpus; ++i)
+        dpuIds[i] = i;
+
+    const Addr src = sys.allocDram(std::uint64_t{numDpus} * bytesPerDpu);
+    const Addr dst = sys.allocDram(std::uint64_t{numDpus} * bytesPerDpu);
+
+    // Per-DPU pattern + golden CRC.
+    std::vector<std::uint32_t> golden(numDpus);
+    std::vector<std::uint8_t> buf(bytesPerDpu);
+    for (unsigned d = 0; d < numDpus; ++d) {
+        for (std::uint64_t i = 0; i < bytesPerDpu; ++i) {
+            buf[i] = static_cast<std::uint8_t>(
+                (d * 131u + i * 29u + 7u) & 0xff);
+        }
+        sys.mem().store().write(src + std::uint64_t{d} * bytesPerDpu,
+                                buf.data(), bytesPerDpu);
+        golden[d] = resilience::crc32c(buf.data(), bytesPerDpu);
+    }
+
+    // Arm the fault sites. The scale factors keep each failure mode in
+    // a regime its recovery mechanism can realistically absorb: single
+    // flips are free (SEC), double flips cost a word retransmission,
+    // past-ECC corruption a descriptor retransfer, dropped completions
+    // a watchdog resync, and kills are rare permanent losses.
+    const std::uint64_t seed = scenarioSeed(policyIdx, rate);
+    if (rate > 0.0) {
+        using testing::fault::armRate;
+        armRate("ecc.flip_single_bit", rate, seed ^ 0xa1);
+        armRate("ecc.flip_double_bit", rate / 8, seed ^ 0xb2);
+        armRate("xfer.corrupt_data", rate / 64, seed ^ 0xc3);
+        armRate("dce.drop_write_completion", rate / 16, seed ^ 0xd4);
+        armRate("dpu.kill", std::min(1.0, rate * 8), seed ^ 0xe5);
+    }
+
+    ScenarioResult r;
+    r.policy = pc.name;
+    r.rate = rate;
+    r.rounds = rounds;
+
+    // One round trip = host src -> MRAM, MRAM -> host dst.
+    // 0 = delivered, 1 = call reported failure, 2 = stalled.
+    auto doXfer = [&](core::XferDirection dir, Addr hostBase) {
+        core::PimMmuOp op;
+        op.type = dir;
+        op.sizePerPim = bytesPerDpu;
+        op.pimIdArr = dpuIds;
+        op.pimBaseHeapPtr = 0;
+        op.dramAddrArr.resize(numDpus);
+        for (unsigned d = 0; d < numDpus; ++d)
+            op.dramAddrArr[d] = hostBase + std::uint64_t{d} * bytesPerDpu;
+
+        bool done = false;
+        resilience::Status st;
+        const auto sync = sys.pimMmu().transferChecked(
+            op, [&](const resilience::Status &s) {
+                st = s;
+                done = true;
+            });
+        if (!sync.ok()) {
+            st = sync;
+            done = true;
+        }
+        if (!done)
+            sys.runUntil([&] { return done; });
+        if (!done)
+            return 2;
+        return st.ok() ? 0 : 1;
+    };
+
+    for (unsigned round = 0; round < rounds; ++round) {
+        const Tick t0 = sys.eq().now();
+        const int toPim = doXfer(core::XferDirection::DramToPim, src);
+        if (toPim == 2) {
+            ++r.stalls;
+            break;
+        }
+        const int fromPim = doXfer(core::XferDirection::PimToDram, dst);
+        if (fromPim == 2) {
+            ++r.stalls;
+            break;
+        }
+        r.failedCalls += (toPim == 1) + (fromPim == 1);
+        if (round == 0)
+            r.firstRoundPs = sys.eq().now() - t0;
+        ++r.completedRounds;
+    }
+
+    // Reconciliation inputs: capture fire counts before disarm resets
+    // them, and the resilience counters before the System dies.
+    using testing::fault::count;
+    r.firedFlips = count("ecc.flip_single_bit");
+    r.firedDoubleFlips = count("ecc.flip_double_bit");
+    r.firedCorrupt = count("xfer.corrupt_data");
+    r.firedDrops = count("dce.drop_write_completion");
+    r.firedKills = count("dpu.kill");
+    testing::fault::disarmAll();
+
+    resilience::Manager *mgr = sys.resilienceManager();
+    if (mgr != nullptr) {
+        stats::Group &g = mgr->stats();
+        r.eccCorrected = g.counterValue("ecc_corrected");
+        r.eccUncorrectable = g.counterValue("ecc_uncorrectable");
+        r.burstRetries = g.counterValue("burst_retries");
+        r.crcRetries = g.counterValue("crc_retries");
+        r.eccRetries = g.counterValue("ecc_retries");
+        r.watchdogFires = g.counterValue("watchdog_fires");
+        r.dpusMasked = g.counterValue("dpus_masked");
+        r.transfersFailed = g.counterValue("transfers_failed");
+        r.transfersDegraded = g.counterValue("transfers_degraded");
+    }
+
+    // Golden check over everything the system claims it delivered.
+    if (r.completedRounds > 0) {
+        for (unsigned d = 0; d < numDpus; ++d) {
+            if (mgr != nullptr && !mgr->dpuHealthy(d)) {
+                ++r.skippedDpus;
+                continue;
+            }
+            sys.mem().store().read(
+                dst + std::uint64_t{d} * bytesPerDpu, buf.data(),
+                bytesPerDpu);
+            ++r.checkedDpus;
+            if (resilience::crc32c(buf.data(), bytesPerDpu) !=
+                golden[d])
+                ++r.corruptDpus;
+        }
+    }
+    return r;
+}
+
+bool
+writeJson(const std::string &path, bool quick,
+          const std::vector<ScenarioResult> &results)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << "{\n  \"schema\": \"pim-mmu-bench-resilience-v1\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &r = results[i];
+        char buf[896];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"policy\": \"%s\", \"rate\": %.1e, "
+            "\"rounds\": %u, \"completed_rounds\": %u, "
+            "\"failed_calls\": %u, \"stalls\": %u, "
+            "\"checked_dpus\": %u, \"corrupt_dpus\": %u, "
+            "\"skipped_dpus\": %u, \"first_round_ps\": %llu, "
+            "\"counters\": {\"ecc_corrected\": %llu, "
+            "\"ecc_uncorrectable\": %llu, \"burst_retries\": %llu, "
+            "\"crc_retries\": %llu, \"ecc_retries\": %llu, "
+            "\"watchdog_fires\": %llu, \"dpus_masked\": %llu, "
+            "\"transfers_failed\": %llu, "
+            "\"transfers_degraded\": %llu}, "
+            "\"fired\": {\"flips\": %llu, \"double_flips\": %llu, "
+            "\"corrupt\": %llu, \"drops\": %llu, "
+            "\"kills\": %llu}}%s\n",
+            r.policy.c_str(), r.rate, r.rounds, r.completedRounds,
+            r.failedCalls, r.stalls, r.checkedDpus, r.corruptDpus,
+            r.skippedDpus,
+            static_cast<unsigned long long>(r.firstRoundPs),
+            static_cast<unsigned long long>(r.eccCorrected),
+            static_cast<unsigned long long>(r.eccUncorrectable),
+            static_cast<unsigned long long>(r.burstRetries),
+            static_cast<unsigned long long>(r.crcRetries),
+            static_cast<unsigned long long>(r.eccRetries),
+            static_cast<unsigned long long>(r.watchdogFires),
+            static_cast<unsigned long long>(r.dpusMasked),
+            static_cast<unsigned long long>(r.transfersFailed),
+            static_cast<unsigned long long>(r.transfersDegraded),
+            static_cast<unsigned long long>(r.firedFlips),
+            static_cast<unsigned long long>(r.firedDoubleFlips),
+            static_cast<unsigned long long>(r.firedCorrupt),
+            static_cast<unsigned long long>(r.firedDrops),
+            static_cast<unsigned long long>(r.firedKills),
+            i + 1 < results.size() ? "," : "");
+        os << buf;
+    }
+    os << "  ]\n}\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string outPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            outPath = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    bench::banner("Resilience campaign",
+                  "fault-rate sweep x recovery policy, round-trip "
+                  "DRAM->PIM->DRAM transfers checked against golden "
+                  "CRCs");
+
+    const unsigned numDpus = quick ? 16 : 64; // whole banks (8 chips)
+    const std::uint64_t bytesPerDpu = quick ? 2 * kKiB : 8 * kKiB;
+    const unsigned rounds = quick ? 2 : 3;
+    const std::vector<double> rates =
+        quick ? std::vector<double>{0.0, 1e-4, 1e-3}
+              : std::vector<double>{0.0, 1e-6, 1e-5, 1e-4, 1e-3};
+
+    const PolicyCase policies[] = {
+        {"off", resilience::Policy::off()},
+        {"retry", resilience::Policy::withRetry()},
+        {"retry+mask", resilience::Policy::withRetryAndMask()},
+    };
+
+    std::vector<ScenarioResult> results;
+    Table t({"policy", "rate", "rounds", "stalls", "failed", "corrupt",
+             "masked", "ecc corr", "ecc unc", "crc rtry", "wd fires",
+             "rt us"});
+    for (const double rate : rates) {
+        for (unsigned p = 0; p < 3; ++p) {
+            const ScenarioResult r = runScenario(
+                p, policies[p], rate, rounds, numDpus, bytesPerDpu);
+            char rateBuf[16];
+            std::snprintf(rateBuf, sizeof(rateBuf), "%.0e", r.rate);
+            t.row()
+                .cell(r.policy)
+                .cell(rateBuf)
+                .num(std::uint64_t{r.completedRounds})
+                .num(std::uint64_t{r.stalls})
+                .num(std::uint64_t{r.failedCalls})
+                .num(std::uint64_t{r.corruptDpus})
+                .num(r.dpusMasked)
+                .num(r.eccCorrected)
+                .num(r.eccUncorrectable)
+                .num(r.crcRetries)
+                .num(r.watchdogFires)
+                .num(static_cast<double>(r.firstRoundPs) / 1e6);
+            results.push_back(r);
+        }
+    }
+    bench::printTable(t);
+
+    // Rate-0 invariants: all policies deliver golden data in identical
+    // simulated time — detection must be free when nothing fires.
+    int rc = 0;
+    Tick rate0Ps = 0;
+    for (const ScenarioResult &r : results) {
+        if (r.rate != 0.0)
+            continue;
+        if (r.corruptDpus > 0 || r.stalls > 0 || r.failedCalls > 0) {
+            std::fprintf(stderr,
+                         "FAIL: rate-0 %s corrupted/stalled\n",
+                         r.policy.c_str());
+            rc = 1;
+        }
+        if (rate0Ps == 0)
+            rate0Ps = r.firstRoundPs;
+        else if (r.firstRoundPs != rate0Ps) {
+            std::fprintf(stderr,
+                         "FAIL: rate-0 %s round trip %llu ps != %llu "
+                         "ps (detection must be timing-neutral)\n",
+                         r.policy.c_str(),
+                         static_cast<unsigned long long>(
+                             r.firstRoundPs),
+                         static_cast<unsigned long long>(rate0Ps));
+            rc = 1;
+        }
+    }
+    // With retry+mask every delivered (non-masked) buffer must be
+    // golden at every swept rate.
+    for (const ScenarioResult &r : results) {
+        if (r.policy == "retry+mask" && r.corruptDpus > 0) {
+            std::fprintf(stderr,
+                         "FAIL: retry+mask delivered %u corrupt "
+                         "buffers at rate %.1e\n",
+                         r.corruptDpus, r.rate);
+            rc = 1;
+        }
+    }
+
+    bench::note("\ncorrupt counts delivered buffers whose CRC differs "
+                "from golden (masked cores excluded); `off` corrupts "
+                "or stalls, `retry` heals transients, `retry+mask` "
+                "also survives dead cores.");
+
+    if (!outPath.empty()) {
+        if (!writeJson(outPath, quick, results)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", outPath.c_str());
+    }
+    return rc;
+}

@@ -1,8 +1,10 @@
 #include "core/dce.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/trace.hh"
+#include "resilience/manager.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
 #include "testing/fault_injection.hh"
@@ -11,12 +13,27 @@ namespace pimmmu {
 namespace core {
 
 namespace {
+
 constexpr std::uint64_t kLine = 64;
+
+/** Adapt a legacy void callback to the status-carrying form. */
+Dce::CompletionFn
+adaptLegacy(std::function<void()> onComplete)
+{
+    if (!onComplete)
+        return nullptr;
+    return [cb = std::move(onComplete)](const resilience::Status &) {
+        cb();
+    };
 }
 
+} // namespace
+
 Dce::Dce(EventQueue &eq, const DceConfig &config, dram::MemorySystem &mem,
-         const device::PimGeometry &pimGeometry)
+         const device::PimGeometry &pimGeometry,
+         resilience::Manager *res)
     : eq_(eq), config_(config), mem_(mem), pimGeom_(pimGeometry),
+      res_(res),
       ticker_(eq, config.periodPs(), [this] { return tick(); }),
       freeDataSlots_(config.dataBufferSlots()), stats_("dce")
 {
@@ -39,17 +56,49 @@ Dce::~Dce()
     telemetry::StatsRegistry::global().remove(stats_);
 }
 
+resilience::Status
+Dce::validate(const DceTransfer &transfer) const
+{
+    using resilience::ErrorCode;
+    using resilience::Status;
+
+    if (transfer.streams.empty()) {
+        return Status::failure(ErrorCode::EmptyDescriptor,
+                               "descriptor lists no bank streams");
+    }
+    for (std::size_t i = 0; i < transfer.streams.size(); ++i) {
+        if (transfer.streams[i].totalLines == 0) {
+            std::ostringstream os;
+            os << "stream " << i << " (bank "
+               << transfer.streams[i].bankIdx
+               << ") moves zero lines; the engine would never finish";
+            return Status::failure(ErrorCode::EmptyStream, os.str());
+        }
+    }
+    if (transfer.streams.size() * 8 > config_.addressBufferEntries()) {
+        std::ostringstream os;
+        os << transfer.streams.size()
+           << " bank streams exceed the address buffer ("
+           << config_.addressBufferEntries() << " entries)";
+        return Status::failure(ErrorCode::DescriptorTooLarge, os.str());
+    }
+    return Status{};
+}
+
 void
 Dce::start(DceTransfer transfer, std::function<void()> onComplete)
 {
-    beginTransfer(std::move(transfer), std::move(onComplete), eq_.now(),
+    const auto status = validate(transfer);
+    if (!status.ok())
+        fatal("DCE rejected descriptor: ", status.str());
+    beginTransfer(std::move(transfer),
+                  adaptLegacy(std::move(onComplete)), eq_.now(),
                   nextTransferId_++);
 }
 
 void
-Dce::beginTransfer(DceTransfer transfer,
-                   std::function<void()> onComplete, Tick enqueuedAt,
-                   std::uint64_t id)
+Dce::beginTransfer(DceTransfer transfer, CompletionFn onComplete,
+                   Tick enqueuedAt, std::uint64_t id)
 {
     PIMMMU_ASSERT(!busy(), "DCE already busy");
     PIMMMU_ASSERT(!transfer.streams.empty(), "empty transfer");
@@ -90,6 +139,107 @@ Dce::beginTransfer(DceTransfer transfer,
                          << " bank streams, "
                          << active_->transfer.totalLines() << " lines");
     ticker_.arm();
+    if (res_ && res_->policy().watchdogPs > 0)
+        armWatchdog(res_->policy().watchdogPs, id);
+}
+
+void
+Dce::armWatchdog(Tick delay, std::uint64_t xid)
+{
+    eq_.scheduleAfter(delay, [this, xid] { onWatchdog(xid); });
+}
+
+std::uint64_t
+Dce::progressMark() const
+{
+    std::uint64_t m = active_->linesRemaining;
+    for (const auto &st : active_->state) {
+        m = m * 1099511628211ull +
+            (st.readsIssued + (st.writesIssued << 20) +
+             (st.writesDone << 40));
+    }
+    return m;
+}
+
+void
+Dce::onWatchdog(std::uint64_t xid)
+{
+    // The transfer this watchdog guarded already finished (or failed).
+    if (!active_ || active_->id != xid)
+        return;
+
+    const Tick period = res_->policy().watchdogPs;
+    const std::uint64_t mark = progressMark();
+    if (mark != active_->lastProgressMark) {
+        active_->lastProgressMark = mark;
+        active_->watchdogRestarts = 0;
+        armWatchdog(period, xid);
+        return;
+    }
+    if (inflight() > 0) {
+        // The memory system still owes completions; not a lost-write
+        // stall, keep waiting.
+        armWatchdog(period, xid);
+        return;
+    }
+
+    if (active_->watchdogRestarts >= res_->policy().maxWatchdogRestarts) {
+        failActive(resilience::Status::failure(
+            resilience::ErrorCode::TransferStalled,
+            outstandingSummary()));
+        return;
+    }
+    ++active_->watchdogRestarts;
+
+    // Resync: with nothing in flight and no progress, every write that
+    // was issued but never reported done had its completion lost. Roll
+    // those back (restoring their data-buffer slots and write credits)
+    // so the engine re-drives them.
+    std::uint64_t lost = 0;
+    for (auto &st : active_->state) {
+        const std::uint64_t l = st.writesIssued - st.writesDone;
+        st.writesIssued -= l;
+        st.writeCredits += l;
+        lost += l;
+    }
+    freeDataSlots_ += lost;
+    ++stats_.counter("watchdog_resyncs");
+    res_->noteWatchdogFire(eq_.now(), xid, lost);
+    PIMMMU_TRACE_LOG(trace::Category::Dce, eq_.now(),
+                     "watchdog resync transfer #"
+                         << xid << ": " << lost
+                         << " lost writes re-driven (restart "
+                         << active_->watchdogRestarts << ")");
+    ticker_.arm();
+    armWatchdog(period << std::min(active_->watchdogRestarts, 10u),
+                xid);
+}
+
+void
+Dce::failActive(resilience::Status status)
+{
+    const Tick now = eq_.now();
+    busyPs_ += now - active_->startedAt;
+    ++stats_.counter("transfers_failed");
+    telemetry::Timeline &tl = telemetry::Timeline::global();
+    if (tl.enabled()) {
+        tl.span(timelineTrack_,
+                "transfer#" + std::to_string(active_->id) + "!failed",
+                active_->startedAt, now);
+    }
+    PIMMMU_TRACE_LOG(trace::Category::Dce, now,
+                     "transfer FAILED #" << active_->id << ": "
+                                         << status.str());
+    auto done = std::move(active_->onComplete);
+    active_.reset();
+    // Any leaked buffer slots / phantom in-flight counts belonged to
+    // the dead transfer; restore the engine to a clean idle state.
+    readsInflight_ = 0;
+    writesInflight_ = 0;
+    freeDataSlots_ = config_.dataBufferSlots();
+    if (done)
+        done(status);
+    startNextPending();
 }
 
 Addr
@@ -131,11 +281,13 @@ Dce::onReadComplete(std::size_t slot)
 {
     --readsInflight_;
     // Preprocessing unit: the line becomes writable after the transpose
-    // pipeline latency.
+    // pipeline latency. The transfer id guards against crediting a
+    // successor transfer if this one fails while the event is pending.
+    const std::uint64_t xid = active_->id;
     eq_.scheduleAfter(
         Tick{config_.transposeLatencyCycles} * config_.periodPs(),
-        [this, slot] {
-            if (!active_)
+        [this, slot, xid] {
+            if (!active_ || active_->id != xid)
                 return;
             ++active_->state[slot].writeCredits;
             ticker_.arm();
@@ -145,6 +297,13 @@ Dce::onReadComplete(std::size_t slot)
 void
 Dce::onWriteComplete(std::size_t slot)
 {
+    if (testing::fault::fire("dce.drop_write_completion")) {
+        // The completion report is lost: the controller has finished
+        // the burst, but the engine never learns. The data-buffer slot
+        // leaks and writesDone stalls until the watchdog resyncs.
+        --writesInflight_;
+        return;
+    }
     --writesInflight_;
     ++freeDataSlots_;
     StreamState &st = active_->state[slot];
@@ -192,6 +351,26 @@ Dce::outstandingSummary() const
 std::size_t
 Dce::enqueue(DceTransfer transfer, std::function<void()> onComplete)
 {
+    std::size_t depth = 0;
+    const auto status =
+        enqueueChecked(std::move(transfer),
+                       adaptLegacy(std::move(onComplete)), &depth);
+    if (!status.ok())
+        fatal("DCE rejected descriptor: ", status.str());
+    return depth;
+}
+
+resilience::Status
+Dce::enqueueChecked(DceTransfer transfer, CompletionFn onDone,
+                    std::size_t *depth)
+{
+    const auto status = validate(transfer);
+    if (!status.ok()) {
+        ++stats_.counter("transfers_rejected");
+        PIMMMU_TRACE_LOG(trace::Category::Dce, eq_.now(),
+                         "descriptor rejected: " << status.str());
+        return status;
+    }
     const std::uint64_t id = nextTransferId_++;
     telemetry::Timeline &tl = telemetry::Timeline::global();
     if (tl.enabled()) {
@@ -199,15 +378,19 @@ Dce::enqueue(DceTransfer transfer, std::function<void()> onComplete)
                    eq_.now());
     }
     if (!busy() && pending_.empty()) {
-        beginTransfer(std::move(transfer), std::move(onComplete),
-                      eq_.now(), id);
-        return 1;
+        beginTransfer(std::move(transfer), std::move(onDone), eq_.now(),
+                      id);
+        if (depth)
+            *depth = 1;
+        return resilience::Status{};
     }
     pending_.push_back(PendingTransfer{std::move(transfer),
-                                       std::move(onComplete), eq_.now(),
+                                       std::move(onDone), eq_.now(),
                                        id});
     ++stats_.counter("transfers_queued");
-    return pending_.size() + 1;
+    if (depth)
+        *depth = pending_.size() + 1;
+    return resilience::Status{};
 }
 
 void
@@ -241,15 +424,20 @@ Dce::finishIfDone()
     auto done = std::move(active_->onComplete);
     active_.reset();
     if (done)
-        done();
-    if (!active_ && !pending_.empty()) {
-        // Pop the next descriptor off the driver's ring.
-        PendingTransfer next = std::move(pending_.front());
-        pending_.pop_front();
-        beginTransfer(std::move(next.transfer),
-                      std::move(next.onComplete), next.enqueuedAt,
-                      next.id);
-    }
+        done(resilience::Status{});
+    startNextPending();
+}
+
+void
+Dce::startNextPending()
+{
+    if (active_ || pending_.empty())
+        return;
+    // Pop the next descriptor off the driver's ring.
+    PendingTransfer next = std::move(pending_.front());
+    pending_.pop_front();
+    beginTransfer(std::move(next.transfer), std::move(next.onComplete),
+                  next.enqueuedAt, next.id);
 }
 
 bool
@@ -266,7 +454,10 @@ Dce::issueWriteFor(std::size_t slot)
     dram::MemRequest req;
     req.paddr = addr;
     req.write = true;
-    req.onComplete = [this, slot](const dram::MemRequest &) {
+    const std::uint64_t xid = active_->id;
+    req.onComplete = [this, slot, xid](const dram::MemRequest &) {
+        if (!active_ || active_->id != xid)
+            return; // completion for a transfer the watchdog failed
         onWriteComplete(slot);
     };
     const bool ok = mem_.enqueue(std::move(req));
@@ -295,7 +486,10 @@ Dce::issueReadFor(std::size_t slot)
     dram::MemRequest req;
     req.paddr = addr;
     req.write = false;
-    req.onComplete = [this, slot](const dram::MemRequest &) {
+    const std::uint64_t xid = active_->id;
+    req.onComplete = [this, slot, xid](const dram::MemRequest &) {
+        if (!active_ || active_->id != xid)
+            return; // completion for a transfer the watchdog failed
         onReadComplete(slot);
     };
     const bool ok = mem_.enqueue(std::move(req));

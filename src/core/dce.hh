@@ -32,8 +32,14 @@
 #include "core/pim_ms.hh"
 #include "dram/memory_system.hh"
 #include "pim/pim_geometry.hh"
+#include "resilience/status.hh"
 
 namespace pimmmu {
+
+namespace resilience {
+class Manager;
+}
+
 namespace core {
 
 /**
@@ -68,8 +74,12 @@ struct DceTransfer
 class Dce
 {
   public:
+    /** Completion callback carrying the transfer's final status. */
+    using CompletionFn = std::function<void(const resilience::Status &)>;
+
     Dce(EventQueue &eq, const DceConfig &config,
-        dram::MemorySystem &mem, const device::PimGeometry &pimGeometry);
+        dram::MemorySystem &mem, const device::PimGeometry &pimGeometry,
+        resilience::Manager *res = nullptr);
 
     ~Dce();
 
@@ -88,6 +98,24 @@ class Dce
      */
     std::size_t enqueue(DceTransfer transfer,
                         std::function<void()> onComplete);
+
+    /**
+     * Validate a descriptor against the engine's capacity limits:
+     * non-empty, no zero-line stream (which would hang the engine),
+     * fits in the address buffer.
+     */
+    resilience::Status validate(const DceTransfer &transfer) const;
+
+    /**
+     * Validating enqueue. Rejections are returned immediately (the
+     * descriptor is not queued and @p onDone never runs); accepted
+     * transfers report their final status — Ok, or TransferStalled if
+     * the watchdog exhausts its recovery budget — through @p onDone.
+     * @p depth (optional) receives the queue depth, as enqueue().
+     */
+    resilience::Status enqueueChecked(DceTransfer transfer,
+                                      CompletionFn onDone,
+                                      std::size_t *depth = nullptr);
 
     bool busy() const { return active_ != nullptr; }
 
@@ -122,8 +150,11 @@ class Dce
         std::vector<StreamState> state;
         std::unique_ptr<PimMs> scheduler; //!< null when PIM-MS disabled
         std::uint64_t linesRemaining = 0;
-        std::function<void()> onComplete;
+        CompletionFn onComplete;
         std::uint64_t id = 0;
+        // Watchdog bookkeeping.
+        std::uint64_t lastProgressMark = ~std::uint64_t{0};
+        unsigned watchdogRestarts = 0;
         Tick enqueuedAt = 0;
         Tick startedAt = 0;
         Tick firstIssueAt = kTickMax;
@@ -140,13 +171,12 @@ class Dce
     struct PendingTransfer
     {
         DceTransfer transfer;
-        std::function<void()> onComplete;
+        CompletionFn onComplete;
         Tick enqueuedAt = 0;
         std::uint64_t id = 0;
     };
 
-    void beginTransfer(DceTransfer transfer,
-                       std::function<void()> onComplete,
+    void beginTransfer(DceTransfer transfer, CompletionFn onComplete,
                        Tick enqueuedAt, std::uint64_t id);
     void noteFirstIssue();
     bool tick();
@@ -160,11 +190,17 @@ class Dce
     void onReadComplete(std::size_t slot);
     void onWriteComplete(std::size_t slot);
     void finishIfDone();
+    void startNextPending();
+    void armWatchdog(Tick delay, std::uint64_t xid);
+    void onWatchdog(std::uint64_t xid);
+    std::uint64_t progressMark() const;
+    void failActive(resilience::Status status);
 
     EventQueue &eq_;
     DceConfig config_;
     dram::MemorySystem &mem_;
     device::PimGeometry pimGeom_;
+    resilience::Manager *res_;
     Ticker ticker_;
 
     std::unique_ptr<ActiveTransfer> active_;

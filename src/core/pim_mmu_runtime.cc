@@ -1,18 +1,25 @@
 #include "core/pim_mmu_runtime.hh"
 
+#include <algorithm>
+#include <sstream>
+
 #include "common/trace.hh"
 #include "pim/host_transfer.hh"
 #include "pim/transpose.hh"
+#include "resilience/manager.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
+#include "testing/fault_injection.hh"
 
 namespace pimmmu {
 namespace core {
 
 PimMmuRuntime::PimMmuRuntime(EventQueue &eq, Dce &dce,
                              dram::MemorySystem &mem,
-                             device::PimDevice &pim)
-    : eq_(eq), dce_(dce), mem_(mem), pim_(pim), stats_("pim_mmu")
+                             device::PimDevice &pim,
+                             resilience::Manager *res)
+    : eq_(eq), dce_(dce), mem_(mem), pim_(pim), res_(res),
+      stats_("pim_mmu")
 {
     timelineTrack_ = telemetry::Timeline::global().track("pim-mmu");
     telemetry::StatsRegistry::global().add(stats_);
@@ -26,11 +33,18 @@ PimMmuRuntime::~PimMmuRuntime()
 DceTransfer
 PimMmuRuntime::buildDescriptor(const PimMmuOp &op) const
 {
-    const device::PimGeometry &geom = pim_.geometry();
     const device::BankGrouping grouping =
-        device::groupByBank(geom, op.pimIdArr, op.dramAddrArr,
-                            op.sizePerPim, op.pimBaseHeapPtr);
+        device::groupByBank(pim_.geometry(), op.pimIdArr,
+                            op.dramAddrArr, op.sizePerPim,
+                            op.pimBaseHeapPtr);
+    return descriptorFrom(grouping, op);
+}
 
+DceTransfer
+PimMmuRuntime::descriptorFrom(const device::BankGrouping &grouping,
+                              const PimMmuOp &op) const
+{
+    const device::PimGeometry &geom = pim_.geometry();
     const Addr pimBase = mem_.systemMap().pimBase();
     const std::uint64_t wordStart =
         op.pimBaseHeapPtr / device::kWordBytes;
@@ -67,58 +81,211 @@ void
 PimMmuRuntime::transfer(const PimMmuOp &op,
                         std::function<void()> onComplete)
 {
-    DceTransfer descriptor = buildDescriptor(op);
-    functionalCopy(op);
-    PIMMMU_TRACE_LOG(trace::Category::Xfer, eq_.now(),
-                     "pim_mmu_transfer: " << op.pimIdArr.size()
-                                          << " PIM cores x "
-                                          << op.sizePerPim << " B");
+    CompletionFn cb;
+    if (onComplete) {
+        cb = [f = std::move(onComplete)](const resilience::Status &) {
+            f();
+        };
+    }
+    const auto status = transferChecked(op, std::move(cb));
+    if (!status.ok())
+        fatal("pim_mmu_transfer rejected: ", status.str());
+}
 
-    const DceConfig &cfg = dce_.config();
-    const Tick calledAt = eq_.now();
-    const std::uint64_t callId = nextCallId_++;
+resilience::Status
+PimMmuRuntime::transferChecked(const PimMmuOp &op,
+                               CompletionFn onComplete)
+{
+    PimMmuOp effective = op;
+    if (res_ && res_->policy().maskFailedDpus) {
+        // Probe permanent PIM-core failures first, then excise every
+        // core on a masked bank from the scatter plan — including
+        // healthy siblings of a core that just died, since transfers
+        // must cover whole banks.
+        const Tick now = eq_.now();
+        for (const unsigned dpu : effective.pimIdArr) {
+            if (testing::fault::fire("dpu.kill"))
+                res_->markDpuFailed(dpu, now);
+        }
+        if (res_->maskedBanks() > 0) {
+            std::vector<unsigned> ids;
+            std::vector<Addr> addrs;
+            ids.reserve(effective.pimIdArr.size());
+            addrs.reserve(effective.dramAddrArr.size());
+            for (std::size_t i = 0; i < effective.pimIdArr.size() &&
+                                    i < effective.dramAddrArr.size();
+                 ++i) {
+                if (res_->dpuHealthy(effective.pimIdArr[i])) {
+                    ids.push_back(effective.pimIdArr[i]);
+                    addrs.push_back(effective.dramAddrArr[i]);
+                }
+            }
+            if (ids.empty()) {
+                res_->noteTransferFailed();
+                return resilience::Status::failure(
+                    resilience::ErrorCode::CapacityExhausted,
+                    "every listed PIM core is health-masked");
+            }
+            if (ids.size() != effective.pimIdArr.size()) {
+                res_->noteTransferDegraded();
+                effective.pimIdArr = std::move(ids);
+                effective.dramAddrArr = std::move(addrs);
+            }
+        }
+    }
+
+    auto ctx = std::make_shared<CallCtx>();
+    const auto grouped = device::groupByBankChecked(
+        pim_.geometry(), effective.pimIdArr, effective.dramAddrArr,
+        effective.sizePerPim, effective.pimBaseHeapPtr, ctx->grouping);
+    if (!grouped.ok())
+        return grouped;
+    // Pre-validate against the engine's capacity so rejections are
+    // synchronous rather than surfacing at doorbell time.
+    const auto engine =
+        dce_.validate(descriptorFrom(ctx->grouping, effective));
+    if (!engine.ok())
+        return engine;
+
+    ctx->op = std::move(effective);
+    ctx->calledAt = eq_.now();
+    ctx->callId = nextCallId_++;
+    ctx->onComplete = std::move(onComplete);
     stats_.counter("transfers") += 1;
-    stats_.counter("bytes") += op.pimIdArr.size() * op.sizePerPim;
+    stats_.counter("bytes") +=
+        ctx->op.pimIdArr.size() * ctx->op.sizePerPim;
+    PIMMMU_TRACE_LOG(trace::Category::Xfer, eq_.now(),
+                     "pim_mmu_transfer: " << ctx->op.pimIdArr.size()
+                                          << " PIM cores x "
+                                          << ctx->op.sizePerPim
+                                          << " B");
+    runAttempt(ctx);
+    return resilience::Status{};
+}
+
+void
+PimMmuRuntime::runAttempt(const std::shared_ptr<CallCtx> &ctx)
+{
+    // Functional plane: move the data now, across the modeled link
+    // when detection is on.
+    const bool useGuard = res_ && res_->policy().detectionEnabled();
+    resilience::XferGuard guard;
+    if (useGuard)
+        guard = res_->makeGuard();
+    device::functionalTransfer(
+        mem_.store(), pim_, ctx->op.type == XferDirection::DramToPim,
+        ctx->grouping, ctx->op.sizePerPim, ctx->op.pimBaseHeapPtr,
+        useGuard ? &guard : nullptr);
+    bool dataOk = true;
+    if (useGuard) {
+        res_->absorbGuard(guard);
+        dataOk = guard.dataOk();
+        ctx->lastUncorrectedWords = guard.uncorrectedWords;
+    }
+
     // Driver: write the op through the MMIO BAR (doorbell), then start
     // the engine; completion raises an interrupt the driver services
     // before waking the requesting process.
-    eq_.scheduleAfter(
-        cfg.mmioDoorbellPs,
-        [this, calledAt, callId, descriptor = std::move(descriptor),
-         onComplete = std::move(onComplete)]() mutable {
-            auto &tl = telemetry::Timeline::global();
-            if (tl.enabled())
-                tl.instant(timelineTrack_,
-                           "doorbell#" + std::to_string(callId),
-                           eq_.now());
-            dce_.enqueue(
-                std::move(descriptor),
-                [this, calledAt, callId,
-                 onComplete = std::move(onComplete)] {
-                    eq_.scheduleAfter(
-                        dce_.config().interruptPs,
-                        [this, calledAt, callId,
-                         onComplete = std::move(onComplete)] {
-                            const Tick now = eq_.now();
-                            stats_.average("e2e_us").sample(
-                                static_cast<double>(now - calledAt) /
-                                1e6);
-                            auto &tl = telemetry::Timeline::global();
-                            if (tl.enabled())
-                                tl.span(timelineTrack_,
-                                        "transfer#" +
-                                            std::to_string(callId),
-                                        calledAt, now);
-                            if (onComplete)
-                                onComplete();
-                        });
-                });
-        });
+    const DceConfig &cfg = dce_.config();
+    eq_.scheduleAfter(cfg.mmioDoorbellPs, [this, ctx, dataOk] {
+        auto &tl = telemetry::Timeline::global();
+        if (tl.enabled()) {
+            tl.instant(timelineTrack_,
+                       "doorbell#" + std::to_string(ctx->callId),
+                       eq_.now());
+        }
+        const auto accepted = dce_.enqueueChecked(
+            descriptorFrom(ctx->grouping, ctx->op),
+            [this, ctx, dataOk](const resilience::Status &dceStatus) {
+                eq_.scheduleAfter(
+                    dce_.config().interruptPs,
+                    [this, ctx, dataOk, dceStatus] {
+                        onAttemptDone(ctx, dataOk, dceStatus);
+                    });
+            });
+        PIMMMU_ASSERT(accepted.ok(),
+                      "pre-validated descriptor rejected");
+    });
+}
+
+void
+PimMmuRuntime::onAttemptDone(const std::shared_ptr<CallCtx> &ctx,
+                             bool dataOk,
+                             const resilience::Status &dceStatus)
+{
+    if (dceStatus.ok() && dataOk) {
+        finishCall(ctx, resilience::Status{});
+        return;
+    }
+    // A failed attempt implies a resilience manager: without one there
+    // is no detection (dataOk stays true) and no watchdog.
+    const resilience::Policy &pol = res_->policy();
+    if (pol.retry && ctx->attempt < pol.maxRetries) {
+        ++ctx->attempt;
+        if (dceStatus.ok()) {
+            // Corrupt payload: attribute the retry to what detection
+            // tripped — ECC budget exhaustion or the end-to-end CRC.
+            if (ctx->lastUncorrectedWords > 0)
+                res_->noteEccRetry();
+            else
+                res_->noteCrcRetry();
+        }
+        auto &tl = telemetry::Timeline::global();
+        if (tl.enabled()) {
+            tl.instant(timelineTrack_,
+                       "retry#" + std::to_string(ctx->callId),
+                       eq_.now());
+        }
+        const Tick backoff = pol.retryBackoffPs
+                             << std::min(ctx->attempt - 1, 10u);
+        eq_.scheduleAfter(backoff,
+                          [this, ctx] { runAttempt(ctx); });
+        return;
+    }
+    res_->noteTransferFailed();
+    if (!dceStatus.ok()) {
+        finishCall(ctx, dceStatus);
+        return;
+    }
+    std::ostringstream os;
+    os << "payload corrupt after " << (ctx->attempt + 1)
+       << " attempt(s)";
+    finishCall(ctx, resilience::Status::failure(
+                        resilience::ErrorCode::DataCorrupt, os.str()));
+}
+
+void
+PimMmuRuntime::finishCall(const std::shared_ptr<CallCtx> &ctx,
+                          resilience::Status status)
+{
+    const Tick now = eq_.now();
+    stats_.average("e2e_us").sample(
+        static_cast<double>(now - ctx->calledAt) / 1e6);
+    auto &tl = telemetry::Timeline::global();
+    if (tl.enabled()) {
+        std::string name = "transfer#" + std::to_string(ctx->callId);
+        if (!status.ok())
+            name += "!failed";
+        tl.span(timelineTrack_, name, ctx->calledAt, now);
+    }
+    if (ctx->onComplete)
+        ctx->onComplete(status);
 }
 
 PimMmuRequestThread::PimMmuRequestThread(
     PimMmuRuntime &runtime, PimMmuOp op,
     std::function<void()> onComplete)
+    : runtime_(runtime), op_(std::move(op))
+{
+    if (onComplete) {
+        onComplete_ = [f = std::move(onComplete)](
+                          const resilience::Status &) { f(); };
+    }
+}
+
+PimMmuRequestThread::PimMmuRequestThread(
+    PimMmuRuntime &runtime, PimMmuOp op,
+    PimMmuRuntime::CompletionFn onComplete)
     : runtime_(runtime), op_(std::move(op)),
       onComplete_(std::move(onComplete))
 {
@@ -131,12 +298,19 @@ PimMmuRequestThread::step(cpu::Core &core)
       case State::Marshal: {
         state_ = State::Sleeping;
         cpu::Cpu &cpu = core.cpu();
-        runtime_.transfer(op_, [this, &cpu] {
+        const auto status = runtime_.transferChecked(
+            op_, [this, &cpu](const resilience::Status &s) {
+                state_ = State::Done;
+                if (onComplete_)
+                    onComplete_(s);
+                cpu.wakeThread(*this);
+            });
+        if (!status.ok()) {
+            // Rejected synchronously: the callback will never fire.
             state_ = State::Done;
             if (onComplete_)
-                onComplete_();
-            cpu.wakeThread(*this);
-        });
+                onComplete_(status);
+        }
         // Descriptor marshalling: a handful of cycles per PIM core.
         return static_cast<unsigned>(20 * op_.pimIdArr.size() + 500);
       }

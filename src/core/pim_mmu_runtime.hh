@@ -18,6 +18,7 @@
 #include "core/dce.hh"
 #include "cpu/cpu.hh"
 #include "cpu/thread.hh"
+#include "pim/host_transfer.hh"
 #include "pim/pim_device.hh"
 
 namespace pimmmu {
@@ -30,8 +31,11 @@ namespace core {
 class PimMmuRuntime
 {
   public:
+    using CompletionFn = Dce::CompletionFn;
+
     PimMmuRuntime(EventQueue &eq, Dce &dce, dram::MemorySystem &mem,
-                  device::PimDevice &pim);
+                  device::PimDevice &pim,
+                  resilience::Manager *res = nullptr);
 
     ~PimMmuRuntime();
 
@@ -54,10 +58,30 @@ class PimMmuRuntime
     void transfer(const PimMmuOp &op, std::function<void()> onComplete);
 
     /**
+     * Resilient variant of transfer(). Descriptor problems (malformed
+     * op, DCE capacity, every listed PIM core health-masked) are
+     * returned synchronously and nothing is enqueued; accepted
+     * transfers report their final status through @p onComplete.
+     *
+     * With a resilience manager attached, the transfer path runs the
+     * policy's detection (link ECC, descriptor CRC) per attempt and,
+     * when retry is enabled, re-drives corrupt transfers with
+     * exponential backoff up to the policy budget. With masking
+     * enabled, listed PIM cores that have failed are excised from the
+     * scatter plan (whole banks) instead of failing the call.
+     */
+    resilience::Status transferChecked(const PimMmuOp &op,
+                                       CompletionFn onComplete);
+
+    /**
      * Build the timing-plane descriptor without executing it (exposed
      * for tests and for the DRAM->DRAM DCE-memcpy path).
      */
     DceTransfer buildDescriptor(const PimMmuOp &op) const;
+
+    /** Descriptor from an already-validated bank grouping. */
+    DceTransfer descriptorFrom(const device::BankGrouping &grouping,
+                               const PimMmuOp &op) const;
 
     /** Apply only the functional (data) semantics of @p op. */
     void functionalCopy(const PimMmuOp &op);
@@ -66,12 +90,31 @@ class PimMmuRuntime
     stats::Group &stats() { return stats_; }
 
   private:
+    /** State shared across the (possibly retried) attempts of a call. */
+    struct CallCtx
+    {
+        PimMmuOp op;                    //!< post-masking effective op
+        device::BankGrouping grouping;
+        unsigned attempt = 0;
+        Tick calledAt = 0;
+        std::uint64_t callId = 0;
+        CompletionFn onComplete;
+        /** Accounting of the most recent attempt's guard. */
+        std::uint64_t lastUncorrectedWords = 0;
+    };
+
     void validate(const PimMmuOp &op) const;
+    void runAttempt(const std::shared_ptr<CallCtx> &ctx);
+    void onAttemptDone(const std::shared_ptr<CallCtx> &ctx, bool dataOk,
+                       const resilience::Status &dceStatus);
+    void finishCall(const std::shared_ptr<CallCtx> &ctx,
+                    resilience::Status status);
 
     EventQueue &eq_;
     Dce &dce_;
     dram::MemorySystem &mem_;
     device::PimDevice &pim_;
+    resilience::Manager *res_;
     std::uint64_t nextCallId_ = 0;
     unsigned timelineTrack_ = 0;
     stats::Group stats_;
@@ -87,6 +130,10 @@ class PimMmuRequestThread : public cpu::SoftThread
   public:
     PimMmuRequestThread(PimMmuRuntime &runtime, PimMmuOp op,
                         std::function<void()> onComplete = nullptr);
+
+    /** Status-aware variant: sees how the transfer ended. */
+    PimMmuRequestThread(PimMmuRuntime &runtime, PimMmuOp op,
+                        PimMmuRuntime::CompletionFn onComplete);
 
     bool finished() const override { return state_ == State::Done; }
     unsigned step(cpu::Core &core) override;
@@ -105,7 +152,7 @@ class PimMmuRequestThread : public cpu::SoftThread
 
     PimMmuRuntime &runtime_;
     PimMmuOp op_;
-    std::function<void()> onComplete_;
+    PimMmuRuntime::CompletionFn onComplete_;
     State state_ = State::Marshal;
 };
 

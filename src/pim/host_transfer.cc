@@ -1,43 +1,71 @@
 #include "pim/host_transfer.hh"
 
+#include <cstring>
 #include <map>
+#include <sstream>
 
 #include "common/trace.hh"
 #include "pim/transpose.hh"
+#include "resilience/ecc.hh"
 #include "testing/fault_injection.hh"
 
 namespace pimmmu {
 namespace device {
 
-BankGrouping
-groupByBank(const PimGeometry &geometry,
-            const std::vector<unsigned> &dpuIds,
-            const std::vector<Addr> &hostAddrs,
-            std::uint64_t bytesPerDpu, Addr heapOffset)
+namespace {
+
+resilience::Status
+malformed(const std::string &detail)
 {
-    if (dpuIds.empty())
-        fatal("transfer lists no PIM cores");
+    return resilience::Status::failure(
+        resilience::ErrorCode::MalformedDescriptor, detail);
+}
+
+} // namespace
+
+resilience::Status
+groupByBankChecked(const PimGeometry &geometry,
+                   const std::vector<unsigned> &dpuIds,
+                   const std::vector<Addr> &hostAddrs,
+                   std::uint64_t bytesPerDpu, Addr heapOffset,
+                   BankGrouping &out)
+{
+    using resilience::ErrorCode;
+    using resilience::Status;
+
+    if (dpuIds.empty()) {
+        return Status::failure(ErrorCode::EmptyDescriptor,
+                               "transfer lists no PIM cores");
+    }
     if (dpuIds.size() != hostAddrs.size())
-        fatal("dpu id and host address arrays differ in length");
+        return malformed("dpu id and host address arrays differ in length");
     if (bytesPerDpu == 0 || bytesPerDpu % 64 != 0)
-        fatal("bytesPerDpu must be a non-zero multiple of 64");
+        return malformed("bytesPerDpu must be a non-zero multiple of 64");
     if (heapOffset % kWordBytes != 0)
-        fatal("MRAM heap offset must be 8-byte aligned");
-    if (heapOffset + bytesPerDpu > geometry.mramBytesPerDpu())
-        fatal("transfer exceeds MRAM capacity");
+        return malformed("MRAM heap offset must be 8-byte aligned");
+    if (heapOffset + bytesPerDpu > geometry.mramBytesPerDpu()) {
+        return Status::failure(ErrorCode::DescriptorTooLarge,
+                               "transfer exceeds MRAM capacity");
+    }
 
     std::map<unsigned, BankGrouping::Bank> banks;
     std::map<unsigned, unsigned> chipsSeen;
     for (std::size_t i = 0; i < dpuIds.size(); ++i) {
         const unsigned dpu = dpuIds[i];
-        if (dpu >= geometry.numDpus())
-            fatal("PIM core id ", dpu, " out of range");
+        if (dpu >= geometry.numDpus()) {
+            std::ostringstream os;
+            os << "PIM core id " << dpu << " out of range";
+            return malformed(os.str());
+        }
         if (hostAddrs[i] % 64 != 0)
-            fatal("host arrays must be 64-byte aligned");
+            return malformed("host arrays must be 64-byte aligned");
         const unsigned bankIdx = geometry.dpuBank(dpu);
         const unsigned chip = geometry.dpuChip(dpu);
-        if (chipsSeen[bankIdx] & (1u << chip))
-            fatal("PIM core id ", dpu, " listed twice");
+        if (chipsSeen[bankIdx] & (1u << chip)) {
+            std::ostringstream os;
+            os << "PIM core id " << dpu << " listed twice";
+            return malformed(os.str());
+        }
         chipsSeen[bankIdx] |= 1u << chip;
         BankGrouping::Bank &bank = banks[bankIdx];
         bank.bankIdx = bankIdx;
@@ -49,9 +77,11 @@ groupByBank(const PimGeometry &geometry,
     grouping.banks.reserve(banks.size());
     for (auto &kv : banks) {
         if (chipsSeen[kv.first] != 0xffu) {
-            fatal("bank ", kv.first,
-                  " is only partially covered; transfers must address "
-                  "all 8 chips of each touched bank");
+            std::ostringstream os;
+            os << "bank " << kv.first
+               << " is only partially covered; transfers must address "
+                  "all 8 chips of each touched bank";
+            return malformed(os.str());
         }
         grouping.banks.push_back(kv.second);
     }
@@ -62,16 +92,111 @@ groupByBank(const PimGeometry &geometry,
                                      << " whole banks, " << bytesPerDpu
                                      << " B/core at heap+"
                                      << heapOffset);
+    out = std::move(grouping);
+    return Status{};
+}
+
+BankGrouping
+groupByBank(const PimGeometry &geometry,
+            const std::vector<unsigned> &dpuIds,
+            const std::vector<Addr> &hostAddrs,
+            std::uint64_t bytesPerDpu, Addr heapOffset)
+{
+    BankGrouping grouping;
+    const auto status = groupByBankChecked(
+        geometry, dpuIds, hostAddrs, bytesPerDpu, heapOffset, grouping);
+    if (!status.ok())
+        fatal(status.message);
     return grouping;
 }
+
+namespace {
+
+void
+flipBit(std::uint8_t word[8], unsigned bit)
+{
+    word[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+/**
+ * Carry one wire word across the modeled (faulty) link. @p clean is
+ * the intended payload; @p word holds what actually arrives. With ECC
+ * enabled, uncorrectable words are retransmitted up to the guard's
+ * budget; a word that exhausts it is delivered corrupt and counted.
+ */
+void
+transmitWord(const std::uint8_t clean[8], std::uint8_t word[8],
+             resilience::XferGuard &g)
+{
+    using resilience::EccOutcome;
+    namespace fault = testing::fault;
+
+    const unsigned attempts = g.retryWords ? g.maxWordRetries + 1 : 1;
+    bool delivered = false;
+    for (unsigned attempt = 0; attempt < attempts && !delivered;
+         ++attempt) {
+        std::memcpy(word, clean, kWordBytes);
+        std::uint8_t check =
+            g.eccEnabled ? resilience::eccEncode(word) : 0;
+
+        // Link noise. The flipped position walks with the word index
+        // so campaigns exercise the whole codeword, deterministically.
+        const auto bit = static_cast<unsigned>(g.wordIndex % 64);
+        if (fault::fire("ecc.flip_single_bit"))
+            flipBit(word, bit);
+        if (fault::fire("ecc.flip_double_bit")) {
+            flipBit(word, bit);
+            flipBit(word, (bit + 31) % 64);
+        }
+
+        if (!g.eccEnabled) {
+            delivered = true;
+            break;
+        }
+        switch (resilience::eccDecode(word, check)) {
+          case EccOutcome::Clean:
+            delivered = true;
+            break;
+          case EccOutcome::CorrectedData:
+          case EccOutcome::CorrectedCheck:
+            ++g.eccCorrected;
+            delivered = true;
+            break;
+          case EccOutcome::Uncorrectable:
+            ++g.eccUncorrectable;
+            if (attempt + 1 < attempts)
+                ++g.wordRetries;
+            break;
+        }
+    }
+    if (!delivered)
+        ++g.uncorrectedWords;
+
+    // Buffer corruption past the ECC domain: only the end-to-end CRC
+    // can see it.
+    if (fault::fire("xfer.corrupt_data")) {
+        word[0] ^= 0x5a;
+        ++g.corruptWords;
+    }
+
+    g.crcSource = resilience::crc32cUpdate(g.crcSource, clean,
+                                           kWordBytes);
+    g.crcDelivered = resilience::crc32cUpdate(g.crcDelivered, word,
+                                              kWordBytes);
+    ++g.wordIndex;
+}
+
+} // namespace
 
 void
 functionalTransfer(dram::BackingStore &store, PimDevice &pim, bool toPim,
                    const BankGrouping &grouping,
-                   std::uint64_t bytesPerDpu, Addr heapOffset)
+                   std::uint64_t bytesPerDpu, Addr heapOffset,
+                   resilience::XferGuard *guard)
 {
     const std::uint64_t words = bytesPerDpu / kWordBytes;
     std::uint8_t wire[kBlockBytes];
+    std::uint8_t clean[kWordBytes];
     std::uint8_t word[kWordBytes];
 
     PIMMMU_TRACE_LOG(trace::Category::Xfer, trace::now(),
@@ -83,9 +208,9 @@ functionalTransfer(dram::BackingStore &store, PimDevice &pim, bool toPim,
     for (const auto &bank : grouping.banks) {
         for (std::uint64_t w = 0; w < words; ++w) {
             const Addr wordOff = w * kWordBytes;
+            std::uint8_t gathered[8][kWordBytes];
+            const std::uint8_t *rows[8];
             if (toPim) {
-                std::uint8_t gathered[8][kWordBytes];
-                const std::uint8_t *rows[8];
                 for (unsigned c = 0; c < 8; ++c) {
                     store.read(bank.hostBase[c] + wordOff, gathered[c],
                                kWordBytes);
@@ -93,16 +218,19 @@ functionalTransfer(dram::BackingStore &store, PimDevice &pim, bool toPim,
                 }
                 packWireBlock(rows, wire);
                 for (unsigned c = 0; c < 8; ++c) {
-                    unpackWireWord(wire, c, word);
-                    if (testing::fault::fire("xfer.corrupt_data"))
-                        word[0] ^= 0x5a;
+                    if (guard) {
+                        unpackWireWord(wire, c, clean);
+                        transmitWord(clean, word, *guard);
+                    } else {
+                        unpackWireWord(wire, c, word);
+                        if (testing::fault::fire("xfer.corrupt_data"))
+                            word[0] ^= 0x5a;
+                    }
                     pim.dpu(bank.dpuId[c])
                         .mramWrite(heapOffset + wordOff, word,
                                    kWordBytes);
                 }
             } else {
-                std::uint8_t gathered[8][kWordBytes];
-                const std::uint8_t *rows[8];
                 for (unsigned c = 0; c < 8; ++c) {
                     pim.dpu(bank.dpuId[c])
                         .mramRead(heapOffset + wordOff, gathered[c],
@@ -113,9 +241,14 @@ functionalTransfer(dram::BackingStore &store, PimDevice &pim, bool toPim,
                 // host-side (un)transpose restores per-DPU words.
                 packWireBlock(rows, wire);
                 for (unsigned c = 0; c < 8; ++c) {
-                    unpackWireWord(wire, c, word);
-                    if (testing::fault::fire("xfer.corrupt_data"))
-                        word[0] ^= 0x5a;
+                    if (guard) {
+                        unpackWireWord(wire, c, clean);
+                        transmitWord(clean, word, *guard);
+                    } else {
+                        unpackWireWord(wire, c, word);
+                        if (testing::fault::fire("xfer.corrupt_data"))
+                            word[0] ^= 0x5a;
+                    }
                     store.write(bank.hostBase[c] + wordOff, word,
                                 kWordBytes);
                 }

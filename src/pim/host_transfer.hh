@@ -14,6 +14,8 @@
 
 #include "dram/backing_store.hh"
 #include "pim/pim_device.hh"
+#include "resilience/status.hh"
+#include "resilience/xfer_guard.hh"
 
 namespace pimmmu {
 namespace device {
@@ -48,14 +50,36 @@ BankGrouping groupByBank(const PimGeometry &geometry,
                          std::uint64_t bytesPerDpu, Addr heapOffset);
 
 /**
+ * Validating variant of groupByBank: reports violations as a
+ * structured Status instead of fatal()ing, so runtimes can reject a
+ * bad descriptor and keep the machine up. On success @p out holds the
+ * grouping.
+ */
+resilience::Status
+groupByBankChecked(const PimGeometry &geometry,
+                   const std::vector<unsigned> &dpuIds,
+                   const std::vector<Addr> &hostAddrs,
+                   std::uint64_t bytesPerDpu, Addr heapOffset,
+                   BankGrouping &out);
+
+/**
  * Apply the functional semantics of a transfer: move @p bytesPerDpu
  * bytes between each DPU's host array (in @p store) and its MRAM at
  * @p heapOffset, routing every word through the 8x8 wire-block
  * transpose exactly as the hardware does.
+ *
+ * With a @p guard, every delivered wire word additionally crosses the
+ * modeled link: SEC-DED ECC encode/decode around the injected
+ * `ecc.flip_*` fault sites (with bounded word retransmission for
+ * uncorrectable errors), past-ECC buffer corruption via
+ * `xfer.corrupt_data`, and running end-to-end CRCs over intended vs
+ * delivered payload. Without a guard the behavior (including the
+ * legacy silent `xfer.corrupt_data` hook) is unchanged.
  */
 void functionalTransfer(dram::BackingStore &store, PimDevice &pim,
                         bool toPim, const BankGrouping &grouping,
-                        std::uint64_t bytesPerDpu, Addr heapOffset);
+                        std::uint64_t bytesPerDpu, Addr heapOffset,
+                        resilience::XferGuard *guard = nullptr);
 
 } // namespace device
 } // namespace pimmmu

@@ -1,0 +1,39 @@
+#include "resilience/crc.hh"
+
+#include <array>
+
+namespace pimmmu {
+namespace resilience {
+
+namespace {
+
+/** Reflected CRC-32C polynomial (iSCSI/ext4). */
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+        table[i] = crc;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32cUpdate(std::uint32_t state, const void *data, std::size_t bytes)
+{
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < bytes; ++i)
+        state = (state >> 8) ^ table[(state ^ p[i]) & 0xffu];
+    return state;
+}
+
+} // namespace resilience
+} // namespace pimmmu

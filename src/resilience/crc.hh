@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CRC-32C (Castagnoli) for end-to-end payload verification.
+ *
+ * The DCE computes a CRC over every descriptor's payload as it passes
+ * through the data buffer and verifies it against the source-side CRC at
+ * completion; a mismatch means corruption slipped past the link-level
+ * ECC (e.g. an SRAM buffer upset) and triggers a descriptor-level
+ * retransfer. Dependency-free so the functional plane can link it
+ * without cycles.
+ */
+
+#ifndef PIMMMU_RESILIENCE_CRC_HH
+#define PIMMMU_RESILIENCE_CRC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pimmmu {
+namespace resilience {
+
+/** Initial running-CRC state (pre-inversion form). */
+constexpr std::uint32_t kCrc32cInit = 0xffffffffu;
+
+/** Fold @p bytes into a running CRC started from kCrc32cInit. */
+std::uint32_t crc32cUpdate(std::uint32_t state, const void *data,
+                           std::size_t bytes);
+
+/** Finalize a running CRC into the canonical CRC-32C value. */
+constexpr std::uint32_t
+crc32cFinish(std::uint32_t state)
+{
+    return state ^ 0xffffffffu;
+}
+
+/** One-shot CRC-32C of a buffer. */
+inline std::uint32_t
+crc32c(const void *data, std::size_t bytes)
+{
+    return crc32cFinish(crc32cUpdate(kCrc32cInit, data, bytes));
+}
+
+} // namespace resilience
+} // namespace pimmmu
+
+#endif // PIMMMU_RESILIENCE_CRC_HH

@@ -1,0 +1,142 @@
+#include "resilience/ecc.hh"
+
+#include <array>
+
+namespace pimmmu {
+namespace resilience {
+
+namespace {
+
+constexpr unsigned kCodeBits = 72; //!< 64 data + 7 Hamming + 1 overall
+
+constexpr bool
+isPowerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Codeword position of each data bit (positions 1..71 that are not
+ *  Hamming parity positions; position 0 is the overall parity bit). */
+struct PositionMaps
+{
+    std::array<unsigned, kEccDataBits> dataPos{};
+    std::array<int, kCodeBits> dataIndexAt{}; //!< -1 at parity positions
+};
+
+constexpr PositionMaps
+makeMaps()
+{
+    PositionMaps m{};
+    for (auto &v : m.dataIndexAt)
+        v = -1;
+    unsigned j = 0;
+    for (unsigned pos = 1; pos < kCodeBits; ++pos) {
+        if (isPowerOfTwo(pos))
+            continue;
+        m.dataPos[j] = pos;
+        m.dataIndexAt[pos] = static_cast<int>(j);
+        ++j;
+    }
+    return m;
+}
+
+constexpr PositionMaps kMaps = makeMaps();
+
+bool
+dataBit(const std::uint8_t data[8], unsigned j)
+{
+    return (data[j / 8] >> (j % 8)) & 1u;
+}
+
+void
+flipDataBit(std::uint8_t data[8], unsigned j)
+{
+    data[j / 8] ^= static_cast<std::uint8_t>(1u << (j % 8));
+}
+
+/** Expand data + check into the 72-bit codeword. */
+void
+buildCodeword(const std::uint8_t data[8], std::uint8_t check,
+              bool cw[kCodeBits])
+{
+    for (unsigned pos = 0; pos < kCodeBits; ++pos)
+        cw[pos] = false;
+    for (unsigned j = 0; j < kEccDataBits; ++j)
+        cw[kMaps.dataPos[j]] = dataBit(data, j);
+    for (unsigned k = 0; k < 7; ++k)
+        cw[1u << k] = (check >> k) & 1u;
+    cw[0] = (check >> 7) & 1u;
+}
+
+} // namespace
+
+std::uint8_t
+eccEncode(const std::uint8_t data[8])
+{
+    bool cw[kCodeBits];
+    buildCodeword(data, 0, cw);
+    std::uint8_t check = 0;
+    for (unsigned k = 0; k < 7; ++k) {
+        bool parity = false;
+        for (unsigned pos = 1; pos < kCodeBits; ++pos) {
+            if ((pos & (1u << k)) && !isPowerOfTwo(pos))
+                parity ^= cw[pos];
+        }
+        check |= static_cast<std::uint8_t>(parity) << k;
+        cw[1u << k] = parity;
+    }
+    bool overall = false;
+    for (unsigned pos = 1; pos < kCodeBits; ++pos)
+        overall ^= cw[pos];
+    check |= static_cast<std::uint8_t>(overall) << 7;
+    return check;
+}
+
+EccOutcome
+eccDecode(std::uint8_t data[8], std::uint8_t &check)
+{
+    bool cw[kCodeBits];
+    buildCodeword(data, check, cw);
+
+    unsigned syndrome = 0;
+    for (unsigned k = 0; k < 7; ++k) {
+        bool parity = false;
+        for (unsigned pos = 1; pos < kCodeBits; ++pos) {
+            if (pos & (1u << k))
+                parity ^= cw[pos];
+        }
+        if (parity)
+            syndrome |= 1u << k;
+    }
+    bool overall = false;
+    for (unsigned pos = 0; pos < kCodeBits; ++pos)
+        overall ^= cw[pos];
+
+    if (syndrome == 0 && !overall)
+        return EccOutcome::Clean;
+    if (!overall) {
+        // Nonzero syndrome with even total weight: >= 2 flipped bits.
+        return EccOutcome::Uncorrectable;
+    }
+    // Odd weight: a single flipped bit at codeword position `syndrome`
+    // (0 means the overall parity bit itself).
+    if (syndrome == 0) {
+        check ^= 0x80;
+        return EccOutcome::CorrectedCheck;
+    }
+    if (syndrome >= kCodeBits)
+        return EccOutcome::Uncorrectable;
+    if (isPowerOfTwo(syndrome)) {
+        for (unsigned k = 0; k < 7; ++k) {
+            if (syndrome == (1u << k))
+                check ^= static_cast<std::uint8_t>(1u << k);
+        }
+        return EccOutcome::CorrectedCheck;
+    }
+    flipDataBit(data, static_cast<unsigned>(
+                          kMaps.dataIndexAt[syndrome]));
+    return EccOutcome::CorrectedData;
+}
+
+} // namespace resilience
+} // namespace pimmmu

@@ -1,0 +1,140 @@
+#include "resilience/manager.hh"
+
+#include <sstream>
+
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
+
+namespace pimmmu {
+namespace resilience {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::EmptyDescriptor:
+        return "empty_descriptor";
+      case ErrorCode::MalformedDescriptor:
+        return "malformed_descriptor";
+      case ErrorCode::EmptyStream:
+        return "empty_stream";
+      case ErrorCode::DescriptorTooLarge:
+        return "descriptor_too_large";
+      case ErrorCode::DataCorrupt:
+        return "data_corrupt";
+      case ErrorCode::TransferStalled:
+        return "transfer_stalled";
+      case ErrorCode::CapacityExhausted:
+        return "capacity_exhausted";
+    }
+    return "unknown";
+}
+
+std::string
+Status::str() const
+{
+    if (ok())
+        return "ok";
+    std::string s = errorCodeName(code);
+    if (!message.empty()) {
+        s += ": ";
+        s += message;
+    }
+    return s;
+}
+
+Policy
+Policy::withRetry()
+{
+    Policy p;
+    p.checkEcc = true;
+    p.checkCrc = true;
+    p.retry = true;
+    p.watchdogPs = 50 * kPsPerUs;
+    return p;
+}
+
+Policy
+Policy::withRetryAndMask()
+{
+    Policy p = withRetry();
+    p.maskFailedDpus = true;
+    return p;
+}
+
+Manager::Manager(const Policy &policy, unsigned numDpus,
+                 unsigned chipsPerRank)
+    : policy_(policy), numDpus_(numDpus),
+      chipsPerRank_(chipsPerRank ? chipsPerRank : 1),
+      bankMasked_(numDpus / (chipsPerRank ? chipsPerRank : 1), false),
+      stats_("resilience")
+{
+    telemetry::StatsRegistry::global().add(stats_, [this] {
+        stats_.gauge("healthy_dpus") =
+            static_cast<double>(healthyDpus());
+    });
+    timelineTrack_ = telemetry::Timeline::global().track("resilience");
+}
+
+Manager::~Manager()
+{
+    telemetry::StatsRegistry::global().remove(stats_);
+}
+
+XferGuard
+Manager::makeGuard() const
+{
+    XferGuard guard;
+    guard.eccEnabled = policy_.checkEcc;
+    guard.crcEnabled = policy_.checkCrc;
+    guard.retryWords = policy_.retry;
+    guard.maxWordRetries = policy_.maxRetries;
+    return guard;
+}
+
+void
+Manager::absorbGuard(const XferGuard &guard)
+{
+    stats_.counter("ecc_corrected") += guard.eccCorrected;
+    stats_.counter("ecc_uncorrectable") += guard.eccUncorrectable;
+    stats_.counter("burst_retries") += guard.wordRetries;
+    stats_.counter("crc_corrupt_words") += guard.corruptWords;
+}
+
+void
+Manager::markDpuFailed(unsigned dpu, Tick now)
+{
+    const unsigned bank = dpu / chipsPerRank_;
+    if (bank >= bankMasked_.size() || bankMasked_[bank])
+        return;
+    bankMasked_[bank] = true;
+    ++maskedBanks_;
+    stats_.counter("dpus_masked") += chipsPerRank_;
+    ++stats_.counter("banks_masked");
+    auto &tl = telemetry::Timeline::global();
+    if (tl.enabled()) {
+        std::ostringstream os;
+        os << "mask dpu " << dpu << " (bank " << bank << ")";
+        tl.instant(timelineTrack_, os.str(), now);
+    }
+}
+
+void
+Manager::noteWatchdogFire(Tick now, std::uint64_t transferId,
+                          std::uint64_t lostWrites)
+{
+    ++stats_.counter("watchdog_fires");
+    stats_.counter("watchdog_recovered_writes") += lostWrites;
+    auto &tl = telemetry::Timeline::global();
+    if (tl.enabled()) {
+        std::ostringstream os;
+        os << "watchdog xfer " << transferId << " (+" << lostWrites
+           << " writes)";
+        tl.instant(timelineTrack_, os.str(), now);
+    }
+}
+
+} // namespace resilience
+} // namespace pimmmu

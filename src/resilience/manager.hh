@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The resilience manager: recovery policy, per-DPU health mask, and the
+ * `resilience.*` stats group.
+ *
+ * One manager per simulated System. The transfer path (DCE, PIM-MMU
+ * runtime, baseline UPMEM runtime) consults the policy to decide which
+ * checks run and how failures are recovered, and reports every
+ * detection/recovery event here so campaigns can reconcile counters
+ * against fired fault sites. The health mask is bank-granular: a DPU
+ * failure poisons its whole bank (transfers must cover all 8 chips of a
+ * bank), so masking excises the bank from scatter plans and kernel
+ * launches.
+ */
+
+#ifndef PIMMMU_RESILIENCE_MANAGER_HH
+#define PIMMMU_RESILIENCE_MANAGER_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "resilience/status.hh"
+#include "resilience/xfer_guard.hh"
+
+namespace pimmmu {
+namespace resilience {
+
+/** Recovery policy for the transfer path. All checks default off, so a
+ *  default-constructed System behaves (and performs) exactly like one
+ *  built before the resilience subsystem existed. */
+struct Policy
+{
+    bool checkEcc = false; //!< SEC-DED ECC on every delivered word
+    bool checkCrc = false; //!< per-descriptor payload CRC in the DCE
+
+    /** Bounded retry for detected-uncorrectable data errors: word
+     *  retransmission at the link level, descriptor retransfer (with
+     *  exponential backoff) when the end-to-end CRC still mismatches. */
+    bool retry = false;
+    unsigned maxRetries = 4;
+    Tick retryBackoffPs = 2 * kPsPerUs;
+
+    /** Permanently exclude failed DPUs (whole banks) from scatter
+     *  plans and kernel launches instead of failing the transfer. */
+    bool maskFailedDpus = false;
+
+    /** Descriptor watchdog period (0 = off): if the engine makes no
+     *  progress for this long, lost completions are recovered by
+     *  re-driving the stuck streams. */
+    Tick watchdogPs = 0;
+    unsigned maxWatchdogRestarts = 8;
+
+    bool detectionEnabled() const { return checkEcc || checkCrc; }
+
+    /** Whether any feature is on (a Manager is worth constructing). */
+    bool
+    anyEnabled() const
+    {
+        return detectionEnabled() || retry || maskFailedDpus ||
+               watchdogPs > 0;
+    }
+
+    /** The three campaign policies of bench/fig_resilience. */
+    static Policy off() { return Policy{}; }
+    static Policy withRetry();
+    static Policy withRetryAndMask();
+};
+
+/** Per-System resilience state: policy, health mask, accounting. */
+class Manager
+{
+  public:
+    Manager(const Policy &policy, unsigned numDpus,
+            unsigned chipsPerRank);
+    ~Manager();
+
+    Manager(const Manager &) = delete;
+    Manager &operator=(const Manager &) = delete;
+
+    const Policy &policy() const { return policy_; }
+    stats::Group &stats() { return stats_; }
+
+    /** A guard preconfigured from the policy. */
+    XferGuard makeGuard() const;
+
+    /** Fold one attempt's detection accounting into the stats. */
+    void absorbGuard(const XferGuard &guard);
+
+    // ------------------------------------------------------------------
+    // Health mask (bank-granular).
+    // ------------------------------------------------------------------
+
+    bool
+    bankMasked(unsigned bank) const
+    {
+        return bank < bankMasked_.size() && bankMasked_[bank];
+    }
+
+    bool
+    dpuHealthy(unsigned dpu) const
+    {
+        return !bankMasked(dpu / chipsPerRank_);
+    }
+
+    /** Mark @p dpu permanently failed; masks its whole bank. */
+    void markDpuFailed(unsigned dpu, Tick now);
+
+    unsigned maskedBanks() const { return maskedBanks_; }
+    unsigned
+    healthyDpus() const
+    {
+        return numDpus_ - maskedBanks_ * chipsPerRank_;
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery accounting.
+    // ------------------------------------------------------------------
+
+    void noteCrcRetry() { ++stats_.counter("crc_retries"); }
+    void noteEccRetry() { ++stats_.counter("ecc_retries"); }
+    void noteWatchdogFire(Tick now, std::uint64_t transferId,
+                          std::uint64_t lostWrites);
+    void noteTransferFailed() { ++stats_.counter("transfers_failed"); }
+    void noteTransferDegraded()
+    {
+        ++stats_.counter("transfers_degraded");
+    }
+    void noteLaunchDegraded() { ++stats_.counter("launches_degraded"); }
+
+  private:
+    Policy policy_;
+    unsigned numDpus_;
+    unsigned chipsPerRank_;
+    std::vector<bool> bankMasked_;
+    unsigned maskedBanks_ = 0;
+    unsigned timelineTrack_ = 0;
+    stats::Group stats_;
+};
+
+} // namespace resilience
+} // namespace pimmmu
+
+#endif // PIMMMU_RESILIENCE_MANAGER_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Structured error reporting for the transfer path.
+ *
+ * The DCE fully offloads DRAM<->PIM copies behind MMIO, so a production
+ * deployment has no CPU in the loop to notice a bad descriptor or a hung
+ * engine. Instead of asserting (which models a machine check), the
+ * resilient transfer path reports failures as a Status the caller can
+ * inspect, log, and recover from.
+ */
+
+#ifndef PIMMMU_RESILIENCE_STATUS_HH
+#define PIMMMU_RESILIENCE_STATUS_HH
+
+#include <string>
+#include <utility>
+
+namespace pimmmu {
+namespace resilience {
+
+/** Why a transfer (or descriptor submission) failed. */
+enum class ErrorCode
+{
+    Ok,
+    /** Descriptor lists no bank streams. */
+    EmptyDescriptor,
+    /** Malformed descriptor: bad alignment, duplicate or out-of-range
+     *  PIM core ids, mismatched list lengths, partial bank coverage. */
+    MalformedDescriptor,
+    /** A bank stream moves zero lines (would hang the engine). */
+    EmptyStream,
+    /** Descriptor exceeds the DCE address-buffer capacity. */
+    DescriptorTooLarge,
+    /** Payload still corrupt after the bounded retry budget. */
+    DataCorrupt,
+    /** Engine made no progress and the watchdog budget is spent. */
+    TransferStalled,
+    /** Every listed PIM core is health-masked; no capacity left. */
+    CapacityExhausted,
+};
+
+const char *errorCodeName(ErrorCode code);
+
+/** Outcome of a transfer-path operation: code + human detail. */
+struct Status
+{
+    ErrorCode code = ErrorCode::Ok;
+    std::string message;
+
+    bool ok() const { return code == ErrorCode::Ok; }
+
+    static Status
+    failure(ErrorCode code, std::string message)
+    {
+        return Status{code, std::move(message)};
+    }
+
+    /** "ok" or "<code>: <message>". */
+    std::string str() const;
+};
+
+} // namespace resilience
+} // namespace pimmmu
+
+#endif // PIMMMU_RESILIENCE_STATUS_HH

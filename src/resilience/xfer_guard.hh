@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-transfer error-detection context threaded through the functional
+ * copy path.
+ *
+ * A guard carries the enabled checks (link-level SEC-DED ECC per wire
+ * word, end-to-end CRC-32C per descriptor payload) and accumulates the
+ * detection/recovery accounting the resilience manager folds into the
+ * `resilience.*` stats group. Dependency-light on purpose: the
+ * functional plane (host_transfer) includes only this header plus the
+ * ecc/crc codecs, never the manager.
+ */
+
+#ifndef PIMMMU_RESILIENCE_XFER_GUARD_HH
+#define PIMMMU_RESILIENCE_XFER_GUARD_HH
+
+#include <cstdint>
+
+#include "resilience/crc.hh"
+
+namespace pimmmu {
+namespace resilience {
+
+/** Detection settings + accounting for one transfer attempt. */
+struct XferGuard
+{
+    // --- configuration (from the resilience Policy) ---
+    bool eccEnabled = false;  //!< SEC-DED on every delivered word
+    bool crcEnabled = false;  //!< descriptor-level payload CRC
+    bool retryWords = false;  //!< retransmit ECC-uncorrectable words
+    unsigned maxWordRetries = 4;
+
+    // --- accounting (read back by the resilience manager) ---
+    std::uint64_t eccCorrected = 0;      //!< single-bit flips repaired
+    std::uint64_t eccUncorrectable = 0;  //!< double-bit flips detected
+    std::uint64_t wordRetries = 0;       //!< link retransmissions
+    std::uint64_t uncorrectedWords = 0;  //!< delivered corrupt (budget spent)
+    std::uint64_t corruptWords = 0;      //!< injected past-ECC corruption
+    std::uint64_t wordIndex = 0;         //!< running word count
+
+    /** Running CRCs over source payload and delivered payload. */
+    std::uint32_t crcSource = kCrc32cInit;
+    std::uint32_t crcDelivered = kCrc32cInit;
+
+    bool crcOk() const { return crcSource == crcDelivered; }
+
+    /** Did this attempt deliver a byte-exact payload? */
+    bool
+    dataOk() const
+    {
+        return uncorrectedWords == 0 && (!crcEnabled || crcOk());
+    }
+};
+
+} // namespace resilience
+} // namespace pimmmu
+
+#endif // PIMMMU_RESILIENCE_XFER_GUARD_HH

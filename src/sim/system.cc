@@ -73,14 +73,23 @@ System::System(const SystemConfig &config) : config_(config)
     cpu_ = std::make_unique<cpu::Cpu>(eq_, config_.cpu, *mem_,
                                       llc_.get());
 
+    // Only stand up the resilience manager (and its stats group) when
+    // the policy enables something: default systems stay bit-identical.
+    if (config_.resilience.anyEnabled()) {
+        resilience_ = std::make_unique<resilience::Manager>(
+            config_.resilience, config_.pimGeom.numDpus(),
+            config_.pimGeom.chipsPerRank);
+    }
+
     core::DceConfig dceCfg = config_.dce;
     dceCfg.usePimMs = config_.usePimMs();
     dce_ = std::make_unique<core::Dce>(eq_, dceCfg, *mem_,
-                                       config_.pimGeom);
+                                       config_.pimGeom,
+                                       resilience_.get());
     pimMmuRuntime_ = std::make_unique<core::PimMmuRuntime>(
-        eq_, *dce_, *mem_, *pim_);
+        eq_, *dce_, *mem_, *pim_, resilience_.get());
     upmemRuntime_ = std::make_unique<upmem::UpmemRuntime>(
-        eq_, *cpu_, *mem_, *pim_);
+        eq_, *cpu_, *mem_, *pim_, resilience_.get());
 }
 
 System::~System()
@@ -169,10 +178,13 @@ System::startDceTransfer(core::XferDirection dir,
     xfer->bytes = bytesPerDpu * dpuIds.size();
 
     auto thread = std::make_shared<core::PimMmuRequestThread>(
-        *pimMmuRuntime_, std::move(op), [this, xfer] {
-            xfer->done = true;
-            xfer->endPs = eq_.now();
-        });
+        *pimMmuRuntime_, std::move(op),
+        core::PimMmuRuntime::CompletionFn(
+            [this, xfer](const resilience::Status &s) {
+                xfer->status = s;
+                xfer->done = true;
+                xfer->endPs = eq_.now();
+            }));
     cpu_->runJob({thread}, nullptr);
     return xfer;
 }
@@ -256,31 +268,34 @@ System::runTransfer(core::XferDirection dir, unsigned numDpus,
     while (!xfer->done) {
         const Tick limit = eq_.now() + window;
         runUntil([&] { return xfer->done; }, limit);
-        if (eq_.now() <= xfer->startPs)
-            continue;
-        std::uint64_t total = 0, peak = 0;
-        for (unsigned ch = 0; ch < mem_->pimChannels(); ++ch) {
-            const std::uint64_t cur =
-                mem_->pimController(ch).bytesMoved();
-            const std::uint64_t delta = cur - prev[ch];
-            prev[ch] = cur;
-            total += delta;
-            peak = std::max(peak, delta);
+        // Checked unconditionally: a quiet window must not skip the
+        // drained-queue exit or a stalled transfer spins forever.
+        const bool drained = eq_.pending() == 0 && !xfer->done;
+        if (eq_.now() > xfer->startPs) {
+            std::uint64_t total = 0, peak = 0;
+            for (unsigned ch = 0; ch < mem_->pimChannels(); ++ch) {
+                const std::uint64_t cur =
+                    mem_->pimController(ch).bytesMoved();
+                const std::uint64_t delta = cur - prev[ch];
+                prev[ch] = cur;
+                total += delta;
+                peak = std::max(peak, delta);
+            }
+            // Ignore windows with negligible traffic (ramp-up/drain).
+            if (total >= 64 * mem_->pimChannels()) {
+                imbalanceSum += static_cast<double>(peak) /
+                                (static_cast<double>(total) /
+                                 mem_->pimChannels());
+                ++windows;
+            }
         }
-        // Ignore windows with negligible traffic (ramp-up/drain).
-        if (total < 64 * mem_->pimChannels())
-            continue;
-        imbalanceSum += static_cast<double>(peak) /
-                        (static_cast<double>(total) /
-                         mem_->pimChannels());
-        ++windows;
-        if (eq_.pending() == 0 && !xfer->done)
+        if (drained)
             break;
     }
     if (!xfer->done) {
         // The event queue drained with the transfer incomplete: some
-        // component dropped a completion. Name what is still owed
-        // instead of dying on a bare assert.
+        // component dropped a completion. Name what is still owed and
+        // report a structured stall instead of dying on a bare assert.
         std::ostringstream os;
         os << "transfer did not complete: event queue drained at "
            << eq_.now() << "ps (pending=" << eq_.pending() << "); "
@@ -297,9 +312,12 @@ System::runTransfer(core::XferDirection dir, unsigned numDpus,
                    << mem_->pimController(ch).pending();
             }
         }
-        fatal(os.str());
+        xfer->endPs = eq_.now();
+        xfer->status = resilience::Status::failure(
+            resilience::ErrorCode::TransferStalled, os.str());
     }
     TransferStats stats = finishStats(*xfer, before, dramB, pimB);
+    stats.status = xfer->status;
     if (windows > 0)
         stats.pimWindowImbalance = imbalanceSum / windows;
     return stats;

@@ -26,6 +26,7 @@
 #include "cpu/cpu.hh"
 #include "dram/memory_system.hh"
 #include "pim/pim_device.hh"
+#include "resilience/manager.hh"
 #include "sim/energy.hh"
 #include "upmem/dpu_runtime.hh"
 
@@ -59,6 +60,14 @@ struct SystemConfig
 
     DesignPoint design = DesignPoint::BaseDHP;
     PowerModel power;
+
+    /**
+     * Fault-tolerance policy for the transfer path. Fully off by
+     * default; the resilience manager (and its stats group) is only
+     * instantiated when something is enabled, so default systems are
+     * bit-identical to pre-resilience builds.
+     */
+    resilience::Policy resilience;
 
     /**
      * Scatter host buffers across physical 2 MiB frames (default: the
@@ -95,6 +104,10 @@ struct TransferStats
      */
     double pimWindowImbalance = 1.0;
 
+    /** Final status: Ok, or why the operation failed/stalled. */
+    resilience::Status status;
+
+    bool ok() const { return status.ok(); }
     Tick durationPs() const { return endPs - startPs; }
     double seconds() const
     {
@@ -111,6 +124,8 @@ struct AsyncTransfer
     Tick startPs = 0;
     Tick endPs = 0;
     std::uint64_t bytes = 0;
+    /** Final status reported by the transfer path. */
+    resilience::Status status;
 };
 
 /** The simulated machine. */
@@ -133,6 +148,12 @@ class System
     core::PimMmuRuntime &pimMmu() { return *pimMmuRuntime_; }
     upmem::UpmemRuntime &upmem() { return *upmemRuntime_; }
     const mapping::SystemMap &map() const { return *map_; }
+
+    /** Null unless the config enables a resilience feature. */
+    resilience::Manager *resilienceManager()
+    {
+        return resilience_.get();
+    }
 
     /** Bump-allocate host memory in the DRAM physical region. */
     Addr allocDram(std::uint64_t bytes, std::uint64_t align = 64);
@@ -207,6 +228,7 @@ class System
     std::unique_ptr<device::PimDevice> pim_;
     std::unique_ptr<cache::Cache> llc_;
     std::unique_ptr<cpu::Cpu> cpu_;
+    std::unique_ptr<resilience::Manager> resilience_;
     std::unique_ptr<core::Dce> dce_;
     std::unique_ptr<core::PimMmuRuntime> pimMmuRuntime_;
     std::unique_ptr<upmem::UpmemRuntime> upmemRuntime_;

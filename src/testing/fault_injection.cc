@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "common/random.hh"
+
 namespace pimmmu {
 namespace testing {
 namespace fault {
@@ -10,11 +12,20 @@ thread_local bool gAnyArmed = false;
 
 namespace {
 
-/** site -> trigger count; presence means armed. Thread-local. */
-std::map<std::string, std::uint64_t> &
+/** One armed site: trigger count plus an optional rate gate. */
+struct SiteState
+{
+    std::uint64_t count = 0;
+    bool rateBased = false;
+    double prob = 1.0;
+    Rng rng{0};
+};
+
+/** site -> state; presence means armed. Thread-local. */
+std::map<std::string, SiteState> &
 sites()
 {
-    static thread_local std::map<std::string, std::uint64_t> s;
+    static thread_local std::map<std::string, SiteState> s;
     return s;
 }
 
@@ -26,14 +37,28 @@ fireSlow(const char *site)
     auto it = sites().find(site);
     if (it == sites().end())
         return false;
-    ++it->second;
+    SiteState &state = it->second;
+    if (state.rateBased && state.rng.uniform() >= state.prob)
+        return false;
+    ++state.count;
     return true;
 }
 
 void
 arm(const std::string &site)
 {
-    sites().emplace(site, 0);
+    sites().emplace(site, SiteState{});
+    gAnyArmed = true;
+}
+
+void
+armRate(const std::string &site, double prob, std::uint64_t seed)
+{
+    SiteState state;
+    state.rateBased = true;
+    state.prob = prob;
+    state.rng = Rng(seed);
+    sites()[site] = state;
     gAnyArmed = true;
 }
 
@@ -48,7 +73,7 @@ std::uint64_t
 count(const std::string &site)
 {
     auto it = sites().find(site);
-    return it == sites().end() ? 0 : it->second;
+    return it == sites().end() ? 0 : it->second.count;
 }
 
 std::vector<std::string>

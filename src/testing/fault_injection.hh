@@ -48,6 +48,17 @@ fire(const char *site)
 /** Arm a site; it fires on every fire() call until disarmed. */
 void arm(const std::string &site);
 
+/**
+ * Arm a site probabilistically: each fire() call triggers with
+ * probability @p prob, drawn from a dedicated xoshiro256** stream
+ * seeded with @p seed. Deterministic: the same seed and the same
+ * sequence of fire() calls trigger at exactly the same points, which
+ * is what makes fault-rate campaigns and their failures replayable.
+ * Re-arming an already-armed site replaces its rate, seed, and count.
+ * Thread-local like arm(): concurrent sweep workers are isolated.
+ */
+void armRate(const std::string &site, double prob, std::uint64_t seed);
+
 /** Disarm everything and reset trigger counts. */
 void disarmAll();
 

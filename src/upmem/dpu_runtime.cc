@@ -4,16 +4,20 @@
 
 #include "common/trace.hh"
 #include "pim/host_transfer.hh"
+#include "resilience/manager.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
+#include "testing/fault_injection.hh"
 
 namespace pimmmu {
 namespace upmem {
 
 UpmemRuntime::UpmemRuntime(EventQueue &eq, cpu::Cpu &cpu,
                            dram::MemorySystem &mem,
-                           device::PimDevice &pim)
-    : eq_(eq), cpu_(cpu), mem_(mem), pim_(pim), stats_("upmem")
+                           device::PimDevice &pim,
+                           resilience::Manager *res)
+    : eq_(eq), cpu_(cpu), mem_(mem), pim_(pim), res_(res),
+      stats_("upmem")
 {
     timelineTrack_ = telemetry::Timeline::global().track("upmem.xfer");
     telemetry::StatsRegistry::global().add(stats_);
@@ -33,11 +37,59 @@ UpmemRuntime::pushXfer(XferKind kind,
 {
     const bool toPim = kind == XferKind::ToDpu;
     const device::PimGeometry &geom = pim_.geometry();
-    const device::BankGrouping grouping = device::groupByBank(
-        geom, dpuIds, hostAddrs, bytesPerDpu, heapOffset);
 
+    // Health masking: probe for freshly failed DPUs, then excise every
+    // core on a masked bank (transfers cover whole banks).
+    std::vector<unsigned> ids = dpuIds;
+    std::vector<Addr> addrs = hostAddrs;
+    if (res_ && res_->policy().maskFailedDpus) {
+        for (const unsigned dpu : ids) {
+            if (testing::fault::fire("dpu.kill"))
+                res_->markDpuFailed(dpu, eq_.now());
+        }
+        if (res_->maskedBanks() > 0) {
+            std::vector<unsigned> keptIds;
+            std::vector<Addr> keptAddrs;
+            keptIds.reserve(ids.size());
+            keptAddrs.reserve(addrs.size());
+            for (std::size_t i = 0;
+                 i < ids.size() && i < addrs.size(); ++i) {
+                if (res_->dpuHealthy(ids[i])) {
+                    keptIds.push_back(ids[i]);
+                    keptAddrs.push_back(addrs[i]);
+                }
+            }
+            if (keptIds.empty()) {
+                // Nothing healthy left to address: degrade to a no-op
+                // rather than wedge the caller.
+                res_->noteTransferFailed();
+                PIMMMU_TRACE_LOG(trace::Category::Xfer, eq_.now(),
+                                 "dpu_push_xfer: every listed DPU is "
+                                 "health-masked, skipping");
+                if (onComplete)
+                    eq_.scheduleAfter(0, std::move(onComplete));
+                return;
+            }
+            if (keptIds.size() != ids.size()) {
+                res_->noteTransferDegraded();
+                ids = std::move(keptIds);
+                addrs = std::move(keptAddrs);
+            }
+        }
+    }
+
+    const device::BankGrouping grouping = device::groupByBank(
+        geom, ids, addrs, bytesPerDpu, heapOffset);
+
+    const bool useGuard = res_ && res_->policy().detectionEnabled();
+    resilience::XferGuard guard;
+    if (useGuard)
+        guard = res_->makeGuard();
     device::functionalTransfer(mem_.store(), pim_, toPim, grouping,
-                               bytesPerDpu, heapOffset);
+                               bytesPerDpu, heapOffset,
+                               useGuard ? &guard : nullptr);
+    if (useGuard)
+        res_->absorbGuard(guard);
 
     // Timing plane: one software copy thread per bank, exactly like the
     // runtime library's worker pool.
@@ -63,7 +115,7 @@ UpmemRuntime::pushXfer(XferKind kind,
                                        << threads.size()
                                        << " copy threads)");
     stats_.counter("push_xfers") += 1;
-    stats_.counter("bytes") += dpuIds.size() * bytesPerDpu;
+    stats_.counter("bytes") += ids.size() * bytesPerDpu;
     stats_.average("copy_threads").sample(
         static_cast<double>(threads.size()));
     const Tick startedAt = eq_.now();
@@ -100,11 +152,40 @@ DpuSet::prepareXfer(unsigned index, Addr hostAddr)
 }
 
 Tick
+UpmemRuntime::launch(
+    const std::vector<unsigned> &dpuIds,
+    const std::function<void(device::Dpu &, unsigned)> &kernel,
+    const device::KernelModel &model, std::uint64_t bytesPerDpu)
+{
+    if (res_ && res_->policy().maskFailedDpus &&
+        res_->maskedBanks() > 0) {
+        std::vector<unsigned> healthy;
+        healthy.reserve(dpuIds.size());
+        for (const unsigned dpu : dpuIds) {
+            if (res_->dpuHealthy(dpu))
+                healthy.push_back(dpu);
+        }
+        if (healthy.size() != dpuIds.size()) {
+            res_->noteLaunchDegraded();
+            PIMMMU_TRACE_LOG(trace::Category::Pim, eq_.now(),
+                             "dpu_launch degraded: "
+                                 << dpuIds.size() - healthy.size()
+                                 << " of " << dpuIds.size()
+                                 << " DPUs health-masked");
+            if (healthy.empty())
+                return 0;
+            return pim_.launch(healthy, kernel, model, bytesPerDpu);
+        }
+    }
+    return pim_.launch(dpuIds, kernel, model, bytesPerDpu);
+}
+
+Tick
 DpuSet::launch(
     const std::function<void(device::Dpu &, unsigned)> &kernel,
     const device::KernelModel &model, std::uint64_t bytesPerDpu)
 {
-    return runtime_.pim().launch(dpuIds_, kernel, model, bytesPerDpu);
+    return runtime_.launch(dpuIds_, kernel, model, bytesPerDpu);
 }
 
 void

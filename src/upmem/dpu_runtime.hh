@@ -20,6 +20,11 @@
 #include "pim/pim_device.hh"
 
 namespace pimmmu {
+
+namespace resilience {
+class Manager;
+}
+
 namespace upmem {
 
 /** Transfer direction, mirroring DPU_XFER_TO_DPU / DPU_XFER_FROM_DPU. */
@@ -36,7 +41,8 @@ class UpmemRuntime
 {
   public:
     UpmemRuntime(EventQueue &eq, cpu::Cpu &cpu,
-                 dram::MemorySystem &mem, device::PimDevice &pim);
+                 dram::MemorySystem &mem, device::PimDevice &pim,
+                 resilience::Manager *res = nullptr);
 
     /**
      * dpu_push_xfer: move @p bytesPerDpu bytes between each listed
@@ -53,6 +59,17 @@ class UpmemRuntime
 
     ~UpmemRuntime();
 
+    /**
+     * dpu_launch with health masking: failed DPUs are excluded from
+     * the kernel launch (whole set skipped if nothing healthy remains)
+     * so a dead core degrades throughput instead of wedging the app.
+     */
+    Tick launch(const std::vector<unsigned> &dpuIds,
+                const std::function<void(device::Dpu &, unsigned)>
+                    &kernel,
+                const device::KernelModel &model,
+                std::uint64_t bytesPerDpu);
+
     device::PimDevice &pim() { return pim_; }
     cpu::Cpu &cpu() { return cpu_; }
     stats::Group &stats() { return stats_; }
@@ -62,6 +79,7 @@ class UpmemRuntime
     cpu::Cpu &cpu_;
     dram::MemorySystem &mem_;
     device::PimDevice &pim_;
+    resilience::Manager *res_;
     std::uint64_t nextXferId_ = 0;
     unsigned timelineTrack_ = 0;
     stats::Group stats_;
