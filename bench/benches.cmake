@@ -32,6 +32,15 @@ add_fig_bench(fig_resilience)
 add_test(NAME fig_resilience_smoke
          COMMAND fig_resilience --quick --out BENCH_resilience.json)
 
+# Chaos campaign (correlated rank/channel kills x repair policy). The
+# smoke entry enforces the campaign gates at the scaled-down sweep:
+# rate 0 bit- and cycle-identical to a resilience-disabled baseline,
+# repair recovers correlated-rank kills to >= 95% of fault-free
+# delivery, and no delivered buffer is ever corrupt.
+add_fig_bench(fig_chaos)
+add_test(NAME fig_chaos_smoke
+         COMMAND fig_chaos --quick --out BENCH_chaos.json)
+
 # Engine wall-clock throughput harness (not a paper figure). The smoke
 # entry runs the scaled-down scenarios so a perf-harness regression
 # (crash, bad flag parsing, broken JSON) is caught by every ctest run.

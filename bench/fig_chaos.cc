@@ -1,0 +1,593 @@
+/**
+ * @file
+ * Chaos campaign: correlated failure domains x repair policy.
+ *
+ * Where fig_resilience sweeps independent per-core faults, this bench
+ * injects *correlated* kills that take out whole failure domains at
+ * once — a rank (8 banks, 64 DPUs) or a channel (16 banks, 128 DPUs)
+ * of the paper Table I machine — and measures what the health state
+ * machine's repair & re-admission path (scrub probes, probation,
+ * re-admission after consecutive clean probes) buys back:
+ *
+ *   mode independent   dpu.kill            one bank per fire
+ *   mode rank          domain.kill_rank    the probing DPU's rank
+ *   mode channel       domain.kill_channel the probing DPU's channel
+ *
+ * crossed with two policies:
+ *
+ *   mask     retry + permanent health-masking (no repair)
+ *   repair   mask + scrub/probe re-admission between rounds
+ *
+ * The scoreboard is delivered-and-verified bytes: after every
+ * DRAM->PIM->DRAM round trip each unmasked DPU's delivered buffer is
+ * CRC-checked against golden; masked DPUs deliver nothing. Light
+ * transient noise (ECC flips, past-ECC corruption) runs in every mode
+ * so "verified" is earned, not vacuous.
+ *
+ * Exit-code gates:
+ *   - rate 0 must be bit- and cycle-identical to a resilience-disabled
+ *     (Policy::off) baseline System for every mode x policy;
+ *   - with repair, correlated-rank kills at rate 1e-4 must recover to
+ *     >= 95% of the fault-free delivered bytes (and the scenario must
+ *     actually fire at least one rank kill, so the gate can't pass
+ *     vacuously);
+ *   - no policy may ever deliver a corrupt buffer.
+ *
+ * The --out JSON (BENCH_chaos.json in CI) records per-scenario
+ * delivery, the resilience.* counters (including readmissions and
+ * probe failures), and raw fault-site fire counts.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "resilience/crc.hh"
+#include "sim/system.hh"
+#include "testing/fault_injection.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+struct ChaosMode
+{
+    const char *name;
+    const char *site;  //!< the mode's kill site
+    double scale;      //!< site probability = min(1, rate * scale)
+};
+
+const ChaosMode kModes[] = {
+    {"independent", "dpu.kill", 8.0},
+    {"rank", "domain.kill_rank", 4.0},
+    {"channel", "domain.kill_channel", 2.0},
+};
+
+struct PolicyCase
+{
+    const char *name;
+    resilience::Policy policy;
+};
+
+struct ScenarioResult
+{
+    std::string mode;
+    std::string policy;
+    double rate = 0.0;
+    unsigned rounds = 0;
+    unsigned completedRounds = 0;
+    unsigned failedCalls = 0;
+    unsigned noHealthy = 0; //!< calls rejected with NoHealthyTargets
+    unsigned stalls = 0;
+    unsigned corruptDpus = 0;       //!< delivered CRC != golden
+    unsigned skippedDpuRounds = 0;  //!< (dpu, round) pairs masked out
+    unsigned scrubPasses = 0;
+    std::uint64_t deliveredBytes = 0; //!< CRC-verified delivery
+    std::uint64_t expectedBytes = 0;  //!< rounds * dpus * bytesPerDpu
+    Tick firstRoundPs = 0;
+    Tick totalPs = 0;
+
+    // resilience.* counters (0 when no manager is attached).
+    std::uint64_t dpusMasked = 0;
+    std::uint64_t banksMasked = 0;
+    std::uint64_t ranksMasked = 0;
+    std::uint64_t channelsMasked = 0;
+    std::uint64_t probeTransfers = 0;
+    std::uint64_t probeFailures = 0;
+    std::uint64_t readmissions = 0;
+    std::uint64_t crcRetries = 0;
+    std::uint64_t eccCorrected = 0;
+    std::uint64_t transfersFailed = 0;
+    std::uint64_t transfersDegraded = 0;
+
+    // Raw fire counts for reconciliation.
+    std::uint64_t firedKills = 0; //!< the mode's kill site
+    std::uint64_t firedFlips = 0;
+    std::uint64_t firedCorrupt = 0;
+
+    double deliveredFrac() const
+    {
+        return expectedBytes == 0
+                   ? 0.0
+                   : static_cast<double>(deliveredBytes) /
+                         static_cast<double>(expectedBytes);
+    }
+};
+
+/** Deterministic per-(mode, policy, rate) seed: replayable, no clock. */
+std::uint64_t
+scenarioSeed(unsigned modeIdx, unsigned policyIdx, double rate)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &rate, sizeof(bits));
+    return (bits * 0x9e3779b97f4a7c15ull) ^
+           (modeIdx * 16 + policyIdx + 1);
+}
+
+ScenarioResult
+runScenario(const ChaosMode &mode, unsigned modeIdx,
+            const PolicyCase &pc, unsigned policyIdx, double rate,
+            unsigned rounds, unsigned numDpus,
+            std::uint64_t bytesPerDpu)
+{
+    testing::fault::disarmAll();
+
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    cfg.resilience = pc.policy;
+    sim::System sys(cfg);
+
+    std::vector<unsigned> dpuIds(numDpus);
+    for (unsigned i = 0; i < numDpus; ++i)
+        dpuIds[i] = i;
+
+    const Addr src = sys.allocDram(std::uint64_t{numDpus} * bytesPerDpu);
+    const Addr dst = sys.allocDram(std::uint64_t{numDpus} * bytesPerDpu);
+
+    // Per-DPU pattern + golden CRC. The pattern is round-invariant, so
+    // a re-admitted bank's MRAM (last refreshed before it was masked)
+    // still holds golden data.
+    std::vector<std::uint32_t> golden(numDpus);
+    std::vector<std::uint8_t> buf(bytesPerDpu);
+    for (unsigned d = 0; d < numDpus; ++d) {
+        for (std::uint64_t i = 0; i < bytesPerDpu; ++i) {
+            buf[i] = static_cast<std::uint8_t>(
+                (d * 193u + i * 41u + 11u) & 0xff);
+        }
+        sys.mem().store().write(src + std::uint64_t{d} * bytesPerDpu,
+                                buf.data(), bytesPerDpu);
+        golden[d] = resilience::crc32c(buf.data(), bytesPerDpu);
+    }
+
+    // The mode's kill site plus light transient noise in every mode,
+    // so delivery is verified under realistic background corruption.
+    const std::uint64_t seed = scenarioSeed(modeIdx, policyIdx, rate);
+    if (rate > 0.0) {
+        using testing::fault::armRate;
+        armRate("ecc.flip_single_bit", rate, seed ^ 0xa1);
+        armRate("xfer.corrupt_data", rate / 64, seed ^ 0xc3);
+        armRate(mode.site, std::min(1.0, rate * mode.scale),
+                seed ^ 0xe5);
+    }
+
+    ScenarioResult r;
+    r.mode = mode.name;
+    r.policy = pc.name;
+    r.rate = rate;
+    r.rounds = rounds;
+    r.expectedBytes =
+        std::uint64_t{rounds} * numDpus * bytesPerDpu;
+
+    // 0 = delivered, 1 = call reported failure, 2 = stalled.
+    auto doXfer = [&](core::XferDirection dir, Addr hostBase,
+                      resilience::Status *stOut) {
+        core::PimMmuOp op;
+        op.type = dir;
+        op.sizePerPim = bytesPerDpu;
+        op.pimIdArr = dpuIds;
+        op.pimBaseHeapPtr = 0;
+        op.dramAddrArr.resize(numDpus);
+        for (unsigned d = 0; d < numDpus; ++d)
+            op.dramAddrArr[d] = hostBase + std::uint64_t{d} * bytesPerDpu;
+
+        bool done = false;
+        resilience::Status st;
+        const auto sync = sys.pimMmu().transferChecked(
+            op, [&](const resilience::Status &s) {
+                st = s;
+                done = true;
+            });
+        if (!sync.ok()) {
+            st = sync;
+            done = true;
+        }
+        if (!done)
+            sys.runUntil([&] { return done; });
+        *stOut = st;
+        if (!done)
+            return 2;
+        return st.ok() ? 0 : 1;
+    };
+
+    resilience::Manager *mgr = sys.resilienceManager();
+    const Tick start = sys.eq().now();
+    for (unsigned round = 0; round < rounds; ++round) {
+        const Tick t0 = sys.eq().now();
+        resilience::Status stTo, stFrom;
+        const int toPim =
+            doXfer(core::XferDirection::DramToPim, src, &stTo);
+        if (toPim == 2) {
+            ++r.stalls;
+            break;
+        }
+        const int fromPim =
+            doXfer(core::XferDirection::PimToDram, dst, &stFrom);
+        if (fromPim == 2) {
+            ++r.stalls;
+            break;
+        }
+        r.failedCalls += (toPim == 1) + (fromPim == 1);
+        using resilience::ErrorCode;
+        r.noHealthy +=
+            (stTo.code == ErrorCode::NoHealthyTargets) +
+            (stFrom.code == ErrorCode::NoHealthyTargets);
+        if (round == 0)
+            r.firstRoundPs = sys.eq().now() - t0;
+        ++r.completedRounds;
+
+        // Score the round: every unmasked DPU must have delivered a
+        // golden buffer; masked DPUs deliver nothing.
+        for (unsigned d = 0; d < numDpus; ++d) {
+            if (mgr != nullptr && !mgr->dpuHealthy(d)) {
+                ++r.skippedDpuRounds;
+                continue;
+            }
+            sys.mem().store().read(
+                dst + std::uint64_t{d} * bytesPerDpu, buf.data(),
+                bytesPerDpu);
+            if (resilience::crc32c(buf.data(), bytesPerDpu) ==
+                golden[d])
+                r.deliveredBytes += bytesPerDpu;
+            else
+                ++r.corruptDpus;
+        }
+
+        // Repair: scrub out-of-service banks to convergence so they
+        // rejoin before the next round. Bounded — armed kill sites can
+        // re-fail a probe, and probation takes several clean passes.
+        if (pc.policy.repairEnabled) {
+            for (unsigned pass = 0; pass < 8; ++pass) {
+                const sim::ScrubReport rep = sys.runScrub();
+                if (rep.idle())
+                    break;
+                ++r.scrubPasses;
+            }
+        }
+    }
+    r.totalPs = sys.eq().now() - start;
+
+    using testing::fault::count;
+    r.firedKills = count(mode.site);
+    r.firedFlips = count("ecc.flip_single_bit");
+    r.firedCorrupt = count("xfer.corrupt_data");
+    testing::fault::disarmAll();
+
+    if (mgr != nullptr) {
+        stats::Group &g = mgr->stats();
+        r.dpusMasked = g.counterValue("dpus_masked");
+        r.banksMasked = g.counterValue("banks_masked");
+        r.ranksMasked = g.counterValue("ranks_masked");
+        r.channelsMasked = g.counterValue("channels_masked");
+        r.probeTransfers = g.counterValue("probe_transfers");
+        r.probeFailures = g.counterValue("probe_failures");
+        r.readmissions = g.counterValue("readmissions");
+        r.crcRetries = g.counterValue("crc_retries");
+        r.eccCorrected = g.counterValue("ecc_corrected");
+        r.transfersFailed = g.counterValue("transfers_failed");
+        r.transfersDegraded = g.counterValue("transfers_degraded");
+    }
+    return r;
+}
+
+bool
+writeJson(const std::string &path, bool quick,
+          const std::vector<ScenarioResult> &results)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << "{\n  \"schema\": \"pim-mmu-bench-chaos-v1\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &r = results[i];
+        char buf[1024];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"mode\": \"%s\", \"policy\": \"%s\", "
+            "\"rate\": %.1e, \"rounds\": %u, "
+            "\"completed_rounds\": %u, \"failed_calls\": %u, "
+            "\"no_healthy_targets\": %u, \"stalls\": %u, "
+            "\"delivered_bytes\": %llu, \"expected_bytes\": %llu, "
+            "\"delivered_frac\": %.4f, \"corrupt_dpus\": %u, "
+            "\"skipped_dpu_rounds\": %u, \"scrub_passes\": %u, "
+            "\"first_round_ps\": %llu, \"total_ps\": %llu, "
+            "\"counters\": {\"dpus_masked\": %llu, "
+            "\"banks_masked\": %llu, \"ranks_masked\": %llu, "
+            "\"channels_masked\": %llu, \"probe_transfers\": %llu, "
+            "\"probe_failures\": %llu, \"readmissions\": %llu, "
+            "\"crc_retries\": %llu, \"ecc_corrected\": %llu, "
+            "\"transfers_failed\": %llu, "
+            "\"transfers_degraded\": %llu}, "
+            "\"fired\": {\"kills\": %llu, \"flips\": %llu, "
+            "\"corrupt\": %llu}}%s\n",
+            r.mode.c_str(), r.policy.c_str(), r.rate, r.rounds,
+            r.completedRounds, r.failedCalls, r.noHealthy, r.stalls,
+            static_cast<unsigned long long>(r.deliveredBytes),
+            static_cast<unsigned long long>(r.expectedBytes),
+            r.deliveredFrac(), r.corruptDpus, r.skippedDpuRounds,
+            r.scrubPasses,
+            static_cast<unsigned long long>(r.firstRoundPs),
+            static_cast<unsigned long long>(r.totalPs),
+            static_cast<unsigned long long>(r.dpusMasked),
+            static_cast<unsigned long long>(r.banksMasked),
+            static_cast<unsigned long long>(r.ranksMasked),
+            static_cast<unsigned long long>(r.channelsMasked),
+            static_cast<unsigned long long>(r.probeTransfers),
+            static_cast<unsigned long long>(r.probeFailures),
+            static_cast<unsigned long long>(r.readmissions),
+            static_cast<unsigned long long>(r.crcRetries),
+            static_cast<unsigned long long>(r.eccCorrected),
+            static_cast<unsigned long long>(r.transfersFailed),
+            static_cast<unsigned long long>(r.transfersDegraded),
+            static_cast<unsigned long long>(r.firedKills),
+            static_cast<unsigned long long>(r.firedFlips),
+            static_cast<unsigned long long>(r.firedCorrupt),
+            i + 1 < results.size() ? "," : "");
+        os << buf;
+    }
+    os << "  ]\n}\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string outPath;
+    std::string replay;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--replay") == 0 &&
+                   i + 1 < argc) {
+            replay = argv[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--quick] [--out <path>] "
+                "[--replay <mode>:<policy>:<rate>]\n"
+                "  modes: independent rank channel; policies: mask "
+                "repair; e.g. --replay rank:repair:1e-4\n",
+                argv[0]);
+            return 2;
+        }
+    }
+
+    bench::banner("Chaos campaign",
+                  "correlated failure domains (rank/channel kills) x "
+                  "repair policy; delivered-and-verified bytes per "
+                  "round trip");
+
+    // 256 DPUs = banks 0..31 of the Table I machine = 4 ranks across
+    // 2 channels, so a correlated kill takes out 25% (rank) or 50%
+    // (channel) of the fleet but never all of it at once.
+    const unsigned numDpus = 256;
+    const std::uint64_t bytesPerDpu = quick ? 512 : 1 * kKiB;
+    const unsigned rounds = quick ? 6 : 12;
+    const std::vector<double> rates =
+        quick ? std::vector<double>{0.0, 1e-4}
+              : std::vector<double>{0.0, 1e-5, 1e-4, 1e-3};
+
+    const PolicyCase policies[] = {
+        {"mask", resilience::Policy::withRetryAndMask()},
+        {"repair", resilience::Policy::withRepair()},
+    };
+
+    // Replay: run exactly one scenario, no gates — for debugging a
+    // campaign failure without re-running the whole sweep.
+    int replayMode = -1, replayPolicy = -1;
+    double replayRate = 0.0;
+    if (!replay.empty()) {
+        const std::size_t c1 = replay.find(':');
+        const std::size_t c2 =
+            c1 == std::string::npos ? c1 : replay.find(':', c1 + 1);
+        if (c2 == std::string::npos) {
+            std::fprintf(stderr,
+                         "bad --replay spec '%s' (want "
+                         "<mode>:<policy>:<rate>)\n",
+                         replay.c_str());
+            return 2;
+        }
+        const std::string m = replay.substr(0, c1);
+        const std::string p = replay.substr(c1 + 1, c2 - c1 - 1);
+        replayRate = std::strtod(replay.c_str() + c2 + 1, nullptr);
+        for (unsigned i = 0; i < 3; ++i)
+            if (m == kModes[i].name)
+                replayMode = static_cast<int>(i);
+        for (unsigned i = 0; i < 2; ++i)
+            if (p == policies[i].name)
+                replayPolicy = static_cast<int>(i);
+        if (replayMode < 0 || replayPolicy < 0) {
+            std::fprintf(stderr, "unknown mode/policy in '%s'\n",
+                         replay.c_str());
+            return 2;
+        }
+    }
+
+    // Resilience-disabled baseline for the rate-0 identity gate: no
+    // manager, no guards, the pre-resilience data path.
+    const ScenarioResult baseline = runScenario(
+        kModes[0], 0, PolicyCase{"off", resilience::Policy::off()}, 0,
+        0.0, rounds, numDpus, bytesPerDpu);
+
+    std::vector<ScenarioResult> results;
+    Table t({"mode", "policy", "rate", "rounds", "deliv %", "failed",
+             "noheal", "corrupt", "masked", "ranks", "chans",
+             "readmit", "scrubs", "rt us"});
+    auto addRow = [&](const ScenarioResult &r) {
+        char rateBuf[16];
+        std::snprintf(rateBuf, sizeof(rateBuf), "%.0e", r.rate);
+        t.row()
+            .cell(r.mode)
+            .cell(r.policy)
+            .cell(rateBuf)
+            .num(std::uint64_t{r.completedRounds})
+            .num(100.0 * r.deliveredFrac())
+            .num(std::uint64_t{r.failedCalls})
+            .num(std::uint64_t{r.noHealthy})
+            .num(std::uint64_t{r.corruptDpus})
+            .num(r.dpusMasked)
+            .num(r.ranksMasked)
+            .num(r.channelsMasked)
+            .num(r.readmissions)
+            .num(std::uint64_t{r.scrubPasses})
+            .num(static_cast<double>(r.firstRoundPs) / 1e6);
+        results.push_back(r);
+    };
+
+    if (!replay.empty()) {
+        addRow(runScenario(kModes[replayMode], replayMode,
+                           policies[replayPolicy], replayPolicy,
+                           replayRate, rounds, numDpus, bytesPerDpu));
+        bench::printTable(t);
+        if (!outPath.empty() && !writeJson(outPath, quick, results)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+        return 0;
+    }
+
+    for (const double rate : rates) {
+        for (unsigned m = 0; m < 3; ++m) {
+            for (unsigned p = 0; p < 2; ++p) {
+                addRow(runScenario(kModes[m], m, policies[p], p, rate,
+                                   rounds, numDpus, bytesPerDpu));
+            }
+        }
+    }
+    bench::printTable(t);
+
+    int rc = 0;
+
+    // Gate 1: rate 0 must be bit- and cycle-identical to the
+    // resilience-disabled baseline — detection, domain tracking and
+    // the (idle) scrub machinery must all be free when nothing fires.
+    if (baseline.deliveredBytes != baseline.expectedBytes ||
+        baseline.corruptDpus > 0) {
+        std::fprintf(stderr, "FAIL: baseline did not deliver golden "
+                             "data\n");
+        rc = 1;
+    }
+    for (const ScenarioResult &r : results) {
+        if (r.rate != 0.0)
+            continue;
+        if (r.deliveredBytes != r.expectedBytes || r.corruptDpus > 0 ||
+            r.failedCalls > 0 || r.stalls > 0) {
+            std::fprintf(stderr,
+                         "FAIL: rate-0 %s/%s lost or corrupted data\n",
+                         r.mode.c_str(), r.policy.c_str());
+            rc = 1;
+        }
+        if (r.firstRoundPs != baseline.firstRoundPs ||
+            r.totalPs != baseline.totalPs) {
+            std::fprintf(
+                stderr,
+                "FAIL: rate-0 %s/%s timing (%llu / %llu ps) != "
+                "resilience-off baseline (%llu / %llu ps)\n",
+                r.mode.c_str(), r.policy.c_str(),
+                static_cast<unsigned long long>(r.firstRoundPs),
+                static_cast<unsigned long long>(r.totalPs),
+                static_cast<unsigned long long>(baseline.firstRoundPs),
+                static_cast<unsigned long long>(baseline.totalPs));
+            rc = 1;
+        }
+    }
+
+    // Gate 2: repair recovers correlated-rank kills at 1e-4 to >= 95%
+    // of the same policy's fault-free delivery — and the scenario must
+    // actually lose a rank for the number to mean anything.
+    const ScenarioResult *repairRank0 = nullptr;
+    const ScenarioResult *repairRank4 = nullptr;
+    for (const ScenarioResult &r : results) {
+        if (r.mode == "rank" && r.policy == "repair") {
+            if (r.rate == 0.0)
+                repairRank0 = &r;
+            if (r.rate == 1e-4)
+                repairRank4 = &r;
+        }
+    }
+    if (repairRank0 == nullptr || repairRank4 == nullptr) {
+        std::fprintf(stderr, "FAIL: repair/rank scenarios missing\n");
+        rc = 1;
+    } else {
+        if (repairRank4->firedKills == 0) {
+            std::fprintf(stderr,
+                         "FAIL: rank/repair @ 1e-4 fired no kills — "
+                         "the recovery gate would be vacuous\n");
+            rc = 1;
+        }
+        const double frac =
+            static_cast<double>(repairRank4->deliveredBytes) /
+            static_cast<double>(repairRank0->deliveredBytes);
+        if (frac < 0.95) {
+            std::fprintf(stderr,
+                         "FAIL: rank/repair @ 1e-4 delivered %.1f%% "
+                         "of fault-free (< 95%%)\n",
+                         100.0 * frac);
+            rc = 1;
+        } else {
+            std::printf("\nrank/repair @ 1e-4 delivered %.1f%% of "
+                        "fault-free (>= 95%% gate, %llu rank kills)\n",
+                        100.0 * frac,
+                        static_cast<unsigned long long>(
+                            repairRank4->firedKills));
+        }
+    }
+
+    // Gate 3: masking means what it says — nothing the system claims
+    // it delivered may differ from golden, at any rate, ever.
+    for (const ScenarioResult &r : results) {
+        if (r.corruptDpus > 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s/%s delivered %u corrupt buffers at "
+                         "rate %.1e\n",
+                         r.mode.c_str(), r.policy.c_str(),
+                         r.corruptDpus, r.rate);
+            rc = 1;
+        }
+    }
+
+    bench::note("\ndeliv %% counts CRC-verified bytes out of "
+                "rounds*dpus*bytesPerDpu; masked DPUs deliver 0. "
+                "`mask` loses a whole rank/channel forever, `repair` "
+                "scrubs, probations and re-admits it.");
+
+    if (!outPath.empty()) {
+        if (!writeJson(outPath, quick, results)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", outPath.c_str());
+    }
+    return rc;
+}

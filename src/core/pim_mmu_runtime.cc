@@ -9,7 +9,6 @@
 #include "resilience/manager.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
-#include "testing/fault_injection.hh"
 
 namespace pimmmu {
 namespace core {
@@ -98,15 +97,11 @@ PimMmuRuntime::transferChecked(const PimMmuOp &op,
 {
     PimMmuOp effective = op;
     if (res_ && res_->policy().maskFailedDpus) {
-        // Probe permanent PIM-core failures first, then excise every
-        // core on a masked bank from the scatter plan — including
-        // healthy siblings of a core that just died, since transfers
-        // must cover whole banks.
-        const Tick now = eq_.now();
-        for (const unsigned dpu : effective.pimIdArr) {
-            if (testing::fault::fire("dpu.kill"))
-                res_->markDpuFailed(dpu, now);
-        }
+        // Probe PIM-core and correlated rank/channel failures first,
+        // then excise every core on an out-of-service bank from the
+        // scatter plan — including healthy siblings of a core that
+        // just died, since transfers must cover whole banks.
+        res_->probeKillSites(effective.pimIdArr, eq_.now());
         if (res_->maskedBanks() > 0) {
             std::vector<unsigned> ids;
             std::vector<Addr> addrs;
@@ -123,7 +118,7 @@ PimMmuRuntime::transferChecked(const PimMmuOp &op,
             if (ids.empty()) {
                 res_->noteTransferFailed();
                 return resilience::Status::failure(
-                    resilience::ErrorCode::CapacityExhausted,
+                    resilience::ErrorCode::NoHealthyTargets,
                     "every listed PIM core is health-masked");
             }
             if (ids.size() != effective.pimIdArr.size()) {

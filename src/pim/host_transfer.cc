@@ -189,6 +189,35 @@ transmitWord(const std::uint8_t clean[8], std::uint8_t word[8],
 } // namespace
 
 void
+guardedCopy(dram::BackingStore &store, Addr src, Addr dst,
+            std::uint64_t bytes, resilience::XferGuard &guard)
+{
+    PIMMMU_ASSERT(bytes % kWordBytes == 0,
+                  "guardedCopy size must be 8B-aligned");
+    std::uint8_t clean[kWordBytes];
+    std::uint8_t word[kWordBytes];
+    for (std::uint64_t off = 0; off < bytes; off += kWordBytes) {
+        store.read(src + off, clean, kWordBytes);
+        transmitWord(clean, word, guard);
+        store.write(dst + off, word, kWordBytes);
+    }
+}
+
+void
+verifyMramReadback(PimDevice &pim, unsigned dpuId, Addr offset,
+                   std::uint64_t bytes, resilience::XferGuard &guard)
+{
+    PIMMMU_ASSERT(bytes % kWordBytes == 0,
+                  "readback size must be 8B-aligned");
+    std::uint8_t clean[kWordBytes];
+    std::uint8_t word[kWordBytes];
+    for (std::uint64_t off = 0; off < bytes; off += kWordBytes) {
+        pim.dpu(dpuId).mramRead(offset + off, clean, kWordBytes);
+        transmitWord(clean, word, guard);
+    }
+}
+
+void
 functionalTransfer(dram::BackingStore &store, PimDevice &pim, bool toPim,
                    const BankGrouping &grouping,
                    std::uint64_t bytesPerDpu, Addr heapOffset,

@@ -81,6 +81,29 @@ void functionalTransfer(dram::BackingStore &store, PimDevice &pim,
                         std::uint64_t bytesPerDpu, Addr heapOffset,
                         resilience::XferGuard *guard = nullptr);
 
+/**
+ * Guarded DRAM->DRAM copy of @p bytes (a multiple of 8) from @p src to
+ * @p dst, carrying every 8 B word across the same modeled link as
+ * functionalTransfer: ECC encode/decode around the `ecc.flip_*` fault
+ * sites with bounded word retransmission, `xfer.corrupt_data` past-ECC
+ * corruption, and running end-to-end CRCs. Lets System::runMemcpy give
+ * the DCE-memcpy path the same integrity guarantees as the scatter
+ * path.
+ */
+void guardedCopy(dram::BackingStore &store, Addr src, Addr dst,
+                 std::uint64_t bytes, resilience::XferGuard &guard);
+
+/**
+ * Read @p bytes (a multiple of 8) of one DPU's MRAM at @p offset back
+ * across the modeled link, accumulating ECC/CRC evidence in @p guard
+ * without storing the data anywhere. Used by checked kernel launches
+ * to verify the result window a kernel left in MRAM actually survives
+ * the readback path (guard.dataOk() == the readback was clean).
+ */
+void verifyMramReadback(PimDevice &pim, unsigned dpuId, Addr offset,
+                        std::uint64_t bytes,
+                        resilience::XferGuard &guard);
+
 } // namespace device
 } // namespace pimmmu
 

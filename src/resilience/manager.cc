@@ -4,6 +4,7 @@
 
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
+#include "testing/fault_injection.hh"
 
 namespace pimmmu {
 namespace resilience {
@@ -28,6 +29,24 @@ errorCodeName(ErrorCode code)
         return "transfer_stalled";
       case ErrorCode::CapacityExhausted:
         return "capacity_exhausted";
+      case ErrorCode::NoHealthyTargets:
+        return "no_healthy_targets";
+    }
+    return "unknown";
+}
+
+const char *
+bankStateName(BankState s)
+{
+    switch (s) {
+      case BankState::Healthy:
+        return "healthy";
+      case BankState::Suspected:
+        return "suspected";
+      case BankState::Masked:
+        return "masked";
+      case BankState::Probation:
+        return "probation";
     }
     return "unknown";
 }
@@ -64,18 +83,29 @@ Policy::withRetryAndMask()
     return p;
 }
 
-Manager::Manager(const Policy &policy, unsigned numDpus,
-                 unsigned chipsPerRank)
-    : policy_(policy), numDpus_(numDpus),
-      chipsPerRank_(chipsPerRank ? chipsPerRank : 1),
-      bankMasked_(numDpus / (chipsPerRank ? chipsPerRank : 1), false),
-      stats_("resilience")
+Policy
+Policy::withRepair()
+{
+    Policy p = withRetryAndMask();
+    p.repairEnabled = true;
+    return p;
+}
+
+Manager::Manager(const Policy &policy, const DomainMap &domains)
+    : policy_(policy), domains_(domains),
+      banks_(domains.numBanks), stats_("resilience")
 {
     telemetry::StatsRegistry::global().add(stats_, [this] {
         stats_.gauge("healthy_dpus") =
             static_cast<double>(healthyDpus());
     });
     timelineTrack_ = telemetry::Timeline::global().track("resilience");
+}
+
+Manager::Manager(const Policy &policy, unsigned numDpus,
+                 unsigned chipsPerRank)
+    : Manager(policy, DomainMap::flat(numDpus, chipsPerRank))
+{
 }
 
 Manager::~Manager()
@@ -104,20 +134,145 @@ Manager::absorbGuard(const XferGuard &guard)
 }
 
 void
+Manager::failBank(unsigned bank, Tick now, const char *why)
+{
+    if (bank >= banks_.size())
+        return;
+    BankHealth &h = banks_[bank];
+    switch (h.state) {
+      case BankState::Healthy:
+        h.state = policy_.repairEnabled ? BankState::Suspected
+                                        : BankState::Masked;
+        h.cleanProbes = 0;
+        h.maskedAt = now;
+        ++unhealthyBanks_;
+        stats_.counter("dpus_masked") += domains_.chipsPerRank;
+        ++stats_.counter("banks_masked");
+        {
+            auto &tl = telemetry::Timeline::global();
+            if (tl.enabled()) {
+                std::ostringstream os;
+                os << "mask bank " << bank << " (" << why << ")";
+                tl.instant(timelineTrack_, os.str(), now);
+            }
+        }
+        break;
+      case BankState::Suspected:
+      case BankState::Probation:
+        // Fresh failure evidence while out of service: confirmed bad,
+        // the re-admission streak restarts from zero.
+        h.state = BankState::Masked;
+        h.cleanProbes = 0;
+        break;
+      case BankState::Masked:
+        break;
+    }
+}
+
+void
 Manager::markDpuFailed(unsigned dpu, Tick now)
 {
-    const unsigned bank = dpu / chipsPerRank_;
-    if (bank >= bankMasked_.size() || bankMasked_[bank])
+    failBank(dpu / domains_.chipsPerRank, now, "dpu failure");
+}
+
+void
+Manager::markRankFailed(unsigned rank, Tick now)
+{
+    if (domains_.banksPerRank == 0 || rank >= domains_.numRanks())
         return;
-    bankMasked_[bank] = true;
-    ++maskedBanks_;
-    stats_.counter("dpus_masked") += chipsPerRank_;
-    ++stats_.counter("banks_masked");
+    ++stats_.counter("ranks_masked");
     auto &tl = telemetry::Timeline::global();
     if (tl.enabled()) {
         std::ostringstream os;
-        os << "mask dpu " << dpu << " (bank " << bank << ")";
+        os << "kill rank " << rank;
         tl.instant(timelineTrack_, os.str(), now);
+    }
+    const unsigned first = rank * domains_.banksPerRank;
+    for (unsigned b = first; b < first + domains_.banksPerRank; ++b)
+        failBank(b, now, "rank failure");
+}
+
+void
+Manager::markChannelFailed(unsigned channel, Tick now)
+{
+    const unsigned perChannel = domains_.banksPerChannel();
+    if (perChannel == 0 || channel >= domains_.numChannels())
+        return;
+    ++stats_.counter("channels_masked");
+    auto &tl = telemetry::Timeline::global();
+    if (tl.enabled()) {
+        std::ostringstream os;
+        os << "kill channel " << channel;
+        tl.instant(timelineTrack_, os.str(), now);
+    }
+    const unsigned first = channel * perChannel;
+    for (unsigned b = first; b < first + perChannel; ++b)
+        failBank(b, now, "channel failure");
+}
+
+bool
+Manager::probeKillSites(const std::vector<unsigned> &dpuIds, Tick now)
+{
+    namespace fault = testing::fault;
+    bool any = false;
+    for (const unsigned dpu : dpuIds) {
+        const unsigned bank = dpu / domains_.chipsPerRank;
+        if (fault::fire("dpu.kill")) {
+            markDpuFailed(dpu, now);
+            any = true;
+        }
+        if (fault::fire("domain.kill_rank")) {
+            markRankFailed(domains_.rankOfBank(bank), now);
+            any = true;
+        }
+        if (fault::fire("domain.kill_channel")) {
+            markChannelFailed(domains_.channelOfBank(bank), now);
+            any = true;
+        }
+    }
+    return any;
+}
+
+std::vector<unsigned>
+Manager::banksNeedingProbe() const
+{
+    std::vector<unsigned> out;
+    for (unsigned b = 0; b < banks_.size(); ++b) {
+        if (banks_[b].state != BankState::Healthy)
+            out.push_back(b);
+    }
+    return out;
+}
+
+void
+Manager::noteProbeResult(unsigned bank, bool clean, Tick now)
+{
+    if (bank >= banks_.size() ||
+        banks_[bank].state == BankState::Healthy)
+        return;
+    BankHealth &h = banks_[bank];
+    ++stats_.counter("probe_transfers");
+    if (!clean) {
+        ++stats_.counter("probe_failures");
+        h.state = BankState::Masked;
+        h.cleanProbes = 0;
+        return;
+    }
+    ++h.cleanProbes;
+    if (h.cleanProbes < policy_.probesToReadmit) {
+        h.state = BankState::Probation;
+        return;
+    }
+    // Re-admission: the bank rejoins service.
+    h.state = BankState::Healthy;
+    h.cleanProbes = 0;
+    --unhealthyBanks_;
+    ++stats_.counter("readmissions");
+    auto &tl = telemetry::Timeline::global();
+    if (tl.enabled()) {
+        std::ostringstream os;
+        os << "bank " << bank << " out of service";
+        tl.span(timelineTrack_, os.str(), h.maskedAt, now);
     }
 }
 

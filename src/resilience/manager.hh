@@ -1,16 +1,26 @@
 /**
  * @file
- * The resilience manager: recovery policy, per-DPU health mask, and the
- * `resilience.*` stats group.
+ * The resilience manager: recovery policy, per-bank health state
+ * machine, correlated failure domains, and the `resilience.*` stats
+ * group.
  *
  * One manager per simulated System. The transfer path (DCE, PIM-MMU
  * runtime, baseline UPMEM runtime) consults the policy to decide which
  * checks run and how failures are recovered, and reports every
  * detection/recovery event here so campaigns can reconcile counters
- * against fired fault sites. The health mask is bank-granular: a DPU
- * failure poisons its whole bank (transfers must cover all 8 chips of a
- * bank), so masking excises the bank from scatter plans and kernel
- * launches.
+ * against fired fault sites.
+ *
+ * Health is bank-granular (a DPU failure poisons its whole bank, since
+ * transfers must cover all 8 chips), and domain-aware: the manager
+ * knows how flat bank indices fold into ranks and channels, so a
+ * correlated rank or channel failure masks every bank in the domain
+ * atomically. With repair enabled, masking is no longer permanent —
+ * each bank walks a health state machine
+ *
+ *   healthy -> suspected -> masked -> probation -> healthy
+ *
+ * driven by scrub probes: a failure demotes the bank, and N
+ * consecutive CRC-clean probe transfers re-admit it.
  */
 
 #ifndef PIMMMU_RESILIENCE_MANAGER_HH
@@ -41,9 +51,16 @@ struct Policy
     unsigned maxRetries = 4;
     Tick retryBackoffPs = 2 * kPsPerUs;
 
-    /** Permanently exclude failed DPUs (whole banks) from scatter
-     *  plans and kernel launches instead of failing the transfer. */
+    /** Exclude failed DPUs (whole banks) from scatter plans and kernel
+     *  launches instead of failing the transfer. Without repair the
+     *  exclusion is permanent. */
     bool maskFailedDpus = false;
+
+    /** Repair & re-admission: masked banks are probed by the scrub
+     *  pass and re-admitted after `probesToReadmit` consecutive
+     *  CRC-clean probe transfers. */
+    bool repairEnabled = false;
+    unsigned probesToReadmit = 2;
 
     /** Descriptor watchdog period (0 = off): if the engine makes no
      *  progress for this long, lost completions are recovered by
@@ -58,19 +75,94 @@ struct Policy
     anyEnabled() const
     {
         return detectionEnabled() || retry || maskFailedDpus ||
-               watchdogPs > 0;
+               repairEnabled || watchdogPs > 0;
     }
 
-    /** The three campaign policies of bench/fig_resilience. */
+    /** The campaign policies of bench/fig_resilience and fig_chaos. */
     static Policy off() { return Policy{}; }
     static Policy withRetry();
     static Policy withRetryAndMask();
+    static Policy withRepair();
 };
 
-/** Per-System resilience state: policy, health mask, accounting. */
+/** Per-bank health. Only Healthy banks are admitted into scatter plans
+ *  and kernel launches; the other three states differ in how much
+ *  probe evidence separates them from re-admission. */
+enum class BankState
+{
+    Healthy,   //!< in service
+    Suspected, //!< first failure seen (repair on); awaiting a probe
+    Masked,    //!< confirmed bad, or repair disabled
+    Probation, //!< some consecutive clean probes, not yet enough
+};
+
+const char *bankStateName(BankState s);
+
+/**
+ * How flat bank indices fold into correlated failure domains
+ * (bank -> rank -> channel). Matches PimGeometry::bankCoord's flat
+ * ordering: channel outer, then rank, then bank-within-rank — but is
+ * kept self-contained here so the resilience layer stays independent
+ * of the pim headers.
+ */
+struct DomainMap
+{
+    unsigned numBanks = 0;
+    unsigned banksPerRank = 0;    //!< 0 = no domain structure (flat)
+    unsigned ranksPerChannel = 1;
+    unsigned chipsPerRank = 8;    //!< DPUs per bank
+
+    unsigned
+    numRanks() const
+    {
+        return banksPerRank ? numBanks / banksPerRank : 1;
+    }
+
+    unsigned
+    numChannels() const
+    {
+        const unsigned perChannel = banksPerChannel();
+        return perChannel ? numBanks / perChannel : 1;
+    }
+
+    unsigned
+    banksPerChannel() const
+    {
+        return banksPerRank * ranksPerChannel;
+    }
+
+    unsigned
+    rankOfBank(unsigned bank) const
+    {
+        return banksPerRank ? bank / banksPerRank : 0;
+    }
+
+    unsigned
+    channelOfBank(unsigned bank) const
+    {
+        const unsigned perChannel = banksPerChannel();
+        return perChannel ? bank / perChannel : 0;
+    }
+
+    /** A flat map with no rank/channel structure (legacy ctor). */
+    static DomainMap
+    flat(unsigned numDpus, unsigned chipsPerRank)
+    {
+        DomainMap m;
+        m.chipsPerRank = chipsPerRank ? chipsPerRank : 1;
+        m.numBanks = numDpus / m.chipsPerRank;
+        m.banksPerRank = m.numBanks;
+        m.ranksPerChannel = 1;
+        return m;
+    }
+};
+
+/** Per-System resilience state: policy, health state, accounting. */
 class Manager
 {
   public:
+    Manager(const Policy &policy, const DomainMap &domains);
+    /** Legacy shape: numDpus/chipsPerRank with no domain structure. */
     Manager(const Policy &policy, unsigned numDpus,
             unsigned chipsPerRank);
     ~Manager();
@@ -79,6 +171,7 @@ class Manager
     Manager &operator=(const Manager &) = delete;
 
     const Policy &policy() const { return policy_; }
+    const DomainMap &domains() const { return domains_; }
     stats::Group &stats() { return stats_; }
 
     /** A guard preconfigured from the policy. */
@@ -88,29 +181,65 @@ class Manager
     void absorbGuard(const XferGuard &guard);
 
     // ------------------------------------------------------------------
-    // Health mask (bank-granular).
+    // Health state (bank-granular, domain-aware).
     // ------------------------------------------------------------------
 
+    BankState
+    bankState(unsigned bank) const
+    {
+        return bank < banks_.size() ? banks_[bank].state
+                                    : BankState::Healthy;
+    }
+
+    /** Whether the bank is excluded from plans/launches: any state
+     *  other than Healthy. */
     bool
     bankMasked(unsigned bank) const
     {
-        return bank < bankMasked_.size() && bankMasked_[bank];
+        return bankState(bank) != BankState::Healthy;
     }
 
     bool
     dpuHealthy(unsigned dpu) const
     {
-        return !bankMasked(dpu / chipsPerRank_);
+        return !bankMasked(dpu / domains_.chipsPerRank);
     }
 
-    /** Mark @p dpu permanently failed; masks its whole bank. */
+    /** Mark @p dpu failed; demotes its whole bank (to Suspected with
+     *  repair enabled, else straight to Masked). */
     void markDpuFailed(unsigned dpu, Tick now);
 
-    unsigned maskedBanks() const { return maskedBanks_; }
+    /** Correlated failures: demote every bank of the domain at once. */
+    void markRankFailed(unsigned rank, Tick now);
+    void markChannelFailed(unsigned channel, Tick now);
+
+    /**
+     * Fire the kill fault sites for each listed DPU: `dpu.kill` (one
+     * core), `domain.kill_rank` and `domain.kill_channel` (its whole
+     * rank / channel). The single source of truth for fault-driven
+     * masking — every admission path (scatter planning, checked
+     * transfers, kernel launches, scrub probes) calls this instead of
+     * probing the sites itself. @return whether anything fired.
+     */
+    bool probeKillSites(const std::vector<unsigned> &dpuIds, Tick now);
+
+    /** Banks currently out of service (candidates for a scrub probe). */
+    std::vector<unsigned> banksNeedingProbe() const;
+
+    /**
+     * Outcome of one scrub probe of @p bank. A clean probe advances
+     * the bank toward re-admission (Probation, then Healthy after
+     * `probesToReadmit` consecutive clean probes); a failed probe
+     * sends it back to Masked and resets the streak.
+     */
+    void noteProbeResult(unsigned bank, bool clean, Tick now);
+
+    unsigned maskedBanks() const { return unhealthyBanks_; }
     unsigned
     healthyDpus() const
     {
-        return numDpus_ - maskedBanks_ * chipsPerRank_;
+        return (domains_.numBanks - unhealthyBanks_) *
+               domains_.chipsPerRank;
     }
 
     // ------------------------------------------------------------------
@@ -127,13 +256,27 @@ class Manager
         ++stats_.counter("transfers_degraded");
     }
     void noteLaunchDegraded() { ++stats_.counter("launches_degraded"); }
+    void noteLaunchRelaunch() { ++stats_.counter("launch_relaunches"); }
+    void noteLaunchCrcFailure()
+    {
+        ++stats_.counter("launch_crc_failures");
+    }
 
   private:
+    struct BankHealth
+    {
+        BankState state = BankState::Healthy;
+        unsigned cleanProbes = 0; //!< consecutive clean scrub probes
+        Tick maskedAt = 0;        //!< when the bank left service
+    };
+
+    /** Demote one bank after a failure (direct or domain-correlated). */
+    void failBank(unsigned bank, Tick now, const char *why);
+
     Policy policy_;
-    unsigned numDpus_;
-    unsigned chipsPerRank_;
-    std::vector<bool> bankMasked_;
-    unsigned maskedBanks_ = 0;
+    DomainMap domains_;
+    std::vector<BankHealth> banks_;
+    unsigned unhealthyBanks_ = 0;
     unsigned timelineTrack_ = 0;
     stats::Group stats_;
 };

@@ -37,6 +37,9 @@ enum class ErrorCode
     TransferStalled,
     /** Every listed PIM core is health-masked; no capacity left. */
     CapacityExhausted,
+    /** Every target of this operation is health-masked (possibly by a
+     *  correlated rank/channel failure); nothing healthy to address. */
+    NoHealthyTargets,
 };
 
 const char *errorCodeName(ErrorCode code);

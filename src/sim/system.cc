@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/trace.hh"
+#include "pim/host_transfer.hh"
 
 namespace pimmmu {
 namespace sim {
@@ -75,10 +76,17 @@ System::System(const SystemConfig &config) : config_(config)
 
     // Only stand up the resilience manager (and its stats group) when
     // the policy enables something: default systems stay bit-identical.
+    // The domain map teaches it how flat bank indices fold into ranks
+    // and channels so correlated failures mask whole domains.
     if (config_.resilience.anyEnabled()) {
+        resilience::DomainMap domains;
+        domains.numBanks = config_.pimGeom.numBanks();
+        domains.banksPerRank = config_.pimGeom.banks.banksPerRank();
+        domains.ranksPerChannel =
+            config_.pimGeom.banks.ranksPerChannel;
+        domains.chipsPerRank = config_.pimGeom.chipsPerRank;
         resilience_ = std::make_unique<resilience::Manager>(
-            config_.resilience, config_.pimGeom.numDpus(),
-            config_.pimGeom.chipsPerRank);
+            config_.resilience, domains);
     }
 
     core::DceConfig dceCfg = config_.dce;
@@ -330,11 +338,42 @@ System::runMemcpy(std::uint64_t totalBytes, unsigned threads)
     const Addr src = allocDram(totalBytes);
     const Addr dst = allocDram(totalBytes);
 
-    // Functional copy.
-    std::vector<std::uint8_t> buf(64);
-    for (std::uint64_t off = 0; off < totalBytes; off += 64) {
-        mem_->store().read(src + off, buf.data(), 64);
-        mem_->store().write(dst + off, buf.data(), 64);
+    // Functional copy. With detection enabled the payload crosses the
+    // modeled link word-by-word (ECC + end-to-end CRC, same machinery
+    // as the scatter path) with a bounded functional retry; without a
+    // manager the legacy guard-free copy runs byte-identically.
+    resilience::Status copyStatus;
+    resilience::Manager *mgr = resilience_.get();
+    if (mgr && mgr->policy().detectionEnabled()) {
+        const resilience::Policy &pol = mgr->policy();
+        const unsigned attempts = pol.retry ? pol.maxRetries + 1 : 1;
+        bool delivered = false;
+        for (unsigned attempt = 0; attempt < attempts && !delivered;
+             ++attempt) {
+            resilience::XferGuard guard = mgr->makeGuard();
+            device::guardedCopy(mem_->store(), src, dst, totalBytes,
+                                guard);
+            mgr->absorbGuard(guard);
+            delivered = guard.dataOk();
+            if (!delivered && attempt + 1 < attempts) {
+                if (guard.uncorrectedWords > 0)
+                    mgr->noteEccRetry();
+                else
+                    mgr->noteCrcRetry();
+            }
+        }
+        if (!delivered) {
+            mgr->noteTransferFailed();
+            copyStatus = resilience::Status::failure(
+                resilience::ErrorCode::DataCorrupt,
+                "memcpy payload corrupt after the retry budget");
+        }
+    } else {
+        std::vector<std::uint8_t> buf(64);
+        for (std::uint64_t off = 0; off < totalBytes; off += 64) {
+            mem_->store().read(src + off, buf.data(), 64);
+            mem_->store().write(dst + off, buf.data(), 64);
+        }
     }
 
     const EnergySnapshot before = snapshot();
@@ -398,9 +437,79 @@ System::runMemcpy(std::uint64_t totalBytes, unsigned threads)
         });
     }
 
-    const bool ok = runUntil([&] { return xfer->done; });
-    PIMMMU_ASSERT(ok, "memcpy did not complete");
-    return finishStats(*xfer, before, dramB, pimB);
+    runUntil([&] { return xfer->done; });
+    if (!xfer->done) {
+        // The event queue drained mid-copy: report a structured stall
+        // instead of dying on a bare assert.
+        std::ostringstream os;
+        os << "memcpy did not complete: event queue drained at "
+           << eq_.now() << "ps; " << dce_->outstandingSummary();
+        xfer->endPs = eq_.now();
+        xfer->status = resilience::Status::failure(
+            resilience::ErrorCode::TransferStalled, os.str());
+    }
+    TransferStats stats = finishStats(*xfer, before, dramB, pimB);
+    stats.status = !copyStatus.ok() ? copyStatus : xfer->status;
+    return stats;
+}
+
+ScrubReport
+System::runScrub()
+{
+    ScrubReport report;
+    resilience::Manager *mgr = resilience_.get();
+    if (mgr == nullptr || !mgr->policy().repairEnabled)
+        return report;
+    const std::vector<unsigned> banks = mgr->banksNeedingProbe();
+    if (banks.empty())
+        return report;
+    if (scrubScratch_ == kAddrInvalid)
+        scrubScratch_ = allocDram(8 * 64);
+
+    const device::PimGeometry &geom = config_.pimGeom;
+    const std::uint64_t probeBytes = 64;
+    // Probe the MRAM tail so in-flight application heaps stay intact.
+    const Addr probeOffset = geom.mramBytesPerDpu() - probeBytes;
+
+    for (const unsigned bank : banks) {
+        // Deterministic per-bank probe pattern.
+        std::uint8_t pattern[64];
+        for (unsigned i = 0; i < sizeof(pattern); ++i)
+            pattern[i] = static_cast<std::uint8_t>(bank * 31 + i);
+
+        device::BankGrouping grouping;
+        grouping.banks.emplace_back();
+        device::BankGrouping::Bank &b = grouping.banks.back();
+        b.bankIdx = bank;
+        std::vector<unsigned> ids(geom.chipsPerRank);
+        for (unsigned c = 0; c < geom.chipsPerRank; ++c) {
+            b.dpuId[c] = geom.dpuId(bank, c);
+            b.hostBase[c] = scrubScratch_ + Addr{c} * probeBytes;
+            ids[c] = b.dpuId[c];
+            mem_->store().write(b.hostBase[c], pattern,
+                                sizeof(pattern));
+        }
+
+        // The probe always runs fully guarded: re-admission evidence
+        // is exactly "the link delivered CRC-clean data".
+        resilience::XferGuard guard = mgr->makeGuard();
+        guard.eccEnabled = true;
+        guard.crcEnabled = true;
+        device::functionalTransfer(mem_->store(), *pim_, true, grouping,
+                                   probeBytes, probeOffset, &guard);
+        // A probe can find the domain still dying under it.
+        const bool rekilled = mgr->probeKillSites(ids, eq_.now());
+        mgr->absorbGuard(guard);
+        const bool clean = guard.dataOk() && !rekilled;
+        mgr->noteProbeResult(bank, clean, eq_.now());
+        ++report.probed;
+        if (!clean)
+            ++report.failed;
+        else if (mgr->bankState(bank) ==
+                 resilience::BankState::Healthy)
+            ++report.readmitted;
+    }
+    return report;
 }
 
 void

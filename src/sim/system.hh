@@ -117,6 +117,16 @@ struct TransferStats
     double gbPerJoule() const { return energy.gbPerJoule(bytes); }
 };
 
+/** Outcome of one scrub pass over the out-of-service banks. */
+struct ScrubReport
+{
+    unsigned probed = 0;     //!< banks probed this pass
+    unsigned readmitted = 0; //!< banks that rejoined service
+    unsigned failed = 0;     //!< probes that found fresh corruption
+
+    bool idle() const { return probed == 0; }
+};
+
 /** Handle to a transfer running concurrently with other activity. */
 struct AsyncTransfer
 {
@@ -198,6 +208,16 @@ class System
     TransferStats runMemcpy(std::uint64_t totalBytes,
                             unsigned threads = 8);
 
+    /**
+     * One scrub pass: probe every out-of-service bank with a small
+     * CRC-guarded transfer and feed the evidence into the health state
+     * machine (see resilience::Manager::noteProbeResult). Re-admission
+     * takes `Policy::probesToReadmit` consecutive clean probes, so
+     * callers typically run passes until the report is idle. No-op
+     * unless the policy enables repair.
+     */
+    ScrubReport runScrub();
+
     /** Add co-located contender threads (Fig. 13). */
     void addComputeContenders(unsigned count);
     void addMemoryContenders(unsigned count, cpu::MemIntensity intensity,
@@ -234,6 +254,7 @@ class System
     std::unique_ptr<upmem::UpmemRuntime> upmemRuntime_;
 
     Addr dramAllocTop_ = 0;
+    Addr scrubScratch_ = kAddrInvalid;
     unsigned contenderSeed_ = 1;
 };
 

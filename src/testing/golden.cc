@@ -60,6 +60,19 @@ GoldenModel::apply(bool toPim, const std::vector<unsigned> &dpuIds,
     }
 }
 
+void
+GoldenModel::applyKernel(const std::vector<unsigned> &dpuIds,
+                         std::uint64_t bytesPerDpu, Addr heapOffset)
+{
+    for (const unsigned dpu : dpuIds) {
+        auto &mram = mram_[dpu];
+        for (std::uint64_t b = 0; b < bytesPerDpu; ++b) {
+            mram[heapOffset + b] =
+                launchKernelByte(mramByte(dpu, heapOffset + b), b);
+        }
+    }
+}
+
 std::vector<std::string>
 GoldenModel::compare(sim::System &sys, std::size_t maxDiffs) const
 {

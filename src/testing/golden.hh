@@ -26,6 +26,19 @@ class System;
 
 namespace testing {
 
+/**
+ * The deterministic byte transform applied by generated kernel-launch
+ * steps: each MRAM byte at window offset @p i maps through this. The
+ * simulator's launched kernel and the golden mirror share this one
+ * definition, so a byte-exact match still means the launch path (MRAM
+ * access, masking, scheduling) preserved the data.
+ */
+inline std::uint8_t
+launchKernelByte(std::uint8_t v, std::uint64_t i)
+{
+    return static_cast<std::uint8_t>((v ^ 0x5a) + (i & 0xff));
+}
+
 class GoldenModel
 {
   public:
@@ -45,6 +58,14 @@ class GoldenModel
     void apply(bool toPim, const std::vector<unsigned> &dpuIds,
                const std::vector<Addr> &hostAddrs,
                std::uint64_t bytesPerDpu, Addr heapOffset);
+
+    /**
+     * Mirror one kernel launch: run launchKernelByte over each listed
+     * DPU's MRAM window [heapOffset, heapOffset + bytesPerDpu).
+     * Unwritten locations read as zero, matching zero-initialized MRAM.
+     */
+    void applyKernel(const std::vector<unsigned> &dpuIds,
+                     std::uint64_t bytesPerDpu, Addr heapOffset);
 
     /**
      * Compare every shadowed byte against the simulated system's

@@ -122,6 +122,9 @@ generatePlan(std::uint64_t seed, unsigned caseIdx)
                                           : 64 * rng.below(64);
         op.fillWidth = 1u << rng.below(4);
         op.strideFactor = 1 + static_cast<unsigned>(rng.below(3));
+        // A quarter of the steps exercise the kernel-launch path
+        // instead of the transfer path.
+        op.launch = rng.below(4) == 0;
         plan.ops.push_back(std::move(op));
     }
     return plan;
@@ -183,7 +186,7 @@ validatePlan(const TransferPlan &plan)
             why << "op " << i << ": bad strideFactor";
             return why.str();
         }
-        if (op.dir == core::XferDirection::DramToDram) {
+        if (!op.launch && op.dir == core::XferDirection::DramToDram) {
             why << "op " << i << ": DramToDram is not a PIM transfer";
             return why.str();
         }
@@ -203,8 +206,9 @@ TransferPlan::str() const
     for (std::size_t i = 0; i < ops.size(); ++i) {
         const TransferOp &op = ops[i];
         os << "  op[" << i << "] "
-           << (op.dir == core::XferDirection::DramToPim ? "D->P"
-                                                        : "P->D")
+           << (op.launch ? "LAUNCH"
+               : op.dir == core::XferDirection::DramToPim ? "D->P"
+                                                          : "P->D")
            << " banks={";
         for (std::size_t k = 0; k < op.banks.size(); ++k)
             os << (k ? "," : "") << op.banks[k];

@@ -20,14 +20,19 @@ namespace pimmmu {
 namespace testing {
 
 /**
- * One randomized DRAM<->PIM transfer: a set of whole banks (all 8
- * chips each), a per-DPU size, an MRAM heap offset, and the host-side
- * array spacing. fillWidth picks the element width of the generated
- * host/MRAM payload (1/2/4/8-byte elements).
+ * One randomized plan step. Most steps are DRAM<->PIM transfers: a set
+ * of whole banks (all 8 chips each), a per-DPU size, an MRAM heap
+ * offset, and the host-side array spacing; fillWidth picks the element
+ * width of the generated host/MRAM payload (1/2/4/8-byte elements).
+ * With `launch` set the step is instead a PrIM kernel launch over the
+ * same banks: the deterministic byte-transform kernel (see
+ * launchKernelByte) runs over each DPU's MRAM window
+ * [heapOffset, heapOffset + bytesPerDpu), generating no DRAM traffic.
  */
 struct TransferOp
 {
     core::XferDirection dir = core::XferDirection::DramToPim;
+    bool launch = false;           //!< kernel launch instead of a transfer
     std::vector<unsigned> banks;   //!< touched PIM banks, ascending
     std::uint64_t bytesPerDpu = 64;
     Addr heapOffset = 0;           //!< 8-byte aligned MRAM offset
@@ -51,13 +56,26 @@ struct TransferPlan
     unsigned queueDepth = 1;     //!< transfers issued back-to-back
     std::vector<TransferOp> ops;
 
+    /** Bytes crossing the buses: transfer steps only (kernel launches
+     *  work entirely inside MRAM). */
     std::uint64_t
     totalBytes() const
     {
         std::uint64_t total = 0;
-        for (const auto &op : ops)
-            total += op.bytes();
+        for (const auto &op : ops) {
+            if (!op.launch)
+                total += op.bytes();
+        }
         return total;
+    }
+
+    std::uint64_t
+    launchCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &op : ops)
+            n += op.launch ? 1 : 0;
+        return n;
     }
 
     /** Human-readable dump (the shrunk-reproducer format). */

@@ -16,6 +16,7 @@ namespace {
 struct PreparedOp
 {
     bool toPim = true;
+    bool launch = false;
     std::vector<unsigned> dpuIds;
     std::vector<Addr> hostAddrs;
     std::uint64_t bytesPerDpu = 0;
@@ -105,8 +106,29 @@ class PlanRunner
         for (const TransferOp &op : plan_.ops) {
             PreparedOp prep;
             prep.toPim = op.dir == core::XferDirection::DramToPim;
+            prep.launch = op.launch;
             prep.bytesPerDpu = op.bytesPerDpu;
             prep.heapOffset = op.heapOffset;
+            if (op.launch) {
+                // Kernel launch: no host arrays; seed each DPU's MRAM
+                // window so the kernel transforms known data.
+                for (unsigned bank : op.banks) {
+                    for (unsigned chip = 0; chip < 8; ++chip) {
+                        prep.dpuIds.push_back(
+                            cfg_.pimGeom.dpuId(bank, chip));
+                    }
+                }
+                for (unsigned dpu : prep.dpuIds) {
+                    const auto data =
+                        makePayload(fill, op.bytesPerDpu, op.fillWidth);
+                    sys_.pim().dpu(dpu).mramWrite(
+                        op.heapOffset, data.data(), data.size());
+                    golden_.mramWrite(dpu, op.heapOffset, data.data(),
+                                      data.size());
+                }
+                prepared_.push_back(std::move(prep));
+                continue;
+            }
             const Addr base = sys_.allocDram(
                 op.dpuCount() * op.hostStride(), 64);
             for (unsigned bank : op.banks) {
@@ -155,6 +177,26 @@ class PlanRunner
             unsigned done = 0;
             for (std::size_t i = next; i < end; ++i) {
                 const PreparedOp &prep = prepared_[i];
+                if (prep.launch) {
+                    // Kernel launches run functionally at call time
+                    // (the modeled exec latency generates no DRAM
+                    // traffic), so the step completes synchronously.
+                    const Addr off = prep.heapOffset;
+                    const std::uint64_t bytes = prep.bytesPerDpu;
+                    sys_.upmem().launch(
+                        prep.dpuIds,
+                        [off, bytes](device::Dpu &dpu, unsigned) {
+                            std::vector<std::uint8_t> buf(bytes);
+                            dpu.mramRead(off, buf.data(), bytes);
+                            for (std::uint64_t b = 0; b < bytes; ++b)
+                                buf[b] = launchKernelByte(buf[b], b);
+                            dpu.mramWrite(off, buf.data(), bytes);
+                        },
+                        device::KernelModel{}, bytes);
+                    golden_.applyKernel(prep.dpuIds, bytes, off);
+                    ++done;
+                    continue;
+                }
                 if (cfg_.useDce()) {
                     core::PimMmuOp op;
                     op.type = prep.toPim
@@ -223,13 +265,24 @@ class PlanRunner
     checkConservation()
     {
         std::uint64_t totalBytes = 0, toPim = 0, fromPim = 0;
+        std::uint64_t launches = 0;
         for (const TransferOp &op : plan_.ops) {
+            if (op.launch) {
+                ++launches;
+                continue; // kernels generate no DRAM traffic
+            }
             totalBytes += op.bytes();
             (op.dir == core::XferDirection::DramToPim ? toPim
                                                       : fromPim) +=
                 op.bytes();
         }
-        const std::uint64_t numOps = plan_.ops.size();
+        const std::uint64_t numOps = plan_.ops.size() - launches;
+
+        // Launch-path conservation: every generated launch step runs
+        // exactly one kernel launch, and nothing else does.
+        expectEq("conservation", "pim.kernel_launches",
+                 sys_.pim().stats().counterValue("kernel_launches"),
+                 launches);
 
         if (cfg_.useDce()) {
             const stats::Group &dce = sys_.dce().stats();

@@ -7,7 +7,6 @@
 #include "resilience/manager.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
-#include "testing/fault_injection.hh"
 
 namespace pimmmu {
 namespace upmem {
@@ -38,15 +37,13 @@ UpmemRuntime::pushXfer(XferKind kind,
     const bool toPim = kind == XferKind::ToDpu;
     const device::PimGeometry &geom = pim_.geometry();
 
-    // Health masking: probe for freshly failed DPUs, then excise every
-    // core on a masked bank (transfers cover whole banks).
+    // Health masking: probe for freshly failed DPUs (and correlated
+    // rank/channel failures), then excise every core on an
+    // out-of-service bank (transfers cover whole banks).
     std::vector<unsigned> ids = dpuIds;
     std::vector<Addr> addrs = hostAddrs;
     if (res_ && res_->policy().maskFailedDpus) {
-        for (const unsigned dpu : ids) {
-            if (testing::fault::fire("dpu.kill"))
-                res_->markDpuFailed(dpu, eq_.now());
-        }
+        res_->probeKillSites(ids, eq_.now());
         if (res_->maskedBanks() > 0) {
             std::vector<unsigned> keptIds;
             std::vector<Addr> keptAddrs;
@@ -180,12 +177,124 @@ UpmemRuntime::launch(
     return pim_.launch(dpuIds, kernel, model, bytesPerDpu);
 }
 
+LaunchOutcome
+UpmemRuntime::launchChecked(
+    const std::vector<unsigned> &dpuIds,
+    const std::function<void(device::Dpu &, unsigned)> &kernel,
+    const device::KernelModel &model, std::uint64_t bytesPerDpu,
+    const LaunchCheck &check)
+{
+    LaunchOutcome out;
+    if (!res_) {
+        out.execPs = pim_.launch(dpuIds, kernel, model, bytesPerDpu);
+        out.ranOn = dpuIds;
+        return out;
+    }
+
+    const resilience::Policy &pol = res_->policy();
+    auto healthyOf = [&](const std::vector<unsigned> &ids) {
+        if (!pol.maskFailedDpus)
+            return ids;
+        std::vector<unsigned> healthy;
+        healthy.reserve(ids.size());
+        for (const unsigned dpu : ids) {
+            if (res_->dpuHealthy(dpu))
+                healthy.push_back(dpu);
+        }
+        return healthy;
+    };
+
+    std::vector<unsigned> ids = healthyOf(dpuIds);
+    if (ids.size() != dpuIds.size())
+        res_->noteLaunchDegraded();
+    if (ids.empty()) {
+        out.status = resilience::Status::failure(
+            resilience::ErrorCode::NoHealthyTargets,
+            "every listed DPU is health-masked");
+        return out;
+    }
+
+    const unsigned attempts = pol.retry ? pol.maxRetries + 1 : 1;
+    const bool verify =
+        check.resultBytes > 0 && pol.detectionEnabled();
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        out.execPs += pim_.launch(ids, kernel, model, bytesPerDpu);
+
+        // Cores can die mid-kernel: probe the kill sites after the
+        // run, then drop every core whose bank just left service.
+        if (pol.maskFailedDpus)
+            res_->probeKillSites(ids, eq_.now());
+
+        // Verify each survivor's result window across the link; a
+        // corrupt readback that survives the word-retry budget masks
+        // the core like a death.
+        bool anyCorrupt = false;
+        if (verify) {
+            for (const unsigned dpu : ids) {
+                if (pol.maskFailedDpus && !res_->dpuHealthy(dpu))
+                    continue;
+                resilience::XferGuard guard = res_->makeGuard();
+                device::verifyMramReadback(pim_, dpu,
+                                           check.resultOffset,
+                                           check.resultBytes, guard);
+                res_->absorbGuard(guard);
+                if (!guard.dataOk()) {
+                    anyCorrupt = true;
+                    res_->noteLaunchCrcFailure();
+                    if (pol.maskFailedDpus)
+                        res_->markDpuFailed(dpu, eq_.now());
+                }
+            }
+        }
+
+        std::vector<unsigned> survivors = healthyOf(ids);
+        if (survivors.size() == ids.size() && !anyCorrupt) {
+            out.ranOn = std::move(ids);
+            return out;
+        }
+        if (survivors.empty()) {
+            res_->noteTransferFailed();
+            out.status = resilience::Status::failure(
+                resilience::ErrorCode::NoHealthyTargets,
+                "every DPU died or corrupted during launch");
+            return out;
+        }
+        if (attempt + 1 >= attempts)
+            break;
+        // Relaunch the kernel on the healthy survivors.
+        res_->noteLaunchDegraded();
+        res_->noteLaunchRelaunch();
+        PIMMMU_TRACE_LOG(trace::Category::Pim, eq_.now(),
+                         "dpu_launch relaunch: "
+                             << ids.size() - survivors.size() << " of "
+                             << ids.size()
+                             << " DPUs lost, relaunching on "
+                             << survivors.size());
+        ids = std::move(survivors);
+    }
+    res_->noteTransferFailed();
+    out.status = resilience::Status::failure(
+        resilience::ErrorCode::DataCorrupt,
+        "kernel results still corrupt after the relaunch budget");
+    return out;
+}
+
 Tick
 DpuSet::launch(
     const std::function<void(device::Dpu &, unsigned)> &kernel,
     const device::KernelModel &model, std::uint64_t bytesPerDpu)
 {
     return runtime_.launch(dpuIds_, kernel, model, bytesPerDpu);
+}
+
+LaunchOutcome
+DpuSet::launchChecked(
+    const std::function<void(device::Dpu &, unsigned)> &kernel,
+    const device::KernelModel &model, std::uint64_t bytesPerDpu,
+    const LaunchCheck &check)
+{
+    return runtime_.launchChecked(dpuIds_, kernel, model, bytesPerDpu,
+                                  check);
 }
 
 void

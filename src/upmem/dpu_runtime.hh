@@ -18,6 +18,7 @@
 #include "cpu/cpu.hh"
 #include "dram/memory_system.hh"
 #include "pim/pim_device.hh"
+#include "resilience/status.hh"
 
 namespace pimmmu {
 
@@ -32,6 +33,27 @@ enum class XferKind
 {
     ToDpu,
     FromDpu
+};
+
+/** What a checked launch verifies after the kernel runs: a per-DPU
+ *  MRAM result window read back across the modeled link under
+ *  ECC/CRC. Zero bytes = no readback verification. */
+struct LaunchCheck
+{
+    Addr resultOffset = 0;
+    std::uint64_t resultBytes = 0;
+};
+
+/** Outcome of a checked kernel launch. */
+struct LaunchOutcome
+{
+    Tick execPs = 0; //!< summed over the initial launch + relaunches
+    resilience::Status status;
+    unsigned relaunches = 0;
+    /** DPUs the final (successful) launch actually ran on. */
+    std::vector<unsigned> ranOn;
+
+    bool ok() const { return status.ok(); }
 };
 
 /**
@@ -69,6 +91,22 @@ class UpmemRuntime
                     &kernel,
                 const device::KernelModel &model,
                 std::uint64_t bytesPerDpu);
+
+    /**
+     * Verified dpu_launch: filters the health mask (rejecting with
+     * NoHealthyTargets when nothing is left), probes the kill fault
+     * sites after the kernel runs to catch cores dying mid-kernel, and
+     * — when @p check names a result window — reads each survivor's
+     * MRAM results back across the modeled link under ECC/CRC. A
+     * failed verification masks the offending core; dead or corrupt
+     * cores trigger a bounded relaunch on the healthy survivors. With
+     * no resilience manager this degenerates to a plain launch.
+     */
+    LaunchOutcome launchChecked(
+        const std::vector<unsigned> &dpuIds,
+        const std::function<void(device::Dpu &, unsigned)> &kernel,
+        const device::KernelModel &model, std::uint64_t bytesPerDpu,
+        const LaunchCheck &check = LaunchCheck{});
 
     device::PimDevice &pim() { return pim_; }
     cpu::Cpu &cpu() { return cpu_; }
@@ -117,6 +155,12 @@ class DpuSet
                     &kernel,
                 const device::KernelModel &model,
                 std::uint64_t bytesPerDpu);
+
+    /** Checked dpu_launch over the whole set (see UpmemRuntime). */
+    LaunchOutcome launchChecked(
+        const std::function<void(device::Dpu &, unsigned)> &kernel,
+        const device::KernelModel &model, std::uint64_t bytesPerDpu,
+        const LaunchCheck &check = LaunchCheck{});
 
     const std::vector<unsigned> &dpuIds() const { return dpuIds_; }
 

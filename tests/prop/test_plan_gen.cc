@@ -53,6 +53,7 @@ TEST(PlanGen, CorpusCoversTheClaimedSpace)
     bool sawToPim = false, sawFromPim = false, sawDeepQueue = false;
     bool sawScatterOn = false, sawScatterOff = false, sawFcfs = false;
     bool sawMultiOp = false, sawOddHeap = false, sawStride = false;
+    bool sawLaunch = false, sawTransfer = false;
     for (unsigned c = 0; c < 64; ++c) {
         const TransferPlan plan = generatePlan(1, c);
         designs.insert(plan.design);
@@ -62,6 +63,10 @@ TEST(PlanGen, CorpusCoversTheClaimedSpace)
         sawFcfs |= plan.fcfs;
         sawMultiOp |= plan.ops.size() > 1;
         for (const TransferOp &op : plan.ops) {
+            sawLaunch |= op.launch;
+            sawTransfer |= !op.launch;
+            if (op.launch)
+                continue;
             sawToPim |= op.dir == core::XferDirection::DramToPim;
             sawFromPim |= op.dir == core::XferDirection::PimToDram;
             sawOddHeap |= op.heapOffset % 64 != 0;
@@ -78,6 +83,8 @@ TEST(PlanGen, CorpusCoversTheClaimedSpace)
     EXPECT_TRUE(sawMultiOp);
     EXPECT_TRUE(sawOddHeap);
     EXPECT_TRUE(sawStride);
+    EXPECT_TRUE(sawLaunch) << "kernel-launch steps in the corpus";
+    EXPECT_TRUE(sawTransfer);
 }
 
 TEST(PlanGen, ValidatorRejectsMalformedPlans)

@@ -204,7 +204,8 @@ TEST(Status, EveryErrorCodeHasAName)
          {ErrorCode::Ok, ErrorCode::EmptyDescriptor,
           ErrorCode::MalformedDescriptor, ErrorCode::EmptyStream,
           ErrorCode::DescriptorTooLarge, ErrorCode::DataCorrupt,
-          ErrorCode::TransferStalled, ErrorCode::CapacityExhausted}) {
+          ErrorCode::TransferStalled, ErrorCode::CapacityExhausted,
+          ErrorCode::NoHealthyTargets}) {
         EXPECT_NE(errorCodeName(c), nullptr);
         EXPECT_GT(std::strlen(errorCodeName(c)), 0u);
     }
@@ -459,7 +460,7 @@ TEST(Counters, WatchdogRecoversDroppedWriteCompletions)
               h.counter("watchdog_fires"));
 }
 
-TEST(Counters, DeadDpusAreMaskedAndCapacityExhaustionIsReported)
+TEST(Counters, DeadDpusAreMaskedAndNoHealthyTargetsIsReported)
 {
     // Every health probe fires: all listed cores die at first use, so
     // the whole plan masks out and the call reports it synchronously.
@@ -468,8 +469,8 @@ TEST(Counters, DeadDpusAreMaskedAndCapacityExhaustionIsReported)
     Status sync;
     const Status st = h.run(&sync);
     testing::fault::disarmAll();
-    EXPECT_EQ(st.code, ErrorCode::CapacityExhausted);
-    EXPECT_EQ(sync.code, ErrorCode::CapacityExhausted);
+    EXPECT_EQ(st.code, ErrorCode::NoHealthyTargets);
+    EXPECT_EQ(sync.code, ErrorCode::NoHealthyTargets);
     EXPECT_EQ(h.counter("dpus_masked"),
               std::uint64_t{CampaignHarness::kDpus});
     EXPECT_EQ(h.counter("banks_masked"), 2u);
@@ -495,6 +496,327 @@ TEST(Counters, PartialMaskDegradesInsteadOfFailing)
     EXPECT_EQ(h.counter("transfers_degraded"), 1u);
     EXPECT_FALSE(mgr->dpuHealthy(0));
     EXPECT_TRUE(mgr->dpuHealthy(8));
+}
+
+// ---------------------------------------------------------------------
+// Correlated failure domains.
+// ---------------------------------------------------------------------
+
+TEST(Domains, FoldBankToRankAndChannel)
+{
+    // The paper Table I shape: 4 channels x 2 ranks x 8 banks.
+    DomainMap m;
+    m.numBanks = 64;
+    m.banksPerRank = 8;
+    m.ranksPerChannel = 2;
+    EXPECT_EQ(m.numRanks(), 8u);
+    EXPECT_EQ(m.numChannels(), 4u);
+    EXPECT_EQ(m.rankOfBank(0), 0u);
+    EXPECT_EQ(m.rankOfBank(15), 1u);
+    EXPECT_EQ(m.channelOfBank(15), 0u);
+    EXPECT_EQ(m.channelOfBank(16), 1u);
+    EXPECT_EQ(m.rankOfBank(63), 7u);
+    EXPECT_EQ(m.channelOfBank(63), 3u);
+
+    // The legacy flat shape has a single all-enclosing domain.
+    const DomainMap flat = DomainMap::flat(128, 8);
+    EXPECT_EQ(flat.numBanks, 16u);
+    EXPECT_EQ(flat.numRanks(), 1u);
+    EXPECT_EQ(flat.numChannels(), 1u);
+    EXPECT_EQ(flat.channelOfBank(15), 0u);
+}
+
+TEST(Domains, CorrelatedKillsMaskWholeDomainsAtomically)
+{
+    DomainMap m;
+    m.numBanks = 64;
+    m.banksPerRank = 8;
+    m.ranksPerChannel = 2;
+    Manager mgr(Policy::withRetryAndMask(), m);
+
+    mgr.markRankFailed(1, 0);
+    for (unsigned b = 0; b < 64; ++b)
+        EXPECT_EQ(mgr.bankMasked(b), b >= 8 && b < 16) << "bank " << b;
+    EXPECT_EQ(mgr.stats().counterValue("ranks_masked"), 1u);
+    EXPECT_EQ(mgr.stats().counterValue("banks_masked"), 8u);
+    EXPECT_EQ(mgr.stats().counterValue("dpus_masked"), 64u);
+    EXPECT_EQ(mgr.maskedBanks(), 8u);
+    EXPECT_EQ(mgr.healthyDpus(), (64u - 8u) * 8u);
+
+    // A channel kill covers both its ranks; the overlap with the
+    // already-dead rank is not double-counted.
+    mgr.markChannelFailed(0, 0);
+    for (unsigned b = 0; b < 16; ++b)
+        EXPECT_TRUE(mgr.bankMasked(b)) << "bank " << b;
+    EXPECT_TRUE(mgr.dpuHealthy(16 * 8));
+    EXPECT_EQ(mgr.stats().counterValue("channels_masked"), 1u);
+    EXPECT_EQ(mgr.stats().counterValue("banks_masked"), 16u);
+    EXPECT_EQ(mgr.maskedBanks(), 16u);
+}
+
+TEST(Domains, ChannelKillRejectsTransferWithNoHealthyTargets)
+{
+    // The harness targets banks 0-1, both on channel 0: one fire of
+    // the correlated channel-kill site takes out every target, and the
+    // call must reject with a structured status — not trip an assert.
+    testing::fault::armRate("domain.kill_channel", 1.0, 9);
+    CampaignHarness h(Policy::withRetryAndMask());
+    Status sync;
+    const Status st = h.run(&sync);
+    testing::fault::disarmAll();
+    EXPECT_EQ(st.code, ErrorCode::NoHealthyTargets);
+    EXPECT_EQ(sync.code, ErrorCode::NoHealthyTargets);
+    Manager *mgr = h.sys.resilienceManager();
+    ASSERT_NE(mgr, nullptr);
+    EXPECT_GE(h.counter("channels_masked"), 1u);
+    // All 16 banks of channel 0 are out; channel 1 is untouched.
+    EXPECT_EQ(mgr->maskedBanks(),
+              mgr->domains().banksPerChannel());
+    EXPECT_FALSE(mgr->dpuHealthy(0));
+    EXPECT_TRUE(mgr->dpuHealthy(mgr->domains().banksPerChannel() * 8));
+}
+
+// ---------------------------------------------------------------------
+// Repair & re-admission.
+// ---------------------------------------------------------------------
+
+TEST(Repair, ProbeEvidenceWalksTheHealthStateMachine)
+{
+    Manager mgr(Policy::withRepair(), DomainMap::flat(64, 8));
+    EXPECT_EQ(mgr.bankState(3), BankState::Healthy);
+
+    // First failure: suspected (repair gets a chance), out of service.
+    mgr.markDpuFailed(3 * 8 + 2, 100);
+    EXPECT_EQ(mgr.bankState(3), BankState::Suspected);
+    EXPECT_TRUE(mgr.bankMasked(3));
+    EXPECT_EQ(mgr.banksNeedingProbe(), std::vector<unsigned>{3});
+    EXPECT_EQ(mgr.healthyDpus(), 64u - 8u);
+
+    // One clean probe: probation, still out of service.
+    mgr.noteProbeResult(3, true, 200);
+    EXPECT_EQ(mgr.bankState(3), BankState::Probation);
+    EXPECT_TRUE(mgr.bankMasked(3));
+
+    // A failed probe confirms the fault and resets the clean streak.
+    mgr.noteProbeResult(3, false, 300);
+    EXPECT_EQ(mgr.bankState(3), BankState::Masked);
+    EXPECT_EQ(mgr.stats().counterValue("probe_failures"), 1u);
+
+    // probesToReadmit consecutive clean probes re-admit the bank.
+    mgr.noteProbeResult(3, true, 400);
+    EXPECT_EQ(mgr.bankState(3), BankState::Probation);
+    mgr.noteProbeResult(3, true, 500);
+    EXPECT_EQ(mgr.bankState(3), BankState::Healthy);
+    EXPECT_EQ(mgr.stats().counterValue("readmissions"), 1u);
+    EXPECT_EQ(mgr.stats().counterValue("probe_transfers"), 4u);
+    EXPECT_EQ(mgr.healthyDpus(), 64u);
+    EXPECT_TRUE(mgr.banksNeedingProbe().empty());
+
+    // Without repair the first failure masks permanently.
+    Manager hard(Policy::withRetryAndMask(), DomainMap::flat(64, 8));
+    hard.markDpuFailed(0, 0);
+    EXPECT_EQ(hard.bankState(0), BankState::Masked);
+
+    // Every state has a printable name.
+    for (BankState s : {BankState::Healthy, BankState::Suspected,
+                        BankState::Masked, BankState::Probation})
+        EXPECT_GT(std::strlen(bankStateName(s)), 0u);
+}
+
+TEST(Repair, ScrubReadmitsKilledBanksAndServiceResumes)
+{
+    // Kill everything once, then let the scrub pass earn it all back.
+    testing::fault::arm("dpu.kill");
+    CampaignHarness h(Policy::withRepair());
+    const Status st = h.run();
+    testing::fault::disarmAll();
+    EXPECT_EQ(st.code, ErrorCode::NoHealthyTargets);
+    Manager *mgr = h.sys.resilienceManager();
+    ASSERT_NE(mgr, nullptr);
+    EXPECT_EQ(mgr->maskedBanks(), 2u);
+
+    // Pass 1 promotes both banks to probation; pass 2 re-admits them.
+    sim::ScrubReport rep = h.sys.runScrub();
+    EXPECT_EQ(rep.probed, 2u);
+    EXPECT_EQ(rep.readmitted, 0u);
+    EXPECT_EQ(rep.failed, 0u);
+    rep = h.sys.runScrub();
+    EXPECT_EQ(rep.probed, 2u);
+    EXPECT_EQ(rep.readmitted, 2u);
+    EXPECT_TRUE(h.sys.runScrub().idle());
+
+    EXPECT_EQ(mgr->maskedBanks(), 0u);
+    EXPECT_EQ(mgr->healthyDpus(), h.sys.config().pimGeom.numDpus());
+    EXPECT_EQ(h.counter("readmissions"), 2u);
+    EXPECT_EQ(h.counter("probe_transfers"), 4u);
+    EXPECT_EQ(h.counter("probe_failures"), 0u);
+
+    // And the next transfer runs whole again — no degradation.
+    const std::uint64_t degradedBefore =
+        h.counter("transfers_degraded");
+    const Status again = h.run();
+    EXPECT_TRUE(again.ok()) << again.str();
+    EXPECT_EQ(h.counter("transfers_degraded"), degradedBefore);
+}
+
+TEST(Repair, FaultyProbeKeepsTheBankOutOfService)
+{
+    CampaignHarness h(Policy::withRepair());
+    Manager *mgr = h.sys.resilienceManager();
+    ASSERT_NE(mgr, nullptr);
+    mgr->markDpuFailed(0, h.sys.eq().now());
+    EXPECT_EQ(mgr->maskedBanks(), 1u);
+
+    // The bank is still corrupting data: every probe transfer trips
+    // the CRC, so scrubbing never re-admits it.
+    testing::fault::arm("xfer.corrupt_data");
+    for (int pass = 0; pass < 4; ++pass) {
+        const sim::ScrubReport rep = h.sys.runScrub();
+        EXPECT_EQ(rep.probed, 1u);
+        EXPECT_EQ(rep.readmitted, 0u);
+        EXPECT_EQ(rep.failed, 1u);
+    }
+    testing::fault::disarmAll();
+    EXPECT_EQ(mgr->bankState(0), BankState::Masked);
+    EXPECT_EQ(h.counter("probe_failures"), 4u);
+    EXPECT_EQ(h.counter("readmissions"), 0u);
+}
+
+TEST(Repair, ScrubIsANoOpWithoutRepairOrFailures)
+{
+    // No repair in the policy: scrub refuses to probe at all.
+    CampaignHarness masked(Policy::withRetryAndMask());
+    masked.sys.resilienceManager()->markDpuFailed(0, 0);
+    EXPECT_TRUE(masked.sys.runScrub().idle());
+
+    // Repair on but nothing failed: nothing to probe.
+    CampaignHarness repair(Policy::withRepair());
+    EXPECT_TRUE(repair.sys.runScrub().idle());
+    EXPECT_EQ(repair.counter("probe_transfers"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Checked kernel launches.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A kernel that stamps a recognizable per-DPU pattern into MRAM. */
+std::function<void(device::Dpu &, unsigned)>
+stampKernel(std::uint64_t bytes)
+{
+    return [bytes](device::Dpu &dpu, unsigned idx) {
+        std::vector<std::uint8_t> buf(bytes);
+        for (std::uint64_t i = 0; i < bytes; ++i)
+            buf[i] = static_cast<std::uint8_t>((idx * 37u + i) & 0xff);
+        dpu.mramWrite(0, buf.data(), buf.size());
+    };
+}
+
+} // namespace
+
+TEST(Launch, CheckedLaunchVerifiesResultsCleanly)
+{
+    CampaignHarness h(Policy::withRetryAndMask());
+    const upmem::LaunchOutcome out = h.sys.upmem().launchChecked(
+        h.dpuIds, stampKernel(CampaignHarness::kBytesPerDpu),
+        device::KernelModel{}, CampaignHarness::kBytesPerDpu,
+        upmem::LaunchCheck{0, CampaignHarness::kBytesPerDpu});
+    EXPECT_TRUE(out.ok()) << out.status.str();
+    EXPECT_GT(out.execPs, 0u);
+    EXPECT_EQ(out.relaunches, 0u);
+    EXPECT_EQ(out.ranOn.size(), h.dpuIds.size());
+    EXPECT_EQ(h.counter("launch_crc_failures"), 0u);
+}
+
+TEST(Launch, MaskedBankDegradesTheLaunchToSurvivors)
+{
+    CampaignHarness h(Policy::withRetryAndMask());
+    Manager *mgr = h.sys.resilienceManager();
+    ASSERT_NE(mgr, nullptr);
+    mgr->markDpuFailed(0, 0); // bank 0 out: 8 of the 16 cores
+    const upmem::LaunchOutcome out = h.sys.upmem().launchChecked(
+        h.dpuIds, stampKernel(64), device::KernelModel{}, 64,
+        upmem::LaunchCheck{0, 64});
+    EXPECT_TRUE(out.ok()) << out.status.str();
+    EXPECT_EQ(out.ranOn.size(), 8u);
+    EXPECT_GE(h.counter("launches_degraded"), 1u);
+}
+
+TEST(Launch, AllCoresDyingMidKernelIsAStructuredFailure)
+{
+    // Every post-run health probe fires: the whole fleet dies during
+    // the kernel and there is nobody left to relaunch on.
+    CampaignHarness h(Policy::withRetryAndMask());
+    testing::fault::arm("dpu.kill");
+    const upmem::LaunchOutcome out = h.sys.upmem().launchChecked(
+        h.dpuIds, stampKernel(64), device::KernelModel{}, 64,
+        upmem::LaunchCheck{0, 64});
+    testing::fault::disarmAll();
+    EXPECT_EQ(out.status.code, ErrorCode::NoHealthyTargets);
+    EXPECT_EQ(h.counter("dpus_masked"),
+              std::uint64_t{CampaignHarness::kDpus});
+}
+
+TEST(Launch, CorruptResultReadbackMasksTheCoreAndFails)
+{
+    // Past-ECC corruption on every readback word: verification fails
+    // for every core on the first attempt, each gets masked, and the
+    // launch reports the structured failure.
+    CampaignHarness h(Policy::withRetryAndMask());
+    testing::fault::arm("xfer.corrupt_data");
+    const upmem::LaunchOutcome out = h.sys.upmem().launchChecked(
+        h.dpuIds, stampKernel(64), device::KernelModel{}, 64,
+        upmem::LaunchCheck{0, 64});
+    testing::fault::disarmAll();
+    EXPECT_FALSE(out.ok());
+    // One failure per bank: the first corrupt readback masks the whole
+    // bank, so its siblings are skipped rather than re-verified.
+    EXPECT_EQ(h.counter("launch_crc_failures"), 2u);
+    EXPECT_EQ(h.counter("dpus_masked"),
+              std::uint64_t{CampaignHarness::kDpus});
+}
+
+// ---------------------------------------------------------------------
+// Guarded DRAM->DRAM memcpy.
+// ---------------------------------------------------------------------
+
+TEST(Memcpy, GuardedCopyHealsLinkFlips)
+{
+    // Every copied word flips one bit on the wire; SEC heals them all
+    // and the copy succeeds without a single retry.
+    testing::fault::arm("ecc.flip_single_bit");
+    CampaignHarness h(Policy::withRetry());
+    const sim::TransferStats stats = h.sys.runMemcpy(64 * kKiB);
+    testing::fault::disarmAll();
+    EXPECT_TRUE(stats.ok()) << stats.status.str();
+    EXPECT_EQ(h.counter("ecc_corrected"), 64 * kKiB / 8);
+    EXPECT_EQ(h.counter("crc_retries"), 0u);
+}
+
+TEST(Memcpy, GuardedCopyExhaustsRetriesIntoDataCorrupt)
+{
+    // Past-ECC corruption on every attempt: the retry budget burns
+    // down and the memcpy reports DataCorrupt instead of silently
+    // delivering garbage.
+    testing::fault::arm("xfer.corrupt_data");
+    CampaignHarness h(Policy::withRetry());
+    const sim::TransferStats stats = h.sys.runMemcpy(16 * kKiB);
+    testing::fault::disarmAll();
+    EXPECT_EQ(stats.status.code, ErrorCode::DataCorrupt);
+    EXPECT_EQ(h.counter("crc_retries"), Policy::withRetry().maxRetries);
+    EXPECT_GE(h.counter("transfers_failed"), 1u);
+}
+
+TEST(Memcpy, PolicyOffKeepsTheLegacyUnguardedPath)
+{
+    testing::fault::arm("ecc.flip_single_bit");
+    CampaignHarness h(Policy::off());
+    const sim::TransferStats stats = h.sys.runMemcpy(16 * kKiB);
+    EXPECT_TRUE(stats.ok()) << stats.status.str();
+    // The guard never ran, so the armed site was never even probed.
+    EXPECT_EQ(testing::fault::count("ecc.flip_single_bit"), 0u);
+    testing::fault::disarmAll();
 }
 
 TEST(Counters, NoManagerMeansNoProbesAndNoOverhead)
