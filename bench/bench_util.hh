@@ -3,7 +3,7 @@
  * Shared helpers for the figure-reproduction benchmark binaries:
  * banner/table printing plus the common telemetry CLI
  * (--stats-json <path>, --trace-json <path>, --trace-tracks <globs>,
- * --trace-coalesce-ps <gap>, --threads <n>).
+ * --trace-coalesce-ps <gap>, --attrib-json <path>, --threads <n>).
  */
 
 #ifndef PIMMMU_BENCH_BENCH_UTIL_HH
@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/table.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
 
@@ -29,6 +30,7 @@ struct BenchOptions
     std::string traceJson; //!< timeline JSON path ("" = don't trace)
     std::string traceTracks; //!< comma-separated track globs ("" = all)
     Tick traceCoalescePs = 0; //!< merge same-name spans within this gap
+    std::string attribJson; //!< attribution report path ("" = off)
     unsigned threads = 1; //!< sweep workers (0 = one per hardware thread)
 };
 
@@ -39,7 +41,8 @@ printUsage(const char *prog,
     std::fprintf(stderr,
                  "usage: %s [--stats-json <path>] "
                  "[--trace-json <path>] [--trace-tracks <globs>] "
-                 "[--trace-coalesce-ps <gap>] [--threads <n>]",
+                 "[--trace-coalesce-ps <gap>] [--attrib-json <path>] "
+                 "[--threads <n>]",
                  prog);
     for (const char *flag : passthrough)
         std::fprintf(stderr, " [%s]", flag);
@@ -77,6 +80,15 @@ parseOptions(int argc, char **argv,
                 std::exit(2);
             }
             opts.traceTracks = argv[++i];
+            continue;
+        }
+        if (std::strcmp(arg, "--attrib-json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a path\n", argv[0],
+                             arg);
+                std::exit(2);
+            }
+            opts.attribJson = argv[++i];
             continue;
         }
         if (std::strcmp(arg, "--trace-coalesce-ps") == 0 ||
@@ -122,6 +134,11 @@ parseOptions(int argc, char **argv,
         tl.setTrackFilter(opts.traceTracks);
     if (opts.traceCoalescePs > 0)
         tl.setCoalesceGap(opts.traceCoalescePs);
+    // Flow arrows in the timeline are keyed by attribution record id,
+    // so tracing implies attribution (the report is still only written
+    // when --attrib-json names a path).
+    if (!opts.attribJson.empty() || !opts.traceJson.empty())
+        telemetry::attribution::Recorder::global().setEnabled(true);
     return opts;
 }
 
@@ -152,6 +169,17 @@ finish(const BenchOptions &opts)
         } else {
             std::fprintf(stderr, "failed to write %s\n",
                          opts.traceJson.c_str());
+            rc = 1;
+        }
+    }
+    if (!opts.attribJson.empty()) {
+        if (telemetry::attribution::Recorder::global().dumpJsonFile(
+                opts.attribJson)) {
+            std::printf("attribution JSON: %s\n",
+                        opts.attribJson.c_str());
+        } else {
+            std::fprintf(stderr, "failed to write %s\n",
+                         opts.attribJson.c_str());
             rc = 1;
         }
     }

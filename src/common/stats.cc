@@ -80,6 +80,41 @@ Histogram::percentile(double p) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    if (other.total_ == 0)
+        return;
+    if (lo_ == other.lo_ && hi_ == other.hi_ &&
+        counts_.size() == other.counts_.size()) {
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        underflow_ += other.underflow_;
+        overflow_ += other.overflow_;
+        total_ += other.total_;
+        sum_ += other.sum_;
+        return;
+    }
+    // Shape mismatch: replay the other's buckets at their midpoints,
+    // then restore the exact sum so the merged mean is unaffected.
+    const double sumBefore = sum_;
+    const double width =
+        (other.hi_ - other.lo_) /
+        static_cast<double>(other.counts_.size());
+    if (other.underflow_ > 0)
+        sample(other.lo_ - width, other.underflow_);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+        if (other.counts_[i] > 0) {
+            sample(other.lo_ +
+                       width * (static_cast<double>(i) + 0.5),
+                   other.counts_[i]);
+        }
+    }
+    if (other.overflow_ > 0)
+        sample(other.hi_, other.overflow_);
+    sum_ = sumBefore + other.sum_;
+}
+
+void
 Group::dump(std::ostream &os) const
 {
     os << "[" << name_ << "]\n";

@@ -94,17 +94,23 @@ class Histogram
     {
     }
 
+    void sample(double v) { sample(v, 1); }
+
+    /** Record @p v with multiplicity @p weight (e.g. picoseconds a
+     *  sampled occupancy value was held). */
     void
-    sample(double v)
+    sample(double v, std::uint64_t weight)
     {
-        total_ += 1;
-        sum_ += v;
+        if (weight == 0)
+            return;
+        total_ += weight;
+        sum_ += v * static_cast<double>(weight);
         if (v < lo_) {
-            ++underflow_;
+            underflow_ += weight;
             return;
         }
         if (v >= hi_) {
-            ++overflow_;
+            overflow_ += weight;
             return;
         }
         const double width = (hi_ - lo_) / static_cast<double>(
@@ -112,8 +118,17 @@ class Histogram
         auto idx = static_cast<std::size_t>((v - lo_) / width);
         if (idx >= counts_.size())
             idx = counts_.size() - 1;
-        ++counts_[idx];
+        counts_[idx] += weight;
     }
+
+    /**
+     * Fold @p other into this histogram. Same-shape histograms merge
+     * bucket-wise; a shape mismatch degrades gracefully by replaying
+     * the other's buckets as weighted midpoint samples (extrema fold
+     * into under/overflow), so totals and means stay exact and
+     * percentiles stay within one bucket width.
+     */
+    void merge(const Histogram &other);
 
     std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
     std::size_t buckets() const { return counts_.size(); }

@@ -34,8 +34,8 @@ state()
  */
 thread_local const EventQueue *tlsClock = nullptr;
 
-const char *const kNames[kNumCategories] = {"dram", "dce", "cpu",
-                                            "sched", "pim", "xfer"};
+const char *const kNames[kNumCategories] = {
+    "dram", "dce", "cpu", "sched", "pim", "xfer", "resil"};
 
 } // namespace
 

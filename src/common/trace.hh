@@ -36,6 +36,7 @@ enum class Category : unsigned
     Sched, //!< OS thread scheduling events
     Pim,   //!< PIM device / kernel launches
     Xfer,  //!< runtime-level transfer lifecycle
+    Resil, //!< resilience recovery (retry, masking, re-admission)
     NumCategories
 };
 

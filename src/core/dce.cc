@@ -5,6 +5,7 @@
 
 #include "common/trace.hh"
 #include "resilience/manager.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
 #include "testing/fault_injection.hh"
@@ -42,6 +43,9 @@ Dce::Dce(EventQueue &eq, const DceConfig &config, dram::MemorySystem &mem,
             ticker_.arm();
     });
     timelineTrack_ = telemetry::Timeline::global().track("dce");
+    rec_ = &telemetry::attribution::Recorder::global();
+    ringSeries_ = rec_->series("dce.ring_depth", 0.0, 64.0, 64);
+    inflightSeries_ = rec_->series("dce.inflight", 0.0, 256.0, 64);
     telemetry::StatsRegistry::global().add(stats_, [this] {
         stats_.gauge("busy_us") = static_cast<double>(busyPs_) / 1e6;
         stats_.gauge("busy_pct") =
@@ -91,6 +95,14 @@ Dce::start(DceTransfer transfer, std::function<void()> onComplete)
     const auto status = validate(transfer);
     if (!status.ok())
         fatal("DCE rejected descriptor: ", status.str());
+    if (rec_->enabled() && transfer.attribId == 0) {
+        transfer.attribId = rec_->open(
+            telemetry::attribution::Kind::Transfer, eq_.now(),
+            telemetry::attribution::Stage::QueueWait,
+            transfer.streams.front().bankIdx,
+            transfer.totalLines() * kLine);
+        transfer.attribOwned = true;
+    }
     beginTransfer(std::move(transfer),
                   adaptLegacy(std::move(onComplete)), eq_.now(),
                   nextTransferId_++);
@@ -129,6 +141,15 @@ Dce::beginTransfer(DceTransfer transfer, CompletionFn onComplete,
     active->dmaWriteBurstLeft = config_.burstLines;
     active->transfer = std::move(transfer);
     active_ = std::move(active);
+    if (active_->transfer.attribId != 0) {
+        // Queue wait ends; engine setup (AGU priming, address-buffer
+        // load) runs until the first line issues.
+        rec_->enterStage(active_->transfer.attribId,
+                         telemetry::attribution::Stage::Translate,
+                         eq_.now());
+        active_->refreshBusyAtStart = mem_.refreshBusyPsTotal();
+    }
+    active_->lastProgressAt = eq_.now();
     ++stats_.counter("transfers");
     stats_.average("phase_queue_us")
         .sample(static_cast<double>(eq_.now() - enqueuedAt) / 1e6);
@@ -204,6 +225,16 @@ Dce::onWatchdog(std::uint64_t xid)
     }
     freeDataSlots_ += lost;
     ++stats_.counter("watchdog_resyncs");
+    if (active_->transfer.attribId != 0) {
+        // The window since the last completion made no forward
+        // progress; re-book it from the live stage to the watchdog
+        // bucket so stalls don't masquerade as DRAM service.
+        rec_->bookStall(active_->transfer.attribId,
+                        telemetry::attribution::Stage::Watchdog,
+                        active_->lastProgressAt, eq_.now());
+        rec_->noteWatchdogResync(active_->transfer.attribId);
+        active_->lastProgressAt = eq_.now();
+    }
     res_->noteWatchdogFire(eq_.now(), xid, lost);
     PIMMMU_TRACE_LOG(trace::Category::Dce, eq_.now(),
                      "watchdog resync transfer #"
@@ -230,8 +261,12 @@ Dce::failActive(resilience::Status status)
     PIMMMU_TRACE_LOG(trace::Category::Dce, now,
                      "transfer FAILED #" << active_->id << ": "
                                          << status.str());
+    if (active_->transfer.attribId != 0 &&
+        active_->transfer.attribOwned)
+        rec_->close(active_->transfer.attribId, now, true);
     auto done = std::move(active_->onComplete);
     active_.reset();
+    sampleRingDepth();
     // Any leaked buffer slots / phantom in-flight counts belonged to
     // the dead transfer; restore the engine to a clean idle state.
     readsInflight_ = 0;
@@ -277,9 +312,16 @@ Dce::inflight() const
 }
 
 void
-Dce::onReadComplete(std::size_t slot)
+Dce::onReadComplete(std::size_t slot, const dram::MemRequest &done)
 {
     --readsInflight_;
+    active_->lastProgressAt = eq_.now();
+    if (active_->transfer.attribId != 0) {
+        rec_->noteChannel(active_->transfer.attribId,
+                          done.space == mapping::MemSpace::Pim,
+                          done.coord.ch, false, eq_.now());
+        rec_->sampleOccupancy(inflightSeries_, eq_.now(), inflight());
+    }
     // Preprocessing unit: the line becomes writable after the transpose
     // pipeline latency. The transfer id guards against crediting a
     // successor transfer if this one fails while the event is pending.
@@ -295,7 +337,7 @@ Dce::onReadComplete(std::size_t slot)
 }
 
 void
-Dce::onWriteComplete(std::size_t slot)
+Dce::onWriteComplete(std::size_t slot, const dram::MemRequest &done)
 {
     if (testing::fault::fire("dce.drop_write_completion")) {
         // The completion report is lost: the controller has finished
@@ -306,6 +348,13 @@ Dce::onWriteComplete(std::size_t slot)
     }
     --writesInflight_;
     ++freeDataSlots_;
+    active_->lastProgressAt = eq_.now();
+    if (active_->transfer.attribId != 0) {
+        rec_->noteChannel(active_->transfer.attribId,
+                          done.space == mapping::MemSpace::Pim,
+                          done.coord.ch, true, eq_.now());
+        rec_->sampleOccupancy(inflightSeries_, eq_.now(), inflight());
+    }
     StreamState &st = active_->state[slot];
     ++st.writesDone;
     PIMMMU_ASSERT(active_->linesRemaining > 0, "write overrun");
@@ -377,9 +426,24 @@ Dce::enqueueChecked(DceTransfer transfer, CompletionFn onDone,
         tl.instant(timelineTrack_, "enqueue#" + std::to_string(id),
                    eq_.now());
     }
+    if (rec_->enabled()) {
+        if (transfer.attribId == 0) {
+            transfer.attribId = rec_->open(
+                telemetry::attribution::Kind::Transfer, eq_.now(),
+                telemetry::attribution::Stage::QueueWait,
+                transfer.streams.front().bankIdx,
+                transfer.totalLines() * kLine);
+            transfer.attribOwned = true;
+        } else {
+            rec_->enterStage(transfer.attribId,
+                             telemetry::attribution::Stage::QueueWait,
+                             eq_.now());
+        }
+    }
     if (!busy() && pending_.empty()) {
         beginTransfer(std::move(transfer), std::move(onDone), eq_.now(),
                       id);
+        sampleRingDepth();
         if (depth)
             *depth = 1;
         return resilience::Status{};
@@ -388,9 +452,61 @@ Dce::enqueueChecked(DceTransfer transfer, CompletionFn onDone,
                                        std::move(onDone), eq_.now(),
                                        id});
     ++stats_.counter("transfers_queued");
+    sampleRingDepth();
     if (depth)
         *depth = pending_.size() + 1;
     return resilience::Status{};
+}
+
+void
+Dce::sampleRingDepth()
+{
+    if (!rec_->enabled())
+        return;
+    rec_->sampleOccupancy(
+        ringSeries_, eq_.now(),
+        static_cast<double>(pending_.size() + (active_ ? 1 : 0)));
+}
+
+void
+Dce::emitAttributionTrace(Tick now)
+{
+    const std::uint64_t aid = active_->transfer.attribId;
+    telemetry::Timeline &tl = telemetry::Timeline::global();
+    if (aid == 0 || !tl.enabled())
+        return;
+    const std::string name = "xfer#" + std::to_string(active_->id);
+    // Chain the descriptor's flow through its DCE span. Runtime-owned
+    // flows started on the pim-mmu call span; engine-owned ones start
+    // here.
+    if (active_->transfer.attribOwned)
+        tl.flowStart(timelineTrack_, name, active_->startedAt, aid);
+    else
+        tl.flowStep(timelineTrack_, name, active_->startedAt, aid);
+    const telemetry::attribution::Record *r = rec_->peek(aid);
+    if (!r)
+        return;
+    // Per-channel DRAM/PIM service spans summarizing this descriptor's
+    // window on each channel, flow-linked to the DCE span. Registering
+    // tracks is cheap and honors --trace-tracks by name.
+    for (unsigned space = 0; space < 2; ++space) {
+        for (unsigned ch = 0;
+             ch < telemetry::attribution::Record::kMaxChannels; ++ch) {
+            const auto &cs = r->channels[space][ch];
+            if (!cs.touched() || cs.lastPs < cs.firstPs)
+                continue;
+            const unsigned track =
+                tl.track((space ? "pim.ch" : "dram.ch") +
+                         std::to_string(ch) + ".xfer");
+            tl.span(track, name, cs.firstPs, cs.lastPs);
+            tl.flowStep(track, name, cs.firstPs, aid);
+        }
+    }
+    // Descriptors the engine opened itself (no runtime call wrapping
+    // them) end their flow here; runtime-owned flows end on the call
+    // span at interrupt delivery.
+    if (active_->transfer.attribOwned)
+        tl.flowEnd(timelineTrack_, name, now, aid);
 }
 
 void
@@ -419,10 +535,30 @@ Dce::finishIfDone()
                 "transfer#" + std::to_string(active_->id),
                 active_->startedAt, now);
     }
+    if (active_->transfer.attribId != 0) {
+        const std::uint64_t aid = active_->transfer.attribId;
+        // Refresh blackout overlaps DRAM service; carve the
+        // channel-averaged share of refresh time accrued during this
+        // descriptor's service window out of its service bucket.
+        const Tick refreshDelta =
+            mem_.refreshBusyPsTotal() - active_->refreshBusyAtStart;
+        const unsigned channels =
+            mem_.dramChannels() + mem_.pimChannels();
+        if (refreshDelta > 0 && channels > 0) {
+            rec_->carve(
+                aid, telemetry::attribution::Stage::DramService,
+                telemetry::attribution::Stage::StallRefresh,
+                refreshDelta / channels);
+        }
+        emitAttributionTrace(now);
+        if (active_->transfer.attribOwned)
+            rec_->close(aid, now, false);
+    }
     PIMMMU_TRACE_LOG(trace::Category::Dce, eq_.now(),
                      "transfer complete #" << active_->id);
     auto done = std::move(active_->onComplete);
     active_.reset();
+    sampleRingDepth();
     if (done)
         done(resilience::Status{});
     startNextPending();
@@ -455,10 +591,10 @@ Dce::issueWriteFor(std::size_t slot)
     req.paddr = addr;
     req.write = true;
     const std::uint64_t xid = active_->id;
-    req.onComplete = [this, slot, xid](const dram::MemRequest &) {
+    req.onComplete = [this, slot, xid](const dram::MemRequest &done) {
         if (!active_ || active_->id != xid)
             return; // completion for a transfer the watchdog failed
-        onWriteComplete(slot);
+        onWriteComplete(slot, done);
     };
     const bool ok = mem_.enqueue(std::move(req));
     PIMMMU_ASSERT(ok, "enqueue after canAccept failed");
@@ -467,6 +603,8 @@ Dce::issueWriteFor(std::size_t slot)
     ++writesInflight_;
     ++stats_.counter("writes_issued");
     noteFirstIssue();
+    if (active_->transfer.attribId != 0)
+        rec_->sampleOccupancy(inflightSeries_, eq_.now(), inflight());
     return true;
 }
 
@@ -487,10 +625,10 @@ Dce::issueReadFor(std::size_t slot)
     req.paddr = addr;
     req.write = false;
     const std::uint64_t xid = active_->id;
-    req.onComplete = [this, slot, xid](const dram::MemRequest &) {
+    req.onComplete = [this, slot, xid](const dram::MemRequest &done) {
         if (!active_ || active_->id != xid)
             return; // completion for a transfer the watchdog failed
-        onReadComplete(slot);
+        onReadComplete(slot, done);
     };
     const bool ok = mem_.enqueue(std::move(req));
     PIMMMU_ASSERT(ok, "enqueue after canAccept failed");
@@ -500,14 +638,22 @@ Dce::issueReadFor(std::size_t slot)
     if (!testing::fault::fire("dce.leak_read_counter"))
         ++stats_.counter("reads_issued");
     noteFirstIssue();
+    if (active_->transfer.attribId != 0)
+        rec_->sampleOccupancy(inflightSeries_, eq_.now(), inflight());
     return true;
 }
 
 void
 Dce::noteFirstIssue()
 {
-    if (active_->firstIssueAt == kTickMax)
-        active_->firstIssueAt = eq_.now();
+    if (active_->firstIssueAt != kTickMax)
+        return;
+    active_->firstIssueAt = eq_.now();
+    if (active_->transfer.attribId != 0) {
+        rec_->enterStage(active_->transfer.attribId,
+                         telemetry::attribution::Stage::DramService,
+                         eq_.now());
+    }
 }
 
 bool

@@ -40,6 +40,12 @@ namespace resilience {
 class Manager;
 }
 
+namespace telemetry {
+namespace attribution {
+class Recorder;
+}
+}
+
 namespace core {
 
 /**
@@ -59,6 +65,20 @@ struct DceTransfer
 {
     XferDirection dir = XferDirection::DramToPim;
     std::vector<BankStream> streams;
+
+    /**
+     * Latency-attribution record backing this descriptor (0 = none
+     * yet). PimMmuRuntime opens the record when the call enters the
+     * driver so preprocessing is attributed; descriptors reaching the
+     * engine without one (raw enqueue, memcpy chunks) get a record
+     * opened at enqueue time.
+     */
+    std::uint64_t attribId = 0;
+
+    /** The engine opened @c attribId itself (raw enqueue / memcpy
+     *  paths) and closes it at completion; runtime-opened records stay
+     *  open for interrupt delivery and retry accounting. */
+    bool attribOwned = false;
 
     std::uint64_t
     totalLines() const
@@ -158,6 +178,11 @@ class Dce
         Tick enqueuedAt = 0;
         Tick startedAt = 0;
         Tick firstIssueAt = kTickMax;
+        /** Last completion seen, bounding watchdog-stall windows. */
+        Tick lastProgressAt = 0;
+        /** MemorySystem::refreshBusyPsTotal at engine start, diffed at
+         *  completion for the refresh carve-out. */
+        Tick refreshBusyAtStart = 0;
         // Per-channel burst budgets for the PIM-MS cursors.
         std::vector<unsigned> readBurstLeft;
         std::vector<unsigned> writeBurstLeft;
@@ -187,9 +212,14 @@ class Dce
     Addr readAddrOf(const BankStream &s, std::uint64_t k) const;
     Addr writeAddrOf(const BankStream &s, std::uint64_t k) const;
     unsigned inflight() const;
-    void onReadComplete(std::size_t slot);
-    void onWriteComplete(std::size_t slot);
+    void onReadComplete(std::size_t slot,
+                        const dram::MemRequest &done);
+    void onWriteComplete(std::size_t slot,
+                         const dram::MemRequest &done);
     void finishIfDone();
+    /** Per-channel service spans + flow chain for a finished record. */
+    void emitAttributionTrace(Tick now);
+    void sampleRingDepth();
     void startNextPending();
     void armWatchdog(Tick delay, std::uint64_t xid);
     void onWatchdog(std::uint64_t xid);
@@ -212,6 +242,10 @@ class Dce
     Tick busyPs_ = 0;
     std::uint64_t nextTransferId_ = 0;
     unsigned timelineTrack_ = 0;
+    unsigned ringSeries_ = 0;
+    unsigned inflightSeries_ = 0;
+    /** This thread's attribution recorder, cached off the hot path. */
+    telemetry::attribution::Recorder *rec_ = nullptr;
     stats::Group stats_;
 };
 

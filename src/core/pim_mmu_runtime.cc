@@ -7,6 +7,7 @@
 #include "pim/host_transfer.hh"
 #include "pim/transpose.hh"
 #include "resilience/manager.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
 
@@ -146,6 +147,19 @@ PimMmuRuntime::transferChecked(const PimMmuOp &op,
     ctx->calledAt = eq_.now();
     ctx->callId = nextCallId_++;
     ctx->onComplete = std::move(onComplete);
+    auto &rec = telemetry::attribution::Recorder::global();
+    if (rec.enabled()) {
+        // The record spans the whole call, including retries; it opens
+        // in Preprocess (marshalling, guarded functional copy, MMIO
+        // doorbell) and the DCE moves it through the engine stages.
+        ctx->attribId = rec.open(
+            telemetry::attribution::Kind::Transfer, eq_.now(),
+            telemetry::attribution::Stage::Preprocess,
+            ctx->grouping.banks.empty()
+                ? 0
+                : ctx->grouping.banks.front().bankIdx,
+            ctx->op.pimIdArr.size() * ctx->op.sizePerPim);
+    }
     stats_.counter("transfers") += 1;
     stats_.counter("bytes") +=
         ctx->op.pimIdArr.size() * ctx->op.sizePerPim;
@@ -161,6 +175,11 @@ PimMmuRuntime::transferChecked(const PimMmuOp &op,
 void
 PimMmuRuntime::runAttempt(const std::shared_ptr<CallCtx> &ctx)
 {
+    // Each attempt re-marshals and re-rings the doorbell (a no-op
+    // transition on the first attempt, ends Retry on later ones).
+    telemetry::attribution::Recorder::global().enterStage(
+        ctx->attribId, telemetry::attribution::Stage::Preprocess,
+        eq_.now());
     // Functional plane: move the data now, across the modeled link
     // when detection is on.
     const bool useGuard = res_ && res_->policy().detectionEnabled();
@@ -189,9 +208,15 @@ PimMmuRuntime::runAttempt(const std::shared_ptr<CallCtx> &ctx)
                        "doorbell#" + std::to_string(ctx->callId),
                        eq_.now());
         }
+        DceTransfer desc = descriptorFrom(ctx->grouping, ctx->op);
+        desc.attribId = ctx->attribId;
         const auto accepted = dce_.enqueueChecked(
-            descriptorFrom(ctx->grouping, ctx->op),
+            std::move(desc),
             [this, ctx, dataOk](const resilience::Status &dceStatus) {
+                telemetry::attribution::Recorder::global().enterStage(
+                    ctx->attribId,
+                    telemetry::attribution::Stage::Interrupt,
+                    eq_.now());
                 eq_.scheduleAfter(
                     dce_.config().interruptPs,
                     [this, ctx, dataOk, dceStatus] {
@@ -231,6 +256,18 @@ PimMmuRuntime::onAttemptDone(const std::shared_ptr<CallCtx> &ctx,
                        "retry#" + std::to_string(ctx->callId),
                        eq_.now());
         }
+        auto &rec = telemetry::attribution::Recorder::global();
+        rec.enterStage(ctx->attribId,
+                       telemetry::attribution::Stage::Retry,
+                       eq_.now());
+        rec.noteRetry(ctx->attribId);
+        PIMMMU_TRACE_LOG(trace::Category::Resil, eq_.now(),
+                         "transfer retry #"
+                             << ctx->callId << " attempt "
+                             << ctx->attempt + 1 << " backoff "
+                             << (pol.retryBackoffPs
+                                 << std::min(ctx->attempt - 1, 10u))
+                             << "ps");
         const Tick backoff = pol.retryBackoffPs
                              << std::min(ctx->attempt - 1, 10u);
         eq_.scheduleAfter(backoff,
@@ -262,7 +299,17 @@ PimMmuRuntime::finishCall(const std::shared_ptr<CallCtx> &ctx,
         if (!status.ok())
             name += "!failed";
         tl.span(timelineTrack_, name, ctx->calledAt, now);
+        if (ctx->attribId != 0) {
+            // Anchor the descriptor's causal flow on the call span:
+            // start where the runtime accepted the call, end where the
+            // interrupt woke the caller (the DCE added the middle).
+            tl.flowStart(timelineTrack_, name, ctx->calledAt,
+                         ctx->attribId);
+            tl.flowEnd(timelineTrack_, name, now, ctx->attribId);
+        }
     }
+    telemetry::attribution::Recorder::global().close(
+        ctx->attribId, now, !status.ok());
     if (ctx->onComplete)
         ctx->onComplete(status);
 }

@@ -98,6 +98,8 @@ class PimMmuRuntime
         unsigned attempt = 0;
         Tick calledAt = 0;
         std::uint64_t callId = 0;
+        /** Latency-attribution record spanning every attempt. */
+        std::uint64_t attribId = 0;
         CompletionFn onComplete;
         /** Accounting of the most recent attempt's guard. */
         std::uint64_t lastUncorrectedWords = 0;

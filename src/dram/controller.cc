@@ -324,6 +324,7 @@ MemoryController::serviceRefresh(Cycle now)
         rs.refreshDone = now + timing_.tRFC;
         rs.refreshDue += timing_.tREFI;
         rs.refreshPending = false;
+        refreshBusyPs_ += timing_.cyclesToPs(timing_.tRFC);
         ++stats_.counter("refreshes");
         telemetry::Timeline &tl = telemetry::Timeline::global();
         if (tl.enabled()) {

@@ -116,6 +116,14 @@ class MemoryController
     /** Data-bus busy time, for bandwidth-utilization reports. */
     Tick busBusyPs() const { return busBusyPs_; }
 
+    /**
+     * Cumulative time this channel's ranks have spent in refresh
+     * (tRFC per issued REF, summed over ranks). The attribution layer
+     * diffs this across a descriptor's service window to carve
+     * refresh blackout out of its DRAM-service bucket.
+     */
+    Tick refreshBusyPs() const { return refreshBusyPs_; }
+
   private:
     struct BankState
     {
@@ -225,6 +233,7 @@ class MemoryController
     std::uint64_t bytesRead_ = 0;
     std::uint64_t bytesWritten_ = 0;
     Tick busBusyPs_ = 0;
+    Tick refreshBusyPs_ = 0;
     std::size_t inflight_ = 0;
     /**
      * Requests whose data burst is on the bus, parked here so the

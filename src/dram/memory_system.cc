@@ -86,6 +86,17 @@ MemorySystem::pimBytesMoved() const
     return total;
 }
 
+Tick
+MemorySystem::refreshBusyPsTotal() const
+{
+    Tick total = 0;
+    for (const auto &mc : dramControllers_)
+        total += mc->refreshBusyPs();
+    for (const auto &mc : pimControllers_)
+        total += mc->refreshBusyPs();
+    return total;
+}
+
 double
 MemorySystem::dramPeakBandwidth() const
 {

@@ -113,6 +113,10 @@ class MemorySystem
     std::uint64_t dramBytesMoved() const;
     std::uint64_t pimBytesMoved() const;
 
+    /** Summed MemoryController::refreshBusyPs over every channel of
+     *  both subsystems (attribution's refresh carve-out input). */
+    Tick refreshBusyPsTotal() const;
+
     /** Aggregate peak bandwidth of one subsystem in bytes/sec. */
     double dramPeakBandwidth() const;
     double pimPeakBandwidth() const;

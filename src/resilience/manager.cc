@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/trace.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
 #include "testing/fault_injection.hh"
@@ -100,6 +102,11 @@ Manager::Manager(const Policy &policy, const DomainMap &domains)
             static_cast<double>(healthyDpus());
     });
     timelineTrack_ = telemetry::Timeline::global().track("resilience");
+    rec_ = &telemetry::attribution::Recorder::global();
+    healthySeries_ = rec_->series(
+        "resilience.healthy_dpus", 0.0,
+        static_cast<double>(domains_.numBanks * domains_.chipsPerRank),
+        64);
 }
 
 Manager::Manager(const Policy &policy, unsigned numDpus,
@@ -148,6 +155,11 @@ Manager::failBank(unsigned bank, Tick now, const char *why)
         ++unhealthyBanks_;
         stats_.counter("dpus_masked") += domains_.chipsPerRank;
         ++stats_.counter("banks_masked");
+        PIMMMU_TRACE_LOG(trace::Category::Resil, now,
+                         "mask bank " << bank << " (" << why << "): "
+                         << bankStateName(h.state) << ", healthy dpus "
+                         << healthyDpus());
+        sampleHealthy(now);
         {
             auto &tl = telemetry::Timeline::global();
             if (tl.enabled()) {
@@ -163,10 +175,20 @@ Manager::failBank(unsigned bank, Tick now, const char *why)
         // the re-admission streak restarts from zero.
         h.state = BankState::Masked;
         h.cleanProbes = 0;
+        PIMMMU_TRACE_LOG(trace::Category::Resil, now,
+                         "bank " << bank << " failed while out of "
+                         "service (" << why << "): back to masked");
         break;
       case BankState::Masked:
         break;
     }
+}
+
+void
+Manager::sampleHealthy(Tick now)
+{
+    rec_->sampleOccupancy(healthySeries_, now,
+                          static_cast<double>(healthyDpus()));
 }
 
 void
@@ -181,6 +203,9 @@ Manager::markRankFailed(unsigned rank, Tick now)
     if (domains_.banksPerRank == 0 || rank >= domains_.numRanks())
         return;
     ++stats_.counter("ranks_masked");
+    PIMMMU_TRACE_LOG(trace::Category::Resil, now,
+                     "correlated failure: kill rank " << rank << " ("
+                     << domains_.banksPerRank << " banks)");
     auto &tl = telemetry::Timeline::global();
     if (tl.enabled()) {
         std::ostringstream os;
@@ -199,6 +224,9 @@ Manager::markChannelFailed(unsigned channel, Tick now)
     if (perChannel == 0 || channel >= domains_.numChannels())
         return;
     ++stats_.counter("channels_masked");
+    PIMMMU_TRACE_LOG(trace::Category::Resil, now,
+                     "correlated failure: kill channel " << channel
+                     << " (" << perChannel << " banks)");
     auto &tl = telemetry::Timeline::global();
     if (tl.enabled()) {
         std::ostringstream os;
@@ -256,11 +284,19 @@ Manager::noteProbeResult(unsigned bank, bool clean, Tick now)
         ++stats_.counter("probe_failures");
         h.state = BankState::Masked;
         h.cleanProbes = 0;
+        PIMMMU_TRACE_LOG(trace::Category::Resil, now,
+                         "probe of bank " << bank
+                         << " failed: back to masked");
         return;
     }
     ++h.cleanProbes;
     if (h.cleanProbes < policy_.probesToReadmit) {
         h.state = BankState::Probation;
+        PIMMMU_TRACE_LOG(trace::Category::Resil, now,
+                         "probe of bank " << bank << " clean ("
+                         << h.cleanProbes << "/"
+                         << policy_.probesToReadmit
+                         << "): probation");
         return;
     }
     // Re-admission: the bank rejoins service.
@@ -268,6 +304,12 @@ Manager::noteProbeResult(unsigned bank, bool clean, Tick now)
     h.cleanProbes = 0;
     --unhealthyBanks_;
     ++stats_.counter("readmissions");
+    PIMMMU_TRACE_LOG(trace::Category::Resil, now,
+                     "bank " << bank << " re-admitted after "
+                     << policy_.probesToReadmit
+                     << " clean probes, healthy dpus "
+                     << healthyDpus());
+    sampleHealthy(now);
     auto &tl = telemetry::Timeline::global();
     if (tl.enabled()) {
         std::ostringstream os;
@@ -282,6 +324,10 @@ Manager::noteWatchdogFire(Tick now, std::uint64_t transferId,
 {
     ++stats_.counter("watchdog_fires");
     stats_.counter("watchdog_recovered_writes") += lostWrites;
+    PIMMMU_TRACE_LOG(trace::Category::Resil, now,
+                     "watchdog fired on xfer " << transferId
+                     << ": re-driving " << lostWrites
+                     << " lost writes");
     auto &tl = telemetry::Timeline::global();
     if (tl.enabled()) {
         std::ostringstream os;

@@ -34,6 +34,13 @@
 #include "resilience/xfer_guard.hh"
 
 namespace pimmmu {
+
+namespace telemetry {
+namespace attribution {
+class Recorder;
+}
+}
+
 namespace resilience {
 
 /** Recovery policy for the transfer path. All checks default off, so a
@@ -273,11 +280,16 @@ class Manager
     /** Demote one bank after a failure (direct or domain-correlated). */
     void failBank(unsigned bank, Tick now, const char *why);
 
+    /** The healthy-DPU population changed: feed the occupancy series. */
+    void sampleHealthy(Tick now);
+
     Policy policy_;
     DomainMap domains_;
     std::vector<BankHealth> banks_;
     unsigned unhealthyBanks_ = 0;
     unsigned timelineTrack_ = 0;
+    unsigned healthySeries_ = 0;
+    telemetry::attribution::Recorder *rec_ = nullptr;
     stats::Group stats_;
 };
 

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/attribution.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
 
@@ -47,19 +48,25 @@ SweepRunner::run(std::size_t jobCount,
     {
         std::vector<stats::Group> retired;
         telemetry::Timeline timeline;
+        telemetry::attribution::Recorder attribution;
         std::exception_ptr error;
     };
     std::vector<JobResult> results(jobCount);
 
     // Snapshot the caller's timeline configuration (enabled flag,
     // coalesce gap, track filter) so worker-thread timelines record
-    // under the same policy.
+    // under the same policy. Same for the attribution recorder.
     telemetry::Timeline config;
     config.configureLike(telemetry::Timeline::global());
+    telemetry::attribution::Recorder attribConfig;
+    attribConfig.configureLike(
+        telemetry::attribution::Recorder::global());
 
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
         telemetry::Timeline::global().configureLike(config);
+        telemetry::attribution::Recorder::global().configureLike(
+            attribConfig);
         for (;;) {
             const std::size_t j =
                 next.fetch_add(1, std::memory_order_relaxed);
@@ -75,6 +82,8 @@ SweepRunner::run(std::size_t jobCount,
             results[j].retired =
                 telemetry::StatsRegistry::global().takeRetired();
             results[j].timeline = telemetry::Timeline::global().take();
+            results[j].attribution =
+                telemetry::attribution::Recorder::global().take();
         }
     };
 
@@ -93,6 +102,9 @@ SweepRunner::run(std::size_t jobCount,
             std::move(results[j].retired));
         telemetry::Timeline::global().mergeFrom(
             std::move(results[j].timeline),
+            "job" + std::to_string(j) + "/");
+        telemetry::attribution::Recorder::global().mergeFrom(
+            std::move(results[j].attribution),
             "job" + std::to_string(j) + "/");
         if (results[j].error && !firstError)
             firstError = results[j].error;

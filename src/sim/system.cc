@@ -5,6 +5,8 @@
 
 #include "common/trace.hh"
 #include "pim/host_transfer.hh"
+#include "pim/transpose.hh"
+#include "telemetry/stats_registry.hh"
 
 namespace pimmmu {
 namespace sim {
@@ -102,6 +104,8 @@ System::System(const SystemConfig &config) : config_(config)
 
 System::~System()
 {
+    if (scrubStats_)
+        telemetry::StatsRegistry::global().remove(*scrubStats_);
     cpu_->shutdown();
     trace::clearClock(&eq_);
 }
@@ -465,11 +469,17 @@ System::runScrub()
         return report;
     if (scrubScratch_ == kAddrInvalid)
         scrubScratch_ = allocDram(8 * 64);
+    if (!scrubStats_) {
+        scrubStats_ = std::make_unique<stats::Group>("scrub");
+        telemetry::StatsRegistry::global().add(*scrubStats_);
+    }
 
     const device::PimGeometry &geom = config_.pimGeom;
     const std::uint64_t probeBytes = 64;
     // Probe the MRAM tail so in-flight application heaps stay intact.
     const Addr probeOffset = geom.mramBytesPerDpu() - probeBytes;
+    const Addr pimBase = mem_->systemMap().pimBase();
+    const std::uint64_t wordStart = probeOffset / device::kWordBytes;
 
     for (const unsigned bank : banks) {
         // Deterministic per-bank probe pattern.
@@ -497,6 +507,47 @@ System::runScrub()
         guard.crcEnabled = true;
         device::functionalTransfer(mem_->store(), *pim_, true, grouping,
                                    probeBytes, probeOffset, &guard);
+
+        // Timing plane: the probe's line traffic goes through the real
+        // memory controllers, so a background scrubber steals DRAM and
+        // PIM service cycles from foreground traffic instead of being
+        // free. One 64 B read per chip from the scratch buffer, one
+        // 64 B write per chip onto the bank's wire lines.
+        const Tick probeStart = eq_.now();
+        const Addr wireBase = pimBase + geom.bankRegionOffset(bank) +
+                              wordStart * device::kBlockBytes;
+        auto left = std::make_shared<unsigned>(2 * geom.chipsPerRank);
+        auto tryIssue = std::make_shared<
+            std::function<void(const dram::MemRequest &)>>();
+        *tryIssue = [this, tryIssue](const dram::MemRequest &req) {
+            // Full controller queue: back off one controller clock.
+            if (!mem_->enqueue(req))
+                eq_.scheduleAfter(kPsPerNs, [tryIssue, req] {
+                    (*tryIssue)(req);
+                });
+        };
+        for (unsigned c = 0; c < geom.chipsPerRank; ++c) {
+            dram::MemRequest rd;
+            rd.paddr = mem_->toPhysical(b.hostBase[c]);
+            rd.write = false;
+            rd.onComplete = [left](const dram::MemRequest &) {
+                --*left;
+            };
+            (*tryIssue)(rd);
+            dram::MemRequest wr;
+            wr.paddr = wireBase + Addr{c} * probeBytes;
+            wr.write = true;
+            wr.onComplete = [left](const dram::MemRequest &) {
+                --*left;
+            };
+            (*tryIssue)(wr);
+        }
+        runUntil([&] { return *left == 0; });
+        scrubStats_->counter("bandwidth_stolen") +=
+            2 * geom.chipsPerRank * probeBytes;
+        scrubStats_->counter("probe_service_ps") +=
+            eq_.now() - probeStart;
+
         // A probe can find the domain still dying under it.
         const bool rekilled = mgr->probeKillSites(ids, eq_.now());
         mgr->absorbGuard(guard);

@@ -255,6 +255,10 @@ class System
 
     Addr dramAllocTop_ = 0;
     Addr scrubScratch_ = kAddrInvalid;
+    /** Lazily created on the first scrub pass so systems that never
+     *  scrub keep their stats output (and registration order)
+     *  unchanged. */
+    std::unique_ptr<stats::Group> scrubStats_;
     unsigned contenderSeed_ = 1;
 };
 

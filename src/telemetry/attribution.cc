@@ -1,0 +1,626 @@
+#include "telemetry/attribution.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "common/stats.hh"
+
+namespace pimmmu {
+namespace telemetry {
+namespace attribution {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::QueueWait:
+        return "queue_wait";
+      case Stage::Translate:
+        return "translate";
+      case Stage::Preprocess:
+        return "preprocess";
+      case Stage::DramService:
+        return "dram_service";
+      case Stage::StallRefresh:
+        return "stall_refresh";
+      case Stage::Retry:
+        return "retry";
+      case Stage::Watchdog:
+        return "watchdog";
+      case Stage::Interrupt:
+        return "interrupt";
+      case Stage::Execute:
+        return "execute";
+      case Stage::Verify:
+        return "verify";
+      default:
+        return "unknown";
+    }
+}
+
+const char *
+kindName(Kind k)
+{
+    return k == Kind::Transfer ? "transfer" : "kernel";
+}
+
+Stage
+Record::dominantStage() const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < kNumStages; ++i) {
+        if (stagePs[i] > stagePs[best])
+            best = i;
+    }
+    return static_cast<Stage>(best);
+}
+
+double
+OccupancySeries::percentile(double p) const
+{
+    if (totalPs == 0)
+        return 0.0;
+    const double target =
+        std::clamp(p, 0.0, 100.0) / 100.0 *
+        static_cast<double>(totalPs);
+    const double width =
+        (hi - lo) / static_cast<double>(weights.size());
+    double cum = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        cum += static_cast<double>(weights[i]);
+        if (cum >= target) {
+            // Upper edge of the bucket: "value was <= this for p% of
+            // sim time". Clamp into the observed range so a series
+            // that never left one value reports that value.
+            const double edge = lo + width * static_cast<double>(i + 1);
+            return std::clamp(edge, minSeen, maxSeen);
+        }
+    }
+    return maxSeen;
+}
+
+void
+OccupancySeries::merge(const OccupancySeries &other)
+{
+    if (other.totalPs == 0)
+        return;
+    if (weights.size() != other.weights.size() || lo != other.lo ||
+        hi != other.hi) {
+        // Shape mismatch (config drift between jobs): keep ours.
+        return;
+    }
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        weights[i] += other.weights[i];
+    if (totalPs == 0) {
+        minSeen = other.minSeen;
+        maxSeen = other.maxSeen;
+    } else {
+        minSeen = std::min(minSeen, other.minSeen);
+        maxSeen = std::max(maxSeen, other.maxSeen);
+    }
+    weightedSum += other.weightedSum;
+    totalPs += other.totalPs;
+}
+
+Recorder &
+Recorder::global()
+{
+    static thread_local Recorder instance;
+    return instance;
+}
+
+const Recorder::OpenRecord *
+Recorder::find(std::uint64_t id) const
+{
+    // Ids are minted in increasing order and open_ stays sorted, so
+    // lookups on the per-line hot path are a binary search.
+    auto it = std::lower_bound(
+        open_.begin(), open_.end(), id,
+        [](const OpenRecord &o, std::uint64_t v) {
+            return o.record.id < v;
+        });
+    if (it == open_.end() || it->record.id != id)
+        return nullptr;
+    return &*it;
+}
+
+Recorder::OpenRecord *
+Recorder::find(std::uint64_t id)
+{
+    return const_cast<OpenRecord *>(
+        static_cast<const Recorder *>(this)->find(id));
+}
+
+std::uint64_t
+Recorder::open(Kind kind, Tick now, Stage initial, unsigned dpuGroup,
+               std::uint64_t bytes)
+{
+    if (!enabled_)
+        return 0;
+    OpenRecord o;
+    o.record.id = nextId_++;
+    o.record.kind = kind;
+    o.record.label = label_;
+    o.record.dpuGroup = dpuGroup;
+    o.record.bytes = bytes;
+    o.record.startPs = now;
+    o.current = initial;
+    o.segmentStart = now;
+    open_.push_back(std::move(o));
+    return open_.back().record.id;
+}
+
+void
+Recorder::enterStage(std::uint64_t id, Stage s, Tick now)
+{
+    if (id == 0)
+        return;
+    OpenRecord *o = find(id);
+    if (!o)
+        return;
+    if (now > o->segmentStart) {
+        o->record.stagePs[static_cast<std::size_t>(o->current)] +=
+            now - o->segmentStart;
+    }
+    o->current = s;
+    o->segmentStart = now;
+}
+
+void
+Recorder::bookStall(std::uint64_t id, Stage stall, Tick stallStart,
+                    Tick now)
+{
+    if (id == 0)
+        return;
+    OpenRecord *o = find(id);
+    if (!o || now <= o->segmentStart)
+        return;
+    // The current stage keeps [segmentStart, stallStart); the stall
+    // window [stallStart, now) goes to the stall bucket; the stage
+    // resumes at now. A stallStart before the segment began books the
+    // whole segment as stall.
+    const Tick from = std::max(o->segmentStart, stallStart);
+    if (from > o->segmentStart) {
+        o->record.stagePs[static_cast<std::size_t>(o->current)] +=
+            from - o->segmentStart;
+    }
+    o->record.stagePs[static_cast<std::size_t>(stall)] += now - from;
+    o->segmentStart = now;
+}
+
+void
+Recorder::carve(std::uint64_t id, Stage from, Stage to, Tick ps)
+{
+    if (id == 0 || ps == 0)
+        return;
+    OpenRecord *o = find(id);
+    if (!o)
+        return;
+    Tick &src = o->record.stagePs[static_cast<std::size_t>(from)];
+    const Tick moved = std::min(src, ps);
+    src -= moved;
+    o->record.stagePs[static_cast<std::size_t>(to)] += moved;
+}
+
+void
+Recorder::addModeled(std::uint64_t id, Stage s, Tick ps)
+{
+    if (id == 0 || ps == 0)
+        return;
+    OpenRecord *o = find(id);
+    if (!o)
+        return;
+    o->record.stagePs[static_cast<std::size_t>(s)] += ps;
+    // Modeled time does not advance the event clock: push the open
+    // segment's start forward so close() still conserves.
+    o->segmentStart += ps;
+}
+
+void
+Recorder::noteChannel(std::uint64_t id, bool pimSpace,
+                      unsigned channel, bool write, Tick now)
+{
+    if (id == 0)
+        return;
+    OpenRecord *o = find(id);
+    if (!o || channel >= Record::kMaxChannels)
+        return;
+    ChannelService &cs =
+        o->record.channels[pimSpace ? 1 : 0][channel];
+    if (write)
+        ++cs.writes;
+    else
+        ++cs.reads;
+    cs.firstPs = std::min(cs.firstPs, now);
+    cs.lastPs = std::max(cs.lastPs, now);
+}
+
+void
+Recorder::noteRetry(std::uint64_t id)
+{
+    if (id == 0)
+        return;
+    if (OpenRecord *o = find(id))
+        ++o->record.retries;
+}
+
+void
+Recorder::noteWatchdogResync(std::uint64_t id)
+{
+    if (id == 0)
+        return;
+    if (OpenRecord *o = find(id))
+        ++o->record.watchdogResyncs;
+}
+
+void
+Recorder::close(std::uint64_t id, Tick now, bool failed)
+{
+    if (id == 0)
+        return;
+    for (std::size_t i = 0; i < open_.size(); ++i) {
+        if (open_[i].record.id != id)
+            continue;
+        OpenRecord o = std::move(open_[i]);
+        open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (now > o.segmentStart) {
+            o.record.stagePs[static_cast<std::size_t>(o.current)] +=
+                now - o.segmentStart;
+        }
+        // Modeled time (addModeled) can push segmentStart past now;
+        // endPs covers booked time either way so duration == stageSum.
+        o.record.endPs = o.record.startPs + o.record.stageSum();
+        o.record.failed = failed;
+        completed_.push_back(std::move(o.record));
+        return;
+    }
+}
+
+bool
+Recorder::isOpen(std::uint64_t id) const
+{
+    return find(id) != nullptr;
+}
+
+const Record *
+Recorder::peek(std::uint64_t id) const
+{
+    const OpenRecord *o = find(id);
+    return o ? &o->record : nullptr;
+}
+
+unsigned
+Recorder::series(const std::string &name, double lo, double hi,
+                 std::size_t buckets)
+{
+    auto it = seriesIds_.find(name);
+    if (it != seriesIds_.end())
+        return it->second;
+    const unsigned id = static_cast<unsigned>(series_.size());
+    OccupancySeries s;
+    s.name = name;
+    s.lo = lo;
+    s.hi = hi > lo ? hi : lo + 1.0;
+    s.weights.assign(buckets ? buckets : 1, 0);
+    series_.push_back(std::move(s));
+    seriesIds_.emplace(name, id);
+    return id;
+}
+
+void
+Recorder::sampleOccupancy(unsigned seriesId, Tick now, double value)
+{
+    if (!enabled_ || seriesId >= series_.size())
+        return;
+    OccupancySeries &s = series_[seriesId];
+    if (s.started && now > s.lastChangePs) {
+        const std::uint64_t dt = now - s.lastChangePs;
+        const double width =
+            (s.hi - s.lo) / static_cast<double>(s.weights.size());
+        double idx = (s.lastValue - s.lo) / width;
+        std::size_t bucket =
+            idx <= 0.0 ? 0
+                       : std::min(s.weights.size() - 1,
+                                  static_cast<std::size_t>(idx));
+        s.weights[bucket] += dt;
+        s.weightedSum +=
+            s.lastValue * static_cast<double>(dt);
+        s.totalPs += dt;
+    }
+    if (!s.started) {
+        s.minSeen = s.maxSeen = value;
+        s.started = true;
+    } else {
+        s.minSeen = std::min(s.minSeen, value);
+        s.maxSeen = std::max(s.maxSeen, value);
+    }
+    s.lastValue = value;
+    s.lastChangePs = now;
+}
+
+Recorder
+Recorder::take()
+{
+    Recorder out;
+    out.configureLike(*this);
+    out.nextId_ = nextId_;
+    out.open_ = std::move(open_);
+    out.completed_ = std::move(completed_);
+    out.series_ = std::move(series_);
+    out.seriesIds_ = std::move(seriesIds_);
+    clear();
+    return out;
+}
+
+void
+Recorder::mergeFrom(Recorder &&other, const std::string &labelPrefix)
+{
+    for (Record &r : other.completed_) {
+        r.id = nextId_++;
+        if (!labelPrefix.empty())
+            r.label = labelPrefix + r.label;
+        completed_.push_back(std::move(r));
+    }
+    for (OccupancySeries &s : other.series_) {
+        const unsigned id =
+            series(s.name, s.lo, s.hi, s.weights.size());
+        series_[id].merge(s);
+    }
+    other.clear();
+}
+
+void
+Recorder::configureLike(const Recorder &other)
+{
+    enabled_ = other.enabled_;
+    label_ = other.label_;
+}
+
+void
+Recorder::clear()
+{
+    nextId_ = 1;
+    open_.clear();
+    completed_.clear();
+    series_.clear();
+    seriesIds_.clear();
+}
+
+namespace {
+
+void
+emitDouble(std::ostream &os, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os << buf;
+}
+
+/** Latency percentile over a sorted duration list (nearest-rank). */
+Tick
+sortedPercentile(const std::vector<Tick> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const double rank =
+        std::clamp(p, 0.0, 100.0) / 100.0 *
+        static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+struct LatencyBucket
+{
+    std::vector<Tick> durations;
+    std::uint64_t bytes = 0;
+    std::array<Tick, kNumStages> stagePs{};
+};
+
+void
+emitLatencyBucket(std::ostream &os, const std::string &key,
+                  LatencyBucket &b)
+{
+    std::sort(b.durations.begin(), b.durations.end());
+    Tick sum = 0;
+    for (Tick d : b.durations)
+        sum += d;
+    os << "{\"name\":\"" << stats::jsonEscape(key)
+       << "\",\"count\":" << b.durations.size()
+       << ",\"bytes\":" << b.bytes << ",\"mean_ps\":"
+       << (b.durations.empty() ? 0 : sum / b.durations.size())
+       << ",\"p50_ps\":" << sortedPercentile(b.durations, 50.0)
+       << ",\"p95_ps\":" << sortedPercentile(b.durations, 95.0)
+       << ",\"p99_ps\":" << sortedPercentile(b.durations, 99.0)
+       << ",\"max_ps\":"
+       << (b.durations.empty() ? 0 : b.durations.back())
+       << ",\"stages\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+        if (b.stagePs[i] == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << stageName(static_cast<Stage>(i))
+           << "\":" << b.stagePs[i];
+    }
+    os << "}}";
+}
+
+} // namespace
+
+void
+Recorder::dumpJson(std::ostream &os, std::size_t topK) const
+{
+    os << "{\"schema\":\"pim-mmu-attrib-v1\",\"records\":"
+       << completed_.size() << ",\"open_records\":" << open_.size()
+       << ",\n";
+
+    // Aggregate stage totals + dominant-stage census.
+    std::array<Tick, kNumStages> totals{};
+    std::array<std::uint64_t, kNumStages> dominant{};
+    for (const Record &r : completed_) {
+        for (std::size_t i = 0; i < kNumStages; ++i)
+            totals[i] += r.stagePs[i];
+        ++dominant[static_cast<std::size_t>(r.dominantStage())];
+    }
+    os << "\"stage_totals_ps\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+        if (totals[i] == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << stageName(static_cast<Stage>(i))
+           << "\":" << totals[i];
+    }
+    os << "},\n\"dominant_stage_counts\":{";
+    first = true;
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+        if (dominant[i] == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << stageName(static_cast<Stage>(i))
+           << "\":" << dominant[i];
+    }
+    os << "},\n";
+
+    // Per-label and per-DPU-group latency summaries.
+    std::map<std::string, LatencyBucket> byLabel;
+    std::map<unsigned, LatencyBucket> byGroup;
+    for (const Record &r : completed_) {
+        LatencyBucket &lb =
+            byLabel[r.label.empty() ? "(unlabeled)" : r.label];
+        lb.durations.push_back(r.durationPs());
+        lb.bytes += r.bytes;
+        LatencyBucket &gb = byGroup[r.dpuGroup];
+        gb.durations.push_back(r.durationPs());
+        gb.bytes += r.bytes;
+        for (std::size_t i = 0; i < kNumStages; ++i) {
+            lb.stagePs[i] += r.stagePs[i];
+            gb.stagePs[i] += r.stagePs[i];
+        }
+    }
+    os << "\"by_label\":[";
+    first = true;
+    for (auto &kv : byLabel) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        emitLatencyBucket(os, kv.first, kv.second);
+    }
+    os << "],\n\"by_dpu_group\":[";
+    first = true;
+    for (auto &kv : byGroup) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        emitLatencyBucket(os, "group" + std::to_string(kv.first),
+                          kv.second);
+    }
+    os << "],\n";
+
+    // Top-K slowest descriptors with full stage + channel breakdowns.
+    std::vector<const Record *> slowest;
+    slowest.reserve(completed_.size());
+    for (const Record &r : completed_)
+        slowest.push_back(&r);
+    std::stable_sort(slowest.begin(), slowest.end(),
+                     [](const Record *a, const Record *b) {
+                         return a->durationPs() > b->durationPs();
+                     });
+    if (slowest.size() > topK)
+        slowest.resize(topK);
+    os << "\"slowest\":[";
+    first = true;
+    for (const Record *r : slowest) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"id\":" << r->id << ",\"kind\":\""
+           << kindName(r->kind) << "\",\"label\":\""
+           << stats::jsonEscape(r->label) << "\",\"dpu_group\":"
+           << r->dpuGroup << ",\"bytes\":" << r->bytes
+           << ",\"start_ps\":" << r->startPs
+           << ",\"end_ps\":" << r->endPs
+           << ",\"duration_ps\":" << r->durationPs()
+           << ",\"failed\":" << (r->failed ? "true" : "false")
+           << ",\"retries\":" << r->retries
+           << ",\"watchdog_resyncs\":" << r->watchdogResyncs
+           << ",\"dominant\":\"" << stageName(r->dominantStage())
+           << "\",\"stages\":{";
+        bool sFirst = true;
+        for (std::size_t i = 0; i < kNumStages; ++i) {
+            if (r->stagePs[i] == 0)
+                continue;
+            if (!sFirst)
+                os << ",";
+            sFirst = false;
+            os << "\"" << stageName(static_cast<Stage>(i))
+               << "\":" << r->stagePs[i];
+        }
+        os << "},\"channels\":[";
+        bool cFirst = true;
+        for (unsigned space = 0; space < 2; ++space) {
+            for (unsigned ch = 0; ch < Record::kMaxChannels; ++ch) {
+                const ChannelService &cs = r->channels[space][ch];
+                if (!cs.touched())
+                    continue;
+                if (!cFirst)
+                    os << ",";
+                cFirst = false;
+                os << "{\"space\":\""
+                   << (space ? "pim" : "dram") << "\",\"ch\":" << ch
+                   << ",\"reads\":" << cs.reads
+                   << ",\"writes\":" << cs.writes
+                   << ",\"first_ps\":" << cs.firstPs
+                   << ",\"last_ps\":" << cs.lastPs << "}";
+            }
+        }
+        os << "]}";
+    }
+    os << "],\n";
+
+    // Occupancy series.
+    os << "\"occupancy\":[";
+    first = true;
+    for (const OccupancySeries &s : series_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":\"" << stats::jsonEscape(s.name)
+           << "\",\"total_ps\":" << s.totalPs << ",\"min\":";
+        emitDouble(os, s.minSeen);
+        os << ",\"max\":";
+        emitDouble(os, s.maxSeen);
+        os << ",\"time_avg\":";
+        emitDouble(os, s.timeAverage());
+        os << ",\"p50\":";
+        emitDouble(os, s.percentile(50.0));
+        os << ",\"p95\":";
+        emitDouble(os, s.percentile(95.0));
+        os << ",\"p99\":";
+        emitDouble(os, s.percentile(99.0));
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+bool
+Recorder::dumpJsonFile(const std::string &path, std::size_t topK) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    dumpJson(os, topK);
+    return os.good();
+}
+
+} // namespace attribution
+} // namespace telemetry
+} // namespace pimmmu

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * End-to-end latency attribution for DCE descriptors and kernel
+ * launches.
+ *
+ * Every descriptor (and checked kernel launch) carries a lifecycle
+ * record from enqueue to completion. The record is a stage state
+ * machine over simulated time: components call enterStage() at each
+ * lifecycle transition and the recorder books the elapsed segment into
+ * the stage that was active, so the stage buckets partition the
+ * descriptor's end-to-end latency exactly — summed buckets always
+ * equal (endPs - startPs), which a gtest checks as a conservation
+ * property.
+ *
+ * Stages (transfer path):
+ *   QueueWait   descriptor sitting in the DCE ring behind predecessors
+ *   Translate   engine setup / AGU priming, begin -> first issue
+ *   Preprocess  runtime-side marshalling, guarded functional copy and
+ *               MMIO doorbell before the engine sees the descriptor
+ *   DramService memory-system service, first issue -> last completion
+ *   StallRefresh refresh/bank-conflict blackout carved out of
+ *               DramService (channel-averaged overlap with REF windows)
+ *   Retry       descriptor-level retry backoff between attempts
+ *   Watchdog    no-progress windows recovered by the DCE watchdog
+ *   Interrupt   completion interrupt delivery to the driver
+ * Kernel launches reuse the same record type with Execute / Verify
+ * stages (kernel execution is modeled time, booked directly).
+ *
+ * On top of the records sit (a) Perfetto flow events linking a
+ * descriptor's spans across the DCE / DRAM-channel / DPU timeline
+ * tracks (see Timeline::flowStart), (b) a critical-path report —
+ * dominant-stage breakdowns, top-K slowest descriptors, per-label and
+ * per-DPU-group percentiles — written by `--attrib-json`, and (c) a
+ * sim-time occupancy profiler sampling ring depth, outstanding
+ * requests and healthy-DPU population into time-weighted histograms.
+ *
+ * The recorder is disabled by default and zero-cost when off: every
+ * hook is a single enabled check, and nothing on the event hot path
+ * allocates. Like the Timeline it is thread-local; sim::SweepRunner
+ * harvests each job's records and merges them back in job order so
+ * reports are deterministic regardless of worker scheduling.
+ */
+
+#ifndef PIMMMU_TELEMETRY_ATTRIBUTION_HH
+#define PIMMMU_TELEMETRY_ATTRIBUTION_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace telemetry {
+namespace attribution {
+
+/** Lifecycle stages. Each record's buckets over these partition its
+ *  end-to-end latency exactly. */
+enum class Stage : unsigned
+{
+    QueueWait,
+    Translate,
+    Preprocess,
+    DramService,
+    StallRefresh,
+    Retry,
+    Watchdog,
+    Interrupt,
+    Execute,
+    Verify,
+    NumStages
+};
+
+constexpr std::size_t kNumStages =
+    static_cast<std::size_t>(Stage::NumStages);
+
+/** Stage name ("queue_wait", "dram_service", ...). */
+const char *stageName(Stage s);
+
+/** What kind of lifecycle the record describes. */
+enum class Kind : unsigned
+{
+    Transfer, //!< a DCE descriptor
+    Kernel    //!< a (checked) kernel launch
+};
+
+const char *kindName(Kind k);
+
+/** Per-channel service accounting inside one record. */
+struct ChannelService
+{
+    std::uint32_t reads = 0;
+    std::uint32_t writes = 0;
+    Tick firstPs = kTickMax; //!< first completion on this channel
+    Tick lastPs = 0;         //!< last completion on this channel
+
+    bool touched() const { return reads + writes > 0; }
+};
+
+/** One completed (or in-flight) lifecycle record. */
+struct Record
+{
+    static constexpr std::size_t kMaxChannels = 16;
+
+    std::uint64_t id = 0; //!< attribution id == Perfetto flow id
+    Kind kind = Kind::Transfer;
+    std::string label;      //!< workload/bench context at open time
+    unsigned dpuGroup = 0;  //!< first target bank / DPU-group index
+    std::uint64_t bytes = 0;
+    Tick startPs = 0;
+    Tick endPs = 0;
+    bool failed = false;
+    std::uint32_t retries = 0;
+    std::uint32_t watchdogResyncs = 0;
+
+    std::array<Tick, kNumStages> stagePs{};
+    /** [0] = DRAM-side channels, [1] = PIM-side channels. */
+    std::array<std::array<ChannelService, kMaxChannels>, 2> channels{};
+
+    Tick durationPs() const { return endPs - startPs; }
+
+    Tick
+    stageSum() const
+    {
+        Tick sum = 0;
+        for (Tick t : stagePs)
+            sum += t;
+        return sum;
+    }
+
+    /** The stage holding the largest share of the latency. */
+    Stage dominantStage() const;
+};
+
+/**
+ * A value-over-sim-time series aggregated into a time-weighted
+ * histogram: each update books (now - lastChange) picoseconds of
+ * weight at the previous value. Percentiles are therefore "the value
+ * the series was at or below for p% of simulated time".
+ */
+struct OccupancySeries
+{
+    std::string name;
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<std::uint64_t> weights; //!< ps at each bucket's value
+    double minSeen = 0.0;
+    double maxSeen = 0.0;
+    double weightedSum = 0.0; //!< sum(value * ps)
+    std::uint64_t totalPs = 0;
+    double lastValue = 0.0;
+    Tick lastChangePs = 0;
+    bool started = false;
+
+    double timeAverage() const
+    {
+        return totalPs ? weightedSum / static_cast<double>(totalPs)
+                       : 0.0;
+    }
+
+    double percentile(double p) const;
+
+    /** Fold another series of the same shape into this one. */
+    void merge(const OccupancySeries &other);
+};
+
+class Recorder
+{
+  public:
+    /** The calling thread's default instance (see file comment). */
+    static Recorder &global();
+
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Label captured into records opened from now on (bench/workload
+     * context, e.g. "fig06.sw" or "prim.VA"). Cheap; empty = none.
+     */
+    void setLabel(const std::string &label) { label_ = label; }
+    const std::string &label() const { return label_; }
+
+    // ------------------------------------------------------------------
+    // Lifecycle records.
+    // ------------------------------------------------------------------
+
+    /**
+     * Open a record at @p now with @p initial as its first stage.
+     * @return the attribution id (also used as the Perfetto flow id),
+     * or 0 when the recorder is disabled.
+     */
+    std::uint64_t open(Kind kind, Tick now, Stage initial,
+                       unsigned dpuGroup, std::uint64_t bytes);
+
+    /** Close the active stage segment and start @p s. No-op for id 0
+     *  or an unknown id (a record opened before a disable). */
+    void enterStage(std::uint64_t id, Stage s, Tick now);
+
+    /**
+     * Book the window [stallStart, now] into @p stall without leaving
+     * the current stage: the current stage absorbs up to @p stallStart
+     * and resumes at @p now. Used by the DCE watchdog to attribute
+     * no-progress windows.
+     */
+    void bookStall(std::uint64_t id, Stage stall, Tick stallStart,
+                   Tick now);
+
+    /**
+     * Move @p ps of already-booked time from @p from into @p to
+     * (clamped to what @p from holds). Used for the refresh/bank-
+     * conflict carve-out of DramService; conserves the stage sum.
+     */
+    void carve(std::uint64_t id, Stage from, Stage to, Tick ps);
+
+    /** Book @p ps of modeled time directly into @p s and extend the
+     *  record's open segment start past it (kernel launches, whose
+     *  execution is modeled rather than event-driven). */
+    void addModeled(std::uint64_t id, Stage s, Tick ps);
+
+    /** Account one serviced line on a channel. @p pimSpace selects the
+     *  PIM-side controller set. */
+    void noteChannel(std::uint64_t id, bool pimSpace, unsigned channel,
+                     bool write, Tick now);
+
+    void noteRetry(std::uint64_t id);
+    void noteWatchdogResync(std::uint64_t id);
+
+    /** Finish the record: closes the active stage at @p now and moves
+     *  it to the completed list. */
+    void close(std::uint64_t id, Tick now, bool failed);
+
+    /** A record currently open (test/introspection aid). */
+    bool isOpen(std::uint64_t id) const;
+
+    /** Read-only view of a still-open record (nullptr when unknown);
+     *  the pointer is invalidated by the next recorder call. */
+    const Record *peek(std::uint64_t id) const;
+
+    std::size_t openRecords() const { return open_.size(); }
+    const std::vector<Record> &records() const { return completed_; }
+
+    // ------------------------------------------------------------------
+    // Occupancy profiler.
+    // ------------------------------------------------------------------
+
+    /**
+     * Create (or look up) a time-weighted series. Ids are stable for
+     * the recorder's lifetime; components cache them at construction.
+     * Registration works while disabled (like Timeline::track).
+     */
+    unsigned series(const std::string &name, double lo, double hi,
+                    std::size_t buckets);
+
+    /** The series value changed to @p value at @p now. */
+    void sampleOccupancy(unsigned seriesId, Tick now, double value);
+
+    const std::vector<OccupancySeries> &seriesData() const
+    {
+        return series_;
+    }
+
+    // ------------------------------------------------------------------
+    // Sweep aggregation.
+    // ------------------------------------------------------------------
+
+    /** Move records and series into a detached Recorder and reset
+     *  (configuration kept) — worker-thread harvesting. */
+    Recorder take();
+
+    /**
+     * Append another recorder's completed records (re-numbered after
+     * this one's, with @p labelPrefix prepended to their labels) and
+     * fold its occupancy series in by name. Merge in job-index order
+     * for deterministic reports.
+     */
+    void mergeFrom(Recorder &&other,
+                   const std::string &labelPrefix = std::string());
+
+    /** Copy enabled/label settings from @p other. */
+    void configureLike(const Recorder &other);
+
+    /** Drop all records and series (not the enabled flag). */
+    void clear();
+
+    // ------------------------------------------------------------------
+    // Critical-path report.
+    // ------------------------------------------------------------------
+
+    /**
+     * {"schema":"pim-mmu-attrib-v1",...}: per-descriptor stage
+     * breakdowns, dominant-stage aggregation, top-K slowest, per-label
+     * and per-DPU-group latency percentiles, occupancy histograms.
+     */
+    void dumpJson(std::ostream &os, std::size_t topK = 10) const;
+
+    /** dumpJson to a file. @return false on I/O failure. */
+    bool dumpJsonFile(const std::string &path,
+                      std::size_t topK = 10) const;
+
+  private:
+    struct OpenRecord
+    {
+        Record record;
+        Stage current = Stage::QueueWait;
+        Tick segmentStart = 0;
+    };
+
+    OpenRecord *find(std::uint64_t id);
+    const OpenRecord *find(std::uint64_t id) const;
+
+    bool enabled_ = false;
+    std::string label_;
+    std::uint64_t nextId_ = 1; //!< 0 means "no record"
+    std::vector<OpenRecord> open_;
+    std::vector<Record> completed_;
+    std::vector<OccupancySeries> series_;
+    std::map<std::string, unsigned> seriesIds_;
+};
+
+} // namespace attribution
+} // namespace telemetry
+} // namespace pimmmu
+
+#endif // PIMMMU_TELEMETRY_ATTRIBUTION_HH

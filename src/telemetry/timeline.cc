@@ -1,5 +1,6 @@
 #include "telemetry/timeline.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -142,6 +143,40 @@ Timeline::counter(unsigned track, const std::string &name, Tick atPs,
     lastEventOnTrack_[track - 1] = events_.size();
 }
 
+void
+Timeline::flowEvent(Phase phase, unsigned track,
+                    const std::string &name, Tick atPs,
+                    std::uint64_t flowId)
+{
+    if (!enabled_ || !trackRecords(track) || flowId == 0)
+        return;
+    events_.push_back(
+        Event{phase, track, atPs, 0, 0.0, name, flowId});
+    lastEventOnTrack_[track - 1] = events_.size();
+    maxFlowId_ = std::max(maxFlowId_, flowId);
+}
+
+void
+Timeline::flowStart(unsigned track, const std::string &name, Tick atPs,
+                    std::uint64_t flowId)
+{
+    flowEvent(Phase::FlowStart, track, name, atPs, flowId);
+}
+
+void
+Timeline::flowStep(unsigned track, const std::string &name, Tick atPs,
+                   std::uint64_t flowId)
+{
+    flowEvent(Phase::FlowStep, track, name, atPs, flowId);
+}
+
+void
+Timeline::flowEnd(unsigned track, const std::string &name, Tick atPs,
+                  std::uint64_t flowId)
+{
+    flowEvent(Phase::FlowEnd, track, name, atPs, flowId);
+}
+
 Timeline
 Timeline::take()
 {
@@ -153,6 +188,7 @@ Timeline::take()
     out.events_ = std::move(events_);
     out.lastEventOnTrack_ = std::move(lastEventOnTrack_);
     out.coalescedSpans_ = coalescedSpans_;
+    out.maxFlowId_ = maxFlowId_;
     clear();
     return out;
 }
@@ -163,13 +199,17 @@ Timeline::mergeFrom(Timeline &&other, const std::string &trackPrefix)
     std::vector<unsigned> remap(other.trackNames_.size());
     for (std::size_t i = 0; i < other.trackNames_.size(); ++i)
         remap[i] = track(trackPrefix + other.trackNames_[i]);
+    const std::uint64_t flowOffset = maxFlowId_;
     for (Event &e : other.events_) {
         e.track = remap[e.track - 1];
+        if (e.flowId != 0)
+            e.flowId += flowOffset;
         // No cross-boundary coalescing: append verbatim.
         events_.push_back(std::move(e));
         lastEventOnTrack_[e.track - 1] = 0;
     }
     coalescedSpans_ += other.coalescedSpans_;
+    maxFlowId_ = flowOffset + other.maxFlowId_;
     other.clear();
 }
 
@@ -190,6 +230,7 @@ Timeline::clear()
     events_.clear();
     lastEventOnTrack_.clear();
     coalescedSpans_ = 0;
+    maxFlowId_ = 0;
 }
 
 namespace {
@@ -240,6 +281,17 @@ Timeline::dumpJson(std::ostream &os) const
             os << ",\"ph\":\"C\",\"args\":{\"value\":" << buf << "}";
             break;
           }
+          case Phase::FlowStart:
+            os << ",\"ph\":\"s\",\"id\":" << e.flowId;
+            break;
+          case Phase::FlowStep:
+            os << ",\"ph\":\"t\",\"id\":" << e.flowId;
+            break;
+          case Phase::FlowEnd:
+            // bp:e binds the arrow to the enclosing slice instead of
+            // the next one, matching where the descriptor finished.
+            os << ",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << e.flowId;
+            break;
         }
         os << "}";
     }

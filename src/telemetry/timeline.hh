@@ -93,6 +93,23 @@ class Timeline
                  double value);
 
     /**
+     * Causal flow arrows ("ph":"s"/"t"/"f") linking spans across
+     * tracks: a start/step/end event binds to the slice enclosing
+     * @p atPs on @p track, and Perfetto draws arrows between events
+     * sharing @p flowId. The attribution subsystem uses the
+     * descriptor's attribution id as the flow id, so one descriptor's
+     * runtime-call, DCE-transfer, and per-channel DRAM-service spans
+     * chain visually. Flow ids are renumbered on mergeFrom so sweep
+     * jobs never cross-link.
+     */
+    void flowStart(unsigned track, const std::string &name, Tick atPs,
+                   std::uint64_t flowId);
+    void flowStep(unsigned track, const std::string &name, Tick atPs,
+                  std::uint64_t flowId);
+    void flowEnd(unsigned track, const std::string &name, Tick atPs,
+                 std::uint64_t flowId);
+
+    /**
      * Move this timeline's tracks and events into a detached Timeline
      * and reset this one to empty (configuration is kept). Used to
      * hand a worker thread's recording to the aggregating thread.
@@ -124,7 +141,10 @@ class Timeline
     {
         Span,
         Instant,
-        Counter
+        Counter,
+        FlowStart,
+        FlowStep,
+        FlowEnd
     };
 
     struct Event
@@ -135,9 +155,12 @@ class Timeline
         Tick dur;
         double value;
         std::string name;
+        std::uint64_t flowId = 0;
     };
 
     bool trackRecords(unsigned track) const;
+    void flowEvent(Phase phase, unsigned track, const std::string &name,
+                   Tick atPs, std::uint64_t flowId);
 
     bool enabled_ = false;
     Tick coalesceGapPs_ = 0;
@@ -149,6 +172,9 @@ class Timeline
     std::vector<Event> events_;
     /** Per track: index+1 of its most recent event (0 = none). */
     std::vector<std::size_t> lastEventOnTrack_;
+    /** Largest flow id recorded; mergeFrom offsets incoming ids past
+     *  it so flows from different sweep jobs never share an id. */
+    std::uint64_t maxFlowId_ = 0;
 };
 
 } // namespace telemetry

@@ -5,6 +5,7 @@
 #include "common/trace.hh"
 #include "pim/host_transfer.hh"
 #include "resilience/manager.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
 
@@ -117,8 +118,21 @@ UpmemRuntime::pushXfer(XferKind kind,
         static_cast<double>(threads.size()));
     const Tick startedAt = eq_.now();
     const std::uint64_t xferId = nextXferId_++;
+    // Software-path transfers get lifecycle records too, so --attrib-json
+    // compares the baseline copy-thread path against the DCE per label.
+    auto &rec = telemetry::attribution::Recorder::global();
+    const std::uint64_t aid =
+        rec.enabled()
+            ? rec.open(telemetry::attribution::Kind::Transfer,
+                       startedAt,
+                       telemetry::attribution::Stage::DramService,
+                       grouping.banks.empty()
+                           ? 0
+                           : grouping.banks.front().bankIdx,
+                       ids.size() * bytesPerDpu)
+            : 0;
     cpu_.runJob(std::move(threads),
-                [this, startedAt, xferId,
+                [this, startedAt, xferId, aid,
                  onComplete = std::move(onComplete)] {
                     const Tick now = eq_.now();
                     stats_.average("xfer_us").sample(
@@ -128,6 +142,8 @@ UpmemRuntime::pushXfer(XferKind kind,
                         tl.span(timelineTrack_,
                                 "push_xfer#" + std::to_string(xferId),
                                 startedAt, now);
+                    telemetry::attribution::Recorder::global().close(
+                        aid, now, false);
                     if (onComplete)
                         onComplete();
                 });
@@ -185,9 +201,20 @@ UpmemRuntime::launchChecked(
     const LaunchCheck &check)
 {
     LaunchOutcome out;
+    auto &rec = telemetry::attribution::Recorder::global();
+    const std::uint64_t aid =
+        rec.enabled() && !dpuIds.empty()
+            ? rec.open(telemetry::attribution::Kind::Kernel, eq_.now(),
+                       telemetry::attribution::Stage::Execute,
+                       dpuIds.front() / 8,
+                       dpuIds.size() * bytesPerDpu)
+            : 0;
     if (!res_) {
         out.execPs = pim_.launch(dpuIds, kernel, model, bytesPerDpu);
         out.ranOn = dpuIds;
+        rec.addModeled(aid, telemetry::attribution::Stage::Execute,
+                       out.execPs);
+        rec.close(aid, eq_.now(), false);
         return out;
     }
 
@@ -211,6 +238,7 @@ UpmemRuntime::launchChecked(
         out.status = resilience::Status::failure(
             resilience::ErrorCode::NoHealthyTargets,
             "every listed DPU is health-masked");
+        rec.close(aid, eq_.now(), true);
         return out;
     }
 
@@ -218,7 +246,11 @@ UpmemRuntime::launchChecked(
     const bool verify =
         check.resultBytes > 0 && pol.detectionEnabled();
     for (unsigned attempt = 0; attempt < attempts; ++attempt) {
-        out.execPs += pim_.launch(ids, kernel, model, bytesPerDpu);
+        const Tick attemptPs =
+            pim_.launch(ids, kernel, model, bytesPerDpu);
+        out.execPs += attemptPs;
+        rec.addModeled(aid, telemetry::attribution::Stage::Execute,
+                       attemptPs);
 
         // Cores can die mid-kernel: probe the kill sites after the
         // run, then drop every core whose bank just left service.
@@ -250,6 +282,7 @@ UpmemRuntime::launchChecked(
         std::vector<unsigned> survivors = healthyOf(ids);
         if (survivors.size() == ids.size() && !anyCorrupt) {
             out.ranOn = std::move(ids);
+            rec.close(aid, eq_.now(), false);
             return out;
         }
         if (survivors.empty()) {
@@ -257,6 +290,7 @@ UpmemRuntime::launchChecked(
             out.status = resilience::Status::failure(
                 resilience::ErrorCode::NoHealthyTargets,
                 "every DPU died or corrupted during launch");
+            rec.close(aid, eq_.now(), true);
             return out;
         }
         if (attempt + 1 >= attempts)
@@ -264,6 +298,12 @@ UpmemRuntime::launchChecked(
         // Relaunch the kernel on the healthy survivors.
         res_->noteLaunchDegraded();
         res_->noteLaunchRelaunch();
+        rec.noteRetry(aid);
+        PIMMMU_TRACE_LOG(trace::Category::Resil, eq_.now(),
+                         "kernel relaunch: "
+                             << ids.size() - survivors.size()
+                             << " DPUs lost, retrying on "
+                             << survivors.size());
         PIMMMU_TRACE_LOG(trace::Category::Pim, eq_.now(),
                          "dpu_launch relaunch: "
                              << ids.size() - survivors.size() << " of "
@@ -276,6 +316,7 @@ UpmemRuntime::launchChecked(
     out.status = resilience::Status::failure(
         resilience::ErrorCode::DataCorrupt,
         "kernel results still corrupt after the relaunch budget");
+    rec.close(aid, eq_.now(), true);
     return out;
 }
 

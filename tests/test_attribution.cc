@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Latency-attribution subsystem tests: the stage state machine's
+ * conservation property (stage buckets partition end-to-end latency
+ * exactly), occupancy series, sweep-style take/merge, Perfetto flow
+ * events, and full-System runs with attribution enabled — including
+ * the bit-identity requirement (enabling attribution must not change
+ * simulation outcomes) and the scrub timing-plane carve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/system.hh"
+#include "telemetry/attribution.hh"
+#include "telemetry/stats_registry.hh"
+#include "telemetry/timeline.hh"
+
+namespace pimmmu {
+
+using telemetry::Timeline;
+using telemetry::attribution::Kind;
+using telemetry::attribution::Record;
+using telemetry::attribution::Recorder;
+using telemetry::attribution::Stage;
+
+namespace {
+
+Tick
+stage(const Record &r, Stage s)
+{
+    return r.stagePs[static_cast<std::size_t>(s)];
+}
+
+/** Scoped enable of the global (thread-local) recorder. */
+struct ScopedRecorder
+{
+    ScopedRecorder()
+    {
+        Recorder::global().clear();
+        Recorder::global().setEnabled(true);
+    }
+
+    ~ScopedRecorder()
+    {
+        Recorder::global().setEnabled(false);
+        Recorder::global().setLabel("");
+        Recorder::global().clear();
+    }
+
+    Recorder &operator*() { return Recorder::global(); }
+    Recorder *operator->() { return &Recorder::global(); }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Stage state machine.
+// ---------------------------------------------------------------------
+
+TEST(Attribution, DisabledRecorderIsInert)
+{
+    Recorder r;
+    EXPECT_FALSE(r.enabled());
+    EXPECT_EQ(r.open(Kind::Transfer, 100, Stage::QueueWait, 0, 64), 0u);
+    // All hooks must tolerate id 0 silently.
+    r.enterStage(0, Stage::Translate, 200);
+    r.bookStall(0, Stage::Watchdog, 100, 200);
+    r.carve(0, Stage::DramService, Stage::StallRefresh, 10);
+    r.addModeled(0, Stage::Execute, 10);
+    r.noteChannel(0, false, 0, false, 100);
+    r.noteRetry(0);
+    r.close(0, 300, false);
+    EXPECT_TRUE(r.records().empty());
+    EXPECT_EQ(r.openRecords(), 0u);
+}
+
+TEST(Attribution, StageSegmentsPartitionLatency)
+{
+    Recorder r;
+    r.setEnabled(true);
+    const std::uint64_t id =
+        r.open(Kind::Transfer, 100, Stage::QueueWait, 3, 4096);
+    ASSERT_NE(id, 0u);
+    EXPECT_TRUE(r.isOpen(id));
+
+    r.enterStage(id, Stage::Translate, 250);
+    r.enterStage(id, Stage::DramService, 400);
+    // Watchdog stall [500, 600]: DramService keeps [400, 500].
+    r.bookStall(id, Stage::Watchdog, 500, 600);
+    r.noteWatchdogResync(id);
+    r.enterStage(id, Stage::Interrupt, 900);
+    r.close(id, 1000, false);
+
+    ASSERT_EQ(r.records().size(), 1u);
+    const Record &rec = r.records().front();
+    EXPECT_EQ(rec.startPs, 100u);
+    EXPECT_EQ(rec.endPs, 1000u);
+    EXPECT_EQ(stage(rec, Stage::QueueWait), 150u);
+    EXPECT_EQ(stage(rec, Stage::Translate), 150u);
+    EXPECT_EQ(stage(rec, Stage::DramService), 400u);
+    EXPECT_EQ(stage(rec, Stage::Watchdog), 100u);
+    EXPECT_EQ(stage(rec, Stage::Interrupt), 100u);
+    EXPECT_EQ(rec.watchdogResyncs, 1u);
+    EXPECT_EQ(rec.dominantStage(), Stage::DramService);
+    // The conservation property.
+    EXPECT_EQ(rec.stageSum(), rec.durationPs());
+    EXPECT_FALSE(r.isOpen(id));
+}
+
+TEST(Attribution, CarveMovesBookedTimeClamped)
+{
+    Recorder r;
+    r.setEnabled(true);
+    const std::uint64_t id =
+        r.open(Kind::Transfer, 0, Stage::DramService, 0, 64);
+    r.enterStage(id, Stage::Interrupt, 1000); // DramService holds 1000
+    r.carve(id, Stage::DramService, Stage::StallRefresh, 300);
+    // Carving more than the stage holds moves only what's there.
+    r.carve(id, Stage::DramService, Stage::StallRefresh, 5000);
+    r.close(id, 1200, false);
+
+    ASSERT_EQ(r.records().size(), 1u);
+    const Record &rec = r.records().front();
+    EXPECT_EQ(stage(rec, Stage::DramService), 0u);
+    EXPECT_EQ(stage(rec, Stage::StallRefresh), 1000u);
+    EXPECT_EQ(stage(rec, Stage::Interrupt), 200u);
+    EXPECT_EQ(rec.stageSum(), rec.durationPs());
+}
+
+TEST(Attribution, ModeledTimeStillConserves)
+{
+    // Kernel launches book modeled (analytic) time that never advances
+    // the event clock; close() at an unadvanced clock must still
+    // produce duration == stage sum.
+    Recorder r;
+    r.setEnabled(true);
+    const std::uint64_t id =
+        r.open(Kind::Kernel, 5000, Stage::Execute, 2, 1024);
+    r.addModeled(id, Stage::Execute, 700);
+    r.addModeled(id, Stage::Execute, 300);
+    r.noteRetry(id);
+    r.close(id, 5000, false);
+
+    ASSERT_EQ(r.records().size(), 1u);
+    const Record &rec = r.records().front();
+    EXPECT_EQ(rec.kind, Kind::Kernel);
+    EXPECT_EQ(rec.startPs, 5000u);
+    EXPECT_EQ(rec.endPs, 6000u);
+    EXPECT_EQ(stage(rec, Stage::Execute), 1000u);
+    EXPECT_EQ(rec.retries, 1u);
+    EXPECT_EQ(rec.stageSum(), rec.durationPs());
+}
+
+TEST(Attribution, ChannelAccountingTracksFirstAndLast)
+{
+    Recorder r;
+    r.setEnabled(true);
+    const std::uint64_t id =
+        r.open(Kind::Transfer, 0, Stage::DramService, 0, 128);
+    r.noteChannel(id, false, 1, false, 100);
+    r.noteChannel(id, false, 1, false, 300);
+    r.noteChannel(id, true, 2, true, 250);
+    const Record *peeked = r.peek(id);
+    ASSERT_NE(peeked, nullptr);
+    EXPECT_EQ(peeked->channels[0][1].reads, 2u);
+    EXPECT_EQ(peeked->channels[0][1].firstPs, 100u);
+    EXPECT_EQ(peeked->channels[0][1].lastPs, 300u);
+    EXPECT_EQ(peeked->channels[1][2].writes, 1u);
+    r.close(id, 400, false);
+}
+
+// ---------------------------------------------------------------------
+// Occupancy profiler.
+// ---------------------------------------------------------------------
+
+TEST(Attribution, OccupancySeriesTimeWeighting)
+{
+    Recorder r;
+    r.setEnabled(true);
+    const unsigned s = r.series("test.depth", 0.0, 8.0, 8);
+    // Value 2 held for 1000 ps, then 6 held for 3000 ps.
+    r.sampleOccupancy(s, 0, 2.0);
+    r.sampleOccupancy(s, 1000, 6.0);
+    r.sampleOccupancy(s, 4000, 0.0);
+
+    const auto &series = r.seriesData();
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_EQ(series[0].totalPs, 4000u);
+    EXPECT_DOUBLE_EQ(series[0].timeAverage(),
+                     (2.0 * 1000 + 6.0 * 3000) / 4000.0);
+    // The series sat at 6 for 75% of sim time, so the p50 bucket is
+    // already the 6-bucket but p20 is still the 2-bucket.
+    EXPECT_GE(series[0].percentile(50), 6.0);
+    EXPECT_LE(series[0].percentile(20), 3.0);
+    EXPECT_DOUBLE_EQ(series[0].minSeen, 0.0);
+    EXPECT_DOUBLE_EQ(series[0].maxSeen, 6.0);
+}
+
+TEST(Attribution, SeriesIdsAreStableAndNamed)
+{
+    Recorder r;
+    const unsigned a = r.series("a", 0, 4, 4);
+    const unsigned b = r.series("b", 0, 4, 4);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(r.series("a", 0, 99, 17), a); // lookup, not re-creation
+    // Registration while disabled works; sampling is gated.
+    r.sampleOccupancy(a, 100, 1.0);
+    r.sampleOccupancy(a, 200, 2.0);
+    EXPECT_EQ(r.seriesData()[a].totalPs, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Sweep-style harvesting and merging.
+// ---------------------------------------------------------------------
+
+TEST(Attribution, TakeAndMergePrefixesLabelsAndRenumbers)
+{
+    Recorder job0, job1, main;
+    main.setEnabled(true);
+    for (Recorder *job : {&job0, &job1}) {
+        job->setEnabled(true);
+        job->setLabel("xfer");
+        const std::uint64_t id =
+            job->open(Kind::Transfer, 0, Stage::QueueWait, 0, 64);
+        const unsigned s = job->series("ring", 0.0, 4.0, 4);
+        job->sampleOccupancy(s, 0, 1.0);
+        job->sampleOccupancy(s, 500, 2.0);
+        job->close(id, 250, false);
+    }
+    main.mergeFrom(job0.take(), "job0/");
+    main.mergeFrom(job1.take(), "job1/");
+
+    ASSERT_EQ(main.records().size(), 2u);
+    EXPECT_EQ(main.records()[0].label, "job0/xfer");
+    EXPECT_EQ(main.records()[1].label, "job1/xfer");
+    EXPECT_NE(main.records()[0].id, main.records()[1].id);
+    // Occupancy series folded by name: 500 ps of weight per job.
+    ASSERT_EQ(main.seriesData().size(), 1u);
+    EXPECT_EQ(main.seriesData()[0].totalPs, 1000u);
+}
+
+// ---------------------------------------------------------------------
+// Perfetto flow events.
+// ---------------------------------------------------------------------
+
+TEST(Attribution, TimelineFlowEventsCarryIds)
+{
+    Timeline tl;
+    tl.setEnabled(true);
+    const unsigned dce = tl.track("dce");
+    const unsigned ch = tl.track("pim.ch0.xfer");
+    tl.span(dce, "xfer#1", 100, 500);
+    tl.span(ch, "xfer#1", 200, 400);
+    tl.flowStart(dce, "xfer#1", 150, 7);
+    tl.flowStep(ch, "xfer#1", 250, 7);
+    tl.flowEnd(dce, "xfer#1", 450, 7);
+    tl.flowStart(dce, "ignored", 100, 0); // flow id 0 is "no flow"
+
+    std::ostringstream os;
+    tl.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    // Flow-end binds to the enclosing slice ("bp":"e") per the
+    // trace-event spec, and all three share the flow id.
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+    EXPECT_EQ(json.find("ignored"), std::string::npos);
+}
+
+TEST(Attribution, TimelineMergeOffsetsFlowIds)
+{
+    Timeline a, b;
+    a.setEnabled(true);
+    b.setEnabled(true);
+    const unsigned ta = a.track("dce");
+    const unsigned tb = b.track("dce");
+    a.flowStart(ta, "x", 100, 3);
+    b.flowStart(tb, "x", 100, 3); // same id in another "job"
+    a.mergeFrom(std::move(b), "job1/");
+
+    std::ostringstream os;
+    a.dumpJson(os);
+    const std::string json = os.str();
+    // The merged flow must not share id 3 with the local one.
+    EXPECT_NE(json.find("\"id\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"id\":6"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Full-System runs.
+// ---------------------------------------------------------------------
+
+TEST(Attribution, ConservationOnPimMmuTransferRun)
+{
+    ScopedRecorder rec;
+    rec->setLabel("fig06.mmu");
+
+    sim::System sys(
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP));
+    const sim::TransferStats ts =
+        sys.runTransfer(core::XferDirection::DramToPim, 64, 2 * kKiB);
+    ASSERT_TRUE(ts.ok());
+
+    const Recorder &r = Recorder::global();
+    EXPECT_EQ(r.openRecords(), 0u) << "records left open after run";
+    ASSERT_FALSE(r.records().empty());
+    bool sawDramService = false, sawPimChannel = false;
+    for (const Record &record : r.records()) {
+        // The acceptance property: summed stage buckets equal the
+        // record's end-to-end latency, exactly, for every descriptor.
+        EXPECT_EQ(record.stageSum(), record.durationPs())
+            << "record " << record.id << " (" << record.label << ")";
+        EXPECT_EQ(record.label, "fig06.mmu");
+        EXPECT_FALSE(record.failed);
+        sawDramService |= stage(record, Stage::DramService) > 0;
+        for (const auto &cs : record.channels[1])
+            sawPimChannel |= cs.touched();
+    }
+    EXPECT_TRUE(sawDramService);
+    EXPECT_TRUE(sawPimChannel);
+
+    // The DCE fed its occupancy series during the run.
+    bool sawRing = false;
+    for (const auto &s : r.seriesData())
+        if (s.name == "dce.ring_depth" && s.totalPs > 0)
+            sawRing = true;
+    EXPECT_TRUE(sawRing);
+
+    // And the critical-path report round-trips the records.
+    std::ostringstream os;
+    r.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("pim-mmu-attrib-v1"), std::string::npos);
+    EXPECT_NE(json.find("\"stage_totals_ps\""), std::string::npos);
+    EXPECT_NE(json.find("\"slowest\""), std::string::npos);
+    EXPECT_NE(json.find("\"occupancy\""), std::string::npos);
+    EXPECT_NE(json.find("fig06.mmu"), std::string::npos);
+}
+
+TEST(Attribution, ConservationOnSoftwareTransferRun)
+{
+    ScopedRecorder rec;
+    sim::System sys(
+        sim::SystemConfig::paperTable1(sim::DesignPoint::Base));
+    const sim::TransferStats ts =
+        sys.runTransfer(core::XferDirection::DramToPim, 32, kKiB);
+    ASSERT_TRUE(ts.ok());
+
+    const Recorder &r = Recorder::global();
+    EXPECT_EQ(r.openRecords(), 0u);
+    ASSERT_FALSE(r.records().empty());
+    for (const Record &record : r.records())
+        EXPECT_EQ(record.stageSum(), record.durationPs());
+}
+
+TEST(Attribution, EnablingAttributionIsBitIdentical)
+{
+    // Same scenario twice: recorder off, then on. Simulated time and
+    // event counts must not move — attribution observes, never acts.
+    Tick simOff = 0, simOn = 0;
+    std::uint64_t evOff = 0, evOn = 0;
+    {
+        sim::System sys(
+            sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP));
+        sys.runTransfer(core::XferDirection::DramToPim, 64, 2 * kKiB);
+        simOff = sys.eq().now();
+        evOff = sys.eq().executed();
+    }
+    {
+        ScopedRecorder rec;
+        sim::System sys(
+            sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP));
+        sys.runTransfer(core::XferDirection::DramToPim, 64, 2 * kKiB);
+        simOn = sys.eq().now();
+        evOn = sys.eq().executed();
+    }
+    EXPECT_EQ(simOff, simOn);
+    EXPECT_EQ(evOff, evOn);
+}
+
+TEST(Attribution, FlowEventsEmittedOnSystemRun)
+{
+    ScopedRecorder rec;
+    Timeline &tl = Timeline::global();
+    tl.clear();
+    tl.setEnabled(true);
+
+    {
+        sim::System sys(
+            sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP));
+        sys.runTransfer(core::XferDirection::DramToPim, 16, kKiB);
+    }
+
+    std::ostringstream os;
+    tl.dumpJson(os);
+    const std::string json = os.str();
+    tl.setEnabled(false);
+    tl.clear();
+    // The descriptor chain reaches all three flow phases: start on the
+    // runtime call span, steps on DCE/channel service spans, end back
+    // on the call span.
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(Attribution, ScrubProbesConsumeTimingAndSurfaceStats)
+{
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    cfg.resilience = resilience::Policy::withRepair();
+    sim::System sys(cfg);
+    ASSERT_NE(sys.resilienceManager(), nullptr);
+
+    // No out-of-service banks: a scrub pass is free and timeless (the
+    // chaos campaign's rate-0 identity depends on this).
+    const Tick before = sys.eq().now();
+    EXPECT_TRUE(sys.runScrub().idle());
+    EXPECT_EQ(sys.eq().now(), before);
+
+    sys.resilienceManager()->markDpuFailed(0, sys.eq().now());
+    unsigned readmitted = 0;
+    for (int pass = 0; pass < 8; ++pass) {
+        const sim::ScrubReport rep = sys.runScrub();
+        readmitted += rep.readmitted;
+        if (rep.idle())
+            break;
+    }
+    EXPECT_EQ(readmitted, 1u);
+    // Probe traffic went through the timing plane...
+    EXPECT_GT(sys.eq().now(), before);
+    // ...and is accounted as stolen bandwidth in the scrub group.
+    std::ostringstream os;
+    telemetry::StatsRegistry::global().dumpJson(os);
+    const std::string json = os.str();
+    const auto groupPos = json.find("\"scrub\"");
+    ASSERT_NE(groupPos, std::string::npos);
+    EXPECT_NE(json.find("bandwidth_stolen"), std::string::npos);
+    EXPECT_NE(json.find("probe_service_ps"), std::string::npos);
+    EXPECT_EQ(json.find("\"bandwidth_stolen\":0,", groupPos),
+              std::string::npos);
+}
+
+TEST(Attribution, HealthySeriesTracksMaskingAndReadmission)
+{
+    ScopedRecorder rec;
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    cfg.resilience = resilience::Policy::withRepair();
+    sim::System sys(cfg);
+    sys.resilienceManager()->markDpuFailed(0, 1000);
+    while (!sys.runScrub().idle()) {
+    }
+    const Recorder &r = Recorder::global();
+    bool found = false;
+    for (const auto &s : r.seriesData()) {
+        if (s.name != "resilience.healthy_dpus")
+            continue;
+        found = true;
+        // The population dipped by one bank's worth and recovered.
+        EXPECT_LT(s.minSeen, s.maxSeen);
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace pimmmu

@@ -45,6 +45,124 @@ TEST(Stats, HistogramBucketsAndOverflow)
     EXPECT_EQ(h.total(), 5u);
 }
 
+TEST(Stats, HistogramEmptyPercentileQueries)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    // Out-of-range p is clamped, not UB, even on an empty histogram.
+    EXPECT_DOUBLE_EQ(h.percentile(-5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(500), 0.0);
+}
+
+TEST(Stats, HistogramSingleSample)
+{
+    stats::Histogram h(0.0, 100.0, 10);
+    h.sample(42.0);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+    // p=0 reports the range floor by convention...
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    // ...every positive percentile lands in the sample's bucket [40, 50].
+    for (const double p : {1.0, 50.0, 99.0, 100.0}) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, 40.0) << "p=" << p;
+        EXPECT_LE(v, 50.0) << "p=" << p;
+    }
+}
+
+TEST(Stats, HistogramOverflowBucketSaturation)
+{
+    stats::Histogram h(0.0, 10.0, 4);
+    // Everything beyond hi, including weighted bulk samples, piles
+    // into the overflow bucket without disturbing the in-range ones.
+    h.sample(10.0);
+    h.sample(1e9, 1000);
+    h.sample(50.0, 500);
+    EXPECT_EQ(h.overflow(), 1501u);
+    EXPECT_EQ(h.total(), 1501u);
+    for (std::size_t i = 0; i < h.buckets(); ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+    // With all mass in overflow, every nonzero percentile reports hi.
+    EXPECT_DOUBLE_EQ(h.percentile(50), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+    // The mean keeps the true sample values, not the clamp point.
+    EXPECT_NEAR(h.mean(), (10.0 + 1e9 * 1000 + 50.0 * 500) / 1501.0,
+                1e-3);
+}
+
+TEST(Stats, HistogramWeightedSamples)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    h.sample(2.5, 3);
+    h.sample(7.5, 0); // zero weight is a no-op
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.bucket(2), 3u);
+    EXPECT_EQ(h.bucket(7), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(Stats, HistogramMergeSameShape)
+{
+    stats::Histogram a(0.0, 10.0, 10);
+    stats::Histogram b(0.0, 10.0, 10);
+    a.sample(1.5);
+    a.sample(-1.0);
+    b.sample(1.5, 2);
+    b.sample(25.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(a.bucket(1), 3u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_NEAR(a.mean(), (1.5 - 1.0 + 2 * 1.5 + 25.0) / 5.0, 1e-12);
+}
+
+TEST(Stats, HistogramPercentileMonotonicUnderMerge)
+{
+    // Different shapes force the midpoint-replay merge path.
+    stats::Histogram a(0.0, 100.0, 20);
+    stats::Histogram b(0.0, 50.0, 7);
+    for (int i = 0; i < 100; ++i)
+        a.sample(static_cast<double>(i));
+    b.sample(-3.0, 5);
+    b.sample(12.0, 40);
+    b.sample(49.0, 10);
+    b.sample(200.0, 8);
+    const double meanA = a.mean();
+    const double meanB = b.mean();
+    const std::uint64_t totalA = a.total(), totalB = b.total();
+    a.merge(b);
+    EXPECT_EQ(a.total(), totalA + totalB);
+    // The mean is exact even on the approximate merge path.
+    EXPECT_NEAR(a.mean(),
+                (meanA * static_cast<double>(totalA) +
+                 meanB * static_cast<double>(totalB)) /
+                    static_cast<double>(totalA + totalB),
+                1e-9);
+    // Percentiles stay monotone in p after merging.
+    double prev = a.percentile(0);
+    for (double p = 1.0; p <= 100.0; p += 1.0) {
+        const double v = a.percentile(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        prev = v;
+    }
+    EXPECT_GE(a.percentile(100), a.percentile(0));
+}
+
+TEST(Stats, HistogramMergeEmptyIsNoOp)
+{
+    stats::Histogram a(0.0, 10.0, 10);
+    stats::Histogram empty(0.0, 99.0, 3);
+    a.sample(5.0);
+    a.merge(empty);
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
 TEST(Stats, GroupLookupAndDump)
 {
     stats::Group g("test");

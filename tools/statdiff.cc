@@ -1,0 +1,639 @@
+/**
+ * @file
+ * statdiff: diff two simulator JSON reports (BENCH_*.json,
+ * --stats-json dumps, --attrib-json reports) metric by metric and gate
+ * on percent deltas. The CI perf-smoke job runs it against the
+ * committed bench/baselines/BENCH_engine.baseline.json to catch engine
+ * throughput regressions.
+ *
+ * Usage:
+ *   statdiff <baseline.json> <current.json>
+ *            [--warn <pct>] [--fail <pct>]
+ *            [--metric <glob>=<warnpct>:<failpct>]...
+ *            [--only <glob>]... [--ignore <glob>]...
+ *            [--quiet]
+ *
+ * Both files are flattened to dot-path metrics: object keys join with
+ * '.', arrays of objects that carry a string "name" field key by that
+ * name, other arrays key by index. Only numeric (and boolean) leaves
+ * are compared; string leaves are checked for equality and reported as
+ * warnings when they differ.
+ *
+ * Per-metric rules (--metric, last match wins) override the default
+ * --warn/--fail thresholds; a threshold of "-" disables that level for
+ * the matched metrics. Exit code: 0 clean (warnings allowed), 1 if any
+ * metric crossed its fail threshold or a compared metric disappeared,
+ * 2 on usage/parse errors.
+ */
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (no external deps).
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    /** Object entries in file order (order matters for reporting). */
+    std::vector<std::pair<std::string, JsonValue>> entries;
+
+    const JsonValue *
+    field(const std::string &key) const
+    {
+        for (const auto &e : entries)
+            if (e.first == key)
+                return &e.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing data after JSON document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        std::size_t line = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
+            if (text_[i] == '\n')
+                ++line;
+        std::ostringstream os;
+        os << why << " (line " << line << ")";
+        error_ = os.str();
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' in object");
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.entries.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Metric names are ASCII in practice; encode the rest
+                // as UTF-8 so round-trips stay lossless.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected a JSON value");
+        pos_ += static_cast<std::size_t>(end - start);
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Flattening: JSON tree -> ordered dot-path metric list.
+// ---------------------------------------------------------------------
+
+struct Metrics
+{
+    /** Numeric (and boolean) leaves, in file order. */
+    std::vector<std::pair<std::string, double>> numbers;
+    /** String leaves, for equality checks. */
+    std::vector<std::pair<std::string, std::string>> strings;
+};
+
+std::string
+joinPath(const std::string &prefix, const std::string &key)
+{
+    return prefix.empty() ? key : prefix + "." + key;
+}
+
+void
+flatten(const JsonValue &v, const std::string &path, Metrics &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        break;
+      case JsonValue::Kind::Bool:
+        out.numbers.emplace_back(path, v.boolean ? 1.0 : 0.0);
+        break;
+      case JsonValue::Kind::Number:
+        out.numbers.emplace_back(path, v.number);
+        break;
+      case JsonValue::Kind::String:
+        out.strings.emplace_back(path, v.str);
+        break;
+      case JsonValue::Kind::Object:
+        for (const auto &e : v.entries)
+            flatten(e.second, joinPath(path, e.first), out);
+        break;
+      case JsonValue::Kind::Array: {
+        // Arrays of objects with a string "name" field key by name
+        // (stats groups, bench scenarios); everything else by index.
+        bool allNamed = !v.items.empty();
+        for (const JsonValue &item : v.items) {
+            const JsonValue *name =
+                item.kind == JsonValue::Kind::Object
+                    ? item.field("name")
+                    : nullptr;
+            if (name == nullptr ||
+                name->kind != JsonValue::Kind::String) {
+                allNamed = false;
+                break;
+            }
+        }
+        for (std::size_t i = 0; i < v.items.size(); ++i) {
+            const std::string key =
+                allNamed ? v.items[i].field("name")->str
+                         : std::to_string(i);
+            flatten(v.items[i], joinPath(path, key), out);
+        }
+        break;
+      }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Globs and threshold rules.
+// ---------------------------------------------------------------------
+
+/** fnmatch-lite: '*' matches any run of characters (including '.'),
+ *  '?' matches one character. */
+bool
+globMatch(const char *pat, const char *str)
+{
+    if (*pat == '\0')
+        return *str == '\0';
+    if (*pat == '*') {
+        for (const char *s = str;; ++s) {
+            if (globMatch(pat + 1, s))
+                return true;
+            if (*s == '\0')
+                return false;
+        }
+    }
+    if (*str == '\0')
+        return false;
+    if (*pat == '?' || *pat == *str)
+        return globMatch(pat + 1, str + 1);
+    return false;
+}
+
+bool
+globMatch(const std::string &pat, const std::string &str)
+{
+    return globMatch(pat.c_str(), str.c_str());
+}
+
+struct Rule
+{
+    std::string glob;
+    double warnPct = 10.0;
+    double failPct = 25.0;
+    bool warnEnabled = true;
+    bool failEnabled = true;
+};
+
+/** Parse "<glob>=<warn>:<fail>" where either threshold may be "-". */
+bool
+parseRule(const std::string &spec, Rule &out)
+{
+    const std::size_t eq = spec.rfind('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    const std::size_t colon = spec.find(':', eq + 1);
+    if (colon == std::string::npos)
+        return false;
+    out.glob = spec.substr(0, eq);
+    const std::string warn = spec.substr(eq + 1, colon - eq - 1);
+    const std::string fail = spec.substr(colon + 1);
+    auto parsePct = [](const std::string &s, double &pct,
+                       bool &enabled) {
+        if (s == "-") {
+            enabled = false;
+            return true;
+        }
+        char *end = nullptr;
+        pct = std::strtod(s.c_str(), &end);
+        enabled = true;
+        return end != nullptr && *end == '\0' && pct >= 0.0;
+    };
+    return parsePct(warn, out.warnPct, out.warnEnabled) &&
+           parsePct(fail, out.failPct, out.failEnabled);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream os;
+    os << is.rdbuf();
+    out = os.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    std::vector<Rule> rules;
+    std::vector<std::string> only;
+    std::vector<std::string> ignore;
+    Rule defaults;
+    bool quiet = false;
+
+    auto usage = [&]() {
+        std::fprintf(
+            stderr,
+            "usage: %s <baseline.json> <current.json>\n"
+            "          [--warn <pct>] [--fail <pct>]\n"
+            "          [--metric <glob>=<warnpct>:<failpct>]...\n"
+            "          [--only <glob>]... [--ignore <glob>]...\n"
+            "          [--quiet]\n",
+            argv[0]);
+        return 2;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--warn") == 0 ||
+            std::strcmp(arg, "--fail") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            char *end = nullptr;
+            const double v = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0' || v < 0.0)
+                return usage();
+            (arg[2] == 'w' ? defaults.warnPct : defaults.failPct) = v;
+            continue;
+        }
+        if (std::strcmp(arg, "--metric") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            Rule r = defaults;
+            if (!parseRule(argv[++i], r)) {
+                std::fprintf(stderr, "%s: bad --metric spec: %s\n",
+                             argv[0], argv[i]);
+                return 2;
+            }
+            rules.push_back(r);
+            continue;
+        }
+        if (std::strcmp(arg, "--only") == 0 ||
+            std::strcmp(arg, "--ignore") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            (arg[2] == 'o' ? only : ignore).push_back(argv[++i]);
+            continue;
+        }
+        if (std::strcmp(arg, "--quiet") == 0) {
+            quiet = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage();
+            return 0;
+        }
+        if (arg[0] == '-')
+            return usage();
+        files.push_back(arg);
+    }
+    if (files.size() != 2)
+        return usage();
+
+    Metrics base, cur;
+    for (int which = 0; which < 2; ++which) {
+        const std::string &path = files[static_cast<std::size_t>(which)];
+        std::string text, error;
+        if (!readFile(path, text)) {
+            std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                         path.c_str());
+            return 2;
+        }
+        JsonValue root;
+        if (!JsonParser(text, error).parse(root)) {
+            std::fprintf(stderr, "%s: %s: %s\n", argv[0], path.c_str(),
+                         error.c_str());
+            return 2;
+        }
+        flatten(root, "", which == 0 ? base : cur);
+    }
+
+    auto selected = [&](const std::string &path) {
+        for (const std::string &g : ignore)
+            if (globMatch(g, path))
+                return false;
+        if (only.empty())
+            return true;
+        for (const std::string &g : only)
+            if (globMatch(g, path))
+                return true;
+        return false;
+    };
+    auto ruleFor = [&](const std::string &path) {
+        Rule r = defaults;
+        for (const Rule &candidate : rules)
+            if (globMatch(candidate.glob, path))
+                r = candidate; // last match wins
+        return r;
+    };
+
+    std::map<std::string, double> curNumbers(cur.numbers.begin(),
+                                             cur.numbers.end());
+    std::map<std::string, std::string> curStrings(cur.strings.begin(),
+                                                  cur.strings.end());
+
+    unsigned compared = 0, warned = 0, failed = 0;
+    for (const auto &[path, baseVal] : base.numbers) {
+        if (!selected(path))
+            continue;
+        const auto it = curNumbers.find(path);
+        if (it == curNumbers.end()) {
+            std::printf("FAIL  %-48s  missing from %s\n", path.c_str(),
+                        files[1].c_str());
+            ++failed;
+            continue;
+        }
+        ++compared;
+        const double curVal = it->second;
+        double deltaPct = 0.0;
+        if (baseVal == curVal)
+            deltaPct = 0.0;
+        else if (baseVal == 0.0)
+            deltaPct = 100.0;
+        else
+            deltaPct = (curVal - baseVal) / std::fabs(baseVal) * 100.0;
+        const Rule r = ruleFor(path);
+        const double mag = std::fabs(deltaPct);
+        const char *status = "ok";
+        if (r.failEnabled && mag > r.failPct) {
+            status = "FAIL";
+            ++failed;
+        } else if (r.warnEnabled && mag > r.warnPct) {
+            status = "WARN";
+            ++warned;
+        }
+        if (!quiet || std::strcmp(status, "ok") != 0)
+            std::printf("%-4s  %-48s  %14.6g -> %-14.6g  %+7.2f%%\n",
+                        status, path.c_str(), baseVal, curVal,
+                        deltaPct);
+    }
+    for (const auto &[path, baseStr] : base.strings) {
+        if (!selected(path))
+            continue;
+        const auto it = curStrings.find(path);
+        if (it == curStrings.end()) {
+            std::printf("WARN  %-48s  string missing from %s\n",
+                        path.c_str(), files[1].c_str());
+            ++warned;
+        } else if (it->second != baseStr) {
+            std::printf("WARN  %-48s  \"%s\" -> \"%s\"\n", path.c_str(),
+                        baseStr.c_str(), it->second.c_str());
+            ++warned;
+        }
+    }
+    // New metrics are informational: a regression gate cares about
+    // what the baseline had, not what the current run added.
+    unsigned added = 0;
+    for (const auto &[path, val] : cur.numbers) {
+        (void)val;
+        bool inBase = false;
+        for (const auto &[bpath, bval] : base.numbers) {
+            (void)bval;
+            if (bpath == path) {
+                inBase = true;
+                break;
+            }
+        }
+        if (!inBase && selected(path))
+            ++added;
+    }
+
+    std::printf("statdiff: %u compared, %u warned, %u failed", compared,
+                warned, failed);
+    if (added > 0)
+        std::printf(", %u new metric%s", added, added == 1 ? "" : "s");
+    std::printf("  [%s vs %s]\n", files[0].c_str(), files[1].c_str());
+    return failed > 0 ? 1 : 0;
+}
