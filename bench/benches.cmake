@@ -41,6 +41,15 @@ add_fig_bench(fig_chaos)
 add_test(NAME fig_chaos_smoke
          COMMAND fig_chaos --quick --out BENCH_chaos.json)
 
+# Virtual-memory campaign (TLB entries x page size x tenant count).
+# The smoke entry runs the scaled-down sweep and enforces the VM
+# layer's non-negotiable gate: an identity-mapped single-tenant
+# zero-cost-TLB run must be bit- and cycle-identical (events, sim_ps,
+# component stats, payload bytes) to the direct-physical path.
+add_fig_bench(fig_tlb)
+add_test(NAME fig_tlb_smoke
+         COMMAND fig_tlb --quick --out BENCH_tlb.json)
+
 # Engine wall-clock throughput harness (not a paper figure). The smoke
 # entry runs the scaled-down scenarios so a perf-harness regression
 # (crash, bad flag parsing, broken JSON) is caught by every ctest run.

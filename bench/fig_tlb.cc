@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Virtual-memory characterization bench: sweeps the DCE-side TLB
+ * (entries) x page size (4 KiB vs 2 MiB) x tenant count and reports
+ * TLB hit/miss/eviction counts, page-table-walk levels, and modeled
+ * translation time per configuration into BENCH_tlb.json.
+ *
+ * The bench also enforces the virtual-memory layer's non-negotiable
+ * gate: an identity-mapped single-tenant configuration with zero-cost
+ * translation timing must be bit- AND cycle-identical to the
+ * direct-physical descriptor path — same event count, same final
+ * simulated time, same component stats, same payload bytes. Any
+ * mismatch exits non-zero, so the gate runs on every ctest invocation
+ * via fig_tlb_smoke.
+ *
+ * Usage: fig_tlb [--quick] [--out <path>]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mmu/mmu.hh"
+#include "sim/system.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) / align * align;
+}
+
+/** FNV-1a over a byte range. */
+std::uint64_t
+fnv1a(std::uint64_t h, const std::uint8_t *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+// ----------------------------------------------------------------------
+// Identity gate.
+// ----------------------------------------------------------------------
+
+/**
+ * Canonical string of a System's component stats. The pim_mmu group's
+ * va_* counters are excluded: they only exist on the VA run and are
+ * pure observability (the gate separately proves every shared counter,
+ * the event count, and the clock agree).
+ */
+std::string
+statsFingerprint(sim::System &sys)
+{
+    std::ostringstream os;
+    auto dumpGroup = [&os](const stats::Group &g) {
+        os << "[" << g.name() << "]\n";
+        for (const auto &kv : g.counters()) {
+            if (kv.first.rfind("va_", 0) == 0)
+                continue;
+            os << "  " << kv.first << "=" << kv.second.value() << "\n";
+        }
+        for (const auto &kv : g.averages()) {
+            os << "  " << kv.first << " count=" << kv.second.count()
+               << " mean=" << kv.second.mean() << "\n";
+        }
+        for (const auto &kv : g.histograms()) {
+            os << "  " << kv.first << " total=" << kv.second.total()
+               << " mean=" << kv.second.mean() << "\n";
+        }
+    };
+    dumpGroup(sys.dce().stats());
+    dumpGroup(sys.pimMmu().stats());
+    dumpGroup(sys.pim().stats());
+    dumpGroup(sys.upmem().stats());
+    for (unsigned ch = 0; ch < sys.mem().dramChannels(); ++ch)
+        dumpGroup(sys.mem().dramController(ch).stats());
+    for (unsigned ch = 0; ch < sys.mem().pimChannels(); ++ch)
+        dumpGroup(sys.mem().pimController(ch).stats());
+    return os.str();
+}
+
+struct GateRun
+{
+    std::uint64_t events = 0;
+    Tick simPs = 0;
+    std::string stats;
+    std::uint64_t payloadHash = 0;
+};
+
+/**
+ * One round trip (DRAM->PIM then PIM->DRAM) driven by explicit
+ * descriptors. @p viaVa routes both ops through an identity-mapped
+ * single tenant with zero-cost translation; otherwise the descriptors
+ * carry physical addresses (the pre-MMU path).
+ */
+GateRun
+runGate(bool viaVa)
+{
+    const unsigned dpus = 64;
+    const std::uint64_t bytesPerDpu = 2 * kKiB;
+    const std::uint64_t total = std::uint64_t{dpus} * bytesPerDpu;
+
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    if (viaVa)
+        cfg.mmu.tlb = mmu::TlbConfig::zeroCost();
+    sim::System sys(cfg);
+
+    const Addr src = sys.allocDram(total, mmu::kPageBytes);
+    const Addr dst = sys.allocDram(total, mmu::kPageBytes);
+    const std::uint64_t heapBytes = roundUp(bytesPerDpu, mmu::kPageBytes);
+    // A tenant has ONE virtual address space spanning both memory
+    // regions, so the identity-mapped MRAM heap window must not
+    // collide with the identity-mapped host buffers near DRAM
+    // physical 0. Park the heap at 1 MiB into MRAM (both runs use the
+    // same offset, so the gate still compares like for like).
+    const Addr heapBase = 1 * kMiB;
+
+    mmu::TenantId tenant = mmu::kNoTenant;
+    if (viaVa) {
+        mmu::Mmu &m = sys.mmu();
+        tenant = m.createTenant();
+        auto must = [](const resilience::Status &st) {
+            if (!st.ok()) {
+                std::fprintf(stderr, "gate mapping failed: %s\n",
+                             st.str().c_str());
+                std::exit(1);
+            }
+        };
+        must(m.mapIdentity(tenant, src, total, mmu::kPageBytes,
+                           mmu::PagePerms::rw(),
+                           mapping::MemSpace::Dram));
+        must(m.mapIdentity(tenant, dst, total, mmu::kPageBytes,
+                           mmu::PagePerms::rw(),
+                           mapping::MemSpace::Dram));
+        must(m.mapIdentity(tenant, heapBase, heapBytes, mmu::kPageBytes,
+                           mmu::PagePerms::rw(),
+                           mapping::MemSpace::Pim));
+    }
+
+    // Deterministic source payload (functional writes: no events).
+    std::vector<std::uint8_t> pattern(total);
+    for (std::uint64_t i = 0; i < total; ++i)
+        pattern[i] = static_cast<std::uint8_t>(i * 131 + (i >> 9));
+    sys.mem().store().write(src, pattern.data(), pattern.size());
+
+    auto makeOp = [&](core::XferDirection dir, Addr base) {
+        core::PimMmuOp op;
+        op.type = dir;
+        op.sizePerPim = bytesPerDpu;
+        op.pimBaseHeapPtr = heapBase;
+        op.tenant = tenant;
+        for (unsigned i = 0; i < dpus; ++i) {
+            op.pimIdArr.push_back(i);
+            op.dramAddrArr.push_back(base +
+                                     std::uint64_t{i} * bytesPerDpu);
+        }
+        return op;
+    };
+    for (const auto &st :
+         {sys.runTransfer(makeOp(core::XferDirection::DramToPim, src))
+              .status,
+          sys.runTransfer(makeOp(core::XferDirection::PimToDram, dst))
+              .status}) {
+        if (!st.ok()) {
+            std::fprintf(stderr, "gate transfer failed: %s\n",
+                         st.str().c_str());
+            std::exit(1);
+        }
+    }
+
+    GateRun run;
+    run.events = sys.eq().executed();
+    run.simPs = sys.eq().now();
+    run.stats = statsFingerprint(sys);
+    std::vector<std::uint8_t> buf(total);
+    sys.mem().store().read(dst, buf.data(), buf.size());
+    run.payloadHash = fnv1a(0xcbf29ce484222325ull, buf.data(),
+                            buf.size());
+    buf.resize(bytesPerDpu);
+    for (unsigned i = 0; i < dpus; ++i) {
+        sys.pim().dpu(i).mramRead(heapBase, buf.data(), bytesPerDpu);
+        run.payloadHash = fnv1a(run.payloadHash, buf.data(),
+                                bytesPerDpu);
+    }
+    return run;
+}
+
+/** @return true when the identity gate holds. */
+bool
+identityGate(std::ostringstream &json)
+{
+    const GateRun phys = runGate(false);
+    const GateRun va = runGate(true);
+
+    bool pass = true;
+    auto check = [&pass](const char *what, std::uint64_t a,
+                         std::uint64_t b) {
+        if (a != b) {
+            std::fprintf(stderr,
+                         "identity gate FAILED: %s differ "
+                         "(physical=%llu, va=%llu)\n",
+                         what, static_cast<unsigned long long>(a),
+                         static_cast<unsigned long long>(b));
+            pass = false;
+        }
+    };
+    check("event counts", phys.events, va.events);
+    check("sim_ps", phys.simPs, va.simPs);
+    check("payload hashes", phys.payloadHash, va.payloadHash);
+    if (phys.stats != va.stats) {
+        std::fprintf(stderr,
+                     "identity gate FAILED: stats fingerprints "
+                     "differ\n--- physical ---\n%s--- va ---\n%s",
+                     phys.stats.c_str(), va.stats.c_str());
+        pass = false;
+    }
+    std::printf("identity gate: %s (events=%llu sim_ps=%llu)\n",
+                pass ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(phys.events),
+                static_cast<unsigned long long>(phys.simPs));
+    json << "  \"identity_gate\": {\"pass\": "
+         << (pass ? "true" : "false")
+         << ", \"events\": " << phys.events
+         << ", \"sim_ps\": " << phys.simPs << "},\n";
+    return pass;
+}
+
+// ----------------------------------------------------------------------
+// TLB sweep.
+// ----------------------------------------------------------------------
+
+struct SweepPoint
+{
+    unsigned entries = 0;
+    std::uint64_t pageBytes = 0;
+    unsigned tenants = 0;
+
+    std::uint64_t tlbHits = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t tlbEvictions = 0;
+    std::uint64_t walkLevels = 0;
+    std::uint64_t xlatPs = 0;
+    std::uint64_t transfers = 0;
+    Tick simPs = 0;
+};
+
+SweepPoint
+runSweepPoint(bool quick, unsigned entries, std::uint64_t pageBytes,
+              unsigned tenants)
+{
+    const unsigned dpus = quick ? 64 : 256;
+    const std::uint64_t bytesPerDpu = quick ? 2 * kKiB : 8 * kKiB;
+    const unsigned rounds = quick ? 2 : 3;
+    const std::uint64_t total = std::uint64_t{dpus} * bytesPerDpu;
+
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    cfg.mmu.tlb.entries = entries;
+    cfg.mmu.tlb.ways = 4;
+    sim::System sys(cfg);
+    mmu::Mmu &m = sys.mmu();
+
+    auto must = [](const resilience::Status &st) {
+        if (!st.ok()) {
+            std::fprintf(stderr, "sweep mapping failed: %s\n",
+                         st.str().c_str());
+            std::exit(1);
+        }
+    };
+
+    // Every tenant maps the SAME virtual window (tenants are separate
+    // address spaces) onto its own physical buffer, and heap VA 0 onto
+    // its own slice of MRAM — so concurrent tenants compete for the
+    // tagged TLB without ever sharing a translation.
+    const Addr vaBase = Addr{1} << 44;
+    const std::uint64_t mapBytes = roundUp(total, pageBytes);
+    const std::uint64_t heapBytes =
+        roundUp(bytesPerDpu, mmu::kPageBytes);
+    std::vector<mmu::TenantId> ids;
+    for (unsigned t = 0; t < tenants; ++t) {
+        const mmu::TenantId id = m.createTenant();
+        const Addr pa = sys.allocDram(mapBytes, pageBytes);
+        must(m.map(id, vaBase, pa, mapBytes, pageBytes,
+                   mmu::PagePerms::rw(), mapping::MemSpace::Dram));
+        must(m.map(id, 0, std::uint64_t{t} * heapBytes, heapBytes,
+                   mmu::kPageBytes, mmu::PagePerms::rw(),
+                   mapping::MemSpace::Pim));
+        ids.push_back(id);
+    }
+
+    SweepPoint pt;
+    pt.entries = entries;
+    pt.pageBytes = pageBytes;
+    pt.tenants = tenants;
+    for (unsigned round = 0; round < rounds; ++round) {
+        for (unsigned t = 0; t < tenants; ++t) {
+            core::PimMmuOp op;
+            op.type = core::XferDirection::DramToPim;
+            op.sizePerPim = bytesPerDpu;
+            op.pimBaseHeapPtr = 0;
+            op.tenant = ids[t];
+            for (unsigned i = 0; i < dpus; ++i) {
+                op.pimIdArr.push_back(i);
+                op.dramAddrArr.push_back(
+                    vaBase + std::uint64_t{i} * bytesPerDpu);
+            }
+            const auto st = sys.runTransfer(std::move(op));
+            if (!st.ok()) {
+                std::fprintf(stderr, "sweep transfer failed: %s\n",
+                             st.status.str().c_str());
+                std::exit(1);
+            }
+            ++pt.transfers;
+        }
+    }
+
+    pt.tlbHits = m.tlb().hits();
+    pt.tlbMisses = m.tlb().misses();
+    pt.tlbEvictions = m.tlb().evictions();
+    pt.walkLevels = m.tlb().walkLevels();
+    pt.xlatPs = m.stats().counterValue("walk_ps");
+    pt.simPs = sys.eq().now();
+    return pt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string outPath = "BENCH_tlb.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("TLB sweep (%s mode)\n", quick ? "quick" : "full");
+
+    std::ostringstream json;
+    json << "{\n  \"schema\": \"pim-mmu-bench-tlb-v1\",\n";
+    json << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+
+    if (!identityGate(json))
+        return 1;
+
+    const std::vector<unsigned> entrySweep =
+        quick ? std::vector<unsigned>{8, 32}
+              : std::vector<unsigned>{8, 32, 128};
+    const std::vector<std::uint64_t> pageSweep{mmu::kPageBytes,
+                                               mmu::kHugePageBytes};
+    const std::vector<unsigned> tenantSweep =
+        quick ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4};
+
+    json << "  \"points\": [\n";
+    bool first = true;
+    for (unsigned entries : entrySweep) {
+        for (std::uint64_t pageBytes : pageSweep) {
+            for (unsigned tenants : tenantSweep) {
+                const SweepPoint pt =
+                    runSweepPoint(quick, entries, pageBytes, tenants);
+                std::printf(
+                    "  tlb=%3u page=%4lluK tenants=%u  hits=%llu "
+                    "misses=%llu evict=%llu walk_levels=%llu "
+                    "xlat_us=%.2f\n",
+                    pt.entries,
+                    static_cast<unsigned long long>(pt.pageBytes /
+                                                    kKiB),
+                    pt.tenants,
+                    static_cast<unsigned long long>(pt.tlbHits),
+                    static_cast<unsigned long long>(pt.tlbMisses),
+                    static_cast<unsigned long long>(pt.tlbEvictions),
+                    static_cast<unsigned long long>(pt.walkLevels),
+                    static_cast<double>(pt.xlatPs) / 1e6);
+                if (!first)
+                    json << ",\n";
+                first = false;
+                json << "    {\"tlb_entries\": " << pt.entries
+                     << ", \"page_bytes\": " << pt.pageBytes
+                     << ", \"tenants\": " << pt.tenants
+                     << ", \"transfers\": " << pt.transfers
+                     << ", \"tlb_hits\": " << pt.tlbHits
+                     << ", \"tlb_misses\": " << pt.tlbMisses
+                     << ", \"tlb_evictions\": " << pt.tlbEvictions
+                     << ", \"walk_levels\": " << pt.walkLevels
+                     << ", \"xlat_ps\": " << pt.xlatPs
+                     << ", \"sim_ps\": " << pt.simPs << "}";
+            }
+        }
+    }
+    json << "\n  ]\n}\n";
+
+    std::ofstream os(outPath);
+    if (!os || !(os << json.str())) {
+        std::fprintf(stderr, "failed to write %s\n", outPath.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", outPath.c_str());
+    return 0;
+}

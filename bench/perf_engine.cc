@@ -9,6 +9,9 @@
  * Scenarios:
  *   xfer_sw  - Fig. 6(a): software DRAM->PIM transfer, Base design
  *   xfer_mmu - Fig. 6(c): PIM-MMU DRAM->PIM transfer, BaseDHP design
+ *   xfer_vm  - xfer_mmu submitted by virtual address through a tenant
+ *              with zero-cost translation; asserted event- and
+ *              cycle-identical to xfer_mmu before the JSON is written
  *   va       - Fig. 16 VA workload, both transfer directions, BaseDHP
  *   memcpy   - Fig. 14-style DRAM->DRAM memcpy, BaseDHP design
  *
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "mmu/mmu.hh"
 #include "sim/system.hh"
 #include "workloads/prim.hh"
 
@@ -170,6 +174,58 @@ main(int argc, char **argv)
             r.simPs = sys.eq().now();
         }));
 
+    results.push_back(runScenario(
+        "xfer_vm", reps, [&](ScenarioResult &r) {
+            sim::SystemConfig cfg = sim::SystemConfig::paperTable1(
+                sim::DesignPoint::BaseDHP);
+            cfg.mmu.tlb = mmu::TlbConfig::zeroCost();
+            sim::System sys(cfg);
+            // Same single host allocation runTransfer(dir, ...) makes
+            // internally in xfer_mmu, so the physical addresses match.
+            const std::uint64_t total =
+                std::uint64_t{dpus} * xferBytes;
+            const Addr pa = sys.allocDram(total);
+            auto roundUpPage = [](std::uint64_t v) {
+                return (v + mmu::kPageBytes - 1) / mmu::kPageBytes *
+                       mmu::kPageBytes;
+            };
+            mmu::Mmu &m = sys.mmu();
+            const mmu::TenantId tenant = m.createTenant();
+            const Addr vaBase = Addr{1} << 44;
+            const Addr heapVa = Addr{1} << 45;
+            for (const auto &st :
+                 {m.map(tenant, vaBase, pa, roundUpPage(total),
+                        mmu::kPageBytes, mmu::PagePerms::rw(),
+                        mapping::MemSpace::Dram),
+                  m.map(tenant, heapVa, 0, roundUpPage(xferBytes),
+                        mmu::kPageBytes, mmu::PagePerms::rw(),
+                        mapping::MemSpace::Pim)}) {
+                if (!st.ok()) {
+                    std::fprintf(stderr, "xfer_vm mapping failed: %s\n",
+                                 st.str().c_str());
+                    std::exit(1);
+                }
+            }
+            core::PimMmuOp op;
+            op.type = core::XferDirection::DramToPim;
+            op.sizePerPim = xferBytes;
+            op.pimBaseHeapPtr = heapVa;
+            op.tenant = tenant;
+            for (unsigned i = 0; i < dpus; ++i) {
+                op.pimIdArr.push_back(i);
+                op.dramAddrArr.push_back(
+                    vaBase + std::uint64_t{i} * xferBytes);
+            }
+            const auto st = sys.runTransfer(std::move(op));
+            if (!st.ok()) {
+                std::fprintf(stderr, "xfer_vm transfer failed: %s\n",
+                             st.status.str().c_str());
+                std::exit(1);
+            }
+            r.events = sys.eq().executed();
+            r.simPs = sys.eq().now();
+        }));
+
     results.push_back(runScenario("va", reps, [&](ScenarioResult &r) {
         const workloads::PrimWorkload &w = workloads::primWorkload("VA");
         const std::uint64_t inB =
@@ -192,6 +248,34 @@ main(int argc, char **argv)
             r.events = sys.eq().executed();
             r.simPs = sys.eq().now();
         }));
+
+    // Identity assertion: virtual submission with zero-cost
+    // translation must not perturb the engine — same events, same
+    // final simulated time as the physical xfer_mmu scenario.
+    {
+        const ScenarioResult *mmuR = nullptr;
+        const ScenarioResult *vmR = nullptr;
+        for (const ScenarioResult &r : results) {
+            if (r.name == "xfer_mmu")
+                mmuR = &r;
+            else if (r.name == "xfer_vm")
+                vmR = &r;
+        }
+        if (mmuR == nullptr || vmR == nullptr ||
+            mmuR->events != vmR->events || mmuR->simPs != vmR->simPs) {
+            std::fprintf(
+                stderr,
+                "xfer_vm is not identical to xfer_mmu: "
+                "events %llu vs %llu, sim_ps %llu vs %llu\n",
+                static_cast<unsigned long long>(mmuR ? mmuR->events
+                                                     : 0),
+                static_cast<unsigned long long>(vmR ? vmR->events : 0),
+                static_cast<unsigned long long>(mmuR ? mmuR->simPs
+                                                     : 0),
+                static_cast<unsigned long long>(vmR ? vmR->simPs : 0));
+            return 1;
+        }
+    }
 
     std::uint64_t totalEvents = 0;
     double totalWall = 0;

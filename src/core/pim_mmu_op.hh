@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "mmu/mmu_types.hh"
 
 namespace pimmmu {
 namespace core {
@@ -45,6 +46,17 @@ struct PimMmuOp
 
     /** Byte offset into each DPU's MRAM heap (8-byte aligned). */
     Addr pimBaseHeapPtr = 0;
+
+    /**
+     * Address-space handle. kNoTenant (the default) means the
+     * addresses above are physical and the op takes the legacy
+     * direct-physical path, bit- and cycle-identical to pre-MMU
+     * builds. Any other value makes dramAddrArr virtual addresses in
+     * the tenant's DRAM-region VMAs and pimBaseHeapPtr a virtual
+     * offset in a PIM-region VMA; the runtime resolves both through
+     * the DCE-side TLB before bank grouping.
+     */
+    mmu::TenantId tenant = mmu::kNoTenant;
 };
 
 } // namespace core

@@ -17,9 +17,10 @@ namespace core {
 PimMmuRuntime::PimMmuRuntime(EventQueue &eq, Dce &dce,
                              dram::MemorySystem &mem,
                              device::PimDevice &pim,
-                             resilience::Manager *res)
+                             resilience::Manager *res,
+                             const mmu::MmuConfig &mmuCfg)
     : eq_(eq), dce_(dce), mem_(mem), pim_(pim), res_(res),
-      stats_("pim_mmu")
+      mmuCfg_(mmuCfg), stats_("pim_mmu")
 {
     timelineTrack_ = telemetry::Timeline::global().track("pim-mmu");
     telemetry::StatsRegistry::global().add(stats_);
@@ -92,11 +93,73 @@ PimMmuRuntime::transfer(const PimMmuOp &op,
         fatal("pim_mmu_transfer rejected: ", status.str());
 }
 
+mmu::Mmu &
+PimMmuRuntime::mmu()
+{
+    if (!mmu_)
+        mmu_ = std::make_unique<mmu::Mmu>(mmuCfg_);
+    return *mmu_;
+}
+
+resilience::Status
+PimMmuRuntime::resolveVirtual(PimMmuOp &op, Tick &xlatPs)
+{
+    if (op.type == XferDirection::DramToDram) {
+        return resilience::Status::failure(
+            resilience::ErrorCode::MalformedDescriptor,
+            "virtual addressing covers DRAM<->PIM transfers only");
+    }
+    const bool toPim = op.type == XferDirection::DramToPim;
+    mmu::Mmu &m = mmu();
+    mmu::Translation xl;
+    // Host side: each per-DPU array resolves independently (the
+    // descriptor needs physical contiguity per stream, not across
+    // streams). Dispatch trusts the VMA's declared region: a range
+    // whose VMA says MemSpace::Pim is rejected here instead of being
+    // re-tested against raw physical bounds downstream.
+    for (std::size_t i = 0; i < op.dramAddrArr.size(); ++i) {
+        auto st = m.translateRange(
+            op.tenant, op.dramAddrArr[i], op.sizePerPim,
+            toPim ? mmu::Access::Read : mmu::Access::Write,
+            mapping::MemSpace::Dram, xl);
+        if (!st.ok())
+            return st;
+        op.dramAddrArr[i] = xl.paddr;
+        xlatPs += xl.modeledPs;
+    }
+    // Device side: the MRAM heap window is one shared VA range (the
+    // same offset lands in every listed DPU's heap).
+    auto st = m.translateRange(op.tenant, op.pimBaseHeapPtr,
+                               op.sizePerPim,
+                               toPim ? mmu::Access::Write
+                                     : mmu::Access::Read,
+                               mapping::MemSpace::Pim, xl);
+    if (!st.ok())
+        return st;
+    op.pimBaseHeapPtr = xl.paddr;
+    xlatPs += xl.modeledPs;
+    op.tenant = mmu::kNoTenant;
+    return resilience::Status{};
+}
+
 resilience::Status
 PimMmuRuntime::transferChecked(const PimMmuOp &op,
                                CompletionFn onComplete)
 {
     PimMmuOp effective = op;
+    Tick xlatPs = 0;
+    if (effective.tenant != mmu::kNoTenant) {
+        const auto resolved = resolveVirtual(effective, xlatPs);
+        if (!resolved.ok()) {
+            stats_.counter("va_rejected") += 1;
+            PIMMMU_TRACE_LOG(trace::Category::Xfer, eq_.now(),
+                             "pim_mmu_transfer VA rejected: "
+                                 << resolved.str());
+            return resolved;
+        }
+        stats_.counter("va_transfers") += 1;
+        stats_.counter("va_xlat_ps") += xlatPs;
+    }
     if (res_ && res_->policy().maskFailedDpus) {
         // Probe PIM-core and correlated rank/channel failures first,
         // then excise every core on an out-of-service bank from the
@@ -147,6 +210,8 @@ PimMmuRuntime::transferChecked(const PimMmuOp &op,
     ctx->calledAt = eq_.now();
     ctx->callId = nextCallId_++;
     ctx->onComplete = std::move(onComplete);
+    ctx->tenant = op.tenant;
+    ctx->xlatPs = xlatPs;
     auto &rec = telemetry::attribution::Recorder::global();
     if (rec.enabled()) {
         // The record spans the whole call, including retries; it opens
@@ -200,8 +265,16 @@ PimMmuRuntime::runAttempt(const std::shared_ptr<CallCtx> &ctx)
     // Driver: write the op through the MMIO BAR (doorbell), then start
     // the engine; completion raises an interrupt the driver services
     // before waking the requesting process.
+    //
+    // A virtually addressed op pays its TLB/walk time here, folded
+    // into the doorbell delay (no extra event, so a zero-cost
+    // translation stays event- and cycle-identical to the physical
+    // path). Retries re-ring with the already-resolved descriptor and
+    // pay nothing again.
     const DceConfig &cfg = dce_.config();
-    eq_.scheduleAfter(cfg.mmioDoorbellPs, [this, ctx, dataOk] {
+    const Tick xlatDelay = ctx->xlatCharged ? 0 : ctx->xlatPs;
+    eq_.scheduleAfter(cfg.mmioDoorbellPs + xlatDelay, [this, ctx,
+                                                       dataOk] {
         auto &tl = telemetry::Timeline::global();
         if (tl.enabled()) {
             tl.instant(timelineTrack_,
@@ -225,6 +298,20 @@ PimMmuRuntime::runAttempt(const std::shared_ptr<CallCtx> &ctx)
             });
         PIMMMU_ASSERT(accepted.ok(),
                       "pre-validated descriptor rejected");
+        if (!ctx->xlatCharged) {
+            ctx->xlatCharged = true;
+            if (ctx->xlatPs > 0) {
+                // The doorbell-to-here window (Preprocess) absorbed
+                // the translation delay above; carve exactly that
+                // much into the TlbWalk bucket so the stage sum stays
+                // conserved.
+                telemetry::attribution::Recorder::global().carve(
+                    ctx->attribId,
+                    telemetry::attribution::Stage::Preprocess,
+                    telemetry::attribution::Stage::TlbWalk,
+                    ctx->xlatPs);
+            }
+        }
     });
 }
 

@@ -18,6 +18,7 @@
 #include "core/dce.hh"
 #include "cpu/cpu.hh"
 #include "cpu/thread.hh"
+#include "mmu/mmu.hh"
 #include "pim/host_transfer.hh"
 #include "pim/pim_device.hh"
 
@@ -35,7 +36,8 @@ class PimMmuRuntime
 
     PimMmuRuntime(EventQueue &eq, Dce &dce, dram::MemorySystem &mem,
                   device::PimDevice &pim,
-                  resilience::Manager *res = nullptr);
+                  resilience::Manager *res = nullptr,
+                  const mmu::MmuConfig &mmuCfg = mmu::MmuConfig{});
 
     ~PimMmuRuntime();
 
@@ -89,6 +91,16 @@ class PimMmuRuntime
     Dce &dce() { return dce_; }
     stats::Group &stats() { return stats_; }
 
+    /**
+     * The translation layer, instantiated on first use so purely
+     * physical runs carry no MMU state (and no "mmu" stats group) at
+     * all. Map tenants' VMAs here, then submit ops with op.tenant set.
+     */
+    mmu::Mmu &mmu();
+
+    /** Non-instantiating peek (nullptr until mmu() was called). */
+    const mmu::Mmu *mmuIfPresent() const { return mmu_.get(); }
+
   private:
     /** State shared across the (possibly retried) attempts of a call. */
     struct CallCtx
@@ -103,9 +115,25 @@ class PimMmuRuntime
         CompletionFn onComplete;
         /** Accounting of the most recent attempt's guard. */
         std::uint64_t lastUncorrectedWords = 0;
+        /** Submitting tenant (kNoTenant on the physical path). */
+        mmu::TenantId tenant = mmu::kNoTenant;
+        /** Modeled TLB + walk time resolving the op's addresses. */
+        Tick xlatPs = 0;
+        /** Translation time is charged once, on the first doorbell
+         *  (retries re-ring with an already-resolved descriptor). */
+        bool xlatCharged = false;
     };
 
     void validate(const PimMmuOp &op) const;
+
+    /**
+     * Resolve a virtually addressed op in place: every dramAddrArr
+     * entry through the tenant's DRAM-region VMAs and pimBaseHeapPtr
+     * through a PIM-region VMA, accumulating modeled TLB/walk time
+     * into @p xlatPs. On success the op is physical (tenant cleared).
+     */
+    resilience::Status resolveVirtual(PimMmuOp &op, Tick &xlatPs);
+
     void runAttempt(const std::shared_ptr<CallCtx> &ctx);
     void onAttemptDone(const std::shared_ptr<CallCtx> &ctx, bool dataOk,
                        const resilience::Status &dceStatus);
@@ -117,6 +145,8 @@ class PimMmuRuntime
     dram::MemorySystem &mem_;
     device::PimDevice &pim_;
     resilience::Manager *res_;
+    mmu::MmuConfig mmuCfg_;
+    std::unique_ptr<mmu::Mmu> mmu_;
     std::uint64_t nextCallId_ = 0;
     unsigned timelineTrack_ = 0;
     stats::Group stats_;

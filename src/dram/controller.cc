@@ -599,9 +599,19 @@ MemoryController::tick()
             writeMode_ = false;
         }
     } else {
+        // The write queue is filled by push_back and drained by
+        // positional erase, so it stays sorted by enqueue time and
+        // front() is always the oldest write for the aging check.
+        const bool writeStarving =
+            !writeQueue_.empty() &&
+            eq_.now() >= writeQueue_.front().enqueuedAt +
+                             timing_.cyclesToPs(
+                                 config_.writeStarvationCycles);
         if (writeQueue_.size() >= config_.writeHighWatermark ||
-            readQueue_.empty()) {
+            readQueue_.empty() || writeStarving) {
             writeMode_ = !writeQueue_.empty();
+            if (writeStarving)
+                ++stats_.counter("write_starvation_drains");
         }
     }
     if (writeMode_ != prevMode)

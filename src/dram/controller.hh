@@ -44,6 +44,11 @@ struct ControllerConfig
     unsigned writeQueueDepth = 64;
     unsigned writeHighWatermark = 48;
     unsigned writeLowWatermark = 16;
+    /** Force write-drain mode once the oldest queued write has waited
+     *  this many DRAM cycles. Without aging, a continuous read stream
+     *  (the watermark never reached, the read queue never empty)
+     *  starves a small write burst forever. */
+    unsigned writeStarvationCycles = 8192;
     SchedPolicy policy = SchedPolicy::FrFcfs;
     bool refreshEnabled = true;
 };

@@ -1,0 +1,303 @@
+#include "mmu/mmu.hh"
+
+#include <sstream>
+
+#include "telemetry/stats_registry.hh"
+#include "testing/fault_injection.hh"
+
+namespace pimmmu {
+namespace mmu {
+
+namespace {
+
+const char *
+spaceName(mapping::MemSpace space)
+{
+    return space == mapping::MemSpace::Pim ? "pim" : "dram";
+}
+
+std::size_t
+spaceIdx(mapping::MemSpace space)
+{
+    return space == mapping::MemSpace::Pim ? 1 : 0;
+}
+
+const char *
+faultCounter(resilience::ErrorCode code)
+{
+    switch (code) {
+      case resilience::ErrorCode::UnmappedPage:
+        return "fault_unmapped";
+      case resilience::ErrorCode::PermissionDenied:
+        return "fault_permission";
+      case resilience::ErrorCode::TenantIsolation:
+        return "fault_tenant";
+      case resilience::ErrorCode::RegionMismatch:
+        return "fault_region";
+      default:
+        return "fault_other";
+    }
+}
+
+} // namespace
+
+Mmu::Mmu(const MmuConfig &config)
+    : config_(config), tlb_(config.tlb), stats_("mmu")
+{
+    telemetry::StatsRegistry::global().add(stats_);
+}
+
+Mmu::~Mmu()
+{
+    telemetry::StatsRegistry::global().remove(stats_);
+}
+
+Mmu::Tenant *
+Mmu::find(TenantId tenant)
+{
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+const Mmu::Tenant *
+Mmu::find(TenantId tenant) const
+{
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+resilience::Status
+Mmu::fault(resilience::ErrorCode code, const std::string &detail)
+{
+    stats_.counter("faults") += 1;
+    stats_.counter(faultCounter(code)) += 1;
+    return resilience::Status::failure(code, detail);
+}
+
+TenantId
+Mmu::createTenant()
+{
+    const TenantId id = nextTenant_++;
+    tenants_.emplace(id, std::make_unique<Tenant>());
+    stats_.counter("tenants") += 1;
+    return id;
+}
+
+bool
+Mmu::hasTenant(TenantId tenant) const
+{
+    return find(tenant) != nullptr;
+}
+
+bool
+Mmu::claimConflicts(mapping::MemSpace space, Addr pa,
+                    std::uint64_t bytes, TenantId tenant,
+                    TenantId &ownerOut) const
+{
+    const auto &claims = owned_[spaceIdx(space)];
+    auto it = claims.upper_bound(pa);
+    if (it != claims.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end > pa) {
+            ownerOut = prev->second.tenant;
+            return true;
+        }
+    }
+    if (it != claims.end() && it->first < pa + bytes) {
+        ownerOut = it->second.tenant;
+        return true;
+    }
+    (void)tenant;
+    return false;
+}
+
+resilience::Status
+Mmu::map(TenantId tenant, Addr va, Addr pa, std::uint64_t bytes,
+         std::uint64_t pageBytes, PagePerms perms,
+         mapping::MemSpace space)
+{
+    Tenant *t = find(tenant);
+    if (t == nullptr) {
+        std::ostringstream os;
+        os << "map: unknown tenant " << tenant;
+        return fault(resilience::ErrorCode::TenantIsolation, os.str());
+    }
+    TenantId owner = kNoTenant;
+    if (claimConflicts(space, pa, bytes, tenant, owner)) {
+        std::ostringstream os;
+        os << "map: " << spaceName(space) << " physical range [0x"
+           << std::hex << pa << ", 0x" << pa + bytes << std::dec
+           << ") already owned by tenant " << owner;
+        return fault(owner == tenant
+                         ? resilience::ErrorCode::MalformedDescriptor
+                         : resilience::ErrorCode::TenantIsolation,
+                     os.str());
+    }
+    const std::string why =
+        t->table.map(va, pa, bytes, pageBytes, perms, space);
+    if (!why.empty()) {
+        return fault(resilience::ErrorCode::MalformedDescriptor,
+                     "map: " + why);
+    }
+    owned_[spaceIdx(space)][pa] = Owner{pa + bytes, tenant};
+    Vma vma;
+    vma.vaBase = va;
+    vma.paBase = pa;
+    vma.bytes = bytes;
+    vma.pageBytes = pageBytes;
+    vma.perms = perms;
+    vma.space = space;
+    t->vmasByVa[va] = vma;
+    stats_.counter("vmas_mapped") += 1;
+    stats_.counter("pages_mapped") += bytes / pageBytes;
+    return resilience::Status{};
+}
+
+resilience::Status
+Mmu::mapIdentity(TenantId tenant, Addr base, std::uint64_t bytes,
+                 std::uint64_t pageBytes, PagePerms perms,
+                 mapping::MemSpace space)
+{
+    return map(tenant, base, base, bytes, pageBytes, perms, space);
+}
+
+resilience::Status
+Mmu::unmap(TenantId tenant, Addr va, std::uint64_t bytes)
+{
+    Tenant *t = find(tenant);
+    if (t == nullptr) {
+        std::ostringstream os;
+        os << "unmap: unknown tenant " << tenant;
+        return fault(resilience::ErrorCode::TenantIsolation, os.str());
+    }
+    auto it = t->vmasByVa.find(va);
+    if (it == t->vmasByVa.end() || it->second.bytes != bytes) {
+        return fault(resilience::ErrorCode::MalformedDescriptor,
+                     "unmap: range is not a whole mapped VMA");
+    }
+    const std::string why = t->table.unmap(va, bytes);
+    if (!why.empty()) {
+        return fault(resilience::ErrorCode::MalformedDescriptor,
+                     "unmap: " + why);
+    }
+    owned_[spaceIdx(it->second.space)].erase(it->second.paBase);
+    t->vmasByVa.erase(it);
+    tlb_.flushTenant(tenant);
+    stats_.counter("vmas_unmapped") += 1;
+    return resilience::Status{};
+}
+
+resilience::Status
+Mmu::translateRange(TenantId tenant, Addr va, std::uint64_t bytes,
+                    Access access, mapping::MemSpace expected,
+                    Translation &out)
+{
+    out = Translation{};
+    out.space = expected;
+    const Tenant *t = find(tenant);
+    if (t == nullptr) {
+        std::ostringstream os;
+        os << "translate: unknown tenant " << tenant
+           << " (cross-tenant or stale handle)";
+        return fault(resilience::ErrorCode::TenantIsolation, os.str());
+    }
+    if (bytes == 0) {
+        return fault(resilience::ErrorCode::MalformedDescriptor,
+                     "translate: empty range");
+    }
+
+    const std::uint64_t hitsBefore = tlb_.hits();
+    const std::uint64_t evictionsBefore = tlb_.evictions();
+    const std::uint64_t levelsBefore = tlb_.walkLevels();
+
+    auto bookTlb = [&] {
+        stats_.counter("tlb_hits") += tlb_.hits() - hitsBefore;
+        stats_.counter("tlb_misses") +=
+            out.pagesTouched - (tlb_.hits() - hitsBefore);
+        stats_.counter("tlb_evictions") +=
+            tlb_.evictions() - evictionsBefore;
+        stats_.counter("walk_levels") +=
+            tlb_.walkLevels() - levelsBefore;
+        stats_.counter("walk_ps") += out.modeledPs;
+    };
+
+    const Addr end = va + bytes;
+    Addr pos = va;
+    Addr expectPa = kAddrInvalid;
+    while (pos < end) {
+        const TlbResult r = tlb_.lookup(tenant, pos, t->table);
+        out.modeledPs += r.modeledPs;
+        ++out.pagesTouched;
+        if (!r.leaf.mapped) {
+            bookTlb();
+            std::ostringstream os;
+            os << "translate: tenant " << tenant << " va 0x"
+               << std::hex << pos << std::dec << " unmapped";
+            return fault(resilience::ErrorCode::UnmappedPage,
+                         os.str());
+        }
+        if ((access == Access::Read && !r.leaf.perms.read) ||
+            (access == Access::Write && !r.leaf.perms.write)) {
+            bookTlb();
+            std::ostringstream os;
+            os << "translate: tenant " << tenant << " va 0x"
+               << std::hex << pos << std::dec << " lacks "
+               << (access == Access::Read ? "read" : "write")
+               << " permission";
+            return fault(resilience::ErrorCode::PermissionDenied,
+                         os.str());
+        }
+        if (r.leaf.space != expected) {
+            bookTlb();
+            std::ostringstream os;
+            os << "translate: tenant " << tenant << " va 0x"
+               << std::hex << pos << std::dec << " maps into the "
+               << spaceName(r.leaf.space) << " region, but the "
+               << "descriptor dispatches it as "
+               << spaceName(expected);
+            return fault(resilience::ErrorCode::RegionMismatch,
+                         os.str());
+        }
+        const Addr pageOff = pos & (r.leaf.pageBytes - 1);
+        const Addr pa = r.leaf.pageBase + pageOff;
+        if (expectPa == kAddrInvalid) {
+            out.paddr = pa;
+        } else if (pa != expectPa) {
+            bookTlb();
+            std::ostringstream os;
+            os << "translate: tenant " << tenant << " range at va 0x"
+               << std::hex << va << std::dec
+               << " is not physically contiguous";
+            return fault(resilience::ErrorCode::MalformedDescriptor,
+                         os.str());
+        }
+        const Addr step =
+            std::min<Addr>(r.leaf.pageBytes - pageOff, end - pos);
+        expectPa = pa + step;
+        pos += step;
+    }
+    // Fault site: silently corrupt the resolved physical base. The
+    // translation property (golden software walk vs. the TLB path)
+    // must catch this, proving it is non-vacuous.
+    if (testing::fault::fire("mmu.corrupt_translation"))
+        out.paddr ^= kPageBytes;
+    bookTlb();
+    stats_.counter("translations") += 1;
+    stats_.counter("pages_translated") += out.pagesTouched;
+    return resilience::Status{};
+}
+
+std::vector<Vma>
+Mmu::vmas(TenantId tenant) const
+{
+    std::vector<Vma> result;
+    if (const Tenant *t = find(tenant)) {
+        result.reserve(t->vmasByVa.size());
+        for (const auto &kv : t->vmasByVa)
+            result.push_back(kv.second);
+    }
+    return result;
+}
+
+} // namespace mmu
+} // namespace pimmmu

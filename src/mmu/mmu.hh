@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The virtual-memory front-end of the PIM-MMU: per-tenant page tables
+ * over the shared physical space, a DCE-side TLB with modeled
+ * hit/miss/page-table-walk timing, and a physical-ownership registry
+ * that keeps tenants' mappings disjoint.
+ *
+ * Tenants map VA windows onto either HetMap region:
+ *  - MemSpace::Dram VMAs cover host (DRAM physical) buffers;
+ *  - MemSpace::Pim VMAs cover per-DPU MRAM heap offsets.
+ * A transfer descriptor submitted by VA resolves through
+ * translateRange() before bank grouping; downstream dispatch trusts
+ * the VMA's region instead of re-testing the raw physical range.
+ *
+ * Translation failures are structured resilience::Status codes
+ * (UnmappedPage / PermissionDenied / TenantIsolation / RegionMismatch),
+ * never asserts: a tenant handing the driver a bad pointer must not be
+ * able to take the simulator down.
+ */
+
+#ifndef PIMMMU_MMU_MMU_HH
+#define PIMMMU_MMU_MMU_HH
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mmu/tlb.hh"
+#include "resilience/status.hh"
+
+namespace pimmmu {
+namespace mmu {
+
+/** Everything needed to stand the translation layer up. */
+struct MmuConfig
+{
+    TlbConfig tlb;
+};
+
+/** One mapped VA window of a tenant (its VMA record). */
+struct Vma
+{
+    Addr vaBase = 0;
+    Addr paBase = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t pageBytes = kPageBytes;
+    PagePerms perms;
+    mapping::MemSpace space = mapping::MemSpace::Dram;
+};
+
+/** Resolved form of one contiguous VA range. */
+struct Translation
+{
+    Addr paddr = 0;
+    mapping::MemSpace space = mapping::MemSpace::Dram;
+    Tick modeledPs = 0;           //!< TLB + walk time to charge
+    std::uint64_t pagesTouched = 0;
+};
+
+class Mmu
+{
+  public:
+    explicit Mmu(const MmuConfig &config);
+    ~Mmu();
+
+    Mmu(const Mmu &) = delete;
+    Mmu &operator=(const Mmu &) = delete;
+
+    /** Stand up a fresh, empty address space. */
+    TenantId createTenant();
+
+    bool hasTenant(TenantId tenant) const;
+
+    /**
+     * Map [va, va+bytes) -> [pa, pa+bytes) for @p tenant with
+     * @p pageBytes pages. Fails with TenantIsolation when any touched
+     * physical page is already owned by another tenant, and with
+     * MalformedDescriptor on alignment/overlap problems.
+     */
+    resilience::Status map(TenantId tenant, Addr va, Addr pa,
+                           std::uint64_t bytes,
+                           std::uint64_t pageBytes, PagePerms perms,
+                           mapping::MemSpace space);
+
+    /** map() with VA == PA — the identity-gate configuration. */
+    resilience::Status mapIdentity(TenantId tenant, Addr base,
+                                   std::uint64_t bytes,
+                                   std::uint64_t pageBytes,
+                                   PagePerms perms,
+                                   mapping::MemSpace space);
+
+    /** Tear a VMA down (whole map() ranges only) and shoot the
+     *  tenant's TLB entries down. */
+    resilience::Status unmap(TenantId tenant, Addr va,
+                             std::uint64_t bytes);
+
+    /**
+     * Resolve [va, va+bytes) for @p access. The range may span many
+     * pages (and mixed 4 KiB / 2 MiB mappings) but must translate to
+     * physically contiguous bytes in @p expected space; every page
+     * charges TLB hit or walk time into @p out.modeledPs.
+     */
+    resilience::Status translateRange(TenantId tenant, Addr va,
+                                      std::uint64_t bytes,
+                                      Access access,
+                                      mapping::MemSpace expected,
+                                      Translation &out);
+
+    /** The tenant's VMAs, ascending by VA (introspection/tests). */
+    std::vector<Vma> vmas(TenantId tenant) const;
+
+    Tlb &tlb() { return tlb_; }
+    const Tlb &tlb() const { return tlb_; }
+    stats::Group &stats() { return stats_; }
+    std::size_t tenantCount() const { return tenants_.size(); }
+
+  private:
+    struct Tenant
+    {
+        PageTable table;
+        std::map<Addr, Vma> vmasByVa;
+    };
+
+    struct Owner
+    {
+        Addr end = 0;
+        TenantId tenant = kNoTenant;
+    };
+
+    Tenant *find(TenantId tenant);
+    const Tenant *find(TenantId tenant) const;
+    resilience::Status fault(resilience::ErrorCode code,
+                             const std::string &detail);
+
+    /** Physical-ownership check/claim per region; key = range start. */
+    bool claimConflicts(mapping::MemSpace space, Addr pa,
+                        std::uint64_t bytes, TenantId tenant,
+                        TenantId &ownerOut) const;
+
+    MmuConfig config_;
+    Tlb tlb_;
+    std::map<TenantId, std::unique_ptr<Tenant>> tenants_;
+    /** [0] = Dram-region claims, [1] = Pim-region claims. */
+    std::array<std::map<Addr, Owner>, 2> owned_;
+    TenantId nextTenant_ = 1;
+    stats::Group stats_;
+};
+
+} // namespace mmu
+} // namespace pimmmu
+
+#endif // PIMMMU_MMU_MMU_HH

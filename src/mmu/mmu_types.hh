@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared scalar types of the virtual-memory layer: tenant identifiers,
+ * access kinds, page-size constants, and the VA radix split. Kept
+ * dependency-light so `core/` can name a tenant in its descriptors
+ * without pulling in the page-table machinery.
+ */
+
+#ifndef PIMMMU_MMU_MMU_TYPES_HH
+#define PIMMMU_MMU_MMU_TYPES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace mmu {
+
+/** One tenant == one address space over the shared physical space. */
+using TenantId = std::uint32_t;
+
+/** "Not virtually addressed": ops carrying this tenant id stay on the
+ *  physical-only path, bit- and cycle-identical to pre-MMU builds. */
+constexpr TenantId kNoTenant = 0xffffffffu;
+
+/** What the transfer will do with the mapped range. */
+enum class Access
+{
+    Read,
+    Write
+};
+
+/** Base (4 KiB) and huge (2 MiB) page sizes. */
+constexpr std::uint64_t kPageBytes = 4 * kKiB;
+constexpr std::uint64_t kHugePageBytes = 2 * kMiB;
+
+/**
+ * x86-64-style 4-level radix over a 48-bit VA: 9 index bits per level
+ * above a 12-bit page offset. A 2 MiB mapping terminates one level
+ * early (its leaf lives where the last-level table pointer would), so
+ * its walk touches 3 tables instead of 4.
+ */
+constexpr unsigned kVaBits = 48;
+constexpr unsigned kLevelBits = 9;
+constexpr unsigned kPageShift = 12;
+constexpr unsigned kHugeShift = 21;
+constexpr unsigned kWalkLevels = 4;      //!< 4 KiB walk depth
+constexpr unsigned kHugeWalkLevels = 3;  //!< 2 MiB walk depth
+constexpr std::uint64_t kEntriesPerTable = 1ull << kLevelBits;
+
+/** Radix index of @p va at @p level (level 0 = root). */
+constexpr std::uint64_t
+tableIndex(Addr va, unsigned level)
+{
+    const unsigned shift =
+        kPageShift + kLevelBits * (kWalkLevels - 1 - level);
+    return (va >> shift) & (kEntriesPerTable - 1);
+}
+
+} // namespace mmu
+} // namespace pimmmu
+
+#endif // PIMMMU_MMU_MMU_TYPES_HH

@@ -1,0 +1,197 @@
+#include "mmu/page_table.hh"
+
+#include <array>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pimmmu {
+namespace mmu {
+
+namespace {
+
+std::string
+alignError(const char *what, Addr value, std::uint64_t align)
+{
+    std::ostringstream os;
+    os << what << " 0x" << std::hex << value << std::dec
+       << " not a multiple of " << align;
+    return os.str();
+}
+
+} // namespace
+
+/**
+ * One radix table. An entry is either empty, a pointer to the next
+ * level, or a leaf (at the last level for 4 KiB pages, one level up
+ * for 2 MiB pages — a child pointer and a leaf never coexist in the
+ * same entry).
+ */
+struct PageTable::Node
+{
+    struct Entry
+    {
+        std::unique_ptr<Node> child;
+        bool leaf = false;
+        Addr pageBase = 0;
+        bool huge = false;
+        PagePerms perms;
+        mapping::MemSpace space = mapping::MemSpace::Dram;
+    };
+
+    std::array<Entry, kEntriesPerTable> entries;
+
+    bool
+    empty() const
+    {
+        for (const Entry &e : entries) {
+            if (e.leaf || e.child)
+                return false;
+        }
+        return true;
+    }
+};
+
+PageTable::PageTable() : root_(std::make_unique<Node>()), tableCount_(1)
+{
+}
+
+PageTable::~PageTable() = default;
+
+PageTable::Node *
+PageTable::ensureChild(Node &parent, std::uint64_t idx)
+{
+    Node::Entry &e = parent.entries[idx];
+    if (e.leaf)
+        return nullptr; // a huge-page leaf occupies this slot
+    if (!e.child) {
+        e.child = std::make_unique<Node>();
+        ++tableCount_;
+    }
+    return e.child.get();
+}
+
+std::string
+PageTable::map(Addr va, Addr pa, std::uint64_t bytes,
+               std::uint64_t pageBytes, PagePerms perms,
+               mapping::MemSpace space)
+{
+    if (pageBytes != kPageBytes && pageBytes != kHugePageBytes)
+        return "pageBytes must be 4 KiB or 2 MiB";
+    if (va % pageBytes != 0)
+        return alignError("va", va, pageBytes);
+    if (pa % pageBytes != 0)
+        return alignError("pa", pa, pageBytes);
+    if (bytes == 0 || bytes % pageBytes != 0)
+        return alignError("bytes", bytes, pageBytes);
+    if (va + bytes > (Addr{1} << kVaBits))
+        return "mapping exceeds the 48-bit VA space";
+
+    const bool huge = pageBytes == kHugePageBytes;
+    const unsigned leafLevel = huge ? kHugeWalkLevels - 1
+                                    : kWalkLevels - 1;
+    // Reject overlap before touching the tree so a failed map() never
+    // leaves a partial mapping behind.
+    for (Addr off = 0; off < bytes; off += pageBytes) {
+        if (walk(va + off).mapped)
+            return "range overlaps an existing mapping";
+        // A 4 KiB map must also not land under an allocated last-level
+        // slot that a huge page would need, and vice versa: walk()
+        // above covers both since huge leaves sit on the walk path.
+    }
+    for (Addr off = 0; off < bytes; off += pageBytes) {
+        Node *node = root_.get();
+        for (unsigned level = 0; level < leafLevel; ++level) {
+            node = ensureChild(*node, tableIndex(va + off, level));
+            if (node == nullptr)
+                return "range overlaps an existing mapping";
+        }
+        Node::Entry &e =
+            node->entries[tableIndex(va + off, leafLevel)];
+        if (e.leaf || e.child)
+            return "range overlaps an existing mapping";
+        e.leaf = true;
+        e.pageBase = pa + off;
+        e.huge = huge;
+        e.perms = perms;
+        e.space = space;
+        ++mappedPages_;
+    }
+    return std::string{};
+}
+
+std::string
+PageTable::unmap(Addr va, std::uint64_t bytes)
+{
+    if (va % kPageBytes != 0 || bytes == 0 || bytes % kPageBytes != 0)
+        return "unmap range must be 4 KiB aligned";
+    // First pass: every page in the range must resolve to a leaf whose
+    // extent lies fully inside the range (no partial huge-page unmap).
+    for (Addr off = 0; off < bytes;) {
+        const WalkResult w = walk(va + off);
+        if (!w.mapped)
+            return "range contains unmapped pages";
+        const Addr leafVa = (va + off) & ~(w.pageBytes - 1);
+        if (leafVa < va || leafVa + w.pageBytes > va + bytes)
+            return "partial unmap of a huge page";
+        off = leafVa + w.pageBytes - va;
+    }
+    for (Addr off = 0; off < bytes;) {
+        const Addr cur = va + off;
+        Node *node = root_.get();
+        std::array<std::pair<Node *, std::uint64_t>, kWalkLevels> path;
+        unsigned depth = 0;
+        for (unsigned level = 0; level < kWalkLevels; ++level) {
+            const std::uint64_t idx = tableIndex(cur, level);
+            Node::Entry &e = node->entries[idx];
+            path[depth++] = {node, idx};
+            if (e.leaf) {
+                const std::uint64_t pageBytes =
+                    e.huge ? kHugePageBytes : kPageBytes;
+                e = Node::Entry{};
+                --mappedPages_;
+                off += pageBytes;
+                break;
+            }
+            PIMMMU_ASSERT(e.child != nullptr,
+                          "validated unmap walk hit a hole");
+            node = e.child.get();
+        }
+        // Prune now-empty tables bottom-up (the root always stays).
+        for (unsigned d = depth; d-- > 1;) {
+            Node::Entry &e =
+                path[d - 1].first->entries[path[d - 1].second];
+            if (e.child && e.child->empty()) {
+                e.child.reset();
+                --tableCount_;
+            }
+        }
+    }
+    return std::string{};
+}
+
+WalkResult
+PageTable::walk(Addr va) const
+{
+    WalkResult r;
+    const Node *node = root_.get();
+    for (unsigned level = 0; level < kWalkLevels; ++level) {
+        ++r.levels;
+        const Node::Entry &e = node->entries[tableIndex(va, level)];
+        if (e.leaf) {
+            r.mapped = true;
+            r.pageBytes = e.huge ? kHugePageBytes : kPageBytes;
+            r.pageBase = e.pageBase;
+            r.perms = e.perms;
+            r.space = e.space;
+            return r;
+        }
+        if (!e.child)
+            return r; // unmapped: levels == tables actually read
+        node = e.child.get();
+    }
+    return r;
+}
+
+} // namespace mmu
+} // namespace pimmmu

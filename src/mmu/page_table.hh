@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A per-tenant radix page table over the simulated physical space.
+ *
+ * The table is the real data structure, not a flat map: mappings build
+ * a 4-level radix tree (9 bits per level over a 48-bit VA), huge
+ * (2 MiB) mappings terminate one level early, and a walk reports how
+ * many tables it touched — which is what the DCE-side TLB charges as
+ * page-table-walk time on a miss.
+ *
+ * Each leaf also records which HetMap region (DRAM or PIM) its
+ * physical range lives in, so downstream dispatch is keyed by the
+ * VMA's declared region rather than by testing the raw physical range
+ * (the UMDAM-style layout argument; see mapping/hetmap.hh).
+ */
+
+#ifndef PIMMMU_MMU_PAGE_TABLE_HH
+#define PIMMMU_MMU_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mapping/hetmap.hh"
+#include "mmu/mmu_types.hh"
+
+namespace pimmmu {
+namespace mmu {
+
+/** Permissions of one mapping. */
+struct PagePerms
+{
+    bool read = true;
+    bool write = true;
+
+    static PagePerms rw() { return {true, true}; }
+    static PagePerms ro() { return {true, false}; }
+};
+
+/** A translated leaf, as a walk reports it. */
+struct WalkResult
+{
+    /** Leaf found and permissions unchecked; false == unmapped. */
+    bool mapped = false;
+    Addr pageBase = 0;         //!< physical base of the page
+    std::uint64_t pageBytes = kPageBytes;
+    PagePerms perms;
+    mapping::MemSpace space = mapping::MemSpace::Dram;
+    unsigned levels = 0;       //!< tables touched by the walk
+};
+
+/**
+ * One tenant's page table. map()/unmap() mutate the radix tree;
+ * walk() is the lookup the TLB refills from.
+ */
+class PageTable
+{
+  public:
+    PageTable();
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Map [va, va + bytes) onto [pa, pa + bytes) with @p pageBytes
+     * pages (4 KiB or 2 MiB). All of va, pa, and bytes must be
+     * page-aligned; the range must not overlap an existing mapping.
+     * @return empty string on success, else the reason.
+     */
+    std::string map(Addr va, Addr pa, std::uint64_t bytes,
+                    std::uint64_t pageBytes, PagePerms perms,
+                    mapping::MemSpace space);
+
+    /**
+     * Remove the mapping at [va, va + bytes). Partial unmap of a huge
+     * page is rejected. @return empty string on success.
+     */
+    std::string unmap(Addr va, std::uint64_t bytes);
+
+    /** Walk the radix tree for @p va. Never faults; the caller turns
+     *  an unmapped result into a structured status. */
+    WalkResult walk(Addr va) const;
+
+    /** Mapped leaves (4 KiB pages count 1, 2 MiB pages count 1). */
+    std::uint64_t mappedPages() const { return mappedPages_; }
+
+    /** Radix tables currently allocated (the walk surface). */
+    std::uint64_t tableCount() const { return tableCount_; }
+
+  private:
+    struct Node;
+
+    Node *ensureChild(Node &parent, std::uint64_t idx);
+
+    std::unique_ptr<Node> root_;
+    std::uint64_t mappedPages_ = 0;
+    std::uint64_t tableCount_ = 0;
+};
+
+} // namespace mmu
+} // namespace pimmmu
+
+#endif // PIMMMU_MMU_PAGE_TABLE_HH

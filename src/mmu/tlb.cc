@@ -1,0 +1,117 @@
+#include "mmu/tlb.hh"
+
+#include "common/logging.hh"
+#include "testing/fault_injection.hh"
+
+namespace pimmmu {
+namespace mmu {
+
+Tlb::Tlb(const TlbConfig &config) : config_(config)
+{
+    PIMMMU_ASSERT(config_.ways >= 1 &&
+                      config_.entries >= config_.ways &&
+                      config_.entries % config_.ways == 0,
+                  "TLB entries must be a multiple of the ways");
+    entries_.resize(config_.entries);
+}
+
+Tlb::Entry *
+Tlb::probe(TenantId tenant, Addr vpn, bool huge)
+{
+    const unsigned set =
+        static_cast<unsigned>(vpn % config_.sets());
+    Entry *base = &entries_[std::size_t{set} * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tenant == tenant && e.vpn == vpn &&
+            e.huge == huge) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+TlbResult
+Tlb::lookup(TenantId tenant, Addr va, const PageTable &table)
+{
+    TlbResult r;
+    r.modeledPs = config_.hitPs;
+
+    // Both size classes probe in parallel; the 2 MiB class wins ties
+    // (a VA is never mapped at both sizes at once).
+    if (Entry *e = probe(tenant, va >> kHugeShift, true)) {
+        e->lastUse = ++useClock_;
+        ++hits_;
+        r.hit = true;
+        r.leaf = e->leaf;
+        return r;
+    }
+    if (Entry *e = probe(tenant, va >> kPageShift, false)) {
+        e->lastUse = ++useClock_;
+        ++hits_;
+        r.hit = true;
+        r.leaf = e->leaf;
+        return r;
+    }
+
+    ++misses_;
+    WalkResult walk = table.walk(va);
+    // Fault site: the walker loses a present leaf, so a mapped page
+    // surfaces as a structured UnmappedPage fault. Proves the
+    // fault-path tests are non-vacuous.
+    if (testing::fault::fire("mmu.drop_pte"))
+        walk.mapped = false;
+    walkLevels_ += walk.levels;
+    r.modeledPs += Tick{walk.levels} * config_.walkLevelPs;
+    r.leaf = walk;
+    if (walk.mapped)
+        insert(tenant, va, walk);
+    return r;
+}
+
+void
+Tlb::insert(TenantId tenant, Addr va, const WalkResult &leaf)
+{
+    const bool huge = leaf.pageBytes == kHugePageBytes;
+    const Addr vpn = va >> (huge ? kHugeShift : kPageShift);
+    const unsigned set =
+        static_cast<unsigned>(vpn % config_.sets());
+    Entry *base = &entries_[std::size_t{set} * config_.ways];
+    Entry *victim = base;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    if (victim->valid)
+        ++evictions_;
+    victim->valid = true;
+    victim->tenant = tenant;
+    victim->vpn = vpn;
+    victim->huge = huge;
+    victim->leaf = leaf;
+    victim->lastUse = ++useClock_;
+}
+
+void
+Tlb::flushTenant(TenantId tenant)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.tenant == tenant)
+            e = Entry{};
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    for (Entry &e : entries_)
+        e = Entry{};
+}
+
+} // namespace mmu
+} // namespace pimmmu

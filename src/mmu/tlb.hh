@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The DCE-side TLB: a set-associative translation cache in front of
+ * the per-tenant page tables, with modeled hit / miss / walk timing
+ * charged on the descriptor path.
+ *
+ * Entries are tagged (tenant, VPN, page size), so tenants never hit on
+ * each other's translations and a flush is only needed on unmap. A
+ * lookup probes the 4 KiB set and the 2 MiB set (hardware probes both
+ * size classes in parallel; one hit latency either way); a miss walks
+ * the page table and charges one memory access per table the walk
+ * touched, then refills over the set's LRU way.
+ */
+
+#ifndef PIMMMU_MMU_TLB_HH
+#define PIMMMU_MMU_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mmu/page_table.hh"
+#include "mmu/mmu_types.hh"
+
+namespace pimmmu {
+namespace mmu {
+
+/** TLB geometry and timing knobs. */
+struct TlbConfig
+{
+    unsigned entries = 64;
+    unsigned ways = 4;
+
+    /** Latency of a lookup that hits (charged once per page probed). */
+    Tick hitPs = 1 * kPsPerNs;
+
+    /** Latency of one page-table-level memory read during a walk. */
+    Tick walkLevelPs = 60 * kPsPerNs;
+
+    unsigned sets() const { return entries / ways; }
+
+    /**
+     * Zero-cost timing with the default geometry: translation happens
+     * but charges nothing, which is what the identity-mapping
+     * bit+cycle-identity gate runs under.
+     */
+    static TlbConfig
+    zeroCost()
+    {
+        TlbConfig cfg;
+        cfg.hitPs = 0;
+        cfg.walkLevelPs = 0;
+        return cfg;
+    }
+};
+
+/** Outcome of one TLB lookup (one page). */
+struct TlbResult
+{
+    bool hit = false;
+    WalkResult leaf;   //!< valid iff leaf.mapped
+    Tick modeledPs = 0; //!< hit latency, or hit latency + walk time
+};
+
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /**
+     * Look @p va up for @p tenant, walking @p table on a miss and
+     * refilling on a successful walk. An unmapped walk is not cached
+     * (no negative caching), so a later map() needs no shootdown.
+     */
+    TlbResult lookup(TenantId tenant, Addr va, const PageTable &table);
+
+    /** Drop every entry of @p tenant (unmap/teardown shootdown). */
+    void flushTenant(TenantId tenant);
+
+    void flushAll();
+
+    const TlbConfig &config() const { return config_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t walkLevels() const { return walkLevels_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        TenantId tenant = kNoTenant;
+        Addr vpn = 0; //!< va >> (page shift), tagged with the size
+        bool huge = false;
+        WalkResult leaf;
+        std::uint64_t lastUse = 0;
+    };
+
+    Entry *probe(TenantId tenant, Addr vpn, bool huge);
+    void insert(TenantId tenant, Addr va, const WalkResult &leaf);
+
+    TlbConfig config_;
+    std::vector<Entry> entries_; //!< sets() consecutive ways per set
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t walkLevels_ = 0;
+};
+
+} // namespace mmu
+} // namespace pimmmu
+
+#endif // PIMMMU_MMU_TLB_HH

@@ -33,6 +33,14 @@ errorCodeName(ErrorCode code)
         return "capacity_exhausted";
       case ErrorCode::NoHealthyTargets:
         return "no_healthy_targets";
+      case ErrorCode::UnmappedPage:
+        return "unmapped_page";
+      case ErrorCode::PermissionDenied:
+        return "permission_denied";
+      case ErrorCode::TenantIsolation:
+        return "tenant_isolation";
+      case ErrorCode::RegionMismatch:
+        return "region_mismatch";
     }
     return "unknown";
 }

@@ -40,6 +40,16 @@ enum class ErrorCode
     /** Every target of this operation is health-masked (possibly by a
      *  correlated rank/channel failure); nothing healthy to address. */
     NoHealthyTargets,
+    /** A virtually addressed descriptor touched an unmapped page. */
+    UnmappedPage,
+    /** Mapping exists but forbids the requested access direction. */
+    PermissionDenied,
+    /** Unknown tenant handle, or a mapping request collided with
+     *  physical pages owned by another tenant. */
+    TenantIsolation,
+    /** The VMA's declared HetMap region (DRAM vs PIM) disagrees with
+     *  how the descriptor dispatches the range. */
+    RegionMismatch,
 };
 
 const char *errorCodeName(ErrorCode code);

@@ -97,7 +97,7 @@ System::System(const SystemConfig &config) : config_(config)
                                        config_.pimGeom,
                                        resilience_.get());
     pimMmuRuntime_ = std::make_unique<core::PimMmuRuntime>(
-        eq_, *dce_, *mem_, *pim_, resilience_.get());
+        eq_, *dce_, *mem_, *pim_, resilience_.get(), config_.mmu);
     upmemRuntime_ = std::make_unique<upmem::UpmemRuntime>(
         eq_, *cpu_, *mem_, *pim_, resilience_.get());
 }
@@ -173,21 +173,24 @@ System::startSoftwareTransfer(core::XferDirection dir,
 }
 
 std::shared_ptr<AsyncTransfer>
-System::startDceTransfer(core::XferDirection dir,
-                         const std::vector<unsigned> &dpuIds,
-                         const std::vector<Addr> &hostAddrs,
-                         std::uint64_t bytesPerDpu, Addr heapOffset)
+System::startDceTransfer(core::PimMmuOp op)
 {
-    core::PimMmuOp op;
-    op.type = dir;
-    op.sizePerPim = bytesPerDpu;
-    op.dramAddrArr = hostAddrs;
-    op.pimIdArr = dpuIds;
-    op.pimBaseHeapPtr = heapOffset;
-
     auto xfer = std::make_shared<AsyncTransfer>();
     xfer->startPs = eq_.now();
-    xfer->bytes = bytesPerDpu * dpuIds.size();
+    xfer->bytes = op.sizePerPim * op.pimIdArr.size();
+    if (op.tenant != mmu::kNoTenant) {
+        // Keep the submission's virtual identity around: by the time a
+        // stall is diagnosed the descriptor only holds physical
+        // addresses, which is exactly the wrong level to debug a bad
+        // mapping from.
+        std::ostringstream os;
+        os << "submitted by tenant " << op.tenant << " (va 0x"
+           << std::hex
+           << (op.dramAddrArr.empty() ? Addr{0}
+                                      : op.dramAddrArr.front())
+           << ", heap va 0x" << op.pimBaseHeapPtr << std::dec << ")";
+        xfer->context = os.str();
+    }
 
     auto thread = std::make_shared<core::PimMmuRequestThread>(
         *pimMmuRuntime_, std::move(op),
@@ -216,11 +219,25 @@ System::startTransfer(core::XferDirection dir, unsigned numDpus,
     for (unsigned i = 0; i < numDpus; ++i)
         hostAddrs[i] = base + std::uint64_t{i} * bytesPerDpu;
 
-    if (config_.useDce())
-        return startDceTransfer(dir, dpuIds, hostAddrs, bytesPerDpu,
-                                heapOffset);
+    if (config_.useDce()) {
+        core::PimMmuOp op;
+        op.type = dir;
+        op.sizePerPim = bytesPerDpu;
+        op.dramAddrArr = hostAddrs;
+        op.pimIdArr = dpuIds;
+        op.pimBaseHeapPtr = heapOffset;
+        return startDceTransfer(std::move(op));
+    }
     return startSoftwareTransfer(dir, dpuIds, hostAddrs, bytesPerDpu,
                                  heapOffset);
+}
+
+std::shared_ptr<AsyncTransfer>
+System::startTransfer(core::PimMmuOp op)
+{
+    PIMMMU_ASSERT(config_.useDce(),
+                  "descriptor submission requires a DCE design point");
+    return startDceTransfer(std::move(op));
 }
 
 TransferStats
@@ -268,7 +285,29 @@ System::runTransfer(core::XferDirection dir, unsigned numDpus,
         pimB.push_back(mem_->pimController(ch).bytesMoved());
 
     auto xfer = startTransfer(dir, numDpus, bytesPerDpu, heapOffset);
+    return measureTransfer(xfer, before, dramB, pimB);
+}
 
+TransferStats
+System::runTransfer(core::PimMmuOp op)
+{
+    const EnergySnapshot before = snapshot();
+    std::vector<std::uint64_t> dramB, pimB;
+    for (unsigned ch = 0; ch < mem_->dramChannels(); ++ch)
+        dramB.push_back(mem_->dramController(ch).bytesMoved());
+    for (unsigned ch = 0; ch < mem_->pimChannels(); ++ch)
+        pimB.push_back(mem_->pimController(ch).bytesMoved());
+
+    auto xfer = startTransfer(std::move(op));
+    return measureTransfer(xfer, before, dramB, pimB);
+}
+
+TransferStats
+System::measureTransfer(const std::shared_ptr<AsyncTransfer> &xfer,
+                        const EnergySnapshot &before,
+                        const std::vector<std::uint64_t> &dramB,
+                        const std::vector<std::uint64_t> &pimB)
+{
     // Run in 100 us windows and track instantaneous PIM-channel load
     // imbalance (max channel bytes / mean channel bytes per window).
     const Tick window = 100 * kPsPerUs;
@@ -324,6 +363,8 @@ System::runTransfer(core::XferDirection dir, unsigned numDpus,
                    << mem_->pimController(ch).pending();
             }
         }
+        if (!xfer->context.empty())
+            os << "; " << xfer->context;
         xfer->endPs = eq_.now();
         xfer->status = resilience::Status::failure(
             resilience::ErrorCode::TransferStalled, os.str());

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -75,6 +76,14 @@ struct SystemConfig
      * contiguous hugepage buffers (controlled microbenchmarks).
      */
     bool scatterHostFrames = true;
+
+    /**
+     * Virtual-memory layer configuration (DCE-side TLB geometry and
+     * walk timing). The MMU itself is instantiated lazily on first
+     * use, so systems that never map a tenant stay bit-identical to
+     * physical-only builds.
+     */
+    mmu::MmuConfig mmu;
 
     bool hetMap() const { return design >= DesignPoint::BaseDH; }
     bool useDce() const { return design != DesignPoint::Base; }
@@ -136,6 +145,9 @@ struct AsyncTransfer
     std::uint64_t bytes = 0;
     /** Final status reported by the transfer path. */
     resilience::Status status;
+    /** Submission context ("tenant N va 0x...") folded into stall
+     *  diagnostics; empty for physically addressed transfers. */
+    std::string context;
 };
 
 /** The simulated machine. */
@@ -201,6 +213,18 @@ class System
                               Addr heapOffset = 0);
 
     /**
+     * Launch an explicit descriptor (physical or, with op.tenant set,
+     * virtually addressed through the MMU). DCE design points only.
+     */
+    std::shared_ptr<AsyncTransfer> startTransfer(core::PimMmuOp op);
+
+    /** Blocking variant of the descriptor overload with full stats. */
+    TransferStats runTransfer(core::PimMmuOp op);
+
+    /** The translation layer (lazily instantiated; see SystemConfig). */
+    mmu::Mmu &mmu() { return pimMmuRuntime_->mmu(); }
+
+    /**
      * DRAM->DRAM memcpy of @p totalBytes. Software path uses
      * @p threads copy threads; at DCE design points the copy is
      * offloaded to the engine in fine-grained chunks.
@@ -230,16 +254,20 @@ class System
                           const std::vector<Addr> &hostAddrs,
                           std::uint64_t bytesPerDpu, Addr heapOffset);
 
-    std::shared_ptr<AsyncTransfer>
-    startDceTransfer(core::XferDirection dir,
-                     const std::vector<unsigned> &dpuIds,
-                     const std::vector<Addr> &hostAddrs,
-                     std::uint64_t bytesPerDpu, Addr heapOffset);
+    std::shared_ptr<AsyncTransfer> startDceTransfer(core::PimMmuOp op);
 
     TransferStats finishStats(const AsyncTransfer &xfer,
                               const EnergySnapshot &before,
                               const std::vector<std::uint64_t> &dramB,
                               const std::vector<std::uint64_t> &pimB);
+
+    /** Windowed completion loop + stall diagnostics + finishStats,
+     *  shared by both runTransfer overloads. */
+    TransferStats
+    measureTransfer(const std::shared_ptr<AsyncTransfer> &xfer,
+                    const EnergySnapshot &before,
+                    const std::vector<std::uint64_t> &dramB,
+                    const std::vector<std::uint64_t> &pimB);
 
     SystemConfig config_;
     EventQueue eq_;

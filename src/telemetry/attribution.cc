@@ -32,6 +32,8 @@ stageName(Stage s)
         return "watchdog";
       case Stage::Interrupt:
         return "interrupt";
+      case Stage::TlbWalk:
+        return "tlb_walk";
       case Stage::Execute:
         return "execute";
       case Stage::Verify:

@@ -23,6 +23,9 @@
  *   Retry       descriptor-level retry backoff between attempts
  *   Watchdog    no-progress windows recovered by the DCE watchdog
  *   Interrupt   completion interrupt delivery to the driver
+ *   TlbWalk     DCE-side TLB lookup + page-table walk time of a
+ *               virtually addressed descriptor (carved out of
+ *               Preprocess, which absorbs it on the simulated path)
  * Kernel launches reuse the same record type with Execute / Verify
  * stages (kernel execution is modeled time, booked directly).
  *
@@ -69,6 +72,7 @@ enum class Stage : unsigned
     Retry,
     Watchdog,
     Interrupt,
+    TlbWalk,
     Execute,
     Verify,
     NumStages

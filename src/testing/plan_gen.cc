@@ -44,9 +44,15 @@ planConfig(const TransferPlan &plan)
     cfg.dramGeom = propDramGeometry();
     cfg.pimGeom = propPimGeometry();
     cfg.design = plan.design;
-    // No LLC: the harness checks exact request conservation, and cache
-    // fills/evictions would make controller byte counts plan-dependent.
-    cfg.useLlc = false;
+    // LLC off by default: the harness checks exact request
+    // conservation. Cache-enabled plans keep it exact too, by
+    // accounting for LLC fills and writebacks explicitly (see
+    // checkConservation in properties.cc). The cache is shrunk well
+    // below the contenders' footprint so fills and evictions actually
+    // happen at harness scale.
+    cfg.useLlc = plan.useLlc;
+    if (plan.useLlc)
+        cfg.llc.sizeBytes = 256 * kKiB;
     cfg.scatterHostFrames = plan.scatterFrames;
     cfg.mc.policy =
         plan.fcfs ? dram::SchedPolicy::Fcfs : dram::SchedPolicy::FrFcfs;
@@ -127,6 +133,12 @@ generatePlan(std::uint64_t seed, unsigned caseIdx)
         op.launch = rng.below(4) == 0;
         plan.ops.push_back(std::move(op));
     }
+    // Drawn after everything above so the pinned CI corpus keeps its
+    // exact per-(seed, case) field values: appending draws at the end
+    // of the stream never perturbs earlier ones.
+    plan.useLlc = rng.below(4) == 0;
+    if (plan.useLlc)
+        plan.memContenders = 1 + static_cast<unsigned>(rng.below(2));
     return plan;
 }
 
@@ -191,6 +203,15 @@ validatePlan(const TransferPlan &plan)
             return why.str();
         }
     }
+    if (plan.memContenders > 0 && !plan.useLlc) {
+        why << "memory contenders require the LLC (they are the "
+               "cacheable-traffic source)";
+        return why.str();
+    }
+    if (plan.memContenders > 4) {
+        why << "too many memory contenders";
+        return why.str();
+    }
     return std::string{};
 }
 
@@ -202,7 +223,8 @@ TransferPlan::str() const
        << " design=" << sim::designPointName(design)
        << " scatter=" << (scatterFrames ? 1 : 0)
        << " fcfs=" << (fcfs ? 1 : 0) << " queueDepth=" << queueDepth
-       << "\n";
+       << " llc=" << (useLlc ? 1 : 0)
+       << " contenders=" << memContenders << "\n";
     for (std::size_t i = 0; i < ops.size(); ++i) {
         const TransferOp &op = ops[i];
         os << "  op[" << i << "] "

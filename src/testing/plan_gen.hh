@@ -56,6 +56,19 @@ struct TransferPlan
     unsigned queueDepth = 1;     //!< transfers issued back-to-back
     std::vector<TransferOp> ops;
 
+    /**
+     * Run with the LLC enabled. The transfer paths bypass the cache
+     * (non-temporal copies / DCE traffic), so this only matters
+     * together with memContenders, whose cacheable reads exercise
+     * fills and evictions concurrently with the plan; the conservation
+     * property then accounts for LLC fill/writeback traffic exactly
+     * instead of requiring bare bus counts to match plan bytes.
+     */
+    bool useLlc = false;
+
+    /** Co-running cacheable memory-contender threads (LLC runs only). */
+    unsigned memContenders = 0;
+
     /** Bytes crossing the buses: transfer steps only (kernel launches
      *  work entirely inside MRAM). */
     std::uint64_t

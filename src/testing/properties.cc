@@ -12,6 +12,11 @@ namespace testing {
 
 namespace {
 
+/** Working-set size of one harness memory contender: larger than the
+ *  LLC (so it keeps missing and evicting) yet a small slice of the
+ *  harness's 16 MiB DRAM space. */
+constexpr std::uint64_t kContenderFootprint = 1 * kMiB;
+
 /** Concrete form of one op: DPU ids + host arrays, ready to execute. */
 struct PreparedOp
 {
@@ -44,6 +49,14 @@ class PlanRunner
         : plan_(plan), cfg_(planConfig(plan)), sys_(cfg_)
     {
         attachCheckers();
+        if (plan_.memContenders > 0) {
+            // Cacheable pointer-chase traffic through the LLC, with a
+            // footprint small enough for the harness's 16 MiB DRAM but
+            // large enough to keep missing and evicting.
+            sys_.addMemoryContenders(plan_.memContenders,
+                                     cpu::MemIntensity::Medium,
+                                     kContenderFootprint);
+        }
     }
 
     PropertyResult
@@ -223,10 +236,60 @@ class PlanRunner
                 std::ostringstream os;
                 os << "wave [" << next << ", " << end
                    << ") did not complete within 100 ms simulated";
+                // Queue-state diagnostics: a wedged wave is almost
+                // always stuck traffic, so show where the requests
+                // are parked. (This is how the contender coverage
+                // exposed the write-drain starvation livelock.)
+                os << "\n    done=" << done << " expect=" << expect;
+                auto &mem = sys_.mem();
+                for (unsigned ch = 0; ch < mem.dramChannels(); ++ch)
+                    os << "\n    dram.ch" << ch << " pending="
+                       << mem.dramController(ch).pending();
+                for (unsigned ch = 0; ch < mem.pimChannels(); ++ch)
+                    os << "\n    pim.ch" << ch << " pending="
+                       << mem.pimController(ch).pending();
+                if (sys_.llc()) {
+                    const stats::Group &llc = sys_.llc()->stats();
+                    for (const char *c :
+                         {"read_hits", "read_misses", "write_hits",
+                          "write_misses", "mshr_merges",
+                          "mshr_full_rejects", "queue_full_rejects",
+                          "writebacks", "writebacks_dropped"})
+                        os << "\n    llc." << c << "="
+                           << llc.counterValue(c);
+                }
                 fail("liveness", os.str());
                 return;
             }
             next = end;
+        }
+
+        // Quiesce before the audit. The contenders free-run, so at
+        // wave completion their latest LLC fills and writebacks can
+        // still be in flight: counted at the cache but not yet
+        // retired at a controller. Stop the CPU threads and drain
+        // the memory system so the conservation check compares fully
+        // settled counters on both sides.
+        if (plan_.memContenders > 0) {
+            sys_.cpu().shutdown();
+            auto settled = [&] {
+                auto &mem = sys_.mem();
+                for (unsigned ch = 0; ch < mem.dramChannels(); ++ch) {
+                    if (mem.dramController(ch).pending() > 0)
+                        return false;
+                }
+                for (unsigned ch = 0; ch < mem.pimChannels(); ++ch) {
+                    if (mem.pimController(ch).pending() > 0)
+                        return false;
+                }
+                return true;
+            };
+            const Tick limit = sys_.eq().now() + Tick{100} * kPsPerMs;
+            if (!sys_.runUntil(settled, limit)) {
+                fail("liveness",
+                     "contender traffic did not drain within 100 ms "
+                     "simulated after the last wave");
+            }
         }
     }
 
@@ -346,16 +409,39 @@ class PlanRunner
             pimWritten += mc.bytesWritten();
         }
 
-        // Cross-plane conservation: with no LLC and no other memory
-        // traffic, every plan byte crosses each bus exactly once.
+        // Cross-plane conservation. The PIM side is always exact: only
+        // plan transfers touch it. The DRAM side is exact too, but on
+        // cache-enabled runs the balance must include the LLC's own
+        // traffic — every miss issues exactly one fill read and every
+        // non-dropped dirty eviction one writeback write — so plan
+        // bytes plus accounted cache bytes equal the bus counts.
         expectEq("conservation", "pim-side bytes written", pimWritten,
                  toPim);
         expectEq("conservation", "pim-side bytes read", pimRead,
                  fromPim);
-        expectEq("conservation", "dram-side bytes read", dramRead,
-                 toPim);
-        expectEq("conservation", "dram-side bytes written", dramWritten,
-                 fromPim);
+        std::uint64_t fillBytes = 0, writebackBytes = 0;
+        if (cfg_.useLlc) {
+            const stats::Group &llc = sys_.llc()->stats();
+            fillBytes = 64 * (llc.counterValue("read_misses") +
+                              llc.counterValue("write_misses"));
+            writebackBytes = 64 * llc.counterValue("writebacks");
+        }
+        expectEq("conservation",
+                 "dram-side bytes read (plan + LLC fills)", dramRead,
+                 toPim + fillBytes);
+        expectEq("conservation",
+                 "dram-side bytes written (plan + LLC writebacks)",
+                 dramWritten, fromPim + writebackBytes);
+        // Non-vacuity: a cache-enabled plan must actually produce LLC
+        // fills -- unless it is launch-only, in which case no
+        // simulated time elapses (launches run functionally at call
+        // time) and the contenders never get to issue anything.
+        if (plan_.memContenders > 0 && totalBytes > 0 &&
+            fillBytes == 0) {
+            fail("conservation",
+                 "cache-enabled plan generated no LLC fills: the "
+                 "contender traffic is not exercising the cache");
+        }
     }
 
     const TransferPlan &plan_;

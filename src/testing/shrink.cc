@@ -128,6 +128,16 @@ class Shrinker
                 changed |= accept(std::move(candidate));
             }
         }
+        if (best_.useLlc || best_.memContenders > 0) {
+            // Drop the cache and its contender traffic together
+            // (contenders without the LLC fail validation): a bug
+            // that keeps them in the shrunk plan genuinely needs the
+            // contention to reproduce.
+            TransferPlan candidate = best_;
+            candidate.useLlc = false;
+            candidate.memContenders = 0;
+            changed |= accept(std::move(candidate));
+        }
         if (best_.scatterFrames) {
             TransferPlan candidate = best_;
             candidate.scatterFrames = false;

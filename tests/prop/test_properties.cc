@@ -73,6 +73,31 @@ TEST(Properties, TinyPlansPassAtAllDesignPoints)
     }
 }
 
+TEST(Properties, ContendedWriteBurstIsNotStarved)
+{
+    // Regression for a livelock the contender coverage exposed: a
+    // continuous cacheable read stream kept the controller's read
+    // queue populated forever, and with the write queue below the
+    // high watermark the write-drain mode never engaged -- a small
+    // software-path write burst (8 lines) starved past the 100 ms
+    // liveness budget. Write aging now forces a drain. Every design
+    // point and both directions must stay live under contention.
+    for (sim::DesignPoint design :
+         {sim::DesignPoint::Base, sim::DesignPoint::BaseDHP}) {
+        for (core::XferDirection dir :
+             {core::XferDirection::DramToPim,
+              core::XferDirection::PimToDram}) {
+            TransferPlan plan = tinyPlan(design, dir);
+            plan.useLlc = true;
+            plan.memContenders = 2;
+            const PropertyResult result = runPlan(plan);
+            EXPECT_TRUE(result.pass())
+                << sim::designPointName(design) << ": " << plan.str()
+                << result.str();
+        }
+    }
+}
+
 TEST(Properties, ResultsAreBitReproducible)
 {
     // Same (seed, case) twice: identical pass/fail and identical

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Translation property suite: randomized virtual-address plans against
+ * a golden model, the identity-mapping bit+cycle-identity property at
+ * harness scale, and SweepRunner determinism of VA runs across worker
+ * counts.
+ *
+ * The golden model is deliberately trivial: the payload the test wrote
+ * at the PHYSICAL addresses it chose. If any layer of translation
+ * (page table, TLB refill, range resolution, HetMap dispatch) resolves
+ * a VA to the wrong frame, the delivered bytes diverge from it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.hh"
+#include "mmu/mmu.hh"
+#include "sim/sweep_runner.hh"
+#include "sim/system.hh"
+#include "testing/plan_gen.hh"
+
+namespace pimmmu {
+namespace testing {
+
+namespace {
+
+std::uint64_t
+roundUpTo(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) / align * align;
+}
+
+/** Harness-scale system (64 DPUs, 16 MiB DRAM) on the DCE path. */
+sim::SystemConfig
+vaConfig()
+{
+    TransferPlan plan;
+    plan.design = sim::DesignPoint::BaseDHP;
+    plan.scatterFrames = false;
+    return planConfig(plan);
+}
+
+core::PimMmuOp
+vaOp(mmu::TenantId tenant, core::XferDirection dir, Addr vaBase,
+     unsigned dpus, std::uint64_t bytesPerDpu, Addr heapVa)
+{
+    core::PimMmuOp op;
+    op.type = dir;
+    op.sizePerPim = bytesPerDpu;
+    op.pimBaseHeapPtr = heapVa;
+    op.tenant = tenant;
+    for (unsigned i = 0; i < dpus; ++i) {
+        op.pimIdArr.push_back(i);
+        op.dramAddrArr.push_back(vaBase +
+                                 std::uint64_t{i} * bytesPerDpu);
+    }
+    return op;
+}
+
+std::uint64_t
+fnv1a(std::uint64_t h, const std::uint8_t *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+TEST(Translation, RandomVaPlansMatchGoldenBytes)
+{
+    // 12 seeded iterations, each a fresh system with 1-2 tenants,
+    // random page size (4 KiB or 2 MiB), random direction, and a
+    // random high VA base. Delivered bytes must equal the golden
+    // payload exactly, both directions.
+    for (std::uint64_t iter = 0; iter < 12; ++iter) {
+        Rng rng(0xf00d + iter);
+        sim::System sys(vaConfig());
+        mmu::Mmu &m = sys.mmu();
+
+        const unsigned dpus =
+            8 * (1 + static_cast<unsigned>(rng.below(4)));
+        const std::uint64_t bytesPerDpu = 64 * (1 + rng.below(8));
+        const std::uint64_t total = dpus * bytesPerDpu;
+        const std::uint64_t pageBytes =
+            rng.below(2) == 0 ? mmu::kPageBytes : mmu::kHugePageBytes;
+        const unsigned tenants =
+            1 + static_cast<unsigned>(rng.below(2));
+
+        for (unsigned t = 0; t < tenants; ++t) {
+            const mmu::TenantId id = m.createTenant();
+            const Addr vaBase =
+                (Addr{1} << 40) +
+                (Addr{1 + rng.below(8)} << 30); // tenant-private space
+            const std::uint64_t mapBytes = roundUpTo(total, pageBytes);
+            const Addr pa = sys.allocDram(mapBytes, pageBytes);
+            ASSERT_TRUE(m.map(id, vaBase, pa, mapBytes, pageBytes,
+                              mmu::PagePerms::rw(),
+                              mapping::MemSpace::Dram)
+                            .ok());
+            const Addr heapVa = Addr{1} << 39;
+            const Addr heapPa = t * mmu::kPageBytes; // disjoint MRAM
+            ASSERT_TRUE(m.map(id, heapVa, heapPa, mmu::kPageBytes,
+                              mmu::kPageBytes, mmu::PagePerms::rw(),
+                              mapping::MemSpace::Pim)
+                            .ok());
+
+            const bool toPim = rng.below(3) != 0;
+            std::vector<std::uint8_t> golden(total);
+            for (std::uint64_t i = 0; i < total; ++i)
+                golden[i] = static_cast<std::uint8_t>(
+                    i * 193 + 31 * t + iter);
+
+            if (toPim) {
+                sys.mem().store().write(pa, golden.data(), total);
+            } else {
+                for (unsigned d = 0; d < dpus; ++d)
+                    sys.pim().dpu(d).mramWrite(
+                        heapPa, golden.data() + d * bytesPerDpu,
+                        bytesPerDpu);
+            }
+
+            const auto st = sys.runTransfer(
+                vaOp(id,
+                     toPim ? core::XferDirection::DramToPim
+                           : core::XferDirection::PimToDram,
+                     vaBase, dpus, bytesPerDpu, heapVa));
+            ASSERT_TRUE(st.ok())
+                << "iter " << iter << " tenant " << t << ": "
+                << st.status.str();
+
+            if (toPim) {
+                std::vector<std::uint8_t> got(bytesPerDpu);
+                for (unsigned d = 0; d < dpus; ++d) {
+                    sys.pim().dpu(d).mramRead(heapPa, got.data(),
+                                              bytesPerDpu);
+                    ASSERT_EQ(std::memcmp(got.data(),
+                                          golden.data() +
+                                              d * bytesPerDpu,
+                                          bytesPerDpu),
+                              0)
+                        << "iter " << iter << " tenant " << t
+                        << " dpu " << d << " page " << pageBytes;
+                }
+            } else {
+                std::vector<std::uint8_t> got(total);
+                sys.mem().store().read(pa, got.data(), total);
+                ASSERT_EQ(std::memcmp(got.data(), golden.data(),
+                                      total),
+                          0)
+                    << "iter " << iter << " tenant " << t << " page "
+                    << pageBytes;
+            }
+        }
+        // Every translated page is accounted in the TLB counters.
+        EXPECT_EQ(m.tlb().hits() + m.tlb().misses(),
+                  m.stats().counterValue("pages_translated"));
+    }
+}
+
+TEST(Translation, IdentityMappingReplayIsBitAndCycleIdentical)
+{
+    // The same transfer driven physically and through an
+    // identity-mapped tenant with zero-cost translation: event count,
+    // final simulated time, and payload bytes must all match.
+    struct Run
+    {
+        std::uint64_t events = 0;
+        Tick simPs = 0;
+        std::uint64_t hash = 0;
+    };
+    const unsigned dpus = 16;
+    const std::uint64_t bytesPerDpu = 512;
+    const std::uint64_t total = dpus * bytesPerDpu;
+
+    auto runOnce = [&](bool viaVa) {
+        sim::SystemConfig cfg = vaConfig();
+        if (viaVa)
+            cfg.mmu.tlb = mmu::TlbConfig::zeroCost();
+        sim::System sys(cfg);
+        // Guard alloc keeps the host buffer clear of the MRAM heap's
+        // identity window at VA/PA 0 (both runs allocate identically).
+        (void)sys.allocDram(64 * kKiB, mmu::kPageBytes);
+        const Addr pa = sys.allocDram(roundUpTo(total, mmu::kPageBytes),
+                                      mmu::kPageBytes);
+        mmu::TenantId tenant = mmu::kNoTenant;
+        if (viaVa) {
+            mmu::Mmu &m = sys.mmu();
+            tenant = m.createTenant();
+            EXPECT_TRUE(m.mapIdentity(tenant, pa,
+                                      roundUpTo(total,
+                                                mmu::kPageBytes),
+                                      mmu::kPageBytes,
+                                      mmu::PagePerms::rw(),
+                                      mapping::MemSpace::Dram)
+                            .ok());
+            EXPECT_TRUE(m.mapIdentity(tenant, 0, mmu::kPageBytes,
+                                      mmu::kPageBytes,
+                                      mmu::PagePerms::rw(),
+                                      mapping::MemSpace::Pim)
+                            .ok());
+        }
+        std::vector<std::uint8_t> payload(total);
+        for (std::uint64_t i = 0; i < total; ++i)
+            payload[i] = static_cast<std::uint8_t>(i * 41 + 7);
+        sys.mem().store().write(pa, payload.data(), total);
+
+        const auto st = sys.runTransfer(
+            vaOp(tenant, core::XferDirection::DramToPim, pa, dpus,
+                 bytesPerDpu, 0));
+        EXPECT_TRUE(st.ok()) << st.status.str();
+
+        Run r;
+        r.events = sys.eq().executed();
+        r.simPs = sys.eq().now();
+        std::vector<std::uint8_t> buf(bytesPerDpu);
+        r.hash = 0xcbf29ce484222325ull;
+        for (unsigned d = 0; d < dpus; ++d) {
+            sys.pim().dpu(d).mramRead(0, buf.data(), bytesPerDpu);
+            r.hash = fnv1a(r.hash, buf.data(), bytesPerDpu);
+        }
+        return r;
+    };
+
+    const Run phys = runOnce(false);
+    const Run va = runOnce(true);
+    EXPECT_EQ(phys.events, va.events);
+    EXPECT_EQ(phys.simPs, va.simPs);
+    EXPECT_EQ(phys.hash, va.hash);
+}
+
+TEST(Translation, SweepRunnerVaJobsAreDeterministicAcrossThreads)
+{
+    // The same VA jobs under 1 and 2 workers must produce identical
+    // per-job (events, sim_ps, payload hash) — translation state is
+    // per-System, so worker interleaving must not leak through.
+    struct Slot
+    {
+        std::uint64_t events = 0;
+        Tick simPs = 0;
+        std::uint64_t hash = 0;
+
+        bool
+        operator==(const Slot &o) const
+        {
+            return events == o.events && simPs == o.simPs &&
+                   hash == o.hash;
+        }
+    };
+    const std::size_t jobs = 4;
+
+    auto sweep = [&](unsigned threads) {
+        std::vector<Slot> slots(jobs);
+        sim::SweepRunner runner(threads);
+        runner.run(jobs, [&slots](std::size_t job) {
+            sim::System sys(vaConfig());
+            mmu::Mmu &m = sys.mmu();
+            const mmu::TenantId t = m.createTenant();
+            const unsigned dpus = 8 * (1 + job % 3);
+            const std::uint64_t bytesPerDpu = 128 * (1 + job);
+            const std::uint64_t total = dpus * bytesPerDpu;
+            const Addr vaBase = (Addr{1} << 40) + (job << 30);
+            const Addr pa = sys.allocDram(
+                (total + mmu::kPageBytes - 1) / mmu::kPageBytes *
+                    mmu::kPageBytes,
+                mmu::kPageBytes);
+            ASSERT_TRUE(m.map(t, vaBase, pa,
+                              (total + mmu::kPageBytes - 1) /
+                                  mmu::kPageBytes * mmu::kPageBytes,
+                              mmu::kPageBytes, mmu::PagePerms::rw(),
+                              mapping::MemSpace::Dram)
+                            .ok());
+            const Addr heapVa = Addr{1} << 39;
+            ASSERT_TRUE(m.map(t, heapVa, 0, mmu::kPageBytes,
+                              mmu::kPageBytes, mmu::PagePerms::rw(),
+                              mapping::MemSpace::Pim)
+                            .ok());
+            std::vector<std::uint8_t> payload(total);
+            for (std::uint64_t i = 0; i < total; ++i)
+                payload[i] =
+                    static_cast<std::uint8_t>(i * 61 + 13 * job);
+            sys.mem().store().write(pa, payload.data(), total);
+            const auto st = sys.runTransfer(
+                vaOp(t, core::XferDirection::DramToPim, vaBase, dpus,
+                     bytesPerDpu, heapVa));
+            ASSERT_TRUE(st.ok()) << st.status.str();
+
+            Slot &slot = slots[job];
+            slot.events = sys.eq().executed();
+            slot.simPs = sys.eq().now();
+            slot.hash = 0xcbf29ce484222325ull;
+            std::vector<std::uint8_t> buf(bytesPerDpu);
+            for (unsigned d = 0; d < dpus; ++d) {
+                sys.pim().dpu(d).mramRead(0, buf.data(), bytesPerDpu);
+                slot.hash = fnv1a(slot.hash, buf.data(), bytesPerDpu);
+            }
+        });
+        return slots;
+    };
+
+    const std::vector<Slot> one = sweep(1);
+    const std::vector<Slot> two = sweep(2);
+    ASSERT_EQ(one.size(), two.size());
+    for (std::size_t j = 0; j < jobs; ++j) {
+        EXPECT_TRUE(one[j] == two[j]) << "job " << j << " diverged";
+    }
+}
+
+} // namespace testing
+} // namespace pimmmu

@@ -12,6 +12,7 @@
 
 #include <sstream>
 
+#include "mmu/mmu.hh"
 #include "sim/system.hh"
 #include "telemetry/attribution.hh"
 #include "telemetry/stats_registry.hh"
@@ -466,6 +467,65 @@ TEST(Attribution, HealthySeriesTracksMaskingAndReadmission)
         EXPECT_LT(s.minSeen, s.maxSeen);
     }
     EXPECT_TRUE(found);
+}
+
+TEST(Attribution, TlbWalkStageConservesOnVirtualTransfer)
+{
+    // A VA-submitted transfer with real (non-zero) TLB timing books
+    // translation into the tlb_walk stage by carving it out of
+    // Preprocess — so the partition property must still hold exactly,
+    // with tlb_walk strictly positive on the descriptor records.
+    ScopedRecorder rec;
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    cfg.dramGeom.rows = 1024;
+    cfg.pimGeom.banks.rows = 1024;
+    sim::System sys(cfg);
+
+    mmu::Mmu &m = sys.mmu();
+    const mmu::TenantId tenant = m.createTenant();
+    const unsigned dpus = 16;
+    const std::uint64_t bytesPerDpu = 2 * kKiB;
+    const std::uint64_t total = dpus * bytesPerDpu;
+    const Addr pa = sys.allocDram(total, mmu::kPageBytes);
+    const Addr vaBase = Addr{1} << 40;
+    const Addr heapVa = Addr{1} << 41;
+    ASSERT_TRUE(m.map(tenant, vaBase, pa, total, mmu::kPageBytes,
+                      mmu::PagePerms::rw(), mapping::MemSpace::Dram)
+                    .ok());
+    ASSERT_TRUE(m.map(tenant, heapVa, 0, mmu::kPageBytes,
+                      mmu::kPageBytes, mmu::PagePerms::rw(),
+                      mapping::MemSpace::Pim)
+                    .ok());
+
+    core::PimMmuOp op;
+    op.type = core::XferDirection::DramToPim;
+    op.sizePerPim = bytesPerDpu;
+    op.pimBaseHeapPtr = heapVa;
+    op.tenant = tenant;
+    for (unsigned i = 0; i < dpus; ++i) {
+        op.pimIdArr.push_back(i);
+        op.dramAddrArr.push_back(vaBase +
+                                 std::uint64_t{i} * bytesPerDpu);
+    }
+    const sim::TransferStats ts = sys.runTransfer(std::move(op));
+    ASSERT_TRUE(ts.ok()) << ts.status.str();
+
+    const Recorder &r = Recorder::global();
+    EXPECT_EQ(r.openRecords(), 0u);
+    ASSERT_FALSE(r.records().empty());
+    bool sawTlbWalk = false;
+    for (const Record &record : r.records()) {
+        EXPECT_EQ(record.stageSum(), record.durationPs())
+            << "record " << record.id;
+        sawTlbWalk |= stage(record, Stage::TlbWalk) > 0;
+    }
+    EXPECT_TRUE(sawTlbWalk)
+        << "no record charged the tlb_walk stage on a timed VA run";
+    // The JSON names the new stage.
+    std::ostringstream os;
+    r.dumpJson(os);
+    EXPECT_NE(os.str().find("tlb_walk"), std::string::npos);
 }
 
 } // namespace pimmmu

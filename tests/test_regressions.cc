@@ -18,6 +18,7 @@
 #include "cpu/copy_thread.hh"
 #include "cpu/cpu.hh"
 #include "mapping/hetmap.hh"
+#include "mmu/mmu.hh"
 #include "sim/system.hh"
 
 namespace pimmmu {
@@ -153,6 +154,61 @@ TEST(Regression, DceMemcpyThroughputDoesNotCollapseAtOneChannel)
     sim::System sys(cfg);
     const auto stats = sys.runMemcpy(2 * kMiB);
     EXPECT_GT(stats.gbps(), 0.25 * 19.2 / 2);
+}
+
+TEST(Regression, UnmappedVirtualDescriptorRejectsWithContext)
+{
+    // A tenant handing the driver an unmapped pointer must get a
+    // structured UnmappedPage rejection naming tenant and VA — never
+    // an assert — and the System must stay fully usable afterwards.
+    // (Early MMU wiring turned translation faults into aborts inside
+    // the request thread, taking the whole simulation down.)
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    cfg.dramGeom.rows = 1024;
+    cfg.pimGeom.banks.rows = 1024;
+    sim::System sys(cfg);
+
+    const mmu::TenantId tenant = sys.mmu().createTenant();
+    core::PimMmuOp op;
+    op.type = core::XferDirection::DramToPim;
+    op.sizePerPim = 2 * kKiB;
+    op.pimBaseHeapPtr = Addr{1} << 41;
+    op.tenant = tenant;
+    const Addr vaBase = Addr{1} << 40; // never mapped
+    for (unsigned i = 0; i < 8; ++i) {
+        op.pimIdArr.push_back(i);
+        op.dramAddrArr.push_back(vaBase + i * op.sizePerPim);
+    }
+
+    // The stall-diagnostic context carries the virtual identity of the
+    // submission (tenant + VAs), which the physical descriptor alone
+    // cannot reconstruct.
+    auto xfer = sys.startTransfer(op);
+    EXPECT_NE(xfer->context.find("tenant 1"), std::string::npos)
+        << xfer->context;
+    EXPECT_NE(xfer->context.find("0x10000000000"), std::string::npos)
+        << xfer->context;
+
+    core::PimMmuOp retry = op;
+    const auto st = sys.runTransfer(std::move(retry));
+    EXPECT_EQ(st.status.code, resilience::ErrorCode::UnmappedPage);
+    EXPECT_NE(st.status.message.find("tenant"), std::string::npos)
+        << st.status.message;
+
+    // Same system, same tenant: a mapped submission now succeeds.
+    const Addr pa = sys.allocDram(8 * 2 * kKiB, mmu::kPageBytes);
+    ASSERT_TRUE(sys.mmu()
+                    .map(tenant, vaBase, pa, 8 * 2 * kKiB,
+                         mmu::kPageBytes, mmu::PagePerms::rw(),
+                         mapping::MemSpace::Dram)
+                    .ok());
+    ASSERT_TRUE(sys.mmu()
+                    .map(tenant, Addr{1} << 41, 0, mmu::kPageBytes,
+                         mmu::kPageBytes, mmu::PagePerms::rw(),
+                         mapping::MemSpace::Pim)
+                    .ok());
+    EXPECT_TRUE(sys.runTransfer(std::move(op)).ok());
 }
 
 } // namespace pimmmu
