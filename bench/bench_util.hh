@@ -3,7 +3,8 @@
  * Shared helpers for the figure-reproduction benchmark binaries:
  * banner/table printing plus the common telemetry CLI
  * (--stats-json <path>, --trace-json <path>, --trace-tracks <globs>,
- * --trace-coalesce-ps <gap>, --attrib-json <path>, --threads <n>).
+ * --trace-coalesce-ps <gap>, --attrib-json <path>, --threads <n>,
+ * --shards <n> --shard-index <i>).
  */
 
 #ifndef PIMMMU_BENCH_BENCH_UTIL_HH
@@ -32,6 +33,8 @@ struct BenchOptions
     Tick traceCoalescePs = 0; //!< merge same-name spans within this gap
     std::string attribJson; //!< attribution report path ("" = off)
     unsigned threads = 1; //!< sweep workers (0 = one per hardware thread)
+    unsigned shards = 1;     //!< total campaign shards (multi-process)
+    unsigned shardIndex = 0; //!< this process's shard id
 };
 
 inline void
@@ -42,7 +45,7 @@ printUsage(const char *prog,
                  "usage: %s [--stats-json <path>] "
                  "[--trace-json <path>] [--trace-tracks <globs>] "
                  "[--trace-coalesce-ps <gap>] [--attrib-json <path>] "
-                 "[--threads <n>]",
+                 "[--threads <n>] [--shards <n> --shard-index <i>]",
                  prog);
     for (const char *flag : passthrough)
         std::fprintf(stderr, " [%s]", flag);
@@ -92,7 +95,9 @@ parseOptions(int argc, char **argv,
             continue;
         }
         if (std::strcmp(arg, "--trace-coalesce-ps") == 0 ||
-            std::strcmp(arg, "--threads") == 0) {
+            std::strcmp(arg, "--threads") == 0 ||
+            std::strcmp(arg, "--shards") == 0 ||
+            std::strcmp(arg, "--shard-index") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s: %s needs a number\n",
                              argv[0], arg);
@@ -106,8 +111,12 @@ parseOptions(int argc, char **argv,
                              argv[0], arg, argv[i]);
                 std::exit(2);
             }
-            if (arg[2] == 't' && arg[3] == 'h')
+            if (std::strcmp(arg, "--threads") == 0)
                 opts.threads = static_cast<unsigned>(v);
+            else if (std::strcmp(arg, "--shards") == 0)
+                opts.shards = static_cast<unsigned>(v);
+            else if (std::strcmp(arg, "--shard-index") == 0)
+                opts.shardIndex = static_cast<unsigned>(v);
             else
                 opts.traceCoalescePs = static_cast<Tick>(v);
             continue;
@@ -126,6 +135,12 @@ parseOptions(int argc, char **argv,
             printUsage(argv[0], passthrough);
             std::exit(2);
         }
+    }
+    if (opts.shards == 0 || opts.shardIndex >= opts.shards) {
+        std::fprintf(stderr,
+                     "%s: --shard-index must be in [0, --shards)\n",
+                     argv[0]);
+        std::exit(2);
     }
     telemetry::Timeline &tl = telemetry::Timeline::global();
     if (!opts.traceJson.empty())

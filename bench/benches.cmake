@@ -50,6 +50,16 @@ add_fig_bench(fig_tlb)
 add_test(NAME fig_tlb_smoke
          COMMAND fig_tlb --quick --out BENCH_tlb.json)
 
+# Shard/merge round-trip at smoke scale: two-shard quick TLB campaign
+# spliced by tools/benchmerge must equal the unsharded output byte for
+# byte (the same check CI runs on the resilience campaign).
+add_test(NAME shard_merge_roundtrip
+    COMMAND ${CMAKE_COMMAND}
+        -DFIG_TLB=$<TARGET_FILE:fig_tlb>
+        -DBENCHMERGE=$<TARGET_FILE:benchmerge>
+        -DWORK_DIR=${CMAKE_BINARY_DIR}/shard_merge_roundtrip
+        -P ${CMAKE_SOURCE_DIR}/bench/shard_merge_roundtrip.cmake)
+
 # Engine wall-clock throughput harness (not a paper figure). The smoke
 # entry runs the scaled-down scenarios so a perf-harness regression
 # (crash, bad flag parsing, broken JSON) is caught by every ctest run.

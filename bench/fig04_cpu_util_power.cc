@@ -4,16 +4,29 @@
  * (a) DRAM->PIM and (b) PIM->DRAM data transfers, sampled over time.
  * The baseline software path pins every core in the AVX copy loop at
  * ~70 W; the PIM-MMU path (shown for contrast) leaves the CPU idle.
+ *
+ * The three panels are independent System runs, so they execute on a
+ * SweepRunner pool (--threads) and print in panel order afterwards.
  */
 
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 
 using namespace pimmmu;
 
 namespace {
 
-void
+struct Panel
+{
+    std::string table;   //!< rendered sample table
+    std::string summary; //!< mean utilization/power line ("" if none)
+};
+
+Panel
 timeline(sim::DesignPoint design, core::XferDirection dir)
 {
     sim::System sys(sim::SystemConfig::paperTable1(design));
@@ -49,12 +62,17 @@ timeline(sim::DesignPoint design, core::XferDirection dir)
         ++samples;
         prev = cur;
     }
-    bench::printTable(t);
+    Panel p;
+    p.table = t.str();
     if (samples > 0) {
-        std::printf("mean core utilization %.1f%%, mean system power "
-                    "%.1f W\n",
-                    100.0 * utilSum / samples, powerSum / samples);
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "mean core utilization %.1f%%, mean system power "
+                      "%.1f W\n",
+                      100.0 * utilSum / samples, powerSum / samples);
+        p.summary = buf;
     }
+    return p;
 }
 
 } // namespace
@@ -68,12 +86,32 @@ main(int argc, char **argv)
                   "Active CPU cores and system power during DRAM<->PIM "
                   "transfers (baseline; paper: ~100% cores, ~70 W)");
 
-    bench::note("\n(a) baseline DRAM->PIM");
-    timeline(sim::DesignPoint::Base, core::XferDirection::DramToPim);
-    bench::note("\n(b) baseline PIM->DRAM");
-    timeline(sim::DesignPoint::Base, core::XferDirection::PimToDram);
-    bench::note("\n(reference) PIM-MMU DRAM->PIM: transfer offloaded "
-                "to the DCE");
-    timeline(sim::DesignPoint::BaseDHP, core::XferDirection::DramToPim);
+    struct Job
+    {
+        const char *note;
+        sim::DesignPoint design;
+        core::XferDirection dir;
+    };
+    const Job jobs[] = {
+        {"\n(a) baseline DRAM->PIM", sim::DesignPoint::Base,
+         core::XferDirection::DramToPim},
+        {"\n(b) baseline PIM->DRAM", sim::DesignPoint::Base,
+         core::XferDirection::PimToDram},
+        {"\n(reference) PIM-MMU DRAM->PIM: transfer offloaded "
+         "to the DCE",
+         sim::DesignPoint::BaseDHP, core::XferDirection::DramToPim},
+    };
+    std::vector<Panel> panels(3);
+    sim::SweepRunner runner(opts.threads);
+    runner.run(3, [&](std::size_t j) {
+        panels[j] = timeline(jobs[j].design, jobs[j].dir);
+    });
+    for (std::size_t j = 0; j < 3; ++j) {
+        bench::note(jobs[j].note);
+        std::fputs(panels[j].table.c_str(), stdout);
+        if (!panels[j].summary.empty())
+            std::fputs(panels[j].summary.c_str(), stdout);
+    }
+    std::fflush(stdout);
     return bench::finish(opts);
 }

@@ -9,13 +9,22 @@
  * contenders (its copy threads lose cores) while PIM-MMU is virtually
  * insensitive; under memory contention both degrade, PIM-MMU less.
  *
+ * Every (design, contention) measurement is an independent System, so
+ * the whole figure runs as one SweepRunner job list (--threads); the
+ * no-contention rows double as the normalizers, exactly as in the old
+ * serial loops (Systems are deterministic, so the repeated baseline
+ * run the serial code did returned the same duration).
+ *
  * Ablation: --quantum-sweep reruns (a) at several OS quanta
  * (DESIGN.md scheduling-quantum ablation).
  */
 
 #include <cstring>
+#include <functional>
+#include <vector>
 
 #include "bench/bench_util.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 
 using namespace pimmmu;
@@ -69,22 +78,55 @@ main(int argc, char **argv)
                   "contender workloads (normalized to no contention)");
 
     const Tick quantum = Tick{3} * kPsPerMs / 2;
+    const unsigned computeCases[] = {0u, 2u, 4u, 8u, 16u, 24u};
+    const Tick quantumCases[] = {Tick{100}, Tick{500}, Tick{1500},
+                                 Tick{5000}};
+
+    // Flat job list: part (a) pairs, part (b) pairs, then the optional
+    // quantum ablation. Each job measures one System's duration.
+    std::vector<std::function<Tick()>> jobs;
+    for (unsigned n : computeCases) {
+        jobs.push_back([n, quantum] {
+            return runCompute(sim::DesignPoint::Base, n, quantum);
+        });
+        jobs.push_back([n, quantum] {
+            return runCompute(sim::DesignPoint::BaseDHP, n, quantum);
+        });
+    }
+    const std::size_t memBase = jobs.size();
+    for (int i = -1; i <= 3; ++i) {
+        jobs.push_back(
+            [i] { return runMemory(sim::DesignPoint::Base, i); });
+        jobs.push_back(
+            [i] { return runMemory(sim::DesignPoint::BaseDHP, i); });
+    }
+    const std::size_t quantumBase = jobs.size();
+    if (quantumSweep) {
+        for (Tick q : quantumCases) {
+            jobs.push_back([q, quantum] {
+                (void)quantum;
+                return runCompute(sim::DesignPoint::Base, 8,
+                                  q * kPsPerUs);
+            });
+        }
+    }
+
+    std::vector<Tick> durations(jobs.size());
+    sim::SweepRunner runner(opts.threads);
+    runner.run(jobs.size(),
+               [&](std::size_t j) { durations[j] = jobs[j](); });
 
     bench::note("\n(a) compute-intensive contenders");
     {
         Table t({"contenders", "Base ms", "Base (norm)", "PIM-MMU ms",
                  "PIM-MMU (norm)"});
-        const Tick base0 =
-            runCompute(sim::DesignPoint::Base, 0, quantum);
-        const Tick mmu0 =
-            runCompute(sim::DesignPoint::BaseDHP, 0, quantum);
-        for (unsigned n : {0u, 2u, 4u, 8u, 16u, 24u}) {
-            const Tick b = runCompute(sim::DesignPoint::Base, n,
-                                      quantum);
-            const Tick m = runCompute(sim::DesignPoint::BaseDHP, n,
-                                      quantum);
+        const Tick base0 = durations[0];
+        const Tick mmu0 = durations[1];
+        for (std::size_t c = 0; c < 6; ++c) {
+            const Tick b = durations[c * 2];
+            const Tick m = durations[c * 2 + 1];
             t.row()
-                .num(std::uint64_t{n})
+                .num(std::uint64_t{computeCases[c]})
                 .num(static_cast<double>(b) / 1e9)
                 .num(static_cast<double>(b) /
                      static_cast<double>(base0))
@@ -99,15 +141,15 @@ main(int argc, char **argv)
     {
         Table t({"intensity", "Base ms", "Base (norm)", "PIM-MMU ms",
                  "PIM-MMU (norm)"});
-        const Tick base0 = runMemory(sim::DesignPoint::Base, -1);
-        const Tick mmu0 = runMemory(sim::DesignPoint::BaseDHP, -1);
+        const Tick base0 = durations[memBase];
+        const Tick mmu0 = durations[memBase + 1];
         const char *names[] = {"none", "low", "medium", "high",
                                "very-high"};
-        for (int i = -1; i <= 3; ++i) {
-            const Tick b = runMemory(sim::DesignPoint::Base, i);
-            const Tick m = runMemory(sim::DesignPoint::BaseDHP, i);
+        for (std::size_t c = 0; c < 5; ++c) {
+            const Tick b = durations[memBase + c * 2];
+            const Tick m = durations[memBase + c * 2 + 1];
             t.row()
-                .cell(names[i + 1])
+                .cell(names[c])
                 .num(static_cast<double>(b) / 1e9)
                 .num(static_cast<double>(b) /
                      static_cast<double>(base0))
@@ -122,11 +164,11 @@ main(int argc, char **argv)
         bench::note("\n(ablation) OS quantum sensitivity, baseline, "
                     "8 compute contenders");
         Table t({"quantum (us)", "Base ms"});
-        for (Tick q : {Tick{100}, Tick{500}, Tick{1500}, Tick{5000}}) {
-            const Tick b = runCompute(sim::DesignPoint::Base, 8,
-                                      q * kPsPerUs);
-            t.row().num(std::uint64_t{q}).num(
-                static_cast<double>(b) / 1e9);
+        for (std::size_t c = 0; c < 4; ++c) {
+            t.row()
+                .num(std::uint64_t{quantumCases[c]})
+                .num(static_cast<double>(durations[quantumBase + c]) /
+                     1e9);
         }
         bench::printTable(t);
     }

@@ -36,9 +36,16 @@
  * The --out JSON (BENCH_chaos.json in CI) records per-scenario
  * delivery, the resilience.* counters (including readmissions and
  * probe failures), and raw fault-site fire counts.
+ *
+ * The sweep runs on a SweepRunner job list: --threads fans jobs out
+ * across workers, and --shards N --shard-index i runs only the jobs
+ * with index % N == i, writing a partial JSON whose rows carry global
+ * "job<N>" names so tools/benchmerge can splice shards back into the
+ * byte-identical unsharded file.
  */
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -46,6 +53,7 @@
 
 #include "bench/bench_util.hh"
 #include "resilience/crc.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 #include "testing/fault_injection.hh"
 
@@ -74,6 +82,7 @@ struct PolicyCase
 
 struct ScenarioResult
 {
+    unsigned job = 0; //!< global sweep index ("job<N>" row tag)
     std::string mode;
     std::string policy;
     double rate = 0.0;
@@ -293,21 +302,26 @@ runScenario(const ChaosMode &mode, unsigned modeIdx,
 }
 
 bool
-writeJson(const std::string &path, bool quick,
-          const std::vector<ScenarioResult> &results)
+writeJson(const std::string &path, bool quick, unsigned shards,
+          unsigned shardIndex, const std::vector<ScenarioResult> &results)
 {
     std::ofstream os(path);
     if (!os)
         return false;
-    os << "{\n  \"schema\": \"pim-mmu-bench-chaos-v1\",\n";
+    os << "{\n  \"schema\": \"pim-mmu-bench-chaos-v2\",\n";
     os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    if (shards > 1) {
+        os << "  \"shard\": {\"count\": " << shards
+           << ", \"index\": " << shardIndex << "},\n";
+    }
     os << "  \"scenarios\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const ScenarioResult &r = results[i];
         char buf[1024];
         std::snprintf(
             buf, sizeof(buf),
-            "    {\"mode\": \"%s\", \"policy\": \"%s\", "
+            "    {\"name\": \"job%u\", \"mode\": \"%s\", "
+            "\"policy\": \"%s\", "
             "\"rate\": %.1e, \"rounds\": %u, "
             "\"completed_rounds\": %u, \"failed_calls\": %u, "
             "\"no_healthy_targets\": %u, \"stalls\": %u, "
@@ -324,7 +338,7 @@ writeJson(const std::string &path, bool quick,
             "\"transfers_degraded\": %llu}, "
             "\"fired\": {\"kills\": %llu, \"flips\": %llu, "
             "\"corrupt\": %llu}}%s\n",
-            r.mode.c_str(), r.policy.c_str(), r.rate, r.rounds,
+            r.job, r.mode.c_str(), r.policy.c_str(), r.rate, r.rounds,
             r.completedRounds, r.failedCalls, r.noHealthy, r.stalls,
             static_cast<unsigned long long>(r.deliveredBytes),
             static_cast<unsigned long long>(r.expectedBytes),
@@ -359,26 +373,49 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
+    unsigned threads = 1;
+    unsigned shards = 1;
+    unsigned shardIndex = 0;
     std::string outPath;
     std::string replay;
+    auto numArg = [&](int &i) -> unsigned {
+        return static_cast<unsigned>(
+            std::strtoul(argv[++i], nullptr, 10));
+    };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads = numArg(i);
+        } else if (std::strcmp(argv[i], "--shards") == 0 &&
+                   i + 1 < argc) {
+            shards = numArg(i);
+        } else if (std::strcmp(argv[i], "--shard-index") == 0 &&
+                   i + 1 < argc) {
+            shardIndex = numArg(i);
         } else if (std::strcmp(argv[i], "--replay") == 0 &&
                    i + 1 < argc) {
             replay = argv[++i];
         } else {
             std::fprintf(
                 stderr,
-                "usage: %s [--quick] [--out <path>] "
+                "usage: %s [--quick] [--out <path>] [--threads <n>] "
+                "[--shards <n> --shard-index <i>] "
                 "[--replay <mode>:<policy>:<rate>]\n"
                 "  modes: independent rank channel; policies: mask "
                 "repair; e.g. --replay rank:repair:1e-4\n",
                 argv[0]);
             return 2;
         }
+    }
+    if (shards == 0 || shardIndex >= shards) {
+        std::fprintf(stderr,
+                     "--shard-index %u out of range for --shards %u\n",
+                     shardIndex, shards);
+        return 2;
     }
 
     bench::banner("Chaos campaign",
@@ -468,7 +505,8 @@ main(int argc, char **argv)
                            policies[replayPolicy], replayPolicy,
                            replayRate, rounds, numDpus, bytesPerDpu));
         bench::printTable(t);
-        if (!outPath.empty() && !writeJson(outPath, quick, results)) {
+        if (!outPath.empty() &&
+            !writeJson(outPath, quick, 1, 0, results)) {
             std::fprintf(stderr, "failed to write %s\n",
                          outPath.c_str());
             return 1;
@@ -476,13 +514,29 @@ main(int argc, char **argv)
         return 0;
     }
 
-    for (const double rate : rates) {
-        for (unsigned m = 0; m < 3; ++m) {
-            for (unsigned p = 0; p < 2; ++p) {
-                addRow(runScenario(kModes[m], m, policies[p], p, rate,
-                                   rounds, numDpus, bytesPerDpu));
-            }
-        }
+    // Sweep as a SweepRunner job list: rate-major, then mode, then
+    // policy — the same order as the old nested loops, so job indices
+    // are stable row names across shards. Each job is an independent
+    // System with thread-local fault/telemetry registries.
+    const std::size_t jobCount = rates.size() * 6;
+    std::vector<ScenarioResult> all(jobCount);
+    std::vector<char> present(jobCount, 0);
+    sim::SweepRunner runner(threads);
+    runner.setShard({shards, shardIndex});
+    runner.run(jobCount, [&](std::size_t j) {
+        const unsigned rateIdx = static_cast<unsigned>(j / 6);
+        const unsigned m = static_cast<unsigned>((j % 6) / 2);
+        const unsigned p = static_cast<unsigned>(j % 2);
+        ScenarioResult r =
+            runScenario(kModes[m], m, policies[p], p, rates[rateIdx],
+                        rounds, numDpus, bytesPerDpu);
+        r.job = static_cast<unsigned>(j);
+        all[j] = std::move(r);
+        present[j] = 1;
+    });
+    for (std::size_t j = 0; j < jobCount; ++j) {
+        if (present[j])
+            addRow(all[j]);
     }
     bench::printTable(t);
 
@@ -536,8 +590,17 @@ main(int argc, char **argv)
         }
     }
     if (repairRank0 == nullptr || repairRank4 == nullptr) {
-        std::fprintf(stderr, "FAIL: repair/rank scenarios missing\n");
-        rc = 1;
+        if (shards > 1) {
+            // Both cells land in the same shard under the round-robin
+            // split only by accident; when one is absent the recovery
+            // gate is re-checked on the merged (or unsharded) run.
+            bench::note("\nrank/repair recovery gate skipped: the two "
+                        "cells it compares are split across shards");
+        } else {
+            std::fprintf(stderr,
+                         "FAIL: repair/rank scenarios missing\n");
+            rc = 1;
+        }
     } else {
         if (repairRank4->firedKills == 0) {
             std::fprintf(stderr,
@@ -582,7 +645,7 @@ main(int argc, char **argv)
                 "scrubs, probations and re-admits it.");
 
     if (!outPath.empty()) {
-        if (!writeJson(outPath, quick, results)) {
+        if (!writeJson(outPath, quick, shards, shardIndex, results)) {
             std::fprintf(stderr, "failed to write %s\n",
                          outPath.c_str());
             return 1;

@@ -29,6 +29,7 @@
 
 #include "bench/bench_util.hh"
 #include "resilience/crc.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 #include "testing/fault_injection.hh"
 
@@ -44,6 +45,7 @@ struct PolicyCase
 
 struct ScenarioResult
 {
+    unsigned job = 0; //!< global sweep index (rateIdx * 3 + policyIdx)
     std::string policy;
     double rate = 0.0;
     unsigned rounds = 0;          //!< round trips attempted
@@ -226,22 +228,34 @@ runScenario(unsigned policyIdx, const PolicyCase &pc, double rate,
     return r;
 }
 
+/**
+ * One scenario per line, each row tagged with its global job index.
+ * Sharded invocations write the same row bytes for the jobs they own
+ * plus a "shard" header, so tools/benchmerge can splice the partials
+ * back into the exact unsharded file.
+ */
 bool
-writeJson(const std::string &path, bool quick,
+writeJson(const std::string &path, bool quick, unsigned shards,
+          unsigned shardIndex,
           const std::vector<ScenarioResult> &results)
 {
     std::ofstream os(path);
     if (!os)
         return false;
-    os << "{\n  \"schema\": \"pim-mmu-bench-resilience-v1\",\n";
+    os << "{\n  \"schema\": \"pim-mmu-bench-resilience-v2\",\n";
     os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    if (shards > 1) {
+        os << "  \"shard\": {\"count\": " << shards
+           << ", \"index\": " << shardIndex << "},\n";
+    }
     os << "  \"scenarios\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const ScenarioResult &r = results[i];
         char buf[896];
         std::snprintf(
             buf, sizeof(buf),
-            "    {\"policy\": \"%s\", \"rate\": %.1e, "
+            "    {\"name\": \"job%u\", \"policy\": \"%s\", "
+            "\"rate\": %.1e, "
             "\"rounds\": %u, \"completed_rounds\": %u, "
             "\"failed_calls\": %u, \"stalls\": %u, "
             "\"checked_dpus\": %u, \"corrupt_dpus\": %u, "
@@ -255,7 +269,8 @@ writeJson(const std::string &path, bool quick,
             "\"fired\": {\"flips\": %llu, \"double_flips\": %llu, "
             "\"corrupt\": %llu, \"drops\": %llu, "
             "\"kills\": %llu}}%s\n",
-            r.policy.c_str(), r.rate, r.rounds, r.completedRounds,
+            r.job, r.policy.c_str(), r.rate, r.rounds,
+            r.completedRounds,
             r.failedCalls, r.stalls, r.checkedDpus, r.corruptDpus,
             r.skippedDpus,
             static_cast<unsigned long long>(r.firstRoundPs),
@@ -287,17 +302,42 @@ main(int argc, char **argv)
 {
     bool quick = false;
     std::string outPath;
+    unsigned threads = 1, shards = 1, shardIndex = 0;
+    auto numArg = [&](int &i, const char *flag) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: %s needs a number\n", argv[0],
+                         flag);
+            std::exit(2);
+        }
+        return static_cast<unsigned>(std::strtoul(argv[++i], nullptr,
+                                                  10));
+    };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            threads = numArg(i, "--threads");
+        } else if (std::strcmp(argv[i], "--shards") == 0) {
+            shards = numArg(i, "--shards");
+        } else if (std::strcmp(argv[i], "--shard-index") == 0) {
+            shardIndex = numArg(i, "--shard-index");
         } else {
-            std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--out <path>] "
+                         "[--threads <n>] [--shards <n> "
+                         "--shard-index <i>]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (shards == 0 || shardIndex >= shards) {
+        std::fprintf(stderr,
+                     "%s: --shard-index must be in [0, --shards)\n",
+                     argv[0]);
+        return 2;
     }
 
     bench::banner("Resilience campaign",
@@ -318,36 +358,64 @@ main(int argc, char **argv)
         {"retry+mask", resilience::Policy::withRetryAndMask()},
     };
 
-    std::vector<ScenarioResult> results;
+    // Job j = rateIdx * 3 + policyIdx: same order the old serial
+    // rates x policies loop ran in. Scenarios are fully independent
+    // (each builds its own System and arms its own thread-local fault
+    // registry from a per-job seed), so they parallelize across
+    // --threads workers and shard across processes without changing a
+    // single result byte.
+    const std::size_t jobCount = rates.size() * 3;
+    std::vector<ScenarioResult> results(jobCount);
+    std::vector<char> present(jobCount, 0);
+    sim::SweepRunner runner(threads);
+    runner.setShard({shards, shardIndex});
+    runner.run(jobCount, [&](std::size_t j) {
+        const unsigned rateIdx = static_cast<unsigned>(j / 3);
+        const unsigned p = static_cast<unsigned>(j % 3);
+        results[j] = runScenario(p, policies[p], rates[rateIdx],
+                                 rounds, numDpus, bytesPerDpu);
+        results[j].job = static_cast<unsigned>(j);
+        present[j] = 1;
+    });
+    // Drop the slots other shards own so every later loop (table,
+    // gates, JSON) sees only this process's scenarios, in job order.
+    {
+        std::vector<ScenarioResult> mine;
+        mine.reserve(jobCount);
+        for (std::size_t j = 0; j < jobCount; ++j) {
+            if (present[j])
+                mine.push_back(std::move(results[j]));
+        }
+        results = std::move(mine);
+    }
+
     Table t({"policy", "rate", "rounds", "stalls", "failed", "corrupt",
              "masked", "ecc corr", "ecc unc", "crc rtry", "wd fires",
              "rt us"});
-    for (const double rate : rates) {
-        for (unsigned p = 0; p < 3; ++p) {
-            const ScenarioResult r = runScenario(
-                p, policies[p], rate, rounds, numDpus, bytesPerDpu);
-            char rateBuf[16];
-            std::snprintf(rateBuf, sizeof(rateBuf), "%.0e", r.rate);
-            t.row()
-                .cell(r.policy)
-                .cell(rateBuf)
-                .num(std::uint64_t{r.completedRounds})
-                .num(std::uint64_t{r.stalls})
-                .num(std::uint64_t{r.failedCalls})
-                .num(std::uint64_t{r.corruptDpus})
-                .num(r.dpusMasked)
-                .num(r.eccCorrected)
-                .num(r.eccUncorrectable)
-                .num(r.crcRetries)
-                .num(r.watchdogFires)
-                .num(static_cast<double>(r.firstRoundPs) / 1e6);
-            results.push_back(r);
-        }
+    for (const ScenarioResult &r : results) {
+        char rateBuf[16];
+        std::snprintf(rateBuf, sizeof(rateBuf), "%.0e", r.rate);
+        t.row()
+            .cell(r.policy)
+            .cell(rateBuf)
+            .num(std::uint64_t{r.completedRounds})
+            .num(std::uint64_t{r.stalls})
+            .num(std::uint64_t{r.failedCalls})
+            .num(std::uint64_t{r.corruptDpus})
+            .num(r.dpusMasked)
+            .num(r.eccCorrected)
+            .num(r.eccUncorrectable)
+            .num(r.crcRetries)
+            .num(r.watchdogFires)
+            .num(static_cast<double>(r.firstRoundPs) / 1e6);
     }
     bench::printTable(t);
 
     // Rate-0 invariants: all policies deliver golden data in identical
     // simulated time — detection must be free when nothing fires.
+    // Under sharding each process checks the scenarios it owns; the CI
+    // merge step then verifies the spliced file equals an unsharded
+    // run byte for byte, which re-checks cross-shard consistency.
     int rc = 0;
     Tick rate0Ps = 0;
     for (const ScenarioResult &r : results) {
@@ -390,7 +458,7 @@ main(int argc, char **argv)
                 "also survives dead cores.");
 
     if (!outPath.empty()) {
-        if (!writeJson(outPath, quick, results)) {
+        if (!writeJson(outPath, quick, shards, shardIndex, results)) {
             std::fprintf(stderr, "failed to write %s\n",
                          outPath.c_str());
             return 1;

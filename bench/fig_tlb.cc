@@ -13,10 +13,12 @@
  * mismatch exits non-zero, so the gate runs on every ctest invocation
  * via fig_tlb_smoke.
  *
- * Usage: fig_tlb [--quick] [--out <path>]
+ * Usage: fig_tlb [--quick] [--out <path>] [--threads <n>]
+ *                [--shards <n> --shard-index <i>]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "mmu/mmu.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 
 using namespace pimmmu;
@@ -340,24 +343,56 @@ main(int argc, char **argv)
 {
     bool quick = false;
     std::string outPath = "BENCH_tlb.json";
+    unsigned threads = 1, shards = 1, shardIndex = 0;
+    auto numArg = [&](int &i, const char *flag) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: %s needs a number\n", argv[0],
+                         flag);
+            std::exit(2);
+        }
+        return static_cast<unsigned>(std::strtoul(argv[++i], nullptr,
+                                                  10));
+    };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            threads = numArg(i, "--threads");
+        } else if (std::strcmp(argv[i], "--shards") == 0) {
+            shards = numArg(i, "--shards");
+        } else if (std::strcmp(argv[i], "--shard-index") == 0) {
+            shardIndex = numArg(i, "--shard-index");
         } else {
-            std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--out <path>] "
+                         "[--threads <n>] [--shards <n> "
+                         "--shard-index <i>]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (shards == 0 || shardIndex >= shards) {
+        std::fprintf(stderr,
+                     "%s: --shard-index must be in [0, --shards)\n",
+                     argv[0]);
+        return 2;
     }
 
     std::printf("TLB sweep (%s mode)\n", quick ? "quick" : "full");
 
     std::ostringstream json;
-    json << "{\n  \"schema\": \"pim-mmu-bench-tlb-v1\",\n";
+    json << "{\n  \"schema\": \"pim-mmu-bench-tlb-v2\",\n";
     json << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    if (shards > 1) {
+        json << "  \"shard\": {\"count\": " << shards
+             << ", \"index\": " << shardIndex << "},\n";
+    }
 
+    // The identity gate runs on every shard: it is the layer's
+    // correctness invariant, and its JSON line is identical across
+    // shards so benchmerge can verify the headers agree.
     if (!identityGate(json))
         return 1;
 
@@ -370,43 +405,61 @@ main(int argc, char **argv)
         quick ? std::vector<unsigned>{1, 2}
               : std::vector<unsigned>{1, 2, 4};
 
+    // Job j walks the old nested loops' order: tenants innermost,
+    // entries outermost. Points are independent Systems, so they run
+    // across --threads workers and shard across processes unchanged.
+    const std::size_t jobCount =
+        entrySweep.size() * pageSweep.size() * tenantSweep.size();
+    std::vector<SweepPoint> points(jobCount);
+    std::vector<char> present(jobCount, 0);
+    sim::SweepRunner runner(threads);
+    runner.setShard({shards, shardIndex});
+    runner.run(jobCount, [&](std::size_t j) {
+        const std::size_t tIdx = j % tenantSweep.size();
+        const std::size_t pIdx =
+            (j / tenantSweep.size()) % pageSweep.size();
+        const std::size_t eIdx =
+            j / (tenantSweep.size() * pageSweep.size());
+        points[j] = runSweepPoint(quick, entrySweep[eIdx],
+                                  pageSweep[pIdx], tenantSweep[tIdx]);
+        present[j] = 1;
+    });
+
     json << "  \"points\": [\n";
-    bool first = true;
-    for (unsigned entries : entrySweep) {
-        for (std::uint64_t pageBytes : pageSweep) {
-            for (unsigned tenants : tenantSweep) {
-                const SweepPoint pt =
-                    runSweepPoint(quick, entries, pageBytes, tenants);
-                std::printf(
-                    "  tlb=%3u page=%4lluK tenants=%u  hits=%llu "
-                    "misses=%llu evict=%llu walk_levels=%llu "
-                    "xlat_us=%.2f\n",
-                    pt.entries,
-                    static_cast<unsigned long long>(pt.pageBytes /
-                                                    kKiB),
-                    pt.tenants,
-                    static_cast<unsigned long long>(pt.tlbHits),
-                    static_cast<unsigned long long>(pt.tlbMisses),
-                    static_cast<unsigned long long>(pt.tlbEvictions),
-                    static_cast<unsigned long long>(pt.walkLevels),
-                    static_cast<double>(pt.xlatPs) / 1e6);
-                if (!first)
-                    json << ",\n";
-                first = false;
-                json << "    {\"tlb_entries\": " << pt.entries
-                     << ", \"page_bytes\": " << pt.pageBytes
-                     << ", \"tenants\": " << pt.tenants
-                     << ", \"transfers\": " << pt.transfers
-                     << ", \"tlb_hits\": " << pt.tlbHits
-                     << ", \"tlb_misses\": " << pt.tlbMisses
-                     << ", \"tlb_evictions\": " << pt.tlbEvictions
-                     << ", \"walk_levels\": " << pt.walkLevels
-                     << ", \"xlat_ps\": " << pt.xlatPs
-                     << ", \"sim_ps\": " << pt.simPs << "}";
-            }
-        }
+    std::vector<std::string> rows;
+    for (std::size_t j = 0; j < jobCount; ++j) {
+        if (!present[j])
+            continue;
+        const SweepPoint &pt = points[j];
+        std::printf(
+            "  tlb=%3u page=%4lluK tenants=%u  hits=%llu "
+            "misses=%llu evict=%llu walk_levels=%llu "
+            "xlat_us=%.2f\n",
+            pt.entries,
+            static_cast<unsigned long long>(pt.pageBytes / kKiB),
+            pt.tenants,
+            static_cast<unsigned long long>(pt.tlbHits),
+            static_cast<unsigned long long>(pt.tlbMisses),
+            static_cast<unsigned long long>(pt.tlbEvictions),
+            static_cast<unsigned long long>(pt.walkLevels),
+            static_cast<double>(pt.xlatPs) / 1e6);
+        std::ostringstream row;
+        row << "    {\"name\": \"job" << j << "\""
+            << ", \"tlb_entries\": " << pt.entries
+            << ", \"page_bytes\": " << pt.pageBytes
+            << ", \"tenants\": " << pt.tenants
+            << ", \"transfers\": " << pt.transfers
+            << ", \"tlb_hits\": " << pt.tlbHits
+            << ", \"tlb_misses\": " << pt.tlbMisses
+            << ", \"tlb_evictions\": " << pt.tlbEvictions
+            << ", \"walk_levels\": " << pt.walkLevels
+            << ", \"xlat_ps\": " << pt.xlatPs
+            << ", \"sim_ps\": " << pt.simPs << "}";
+        rows.push_back(row.str());
     }
-    json << "\n  ]\n}\n";
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        json << rows[i] << (i + 1 < rows.size() ? ",\n" : "\n");
+    json << "  ]\n}\n";
 
     std::ofstream os(outPath);
     if (!os || !(os << json.str())) {

@@ -9,11 +9,19 @@
  * Scenarios:
  *   xfer_sw  - Fig. 6(a): software DRAM->PIM transfer, Base design
  *   xfer_mmu - Fig. 6(c): PIM-MMU DRAM->PIM transfer, BaseDHP design
+ *   xfer_ff  - xfer_mmu re-run on the fast-forward plane (functional
+ *              data movement only, no timing events); gated on a
+ *              byte-identical final memory image and, in full mode, a
+ *              >=3x wall-clock win over xfer_mmu
  *   xfer_vm  - xfer_mmu submitted by virtual address through a tenant
  *              with zero-cost translation; asserted event- and
  *              cycle-identical to xfer_mmu before the JSON is written
  *   va       - Fig. 16 VA workload, both transfer directions, BaseDHP
  *   memcpy   - Fig. 14-style DRAM->DRAM memcpy, BaseDHP design
+ *   sweep_1t - 8 independent Systems through SweepRunner, one worker
+ *   sweep_mt - same jobs, hardware_concurrency workers; the wall-time
+ *              ratio to sweep_1t is the campaign --threads speedup on
+ *              this machine
  *
  * Usage: perf_engine [--quick] [--reps <n>] [--out <path>]
  *   --quick scales the scenarios down (fewer DPUs, smaller buffers) so
@@ -23,15 +31,18 @@
  *   determinism.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/table.hh"
 #include "mmu/mmu.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 #include "workloads/prim.hh"
 
@@ -154,6 +165,18 @@ main(int argc, char **argv)
 
     std::vector<ScenarioResult> results;
 
+    // Final-memory digests of the timed and fast-forwarded MMU
+    // transfer; computed on the first rep only so the digest walk never
+    // lands in the best-of-reps wall time. The source region is seeded
+    // with a nonzero pattern so the byte-identity gate compares real
+    // payloads, not untouched zero pages.
+    std::uint64_t mmuFnv = 0;
+    std::uint64_t ffFnv = 0;
+    std::vector<std::uint8_t> seedPattern(std::uint64_t{dpus} *
+                                          xferBytes);
+    for (std::size_t i = 0; i < seedPattern.size(); ++i)
+        seedPattern[i] = static_cast<std::uint8_t>(i * 193 + 11);
+
     results.push_back(runScenario(
         "xfer_sw", reps, [&](ScenarioResult &r) {
             sim::System sys(sim::SystemConfig::paperTable1(
@@ -168,10 +191,29 @@ main(int argc, char **argv)
         "xfer_mmu", reps, [&](ScenarioResult &r) {
             sim::System sys(sim::SystemConfig::paperTable1(
                 sim::DesignPoint::BaseDHP));
+            sys.mem().store().write(0, seedPattern.data(),
+                                    seedPattern.size());
             sys.runTransfer(core::XferDirection::DramToPim, dpus,
                             xferBytes);
             r.events = sys.eq().executed();
             r.simPs = sys.eq().now();
+            if (mmuFnv == 0)
+                mmuFnv = sys.memoryFingerprint();
+        }));
+
+    results.push_back(runScenario(
+        "xfer_ff", reps, [&](ScenarioResult &r) {
+            sim::System sys(sim::SystemConfig::paperTable1(
+                sim::DesignPoint::BaseDHP));
+            sys.mem().store().write(0, seedPattern.data(),
+                                    seedPattern.size());
+            sys.setPlane(sim::Plane::FastForward);
+            sys.runTransfer(core::XferDirection::DramToPim, dpus,
+                            xferBytes);
+            r.events = sys.eq().executed();
+            r.simPs = sys.eq().now();
+            if (ffFnv == 0)
+                ffFnv = sys.memoryFingerprint();
         }));
 
     results.push_back(runScenario(
@@ -249,6 +291,39 @@ main(int argc, char **argv)
             r.simPs = sys.eq().now();
         }));
 
+    // Campaign-shaped scenario: independent Systems fanned out through
+    // SweepRunner, serial vs all hardware threads. Events and sim-time
+    // are per-job sums, so both rows must agree exactly; the wall-time
+    // ratio is the --threads speedup campaigns see on this machine.
+    const std::size_t sweepJobCount = quick ? 4 : 8;
+    const unsigned sweepDpus = std::max(1u, dpus / 4);
+    auto sweepScenario = [&](unsigned threads) {
+        return [&, threads](ScenarioResult &r) {
+            std::vector<std::uint64_t> ev(sweepJobCount, 0);
+            std::vector<Tick> ps(sweepJobCount, 0);
+            sim::SweepRunner runner(threads);
+            runner.run(sweepJobCount, [&](std::size_t j) {
+                sim::System sys(sim::SystemConfig::paperTable1(
+                    sim::DesignPoint::BaseDHP));
+                sys.runTransfer(core::XferDirection::DramToPim,
+                                sweepDpus, xferBytes);
+                ev[j] = sys.eq().executed();
+                ps[j] = sys.eq().now();
+            });
+            r.events = 0;
+            r.simPs = 0;
+            for (std::size_t j = 0; j < sweepJobCount; ++j) {
+                r.events += ev[j];
+                r.simPs += ps[j];
+            }
+        };
+    };
+    results.push_back(runScenario("sweep_1t", reps, sweepScenario(1)));
+    results.push_back(runScenario(
+        "sweep_mt", reps,
+        sweepScenario(
+            std::max(1u, std::thread::hardware_concurrency()))));
+
     // Identity assertion: virtual submission with zero-cost
     // translation must not perturb the engine — same events, same
     // final simulated time as the physical xfer_mmu scenario.
@@ -273,6 +348,67 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(mmuR ? mmuR->simPs
                                                      : 0),
                 static_cast<unsigned long long>(vmR ? vmR->simPs : 0));
+            return 1;
+        }
+    }
+
+    // Fast-forward gate: skipping the timing plane must not change a
+    // single payload byte (same functional plane drives both runs), and
+    // in full mode it must buy at least a 3x wall-clock win over the
+    // timed xfer_mmu run. Quick mode skips the speed check only — its
+    // sub-millisecond walls are scheduler noise.
+    {
+        const ScenarioResult *mmuR = nullptr;
+        const ScenarioResult *ffR = nullptr;
+        for (const ScenarioResult &r : results) {
+            if (r.name == "xfer_mmu")
+                mmuR = &r;
+            else if (r.name == "xfer_ff")
+                ffR = &r;
+        }
+        if (mmuR == nullptr || ffR == nullptr || mmuFnv != ffFnv) {
+            std::fprintf(stderr,
+                         "fast-forward memory image differs from the "
+                         "timed run: fnv %016llx vs %016llx\n",
+                         static_cast<unsigned long long>(mmuFnv),
+                         static_cast<unsigned long long>(ffFnv));
+            return 1;
+        }
+        const double speedup = mmuR->bestWallSec / ffR->bestWallSec;
+        std::printf("fast-forward: %.1fx wall-clock vs xfer_mmu, "
+                    "memory image identical (fnv %016llx)\n",
+                    speedup, static_cast<unsigned long long>(mmuFnv));
+        if (!quick && speedup < 3.0) {
+            std::fprintf(stderr,
+                         "fast-forward speedup %.2fx is below the 3x "
+                         "floor\n",
+                         speedup);
+            return 1;
+        }
+    }
+
+    // Thread-pool identity: the multi-threaded sweep must execute the
+    // exact same per-job simulations as the serial one.
+    {
+        const ScenarioResult *oneR = nullptr;
+        const ScenarioResult *mtR = nullptr;
+        for (const ScenarioResult &r : results) {
+            if (r.name == "sweep_1t")
+                oneR = &r;
+            else if (r.name == "sweep_mt")
+                mtR = &r;
+        }
+        if (oneR == nullptr || mtR == nullptr ||
+            oneR->events != mtR->events || oneR->simPs != mtR->simPs) {
+            std::fprintf(
+                stderr,
+                "sweep_mt is not identical to sweep_1t: events %llu vs "
+                "%llu, sim_ps %llu vs %llu\n",
+                static_cast<unsigned long long>(oneR ? oneR->events
+                                                     : 0),
+                static_cast<unsigned long long>(mtR ? mtR->events : 0),
+                static_cast<unsigned long long>(oneR ? oneR->simPs : 0),
+                static_cast<unsigned long long>(mtR ? mtR->simPs : 0));
             return 1;
         }
     }

@@ -1,0 +1,29 @@
+# ctest script: the quick TLB campaign run as two shards and spliced
+# back together by benchmerge must be byte-identical to the unsharded
+# run. Mirrors the CI shard/merge job at smoke scale (see
+# .github/workflows/ci.yml). Variables: FIG_TLB, BENCHMERGE, WORK_DIR.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_checked)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (${rc}): ${ARGN}")
+    endif()
+endfunction()
+
+run_checked(${FIG_TLB} --quick --out ${WORK_DIR}/full.json)
+run_checked(${FIG_TLB} --quick --shards 2 --shard-index 0
+            --out ${WORK_DIR}/shard0.json)
+run_checked(${FIG_TLB} --quick --shards 2 --shard-index 1
+            --out ${WORK_DIR}/shard1.json)
+run_checked(${BENCHMERGE} -o ${WORK_DIR}/merged.json
+            ${WORK_DIR}/shard0.json ${WORK_DIR}/shard1.json)
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/merged.json ${WORK_DIR}/full.json
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "merged shards differ from the unsharded campaign output")
+endif()

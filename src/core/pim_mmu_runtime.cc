@@ -233,8 +233,55 @@ PimMmuRuntime::transferChecked(const PimMmuOp &op,
                                           << " PIM cores x "
                                           << ctx->op.sizePerPim
                                           << " B");
-    runAttempt(ctx);
+    if (fastForward_)
+        runFastForward(ctx);
+    else
+        runAttempt(ctx);
     return resilience::Status{};
+}
+
+void
+PimMmuRuntime::runFastForward(const std::shared_ptr<CallCtx> &ctx)
+{
+    // Same attempt semantics as runAttempt/onAttemptDone — guarded
+    // functional copy, per-attempt detection, retry up to the policy
+    // budget — but run synchronously with no timing-plane events. The
+    // watchdog and DCE never see the descriptor (they only model
+    // timing), so the only failure mode here is persistent corruption.
+    const bool useGuard = res_ && res_->policy().detectionEnabled();
+    const unsigned attempts =
+        useGuard && res_->policy().retry ? res_->policy().maxRetries + 1
+                                         : 1;
+    resilience::Status status;
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        resilience::XferGuard guard;
+        if (useGuard)
+            guard = res_->makeGuard();
+        device::functionalTransfer(
+            mem_.store(), pim_,
+            ctx->op.type == XferDirection::DramToPim, ctx->grouping,
+            ctx->op.sizePerPim, ctx->op.pimBaseHeapPtr,
+            useGuard ? &guard : nullptr);
+        if (!useGuard)
+            break;
+        res_->absorbGuard(guard);
+        ctx->lastUncorrectedWords = guard.uncorrectedWords;
+        if (guard.dataOk())
+            break;
+        if (attempt + 1 < attempts) {
+            if (guard.uncorrectedWords > 0)
+                res_->noteEccRetry();
+            else
+                res_->noteCrcRetry();
+        } else {
+            res_->noteTransferFailed();
+            std::ostringstream os;
+            os << "payload corrupt after " << attempts << " attempt(s)";
+            status = resilience::Status::failure(
+                resilience::ErrorCode::DataCorrupt, os.str());
+        }
+    }
+    finishCall(ctx, std::move(status));
 }
 
 void

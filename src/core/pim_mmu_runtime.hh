@@ -92,6 +92,17 @@ class PimMmuRuntime
     stats::Group &stats() { return stats_; }
 
     /**
+     * Fast-forward plane switch (see sim::Plane). When on, accepted
+     * transfers run validation, health masking, the guarded functional
+     * copy and the synchronous retry loop exactly as the timing path
+     * does — same payload bytes, same functional/resilience counters —
+     * but complete immediately instead of riding the doorbell ->
+     * DCE -> interrupt event chain, so simulated time does not move.
+     */
+    void setFastForward(bool on) { fastForward_ = on; }
+    bool fastForward() const { return fastForward_; }
+
+    /**
      * The translation layer, instantiated on first use so purely
      * physical runs carry no MMU state (and no "mmu" stats group) at
      * all. Map tenants' VMAs here, then submit ops with op.tenant set.
@@ -135,6 +146,8 @@ class PimMmuRuntime
     resilience::Status resolveVirtual(PimMmuOp &op, Tick &xlatPs);
 
     void runAttempt(const std::shared_ptr<CallCtx> &ctx);
+    /** Functional-plane-only attempt loop (fast-forward mode). */
+    void runFastForward(const std::shared_ptr<CallCtx> &ctx);
     void onAttemptDone(const std::shared_ptr<CallCtx> &ctx, bool dataOk,
                        const resilience::Status &dceStatus);
     void finishCall(const std::shared_ptr<CallCtx> &ctx,
@@ -149,6 +162,7 @@ class PimMmuRuntime
     std::unique_ptr<mmu::Mmu> mmu_;
     std::uint64_t nextCallId_ = 0;
     unsigned timelineTrack_ = 0;
+    bool fastForward_ = false;
     stats::Group stats_;
 };
 

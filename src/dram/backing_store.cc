@@ -1,9 +1,40 @@
 #include "dram/backing_store.hh"
 
 #include <algorithm>
+#include <vector>
 
 namespace pimmmu {
 namespace dram {
+
+std::uint64_t
+BackingStore::fingerprint(std::uint64_t seed) const
+{
+    std::vector<Addr> ids;
+    ids.reserve(pages_.size());
+    for (const auto &entry : pages_)
+        ids.push_back(entry.first);
+    std::sort(ids.begin(), ids.end());
+
+    std::uint64_t h = seed;
+    auto mix = [&h](const void *data, std::size_t bytes) {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < bytes; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const Addr id : ids) {
+        const std::uint8_t *page = pages_.find(id)->second.get();
+        bool allZero = true;
+        for (std::size_t i = 0; i < kPageBytes && allZero; ++i)
+            allZero = page[i] == 0;
+        if (allZero)
+            continue;
+        mix(&id, sizeof(id));
+        mix(page, kPageBytes);
+    }
+    return h;
+}
 
 std::uint8_t *
 BackingStore::pageFor(Addr addr, bool allocate) const

@@ -42,6 +42,15 @@ class BackingStore
 
     std::size_t allocatedPages() const { return pages_.size(); }
 
+    /**
+     * Deterministic FNV-1a digest of the memory image: pages are
+     * hashed in ascending address order and all-zero pages are skipped,
+     * so the digest depends only on visible byte contents — never on
+     * which plane (or allocation pattern) produced them.
+     */
+    std::uint64_t fingerprint(std::uint64_t seed =
+                                  0xcbf29ce484222325ull) const;
+
   private:
     using Page = std::unique_ptr<std::uint8_t[]>;
 

@@ -11,6 +11,38 @@
 namespace pimmmu {
 namespace dram {
 
+namespace {
+
+// Bitmask helpers for the per-bank open/row-hit/non-hit maps (64 banks
+// per word). Scans walk the words ascending and pop bits lowest-first,
+// so iteration order matches the old per-bank vector walk exactly.
+
+inline bool
+testBit(const std::vector<std::uint64_t> &m, std::size_t b)
+{
+    return (m[b >> 6] >> (b & 63)) & 1u;
+}
+
+inline void
+setBit(std::vector<std::uint64_t> &m, std::size_t b)
+{
+    m[b >> 6] |= std::uint64_t{1} << (b & 63);
+}
+
+inline void
+clearBit(std::vector<std::uint64_t> &m, std::size_t b)
+{
+    m[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+}
+
+inline unsigned
+ctz64(std::uint64_t x)
+{
+    return static_cast<unsigned>(__builtin_ctzll(x));
+}
+
+} // namespace
+
 MemoryController::MemoryController(EventQueue &eq,
                                    const TimingParams &timing,
                                    const mapping::DramGeometry &geometry,
@@ -20,15 +52,44 @@ MemoryController::MemoryController(EventQueue &eq,
     : eq_(eq), timing_(timing), geom_(geometry), channelId_(channelId),
       config_(config),
       ticker_(eq, timing.tCKps, [this] { return tick(); }),
-      banks_(geometry.ranksPerChannel * geometry.banksPerRank()),
-      bankGroups_(geometry.ranksPerChannel * geometry.bankGroups),
-      ranks_(geometry.ranksPerChannel),
-      openRowHasHit_(banks_.size(), false),
       stats_(name.empty() ? "mc.ch" + std::to_string(channelId)
                           : std::move(name))
 {
     if (config_.writeLowWatermark >= config_.writeHighWatermark)
         fatal("write watermarks misordered");
+
+    const std::size_t numBanks =
+        std::size_t{geom_.ranksPerChannel} * geom_.banksPerRank();
+    const std::size_t numBgs =
+        std::size_t{geom_.ranksPerChannel} * geom_.bankGroups;
+    const std::size_t maskWords = (numBanks + 63) / 64;
+    bankRow_.assign(numBanks, 0);
+    bankActReady_.assign(numBanks, 0);
+    bankPreReady_.assign(numBanks, 0);
+    bankColReady_.assign(numBanks, 0);
+    bankOpenMask_.assign(maskWords, 0);
+    rowHitMask_.assign(maskWords, 0);
+    nonHitMask_.assign(maskWords, 0);
+    bankRank_.resize(numBanks);
+    bankBg_.resize(numBanks);
+    for (std::size_t b = 0; b < numBanks; ++b) {
+        const unsigned ra =
+            static_cast<unsigned>(b / geom_.banksPerRank());
+        const unsigned bg = static_cast<unsigned>(
+            (b % geom_.banksPerRank()) / geom_.banksPerGroup);
+        bankRank_[b] = static_cast<std::uint16_t>(ra);
+        bankBg_[b] =
+            static_cast<std::uint16_t>(ra * geom_.bankGroups + bg);
+    }
+    bgActReady_.assign(numBgs, 0);
+    bgColReady_.assign(numBgs, 0);
+    bgRdReady_.assign(numBgs, 0);
+    rankActReady_.assign(geom_.ranksPerChannel, 0);
+    rankColReady_.assign(geom_.ranksPerChannel, 0);
+    rankRdReady_.assign(geom_.ranksPerChannel, 0);
+    rankWrReady_.assign(geom_.ranksPerChannel, 0);
+    rankRefresh_.assign(geom_.ranksPerChannel, RankRefresh{});
+
     timelineTrack_ = telemetry::Timeline::global().track(stats_.name());
     telemetry::StatsRegistry::global().add(stats_, [this] {
         // Channel utilization: data-bus busy share of elapsed time.
@@ -75,24 +136,6 @@ MemoryController::bankIndexOf(const mapping::DramCoord &c) const
     return c.bankIndex(geom_);
 }
 
-MemoryController::BankState &
-MemoryController::bank(const mapping::DramCoord &c)
-{
-    return banks_[bankIndexOf(c)];
-}
-
-MemoryController::BankGroupState &
-MemoryController::bankGroup(const mapping::DramCoord &c)
-{
-    return bankGroups_[c.ra * geom_.bankGroups + c.bg];
-}
-
-MemoryController::RankState &
-MemoryController::rank(const mapping::DramCoord &c)
-{
-    return ranks_[c.ra];
-}
-
 bool
 MemoryController::canAccept(bool write) const
 {
@@ -117,10 +160,10 @@ MemoryController::enqueue(MemRequest req)
         // (idle-time refresh is not modeled; see DESIGN.md).
         wasIdle_ = false;
         const Cycle now = nowCycle();
-        for (std::size_t r = 0; r < ranks_.size(); ++r) {
-            ranks_[r].refreshDue = std::max<Cycle>(
-                ranks_[r].refreshDue,
-                now + timing_.tREFI * (r + 1) / ranks_.size());
+        for (std::size_t r = 0; r < rankRefresh_.size(); ++r) {
+            rankRefresh_[r].refreshDue = std::max<Cycle>(
+                rankRefresh_[r].refreshDue,
+                now + timing_.tREFI * (r + 1) / rankRefresh_.size());
         }
     }
     (req.write ? writeQueue_ : readQueue_).push_back(std::move(req));
@@ -150,25 +193,22 @@ MemoryController::updateRowHitMap()
     // Only requests in the currently serviced queue can actually use
     // an open row; honoring hits from the other queue would let an
     // unservable request veto the precharge forever (deadlock).
-    std::fill(openRowHasHit_.begin(), openRowHasHit_.end(), false);
-    if (bankHasNonHit_.size() != banks_.size())
-        bankHasNonHit_.assign(banks_.size(), false);
-    else
-        std::fill(bankHasNonHit_.begin(), bankHasNonHit_.end(), false);
+    std::fill(rowHitMask_.begin(), rowHitMask_.end(), 0);
+    std::fill(nonHitMask_.begin(), nonHitMask_.end(), 0);
     rowHitCount_ = 0;
     nonHitRequests_ = 0;
     const auto &queue = writeMode_ ? writeQueue_ : readQueue_;
     for (const auto &req : queue) {
         const unsigned idx = bankIndexOf(req.coord);
-        const BankState &bs = banks_[idx];
-        if (bs.open && bs.row == req.coord.ro) {
-            if (!openRowHasHit_[idx]) {
-                openRowHasHit_[idx] = true;
+        if (testBit(bankOpenMask_, idx) &&
+            bankRow_[idx] == req.coord.ro) {
+            if (!testBit(rowHitMask_, idx)) {
+                setBit(rowHitMask_, idx);
                 ++rowHitCount_;
             }
         } else {
             ++nonHitRequests_;
-            bankHasNonHit_[idx] = true;
+            setBit(nonHitMask_, idx);
         }
     }
     rowHitMapValid_ = true;
@@ -178,15 +218,14 @@ bool
 MemoryController::anyRankColumnReady(Cycle now, bool write) const
 {
     const Cycle lat = write ? timing_.CWL : timing_.CL;
-    for (std::size_t r = 0; r < ranks_.size(); ++r) {
-        const RankState &rs = ranks_[r];
-        if (rs.refreshPending || now < rs.colReady)
+    for (std::size_t r = 0; r < rankRefresh_.size(); ++r) {
+        if (rankRefresh_[r].refreshPending || now < rankColReady_[r])
             continue;
-        if (write ? now < rs.wrReady : now < rs.rdReady)
+        if (write ? now < rankWrReady_[r] : now < rankRdReady_[r])
             continue;
         Cycle busNeeded = dataBusFree_;
         if (lastDataRank_ >= 0 &&
-            static_cast<unsigned>(lastDataRank_) != r) {
+            static_cast<std::size_t>(lastDataRank_) != r) {
             busNeeded += timing_.tRTRS;
         }
         if (now + lat < busNeeded)
@@ -200,34 +239,34 @@ bool
 MemoryController::anyBankColumnReady(Cycle now, bool write) const
 {
     const Cycle lat = write ? timing_.CWL : timing_.CL;
-    for (std::size_t b = 0; b < banks_.size(); ++b) {
-        if (!openRowHasHit_[b])
-            continue;
-        const BankState &bs = banks_[b];
-        if (now < bs.colReady)
-            continue;
-        const unsigned ra =
-            static_cast<unsigned>(b) / geom_.banksPerRank();
-        const RankState &rs = ranks_[ra];
-        if (rs.refreshPending || now < rs.colReady)
-            continue;
-        if (write ? now < rs.wrReady : now < rs.rdReady)
-            continue;
-        const unsigned bg = (static_cast<unsigned>(b) %
-                             geom_.banksPerRank()) /
-                            geom_.banksPerGroup;
-        const BankGroupState &bgs =
-            bankGroups_[ra * geom_.bankGroups + bg];
-        if (now < bgs.colReady || (!write && now < bgs.rdReady))
-            continue;
-        Cycle busNeeded = dataBusFree_;
-        if (lastDataRank_ >= 0 &&
-            static_cast<unsigned>(lastDataRank_) != ra) {
-            busNeeded += timing_.tRTRS;
+    for (std::size_t w = 0; w < rowHitMask_.size(); ++w) {
+        std::uint64_t bits = rowHitMask_[w];
+        while (bits) {
+            const std::size_t b = w * 64 + ctz64(bits);
+            bits &= bits - 1;
+            if (now < bankColReady_[b])
+                continue;
+            const unsigned ra = bankRank_[b];
+            if (rankRefresh_[ra].refreshPending ||
+                now < rankColReady_[ra]) {
+                continue;
+            }
+            if (write ? now < rankWrReady_[ra] : now < rankRdReady_[ra])
+                continue;
+            const unsigned bg = bankBg_[b];
+            if (now < bgColReady_[bg] ||
+                (!write && now < bgRdReady_[bg])) {
+                continue;
+            }
+            Cycle busNeeded = dataBusFree_;
+            if (lastDataRank_ >= 0 &&
+                static_cast<unsigned>(lastDataRank_) != ra) {
+                busNeeded += timing_.tRTRS;
+            }
+            if (now + lat < busNeeded)
+                continue;
+            return true;
         }
-        if (now + lat < busNeeded)
-            continue;
-        return true;
     }
     return false;
 }
@@ -235,35 +274,32 @@ MemoryController::anyBankColumnReady(Cycle now, bool write) const
 bool
 MemoryController::anyBankActPreReady(Cycle now) const
 {
-    for (std::size_t b = 0; b < banks_.size(); ++b) {
-        if (!bankHasNonHit_[b])
-            continue;
-        const BankState &bs = banks_[b];
-        if (bs.open) {
-            // A non-hit request on an open bank is a row conflict: PRE
-            // is legal unless the open row still has pending hits.
-            if (!openRowHasHit_[b] && now >= bs.preReady)
-                return true;
-            continue;
+    for (std::size_t w = 0; w < nonHitMask_.size(); ++w) {
+        std::uint64_t bits = nonHitMask_[w];
+        while (bits) {
+            const std::size_t b = w * 64 + ctz64(bits);
+            bits &= bits - 1;
+            if (testBit(bankOpenMask_, b)) {
+                // A non-hit request on an open bank is a row conflict:
+                // PRE is legal unless the open row still has pending
+                // hits.
+                if (!testBit(rowHitMask_, b) && now >= bankPreReady_[b])
+                    return true;
+                continue;
+            }
+            const unsigned ra = bankRank_[b];
+            const RankRefresh &rr = rankRefresh_[ra];
+            if (rr.refreshPending)
+                continue;
+            if (now < bankActReady_[b])
+                continue;
+            if (now < bgActReady_[bankBg_[b]] || now < rankActReady_[ra])
+                continue;
+            const Cycle oldestAct = rr.fawRing[rr.fawIdx];
+            if (oldestAct != 0 && now < oldestAct + timing_.tFAW)
+                continue;
+            return true;
         }
-        const unsigned ra =
-            static_cast<unsigned>(b) / geom_.banksPerRank();
-        const RankState &rs = ranks_[ra];
-        if (rs.refreshPending)
-            continue;
-        if (now < bs.actReady)
-            continue;
-        const unsigned bg = (static_cast<unsigned>(b) %
-                             geom_.banksPerRank()) /
-                            geom_.banksPerGroup;
-        const BankGroupState &bgs =
-            bankGroups_[ra * geom_.bankGroups + bg];
-        if (now < bgs.actReady || now < rs.actReady)
-            continue;
-        const Cycle oldestAct = rs.fawRing[rs.fawIdx];
-        if (oldestAct != 0 && now < oldestAct + timing_.tFAW)
-            continue;
-        return true;
     }
     return false;
 }
@@ -271,25 +307,25 @@ MemoryController::anyBankActPreReady(Cycle now) const
 bool
 MemoryController::serviceRefresh(Cycle now)
 {
-    for (std::size_t r = 0; r < ranks_.size(); ++r) {
-        RankState &rs = ranks_[r];
+    for (std::size_t r = 0; r < rankRefresh_.size(); ++r) {
+        RankRefresh &rr = rankRefresh_[r];
         if (!config_.refreshEnabled)
             continue;
-        if (!rs.refreshPending && now >= rs.refreshDue)
-            rs.refreshPending = true;
-        if (!rs.refreshPending)
+        if (!rr.refreshPending && now >= rr.refreshDue)
+            rr.refreshPending = true;
+        if (!rr.refreshPending)
             continue;
 
         // All banks of the rank must be precharged before REF.
         bool allClosed = true;
         for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
-            BankState &bs = banks_[r * geom_.banksPerRank() + b];
-            if (bs.open) {
+            const std::size_t idx = r * geom_.banksPerRank() + b;
+            if (testBit(bankOpenMask_, idx)) {
                 allClosed = false;
-                if (now >= bs.preReady) {
-                    bs.open = false;
-                    bs.actReady =
-                        std::max<Cycle>(bs.actReady, now + timing_.tRP);
+                if (now >= bankPreReady_[idx]) {
+                    clearBit(bankOpenMask_, idx);
+                    bankActReady_[idx] = std::max<Cycle>(
+                        bankActReady_[idx], now + timing_.tRP);
                     rowHitMapValid_ = false;
                     ++stats_.counter("refresh_forced_pre");
                     if (commandListener_) {
@@ -298,7 +334,7 @@ MemoryController::serviceRefresh(Cycle now)
                         c.ra = static_cast<unsigned>(r);
                         c.bg = b / geom_.banksPerGroup;
                         c.bk = b % geom_.banksPerGroup;
-                        c.ro = bs.row;
+                        c.ro = bankRow_[idx];
                         commandListener_(CommandRecord{
                             now, DramCommand::Pre, c});
                     }
@@ -312,18 +348,18 @@ MemoryController::serviceRefresh(Cycle now)
         // Issue REF.
         bool ready = true;
         for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
-            if (now < banks_[r * geom_.banksPerRank() + b].actReady)
+            if (now < bankActReady_[r * geom_.banksPerRank() + b])
                 ready = false;
         }
         if (!ready)
             continue;
         for (unsigned b = 0; b < geom_.banksPerRank(); ++b) {
-            banks_[r * geom_.banksPerRank() + b].actReady =
+            bankActReady_[r * geom_.banksPerRank() + b] =
                 now + timing_.tRFC;
         }
-        rs.refreshDone = now + timing_.tRFC;
-        rs.refreshDue += timing_.tREFI;
-        rs.refreshPending = false;
+        rr.refreshDone = now + timing_.tRFC;
+        rr.refreshDue += timing_.tREFI;
+        rr.refreshPending = false;
         refreshBusyPs_ += timing_.cyclesToPs(timing_.tRFC);
         ++stats_.counter("refreshes");
         telemetry::Timeline &tl = telemetry::Timeline::global();
@@ -346,23 +382,25 @@ bool
 MemoryController::tryIssueColumn(const MemRequest &req, Cycle now)
 {
     const mapping::DramCoord &c = req.coord;
-    BankState &bs = bank(c);
-    if (!bs.open || bs.row != c.ro)
+    const unsigned b = bankIndexOf(c);
+    if (!testBit(bankOpenMask_, b) || bankRow_[b] != c.ro)
         return false;
 
-    BankGroupState &bgs = bankGroup(c);
-    RankState &rs = rank(c);
+    const unsigned ra = c.ra;
+    const unsigned bg = bankBg_[b];
     // A rank draining for refresh accepts no new column commands, or
     // row hits would keep pushing the precharge (and the REF) out.
-    if (rs.refreshPending)
+    if (rankRefresh_[ra].refreshPending)
         return false;
-    if (now < bs.colReady || now < bgs.colReady || now < rs.colReady)
+    if (now < bankColReady_[b] || now < bgColReady_[bg] ||
+        now < rankColReady_[ra]) {
         return false;
+    }
     if (req.write) {
-        if (now < rs.wrReady)
+        if (now < rankWrReady_[ra])
             return false;
     } else {
-        if (now < rs.rdReady || now < bgs.rdReady)
+        if (now < rankRdReady_[ra] || now < bgRdReady_[bg])
             return false;
     }
 
@@ -383,21 +421,23 @@ bool
 MemoryController::tryIssueActOrPre(const MemRequest &req, Cycle now)
 {
     const mapping::DramCoord &c = req.coord;
-    BankState &bs = bank(c);
-    BankGroupState &bgs = bankGroup(c);
-    RankState &rs = rank(c);
+    const unsigned b = bankIndexOf(c);
+    const unsigned ra = c.ra;
+    const unsigned bg = bankBg_[b];
 
-    if (bs.open) {
+    if (testBit(bankOpenMask_, b)) {
         // Row conflict: precharge, unless the open row still has
         // useful pending requests (preserve row hits).
-        PIMMMU_ASSERT(bs.row != c.ro, "column path should have handled");
-        if (openRowHasHit_[bankIndexOf(c)])
+        PIMMMU_ASSERT(bankRow_[b] != c.ro,
+                      "column path should have handled");
+        if (testBit(rowHitMask_, b))
             return false;
-        if (now < bs.preReady)
+        if (now < bankPreReady_[b])
             return false;
-        const unsigned closedRow = bs.row;
-        bs.open = false;
-        bs.actReady = std::max<Cycle>(bs.actReady, now + timing_.tRP);
+        const unsigned closedRow = bankRow_[b];
+        clearBit(bankOpenMask_, b);
+        bankActReady_[b] =
+            std::max<Cycle>(bankActReady_[b], now + timing_.tRP);
         rowHitMapValid_ = false;
         ++stats_.counter("row_conflicts");
         ++stats_.counter("precharges");
@@ -411,26 +451,30 @@ MemoryController::tryIssueActOrPre(const MemRequest &req, Cycle now)
 
     // Activate. A rank draining for refresh accepts no new ACTs, or
     // the forced precharges would chase reopened rows forever.
-    if (rs.refreshPending)
+    RankRefresh &rr = rankRefresh_[ra];
+    if (rr.refreshPending)
         return false;
-    if (now < bs.actReady || now < bgs.actReady || now < rs.actReady)
+    if (now < bankActReady_[b] || now < bgActReady_[bg] ||
+        now < rankActReady_[ra]) {
         return false;
+    }
     // tFAW: at most four ACTs per rank in any tFAW window. A zero ring
     // entry means fewer than four ACTs have ever been issued.
-    const Cycle oldestAct = rs.fawRing[rs.fawIdx];
+    const Cycle oldestAct = rr.fawRing[rr.fawIdx];
     if (oldestAct != 0 && now < oldestAct + timing_.tFAW)
         return false;
 
-    bs.open = true;
-    bs.row = c.ro;
+    setBit(bankOpenMask_, b);
+    bankRow_[b] = c.ro;
     rowHitMapValid_ = false;
-    bs.colReady = now + timing_.tRCD;
-    bs.preReady = std::max<Cycle>(bs.preReady, now + timing_.tRAS);
-    bs.actReady = now + timing_.tRC;
-    bgs.actReady = now + timing_.tRRD_L;
-    rs.actReady = now + timing_.tRRD_S;
-    rs.fawRing[rs.fawIdx] = now;
-    rs.fawIdx = (rs.fawIdx + 1) % rs.fawRing.size();
+    bankColReady_[b] = now + timing_.tRCD;
+    bankPreReady_[b] =
+        std::max<Cycle>(bankPreReady_[b], now + timing_.tRAS);
+    bankActReady_[b] = now + timing_.tRC;
+    bgActReady_[bg] = now + timing_.tRRD_L;
+    rankActReady_[ra] = now + timing_.tRRD_S;
+    rr.fawRing[rr.fawIdx] = now;
+    rr.fawIdx = (rr.fawIdx + 1) % rr.fawRing.size();
     ++stats_.counter("activates");
     PIMMMU_TRACE_LOG(trace::Category::Dram, eq_.now(),
                      "ch" << channelId_ << " ACT " << c.str());
@@ -494,17 +538,19 @@ void
 MemoryController::issueRead(std::deque<MemRequest>::iterator it, Cycle now)
 {
     const mapping::DramCoord &c = it->coord;
-    BankGroupState &bgs = bankGroup(c);
-    RankState &rs = rank(c);
-    BankState &bs = bank(c);
+    const unsigned b = bankIndexOf(c);
+    const unsigned ra = c.ra;
+    const unsigned bg = bankBg_[b];
 
-    bs.preReady = std::max<Cycle>(bs.preReady, now + timing_.tRTP);
-    bgs.colReady = now + timing_.tCCD_L;
-    rs.colReady = now + timing_.tCCD_S;
+    bankPreReady_[b] =
+        std::max<Cycle>(bankPreReady_[b], now + timing_.tRTP);
+    bgColReady_[bg] = now + timing_.tCCD_L;
+    rankColReady_[ra] = now + timing_.tCCD_S;
     // Read-to-write turnaround: the write burst must not collide with
     // this read burst on the bus plus one bubble cycle.
-    rs.wrReady = std::max<Cycle>(
-        rs.wrReady, now + timing_.CL + timing_.tBL + 2 - timing_.CWL);
+    rankWrReady_[ra] = std::max<Cycle>(
+        rankWrReady_[ra],
+        now + timing_.CL + timing_.tBL + 2 - timing_.CWL);
 
     ++stats_.counter("row_hits");
     if (commandListener_)
@@ -519,16 +565,19 @@ MemoryController::issueWrite(std::deque<MemRequest>::iterator it,
                              Cycle now)
 {
     const mapping::DramCoord &c = it->coord;
-    BankGroupState &bgs = bankGroup(c);
-    RankState &rs = rank(c);
-    BankState &bs = bank(c);
+    const unsigned b = bankIndexOf(c);
+    const unsigned ra = c.ra;
+    const unsigned bg = bankBg_[b];
 
     const Cycle dataEnd = now + timing_.CWL + timing_.tBL;
-    bs.preReady = std::max<Cycle>(bs.preReady, dataEnd + timing_.tWR);
-    bgs.colReady = now + timing_.tCCD_L;
-    rs.colReady = now + timing_.tCCD_S;
-    bgs.rdReady = std::max<Cycle>(bgs.rdReady, dataEnd + timing_.tWTR_L);
-    rs.rdReady = std::max<Cycle>(rs.rdReady, dataEnd + timing_.tWTR_S);
+    bankPreReady_[b] =
+        std::max<Cycle>(bankPreReady_[b], dataEnd + timing_.tWR);
+    bgColReady_[bg] = now + timing_.tCCD_L;
+    rankColReady_[ra] = now + timing_.tCCD_S;
+    bgRdReady_[bg] =
+        std::max<Cycle>(bgRdReady_[bg], dataEnd + timing_.tWTR_L);
+    rankRdReady_[ra] =
+        std::max<Cycle>(rankRdReady_[ra], dataEnd + timing_.tWTR_S);
 
     ++stats_.counter("row_hits");
     if (commandListener_)
@@ -546,12 +595,13 @@ MemoryController::dumpState(std::ostream &os) const
        << " mode=" << (writeMode_ ? "W" : "R")
        << " rq=" << readQueue_.size() << " wq=" << writeQueue_.size()
        << " busFree=" << dataBusFree_ << "\n";
-    for (std::size_t b = 0; b < banks_.size(); ++b) {
-        const BankState &bs = banks_[b];
-        os << "  bank" << b << (bs.open ? " open row=" : " closed row=")
-           << bs.row << " act>=" << bs.actReady << " pre>="
-           << bs.preReady << " col>=" << bs.colReady
-           << " hitPending=" << (openRowHasHit_[b] ? 1 : 0) << "\n";
+    for (std::size_t b = 0; b < bankRow_.size(); ++b) {
+        const bool open = testBit(bankOpenMask_, b);
+        os << "  bank" << b << (open ? " open row=" : " closed row=")
+           << bankRow_[b] << " act>=" << bankActReady_[b] << " pre>="
+           << bankPreReady_[b] << " col>=" << bankColReady_[b]
+           << " hitPending=" << (testBit(rowHitMask_, b) ? 1 : 0)
+           << "\n";
     }
     auto dumpQueue = [&](const char *name,
                          const std::deque<MemRequest> &queue) {
@@ -564,11 +614,12 @@ MemoryController::dumpState(std::ostream &os) const
     };
     dumpQueue("reads", readQueue_);
     dumpQueue("writes", writeQueue_);
-    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    for (std::size_t r = 0; r < rankRefresh_.size(); ++r) {
         os << "  rank" << r << " refreshPending="
-           << ranks_[r].refreshPending << " due=" << ranks_[r].refreshDue
-           << " colS>=" << ranks_[r].colReady << " rd>="
-           << ranks_[r].rdReady << " wr>=" << ranks_[r].wrReady << "\n";
+           << rankRefresh_[r].refreshPending
+           << " due=" << rankRefresh_[r].refreshDue
+           << " colS>=" << rankColReady_[r] << " rd>="
+           << rankRdReady_[r] << " wr>=" << rankWrReady_[r] << "\n";
     }
 }
 
@@ -650,9 +701,11 @@ MemoryController::tick()
     if (nonHitRequests_ > 0 && anyBankActPreReady(now)) {
         for (std::size_t i = 0; i < horizon; ++i) {
             auto it = queue.begin() + static_cast<std::ptrdiff_t>(i);
-            BankState &bs = bank(it->coord);
-            if (bs.open && bs.row == it->coord.ro)
+            const unsigned b = bankIndexOf(it->coord);
+            if (testBit(bankOpenMask_, b) &&
+                bankRow_[b] == it->coord.ro) {
                 continue; // waiting on column timing only
+            }
             if (tryIssueActOrPre(*it, now))
                 return true;
         }
@@ -686,25 +739,27 @@ MemoryController::classifyStall(Cycle now)
     const auto &queue = writeMode_ ? writeQueue_ : readQueue_;
     for (const auto &req : queue) {
         const mapping::DramCoord &c = req.coord;
-        const RankState &rs = ranks_[c.ra];
-        if (rs.refreshPending || now < rs.refreshDone) {
+        const RankRefresh &rr = rankRefresh_[c.ra];
+        if (rr.refreshPending || now < rr.refreshDone) {
             ++*stallRefresh_;
             return;
         }
-        const BankState &bs = banks_[bankIndexOf(c)];
-        const BankGroupState &bgs =
-            bankGroups_[c.ra * geom_.bankGroups + c.bg];
-        if (bs.open && bs.row == c.ro) {
-            if (now < bs.colReady)
+        const unsigned b = bankIndexOf(c);
+        const unsigned bg = bankBg_[b];
+        const bool open = testBit(bankOpenMask_, b);
+        if (open && bankRow_[b] == c.ro) {
+            if (now < bankColReady_[b])
                 continue; // tRCD: other
-            if (now < bgs.colReady ||
-                (!req.write && now < bgs.rdReady)) {
+            if (now < bgColReady_[bg] ||
+                (!req.write && now < bgRdReady_[bg])) {
                 ++*stallBankGroup_;
                 return;
             }
-            if (now < rs.colReady ||
-                (req.write ? now < rs.wrReady : now < rs.rdReady))
+            if (now < rankColReady_[c.ra] ||
+                (req.write ? now < rankWrReady_[c.ra]
+                           : now < rankRdReady_[c.ra])) {
                 continue; // rank-level timing: other
+            }
             const Cycle lat = req.write ? timing_.CWL : timing_.CL;
             Cycle busNeeded = dataBusFree_;
             if (lastDataRank_ >= 0 &&
@@ -715,8 +770,8 @@ MemoryController::classifyStall(Cycle now)
                 ++*stallBus_;
                 return;
             }
-        } else if (!bs.open) {
-            if (now >= bs.actReady && now < bgs.actReady) {
+        } else if (!open) {
+            if (now >= bankActReady_[b] && now < bgActReady_[bg]) {
                 ++*stallBankGroup_; // tRRD_L is the binding constraint
                 return;
             }

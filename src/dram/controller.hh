@@ -15,6 +15,7 @@
 #define PIMMMU_DRAM_CONTROLLER_HH
 
 #include <array>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <iosfwd>
@@ -130,28 +131,15 @@ class MemoryController
     Tick refreshBusyPs() const { return refreshBusyPs_; }
 
   private:
-    struct BankState
+    /**
+     * Rank-level refresh/tFAW bookkeeping. Unlike the scan-hot
+     * next-ready cycles below (structure-of-arrays so the per-cycle
+     * prefilter loops stay branch-light and cache-dense), these fields
+     * are only touched when a REF or ACT actually issues, so they keep
+     * the struct form.
+     */
+    struct RankRefresh
     {
-        bool open = false;
-        unsigned row = 0;
-        Cycle actReady = 0; //!< earliest ACT issue cycle
-        Cycle preReady = 0; //!< earliest PRE issue cycle
-        Cycle colReady = 0; //!< earliest RD/WR issue cycle (tRCD)
-    };
-
-    struct BankGroupState
-    {
-        Cycle actReady = 0; //!< tRRD_L
-        Cycle colReady = 0; //!< tCCD_L
-        Cycle rdReady = 0;  //!< tWTR_L
-    };
-
-    struct RankState
-    {
-        Cycle actReady = 0; //!< tRRD_S
-        Cycle colReady = 0; //!< tCCD_S
-        Cycle rdReady = 0;  //!< tWTR_S
-        Cycle wrReady = 0;  //!< read-to-write turnaround
         std::array<Cycle, 4> fawRing{};
         unsigned fawIdx = 0;
         Cycle refreshDue = 0;
@@ -165,7 +153,7 @@ class MemoryController
     bool serviceRefresh(Cycle now);
     /** Attribute an idle cycle to its dominant blocker (stats). */
     void classifyStall(Cycle now);
-    /** Refresh openRowHasHit_ from the current queue contents. */
+    /** Refresh rowHitMask_/nonHitMask_ from the current queue. */
     void updateRowHitMap();
     /**
      * Can any rank pass the rank-level column gates (refresh drain,
@@ -193,9 +181,6 @@ class MemoryController
 
     Cycle nowCycle() const { return eq_.now() / timing_.tCKps; }
 
-    BankState &bank(const mapping::DramCoord &c);
-    BankGroupState &bankGroup(const mapping::DramCoord &c);
-    RankState &rank(const mapping::DramCoord &c);
     unsigned bankIndexOf(const mapping::DramCoord &c) const;
 
     EventQueue &eq_;
@@ -210,13 +195,40 @@ class MemoryController
     bool writeMode_ = false;
     bool wasIdle_ = true;
 
-    std::vector<BankState> banks_;
-    std::vector<BankGroupState> bankGroups_;
-    std::vector<RankState> ranks_;
-    /** Per-bank: a queued request targets the currently open row. */
-    std::vector<bool> openRowHasHit_;
     /**
-     * openRowHasHit_ / rowHitCount_ are valid for the current serviced
+     * Per-bank timing state, structure-of-arrays. The scheduler's
+     * prefilter scans (anyBankColumnReady / anyBankActPreReady) touch
+     * these every DRAM cycle; parallel Cycle arrays plus bitmasks keep
+     * each scan a dense sequential walk instead of striding through
+     * an array of structs. Indexed by bankIndexOf().
+     */
+    std::vector<unsigned> bankRow_;     //!< open row (valid when open)
+    std::vector<Cycle> bankActReady_;   //!< earliest ACT issue cycle
+    std::vector<Cycle> bankPreReady_;   //!< earliest PRE issue cycle
+    std::vector<Cycle> bankColReady_;   //!< earliest RD/WR cycle (tRCD)
+    /** Bitmask (64 banks/word): bank has an open row. */
+    std::vector<std::uint64_t> bankOpenMask_;
+    /** Precomputed bank -> rank index (avoids divisions in scans). */
+    std::vector<std::uint16_t> bankRank_;
+    /** Precomputed bank -> flattened bank-group index. */
+    std::vector<std::uint16_t> bankBg_;
+
+    /** Per-bank-group timing, SoA, indexed ra * bankGroups + bg. */
+    std::vector<Cycle> bgActReady_; //!< tRRD_L
+    std::vector<Cycle> bgColReady_; //!< tCCD_L
+    std::vector<Cycle> bgRdReady_;  //!< tWTR_L
+
+    /** Per-rank timing, SoA. */
+    std::vector<Cycle> rankActReady_; //!< tRRD_S
+    std::vector<Cycle> rankColReady_; //!< tCCD_S
+    std::vector<Cycle> rankRdReady_;  //!< tWTR_S
+    std::vector<Cycle> rankWrReady_;  //!< read-to-write turnaround
+    std::vector<RankRefresh> rankRefresh_;
+
+    /** Bitmask: a queued request targets the bank's open row. */
+    std::vector<std::uint64_t> rowHitMask_;
+    /**
+     * rowHitMask_ / rowHitCount_ are valid for the current serviced
      * queue. tick() runs every DRAM cycle but the map's inputs (queue
      * contents, bank open rows, write mode) only change when a command
      * issues or a request arrives, so consecutive idle cycles reuse it.
@@ -229,8 +241,8 @@ class MemoryController
      * cannot issue: every request just waits on column timing).
      */
     unsigned nonHitRequests_ = 0;
-    /** Per-bank: a queued non-hit request targets this bank. */
-    std::vector<bool> bankHasNonHit_;
+    /** Bitmask: a queued non-hit request targets this bank. */
+    std::vector<std::uint64_t> nonHitMask_;
 
     Cycle dataBusFree_ = 0;
     int lastDataRank_ = -1;

@@ -32,6 +32,12 @@ class Dpu
     unsigned id() const { return id_; }
     std::uint64_t mramCapacity() const { return capacity_; }
 
+    /** Bytes backed by real storage so far (rest reads as zero). */
+    std::uint64_t mramTouchedBytes() const { return mram_.size(); }
+
+    /** Direct view of the touched MRAM prefix (fingerprinting). */
+    const std::uint8_t *mramData() const { return mram_.data(); }
+
     void
     mramWrite(Addr offset, const void *src, std::size_t bytes)
     {

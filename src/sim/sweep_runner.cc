@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "telemetry/attribution.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
@@ -28,18 +29,37 @@ SweepRunner::SweepRunner(unsigned threads)
 }
 
 void
+SweepRunner::setShard(ShardSpec shard)
+{
+    if (shard.count == 0 || shard.index >= shard.count)
+        fatal("shard index out of range");
+    shard_ = shard;
+}
+
+void
 SweepRunner::run(std::size_t jobCount,
                  const std::function<void(std::size_t)> &fn)
 {
     if (jobCount == 0)
         return;
 
-    const unsigned workers =
-        static_cast<unsigned>(std::min<std::size_t>(threads_, jobCount));
+    // Global job indices this shard owns, ascending — so a one-shard
+    // run owns everything and behaves exactly as before.
+    std::vector<std::size_t> owned;
+    owned.reserve(jobCount / shard_.count + 1);
+    for (std::size_t j = 0; j < jobCount; ++j) {
+        if (shard_.ownsJob(j))
+            owned.push_back(j);
+    }
+    if (owned.empty())
+        return;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, owned.size()));
     if (workers <= 1) {
         // Caller-thread fast path: telemetry accumulates directly in
         // the caller's registries, exactly like the pre-pool benches.
-        for (std::size_t j = 0; j < jobCount; ++j)
+        for (std::size_t j : owned)
             fn(j);
         return;
     }
@@ -51,7 +71,7 @@ SweepRunner::run(std::size_t jobCount,
         telemetry::attribution::Recorder attribution;
         std::exception_ptr error;
     };
-    std::vector<JobResult> results(jobCount);
+    std::vector<JobResult> results(owned.size());
 
     // Snapshot the caller's timeline configuration (enabled flag,
     // coalesce gap, track filter) so worker-thread timelines record
@@ -68,21 +88,21 @@ SweepRunner::run(std::size_t jobCount,
         telemetry::attribution::Recorder::global().configureLike(
             attribConfig);
         for (;;) {
-            const std::size_t j =
+            const std::size_t k =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (j >= jobCount)
+            if (k >= owned.size())
                 break;
             try {
-                fn(j);
+                fn(owned[k]);
             } catch (...) {
-                results[j].error = std::current_exception();
+                results[k].error = std::current_exception();
             }
             // Harvest this job's telemetry before the next job reuses
             // the worker's thread-local registries.
-            results[j].retired =
+            results[k].retired =
                 telemetry::StatsRegistry::global().takeRetired();
-            results[j].timeline = telemetry::Timeline::global().take();
-            results[j].attribution =
+            results[k].timeline = telemetry::Timeline::global().take();
+            results[k].attribution =
                 telemetry::attribution::Recorder::global().take();
         }
     };
@@ -95,19 +115,20 @@ SweepRunner::run(std::size_t jobCount,
         t.join();
 
     // Merge in job-index order: dumps come out deterministic no matter
-    // how jobs were scheduled across workers.
+    // how jobs were scheduled across workers. Prefixes use the global
+    // job index so shard partials line up across processes.
     std::exception_ptr firstError;
-    for (std::size_t j = 0; j < jobCount; ++j) {
+    for (std::size_t k = 0; k < owned.size(); ++k) {
         telemetry::StatsRegistry::global().absorbRetired(
-            std::move(results[j].retired));
+            std::move(results[k].retired));
         telemetry::Timeline::global().mergeFrom(
-            std::move(results[j].timeline),
-            "job" + std::to_string(j) + "/");
+            std::move(results[k].timeline),
+            "job" + std::to_string(owned[k]) + "/");
         telemetry::attribution::Recorder::global().mergeFrom(
-            std::move(results[j].attribution),
-            "job" + std::to_string(j) + "/");
-        if (results[j].error && !firstError)
-            firstError = results[j].error;
+            std::move(results[k].attribution),
+            "job" + std::to_string(owned[k]) + "/");
+        if (results[k].error && !firstError)
+            firstError = results[k].error;
     }
     if (firstError)
         std::rethrow_exception(firstError);

@@ -30,6 +30,26 @@
 namespace pimmmu {
 namespace sim {
 
+/**
+ * Which slice of a sweep this process runs. Campaigns too large for
+ * one host split a sweep across processes: each invocation gets the
+ * same job list and a distinct (count, index) pair, runs only the jobs
+ * it owns, and writes a partial result file; tools/benchmerge splices
+ * the partials back into the unsharded output byte for byte.
+ *
+ * Ownership is round-robin by job index (j % count == index) so every
+ * shard samples the whole parameter range — a contiguous split would
+ * give one host all the expensive high-rate scenarios.
+ */
+struct ShardSpec
+{
+    unsigned count = 1; //!< total shards in the campaign
+    unsigned index = 0; //!< this process's shard id, in [0, count)
+
+    bool sharded() const { return count > 1; }
+    bool ownsJob(std::size_t j) const { return j % count == index; }
+};
+
 class SweepRunner
 {
   public:
@@ -39,6 +59,14 @@ class SweepRunner
     explicit SweepRunner(unsigned threads = 0);
 
     unsigned threads() const { return threads_; }
+
+    /**
+     * Restrict run() to the jobs @p shard owns. Job indices keep their
+     * global meaning: telemetry prefixes and result slots still use
+     * the full-sweep index, so partial outputs merge deterministically.
+     */
+    void setShard(ShardSpec shard);
+    const ShardSpec &shard() const { return shard_; }
 
     /** Worker count chosen for threads == 0. */
     static unsigned defaultThreads();
@@ -64,6 +92,7 @@ class SweepRunner
 
   private:
     unsigned threads_;
+    ShardSpec shard_;
 };
 
 } // namespace sim

@@ -28,6 +28,19 @@ designPointName(DesignPoint dp)
     }
 }
 
+const char *
+planeName(Plane plane)
+{
+    switch (plane) {
+      case Plane::Timing:
+        return "timing";
+      case Plane::FastForward:
+        return "fast-forward";
+      default:
+        panic("bad plane");
+    }
+}
+
 SystemConfig
 SystemConfig::paperTable1(DesignPoint design)
 {
@@ -106,8 +119,76 @@ System::~System()
 {
     if (scrubStats_)
         telemetry::StatsRegistry::global().remove(*scrubStats_);
+    if (ffStats_)
+        telemetry::StatsRegistry::global().remove(*ffStats_);
     cpu_->shutdown();
     trace::clearClock(&eq_);
+}
+
+stats::Group &
+System::ffStats()
+{
+    if (!ffStats_) {
+        ffStats_ = std::make_unique<stats::Group>("ff");
+        telemetry::StatsRegistry::global().add(*ffStats_);
+    }
+    return *ffStats_;
+}
+
+void
+System::setPlane(Plane plane)
+{
+    if (plane == plane_)
+        return;
+    PlaneCheckpoint cp;
+    cp.atPs = eq_.now();
+    cp.from = plane_;
+    cp.to = plane;
+    stats::Group &ff = ffStats();
+    cp.ffTransfers = ff.counterValue("transfers");
+    cp.ffBytes = ff.counterValue("bytes");
+    cp.ffMemcpys = ff.counterValue("memcpys");
+    cp.memoryFnv = memoryFingerprint();
+    planeCheckpoints_.push_back(cp);
+    ++ff.counter("plane_switches");
+
+    plane_ = plane;
+    const bool fastForward = plane_ == Plane::FastForward;
+    pimMmuRuntime_->setFastForward(fastForward);
+    upmemRuntime_->setFastForward(fastForward);
+    PIMMMU_TRACE_LOG(trace::Category::Xfer, eq_.now(),
+                     "plane switch: " << planeName(cp.from) << " -> "
+                                      << planeName(cp.to) << " (mem fnv "
+                                      << cp.memoryFnv << ")");
+}
+
+std::uint64_t
+System::memoryFingerprint() const
+{
+    std::uint64_t h = mem_->store().fingerprint();
+    auto mix = [&h](const void *data, std::size_t bytes) {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < bytes; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (unsigned d = 0; d < pim_->numDpus(); ++d) {
+        const device::Dpu &dpu = pim_->dpu(d);
+        // Trim trailing zero bytes: untouched MRAM reads as zero, so
+        // the digest must not depend on how far storage happened to
+        // grow in one plane vs. the other.
+        std::uint64_t touched = dpu.mramTouchedBytes();
+        const std::uint8_t *bytes = dpu.mramData();
+        while (touched > 0 && bytes[touched - 1] == 0)
+            --touched;
+        if (touched == 0)
+            continue;
+        mix(&d, sizeof(d));
+        mix(&touched, sizeof(touched));
+        mix(bytes, touched);
+    }
+    return h;
 }
 
 Addr
@@ -161,6 +242,10 @@ System::startSoftwareTransfer(core::XferDirection dir,
     auto xfer = std::make_shared<AsyncTransfer>();
     xfer->startPs = eq_.now();
     xfer->bytes = bytesPerDpu * dpuIds.size();
+    if (plane_ == Plane::FastForward) {
+        ++ffStats().counter("transfers");
+        ffStats().counter("bytes") += xfer->bytes;
+    }
     upmemRuntime_->pushXfer(dir == core::XferDirection::DramToPim
                                 ? upmem::XferKind::ToDpu
                                 : upmem::XferKind::FromDpu,
@@ -190,6 +275,25 @@ System::startDceTransfer(core::PimMmuOp op)
                                       : op.dramAddrArr.front())
            << ", heap va 0x" << op.pimBaseHeapPtr << std::dec << ")";
         xfer->context = os.str();
+    }
+
+    if (plane_ == Plane::FastForward) {
+        // No requesting process, no doorbell: the runtime's
+        // fast-forward loop completes (or rejects) before returning.
+        ++ffStats().counter("transfers");
+        ffStats().counter("bytes") += xfer->bytes;
+        const auto status = pimMmuRuntime_->transferChecked(
+            op, [this, xfer](const resilience::Status &s) {
+                xfer->status = s;
+                xfer->done = true;
+                xfer->endPs = eq_.now();
+            });
+        if (!status.ok()) {
+            xfer->status = status;
+            xfer->done = true;
+            xfer->endPs = eq_.now();
+        }
+        return xfer;
     }
 
     auto thread = std::make_shared<core::PimMmuRequestThread>(
@@ -431,6 +535,19 @@ System::runMemcpy(std::uint64_t totalBytes, unsigned threads)
     auto xfer = std::make_shared<AsyncTransfer>();
     xfer->startPs = eq_.now();
     xfer->bytes = totalBytes;
+
+    if (plane_ == Plane::FastForward) {
+        // The functional copy above (guarded or plain) is the whole
+        // operation in fast-forward; skip the DCE/copy-thread timing
+        // plane entirely.
+        ++ffStats().counter("memcpys");
+        ffStats().counter("bytes") += totalBytes;
+        xfer->done = true;
+        xfer->endPs = eq_.now();
+        TransferStats stats = finishStats(*xfer, before, dramB, pimB);
+        stats.status = copyStatus;
+        return stats;
+    }
 
     if (config_.useDce()) {
         // Offload to the DCE as fine-grained chunks.

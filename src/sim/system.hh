@@ -45,6 +45,40 @@ enum class DesignPoint
 
 const char *designPointName(DesignPoint dp);
 
+/**
+ * Simulation plane selector. Timing is the full model: functional
+ * semantics apply eagerly and the timing plane (CPU copy threads or
+ * doorbell -> DCE -> interrupt) rides the event queue. FastForward
+ * executes transfers and memcpys through the functional plane only —
+ * golden data model, resilience guards, bit-exact payloads, identical
+ * functional counters — completing synchronously without advancing
+ * simulated time. Kernel launches are functional in both planes (their
+ * execution time is an analytic model, not events), so fast-forward
+ * leaves them untouched. A run may switch planes at any quiesced point
+ * (no transfer in flight); each switch records a PlaneCheckpoint so
+ * warm-up-then-measure runs are auditable and replayable.
+ */
+enum class Plane
+{
+    Timing,
+    FastForward
+};
+
+const char *planeName(Plane plane);
+
+/** Deterministic record of one setPlane() transition. */
+struct PlaneCheckpoint
+{
+    Tick atPs = 0;    //!< simulated time of the switch
+    Plane from = Plane::Timing;
+    Plane to = Plane::Timing;
+    std::uint64_t ffTransfers = 0; //!< ff.transfers at the switch
+    std::uint64_t ffBytes = 0;     //!< ff.bytes at the switch
+    std::uint64_t ffMemcpys = 0;   //!< ff.memcpys at the switch
+    /** Full functional-image digest (DRAM store + DPU MRAM). */
+    std::uint64_t memoryFnv = 0;
+};
+
 /** Everything needed to build a System. */
 struct SystemConfig
 {
@@ -180,6 +214,35 @@ class System
     /** Bump-allocate host memory in the DRAM physical region. */
     Addr allocDram(std::uint64_t bytes, std::uint64_t align = 64);
 
+    // ------------------------------------------------------------------
+    // Simulation plane (fast-forward warm-up; see Plane).
+    // ------------------------------------------------------------------
+
+    /**
+     * Switch the execution plane. Call only at quiesced points (no
+     * transfer in flight). Each actual transition records a
+     * PlaneCheckpoint — including a deterministic digest of the full
+     * functional memory image — and is counted in the lazily created
+     * "ff" stats group (default Timing-only systems stay bit-identical
+     * to pre-plane builds).
+     */
+    void setPlane(Plane plane);
+    Plane plane() const { return plane_; }
+
+    /** Transitions recorded by setPlane, in order. */
+    const std::vector<PlaneCheckpoint> &planeCheckpoints() const
+    {
+        return planeCheckpoints_;
+    }
+
+    /**
+     * Deterministic FNV-1a digest of the functional memory image: the
+     * DRAM backing store (all non-zero pages, ascending) plus every
+     * DPU's touched MRAM. Two runs that moved the same bytes hash
+     * equal regardless of which plane moved them.
+     */
+    std::uint64_t memoryFingerprint() const;
+
     /**
      * Run the event loop until @p pred returns true (or the queue
      * drains / @p limitPs passes). @return whether pred was satisfied.
@@ -288,6 +351,13 @@ class System
      *  unchanged. */
     std::unique_ptr<stats::Group> scrubStats_;
     unsigned contenderSeed_ = 1;
+
+    Plane plane_ = Plane::Timing;
+    std::vector<PlaneCheckpoint> planeCheckpoints_;
+    /** Lazily created on the first switch to FastForward (same
+     *  registration-order reasoning as scrubStats_). */
+    std::unique_ptr<stats::Group> ffStats_;
+    stats::Group &ffStats();
 };
 
 } // namespace sim

@@ -64,8 +64,12 @@ UpmemRuntime::pushXfer(XferKind kind,
                 PIMMMU_TRACE_LOG(trace::Category::Xfer, eq_.now(),
                                  "dpu_push_xfer: every listed DPU is "
                                  "health-masked, skipping");
-                if (onComplete)
-                    eq_.scheduleAfter(0, std::move(onComplete));
+                if (onComplete) {
+                    if (fastForward_)
+                        onComplete();
+                    else
+                        eq_.scheduleAfter(0, std::move(onComplete));
+                }
                 return;
             }
             if (keptIds.size() != ids.size()) {
@@ -88,6 +92,20 @@ UpmemRuntime::pushXfer(XferKind kind,
                                useGuard ? &guard : nullptr);
     if (useGuard)
         res_->absorbGuard(guard);
+
+    if (fastForward_) {
+        // Functional plane only: same counters the timing path bumps
+        // (copy_threads samples what the pool would have spawned), no
+        // CPU job, completion fires before control returns.
+        stats_.counter("push_xfers") += 1;
+        stats_.counter("bytes") += ids.size() * bytesPerDpu;
+        stats_.average("copy_threads").sample(
+            static_cast<double>(grouping.banks.size()));
+        nextXferId_++;
+        if (onComplete)
+            onComplete();
+        return;
+    }
 
     // Timing plane: one software copy thread per bank, exactly like the
     // runtime library's worker pool.

@@ -112,6 +112,15 @@ class UpmemRuntime
     cpu::Cpu &cpu() { return cpu_; }
     stats::Group &stats() { return stats_; }
 
+    /**
+     * Fast-forward plane switch (see sim::Plane). When on, pushXfer
+     * still applies masking, the guarded functional copy and the
+     * functional counters, but completes synchronously instead of
+     * spawning per-bank CopyThreads on the CPU.
+     */
+    void setFastForward(bool on) { fastForward_ = on; }
+    bool fastForward() const { return fastForward_; }
+
   private:
     EventQueue &eq_;
     cpu::Cpu &cpu_;
@@ -120,6 +129,7 @@ class UpmemRuntime
     resilience::Manager *res_;
     std::uint64_t nextXferId_ = 0;
     unsigned timelineTrack_ = 0;
+    bool fastForward_ = false;
     stats::Group stats_;
 };
 

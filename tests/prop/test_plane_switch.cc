@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Plane-switch property suite: a run that hops between the timing and
+ * fast-forward planes at random quiesced points must be functionally
+ * indistinguishable from a pure-timing run — byte-identical final
+ * memory image (DRAM store + DPU MRAM, via System::memoryFingerprint)
+ * — and every fast-forwarded operation must be conserved exactly in
+ * the ff.* counters snapshotted by the PlaneCheckpoints.
+ *
+ * The op mix (DRAM->PIM, PIM->DRAM, DRAM->DRAM memcpy) and the switch
+ * schedule are both seed-deterministic, so the checkpoint trail itself
+ * is also checked for replay determinism: two identical mixed runs
+ * must record identical checkpoints, digests included.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/system.hh"
+#include "testing/plan_gen.hh"
+
+namespace pimmmu {
+namespace testing {
+namespace {
+
+/** Harness-scale BaseDHP system (64 DPUs, DCE path). */
+sim::SystemConfig
+planeConfig()
+{
+    TransferPlan plan;
+    plan.design = sim::DesignPoint::BaseDHP;
+    plan.scatterFrames = false;
+    return planConfig(plan);
+}
+
+/** One step of the generated op sequence. */
+struct PlanOp
+{
+    enum class Kind
+    {
+        ToPim,
+        FromPim,
+        Memcpy
+    };
+    Kind kind = Kind::ToPim;
+    unsigned dpus = 8;
+    std::uint64_t bytesPerDpu = 64; //!< Memcpy: total bytes instead
+    bool switchBefore = false;      //!< toggle the plane first
+
+    std::uint64_t
+    bytes() const
+    {
+        return kind == Kind::Memcpy ? bytesPerDpu
+                                    : dpus * bytesPerDpu;
+    }
+};
+
+std::vector<PlanOp>
+generateOps(std::uint64_t seed, bool withSwitches)
+{
+    Rng rng(seed);
+    std::vector<PlanOp> ops(4 + rng.below(4));
+    for (PlanOp &op : ops) {
+        const std::uint64_t k = rng.below(4);
+        op.kind = k == 0   ? PlanOp::Kind::Memcpy
+                  : k == 1 ? PlanOp::Kind::FromPim
+                           : PlanOp::Kind::ToPim;
+        if (op.kind == PlanOp::Kind::Memcpy) {
+            op.bytesPerDpu = 4 * kKiB * (1 + rng.below(4));
+        } else {
+            op.dpus = 8 * (1 + static_cast<unsigned>(rng.below(4)));
+            op.bytesPerDpu = 64 * (1 + rng.below(8));
+        }
+        // Drawn unconditionally so the op mix is independent of
+        // whether this run actually honors the switch schedule.
+        op.switchBefore = rng.below(2) == 0 && withSwitches;
+    }
+    return ops;
+}
+
+struct RunResult
+{
+    std::uint64_t memoryFnv = 0;
+    std::vector<sim::PlaneCheckpoint> checkpoints;
+};
+
+/**
+ * Seed memory with nonzero payloads and run the op sequence, honoring
+ * each op's switchBefore toggle, then finish on the timing plane (one
+ * final switch if needed) so the last checkpoint snapshots the
+ * cumulative ff.* counters.
+ */
+RunResult
+runPlan(const std::vector<PlanOp> &ops)
+{
+    sim::System sys(planeConfig());
+
+    // Deterministic nonzero payloads in the DRAM region the transfers
+    // will allocate from, and in every DPU's MRAM heap window.
+    std::vector<std::uint8_t> pattern(64 * kKiB);
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<std::uint8_t>(i * 131 + 17);
+    sys.mem().store().write(0, pattern.data(), pattern.size());
+    for (unsigned d = 0; d < sys.pim().numDpus(); ++d) {
+        for (std::size_t i = 0; i < 4 * kKiB; ++i)
+            pattern[i] = static_cast<std::uint8_t>(i * 29 + 3 * d);
+        sys.pim().dpu(d).mramWrite(0, pattern.data(), 4 * kKiB);
+    }
+
+    for (const PlanOp &op : ops) {
+        if (op.switchBefore) {
+            sys.setPlane(sys.plane() == sim::Plane::Timing
+                             ? sim::Plane::FastForward
+                             : sim::Plane::Timing);
+        }
+        switch (op.kind) {
+          case PlanOp::Kind::ToPim:
+            sys.runTransfer(core::XferDirection::DramToPim, op.dpus,
+                            op.bytesPerDpu);
+            break;
+          case PlanOp::Kind::FromPim:
+            sys.runTransfer(core::XferDirection::PimToDram, op.dpus,
+                            op.bytesPerDpu);
+            break;
+          case PlanOp::Kind::Memcpy:
+            sys.runMemcpy(op.bytesPerDpu);
+            break;
+        }
+    }
+    if (sys.plane() != sim::Plane::Timing)
+        sys.setPlane(sim::Plane::Timing);
+
+    RunResult r;
+    r.memoryFnv = sys.memoryFingerprint();
+    r.checkpoints = sys.planeCheckpoints();
+    return r;
+}
+
+} // namespace
+
+TEST(PlaneSwitch, RandomSwitchPointsPreserveTheMemoryImage)
+{
+    for (std::uint64_t iter = 0; iter < 8; ++iter) {
+        const std::uint64_t seed = 0x9e37 + iter;
+        const RunResult timing = runPlan(generateOps(seed, false));
+        const RunResult mixed = runPlan(generateOps(seed, true));
+        EXPECT_EQ(timing.memoryFnv, mixed.memoryFnv)
+            << "iter " << iter
+            << ": fast-forwarded ops changed payload bytes";
+        EXPECT_TRUE(timing.checkpoints.empty());
+    }
+}
+
+TEST(PlaneSwitch, CheckpointsConserveFunctionalCounters)
+{
+    for (std::uint64_t iter = 0; iter < 8; ++iter) {
+        const std::vector<PlanOp> ops =
+            generateOps(0xfeed + iter, true);
+        const RunResult r = runPlan(ops);
+
+        // Independent replay of the schedule: which ops ran on the
+        // fast-forward plane, and how many bytes they moved.
+        std::uint64_t ffTransfers = 0, ffMemcpys = 0, ffBytes = 0;
+        bool ff = false; //!< plane after replay; true = FastForward
+        bool any = false;
+        for (const PlanOp &op : ops) {
+            if (op.switchBefore) {
+                ff = !ff;
+                any = true;
+            }
+            if (!ff)
+                continue;
+            if (op.kind == PlanOp::Kind::Memcpy)
+                ++ffMemcpys;
+            else
+                ++ffTransfers;
+            ffBytes += op.bytes();
+        }
+        if (!any) {
+            EXPECT_TRUE(r.checkpoints.empty());
+            continue;
+        }
+
+        // The last checkpoint always carries the cumulative ff.*
+        // counters: either it is the forced end-of-run return to
+        // Timing, or the run already ended on Timing and no ff op can
+        // have run after its last switch. Its memory digest is the
+        // final image only in the forced case.
+        ASSERT_FALSE(r.checkpoints.empty());
+        const sim::PlaneCheckpoint &last = r.checkpoints.back();
+        EXPECT_EQ(last.to, sim::Plane::Timing);
+        EXPECT_EQ(last.ffTransfers, ffTransfers) << "iter " << iter;
+        EXPECT_EQ(last.ffMemcpys, ffMemcpys) << "iter " << iter;
+        EXPECT_EQ(last.ffBytes, ffBytes) << "iter " << iter;
+        if (ff)
+            EXPECT_EQ(last.memoryFnv, r.memoryFnv) << "iter " << iter;
+
+        // The trail alternates planes and never travels back in time.
+        for (std::size_t i = 0; i < r.checkpoints.size(); ++i) {
+            const sim::PlaneCheckpoint &cp = r.checkpoints[i];
+            EXPECT_NE(cp.from, cp.to);
+            if (i == 0) {
+                EXPECT_EQ(cp.from, sim::Plane::Timing);
+            } else {
+                EXPECT_EQ(cp.from, r.checkpoints[i - 1].to);
+                EXPECT_GE(cp.atPs, r.checkpoints[i - 1].atPs);
+            }
+        }
+    }
+}
+
+TEST(PlaneSwitch, MixedRunsReplayDeterministically)
+{
+    const std::vector<PlanOp> ops = generateOps(0xd0d0, true);
+    const RunResult a = runPlan(ops);
+    const RunResult b = runPlan(ops);
+    EXPECT_EQ(a.memoryFnv, b.memoryFnv);
+    ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+    for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+        EXPECT_EQ(a.checkpoints[i].atPs, b.checkpoints[i].atPs);
+        EXPECT_EQ(a.checkpoints[i].from, b.checkpoints[i].from);
+        EXPECT_EQ(a.checkpoints[i].to, b.checkpoints[i].to);
+        EXPECT_EQ(a.checkpoints[i].ffTransfers,
+                  b.checkpoints[i].ffTransfers);
+        EXPECT_EQ(a.checkpoints[i].ffBytes, b.checkpoints[i].ffBytes);
+        EXPECT_EQ(a.checkpoints[i].ffMemcpys,
+                  b.checkpoints[i].ffMemcpys);
+        EXPECT_EQ(a.checkpoints[i].memoryFnv,
+                  b.checkpoints[i].memoryFnv);
+    }
+}
+
+} // namespace testing
+} // namespace pimmmu

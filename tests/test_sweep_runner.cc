@@ -118,6 +118,88 @@ TEST(SweepRunner, SerialTimelineKeepsTrackNames)
     tl.setEnabled(false);
 }
 
+TEST(SweepRunner, ShardOwnershipPartitionsJobs)
+{
+    // Round-robin ownership: every job owned by exactly one of the
+    // shards, and the default spec owns everything.
+    const sim::ShardSpec s0{3, 0}, s1{3, 1}, s2{3, 2};
+    EXPECT_TRUE(s0.sharded());
+    EXPECT_FALSE(sim::ShardSpec{}.sharded());
+    for (std::size_t j = 0; j < 20; ++j) {
+        EXPECT_EQ(s0.ownsJob(j) + s1.ownsJob(j) + s2.ownsJob(j), 1)
+            << "job " << j;
+        EXPECT_TRUE(sim::ShardSpec{}.ownsJob(j));
+    }
+    EXPECT_TRUE(s1.ownsJob(1));
+    EXPECT_TRUE(s1.ownsJob(4));
+    EXPECT_FALSE(s1.ownsJob(3));
+}
+
+TEST(SweepRunner, ShardedSerialRunVisitsOwnedJobsInOrder)
+{
+    sim::SweepRunner runner(1);
+    runner.setShard({2, 1});
+    EXPECT_EQ(runner.shard().count, 2u);
+    EXPECT_EQ(runner.shard().index, 1u);
+    std::vector<std::size_t> order;
+    runner.run(7, [&](std::size_t j) { order.push_back(j); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(SweepRunner, ShardsReassembleTheUnshardedSweep)
+{
+    // Three parallel shards, each touching only its owned slots, must
+    // jointly reproduce the serial unsharded result vector exactly.
+    auto compute = [](std::size_t j) {
+        std::uint64_t v = j + 1;
+        for (int i = 0; i < 1000; ++i)
+            v = v * 6364136223846793005ull + 1442695040888963407ull;
+        return v;
+    };
+    const std::size_t jobs = 24;
+    std::vector<std::uint64_t> full(jobs, 0);
+    sim::SweepRunner{1}.run(jobs, [&](std::size_t j) {
+        full[j] = compute(j);
+    });
+    std::vector<std::uint64_t> merged(jobs, 0);
+    for (unsigned idx = 0; idx < 3; ++idx) {
+        sim::SweepRunner runner(2);
+        runner.setShard({3, idx});
+        runner.run(jobs, [&](std::size_t j) {
+            EXPECT_EQ(j % 3, idx) << "job leaked across shards";
+            EXPECT_EQ(merged[j], 0u) << "job " << j << " ran twice";
+            merged[j] = compute(j);
+        });
+    }
+    EXPECT_EQ(merged, full);
+}
+
+TEST(SweepRunner, ShardedParallelTimelinesKeepGlobalJobIds)
+{
+    // Telemetry prefixes carry the GLOBAL job index, so traces from
+    // different shards stay distinguishable after a merge.
+    telemetry::Timeline &tl = telemetry::Timeline::global();
+    tl.clear();
+    tl.setEnabled(true);
+
+    sim::SweepRunner runner(2);
+    runner.setShard({2, 1});
+    runner.run(4, [&](std::size_t) {
+        telemetry::Timeline &wtl = telemetry::Timeline::global();
+        wtl.span(wtl.track("engine"), "work", 100, 200);
+    });
+
+    std::ostringstream os;
+    tl.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("job1/engine"), std::string::npos);
+    EXPECT_NE(json.find("job3/engine"), std::string::npos);
+    EXPECT_EQ(json.find("job0/"), std::string::npos);
+    EXPECT_EQ(json.find("job2/"), std::string::npos);
+    tl.clear();
+    tl.setEnabled(false);
+}
+
 TEST(SweepRunner, FirstJobExceptionPropagates)
 {
     sim::SweepRunner runner(2);

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * benchmerge: splice sharded campaign outputs back into the unsharded
+ * file, byte for byte.
+ *
+ * Campaign benches (fig_resilience, fig_tlb) accept
+ * `--shards N --shard-index i` and then run only the sweep jobs with
+ * job % N == i, writing a partial BENCH_*.json that contains
+ *   - the normal header plus a `"shard": {"count": N, "index": i}`
+ *     line, and
+ *   - one row per owned job, each tagged `"name": "job<J>"`, with the
+ *     exact bytes an unsharded run would have written for that row.
+ *
+ * benchmerge validates that the partials agree (same header minus the
+ * shard line, same footer, every job present exactly once, contiguous
+ * job ids from 0) and emits the header + rows sorted by job id +
+ * footer — which equals the unsharded output byte for byte, so CI can
+ * `cmp` the merged file against a reference run and downstream tools
+ * (statdiff) never need to know sharding exists.
+ *
+ * Usage:
+ *   benchmerge -o <merged.json> <shard0.json> <shard1.json> ...
+ *
+ * Exit codes: 0 merged clean, 1 shard inconsistency (missing or
+ * duplicate jobs, header mismatch, unparseable row), 2 usage/IO error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json_lite.hh"
+
+namespace {
+
+/** One partial file, split at its row array. */
+struct Partial
+{
+    std::string path;
+    std::vector<std::string> header; //!< lines before the array open
+    std::vector<std::string> footer; //!< "  ]" and everything after
+    /** Rows keyed by job id, trailing comma stripped. */
+    std::map<unsigned long, std::string> rows;
+};
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+bool
+isShardHeaderLine(const std::string &line)
+{
+    return line.rfind("  \"shard\": ", 0) == 0;
+}
+
+/** The `  "scenarios": [` / `  "points": [` line opening the rows. */
+bool
+isArrayOpenLine(const std::string &line)
+{
+    return line == "  \"scenarios\": [" || line == "  \"points\": [";
+}
+
+/** Extract the job id from a row's `"name": "job<N>"` tag. */
+bool
+rowJob(const std::string &row, unsigned long &job)
+{
+    static const char tag[] = "\"name\": \"job";
+    const std::size_t at = row.find(tag);
+    if (at == std::string::npos)
+        return false;
+    const char *digits = row.c_str() + at + sizeof(tag) - 1;
+    char *end = nullptr;
+    job = std::strtoul(digits, &end, 10);
+    return end != digits && *end == '"';
+}
+
+bool
+loadPartial(const std::string &path, Partial &out, std::string &why)
+{
+    std::string text;
+    if (!jsonlite::readFile(path, text)) {
+        why = "cannot read file";
+        return false;
+    }
+    // The whole partial must be valid JSON before we splice its text.
+    {
+        std::string error;
+        jsonlite::JsonValue root;
+        if (!jsonlite::JsonParser(text, error).parse(root)) {
+            why = "invalid JSON: " + error;
+            return false;
+        }
+    }
+
+    out.path = path;
+    const std::vector<std::string> lines = splitLines(text);
+    std::size_t i = 0;
+    for (; i < lines.size(); ++i) {
+        if (isArrayOpenLine(lines[i])) {
+            out.header.push_back(lines[i]);
+            ++i;
+            break;
+        }
+        if (!isShardHeaderLine(lines[i]))
+            out.header.push_back(lines[i]);
+    }
+    if (i >= lines.size()) {
+        why = "no scenarios/points array found";
+        return false;
+    }
+    for (; i < lines.size(); ++i) {
+        if (lines[i].rfind("  ]", 0) == 0)
+            break;
+        std::string row = lines[i];
+        if (!row.empty() && row.back() == ',')
+            row.pop_back();
+        unsigned long job = 0;
+        if (!rowJob(row, job)) {
+            why = "row without a \"name\": \"job<N>\" tag: " + row;
+            return false;
+        }
+        if (out.rows.count(job)) {
+            why = "job " + std::to_string(job) +
+                  " appears twice in one shard";
+            return false;
+        }
+        out.rows.emplace(job, std::move(row));
+    }
+    if (i >= lines.size()) {
+        why = "array never closes";
+        return false;
+    }
+    for (; i < lines.size(); ++i)
+        out.footer.push_back(lines[i]);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::printf("usage: %s -o <merged.json> <shard.json>...\n",
+                        argv[0]);
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "usage: %s -o <merged.json> <shard.json>...\n",
+                         argv[0]);
+            return 2;
+        } else {
+            inputs.push_back(argv[i]);
+        }
+    }
+    if (outPath.empty() || inputs.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s -o <merged.json> <shard.json>...\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::vector<Partial> partials(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        std::string why;
+        if (!loadPartial(inputs[i], partials[i], why)) {
+            std::fprintf(stderr, "%s: %s: %s\n", argv[0],
+                         inputs[i].c_str(), why.c_str());
+            return why.rfind("cannot read", 0) == 0 ? 2 : 1;
+        }
+    }
+
+    // Shards of one campaign must agree on everything but row
+    // ownership.
+    const Partial &ref = partials[0];
+    for (std::size_t i = 1; i < partials.size(); ++i) {
+        if (partials[i].header != ref.header) {
+            std::fprintf(stderr,
+                         "%s: %s header disagrees with %s (different "
+                         "campaign or configuration?)\n",
+                         argv[0], partials[i].path.c_str(),
+                         ref.path.c_str());
+            return 1;
+        }
+        if (partials[i].footer != ref.footer) {
+            std::fprintf(stderr, "%s: %s footer disagrees with %s\n",
+                         argv[0], partials[i].path.c_str(),
+                         ref.path.c_str());
+            return 1;
+        }
+    }
+
+    std::map<unsigned long, std::string> merged;
+    for (const Partial &p : partials) {
+        for (const auto &kv : p.rows) {
+            if (merged.count(kv.first)) {
+                std::fprintf(stderr,
+                             "%s: job %lu present in more than one "
+                             "shard\n",
+                             argv[0], kv.first);
+                return 1;
+            }
+            merged.emplace(kv.first, kv.second);
+        }
+    }
+    if (merged.empty()) {
+        std::fprintf(stderr, "%s: no rows in any shard\n", argv[0]);
+        return 1;
+    }
+    // Contiguity: the sweep owns jobs 0..max with no holes.
+    unsigned long expect = 0;
+    for (const auto &kv : merged) {
+        if (kv.first != expect) {
+            std::fprintf(stderr, "%s: job %lu missing from all shards\n",
+                         argv[0], expect);
+            return 1;
+        }
+        ++expect;
+    }
+
+    std::string out;
+    for (const std::string &line : ref.header)
+        out += line + "\n";
+    std::size_t i = 0;
+    for (const auto &kv : merged) {
+        out += kv.second;
+        out += (++i < merged.size()) ? ",\n" : "\n";
+    }
+    for (const std::string &line : ref.footer)
+        out += line + "\n";
+
+    std::FILE *f = std::fopen(outPath.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+        std::fprintf(stderr, "%s: failed to write %s\n", argv[0],
+                     outPath.c_str());
+        if (f != nullptr)
+            std::fclose(f);
+        return 2;
+    }
+    std::fclose(f);
+    std::printf("merged %zu rows from %zu shard%s into %s\n",
+                merged.size(), partials.size(),
+                partials.size() == 1 ? "" : "s", outPath.c_str());
+    return 0;
+}

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Minimal dependency-free JSON value + recursive-descent parser shared
+ * by the repo's offline tools (statdiff, benchmerge). Header-only on
+ * purpose: the tools stay single-file executables with no link-time
+ * coupling to the simulator libraries.
+ *
+ * Supports the JSON subset the simulator emits: objects (entry order
+ * preserved), arrays, strings with the standard escapes (\uXXXX
+ * encoded to UTF-8), numbers via strtod, true/false/null.
+ */
+
+#ifndef PIMMMU_TOOLS_JSON_LITE_HH
+#define PIMMMU_TOOLS_JSON_LITE_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jsonlite {
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    /** Object entries in file order (order matters for reporting). */
+    std::vector<std::pair<std::string, JsonValue>> entries;
+
+    const JsonValue *
+    field(const std::string &key) const
+    {
+        for (const auto &e : entries)
+            if (e.first == key)
+                return &e.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing data after JSON document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        std::size_t line = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
+            if (text_[i] == '\n')
+                ++line;
+        std::ostringstream os;
+        os << why << " (line " << line << ")";
+        error_ = os.str();
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' in object");
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.entries.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Metric names are ASCII in practice; encode the rest
+                // as UTF-8 so round-trips stay lossless.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected a JSON value");
+        pos_ += static_cast<std::size_t>(end - start);
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+/** Slurp a file into @p out; false when it cannot be opened. */
+inline bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream os;
+    os << is.rdbuf();
+    out = os.str();
+    return true;
+}
+
+} // namespace jsonlite
+
+#endif // PIMMMU_TOOLS_JSON_LITE_HH
