@@ -24,6 +24,14 @@ add_fig_bench(fig_queue_depth)
 # invocation, not only in the unit tests.
 add_test(NAME fig_queue_depth_smoke COMMAND fig_queue_depth)
 
+# The depth sweep runs on a SweepRunner job list; its stdout must be
+# byte-identical at any --threads count (results merge in job order).
+add_test(NAME fig_queue_depth_threads_identity
+    COMMAND ${CMAKE_COMMAND}
+        -DBENCH=$<TARGET_FILE:fig_queue_depth>
+        -DWORK_DIR=${CMAKE_BINARY_DIR}/queue_depth_threads
+        -P ${CMAKE_SOURCE_DIR}/bench/threads_identity.cmake)
+
 # Resilience campaign (fault-rate sweep x recovery policy). The smoke
 # entry runs the scaled-down sweep and enforces the campaign's own
 # invariants (rate 0 bit- and cycle-identical, retry+mask delivers
@@ -40,6 +48,17 @@ add_test(NAME fig_resilience_smoke
 add_fig_bench(fig_chaos)
 add_test(NAME fig_chaos_smoke
          COMMAND fig_chaos --quick --out BENCH_chaos.json)
+
+# Serving campaign (open-loop Poisson load x tenant mix x rank-kill
+# rate against the multi-tenant serving loop). The smoke entry runs
+# the scaled-down sweep and enforces the serving gates: ledger
+# conservation everywhere, zero-fault low-load byte-identity with the
+# direct physical path, shed-don't-corrupt degradation under rank
+# kills (>= 95% of admitted bytes delivered), zero corrupt deliveries.
+add_fig_bench(fig_serving)
+target_link_libraries(fig_serving PRIVATE pimmmu_serving)
+add_test(NAME fig_serving_smoke
+         COMMAND fig_serving --quick --out BENCH_serving.json)
 
 # Virtual-memory campaign (TLB entries x page size x tenant count).
 # The smoke entry runs the scaled-down sweep and enforces the VM
@@ -59,6 +78,16 @@ add_test(NAME shard_merge_roundtrip
         -DBENCHMERGE=$<TARGET_FILE:benchmerge>
         -DWORK_DIR=${CMAKE_BINARY_DIR}/shard_merge_roundtrip
         -P ${CMAKE_SOURCE_DIR}/bench/shard_merge_roundtrip.cmake)
+
+# Negative shard/merge paths: a truncated shard and a shard whose
+# header names a different campaign must both be rejected with a
+# non-zero exit and a file/line diagnostic.
+add_test(NAME benchmerge_errors
+    COMMAND ${CMAKE_COMMAND}
+        -DFIG_TLB=$<TARGET_FILE:fig_tlb>
+        -DBENCHMERGE=$<TARGET_FILE:benchmerge>
+        -DWORK_DIR=${CMAKE_BINARY_DIR}/benchmerge_errors
+        -P ${CMAKE_SOURCE_DIR}/bench/benchmerge_errors.cmake)
 
 # Engine wall-clock throughput harness (not a paper figure). The smoke
 # entry runs the scaled-down scenarios so a perf-harness regression

@@ -1,0 +1,60 @@
+# ctest script: benchmerge must reject malformed partials with a
+# non-zero exit and a diagnostic naming the offending file and line.
+# Generates real quick TLB shards, then corrupts copies two ways:
+# truncated mid-file (interrupted campaign run) and a header mutated
+# into a different campaign. Variables: FIG_TLB, BENCHMERGE, WORK_DIR.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_checked)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (${rc}): ${ARGN}")
+    endif()
+endfunction()
+
+# benchmerge over ${ARGN} must exit non-zero, and stderr must contain
+# both ${needfile} and a "line " reference.
+function(expect_reject label needfile)
+    execute_process(
+        COMMAND ${BENCHMERGE} -o ${WORK_DIR}/rejected.json ${ARGN}
+        RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+    if(rc EQUAL 0)
+        message(FATAL_ERROR
+                "${label}: benchmerge accepted a corrupt shard")
+    endif()
+    string(FIND "${err}" "${needfile}" at_file)
+    string(FIND "${err}" "line " at_line)
+    if(at_file EQUAL -1 OR at_line EQUAL -1)
+        message(FATAL_ERROR
+                "${label}: diagnostic lacks file/line info: ${err}")
+    endif()
+endfunction()
+
+run_checked(${FIG_TLB} --quick --shards 2 --shard-index 0
+            --out ${WORK_DIR}/shard0.json)
+run_checked(${FIG_TLB} --quick --shards 2 --shard-index 1
+            --out ${WORK_DIR}/shard1.json)
+
+# Sanity: the pristine shards must still splice.
+run_checked(${BENCHMERGE} -o ${WORK_DIR}/merged.json
+            ${WORK_DIR}/shard0.json ${WORK_DIR}/shard1.json)
+
+file(READ ${WORK_DIR}/shard1.json shard1)
+
+# Case 1: shard truncated mid-file.
+string(LENGTH "${shard1}" len)
+math(EXPR half "${len} / 2")
+string(SUBSTRING "${shard1}" 0 ${half} truncated)
+file(WRITE ${WORK_DIR}/truncated.json "${truncated}")
+expect_reject(truncated-shard truncated.json
+              ${WORK_DIR}/shard0.json ${WORK_DIR}/truncated.json)
+
+# Case 2: header from a different campaign/configuration.
+string(REPLACE "\"schema\"" "\"schema_v2\"" mutated "${shard1}")
+if(mutated STREQUAL shard1)
+    message(FATAL_ERROR "header mutation did not change the shard")
+endif()
+file(WRITE ${WORK_DIR}/badheader.json "${mutated}")
+expect_reject(mismatched-header badheader.json
+              ${WORK_DIR}/shard0.json ${WORK_DIR}/badheader.json)

@@ -7,9 +7,15 @@
  * issues back-to-back transfers at increasing queue depths and reports
  * the queue/issue/drain phase split — depth 1 should show ~zero queue
  * time, deeper rings should pipeline doorbell overhead away.
+ *
+ * The four depths run as a SweepRunner job list: --threads fans them
+ * across workers (each job an independent System with thread-local
+ * telemetry), and results print in depth order afterwards, so stdout
+ * is byte-identical at any thread count.
  */
 
 #include "bench/bench_util.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 
 using namespace pimmmu;
@@ -92,12 +98,20 @@ main(int argc, char **argv)
                   "phase_queue_us vs descriptor-ring occupancy, "
                   "8 x 256 KiB DRAM->PIM transfers per depth");
 
+    const unsigned depths[] = {1u, 2u, 4u, 8u};
+    constexpr std::size_t kJobs = 4;
+    std::vector<DepthResult> results(kJobs);
+    sim::SweepRunner runner(opts.threads);
+    runner.run(kJobs, [&](std::size_t j) {
+        results[j] = runDepth(depths[j]);
+    });
+
     Table t({"depth", "transfers", "queued", "queue us", "issue us",
              "drain us", "e2e us", "total ms"});
-    for (unsigned depth : {1u, 2u, 4u, 8u}) {
-        const DepthResult r = runDepth(depth);
+    for (std::size_t j = 0; j < kJobs; ++j) {
+        const DepthResult &r = results[j];
         t.row()
-            .num(std::uint64_t{depth})
+            .num(std::uint64_t{depths[j]})
             .num(r.transfers)
             .num(r.queued)
             .num(r.queueUs)

@@ -1,0 +1,27 @@
+# ctest script: a SweepRunner bench's stdout must be byte-identical
+# at any worker count — results are merged in job order, never in
+# completion order. Variables: BENCH (binary), BENCH_ARGS (optional,
+# ;-list), WORK_DIR.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_to_file outfile)
+    execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                    OUTPUT_FILE ${outfile})
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (${rc}): ${ARGN}")
+    endif()
+endfunction()
+
+separate_arguments(args NATIVE_COMMAND "${BENCH_ARGS}")
+
+run_to_file(${WORK_DIR}/t1.out ${BENCH} ${args} --threads 1)
+run_to_file(${WORK_DIR}/t3.out ${BENCH} ${args} --threads 3)
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/t1.out ${WORK_DIR}/t3.out
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "stdout differs between --threads 1 and --threads 3")
+endif()

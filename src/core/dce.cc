@@ -461,11 +461,13 @@ Dce::enqueueChecked(DceTransfer transfer, CompletionFn onDone,
 void
 Dce::sampleRingDepth()
 {
+    const std::size_t depth = pending_.size() + (active_ ? 1 : 0);
+    if (ringObserver_)
+        ringObserver_(depth);
     if (!rec_->enabled())
         return;
-    rec_->sampleOccupancy(
-        ringSeries_, eq_.now(),
-        static_cast<double>(pending_.size() + (active_ ? 1 : 0)));
+    rec_->sampleOccupancy(ringSeries_, eq_.now(),
+                          static_cast<double>(depth));
 }
 
 void

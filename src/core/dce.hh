@@ -141,6 +141,27 @@ class Dce
 
     std::size_t queuedTransfers() const { return pending_.size(); }
 
+    /** Descriptors the engine currently owns: the active one plus the
+     *  ring backlog behind it. */
+    std::size_t ringDepth() const
+    {
+        return pending_.size() + (active_ ? 1 : 0);
+    }
+
+    /**
+     * Ring-submission hook: fired with the new depth whenever a
+     * descriptor enters the ring, starts, completes, or fails. A
+     * batching layer (serving::Server) uses the downward edges to top
+     * the ring back up to its target depth without polling. The
+     * callback runs inside engine bookkeeping — it may enqueue new
+     * descriptors (re-entrant enqueueChecked is safe) but must not
+     * destroy the engine. One observer; pass nullptr to detach.
+     */
+    void setRingObserver(std::function<void(std::size_t)> observer)
+    {
+        ringObserver_ = std::move(observer);
+    }
+
     /** Cumulative engine-active time, for the power model. */
     Tick busyPs() const { return busyPs_; }
 
@@ -235,6 +256,7 @@ class Dce
 
     std::unique_ptr<ActiveTransfer> active_;
     std::deque<PendingTransfer> pending_;
+    std::function<void(std::size_t)> ringObserver_;
     std::uint64_t freeDataSlots_;
     unsigned readsInflight_ = 0;
     unsigned writesInflight_ = 0;

@@ -1,0 +1,56 @@
+#include "mmu/tenant_context.hh"
+
+namespace pimmmu {
+namespace mmu {
+
+namespace {
+
+resilience::Status
+detached()
+{
+    return resilience::Status::failure(
+        resilience::ErrorCode::TenantIsolation,
+        "tenant context is detached");
+}
+
+} // namespace
+
+resilience::Status
+TenantContext::mapWindow(mapping::MemSpace space, Addr pa,
+                         std::uint64_t bytes, Addr &vaOut,
+                         std::uint64_t pageBytes, PagePerms perms)
+{
+    if (!valid())
+        return detached();
+    Addr va = nextVa_;
+    if (pageBytes && va % pageBytes)
+        va += pageBytes - va % pageBytes;
+    const resilience::Status st =
+        mmu_->map(id_, va, pa, bytes, pageBytes, perms, space);
+    if (!st.ok())
+        return st;
+    vaOut = va;
+    // Leave a guard page between windows so an off-the-end VA faults
+    // instead of sliding into the neighbour.
+    nextVa_ = va + bytes + pageBytes;
+    mapped_[spaceIdx(space)] += bytes;
+    return resilience::Status{};
+}
+
+resilience::Status
+TenantContext::translate(Addr va, std::uint64_t bytes, Access access,
+                         mapping::MemSpace expected, Translation &out)
+{
+    if (!valid())
+        return detached();
+    return mmu_->translateRange(id_, va, bytes, access, expected, out);
+}
+
+std::uint64_t
+TenantContext::mappedBytes(mapping::MemSpace space) const
+{
+    return mapped_[spaceIdx(space)];
+}
+
+} // namespace mmu
+} // namespace pimmmu

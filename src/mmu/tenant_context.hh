@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A per-tenant address-space handle: the piece of the MMU front-end a
+ * client layer (serving::Server) holds on to.
+ *
+ * The Mmu itself exposes raw map()/translateRange() keyed by TenantId;
+ * every caller so far (fig_tlb, the VA unit tests) reimplements the
+ * same bookkeeping on top — create the tenant, pick non-overlapping VA
+ * windows, remember how much is mapped per space. TenantContext
+ * centralises that: it owns one TenantId and a per-space VA bump
+ * allocator, so a serving tenant is configured as "map me a window
+ * over this physical buffer" and gets back the VA to submit
+ * descriptors with.
+ *
+ * Like everything in the MMU, failures are structured
+ * resilience::Status values, never asserts.
+ */
+
+#ifndef PIMMMU_MMU_TENANT_CONTEXT_HH
+#define PIMMMU_MMU_TENANT_CONTEXT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "mmu/mmu.hh"
+
+namespace pimmmu {
+namespace mmu {
+
+class TenantContext
+{
+  public:
+    /** Detached context: valid() is false, every call fails. */
+    TenantContext() = default;
+
+    /** Stand up a fresh tenant address space in @p mmu. */
+    explicit TenantContext(Mmu &mmu)
+        : mmu_(&mmu), id_(mmu.createTenant())
+    {
+    }
+
+    bool valid() const { return mmu_ != nullptr; }
+    TenantId id() const { return id_; }
+
+    /**
+     * Map @p bytes of physical space at [pa, pa+bytes) in @p space
+     * into the next free VA window (bump-allocated, @p pageBytes
+     * aligned, windows never reused). On success @p vaOut holds the
+     * window's base VA.
+     */
+    resilience::Status mapWindow(mapping::MemSpace space, Addr pa,
+                                 std::uint64_t bytes, Addr &vaOut,
+                                 std::uint64_t pageBytes = kPageBytes,
+                                 PagePerms perms = PagePerms::rw());
+
+    /** translateRange() for this tenant. */
+    resilience::Status translate(Addr va, std::uint64_t bytes,
+                                 Access access,
+                                 mapping::MemSpace expected,
+                                 Translation &out);
+
+    /** Bytes this context has mapped in @p space. */
+    std::uint64_t mappedBytes(mapping::MemSpace space) const;
+
+  private:
+    static std::size_t spaceIdx(mapping::MemSpace space)
+    {
+        return space == mapping::MemSpace::Pim ? 1 : 0;
+    }
+
+    Mmu *mmu_ = nullptr;
+    TenantId id_ = kNoTenant;
+    /** Next free VA. The tenant's page table is one address space
+     *  shared by both HetMap regions, so Dram and Pim windows carve
+     *  from one cursor; it starts one page up so VA 0 stays an
+     *  obviously-bad pointer in tests. */
+    Addr nextVa_ = kPageBytes;
+    std::array<std::uint64_t, 2> mapped_{0, 0};
+};
+
+} // namespace mmu
+} // namespace pimmmu
+
+#endif // PIMMMU_MMU_TENANT_CONTEXT_HH

@@ -1,5 +1,6 @@
 #include "resilience/manager.hh"
 
+#include <cstring>
 #include <sstream>
 
 #include "common/trace.hh"
@@ -41,8 +42,27 @@ errorCodeName(ErrorCode code)
         return "tenant_isolation";
       case ErrorCode::RegionMismatch:
         return "region_mismatch";
+      case ErrorCode::QuotaExceeded:
+        return "quota_exceeded";
+      case ErrorCode::Overloaded:
+        return "overloaded";
+      case ErrorCode::DeadlineExceeded:
+        return "deadline_exceeded";
     }
     return "unknown";
+}
+
+bool
+errorCodeFromName(const char *name, ErrorCode &out)
+{
+    for (unsigned i = 0; i < kNumErrorCodes; ++i) {
+        const auto code = static_cast<ErrorCode>(i);
+        if (std::strcmp(errorCodeName(code), name) == 0) {
+            out = code;
+            return true;
+        }
+    }
+    return false;
 }
 
 const char *

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A retry budget: a token bucket over simulated time that bounds how
+ * much *extra* work recovery is allowed to inject.
+ *
+ * Retrying a faulted descriptor is load amplification: during a
+ * brownout (a masked rank, a flaky channel) every failed transfer that
+ * is re-driven competes with fresh foreground traffic for the capacity
+ * that remains. The per-call retry loop already bounds attempts per
+ * descriptor; this bounds attempts per unit time across all calls, so
+ * a burst of correlated failures degrades into shed load instead of a
+ * retry storm.
+ *
+ * Tokens refill continuously at @c perSecond (simulated seconds) up to
+ * @c burst. Each retry spends one token; when the bucket is empty the
+ * caller must give up (and terminate the request through its normal
+ * rejection path) instead of re-driving.
+ */
+
+#ifndef PIMMMU_RESILIENCE_RETRY_BUDGET_HH
+#define PIMMMU_RESILIENCE_RETRY_BUDGET_HH
+
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace resilience {
+
+class RetryBudget
+{
+  public:
+    /** @p burst tokens available at once, refilled at @p perSecond
+     *  tokens per simulated second. burst == 0 disables the limiter
+     *  (every tryAcquire succeeds). */
+    RetryBudget(double burst = 0.0, double perSecond = 0.0)
+        : burst_(burst), perSecond_(perSecond), tokens_(burst)
+    {
+    }
+
+    bool unlimited() const { return burst_ <= 0.0; }
+
+    /** Tokens available at @p now (refill applied lazily). */
+    double
+    available(Tick now)
+    {
+        refill(now);
+        return unlimited() ? 1.0 : tokens_;
+    }
+
+    /**
+     * Spend one retry token. @return false when the budget is dry —
+     * the caller must not re-drive the descriptor.
+     */
+    bool tryAcquire(Tick now) { return tryAcquire(now, 1.0); }
+
+    /**
+     * Spend @p amount tokens at once. The same bucket mechanics also
+     * serve as a byte-denominated admission quota (serving::Server
+     * charges a request's total bytes against its tenant's bucket).
+     */
+    bool
+    tryAcquire(Tick now, double amount)
+    {
+        if (unlimited())
+            return true;
+        refill(now);
+        if (tokens_ < amount)
+            return false;
+        tokens_ -= amount;
+        return true;
+    }
+
+  private:
+    void
+    refill(Tick now)
+    {
+        if (now <= lastRefillPs_) {
+            lastRefillPs_ = now > lastRefillPs_ ? now : lastRefillPs_;
+            return;
+        }
+        const double dt =
+            static_cast<double>(now - lastRefillPs_) / 1e12;
+        tokens_ += dt * perSecond_;
+        if (tokens_ > burst_)
+            tokens_ = burst_;
+        lastRefillPs_ = now;
+    }
+
+    double burst_;
+    double perSecond_;
+    double tokens_;
+    Tick lastRefillPs_ = 0;
+};
+
+} // namespace resilience
+} // namespace pimmmu
+
+#endif // PIMMMU_RESILIENCE_RETRY_BUDGET_HH

@@ -50,9 +50,27 @@ enum class ErrorCode
     /** The VMA's declared HetMap region (DRAM vs PIM) disagrees with
      *  how the descriptor dispatches the range. */
     RegionMismatch,
+    /** The tenant's serving-layer token bucket is out of budget. */
+    QuotaExceeded,
+    /** The serving layer is over its global inflight/queue capacity
+     *  (including capacity-aware load shedding under faults). */
+    Overloaded,
+    /** The request's deadline passed before it could be served. */
+    DeadlineExceeded,
 };
 
+/** Total number of ErrorCode values (for exhaustive iteration). */
+constexpr unsigned kNumErrorCodes =
+    static_cast<unsigned>(ErrorCode::DeadlineExceeded) + 1;
+
 const char *errorCodeName(ErrorCode code);
+
+/**
+ * Inverse of errorCodeName. @return true and set @p out when @p name
+ * matches a code exactly; false (out untouched) otherwise. Exists so a
+ * round-trip test can prove no two codes alias to one string.
+ */
+bool errorCodeFromName(const char *name, ErrorCode &out);
 
 /** Outcome of a transfer-path operation: code + human detail. */
 struct Status

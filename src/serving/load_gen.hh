@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Open-loop load generation for the serving layer.
+ *
+ * An open-loop generator draws arrival times from a Poisson process
+ * and submits on schedule regardless of how the server is coping —
+ * exactly the regime where closed-loop benchmarks hide overload
+ * collapse (the coordinated-omission trap). The plan is materialised
+ * up front from a seeded pimmmu::Rng so a run is reproducible and a
+ * sweep job can be replayed request-for-request on the direct
+ * physical path for the identity gate.
+ */
+
+#ifndef PIMMMU_SERVING_LOAD_GEN_HH
+#define PIMMMU_SERVING_LOAD_GEN_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace pimmmu {
+namespace serving {
+
+/** One planned submission. */
+struct Arrival
+{
+    Tick atPs = 0;        //!< absolute submission time
+    std::size_t tenant = 0;
+    std::uint64_t seq = 0; //!< index in the plan (request tag)
+};
+
+/**
+ * Draw a Poisson arrival plan: exponential inter-arrival gaps at
+ * @p ratePerSec, tenants picked by @p tenantWeights (relative,
+ * need not sum to 1), until @p horizonPs is reached or @p maxCount
+ * arrivals are planned.
+ */
+inline std::vector<Arrival>
+poissonPlan(Rng &rng, double ratePerSec, Tick horizonPs,
+            const std::vector<double> &tenantWeights,
+            std::size_t maxCount = ~std::size_t{0})
+{
+    std::vector<Arrival> plan;
+    if (ratePerSec <= 0.0 || tenantWeights.empty())
+        return plan;
+    double weightSum = 0.0;
+    for (double w : tenantWeights)
+        weightSum += w;
+    if (weightSum <= 0.0)
+        return plan;
+
+    double tPs = 0.0;
+    std::uint64_t seq = 0;
+    while (plan.size() < maxCount) {
+        // Exponential gap; clamp u away from 0 so -ln(u) is finite.
+        double u = rng.uniform();
+        if (u < 1e-12)
+            u = 1e-12;
+        tPs += -std::log(u) / ratePerSec * 1e12;
+        if (tPs >= static_cast<double>(horizonPs))
+            break;
+
+        double pick = rng.uniform() * weightSum;
+        std::size_t tenant = 0;
+        for (; tenant + 1 < tenantWeights.size(); ++tenant) {
+            if (pick < tenantWeights[tenant])
+                break;
+            pick -= tenantWeights[tenant];
+        }
+        plan.push_back(Arrival{static_cast<Tick>(tPs), tenant, seq++});
+    }
+    return plan;
+}
+
+} // namespace serving
+} // namespace pimmmu
+
+#endif // PIMMMU_SERVING_LOAD_GEN_HH

@@ -1,0 +1,558 @@
+#include "serving/serving.hh"
+
+#include <cassert>
+#include <string>
+
+#include "common/event_queue.hh"
+#include "core/dce.hh"
+#include "core/pim_mmu_runtime.hh"
+#include "resilience/manager.hh"
+#include "sim/system.hh"
+#include "telemetry/attribution.hh"
+#include "telemetry/stats_registry.hh"
+
+namespace pimmmu {
+namespace serving {
+
+namespace attribution = telemetry::attribution;
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Pending:
+        return "pending";
+      case Outcome::Delivered:
+        return "delivered";
+      case Outcome::Rejected:
+        return "rejected";
+      case Outcome::Expired:
+        return "expired";
+    }
+    return "unknown";
+}
+
+Server::Server(sim::System &sys, ServerConfig cfg)
+    : sys_(sys), cfg_(cfg),
+      retryBudget_(cfg.retryBurst, cfg.retryPerSecond),
+      stats_("serving")
+{
+    if (cfg_.maxInflight == 0)
+        cfg_.maxInflight = 1;
+    if (cfg_.maxQueued == 0)
+        cfg_.maxQueued = 1;
+    if (cfg_.quantumBytes == 0)
+        cfg_.quantumBytes = 1;
+    // Top the ring back up on every downward depth edge instead of
+    // polling: the engine's ring observer is the only wakeup the
+    // scheduler needs beyond submit() itself.
+    sys_.dce().setRingObserver([this](std::size_t) {
+        if (!inPump_)
+            pump();
+    });
+    telemetry::StatsRegistry::global().add(stats_);
+}
+
+Server::~Server()
+{
+    sys_.dce().setRingObserver(nullptr);
+    telemetry::StatsRegistry::global().remove(stats_);
+}
+
+TenantHandle
+Server::addTenant(const TenantConfig &cfg)
+{
+    Tenant t;
+    t.cfg = cfg;
+    t.ctx = mmu::TenantContext(sys_.mmu());
+    t.quota = resilience::RetryBudget(cfg.quotaBurstBytes,
+                                      cfg.quotaBytesPerSec);
+    if (t.cfg.weight == 0)
+        t.cfg.weight = 1;
+    tenants_.push_back(std::move(t));
+    return tenants_.size() - 1;
+}
+
+mmu::TenantContext &
+Server::tenantContext(TenantHandle t)
+{
+    assert(t < tenants_.size());
+    return tenants_[t].ctx;
+}
+
+const TenantConfig &
+Server::tenantConfig(TenantHandle t) const
+{
+    assert(t < tenants_.size());
+    return tenants_[t].cfg;
+}
+
+Tick
+Server::now() const
+{
+    return sys_.eq().now();
+}
+
+double
+Server::healthyFraction() const
+{
+    const resilience::Manager *res = sys_.resilienceManager();
+    if (!res)
+        return 1.0;
+    const auto &dom = res->domains();
+    const unsigned total = dom.numBanks * dom.chipsPerRank;
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(res->healthyDpus()) / total;
+}
+
+std::size_t
+Server::effectiveQueueCap() const
+{
+    if (!cfg_.shedOnCapacityLoss)
+        return cfg_.maxQueued;
+    const double frac = healthyFraction();
+    auto cap = static_cast<std::size_t>(
+        static_cast<double>(cfg_.maxQueued) * frac);
+    return cap > 0 ? cap : 1;
+}
+
+Server::Req *
+Server::find(std::uint64_t id)
+{
+    auto it = requests_.find(id);
+    return it == requests_.end() ? nullptr : &it->second;
+}
+
+resilience::Status
+Server::submit(TenantHandle t, Request req, DoneFn done)
+{
+    assert(t < tenants_.size());
+    Tenant &tenant = tenants_[t];
+    const Tick at = now();
+    const std::uint64_t bytes =
+        req.sizePerPim * static_cast<std::uint64_t>(req.dpus.size());
+
+    ++stats_.counter("submitted");
+    stats_.counter("bytes_submitted") += bytes;
+    ++totals_.submitted;
+    totals_.bytesSubmitted += bytes;
+
+    const std::uint64_t id = nextId_++;
+    Req r;
+    r.request = std::move(req);
+    r.tenant = t;
+    r.done = std::move(done);
+    r.bytes = bytes;
+    r.submitPs = at;
+
+    auto rejectAtDoor = [&](Outcome outcome, resilience::Status st) {
+        requests_.emplace(id, std::move(r));
+        ++pendingCount_;
+        finalize(id, outcome, st);
+        return st;
+    };
+
+    // Admission, in deadline -> quota -> capacity order so each
+    // rejection carries the most specific reason.
+    if (r.request.deadlinePs <= at) {
+        ++stats_.counter("rejected_deadline_at_door");
+        return rejectAtDoor(
+            Outcome::Expired,
+            resilience::Status::failure(
+                resilience::ErrorCode::DeadlineExceeded,
+                "deadline already passed at submission"));
+    }
+    if (!tenant.quota.tryAcquire(at, static_cast<double>(bytes))) {
+        ++stats_.counter("rejected_quota");
+        return rejectAtDoor(
+            Outcome::Rejected,
+            resilience::Status::failure(
+                resilience::ErrorCode::QuotaExceeded,
+                "tenant '" + tenant.cfg.name +
+                    "' byte quota exhausted"));
+    }
+    if (queuedTotal_ >= effectiveQueueCap()) {
+        ++stats_.counter("rejected_overload");
+        return rejectAtDoor(
+            Outcome::Rejected,
+            resilience::Status::failure(
+                resilience::ErrorCode::Overloaded,
+                "admission queue at capacity (" +
+                    std::to_string(queuedTotal_) + " queued, cap " +
+                    std::to_string(effectiveQueueCap()) + ")"));
+    }
+
+    // Admitted.
+    ++stats_.counter("admitted");
+    stats_.counter("bytes_admitted") += bytes;
+    totals_.bytesAdmitted += bytes;
+    auto &rec = attribution::Recorder::global();
+    r.attribId = rec.open(attribution::Kind::Transfer, at,
+                          attribution::Stage::ServeQueue,
+                          r.request.dpus.empty() ? 0
+                                                 : r.request.dpus[0],
+                          bytes);
+
+    const Tick deadline = r.request.deadlinePs;
+    requests_.emplace(id, std::move(r));
+    ++pendingCount_;
+    tenant.queue.push_back(id);
+    ++queuedTotal_;
+
+    if (deadline != kTickMax)
+        sys_.eq().schedule(deadline,
+                           [this, id] { onDeadline(id); });
+
+    pump();
+    return resilience::Status{};
+}
+
+void
+Server::finalize(std::uint64_t id, Outcome outcome,
+                 resilience::Status status)
+{
+    auto it = requests_.find(id);
+    assert(it != requests_.end());
+    Req &r = it->second;
+    assert(r.outcome == Outcome::Pending &&
+           "request must terminate exactly once");
+    r.outcome = outcome;
+
+    const Tick at = now();
+    Result result;
+    result.outcome = outcome;
+    result.status = std::move(status);
+    result.tenant = r.tenant;
+    result.tag = r.request.tag;
+    result.bytes = r.bytes;
+    result.submitPs = r.submitPs;
+    result.endPs = at;
+    result.retries = r.attempts > 0 ? r.attempts - 1 : 0;
+
+    const double latencyUs =
+        static_cast<double>(at - r.submitPs) / kPsPerUs;
+    switch (outcome) {
+      case Outcome::Delivered:
+        ++stats_.counter("delivered");
+        stats_.counter("bytes_delivered") += r.bytes;
+        stats_.histogram("latency_us", 0.0, 2000.0, 4000)
+            .sample(latencyUs);
+        ++totals_.delivered;
+        totals_.bytesDelivered += r.bytes;
+        break;
+      case Outcome::Rejected:
+        ++stats_.counter("rejected");
+        ++totals_.rejected;
+        break;
+      case Outcome::Expired:
+        ++stats_.counter("expired");
+        stats_.histogram("expired_wait_us", 0.0, 2000.0, 4000)
+            .sample(latencyUs);
+        ++totals_.expired;
+        break;
+      case Outcome::Pending:
+        assert(false && "finalize with Pending");
+        break;
+    }
+
+    if (r.attribId)
+        attribution::Recorder::global().close(
+            r.attribId, at, outcome != Outcome::Delivered);
+
+    DoneFn done = std::move(r.done);
+    --pendingCount_;
+    // An expired-in-flight request keeps a tombstone so the engine
+    // completion can be told apart from an unknown id; everything
+    // else leaves the ledger via the totals.
+    if (r.inflight) {
+        r.expiredInflight = true;
+        ++tombstones_;
+    } else {
+        requests_.erase(it);
+    }
+
+    if (done)
+        done(result);
+}
+
+void
+Server::onDeadline(std::uint64_t id)
+{
+    Req *r = find(id);
+    if (!r || r->outcome != Outcome::Pending)
+        return; // already terminal
+
+    const char *where = "awaiting retry";
+    if (r->inflight) {
+        // In the engine: account the expiry now, let the descriptor
+        // run to completion untouched (cancelling mid-descriptor
+        // would fight the DCE watchdog), and discard the completion
+        // when it arrives.
+        where = "in flight";
+        ++stats_.counter("expired_inflight");
+    } else {
+        // Queued: pull it out of its tenant's FIFO. Not finding it
+        // there means the request is parked in a retry backoff; the
+        // backoff event checks the outcome and drops it.
+        Tenant &tenant = tenants_[r->tenant];
+        bool queued = false;
+        for (auto it = tenant.queue.begin();
+             it != tenant.queue.end(); ++it) {
+            if (*it == id) {
+                tenant.queue.erase(it);
+                queued = true;
+                break;
+            }
+        }
+        if (queued) {
+            --queuedTotal_;
+            where = "queued";
+            ++stats_.counter("expired_queued");
+        } else {
+            ++stats_.counter("expired_retry_wait");
+        }
+    }
+    finalize(id, Outcome::Expired,
+             resilience::Status::failure(
+                 resilience::ErrorCode::DeadlineExceeded,
+                 std::string("deadline passed while ") + where));
+}
+
+void
+Server::onEngineDone(std::uint64_t id,
+                     const resilience::Status &status)
+{
+    --inflight_;
+    auto it = requests_.find(id);
+    if (it == requests_.end()) {
+        pump();
+        return; // stale completion of an erased request (shouldn't
+                // happen, but never crash the loop)
+    }
+    Req &r = it->second;
+    r.inflight = false;
+    if (r.expiredInflight) {
+        // Already accounted Expired at the deadline; the engine's
+        // late answer only releases the ring slot.
+        ++stats_.counter("late_completions");
+        --tombstones_;
+        requests_.erase(it);
+        pump();
+        return;
+    }
+    if (status.ok()) {
+        finalize(id, Outcome::Delivered, status);
+    } else {
+        ++stats_.counter("engine_failures");
+        maybeRetry(id, status);
+    }
+    pump();
+}
+
+void
+Server::maybeRetry(std::uint64_t id, const resilience::Status &status)
+{
+    Req *r = find(id);
+    assert(r);
+    if (r->attempts <= cfg_.retriesPerRequest &&
+        retryBudget_.tryAcquire(now())) {
+        ++stats_.counter("retries");
+        if (r->attribId) {
+            auto &rec = attribution::Recorder::global();
+            rec.noteRetry(r->attribId);
+            rec.enterStage(r->attribId, attribution::Stage::Retry,
+                           now());
+        }
+        ++retryParked_;
+        if (cfg_.retryBackoffPs == 0) {
+            requeueRetry(id);
+        } else {
+            sys_.eq().scheduleAfter(cfg_.retryBackoffPs,
+                                    [this, id] {
+                                        requeueRetry(id);
+                                    });
+        }
+        return;
+    }
+    ++stats_.counter(r->attempts > cfg_.retriesPerRequest
+                         ? "rejected_retries_exhausted"
+                         : "rejected_retry_budget");
+    finalize(id, Outcome::Rejected, status);
+}
+
+void
+Server::requeueRetry(std::uint64_t id)
+{
+    --retryParked_;
+    Req *r = find(id);
+    if (!r || r->outcome != Outcome::Pending)
+        return; // expired (or otherwise finalized) during backoff
+    // Back to the head of its tenant's queue: a retried request
+    // keeps its place ahead of younger work.
+    tenants_[r->tenant].queue.push_front(id);
+    ++queuedTotal_;
+    if (r->attribId)
+        attribution::Recorder::global().enterStage(
+            r->attribId, attribution::Stage::ServeQueue, now());
+    pump();
+}
+
+bool
+Server::issue(std::uint64_t id)
+{
+    Req *r = find(id);
+    assert(r && !r->inflight);
+    Tenant &tenant = tenants_[r->tenant];
+
+    core::PimMmuOp op;
+    op.type = r->request.dir;
+    op.sizePerPim = r->request.sizePerPim;
+    op.dramAddrArr = r->request.dramVa;
+    op.pimIdArr = r->request.dpus;
+    op.pimBaseHeapPtr = r->request.pimHeapVa;
+    op.tenant = tenant.ctx.id();
+
+    ++r->attempts;
+    if (r->attribId)
+        attribution::Recorder::global().enterStage(
+            r->attribId, attribution::Stage::Preprocess, now());
+
+    const resilience::Status st = sys_.pimMmu().transferChecked(
+        op, [this, id](const resilience::Status &s) {
+            onEngineDone(id, s);
+        });
+    if (!st.ok()) {
+        // Synchronous rejection: translation fault, malformed
+        // descriptor, or no healthy targets. Same recovery path as an
+        // engine failure, minus the ring round-trip.
+        ++stats_.counter("issue_rejects");
+        maybeRetry(id, st);
+        return false;
+    }
+    r->inflight = true;
+    ++inflight_;
+    ++stats_.counter("issued");
+    return true;
+}
+
+void
+Server::shedToCapacity()
+{
+    const std::size_t cap = effectiveQueueCap();
+    while (queuedTotal_ > cap) {
+        // Victim: the youngest queued request of the lowest-priority
+        // tenant with queued work.
+        Tenant *victim = nullptr;
+        for (Tenant &t : tenants_) {
+            if (t.queue.empty())
+                continue;
+            if (!victim || t.cfg.priority < victim->cfg.priority)
+                victim = &t;
+        }
+        if (!victim)
+            break;
+        const std::uint64_t id = victim->queue.back();
+        victim->queue.pop_back();
+        --queuedTotal_;
+        ++stats_.counter("rejected_shed");
+        finalize(id, Outcome::Rejected,
+                 resilience::Status::failure(
+                     resilience::ErrorCode::Overloaded,
+                     "shed: capacity degraded to " +
+                         std::to_string(cap) + " queued"));
+    }
+}
+
+void
+Server::pump()
+{
+    if (inPump_)
+        return;
+    inPump_ = true;
+
+    if (cfg_.shedOnCapacityLoss)
+        shedToCapacity();
+
+    // Byte-based deficit round robin across tenants with queued work.
+    core::Dce &dce = sys_.dce();
+    while (queuedTotal_ > 0 && inflight_ < cfg_.maxInflight &&
+           dce.ringDepth() < cfg_.maxInflight) {
+        // Find the next tenant (starting at the cursor) with work.
+        std::size_t scanned = 0;
+        bool issuedAny = false;
+        while (scanned < tenants_.size()) {
+            Tenant &t = tenants_[drrCursor_ % tenants_.size()];
+            if (t.queue.empty()) {
+                t.deficit = 0.0; // inactive tenants carry no credit
+                ++drrCursor_;
+                ++scanned;
+                continue;
+            }
+            t.deficit += static_cast<double>(cfg_.quantumBytes) *
+                         t.cfg.weight;
+            // Serve the tenant's FIFO while its credit lasts.
+            while (!t.queue.empty() &&
+                   inflight_ < cfg_.maxInflight &&
+                   dce.ringDepth() < cfg_.maxInflight) {
+                const std::uint64_t id = t.queue.front();
+                const Req *r = find(id);
+                assert(r);
+                if (t.deficit < static_cast<double>(r->bytes))
+                    break;
+                t.queue.pop_front();
+                --queuedTotal_;
+                t.deficit -= static_cast<double>(r->bytes);
+                issue(id);
+                issuedAny = true;
+            }
+            ++drrCursor_;
+            ++scanned;
+            if (inflight_ >= cfg_.maxInflight ||
+                dce.ringDepth() >= cfg_.maxInflight)
+                break;
+        }
+        // No tenant could afford its head-of-line request this round.
+        // With work in flight the next completion wakes us and credit
+        // accrues then; with nothing in flight there is no future
+        // wakeup, so keep accruing now (the deficit grows by a full
+        // quantum per scan, so this terminates).
+        if (!issuedAny && inflight_ > 0)
+            break;
+    }
+
+    inPump_ = false;
+}
+
+bool
+Server::drain(Tick maxPs)
+{
+    const bool ok =
+        sys_.runUntil([this] { return idle(); }, maxPs);
+    return ok && idle();
+}
+
+bool
+Server::checkConservation(std::string *why) const
+{
+    const std::uint64_t accounted = totals_.delivered +
+                                    totals_.rejected +
+                                    totals_.expired + pendingCount_;
+    if (accounted == totals_.submitted &&
+        requests_.size() == pendingCount_ + tombstones_)
+        return true;
+    if (why) {
+        *why = "serving ledger imbalance: submitted=" +
+               std::to_string(totals_.submitted) +
+               " delivered=" + std::to_string(totals_.delivered) +
+               " rejected=" + std::to_string(totals_.rejected) +
+               " expired=" + std::to_string(totals_.expired) +
+               " pending=" + std::to_string(pendingCount_) +
+               " tombstones=" + std::to_string(tombstones_) +
+               " live_records=" + std::to_string(requests_.size());
+    }
+    return false;
+}
+
+} // namespace serving
+} // namespace pimmmu

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * The multi-tenant serving layer: a long-running request loop in front
+ * of the PIM-MMU transfer path.
+ *
+ * Tenants submit transfer jobs by virtual address through their
+ * mmu::TenantContext. The server applies admission control before any
+ * work is queued — a per-tenant byte-denominated token bucket
+ * (QuotaExceeded), then a global queue/inflight capacity check
+ * (Overloaded) — so overload is rejected at the front door instead of
+ * growing an unbounded backlog. Admitted requests wait in per-tenant
+ * FIFO queues and a byte-based weighted deficit-round-robin scheduler
+ * batches them into the DCE descriptor ring, keeping the ring topped
+ * up to a target depth off the engine's ring-observer hook (no
+ * polling).
+ *
+ * Every request carries an absolute deadline. A watchdog event fires
+ * at that instant: a still-queued request is removed and accounted
+ * Expired; an in-flight request is accounted Expired immediately and
+ * its eventual engine completion is discarded — the descriptor itself
+ * is never yanked out of the DCE, so expiry can never trip the
+ * engine's stagnation-resync machinery or leak dce.* accounting.
+ *
+ * Degradation under faults is deliberate, not emergent: when the
+ * resilience manager masks ranks/channels/DPUs the server scales its
+ * admission capacity with the healthy-DPU fraction and sheds queued
+ * work from the lowest-priority tenants first; faulted descriptors
+ * are re-driven only while both the per-request retry count and a
+ * global resilience::RetryBudget allow, so brownouts degrade into
+ * shed load instead of a retry storm. The server never corrupts and
+ * never silently drops: every submitted request terminates in exactly
+ * one of Delivered / Rejected / Expired, and checkConservation()
+ * proves the ledger balances.
+ */
+
+#ifndef PIMMMU_SERVING_SERVING_HH
+#define PIMMMU_SERVING_SERVING_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/pim_mmu_op.hh"
+#include "mmu/tenant_context.hh"
+#include "resilience/retry_budget.hh"
+#include "resilience/status.hh"
+
+namespace pimmmu {
+
+namespace sim {
+class System;
+}
+
+namespace serving {
+
+/** Server-side tenant handle (dense index, not an mmu::TenantId). */
+using TenantHandle = std::size_t;
+
+/** How a request's life ended. */
+enum class Outcome
+{
+    Pending,   //!< not terminal yet (internal)
+    Delivered, //!< engine completed it, payload verified upstream
+    Rejected,  //!< admission reject, shed, or failed after retries
+    Expired    //!< deadline passed before delivery
+};
+
+const char *outcomeName(Outcome o);
+
+/** Admission/scheduling knobs for one tenant. */
+struct TenantConfig
+{
+    std::string name;
+
+    /** Token-bucket quota: sustained bytes/sec and burst bytes.
+     *  burst == 0 disables the quota (unlimited). */
+    double quotaBytesPerSec = 0.0;
+    double quotaBurstBytes = 0.0;
+
+    /** Weighted-fair share in the deficit-round-robin scheduler. */
+    unsigned weight = 1;
+
+    /** Shed order under capacity loss: lower priority sheds first. */
+    unsigned priority = 0;
+};
+
+/** One transfer job, addressed in the tenant's virtual space. */
+struct Request
+{
+    core::XferDirection dir = core::XferDirection::DramToPim;
+    std::uint64_t sizePerPim = 0;
+    std::vector<Addr> dramVa;    //!< per-DPU VA in a DRAM-space VMA
+    std::vector<unsigned> dpus;
+    Addr pimHeapVa = 0;          //!< VA offset in a PIM-space VMA
+
+    /** Absolute simulated-time deadline; kTickMax = none. */
+    Tick deadlinePs = kTickMax;
+
+    /** Caller cookie, echoed in the Result. */
+    std::uint64_t tag = 0;
+};
+
+/** Terminal record handed to the submitter's completion callback. */
+struct Result
+{
+    Outcome outcome = Outcome::Pending;
+    resilience::Status status;
+    TenantHandle tenant = 0;
+    std::uint64_t tag = 0;
+    std::uint64_t bytes = 0;
+    Tick submitPs = 0;
+    Tick endPs = 0;
+    unsigned retries = 0;
+};
+
+struct ServerConfig
+{
+    /** Global admission cap on queued (not yet issued) requests. */
+    std::size_t maxQueued = 64;
+
+    /** Server-issued descriptors allowed in the DCE ring at once. */
+    std::size_t maxInflight = 4;
+
+    /** Retry attempts allowed per faulted request. */
+    unsigned retriesPerRequest = 2;
+
+    /** Global retry budget (tokens, tokens/sec); burst 0 = unlimited.
+     *  Bounds recovery-injected load across all tenants. */
+    double retryBurst = 0.0;
+    double retryPerSecond = 0.0;
+
+    /** Wait before re-driving a faulted request, so a brownout (a
+     *  masked rank mid-repair) is ridden out instead of burning the
+     *  whole retry budget in one instant. */
+    Tick retryBackoffPs = 2 * kPsPerUs;
+
+    /** DRR quantum: bytes of credit per weight unit per round. */
+    std::uint64_t quantumBytes = 64 * 1024;
+
+    /** Scale admission capacity with the healthy-DPU fraction and
+     *  shed queued low-priority work when capacity drops. */
+    bool shedOnCapacityLoss = true;
+};
+
+class Server
+{
+  public:
+    using DoneFn = std::function<void(const Result &)>;
+
+    Server(sim::System &sys, ServerConfig cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Register a tenant; stands up its MMU address space. */
+    TenantHandle addTenant(const TenantConfig &cfg);
+
+    /** The tenant's address-space handle, for mapping VA windows. */
+    mmu::TenantContext &tenantContext(TenantHandle t);
+
+    const TenantConfig &tenantConfig(TenantHandle t) const;
+
+    /**
+     * Submit a job. The returned status is the admission verdict:
+     * ok means admitted (@p done will fire exactly once with the
+     * terminal Result); a failure means the request was rejected or
+     * expired at the door (@p done has already fired before submit
+     * returned). Either way the request is on the ledger.
+     */
+    resilience::Status submit(TenantHandle t, Request req, DoneFn done);
+
+    /** No queued, in-flight, or retry-parked work. */
+    bool idle() const
+    {
+        return queuedTotal_ == 0 && inflight_ == 0 &&
+               retryParked_ == 0;
+    }
+
+    /** Run the simulator until the server is idle (bounded). */
+    bool drain(Tick maxPs = kTickMax);
+
+    /** Requests on the ledger but not yet terminal. */
+    std::size_t outstanding() const { return pendingCount_; }
+
+    /** Admission capacity currently in force (shrinks when the
+     *  resilience manager masks capacity away). */
+    std::size_t effectiveQueueCap() const;
+
+    struct Totals
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t delivered = 0;
+        std::uint64_t rejected = 0; //!< all rejects incl. shed
+        std::uint64_t expired = 0;
+        std::uint64_t bytesSubmitted = 0;
+        std::uint64_t bytesAdmitted = 0;
+        std::uint64_t bytesDelivered = 0;
+    };
+
+    const Totals &totals() const { return totals_; }
+
+    /**
+     * The ledger invariant: submitted == delivered + rejected +
+     * expired + outstanding(). @return true when it balances; on
+     * failure @p why (optional) gets a diagnostic.
+     */
+    bool checkConservation(std::string *why = nullptr) const;
+
+    stats::Group &stats() { return stats_; }
+
+  private:
+    struct Req
+    {
+        Request request;
+        TenantHandle tenant = 0;
+        DoneFn done;
+        std::uint64_t bytes = 0;
+        Tick submitPs = 0;
+        unsigned attempts = 0;
+        std::uint64_t attribId = 0;
+        Outcome outcome = Outcome::Pending;
+        bool inflight = false;
+        /** Deadline fired while the descriptor was in the engine:
+         *  already accounted Expired, completion is discarded. */
+        bool expiredInflight = false;
+    };
+
+    struct Tenant
+    {
+        TenantConfig cfg;
+        mmu::TenantContext ctx;
+        resilience::RetryBudget quota;
+        std::deque<std::uint64_t> queue; //!< request ids, FIFO
+        double deficit = 0.0;
+    };
+
+    Req *find(std::uint64_t id);
+    void finalize(std::uint64_t id, Outcome outcome,
+                  resilience::Status status);
+    void onDeadline(std::uint64_t id);
+    void onEngineDone(std::uint64_t id,
+                      const resilience::Status &status);
+    void maybeRetry(std::uint64_t id,
+                    const resilience::Status &status);
+    void requeueRetry(std::uint64_t id);
+    void pump();
+    bool issue(std::uint64_t id);
+    void shedToCapacity();
+    double healthyFraction() const;
+    Tick now() const;
+
+    sim::System &sys_;
+    ServerConfig cfg_;
+    std::vector<Tenant> tenants_;
+    std::map<std::uint64_t, Req> requests_; //!< non-terminal only
+    resilience::RetryBudget retryBudget_;
+    std::uint64_t nextId_ = 1;
+    std::size_t queuedTotal_ = 0;
+    std::size_t inflight_ = 0;
+    /** Requests on the ledger and still Pending. */
+    std::size_t pendingCount_ = 0;
+    /** Expired-in-flight tombstones awaiting their engine answer. */
+    std::size_t tombstones_ = 0;
+    /** Requests sitting out a retry backoff. */
+    std::size_t retryParked_ = 0;
+    std::size_t drrCursor_ = 0;
+    bool inPump_ = false;
+    Totals totals_;
+    stats::Group stats_;
+};
+
+} // namespace serving
+} // namespace pimmmu
+
+#endif // PIMMMU_SERVING_SERVING_HH

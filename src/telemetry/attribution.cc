@@ -38,6 +38,8 @@ stageName(Stage s)
         return "execute";
       case Stage::Verify:
         return "verify";
+      case Stage::ServeQueue:
+        return "serve_queue";
       default:
         return "unknown";
     }

@@ -26,6 +26,8 @@
  *   TlbWalk     DCE-side TLB lookup + page-table walk time of a
  *               virtually addressed descriptor (carved out of
  *               Preprocess, which absorbs it on the simulated path)
+ *   ServeQueue  admission-to-issue wait in the serving layer's
+ *               per-tenant queues (serving::Server request records)
  * Kernel launches reuse the same record type with Execute / Verify
  * stages (kernel execution is modeled time, booked directly).
  *
@@ -75,6 +77,10 @@ enum class Stage : unsigned
     TlbWalk,
     Execute,
     Verify,
+    /** Admission-to-issue wait in the serving layer's per-tenant
+     *  queues (the weighted-fair scheduler's backlog), carved off the
+     *  front of a served request's end-to-end latency. */
+    ServeQueue,
     NumStages
 };
 

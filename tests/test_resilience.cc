@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 #include <thread>
 
 #include "core/dce.hh"
@@ -198,17 +199,30 @@ TEST(Status, DefaultIsOkAndFailureCarriesDetail)
     EXPECT_NE(bad.str().find("42 bad words"), std::string::npos);
 }
 
-TEST(Status, EveryErrorCodeHasAName)
+TEST(Status, EveryErrorCodeNamesRoundTrip)
 {
-    for (ErrorCode c :
-         {ErrorCode::Ok, ErrorCode::EmptyDescriptor,
-          ErrorCode::MalformedDescriptor, ErrorCode::EmptyStream,
-          ErrorCode::DescriptorTooLarge, ErrorCode::DataCorrupt,
-          ErrorCode::TransferStalled, ErrorCode::CapacityExhausted,
-          ErrorCode::NoHealthyTargets}) {
-        EXPECT_NE(errorCodeName(c), nullptr);
-        EXPECT_GT(std::strlen(errorCodeName(c)), 0u);
+    // Exhaustive over kNumErrorCodes: every code must have a distinct,
+    // human-readable name, and errorCodeFromName must invert it. A new
+    // enumerator without a name lands in the default/"unknown" path and
+    // fails here.
+    std::set<std::string> seen;
+    for (unsigned i = 0; i < kNumErrorCodes; ++i) {
+        const ErrorCode c = static_cast<ErrorCode>(i);
+        const char *name = errorCodeName(c);
+        ASSERT_NE(name, nullptr) << "code " << i;
+        EXPECT_GT(std::strlen(name), 0u) << "code " << i;
+        EXPECT_STRNE(name, "unknown") << "code " << i;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "codes alias to one name: " << name;
+        ErrorCode back = ErrorCode::Ok;
+        ASSERT_TRUE(errorCodeFromName(name, back)) << name;
+        EXPECT_EQ(back, c) << name;
     }
+    EXPECT_EQ(seen.size(), kNumErrorCodes);
+
+    ErrorCode out = ErrorCode::Ok;
+    EXPECT_FALSE(errorCodeFromName("no_such_code", out));
+    EXPECT_FALSE(errorCodeFromName("", out));
 }
 
 // ---------------------------------------------------------------------

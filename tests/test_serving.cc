@@ -1,0 +1,659 @@
+/**
+ * @file
+ * Unit tests for the multi-tenant serving layer (serving::Server):
+ * admission control (quota / overload / deadline-at-door), per-request
+ * deadlines including expiry of an in-flight descriptor, retry
+ * budgets, capacity-aware load shedding under masked ranks, the
+ * request-ledger conservation invariant, and the TenantContext VA
+ * bump allocator the server maps tenant windows with.
+ *
+ * Every suite here is named Serving* so the CI TSan job can run
+ * exactly these (--gtest_filter=Serving*) against the threaded
+ * SweepRunner loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mmu/tenant_context.hh"
+#include "resilience/manager.hh"
+#include "serving/load_gen.hh"
+#include "serving/serving.hh"
+#include "sim/sweep_runner.hh"
+#include "sim/system.hh"
+#include "testing/fault_injection.hh"
+
+namespace pimmmu {
+namespace {
+
+using resilience::ErrorCode;
+
+constexpr unsigned kDpusPerReq = 8; // one whole bank at Table I
+constexpr std::uint64_t kBytesPerDpu = 4 * kKiB;
+constexpr std::uint64_t kReqBytes = kDpusPerReq * kBytesPerDpu;
+
+/** A System + Server + per-tenant VA windows, one bank per tenant. */
+struct ServingHarness
+{
+    std::unique_ptr<sim::System> sys;
+    std::unique_ptr<serving::Server> server;
+
+    struct Window
+    {
+        Addr srcPa = 0, dstPa = 0;
+        Addr srcVa = 0, dstVa = 0, heapVa = 0;
+    };
+    std::vector<Window> win;
+
+    explicit ServingHarness(
+        const serving::ServerConfig &scfg,
+        resilience::Policy pol = resilience::Policy::withRetryAndMask())
+    {
+        sim::SystemConfig cfg =
+            sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+        cfg.resilience = pol;
+        sys = std::make_unique<sim::System>(cfg);
+        server = std::make_unique<serving::Server>(*sys, scfg);
+    }
+
+    /** Register a tenant and stand up src/dst/heap VA windows over
+     *  its own physical pages (tenant t drives bank t's DPUs). */
+    serving::TenantHandle
+    addTenant(const serving::TenantConfig &tc)
+    {
+        const serving::TenantHandle h = server->addTenant(tc);
+        const std::uint64_t winBytes =
+            ((kReqBytes + mmu::kPageBytes - 1) / mmu::kPageBytes) *
+            mmu::kPageBytes;
+        Window w;
+        w.srcPa = sys->allocDram(winBytes, mmu::kPageBytes);
+        w.dstPa = sys->allocDram(winBytes, mmu::kPageBytes);
+        mmu::TenantContext &ctx = server->tenantContext(h);
+        EXPECT_TRUE(ctx.mapWindow(mapping::MemSpace::Dram, w.srcPa,
+                                  winBytes, w.srcVa)
+                        .ok());
+        EXPECT_TRUE(ctx.mapWindow(mapping::MemSpace::Dram, w.dstPa,
+                                  winBytes, w.dstVa)
+                        .ok());
+        EXPECT_TRUE(ctx.mapWindow(mapping::MemSpace::Pim,
+                                  std::uint64_t{h} * mmu::kPageBytes,
+                                  mmu::kPageBytes, w.heapVa)
+                        .ok());
+        win.push_back(w);
+        return h;
+    }
+
+    /** A request moving tenant @p t's whole bank slice. */
+    serving::Request
+    makeReq(serving::TenantHandle t, core::XferDirection dir,
+            Tick deadlinePs = kTickMax, std::uint64_t tag = 0)
+    {
+        serving::Request req;
+        req.dir = dir;
+        req.sizePerPim = kBytesPerDpu;
+        req.pimHeapVa = win[t].heapVa;
+        req.deadlinePs = deadlinePs;
+        req.tag = tag;
+        const Addr host = (dir == core::XferDirection::DramToPim)
+                              ? win[t].srcVa
+                              : win[t].dstVa;
+        req.dpus.resize(kDpusPerReq);
+        req.dramVa.resize(kDpusPerReq);
+        for (unsigned i = 0; i < kDpusPerReq; ++i) {
+            req.dpus[i] =
+                static_cast<unsigned>(t) * kDpusPerReq + i;
+            req.dramVa[i] = host + std::uint64_t{i} * kBytesPerDpu;
+        }
+        return req;
+    }
+
+    std::uint64_t
+    counter(const char *key)
+    {
+        return server->stats().counterValue(key);
+    }
+
+    bool
+    conserved()
+    {
+        std::string why;
+        const bool ok = server->checkConservation(&why);
+        EXPECT_TRUE(ok) << why;
+        return ok;
+    }
+};
+
+TEST(ServingAdmission, DeliversAndVerifiesPayload)
+{
+    ServingHarness h{serving::ServerConfig{}};
+    const serving::TenantHandle t =
+        h.addTenant(serving::TenantConfig{});
+
+    std::vector<std::uint8_t> pattern(kReqBytes);
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<std::uint8_t>((i * 37u + 5u) & 0xff);
+    h.sys->mem().store().write(h.win[t].srcPa, pattern.data(),
+                               pattern.size());
+
+    std::vector<serving::Result> results;
+    auto done = [&](const serving::Result &r) {
+        results.push_back(r);
+    };
+    EXPECT_TRUE(h.server
+                    ->submit(t,
+                             h.makeReq(t,
+                                       core::XferDirection::DramToPim,
+                                       kTickMax, 1),
+                             done)
+                    .ok());
+    EXPECT_TRUE(h.server
+                    ->submit(t,
+                             h.makeReq(t,
+                                       core::XferDirection::PimToDram,
+                                       kTickMax, 2),
+                             done)
+                    .ok());
+    ASSERT_TRUE(h.server->drain());
+
+    ASSERT_EQ(results.size(), 2u);
+    for (const serving::Result &r : results) {
+        EXPECT_EQ(r.outcome, serving::Outcome::Delivered);
+        EXPECT_TRUE(r.status.ok());
+        EXPECT_EQ(r.bytes, kReqBytes);
+        EXPECT_EQ(r.retries, 0u);
+    }
+    // DramToPim then PimToDram round-trips the pattern into dst.
+    std::vector<std::uint8_t> back(kReqBytes);
+    h.sys->mem().store().read(h.win[t].dstPa, back.data(),
+                              back.size());
+    EXPECT_EQ(std::memcmp(back.data(), pattern.data(), kReqBytes), 0);
+
+    const serving::Server::Totals &tot = h.server->totals();
+    EXPECT_EQ(tot.submitted, 2u);
+    EXPECT_EQ(tot.delivered, 2u);
+    EXPECT_EQ(tot.bytesDelivered, 2 * kReqBytes);
+    EXPECT_EQ(h.counter("issued"), 2u);
+    EXPECT_EQ(h.server->outstanding(), 0u);
+    h.conserved();
+}
+
+TEST(ServingAdmission, QuotaRejectsAndRefillsOverTime)
+{
+    serving::TenantConfig tc;
+    tc.quotaBurstBytes = static_cast<double>(kReqBytes);
+    tc.quotaBytesPerSec = static_cast<double>(kReqBytes) * 1e6;
+    ServingHarness h{serving::ServerConfig{}};
+    const serving::TenantHandle t = h.addTenant(tc);
+
+    serving::Result last;
+    auto done = [&](const serving::Result &r) { last = r; };
+
+    EXPECT_TRUE(
+        h.server
+            ->submit(t, h.makeReq(t, core::XferDirection::DramToPim),
+                     done)
+            .ok());
+    // Bucket is drained: the next request bounces at the door.
+    const resilience::Status st = h.server->submit(
+        t, h.makeReq(t, core::XferDirection::DramToPim), done);
+    EXPECT_EQ(st.code, ErrorCode::QuotaExceeded);
+    EXPECT_EQ(last.outcome, serving::Outcome::Rejected);
+    EXPECT_EQ(h.counter("rejected_quota"), 1u);
+    ASSERT_TRUE(h.server->drain());
+
+    // ~2 us of simulated time refills a full request of budget.
+    const Tick target = h.sys->eq().now() + 2 * kPsPerUs;
+    h.sys->eq().schedule(target, [] {});
+    h.sys->runUntil([&] { return h.sys->eq().now() >= target; });
+    EXPECT_TRUE(
+        h.server
+            ->submit(t, h.makeReq(t, core::XferDirection::DramToPim),
+                     done)
+            .ok());
+    ASSERT_TRUE(h.server->drain());
+    EXPECT_EQ(h.server->totals().delivered, 2u);
+    h.conserved();
+}
+
+TEST(ServingAdmission, OverloadRejectsAtQueueCapacity)
+{
+    serving::ServerConfig scfg;
+    scfg.maxQueued = 2;
+    scfg.maxInflight = 1;
+    ServingHarness h{scfg};
+    const serving::TenantHandle t =
+        h.addTenant(serving::TenantConfig{});
+
+    unsigned rejected = 0;
+    auto done = [&](const serving::Result &r) {
+        if (r.outcome == serving::Outcome::Rejected)
+            ++rejected;
+    };
+    // #1 issues straight into the ring, #2/#3 occupy the queue, #4
+    // must bounce with the structured Overloaded reason.
+    resilience::Status st;
+    for (int i = 0; i < 4; ++i)
+        st = h.server->submit(
+            t, h.makeReq(t, core::XferDirection::DramToPim), done);
+    EXPECT_EQ(st.code, ErrorCode::Overloaded);
+    EXPECT_EQ(rejected, 1u);
+    EXPECT_EQ(h.counter("rejected_overload"), 1u);
+
+    ASSERT_TRUE(h.server->drain());
+    EXPECT_EQ(h.server->totals().delivered, 3u);
+    h.conserved();
+}
+
+TEST(ServingAdmission, PastDeadlineExpiresAtDoor)
+{
+    ServingHarness h{serving::ServerConfig{}};
+    const serving::TenantHandle t =
+        h.addTenant(serving::TenantConfig{});
+
+    serving::Result last;
+    const resilience::Status st = h.server->submit(
+        t,
+        h.makeReq(t, core::XferDirection::DramToPim,
+                  h.sys->eq().now() /* already due */),
+        [&](const serving::Result &r) { last = r; });
+    EXPECT_EQ(st.code, ErrorCode::DeadlineExceeded);
+    EXPECT_EQ(last.outcome, serving::Outcome::Expired);
+    EXPECT_EQ(h.server->totals().expired, 1u);
+    EXPECT_EQ(h.counter("rejected_deadline_at_door"), 1u);
+    EXPECT_EQ(h.server->outstanding(), 0u);
+    h.conserved();
+}
+
+TEST(ServingDeadline, QueuedRequestExpiresBehindSlowWork)
+{
+    serving::ServerConfig scfg;
+    scfg.maxInflight = 1;
+    ServingHarness h{scfg};
+    const serving::TenantHandle t =
+        h.addTenant(serving::TenantConfig{});
+
+    std::map<std::uint64_t, serving::Result> byTag;
+    auto done = [&](const serving::Result &r) { byTag[r.tag] = r; };
+
+    // A occupies the engine; B's deadline lands while it is still
+    // queued behind A.
+    EXPECT_TRUE(h.server
+                    ->submit(t,
+                             h.makeReq(t,
+                                       core::XferDirection::DramToPim,
+                                       kTickMax, 1),
+                             done)
+                    .ok());
+    EXPECT_TRUE(h.server
+                    ->submit(t,
+                             h.makeReq(t,
+                                       core::XferDirection::DramToPim,
+                                       h.sys->eq().now() +
+                                           100 * kPsPerNs,
+                                       2),
+                             done)
+                    .ok());
+    ASSERT_TRUE(h.server->drain());
+
+    EXPECT_EQ(byTag[1].outcome, serving::Outcome::Delivered);
+    EXPECT_EQ(byTag[2].outcome, serving::Outcome::Expired);
+    EXPECT_EQ(byTag[2].status.code, ErrorCode::DeadlineExceeded);
+    EXPECT_EQ(h.counter("expired_queued"), 1u);
+    h.conserved();
+}
+
+// The satellite regression: a request whose deadline fires while its
+// descriptor is in the engine must be accounted Expired without
+// touching the descriptor — the DCE watchdog must see an engine that
+// is making normal progress (no stagnation resync), the dce.*
+// transfer accounting must balance, and the ring slot must come back.
+TEST(ServingDeadline, MidDescriptorExpiryLeavesEngineClean)
+{
+    serving::ServerConfig scfg;
+    scfg.maxInflight = 1;
+    ServingHarness h{scfg};
+    const serving::TenantHandle t =
+        h.addTenant(serving::TenantConfig{});
+
+    const stats::Group &dce = h.sys->dce().stats();
+    const std::uint64_t dceTransfersBefore =
+        dce.counterValue("transfers");
+
+    serving::Result last;
+    auto done = [&](const serving::Result &r) { last = r; };
+    EXPECT_TRUE(h.server
+                    ->submit(t,
+                             h.makeReq(t,
+                                       core::XferDirection::DramToPim,
+                                       h.sys->eq().now() +
+                                           100 * kPsPerNs,
+                                       7),
+                             done)
+                    .ok());
+    // Issued synchronously; the deadline fires mid-descriptor.
+    ASSERT_TRUE(h.server->drain());
+
+    EXPECT_EQ(last.outcome, serving::Outcome::Expired);
+    EXPECT_EQ(last.status.code, ErrorCode::DeadlineExceeded);
+    EXPECT_EQ(h.counter("expired_inflight"), 1u);
+    // The engine's late answer released the slot and was discarded.
+    EXPECT_EQ(h.counter("late_completions"), 1u);
+    EXPECT_EQ(h.server->totals().delivered, 0u);
+
+    // dce.* conservation: the descriptor ran to normal completion —
+    // one more completed transfer, no failure, no watchdog resync.
+    EXPECT_EQ(dce.counterValue("transfers"), dceTransfersBefore + 1);
+    EXPECT_EQ(dce.counterValue("transfers_failed"), 0u);
+    EXPECT_EQ(dce.counterValue("watchdog_resyncs"), 0u);
+    h.conserved();
+    EXPECT_EQ(h.server->outstanding(), 0u);
+    EXPECT_TRUE(h.server->idle());
+
+    // The engine is not wedged: fresh work still delivers.
+    EXPECT_TRUE(
+        h.server
+            ->submit(t, h.makeReq(t, core::XferDirection::DramToPim),
+                     done)
+            .ok());
+    ASSERT_TRUE(h.server->drain());
+    EXPECT_EQ(last.outcome, serving::Outcome::Delivered);
+    EXPECT_EQ(dce.counterValue("watchdog_resyncs"), 0u);
+    h.conserved();
+}
+
+TEST(ServingRetry, ExhaustsRetriesAgainstDeadRank)
+{
+    testing::fault::disarmAll();
+    serving::ServerConfig scfg;
+    scfg.retriesPerRequest = 2;
+    scfg.retryBackoffPs = 0; // resolve synchronously
+    ServingHarness h{scfg};
+    const serving::TenantHandle t =
+        h.addTenant(serving::TenantConfig{});
+
+    // Every admission probe kills the target rank: the issue is
+    // rejected synchronously, retried, and finally rejected for good.
+    testing::fault::armRate("domain.kill_rank", 1.0, 0x5e5);
+    serving::Result last;
+    EXPECT_TRUE(
+        h.server
+            ->submit(t, h.makeReq(t, core::XferDirection::DramToPim),
+                     [&](const serving::Result &r) { last = r; })
+            .ok());
+    testing::fault::disarmAll();
+
+    EXPECT_EQ(last.outcome, serving::Outcome::Rejected);
+    EXPECT_FALSE(last.status.ok());
+    EXPECT_EQ(last.retries, 2u);
+    EXPECT_EQ(h.counter("retries"), 2u);
+    EXPECT_EQ(h.counter("rejected_retries_exhausted"), 1u);
+    EXPECT_EQ(h.server->totals().delivered, 0u);
+    h.conserved();
+}
+
+TEST(ServingRetry, GlobalBudgetBoundsRetryStorm)
+{
+    testing::fault::disarmAll();
+    serving::ServerConfig scfg;
+    scfg.retriesPerRequest = 5;
+    scfg.retryBurst = 1.0; // one retry, then the budget is dry
+    scfg.retryPerSecond = 0.0;
+    scfg.retryBackoffPs = 0;
+    ServingHarness h{scfg};
+    const serving::TenantHandle t =
+        h.addTenant(serving::TenantConfig{});
+
+    testing::fault::armRate("domain.kill_rank", 1.0, 0x5e6);
+    serving::Result last;
+    EXPECT_TRUE(
+        h.server
+            ->submit(t, h.makeReq(t, core::XferDirection::DramToPim),
+                     [&](const serving::Result &r) { last = r; })
+            .ok());
+    testing::fault::disarmAll();
+
+    EXPECT_EQ(last.outcome, serving::Outcome::Rejected);
+    EXPECT_EQ(last.retries, 1u);
+    EXPECT_EQ(h.counter("retries"), 1u);
+    EXPECT_EQ(h.counter("rejected_retry_budget"), 1u);
+    h.conserved();
+}
+
+TEST(ServingShedding, CapacityLossShedsLowestPriorityFirst)
+{
+    serving::ServerConfig scfg;
+    scfg.maxQueued = 4;
+    scfg.maxInflight = 1;
+    ServingHarness h{scfg};
+
+    serving::TenantConfig loCfg;
+    loCfg.name = "batch";
+    loCfg.priority = 0; // sheds first
+    serving::TenantConfig hiCfg;
+    hiCfg.name = "latency";
+    hiCfg.priority = 1;
+    const serving::TenantHandle lo = h.addTenant(loCfg);
+    const serving::TenantHandle hi = h.addTenant(hiCfg);
+
+    EXPECT_EQ(h.server->effectiveQueueCap(), 4u);
+
+    std::map<std::uint64_t, serving::Result> byTag;
+    auto done = [&](const serving::Result &r) { byTag[r.tag] = r; };
+    // hi #1 goes in flight; then two per tenant wait in the queue.
+    EXPECT_TRUE(h.server
+                    ->submit(hi,
+                             h.makeReq(hi,
+                                       core::XferDirection::DramToPim,
+                                       kTickMax, 10),
+                             done)
+                    .ok());
+    for (std::uint64_t i = 0; i < 2; ++i) {
+        EXPECT_TRUE(
+            h.server
+                ->submit(lo,
+                         h.makeReq(lo,
+                                   core::XferDirection::DramToPim,
+                                   kTickMax, 20 + i),
+                         done)
+                .ok());
+        EXPECT_TRUE(
+            h.server
+                ->submit(hi,
+                         h.makeReq(hi,
+                                   core::XferDirection::DramToPim,
+                                   kTickMax, 30 + i),
+                         done)
+                .ok());
+    }
+
+    // Mask half the banks (none of them serving these two tenants):
+    // admission capacity halves, and the next scheduler pass must
+    // shed the backlog above it, lowest-priority victims first.
+    resilience::Manager *mgr = h.sys->resilienceManager();
+    ASSERT_NE(mgr, nullptr);
+    const unsigned numBanks = mgr->domains().numBanks;
+    const unsigned chips = mgr->domains().chipsPerRank;
+    for (unsigned bank = numBanks / 2; bank < numBanks; ++bank)
+        mgr->markDpuFailed(bank * chips, h.sys->eq().now());
+    EXPECT_EQ(h.server->effectiveQueueCap(), 2u);
+
+    ASSERT_TRUE(h.server->drain());
+
+    // Both batch-tenant requests were shed with a structured reason;
+    // every latency-tenant request was delivered.
+    for (std::uint64_t tag : {20ull, 21ull}) {
+        ASSERT_TRUE(byTag.count(tag));
+        EXPECT_EQ(byTag[tag].outcome, serving::Outcome::Rejected);
+        EXPECT_EQ(byTag[tag].status.code, ErrorCode::Overloaded);
+        EXPECT_NE(byTag[tag].status.message.find("shed"),
+                  std::string::npos);
+    }
+    for (std::uint64_t tag : {10ull, 30ull, 31ull}) {
+        ASSERT_TRUE(byTag.count(tag));
+        EXPECT_EQ(byTag[tag].outcome, serving::Outcome::Delivered);
+    }
+    EXPECT_EQ(h.counter("rejected_shed"), 2u);
+    h.conserved();
+}
+
+TEST(ServingTenantContext, WindowsNeverOverlapAcrossSpaces)
+{
+    sim::SystemConfig cfg =
+        sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+    sim::System sys(cfg);
+    mmu::TenantContext ctx(sys.mmu());
+    ASSERT_TRUE(ctx.valid());
+
+    const Addr pa = sys.allocDram(2 * mmu::kPageBytes,
+                                  mmu::kPageBytes);
+    Addr dramVa = 0, pimVa = 0, dramVa2 = 0;
+    ASSERT_TRUE(ctx.mapWindow(mapping::MemSpace::Dram, pa,
+                              2 * mmu::kPageBytes, dramVa)
+                    .ok());
+    // The tenant's page table is one VA space shared by both HetMap
+    // regions: the PIM window must land beyond the DRAM window plus
+    // its guard page, not restart at the bottom.
+    ASSERT_TRUE(ctx.mapWindow(mapping::MemSpace::Pim, 0,
+                              mmu::kPageBytes, pimVa)
+                    .ok());
+    EXPECT_GE(pimVa, dramVa + 3 * mmu::kPageBytes);
+    const Addr pa2 =
+        sys.allocDram(mmu::kPageBytes, mmu::kPageBytes);
+    ASSERT_TRUE(ctx.mapWindow(mapping::MemSpace::Dram, pa2,
+                              mmu::kPageBytes, dramVa2)
+                    .ok());
+    EXPECT_GE(dramVa2, pimVa + 2 * mmu::kPageBytes);
+
+    EXPECT_EQ(ctx.mappedBytes(mapping::MemSpace::Dram),
+              3 * mmu::kPageBytes);
+    EXPECT_EQ(ctx.mappedBytes(mapping::MemSpace::Pim),
+              mmu::kPageBytes);
+
+    // Translation respects the declared region.
+    mmu::Translation tr;
+    EXPECT_TRUE(ctx.translate(dramVa, 64, mmu::Access::Read,
+                              mapping::MemSpace::Dram, tr)
+                    .ok());
+    EXPECT_EQ(tr.paddr, pa);
+    EXPECT_EQ(ctx.translate(dramVa, 64, mmu::Access::Read,
+                            mapping::MemSpace::Pim, tr)
+                  .code,
+              ErrorCode::RegionMismatch);
+    // The guard page between windows faults instead of sliding into
+    // the neighbour.
+    EXPECT_EQ(ctx.translate(dramVa + 2 * mmu::kPageBytes, 64,
+                            mmu::Access::Read,
+                            mapping::MemSpace::Dram, tr)
+                  .code,
+              ErrorCode::UnmappedPage);
+}
+
+TEST(ServingTenantContext, DetachedContextFailsStructurally)
+{
+    mmu::TenantContext ctx;
+    EXPECT_FALSE(ctx.valid());
+    Addr va = 0;
+    EXPECT_EQ(ctx.mapWindow(mapping::MemSpace::Dram, 0,
+                            mmu::kPageBytes, va)
+                  .code,
+              ErrorCode::TenantIsolation);
+    mmu::Translation tr;
+    EXPECT_EQ(ctx.translate(0, 64, mmu::Access::Read,
+                            mapping::MemSpace::Dram, tr)
+                  .code,
+              ErrorCode::TenantIsolation);
+}
+
+TEST(ServingQuota, RetryBudgetChargesAmounts)
+{
+    // The serving quota reuses RetryBudget with byte-denominated
+    // amounts: partial charges accumulate, refill follows sim time.
+    resilience::RetryBudget bucket(4.0, 1.0); // 4 tokens, 1/s refill
+    EXPECT_TRUE(bucket.tryAcquire(0, 3.0));
+    EXPECT_FALSE(bucket.tryAcquire(0, 2.0)); // only 1.0 left
+    EXPECT_TRUE(bucket.tryAcquire(0, 1.0));
+    EXPECT_FALSE(bucket.tryAcquire(0)); // 1-token overload, dry
+    // One simulated second refills one token (capped at burst).
+    const Tick second = 1000 * kPsPerMs;
+    EXPECT_TRUE(bucket.tryAcquire(second, 1.0));
+    EXPECT_FALSE(bucket.tryAcquire(second, 0.5));
+
+    resilience::RetryBudget unlimited(0.0, 0.0);
+    EXPECT_TRUE(unlimited.unlimited());
+    EXPECT_TRUE(unlimited.tryAcquire(0, 1e18));
+}
+
+TEST(ServingLoadGen, PoissonPlanIsSeededAndMonotone)
+{
+    Rng a(42), b(42);
+    const std::vector<double> weights{1.0, 3.0};
+    const auto planA =
+        serving::poissonPlan(a, 1.0e6, 100 * kPsPerUs, weights);
+    const auto planB =
+        serving::poissonPlan(b, 1.0e6, 100 * kPsPerUs, weights);
+    ASSERT_FALSE(planA.empty());
+    ASSERT_EQ(planA.size(), planB.size());
+    Tick prev = 0;
+    bool sawBoth[2] = {false, false};
+    for (std::size_t i = 0; i < planA.size(); ++i) {
+        EXPECT_EQ(planA[i].atPs, planB[i].atPs);
+        EXPECT_EQ(planA[i].tenant, planB[i].tenant);
+        EXPECT_GE(planA[i].atPs, prev);
+        EXPECT_LT(planA[i].atPs, 100 * kPsPerUs);
+        EXPECT_EQ(planA[i].seq, i);
+        ASSERT_LT(planA[i].tenant, 2u);
+        sawBoth[planA[i].tenant] = true;
+        prev = planA[i].atPs;
+    }
+    EXPECT_TRUE(sawBoth[0]);
+    EXPECT_TRUE(sawBoth[1]);
+    // Cap honoured.
+    Rng c(42);
+    EXPECT_EQ(
+        serving::poissonPlan(c, 1.0e6, 100 * kPsPerUs, weights, 5)
+            .size(),
+        5u);
+}
+
+// The TSan target: independent server loops on SweepRunner workers
+// (thread-local event queues, stats registries, fault sites) must not
+// race and must produce identical deterministic results.
+TEST(ServingSweep, TwoWorkerServerLoopsStayIndependent)
+{
+    constexpr std::size_t kJobs = 4;
+    std::vector<std::uint64_t> delivered(kJobs, 0);
+    std::vector<std::uint64_t> fingerprints(kJobs, 0);
+    sim::SweepRunner runner(2);
+    runner.run(kJobs, [&](std::size_t j) {
+        serving::ServerConfig scfg;
+        scfg.maxInflight = 2;
+        ServingHarness h{scfg};
+        const serving::TenantHandle t =
+            h.addTenant(serving::TenantConfig{});
+        for (std::uint64_t i = 0; i < 3; ++i) {
+            const auto dir = (i % 2 == 0)
+                                 ? core::XferDirection::DramToPim
+                                 : core::XferDirection::PimToDram;
+            ASSERT_TRUE(h.server
+                            ->submit(t, h.makeReq(t, dir, kTickMax, i),
+                                     nullptr)
+                            .ok());
+        }
+        ASSERT_TRUE(h.server->drain());
+        ASSERT_TRUE(h.conserved());
+        delivered[j] = h.server->totals().delivered;
+        fingerprints[j] = h.sys->memoryFingerprint();
+    });
+    for (std::size_t j = 0; j < kJobs; ++j) {
+        EXPECT_EQ(delivered[j], 3u) << "job " << j;
+        EXPECT_EQ(fingerprints[j], fingerprints[0]) << "job " << j;
+    }
+}
+
+} // namespace
+} // namespace pimmmu

@@ -43,6 +43,8 @@ struct Partial
     std::vector<std::string> footer; //!< "  ]" and everything after
     /** Rows keyed by job id, trailing comma stripped. */
     std::map<unsigned long, std::string> rows;
+    /** 1-based source line of each row, for diagnostics. */
+    std::map<unsigned long, std::size_t> rowLines;
 };
 
 std::vector<std::string>
@@ -109,6 +111,11 @@ loadPartial(const std::string &path, Partial &out, std::string &why)
 
     out.path = path;
     const std::vector<std::string> lines = splitLines(text);
+    // 1-based line numbers in every diagnostic, so a bad shard can be
+    // opened at the offending line instead of re-diffed by eye.
+    auto atLine = [](std::size_t idx) {
+        return "line " + std::to_string(idx + 1) + ": ";
+    };
     std::size_t i = 0;
     for (; i < lines.size(); ++i) {
         if (isArrayOpenLine(lines[i])) {
@@ -120,7 +127,8 @@ loadPartial(const std::string &path, Partial &out, std::string &why)
             out.header.push_back(lines[i]);
     }
     if (i >= lines.size()) {
-        why = "no scenarios/points array found";
+        why = "no scenarios/points array found in " +
+              std::to_string(lines.size()) + " lines";
         return false;
     }
     for (; i < lines.size(); ++i) {
@@ -131,18 +139,22 @@ loadPartial(const std::string &path, Partial &out, std::string &why)
             row.pop_back();
         unsigned long job = 0;
         if (!rowJob(row, job)) {
-            why = "row without a \"name\": \"job<N>\" tag: " + row;
+            why = atLine(i) +
+                  "row without a \"name\": \"job<N>\" tag: " + row;
             return false;
         }
         if (out.rows.count(job)) {
-            why = "job " + std::to_string(job) +
+            why = atLine(i) + "job " + std::to_string(job) +
                   " appears twice in one shard";
             return false;
         }
         out.rows.emplace(job, std::move(row));
+        out.rowLines.emplace(job, i + 1);
     }
     if (i >= lines.size()) {
-        why = "array never closes";
+        why = "array opened but never closes (truncated shard? last "
+              "line " +
+              std::to_string(lines.size()) + ")";
         return false;
     }
     for (; i < lines.size(); ++i)
@@ -196,11 +208,24 @@ main(int argc, char **argv)
     const Partial &ref = partials[0];
     for (std::size_t i = 1; i < partials.size(); ++i) {
         if (partials[i].header != ref.header) {
+            // Point at the first differing header line.
+            std::size_t d = 0;
+            while (d < partials[i].header.size() &&
+                   d < ref.header.size() &&
+                   partials[i].header[d] == ref.header[d])
+                ++d;
+            const char *got = d < partials[i].header.size()
+                                  ? partials[i].header[d].c_str()
+                                  : "<missing>";
+            const char *want = d < ref.header.size()
+                                   ? ref.header[d].c_str()
+                                   : "<missing>";
             std::fprintf(stderr,
-                         "%s: %s header disagrees with %s (different "
-                         "campaign or configuration?)\n",
-                         argv[0], partials[i].path.c_str(),
-                         ref.path.c_str());
+                         "%s: %s: line %zu: header disagrees with %s "
+                         "(different campaign or configuration?)\n"
+                         "  got:  %s\n  want: %s\n",
+                         argv[0], partials[i].path.c_str(), d + 1,
+                         ref.path.c_str(), got, want);
             return 1;
         }
         if (partials[i].footer != ref.footer) {
@@ -212,16 +237,20 @@ main(int argc, char **argv)
     }
 
     std::map<unsigned long, std::string> merged;
+    std::map<unsigned long, const Partial *> owners;
     for (const Partial &p : partials) {
         for (const auto &kv : p.rows) {
             if (merged.count(kv.first)) {
                 std::fprintf(stderr,
-                             "%s: job %lu present in more than one "
-                             "shard\n",
-                             argv[0], kv.first);
+                             "%s: %s: line %zu: job %lu already "
+                             "provided by %s\n",
+                             argv[0], p.path.c_str(),
+                             p.rowLines.at(kv.first), kv.first,
+                             owners.at(kv.first)->path.c_str());
                 return 1;
             }
             merged.emplace(kv.first, kv.second);
+            owners.emplace(kv.first, &p);
         }
     }
     if (merged.empty()) {
