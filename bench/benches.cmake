@@ -60,6 +60,17 @@ target_link_libraries(fig_serving PRIVATE pimmmu_serving)
 add_test(NAME fig_serving_smoke
          COMMAND fig_serving --quick --out BENCH_serving.json)
 
+# Soak campaign (crash-consistent checkpoint/restore under sustained
+# Poisson serving load). The smoke entry runs the scaled-down campaign
+# and enforces the soak gates: ledger conservation on both runs, zero
+# corrupt deliveries, counter monotonicity across restores, torn
+# snapshots rejected, and zero drift — the crashed-and-restored run
+# bit- and cycle-identical to the uninterrupted reference.
+add_fig_bench(fig_soak)
+target_link_libraries(fig_soak PRIVATE pimmmu_serving pimmmu_checkpoint)
+add_test(NAME fig_soak_smoke
+         COMMAND fig_soak --quick --out BENCH_soak.json)
+
 # Virtual-memory campaign (TLB entries x page size x tenant count).
 # The smoke entry runs the scaled-down sweep and enforces the VM
 # layer's non-negotiable gate: an identity-mapped single-tenant

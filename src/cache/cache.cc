@@ -1,6 +1,7 @@
 #include "cache/cache.hh"
 
 #include "common/bitutils.hh"
+#include "common/stats_serialize.hh"
 
 namespace pimmmu {
 namespace cache {
@@ -139,6 +140,41 @@ Cache::access(Addr addr, bool write, Callback onDone)
     const bool accepted = mem_.enqueue(std::move(fill));
     PIMMMU_ASSERT(accepted, "canAccept/enqueue mismatch");
     return true;
+}
+
+void
+Cache::saveState(serialize::ByteSink &out) const
+{
+    PIMMMU_ASSERT(mshrs_.empty(),
+                  "cache checkpoint requires no outstanding misses");
+    out.u64(lines_.size());
+    for (const Line &l : lines_) {
+        out.boolean(l.valid);
+        out.boolean(l.dirty);
+        out.u64(l.tag);
+        out.u64(l.lruStamp);
+    }
+    out.u64(lruCounter_);
+    out.u64(hits_);
+    out.u64(misses_);
+    stats::saveGroup(out, stats_);
+}
+
+bool
+Cache::restoreState(serialize::ByteSource &in)
+{
+    if (in.u64() != lines_.size()) // geometry mismatch
+        return false;
+    for (Line &l : lines_) {
+        l.valid = in.boolean();
+        l.dirty = in.boolean();
+        l.tag = in.u64();
+        l.lruStamp = in.u64();
+    }
+    lruCounter_ = in.u64();
+    hits_ = in.u64();
+    misses_ = in.u64();
+    return stats::restoreGroup(in, stats_);
 }
 
 } // namespace cache

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "dram/memory_system.hh"
 
@@ -70,6 +71,17 @@ class Cache
     }
 
     std::size_t outstandingMisses() const { return mshrs_.size(); }
+
+    /**
+     * Checkpoint tags/dirty bits/LRU stamps and hit counters. Only
+     * valid when no miss is outstanding (MSHR waiters are closures
+     * and cannot be serialized); a restored cache replays the exact
+     * hit/miss/eviction sequence of the original.
+     */
+    void saveState(serialize::ByteSink &out) const;
+
+    /** Inverse of saveState. @return false on a malformed payload. */
+    bool restoreState(serialize::ByteSource &in);
 
   private:
     struct Line

@@ -1,0 +1,389 @@
+#include "checkpoint/checkpoint.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "checkpoint/format.hh"
+#include "serving/serving.hh"
+#include "sim/system.hh"
+#include "telemetry/stats_registry.hh"
+
+namespace pimmmu {
+namespace checkpoint {
+
+namespace {
+
+resilience::Status
+badSection(const char *tag, const char *why)
+{
+    std::ostringstream os;
+    os << "section '" << tag << "': " << why;
+    return resilience::Status::failure(
+        resilience::ErrorCode::SnapshotCorrupt, os.str());
+}
+
+/** Geometry fingerprint: a snapshot only restores onto a System built
+ *  with the same shape. */
+void
+writeMeta(serialize::ByteSink &out, sim::System &sys)
+{
+    out.u8(static_cast<std::uint8_t>(sys.config().design));
+    out.u64(sys.pim().numDpus());
+    out.u64(sys.mem().dramChannels());
+    out.u64(sys.mem().pimChannels());
+    out.u64(sys.map().dramCapacity());
+    out.boolean(sys.llc() != nullptr);
+    out.boolean(sys.resilienceManager() != nullptr);
+}
+
+resilience::Status
+checkMeta(serialize::ByteSource &in, sim::System &sys)
+{
+    const auto design = static_cast<sim::DesignPoint>(in.u8());
+    const std::uint64_t dpus = in.u64();
+    const std::uint64_t dramCh = in.u64();
+    const std::uint64_t pimCh = in.u64();
+    const std::uint64_t dramCap = in.u64();
+    const bool hasLlc = in.boolean();
+    const bool hasRes = in.boolean();
+    if (!in.ok()) {
+        return resilience::Status::failure(
+            resilience::ErrorCode::SnapshotCorrupt,
+            "section 'META': short payload");
+    }
+    std::ostringstream os;
+    if (design != sys.config().design)
+        os << "design point differs";
+    else if (dpus != sys.pim().numDpus())
+        os << "snapshot has " << dpus << " DPUs, system has "
+           << sys.pim().numDpus();
+    else if (dramCh != sys.mem().dramChannels() ||
+             pimCh != sys.mem().pimChannels())
+        os << "channel counts differ";
+    else if (dramCap != sys.map().dramCapacity())
+        os << "DRAM capacity differs";
+    else if (hasLlc != (sys.llc() != nullptr))
+        os << "LLC presence differs";
+    else if (hasRes != (sys.resilienceManager() != nullptr))
+        os << "resilience manager presence differs";
+    else
+        return resilience::Status{};
+    return resilience::Status::failure(
+        resilience::ErrorCode::SnapshotVersionMismatch,
+        "snapshot does not fit this system: " + os.str());
+}
+
+} // namespace
+
+resilience::Status
+save(sim::System &sys, serving::Server *server,
+     const std::vector<std::uint8_t> &userBlob, const std::string &path)
+{
+    PIMMMU_ASSERT(sys.eq().empty(),
+                  "checkpoint requires a drained event queue");
+    std::vector<Section> sections;
+    auto add = [&sections](const char *tag,
+                           const serialize::ByteSink &sink) {
+        sections.push_back(makeSection(tag, sink));
+    };
+
+    {
+        serialize::ByteSink s;
+        writeMeta(s, sys);
+        add("META", s);
+    }
+    {
+        serialize::ByteSink s;
+        s.u64(sys.eq().now());
+        s.u64(sys.eq().nextSeq());
+        s.u64(sys.eq().executed());
+        s.u64(sys.eq().scheduled());
+        s.u64(sys.eq().scheduledFar());
+        add("CLK ", s);
+    }
+    {
+        serialize::ByteSink s;
+        sys.saveOwnState(s);
+        add("SYSS", s);
+    }
+    {
+        // Functional DRAM image: non-zero pages in ascending order —
+        // the same canonical form memoryFingerprint() hashes.
+        serialize::ByteSink s;
+        const dram::BackingStore &store = sys.mem().store();
+        std::uint64_t pages = 0;
+        store.forEachNonZeroPage(
+            [&pages](Addr, const std::uint8_t *) { ++pages; });
+        s.u64(pages);
+        store.forEachNonZeroPage(
+            [&s](Addr pageId, const std::uint8_t *data) {
+                s.u64(pageId);
+                s.bytes(data, dram::BackingStore::kPageBytes);
+            });
+        add("MEMB", s);
+    }
+    {
+        serialize::ByteSink s;
+        s.u64(sys.mem().dramChannels());
+        for (unsigned ch = 0; ch < sys.mem().dramChannels(); ++ch)
+            sys.mem().dramController(ch).saveState(s);
+        s.u64(sys.mem().pimChannels());
+        for (unsigned ch = 0; ch < sys.mem().pimChannels(); ++ch)
+            sys.mem().pimController(ch).saveState(s);
+        add("CTRL", s);
+    }
+    {
+        serialize::ByteSink s;
+        s.boolean(sys.llc() != nullptr);
+        if (sys.llc())
+            sys.llc()->saveState(s);
+        add("CACH", s);
+    }
+    {
+        serialize::ByteSink s;
+        sys.dce().saveState(s);
+        add("DCEE", s);
+    }
+    {
+        serialize::ByteSink s;
+        sys.cpu().saveState(s);
+        add("CPUU", s);
+    }
+    {
+        // Includes every DPU's touched MRAM image.
+        serialize::ByteSink s;
+        sys.pim().saveState(s);
+        add("PIMD", s);
+    }
+    {
+        serialize::ByteSink s;
+        s.boolean(sys.resilienceManager() != nullptr);
+        if (sys.resilienceManager())
+            sys.resilienceManager()->saveState(s);
+        add("RESM", s);
+    }
+    {
+        // Includes the MMU: page tables, TLB contents, ownership.
+        serialize::ByteSink s;
+        sys.pimMmu().saveState(s);
+        add("PMRT", s);
+    }
+    {
+        serialize::ByteSink s;
+        sys.upmem().saveState(s);
+        add("UPRT", s);
+    }
+    {
+        serialize::ByteSink s;
+        s.boolean(server != nullptr);
+        if (server)
+            server->saveState(s);
+        add("SERV", s);
+    }
+    {
+        serialize::ByteSink s;
+        s.bytes(userBlob.data(), userBlob.size());
+        add("USER", s);
+    }
+    return writeFile(path, sections);
+}
+
+resilience::Status
+restore(sim::System &sys, serving::Server *server,
+        std::vector<std::uint8_t> *userBlob, const std::string &path)
+{
+    std::vector<Section> sections;
+    if (auto st = readFile(path, sections); !st.ok())
+        return st;
+
+    auto source = [&sections](const char *tag, serialize::ByteSource &src,
+                              bool &found) {
+        const Section *s = findSection(sections, tag);
+        found = s != nullptr;
+        if (s)
+            src = serialize::ByteSource(s->payload.data(),
+                                        s->payload.size());
+    };
+    auto required = [&](const char *tag, serialize::ByteSource &src)
+        -> resilience::Status {
+        bool found = false;
+        source(tag, src, found);
+        if (!found)
+            return badSection(tag, "missing");
+        return resilience::Status{};
+    };
+
+    // META gates everything: wrong-shaped snapshots never touch state.
+    {
+        serialize::ByteSource src;
+        if (auto st = required("META", src); !st.ok())
+            return st;
+        if (auto st = checkMeta(src, sys); !st.ok())
+            return st;
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("CLK ", src); !st.ok())
+            return st;
+        const Tick now = src.u64();
+        const std::uint64_t nextSeq = src.u64();
+        const std::uint64_t executed = src.u64();
+        const std::uint64_t scheduled = src.u64();
+        const std::uint64_t scheduledFar = src.u64();
+        if (!src.ok() || !src.atEnd())
+            return badSection("CLK ", "malformed payload");
+        sys.eq().restoreClock(now, nextSeq, executed, scheduled,
+                              scheduledFar);
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("SYSS", src); !st.ok())
+            return st;
+        if (!sys.restoreOwnState(src))
+            return badSection("SYSS", "malformed payload");
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("MEMB", src); !st.ok())
+            return st;
+        dram::BackingStore &store = sys.mem().store();
+        store.clear();
+        const std::uint64_t pages = src.u64();
+        constexpr std::size_t kPage = dram::BackingStore::kPageBytes;
+        std::uint8_t page[kPage];
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            const Addr pageId = src.u64();
+            src.bytes(page, kPage);
+            if (!src.ok())
+                return badSection("MEMB", "truncated page data");
+            store.restorePage(pageId, page);
+        }
+        if (!src.atEnd())
+            return badSection("MEMB", "trailing bytes");
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("CTRL", src); !st.ok())
+            return st;
+        if (src.u64() != sys.mem().dramChannels())
+            return badSection("CTRL", "DRAM channel count differs");
+        for (unsigned ch = 0; ch < sys.mem().dramChannels(); ++ch) {
+            if (!sys.mem().dramController(ch).restoreState(src))
+                return badSection("CTRL", "malformed DRAM controller");
+        }
+        if (src.u64() != sys.mem().pimChannels())
+            return badSection("CTRL", "PIM channel count differs");
+        for (unsigned ch = 0; ch < sys.mem().pimChannels(); ++ch) {
+            if (!sys.mem().pimController(ch).restoreState(src))
+                return badSection("CTRL", "malformed PIM controller");
+        }
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("CACH", src); !st.ok())
+            return st;
+        if (src.boolean()) {
+            if (!sys.llc() || !sys.llc()->restoreState(src))
+                return badSection("CACH", "malformed payload");
+        }
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("DCEE", src); !st.ok())
+            return st;
+        if (!sys.dce().restoreState(src))
+            return badSection("DCEE", "malformed payload");
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("CPUU", src); !st.ok())
+            return st;
+        if (!sys.cpu().restoreState(src))
+            return badSection("CPUU", "malformed payload");
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("PIMD", src); !st.ok())
+            return st;
+        if (!sys.pim().restoreState(src))
+            return badSection("PIMD", "malformed payload");
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("RESM", src); !st.ok())
+            return st;
+        if (src.boolean()) {
+            if (!sys.resilienceManager() ||
+                !sys.resilienceManager()->restoreState(src))
+                return badSection("RESM", "malformed payload");
+        }
+    }
+    // MMU before SERV: restored tenant contexts re-attach to address
+    // spaces this section rebuilds.
+    {
+        serialize::ByteSource src;
+        if (auto st = required("PMRT", src); !st.ok())
+            return st;
+        if (!sys.pimMmu().restoreState(src))
+            return badSection("PMRT", "malformed payload");
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("UPRT", src); !st.ok())
+            return st;
+        if (!sys.upmem().restoreState(src))
+            return badSection("UPRT", "malformed payload");
+    }
+    {
+        serialize::ByteSource src;
+        if (auto st = required("SERV", src); !st.ok())
+            return st;
+        const bool snapshotHasServer = src.boolean();
+        if (snapshotHasServer != (server != nullptr)) {
+            return resilience::Status::failure(
+                resilience::ErrorCode::SnapshotVersionMismatch,
+                snapshotHasServer
+                    ? "snapshot has a serving layer, restore target "
+                      "does not"
+                    : "restore target has a serving layer, snapshot "
+                      "does not");
+        }
+        if (server && !server->restoreState(src))
+            return badSection("SERV", "malformed payload");
+    }
+    if (userBlob) {
+        serialize::ByteSource src;
+        if (auto st = required("USER", src); !st.ok())
+            return st;
+        *userBlob = src.blob();
+        if (!src.ok())
+            return badSection("USER", "malformed payload");
+    }
+    return resilience::Status{};
+}
+
+std::uint64_t
+statsFingerprint()
+{
+    // Groups are hashed in sorted order, not registration order: a
+    // restored System registers them in snapshot-section order (ff
+    // before mmu), while the original registered them as subsystems
+    // were constructed. The values are identical either way; the
+    // canonical digest must be too.
+    std::vector<std::string> groups =
+        telemetry::StatsRegistry::global().groupJsons();
+    std::sort(groups.begin(), groups.end());
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::string &g : groups) {
+        for (const char c : g) {
+            h ^= static_cast<std::uint8_t>(c);
+            h *= 0x100000001b3ull;
+        }
+        h ^= 0x1f;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace checkpoint
+} // namespace pimmmu

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Crash-consistent snapshot/restore of the whole simulated system.
+ *
+ * save() walks the machine at a quiesced point (event queue drained,
+ * serving ledger empty) and emits one CRC-guarded section per
+ * subsystem — clock, functional memory image, per-DPU MRAM, controller
+ * and cache timing state, DCE/CPU bookkeeping, resilience health
+ * machines, the MMU (page tables, TLB contents, ownership registry),
+ * the serving layer and every stats group — through the atomic
+ * container in format.hh. Saving is read-only: a run that checkpoints
+ * is bit+cycle identical to one that does not.
+ *
+ * restore() rebuilds onto a freshly constructed System (same
+ * SystemConfig) and optional freshly constructed serving::Server (same
+ * ServerConfig, no tenants). A driver then replays its workload from
+ * the cursor it stashed in the USER section; because every piece of
+ * modeled state survives bit-exactly, the continued run is
+ * indistinguishable — events, simulated time, stats, payload bytes —
+ * from one that never stopped.
+ *
+ * All failures are structured resilience::Status values
+ * (snapshot_corrupt / snapshot_version_mismatch), never asserts: a
+ * torn, truncated or mismatched snapshot must not take the process
+ * down.
+ */
+
+#ifndef PIMMMU_CHECKPOINT_CHECKPOINT_HH
+#define PIMMMU_CHECKPOINT_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resilience/status.hh"
+
+namespace pimmmu {
+
+namespace sim {
+class System;
+}
+namespace serving {
+class Server;
+}
+
+namespace checkpoint {
+
+/**
+ * Snapshot @p sys (and @p server, if any) to @p path atomically.
+ * @p userBlob is the driver's own replay cursor, stored verbatim in
+ * the USER section. @pre the event queue is drained and the server
+ * (when present) is idle with an empty ledger.
+ */
+resilience::Status save(sim::System &sys, serving::Server *server,
+                        const std::vector<std::uint8_t> &userBlob,
+                        const std::string &path);
+
+/**
+ * Restore @p path onto freshly built @p sys / @p server. On success
+ * @p userBlob (optional) receives the USER section. Geometry or
+ * section-schema disagreements fail with snapshot_version_mismatch;
+ * damaged payloads with snapshot_corrupt.
+ */
+resilience::Status restore(sim::System &sys, serving::Server *server,
+                           std::vector<std::uint8_t> *userBlob,
+                           const std::string &path);
+
+/**
+ * Deterministic FNV-1a digest of every registered stats group's JSON
+ * dump — the "all counters identical" half of the crash-restore
+ * identity gate.
+ */
+std::uint64_t statsFingerprint();
+
+} // namespace checkpoint
+} // namespace pimmmu
+
+#endif // PIMMMU_CHECKPOINT_CHECKPOINT_HH

@@ -1,0 +1,218 @@
+#include "checkpoint/format.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "resilience/crc.hh"
+#include "testing/fault_injection.hh"
+
+namespace pimmmu {
+namespace checkpoint {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'I', 'M', 'C', 'K', 'P', 'T', '1'};
+
+resilience::Status
+corrupt(const std::string &path, std::uint64_t offset,
+        const std::string &what)
+{
+    std::ostringstream os;
+    os << path << " @" << offset << ": " << what;
+    return resilience::Status::failure(
+        resilience::ErrorCode::SnapshotCorrupt, os.str());
+}
+
+void
+append32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+append64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+read32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t{p[i]} << (8 * i);
+    return v;
+}
+
+std::uint64_t
+read64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+} // namespace
+
+Section
+makeSection(const char *tag, const serialize::ByteSink &sink,
+            std::uint32_t version)
+{
+    Section s;
+    s.tag = tag;
+    s.version = version;
+    s.payload = sink.data();
+    return s;
+}
+
+const Section *
+findSection(const std::vector<Section> &sections, const char *tag)
+{
+    for (const Section &s : sections) {
+        if (s.tag == tag)
+            return &s;
+    }
+    return nullptr;
+}
+
+resilience::Status
+writeFile(const std::string &path, const std::vector<Section> &sections)
+{
+    namespace fault = testing::fault;
+
+    std::vector<std::uint8_t> file;
+    file.insert(file.end(), kMagic, kMagic + sizeof(kMagic));
+    append32(file, kFormatVersion);
+    append32(file, static_cast<std::uint32_t>(sections.size()));
+    for (const Section &s : sections) {
+        if (s.tag.size() != 4) {
+            return resilience::Status::failure(
+                resilience::ErrorCode::MalformedDescriptor,
+                "section tag '" + s.tag + "' is not 4 characters");
+        }
+        file.insert(file.end(), s.tag.begin(), s.tag.end());
+        append32(file, s.version);
+        append64(file, s.payload.size());
+        append32(file, resilience::crc32c(s.payload.data(),
+                                          s.payload.size()));
+        const std::size_t payloadAt = file.size();
+        file.insert(file.end(), s.payload.begin(), s.payload.end());
+        // Fault site: flip one payload byte *after* its CRC was
+        // recorded, proving the reader's CRC check is non-vacuous.
+        if (!s.payload.empty() && fault::fire("ckpt.corrupt_section"))
+            file[payloadAt + s.payload.size() / 2] ^= 0x40;
+    }
+    // Fault site: emit only the front half of the encoded file — a
+    // torn write the atomic-rename protocol would normally prevent.
+    if (fault::fire("ckpt.truncate_file"))
+        file.resize(file.size() / 2);
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *fp = std::fopen(tmp.c_str(), "wb");
+    if (!fp)
+        return corrupt(tmp, 0, "cannot open for writing");
+    const std::size_t wrote =
+        file.empty() ? 0 : std::fwrite(file.data(), 1, file.size(), fp);
+    const bool flushed = std::fclose(fp) == 0;
+    if (wrote != file.size() || !flushed) {
+        std::remove(tmp.c_str());
+        return corrupt(tmp, wrote, "short write");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return corrupt(path, 0, "atomic rename failed");
+    }
+    return resilience::Status{};
+}
+
+resilience::Status
+readFile(const std::string &path, std::vector<Section> &out)
+{
+    out.clear();
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp)
+        return corrupt(path, 0, "cannot open for reading");
+    std::vector<std::uint8_t> file;
+    std::uint8_t chunk[65536];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), fp)) > 0)
+        file.insert(file.end(), chunk, chunk + got);
+    std::fclose(fp);
+
+    std::uint64_t off = 0;
+    auto need = [&](std::uint64_t bytes, const char *what)
+        -> resilience::Status {
+        if (off + bytes > file.size()) {
+            std::ostringstream os;
+            os << "truncated: need " << bytes << " bytes for " << what
+               << ", file has " << file.size() - off << " left";
+            return corrupt(path, off, os.str());
+        }
+        return resilience::Status{};
+    };
+
+    if (auto st = need(sizeof(kMagic), "magic"); !st.ok())
+        return st;
+    if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+        return resilience::Status::failure(
+            resilience::ErrorCode::SnapshotVersionMismatch,
+            path + " @0: bad magic (not a PIM-MMU snapshot)");
+    }
+    off += sizeof(kMagic);
+    if (auto st = need(8, "header"); !st.ok())
+        return st;
+    const std::uint32_t version = read32(&file[off]);
+    if (version != kFormatVersion) {
+        std::ostringstream os;
+        os << path << " @" << off << ": format version " << version
+           << ", this build reads " << kFormatVersion;
+        return resilience::Status::failure(
+            resilience::ErrorCode::SnapshotVersionMismatch, os.str());
+    }
+    off += 4;
+    const std::uint32_t count = read32(&file[off]);
+    off += 4;
+
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (auto st = need(4 + 4 + 8 + 4, "section header"); !st.ok())
+            return st;
+        Section s;
+        s.tag.assign(reinterpret_cast<const char *>(&file[off]), 4);
+        off += 4;
+        s.version = read32(&file[off]);
+        off += 4;
+        const std::uint64_t bytes = read64(&file[off]);
+        off += 8;
+        const std::uint32_t crc = read32(&file[off]);
+        off += 4;
+        if (auto st = need(bytes, ("section '" + s.tag + "' payload")
+                                      .c_str());
+            !st.ok())
+            return st;
+        const std::uint32_t actual =
+            resilience::crc32c(file.data() + off, bytes);
+        if (actual != crc) {
+            std::ostringstream os;
+            os << "section '" << s.tag << "' CRC mismatch (stored 0x"
+               << std::hex << crc << ", computed 0x" << actual << ")";
+            return corrupt(path, off, os.str());
+        }
+        s.payload.assign(file.begin() + static_cast<long>(off),
+                         file.begin() + static_cast<long>(off + bytes));
+        off += bytes;
+        out.push_back(std::move(s));
+    }
+    if (off != file.size()) {
+        std::ostringstream os;
+        os << file.size() - off << " trailing bytes after last section";
+        return corrupt(path, off, os.str());
+    }
+    return resilience::Status{};
+}
+
+} // namespace checkpoint
+} // namespace pimmmu

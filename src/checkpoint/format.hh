@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The on-disk snapshot container: a versioned, sectioned binary file
+ * with one CRC-32C-guarded section per subsystem.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   magic            8 bytes   "PIMCKPT1"
+ *   formatVersion    u32
+ *   sectionCount     u32
+ *   per section:
+ *     tag            4 bytes   e.g. "MEMB"
+ *     version        u32       section schema version
+ *     payloadBytes   u64
+ *     crc32c         u32       over the payload bytes
+ *     payload        payloadBytes bytes
+ *
+ * Files commit atomically: the writer streams to `path + ".tmp"` and
+ * renames over the target, so a crash mid-write leaves either the old
+ * snapshot or none — never a half-written one. The reader trusts
+ * nothing: every structural field is bounds-checked against the actual
+ * file size and every payload is CRC-verified, with failures reported
+ * as structured resilience::Status values (snapshot_corrupt /
+ * snapshot_version_mismatch) carrying file/offset diagnostics. A torn
+ * or truncated snapshot is rejected, never asserted on.
+ *
+ * Writer fault sites (testing::fault) prove the reader's rejection
+ * paths are non-vacuous:
+ *   ckpt.corrupt_section  flip one payload byte after its CRC is taken
+ *   ckpt.truncate_file    drop the tail half of the encoded file
+ */
+
+#ifndef PIMMMU_CHECKPOINT_FORMAT_HH
+#define PIMMMU_CHECKPOINT_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "resilience/status.hh"
+
+namespace pimmmu {
+namespace checkpoint {
+
+/** Container schema version this build writes and accepts. */
+constexpr std::uint32_t kFormatVersion = 1;
+
+/** One subsystem's payload inside a snapshot file. */
+struct Section
+{
+    std::string tag;     //!< exactly 4 characters
+    std::uint32_t version = 1;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Convenience: wrap a finished ByteSink as a section. */
+Section makeSection(const char *tag, const serialize::ByteSink &sink,
+                    std::uint32_t version = 1);
+
+/**
+ * Atomically write @p sections to @p path (tmp file + rename).
+ * @return Ok, or snapshot_corrupt with the failing syscall's context.
+ */
+resilience::Status writeFile(const std::string &path,
+                             const std::vector<Section> &sections);
+
+/**
+ * Parse @p path into @p out. Never asserts: corruption, truncation,
+ * bad magic and unsupported versions all come back as structured
+ * failures naming the file and byte offset.
+ */
+resilience::Status readFile(const std::string &path,
+                            std::vector<Section> &out);
+
+/** The section with @p tag, or nullptr. */
+const Section *findSection(const std::vector<Section> &sections,
+                           const char *tag);
+
+} // namespace checkpoint
+} // namespace pimmmu
+
+#endif // PIMMMU_CHECKPOINT_FORMAT_HH

@@ -70,6 +70,12 @@ class EventQueue
         return scheduled_ - scheduledFar_;
     }
 
+    /** Of the scheduled events, how many took the far-heap path. */
+    std::uint64_t scheduledFar() const { return scheduledFar_; }
+
+    /** Sequence number the next scheduled event will take. */
+    std::uint64_t nextSeq() const { return nextSeq_; }
+
     /**
      * Schedule @p cb to run at absolute tick @p when.
      * @pre when >= now() (events cannot be scheduled in the past).
@@ -140,6 +146,29 @@ class EventQueue
         executed_ = 0;
         scheduled_ = 0;
         scheduledFar_ = 0;
+    }
+
+    /**
+     * Restore the clock and lifetime counters from a checkpoint.
+     * Events themselves are never serialized — snapshots are taken
+     * only at quiesced points — so the queue must be empty; the
+     * wheel's bucket mapping is position-independent (indexed mod
+     * kWheelBuckets off now_), so later schedules land exactly where
+     * they would have in the original run.
+     * @pre empty()
+     */
+    void
+    restoreClock(Tick now, std::uint64_t nextSeq,
+                 std::uint64_t executed, std::uint64_t scheduled,
+                 std::uint64_t scheduledFar)
+    {
+        PIMMMU_ASSERT(pending_ == 0,
+                      "clock restore requires a drained event queue");
+        now_ = now;
+        nextSeq_ = nextSeq;
+        executed_ = executed;
+        scheduled_ = scheduled;
+        scheduledFar_ = scheduledFar;
     }
 
   private:

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Flat little-endian byte codec used by the checkpoint subsystem.
+ *
+ * ByteSink appends fixed-width primitives to a growable buffer;
+ * ByteSource reads them back. The source NEVER asserts on malformed
+ * input: a read past the end returns zero and latches a failure flag,
+ * so a loader can decode a whole (CRC-valid but semantically bogus)
+ * section and reject it with one structured error at the end instead
+ * of crashing mid-parse.
+ *
+ * Doubles travel as their IEEE-754 bit pattern, so a restored value is
+ * bit-exact — a checkpoint/restore cycle can never perturb a stats
+ * mean or a token-bucket level.
+ */
+
+#ifndef PIMMMU_COMMON_SERIALIZE_HH
+#define PIMMMU_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pimmmu {
+namespace serialize {
+
+class ByteSink
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    boolean(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    bytes(const void *src, std::size_t n)
+    {
+        if (n == 0)
+            return;
+        const auto *p = static_cast<const std::uint8_t *>(src);
+        buf_.insert(buf_.end(), p, p + n);
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    const std::vector<std::uint8_t> &data() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+class ByteSource
+{
+  public:
+    /** Empty source: every read fails (until reassigned). */
+    ByteSource() : data_(nullptr), size_(0) {}
+
+    ByteSource(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit ByteSource(const std::vector<std::uint8_t> &buf)
+        : data_(buf.data()), size_(buf.size())
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        take(&v, 1);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint8_t raw[4] = {};
+        take(raw, 4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t{raw[i]} << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint8_t raw[8] = {};
+        take(raw, 8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t{raw[i]} << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    bool boolean() { return u8() != 0; }
+
+    bool
+    bytes(void *dst, std::size_t n)
+    {
+        return take(static_cast<std::uint8_t *>(dst), n);
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        if (n > remaining()) {
+            failed_ = true;
+            pos_ = size_;
+            return std::string();
+        }
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    /** Everything left in the buffer, as one blob. */
+    std::vector<std::uint8_t>
+    blob()
+    {
+        std::vector<std::uint8_t> v(data_ + pos_, data_ + size_);
+        pos_ = size_;
+        return v;
+    }
+
+    /** False once any read overran the buffer. */
+    bool ok() const { return !failed_; }
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    bool
+    take(std::uint8_t *dst, std::size_t n)
+    {
+        if (n > remaining()) {
+            failed_ = true;
+            std::memset(dst, 0, n);
+            pos_ = size_;
+            return false;
+        }
+        std::memcpy(dst, data_ + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace serialize
+} // namespace pimmmu
+
+#endif // PIMMMU_COMMON_SERIALIZE_HH

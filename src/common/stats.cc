@@ -61,7 +61,8 @@ Histogram::percentile(double p) const
         return 0.0;
     p = std::clamp(p, 0.0, 100.0);
     const double target = p / 100.0 * static_cast<double>(total_);
-    // Underflow samples sit at lo, overflow samples at hi.
+    // Underflow samples sit at lo; p=0 reports the range floor by
+    // convention (see Stats.HistogramSingleSample).
     double cum = static_cast<double>(underflow_);
     if (target <= cum)
         return lo_;

@@ -64,6 +64,27 @@ class Average
     double max() const { return count_ ? max_ : 0.0; }
     std::uint64_t count() const { return count_; }
 
+    /** Raw running sum (checkpointing; bit-exact restore). */
+    double sum() const { return sum_; }
+
+    /**
+     * Overwrite from checkpointed raw fields. A zero @p count restores
+     * the freshly constructed state (infinity sentinels), so restored
+     * and original instances are indistinguishable on every accessor.
+     */
+    void
+    restore(std::uint64_t count, double sum, double mn, double mx)
+    {
+        if (count == 0) {
+            reset();
+            return;
+        }
+        count_ = count;
+        sum_ = sum;
+        min_ = mn;
+        max_ = mx;
+    }
+
     /**
      * Return to the freshly constructed state. The extrema use infinity
      * sentinels (not the last observed values), so a reset Average
@@ -109,7 +130,10 @@ class Histogram
             underflow_ += weight;
             return;
         }
-        if (v >= hi_) {
+        if (v >= hi_ || counts_.empty()) {
+            // A degenerate zero-bucket histogram still tracks totals,
+            // mean, and the under/overflow split; without this guard
+            // the bucket-index clamp below would index counts_[-1].
             overflow_ += weight;
             return;
         }
@@ -139,6 +163,9 @@ class Histogram
     double hi() const { return hi_; }
     double mean() const { return total_ ? sum_ / total_ : 0.0; }
 
+    /** Raw weighted sum (checkpointing; bit-exact restore). */
+    double sum() const { return sum_; }
+
     /**
      * Value below which @p p percent of the samples fall (p in
      * [0, 100]), linearly interpolated within the containing bucket.
@@ -152,6 +179,27 @@ class Histogram
         std::fill(counts_.begin(), counts_.end(), 0);
         underflow_ = overflow_ = total_ = 0;
         sum_ = 0.0;
+    }
+
+    /**
+     * Overwrite from checkpointed raw fields. @p counts must match
+     * this histogram's bucket count (the caller recreates the shape
+     * from the same checkpoint); a mismatched vector is ignored and
+     * the buckets reset, keeping totals consistent with total().
+     */
+    void
+    restore(std::uint64_t underflow, std::uint64_t overflow,
+            std::uint64_t total, double sum,
+            const std::vector<std::uint64_t> &counts)
+    {
+        underflow_ = underflow;
+        overflow_ = overflow;
+        total_ = total;
+        sum_ = sum;
+        if (counts.size() == counts_.size())
+            counts_ = counts;
+        else
+            std::fill(counts_.begin(), counts_.end(), 0);
     }
 
   private:

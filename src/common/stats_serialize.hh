@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bit-exact checkpointing of a stats::Group.
+ *
+ * Every scalar travels in its raw representation (u64 counters, IEEE
+ * bit-pattern doubles), so a saved-and-restored group is
+ * indistinguishable from the original on every accessor and in every
+ * JSON dump — which is what lets the crash-injection identity gate
+ * compare whole-registry stats fingerprints across a restore.
+ */
+
+#ifndef PIMMMU_COMMON_STATS_SERIALIZE_HH
+#define PIMMMU_COMMON_STATS_SERIALIZE_HH
+
+#include <vector>
+
+#include "common/serialize.hh"
+#include "common/stats.hh"
+
+namespace pimmmu {
+namespace stats {
+
+inline void
+saveGroup(serialize::ByteSink &out, const Group &g)
+{
+    out.u64(g.counters().size());
+    for (const auto &kv : g.counters()) {
+        out.str(kv.first);
+        out.u64(kv.second.value());
+    }
+    out.u64(g.averages().size());
+    for (const auto &kv : g.averages()) {
+        out.str(kv.first);
+        const Average &a = kv.second;
+        out.u64(a.count());
+        out.f64(a.sum());
+        out.f64(a.min());
+        out.f64(a.max());
+    }
+    out.u64(g.histograms().size());
+    for (const auto &kv : g.histograms()) {
+        out.str(kv.first);
+        const Histogram &h = kv.second;
+        out.f64(h.lo());
+        out.f64(h.hi());
+        out.u64(h.buckets());
+        out.u64(h.underflow());
+        out.u64(h.overflow());
+        out.u64(h.total());
+        out.f64(h.sum());
+        for (std::size_t i = 0; i < h.buckets(); ++i)
+            out.u64(h.bucket(i));
+    }
+    out.u64(g.gauges().size());
+    for (const auto &kv : g.gauges()) {
+        out.str(kv.first);
+        out.f64(kv.second);
+    }
+}
+
+/**
+ * Restore @p g from @p in. Existing entries are overwritten; entries
+ * the checkpoint has and the (freshly constructed) group lacks are
+ * created, so the restored group's key set matches the original's
+ * exactly. @return false if the stream ran dry (corrupt payload).
+ */
+inline bool
+restoreGroup(serialize::ByteSource &in, Group &g)
+{
+    const std::uint64_t nCounters = in.u64();
+    for (std::uint64_t i = 0; i < nCounters && in.ok(); ++i) {
+        const std::string key = in.str();
+        const std::uint64_t value = in.u64();
+        Counter &c = g.counter(key);
+        c.reset();
+        c += value;
+    }
+    const std::uint64_t nAverages = in.u64();
+    for (std::uint64_t i = 0; i < nAverages && in.ok(); ++i) {
+        const std::string key = in.str();
+        const std::uint64_t count = in.u64();
+        const double sum = in.f64();
+        const double mn = in.f64();
+        const double mx = in.f64();
+        g.average(key).restore(count, sum, mn, mx);
+    }
+    const std::uint64_t nHistograms = in.u64();
+    for (std::uint64_t i = 0; i < nHistograms && in.ok(); ++i) {
+        const std::string key = in.str();
+        const double lo = in.f64();
+        const double hi = in.f64();
+        const std::uint64_t buckets = in.u64();
+        const std::uint64_t underflow = in.u64();
+        const std::uint64_t overflow = in.u64();
+        const std::uint64_t total = in.u64();
+        const double sum = in.f64();
+        if (buckets > in.remaining() / 8)
+            return false; // length lies about the payload
+        std::vector<std::uint64_t> counts(
+            static_cast<std::size_t>(buckets));
+        for (auto &c : counts)
+            c = in.u64();
+        if (!in.ok())
+            return false;
+        Histogram &h = g.histogram(key, lo, hi,
+                                   static_cast<std::size_t>(buckets));
+        h.restore(underflow, overflow, total, sum, counts);
+    }
+    const std::uint64_t nGauges = in.u64();
+    for (std::uint64_t i = 0; i < nGauges && in.ok(); ++i) {
+        const std::string key = in.str();
+        g.gauge(key) = in.f64();
+    }
+    return in.ok();
+}
+
+} // namespace stats
+} // namespace pimmmu
+
+#endif // PIMMMU_COMMON_STATS_SERIALIZE_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/stats_serialize.hh"
 #include "common/trace.hh"
 #include "resilience/manager.hh"
 #include "telemetry/attribution.hh"
@@ -799,6 +800,27 @@ Dce::tick()
     // Nothing issuable this cycle: sleep until a completion, transpose
     // output, or controller drain re-arms the ticker.
     return false;
+}
+
+void
+Dce::saveState(serialize::ByteSink &out) const
+{
+    PIMMMU_ASSERT(!active_ && pending_.empty() &&
+                      readsInflight_ == 0 && writesInflight_ == 0,
+                  "DCE checkpoint requires an empty descriptor ring");
+    out.u64(freeDataSlots_);
+    out.u64(busyPs_);
+    out.u64(nextTransferId_);
+    stats::saveGroup(out, stats_);
+}
+
+bool
+Dce::restoreState(serialize::ByteSource &in)
+{
+    freeDataSlots_ = in.u64();
+    busyPs_ = in.u64();
+    nextTransferId_ = in.u64();
+    return stats::restoreGroup(in, stats_);
 }
 
 } // namespace core

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "core/dce_config.hh"
 #include "core/pim_mmu_op.hh"
@@ -175,6 +176,17 @@ class Dce
 
     const DceConfig &config() const { return config_; }
     stats::Group &stats() { return stats_; }
+
+    /**
+     * Checkpoint the engine's persistent state (busy time, descriptor
+     * id counter, stats). Only valid with an empty ring: active and
+     * pending descriptors hold completion closures, which cannot be
+     * serialized — snapshots are taken at quiesced points instead.
+     */
+    void saveState(serialize::ByteSink &out) const;
+
+    /** Inverse of saveState. @return false on a malformed payload. */
+    bool restoreState(serialize::ByteSource &in);
 
   private:
     struct StreamState

@@ -1,5 +1,7 @@
 #include "core/pim_mmu_runtime.hh"
 
+#include "common/stats_serialize.hh"
+
 #include <algorithm>
 #include <sstream>
 
@@ -496,6 +498,29 @@ PimMmuRequestThread::step(cpu::Core &core)
         return 0;
     }
     panic("bad state");
+}
+
+void
+PimMmuRuntime::saveState(serialize::ByteSink &out) const
+{
+    out.u64(nextCallId_);
+    out.boolean(mmu_ != nullptr);
+    if (mmu_)
+        mmu_->saveState(out);
+    stats::saveGroup(out, stats_);
+}
+
+bool
+PimMmuRuntime::restoreState(serialize::ByteSource &in)
+{
+    nextCallId_ = in.u64();
+    if (in.boolean()) {
+        // Instantiate-on-restore mirrors instantiate-on-first-use: a
+        // snapshot with MMU state forces the layer into existence.
+        if (!mmu().restoreState(in))
+            return false;
+    }
+    return stats::restoreGroup(in, stats_);
 }
 
 } // namespace core

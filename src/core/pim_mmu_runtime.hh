@@ -112,6 +112,16 @@ class PimMmuRuntime
     /** Non-instantiating peek (nullptr until mmu() was called). */
     const mmu::Mmu *mmuIfPresent() const { return mmu_.get(); }
 
+    /**
+     * Checkpoint the runtime's persistent state: call-id counter, MMU
+     * presence + contents, stats. In-flight calls hold closures and
+     * cannot be serialized — snapshots are taken at quiesced points.
+     */
+    void saveState(serialize::ByteSink &out) const;
+
+    /** Inverse of saveState. @return false on a malformed payload. */
+    bool restoreState(serialize::ByteSource &in);
+
   private:
     /** State shared across the (possibly retried) attempts of a call. */
     struct CallCtx

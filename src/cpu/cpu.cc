@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/cache.hh"
+#include "common/stats_serialize.hh"
 #include "common/trace.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
@@ -321,6 +322,34 @@ Cpu::shutdown()
     runQueue_.clear();
     for (auto &core : cores_)
         core->clearThread();
+}
+
+void
+Cpu::saveState(serialize::ByteSink &out) const
+{
+    PIMMMU_ASSERT(runQueue_.empty(),
+                  "CPU checkpoint requires an empty run queue");
+    out.u64(cores_.size());
+    for (const auto &core : cores_) {
+        out.u64(core->busyPs());
+        out.u64(core->avxBusyPs());
+    }
+    out.u64(victimCursor_);
+    stats::saveGroup(out, stats_);
+}
+
+bool
+Cpu::restoreState(serialize::ByteSource &in)
+{
+    if (in.u64() != cores_.size()) // geometry mismatch
+        return false;
+    for (auto &core : cores_) {
+        const Tick busy = in.u64();
+        const Tick avx = in.u64();
+        core->restoreBusy(busy, avx);
+    }
+    victimCursor_ = static_cast<unsigned>(in.u64());
+    return stats::restoreGroup(in, stats_);
 }
 
 } // namespace cpu

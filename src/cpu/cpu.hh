@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/thread.hh"
@@ -67,6 +68,14 @@ class Core
     /** Total busy picoseconds (including context-switch overhead). */
     Tick busyPs() const { return busyPs_; }
     Tick avxBusyPs() const { return avxBusyPs_; }
+
+    /** Checkpoint restore of the cumulative busy clocks. */
+    void
+    restoreBusy(Tick busyPs, Tick avxBusyPs)
+    {
+        busyPs_ = busyPs;
+        avxBusyPs_ = avxBusyPs;
+    }
 
     EventQueue &eq() { return eq_; }
     Cpu &cpu() { return cpu_; }
@@ -165,6 +174,17 @@ class Cpu
     }
 
     stats::Group &stats() { return stats_; }
+
+    /**
+     * Checkpoint per-core busy clocks, the rotation victim cursor and
+     * stats. Only valid when no software thread is runnable (the run
+     * queue drains at every quiesced point; contender threads pin the
+     * CPU forever and are incompatible with checkpointing).
+     */
+    void saveState(serialize::ByteSink &out) const;
+
+    /** Inverse of saveState. @return false on a malformed payload. */
+    bool restoreState(serialize::ByteSource &in);
 
   private:
     friend class Core;

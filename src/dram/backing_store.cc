@@ -36,6 +36,31 @@ BackingStore::fingerprint(std::uint64_t seed) const
     return h;
 }
 
+void
+BackingStore::forEachNonZeroPage(
+    const std::function<void(Addr, const std::uint8_t *)> &fn) const
+{
+    std::vector<Addr> ids;
+    ids.reserve(pages_.size());
+    for (const auto &entry : pages_)
+        ids.push_back(entry.first);
+    std::sort(ids.begin(), ids.end());
+    for (const Addr id : ids) {
+        const std::uint8_t *page = pages_.find(id)->second.get();
+        bool allZero = true;
+        for (std::size_t i = 0; i < kPageBytes && allZero; ++i)
+            allZero = page[i] == 0;
+        if (!allZero)
+            fn(id, page);
+    }
+}
+
+void
+BackingStore::restorePage(Addr pageId, const std::uint8_t *data)
+{
+    std::memcpy(pageFor(pageId * kPageBytes, true), data, kPageBytes);
+}
+
 std::uint8_t *
 BackingStore::pageFor(Addr addr, bool allocate) const
 {

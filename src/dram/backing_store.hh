@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -41,6 +42,24 @@ class BackingStore
     }
 
     std::size_t allocatedPages() const { return pages_.size(); }
+
+    /**
+     * Visit every non-zero page in ascending page-id order (the same
+     * canonical order fingerprint() hashes), for checkpointing. The
+     * callback receives the page id (byte address / kPageBytes) and a
+     * pointer to its kPageBytes of data. All-zero pages are skipped —
+     * a restored store reads identically (untouched bytes are zero)
+     * and fingerprints identically.
+     */
+    void forEachNonZeroPage(
+        const std::function<void(Addr pageId,
+                                 const std::uint8_t *data)> &fn) const;
+
+    /** Install @p data (kPageBytes) at @p pageId (checkpoint load). */
+    void restorePage(Addr pageId, const std::uint8_t *data);
+
+    /** Drop every page (restore starts from an empty image). */
+    void clear() { pages_.clear(); }
 
     /**
      * Deterministic FNV-1a digest of the memory image: pages are

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "common/stats_serialize.hh"
 #include "common/trace.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
@@ -780,6 +781,105 @@ MemoryController::classifyStall(Cycle now)
         // tFAW all land in "other".
     }
     ++*stallOther_;
+}
+
+void
+MemoryController::saveState(serialize::ByteSink &out) const
+{
+    PIMMMU_ASSERT(readQueue_.empty() && writeQueue_.empty() &&
+                      inflight_ == 0,
+                  "controller checkpoint requires a quiesced channel");
+    out.boolean(writeMode_);
+    out.boolean(wasIdle_);
+    auto vecU = [&out](const std::vector<Cycle> &v) {
+        out.u64(v.size());
+        for (const Cycle c : v)
+            out.u64(c);
+    };
+    out.u64(bankRow_.size());
+    for (const unsigned r : bankRow_)
+        out.u64(r);
+    vecU(bankActReady_);
+    vecU(bankPreReady_);
+    vecU(bankColReady_);
+    out.u64(bankOpenMask_.size());
+    for (const std::uint64_t w : bankOpenMask_)
+        out.u64(w);
+    vecU(bgActReady_);
+    vecU(bgColReady_);
+    vecU(bgRdReady_);
+    vecU(rankActReady_);
+    vecU(rankColReady_);
+    vecU(rankRdReady_);
+    vecU(rankWrReady_);
+    out.u64(rankRefresh_.size());
+    for (const RankRefresh &rr : rankRefresh_) {
+        for (const Cycle c : rr.fawRing)
+            out.u64(c);
+        out.u64(rr.fawIdx);
+        out.u64(rr.refreshDue);
+        out.u64(rr.refreshDone);
+        out.boolean(rr.refreshPending);
+    }
+    out.u64(dataBusFree_);
+    out.u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(lastDataRank_)));
+    out.u64(bytesRead_);
+    out.u64(bytesWritten_);
+    out.u64(busBusyPs_);
+    out.u64(refreshBusyPs_);
+    stats::saveGroup(out, stats_);
+}
+
+bool
+MemoryController::restoreState(serialize::ByteSource &in)
+{
+    writeMode_ = in.boolean();
+    wasIdle_ = in.boolean();
+    auto vecU = [&in](std::vector<Cycle> &v) {
+        if (in.u64() != v.size()) // geometry mismatch
+            return false;
+        for (Cycle &c : v)
+            c = in.u64();
+        return in.ok();
+    };
+    if (in.u64() != bankRow_.size())
+        return false;
+    for (unsigned &r : bankRow_)
+        r = static_cast<unsigned>(in.u64());
+    if (!vecU(bankActReady_) || !vecU(bankPreReady_) ||
+        !vecU(bankColReady_))
+        return false;
+    if (in.u64() != bankOpenMask_.size())
+        return false;
+    for (std::uint64_t &w : bankOpenMask_)
+        w = in.u64();
+    if (!vecU(bgActReady_) || !vecU(bgColReady_) ||
+        !vecU(bgRdReady_) || !vecU(rankActReady_) ||
+        !vecU(rankColReady_) || !vecU(rankRdReady_) ||
+        !vecU(rankWrReady_))
+        return false;
+    if (in.u64() != rankRefresh_.size())
+        return false;
+    for (RankRefresh &rr : rankRefresh_) {
+        for (Cycle &c : rr.fawRing)
+            c = in.u64();
+        rr.fawIdx = static_cast<unsigned>(in.u64());
+        rr.refreshDue = in.u64();
+        rr.refreshDone = in.u64();
+        rr.refreshPending = in.boolean();
+    }
+    dataBusFree_ = in.u64();
+    lastDataRank_ = static_cast<int>(
+        static_cast<std::int64_t>(in.u64()));
+    bytesRead_ = in.u64();
+    bytesWritten_ = in.u64();
+    busBusyPs_ = in.u64();
+    refreshBusyPs_ = in.u64();
+    // The row-hit map is a pure cache over the (empty) queues; leave
+    // it invalid and it rebuilds deterministically on first use.
+    rowHitMapValid_ = false;
+    return stats::restoreGroup(in, stats_);
 }
 
 } // namespace dram

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "dram/command_trace.hh"
 #include "dram/request.hh"
@@ -129,6 +130,19 @@ class MemoryController
      * refresh blackout out of its DRAM-service bucket.
      */
     Tick refreshBusyPs() const { return refreshBusyPs_; }
+
+    /**
+     * Checkpoint the full scheduling state (open rows, per-bank/
+     * bank-group/rank ready cycles, refresh machinery, data-bus
+     * turnaround, byte counters, stats). Only valid at a quiesced
+     * point: the request queues must be empty and nothing in flight,
+     * so queue contents are never serialized. A restored controller
+     * issues the exact same command stream the original would have.
+     */
+    void saveState(serialize::ByteSink &out) const;
+
+    /** Inverse of saveState. @return false on a malformed payload. */
+    bool restoreState(serialize::ByteSource &in);
 
   private:
     /**

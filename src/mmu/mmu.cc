@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/stats_serialize.hh"
 #include "telemetry/stats_registry.hh"
 #include "testing/fault_injection.hh"
 
@@ -297,6 +298,66 @@ Mmu::vmas(TenantId tenant) const
             result.push_back(kv.second);
     }
     return result;
+}
+
+void
+Mmu::saveState(serialize::ByteSink &out) const
+{
+    out.u64(nextTenant_);
+    out.u64(tenants_.size());
+    for (const auto &[id, t] : tenants_) {
+        out.u64(id);
+        out.u64(t->vmasByVa.size());
+        for (const auto &[va, vma] : t->vmasByVa) {
+            out.u64(vma.vaBase);
+            out.u64(vma.paBase);
+            out.u64(vma.bytes);
+            out.u64(vma.pageBytes);
+            out.boolean(vma.perms.read);
+            out.boolean(vma.perms.write);
+            out.u8(vma.space == mapping::MemSpace::Pim ? 1 : 0);
+        }
+    }
+    tlb_.saveState(out);
+    stats::saveGroup(out, stats_);
+}
+
+bool
+Mmu::restoreState(serialize::ByteSource &in)
+{
+    tenants_.clear();
+    owned_[0].clear();
+    owned_[1].clear();
+    tlb_.flushAll();
+
+    nextTenant_ = in.u64();
+    const std::uint64_t numTenants = in.u64();
+    for (std::uint64_t i = 0; i < numTenants && in.ok(); ++i) {
+        const TenantId id = in.u64();
+        tenants_[id] = std::make_unique<Tenant>();
+        const std::uint64_t numVmas = in.u64();
+        for (std::uint64_t v = 0; v < numVmas && in.ok(); ++v) {
+            Vma vma;
+            vma.vaBase = in.u64();
+            vma.paBase = in.u64();
+            vma.bytes = in.u64();
+            vma.pageBytes = in.u64();
+            vma.perms.read = in.boolean();
+            vma.perms.write = in.boolean();
+            vma.space = in.u8() == 1 ? mapping::MemSpace::Pim
+                                     : mapping::MemSpace::Dram;
+            // Replay through map(): rebuilds the radix table and the
+            // ownership registry. A failure means the snapshot's VMA
+            // set is internally inconsistent.
+            if (!map(id, vma.vaBase, vma.paBase, vma.bytes,
+                     vma.pageBytes, vma.perms, vma.space).ok())
+                return false;
+        }
+    }
+    if (!in.ok() || !tlb_.restoreState(in))
+        return false;
+    // Replay bumped the map counters; the snapshot values win.
+    return stats::restoreGroup(in, stats_);
 }
 
 } // namespace mmu

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "mmu/tlb.hh"
 #include "resilience/status.hh"
@@ -115,6 +116,19 @@ class Mmu
     const Tlb &tlb() const { return tlb_; }
     stats::Group &stats() { return stats_; }
     std::size_t tenantCount() const { return tenants_.size(); }
+
+    /**
+     * Checkpoint the whole translation layer: tenant id allocator,
+     * every tenant's VMA list, TLB contents and stats. Restore replays
+     * map() per VMA (rebuilding the radix tables and the ownership
+     * registry), then overlays the TLB and stats bit-exactly — TLB
+     * contents feed modeled timing, so warmth must survive a restore.
+     */
+    void saveState(serialize::ByteSink &out) const;
+
+    /** Inverse of saveState; wipes current tenants first.
+     *  @return false on a malformed payload. */
+    bool restoreState(serialize::ByteSource &in);
 
   private:
     struct Tenant

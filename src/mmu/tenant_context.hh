@@ -43,6 +43,26 @@ class TenantContext
     TenantId id() const { return id_; }
 
     /**
+     * Re-attach to a tenant that already exists in @p mmu — the
+     * checkpoint-restore path, where Mmu::restoreState has rebuilt the
+     * address space and this context must resume its VA cursor instead
+     * of standing up a fresh tenant.
+     */
+    void restore(Mmu &mmu, TenantId id, Addr nextVa,
+                 std::uint64_t mappedDram, std::uint64_t mappedPim)
+    {
+        mmu_ = &mmu;
+        id_ = id;
+        nextVa_ = nextVa;
+        mapped_ = {mappedDram, mappedPim};
+    }
+
+    /** Checkpoint accessors for the restore() arguments. */
+    Addr nextVa() const { return nextVa_; }
+    std::uint64_t mappedDramBytes() const { return mapped_[0]; }
+    std::uint64_t mappedPimBytes() const { return mapped_[1]; }
+
+    /**
      * Map @p bytes of physical space at [pa, pa+bytes) in @p space
      * into the next free VA window (bump-allocated, @p pageBytes
      * aligned, windows never reused). On success @p vaOut holds the

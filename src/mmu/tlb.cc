@@ -113,5 +113,58 @@ Tlb::flushAll()
         e = Entry{};
 }
 
+void
+Tlb::saveState(serialize::ByteSink &out) const
+{
+    out.u64(entries_.size());
+    for (const Entry &e : entries_) {
+        out.boolean(e.valid);
+        out.u64(e.tenant);
+        out.u64(e.vpn);
+        out.boolean(e.huge);
+        out.boolean(e.leaf.mapped);
+        out.u64(e.leaf.pageBase);
+        out.u64(e.leaf.pageBytes);
+        out.boolean(e.leaf.perms.read);
+        out.boolean(e.leaf.perms.write);
+        out.u8(e.leaf.space == mapping::MemSpace::Pim ? 1 : 0);
+        out.u64(e.leaf.levels);
+        out.u64(e.lastUse);
+    }
+    out.u64(useClock_);
+    out.u64(hits_);
+    out.u64(misses_);
+    out.u64(evictions_);
+    out.u64(walkLevels_);
+}
+
+bool
+Tlb::restoreState(serialize::ByteSource &in)
+{
+    if (in.u64() != entries_.size()) // geometry mismatch
+        return false;
+    for (Entry &e : entries_) {
+        e.valid = in.boolean();
+        e.tenant = in.u64();
+        e.vpn = in.u64();
+        e.huge = in.boolean();
+        e.leaf.mapped = in.boolean();
+        e.leaf.pageBase = in.u64();
+        e.leaf.pageBytes = in.u64();
+        e.leaf.perms.read = in.boolean();
+        e.leaf.perms.write = in.boolean();
+        e.leaf.space = in.u8() == 1 ? mapping::MemSpace::Pim
+                                    : mapping::MemSpace::Dram;
+        e.leaf.levels = static_cast<unsigned>(in.u64());
+        e.lastUse = in.u64();
+    }
+    useClock_ = in.u64();
+    hits_ = in.u64();
+    misses_ = in.u64();
+    evictions_ = in.u64();
+    walkLevels_ = in.u64();
+    return in.ok();
+}
+
 } // namespace mmu
 } // namespace pimmmu

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "mmu/page_table.hh"
 #include "mmu/mmu_types.hh"
 
@@ -84,6 +85,16 @@ class Tlb
     std::uint64_t misses() const { return misses_; }
     std::uint64_t evictions() const { return evictions_; }
     std::uint64_t walkLevels() const { return walkLevels_; }
+
+    /**
+     * Checkpoint the full entry array and counters. TLB contents feed
+     * the modeled translation timing, so a restored TLB must hit and
+     * miss exactly where the original would have.
+     */
+    void saveState(serialize::ByteSink &out) const;
+
+    /** Inverse of saveState. @return false on a malformed payload. */
+    bool restoreState(serialize::ByteSource &in);
 
   private:
     struct Entry

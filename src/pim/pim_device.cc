@@ -1,5 +1,7 @@
 #include "pim/pim_device.hh"
 
+#include "common/stats_serialize.hh"
+
 #include "common/trace.hh"
 #include "telemetry/stats_registry.hh"
 #include "telemetry/timeline.hh"
@@ -84,6 +86,43 @@ PimDevice::launchProgram(
     return recordLaunch(
         "program", dpuIds.size(),
         DpuRunResult{worst, 0, 0}.timePs(coreConfig.clockMhz));
+}
+
+void
+PimDevice::saveState(serialize::ByteSink &out) const
+{
+    out.u64(dpus_.size());
+    for (const Dpu &d : dpus_) {
+        std::uint64_t touched = d.mramTouchedBytes();
+        const std::uint8_t *data = d.mramData();
+        while (touched > 0 && data[touched - 1] == 0)
+            --touched;
+        out.u64(touched);
+        out.bytes(data, static_cast<std::size_t>(touched));
+    }
+    out.u64(nextLaunchId_);
+    stats::saveGroup(out, stats_);
+}
+
+bool
+PimDevice::restoreState(serialize::ByteSource &in)
+{
+    if (in.u64() != dpus_.size()) // geometry mismatch
+        return false;
+    std::vector<std::uint8_t> buf;
+    for (Dpu &d : dpus_) {
+        const std::uint64_t touched = in.u64();
+        if (touched > d.mramCapacity() || touched > in.remaining())
+            return false;
+        buf.resize(static_cast<std::size_t>(touched));
+        if (touched > 0) {
+            if (!in.bytes(buf.data(), buf.size()))
+                return false;
+            d.mramWrite(0, buf.data(), buf.size());
+        }
+    }
+    nextLaunchId_ = in.u64();
+    return stats::restoreGroup(in, stats_);
 }
 
 } // namespace device

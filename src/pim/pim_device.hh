@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "pim/dpu.hh"
 #include "pim/dpu_interpreter.hh"
@@ -34,6 +35,17 @@ class PimDevice
 
     const PimGeometry &geometry() const { return geom_; }
     stats::Group &stats() { return stats_; }
+
+    /**
+     * Checkpoint every DPU's touched MRAM (trailing zero bytes
+     * trimmed — untouched MRAM reads as zero, so the restored device
+     * is byte- and fingerprint-identical), the launch id counter and
+     * stats.
+     */
+    void saveState(serialize::ByteSink &out) const;
+
+    /** Inverse of saveState. @return false on a malformed payload. */
+    bool restoreState(serialize::ByteSource &in);
 
     Dpu &dpu(unsigned id) { return dpus_[id]; }
     const Dpu &dpu(unsigned id) const { return dpus_[id]; }

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/stats_serialize.hh"
 #include "common/trace.hh"
 #include "telemetry/attribution.hh"
 #include "telemetry/stats_registry.hh"
@@ -48,6 +49,10 @@ errorCodeName(ErrorCode code)
         return "overloaded";
       case ErrorCode::DeadlineExceeded:
         return "deadline_exceeded";
+      case ErrorCode::SnapshotCorrupt:
+        return "snapshot_corrupt";
+      case ErrorCode::SnapshotVersionMismatch:
+        return "snapshot_version_mismatch";
     }
     return "unknown";
 }
@@ -363,6 +368,33 @@ Manager::noteWatchdogFire(Tick now, std::uint64_t transferId,
            << " writes)";
         tl.instant(timelineTrack_, os.str(), now);
     }
+}
+
+void
+Manager::saveState(serialize::ByteSink &out) const
+{
+    out.u64(banks_.size());
+    for (const BankHealth &b : banks_) {
+        out.u8(static_cast<std::uint8_t>(b.state));
+        out.u64(b.cleanProbes);
+        out.u64(b.maskedAt);
+    }
+    out.u64(unhealthyBanks_);
+    stats::saveGroup(out, stats_);
+}
+
+bool
+Manager::restoreState(serialize::ByteSource &in)
+{
+    if (in.u64() != banks_.size()) // geometry mismatch
+        return false;
+    for (BankHealth &b : banks_) {
+        b.state = static_cast<BankState>(in.u8());
+        b.cleanProbes = static_cast<unsigned>(in.u64());
+        b.maskedAt = in.u64();
+    }
+    unhealthyBanks_ = static_cast<unsigned>(in.u64());
+    return stats::restoreGroup(in, stats_);
 }
 
 } // namespace resilience

@@ -28,6 +28,7 @@
 
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "resilience/status.hh"
@@ -268,6 +269,17 @@ class Manager
     {
         ++stats_.counter("launch_crc_failures");
     }
+
+    /**
+     * Checkpoint the per-bank health state machines (state, clean
+     * probe streak, masked-at stamp), the unhealthy-bank count and
+     * stats. A restored manager resumes scrub-driven repair exactly
+     * where the original left off.
+     */
+    void saveState(serialize::ByteSink &out) const;
+
+    /** Inverse of saveState. @return false on a malformed payload. */
+    bool restoreState(serialize::ByteSource &in);
 
   private:
     struct BankHealth

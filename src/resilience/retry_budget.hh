@@ -20,6 +20,8 @@
 #ifndef PIMMMU_RESILIENCE_RETRY_BUDGET_HH
 #define PIMMMU_RESILIENCE_RETRY_BUDGET_HH
 
+#include <cmath>
+
 #include "common/types.hh"
 
 namespace pimmmu {
@@ -62,6 +64,13 @@ class RetryBudget
     {
         if (unlimited())
             return true;
+        // A non-finite charge would poison the bucket: NaN compares
+        // false against everything, so `tokens_ < NaN` admits and
+        // `tokens_ -= NaN` leaves NaN behind, after which every later
+        // comparison also admits — one bad request unlocks unlimited
+        // admission forever. Reject it at the door instead.
+        if (!std::isfinite(amount) || amount < 0.0)
+            return false;
         refill(now);
         if (tokens_ < amount)
             return false;
@@ -69,19 +78,51 @@ class RetryBudget
         return true;
     }
 
+    /** Checkpointing: raw bucket state, restored bit-exactly. */
+    double tokens() const { return tokens_; }
+    Tick lastRefillPs() const { return lastRefillPs_; }
+
+    /**
+     * Overwrite the bucket from checkpointed state. Out-of-range
+     * values (a corrupt snapshot that passed CRC) saturate into
+     * [0, burst] rather than poisoning later arithmetic; the refill
+     * clock may sit ahead of the restored simulator clock without
+     * harm (refill() treats time-gone-backwards as a no-op).
+     */
+    void
+    restore(double tokens, Tick lastRefillPs)
+    {
+        tokens_ = std::isfinite(tokens)
+                      ? (tokens < 0.0
+                             ? 0.0
+                             : (tokens > burst_ ? burst_ : tokens))
+                      : burst_;
+        lastRefillPs_ = lastRefillPs;
+    }
+
   private:
     void
     refill(Tick now)
     {
         if (now <= lastRefillPs_) {
-            lastRefillPs_ = now > lastRefillPs_ ? now : lastRefillPs_;
+            // Time never goes backwards in one run, but a restored
+            // bucket may carry a refill stamp from a later quiesce
+            // point than the clock it is re-attached to. Granting the
+            // (huge, wrapped) u64 delta would refill the burst for
+            // free, so do nothing until the clock catches up.
             return;
         }
+        // Soak-scale guard: minutes of simulated time are ~1e14 ps,
+        // and delta * perSecond can overflow a double into +inf for
+        // pathological rates. The bucket level itself must stay
+        // finite, so any non-finite (or burst-exceeding) result
+        // saturates at a full bucket.
         const double dt =
             static_cast<double>(now - lastRefillPs_) / 1e12;
-        tokens_ += dt * perSecond_;
-        if (tokens_ > burst_)
-            tokens_ = burst_;
+        const double refilled = tokens_ + dt * perSecond_;
+        tokens_ = (!std::isfinite(refilled) || refilled > burst_)
+                      ? burst_
+                      : refilled;
         lastRefillPs_ = now;
     }
 

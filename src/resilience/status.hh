@@ -57,11 +57,17 @@ enum class ErrorCode
     Overloaded,
     /** The request's deadline passed before it could be served. */
     DeadlineExceeded,
+    /** A snapshot file failed validation: bad magic, torn/truncated
+     *  section, CRC mismatch, or garbage payload. Never loaded. */
+    SnapshotCorrupt,
+    /** A snapshot's format version (or system geometry) does not
+     *  match what this build can restore. */
+    SnapshotVersionMismatch,
 };
 
 /** Total number of ErrorCode values (for exhaustive iteration). */
 constexpr unsigned kNumErrorCodes =
-    static_cast<unsigned>(ErrorCode::DeadlineExceeded) + 1;
+    static_cast<unsigned>(ErrorCode::SnapshotVersionMismatch) + 1;
 
 const char *errorCodeName(ErrorCode code);
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/event_queue.hh"
+#include "common/stats_serialize.hh"
 #include "core/dce.hh"
 #include "core/pim_mmu_runtime.hh"
 #include "resilience/manager.hh"
@@ -418,20 +419,31 @@ Server::issue(std::uint64_t id)
         attribution::Recorder::global().enterStage(
             r->attribId, attribution::Stage::Preprocess, now());
 
+    // Mark in-flight before handing the op over: in the fast-forward
+    // plane transferChecked completes synchronously, so onEngineDone
+    // (which decrements inflight_ and may erase the request) runs
+    // before it returns — marking afterwards would underflow the
+    // counter and write through a dangling pointer.
+    r->inflight = true;
+    ++inflight_;
     const resilience::Status st = sys_.pimMmu().transferChecked(
         op, [this, id](const resilience::Status &s) {
             onEngineDone(id, s);
         });
     if (!st.ok()) {
         // Synchronous rejection: translation fault, malformed
-        // descriptor, or no healthy targets. Same recovery path as an
-        // engine failure, minus the ring round-trip.
+        // descriptor, or no healthy targets. The completion callback
+        // never fires for these, so unwind the in-flight mark and
+        // take the same recovery path as an engine failure, minus the
+        // ring round-trip.
+        r = find(id);
+        assert(r && "synchronously rejected request left the ledger");
+        r->inflight = false;
+        --inflight_;
         ++stats_.counter("issue_rejects");
         maybeRetry(id, st);
         return false;
     }
-    r->inflight = true;
-    ++inflight_;
     ++stats_.counter("issued");
     return true;
 }
@@ -552,6 +564,77 @@ Server::checkConservation(std::string *why) const
                " live_records=" + std::to_string(requests_.size());
     }
     return false;
+}
+
+void
+Server::saveState(serialize::ByteSink &out) const
+{
+    assert(idle() && requests_.empty() && tombstones_ == 0 &&
+           "server checkpoint requires a quiesced ledger");
+    out.u64(tenants_.size());
+    for (const Tenant &t : tenants_) {
+        out.str(t.cfg.name);
+        out.f64(t.cfg.quotaBytesPerSec);
+        out.f64(t.cfg.quotaBurstBytes);
+        out.u64(t.cfg.weight);
+        out.u64(t.cfg.priority);
+        out.u64(t.ctx.id());
+        out.u64(t.ctx.nextVa());
+        out.u64(t.ctx.mappedDramBytes());
+        out.u64(t.ctx.mappedPimBytes());
+        out.f64(t.quota.tokens());
+        out.u64(t.quota.lastRefillPs());
+        out.f64(t.deficit);
+    }
+    out.f64(retryBudget_.tokens());
+    out.u64(retryBudget_.lastRefillPs());
+    out.u64(nextId_);
+    out.u64(drrCursor_);
+    out.u64(totals_.submitted);
+    out.u64(totals_.delivered);
+    out.u64(totals_.rejected);
+    out.u64(totals_.expired);
+    out.u64(totals_.bytesSubmitted);
+    out.u64(totals_.bytesAdmitted);
+    out.u64(totals_.bytesDelivered);
+    stats::saveGroup(out, stats_);
+}
+
+bool
+Server::restoreState(serialize::ByteSource &in)
+{
+    if (!tenants_.empty() || !requests_.empty())
+        return false; // restore targets a freshly built server
+    const std::uint64_t numTenants = in.u64();
+    for (std::uint64_t i = 0; i < numTenants && in.ok(); ++i) {
+        Tenant t;
+        t.cfg.name = in.str();
+        t.cfg.quotaBytesPerSec = in.f64();
+        t.cfg.quotaBurstBytes = in.f64();
+        t.cfg.weight = static_cast<unsigned>(in.u64());
+        t.cfg.priority = static_cast<unsigned>(in.u64());
+        const mmu::TenantId id = in.u64();
+        const Addr nextVa = in.u64();
+        const std::uint64_t mappedDram = in.u64();
+        const std::uint64_t mappedPim = in.u64();
+        t.ctx.restore(sys_.mmu(), id, nextVa, mappedDram, mappedPim);
+        t.quota = resilience::RetryBudget(t.cfg.quotaBurstBytes,
+                                          t.cfg.quotaBytesPerSec);
+        t.quota.restore(in.f64(), in.u64());
+        t.deficit = in.f64();
+        tenants_.push_back(std::move(t));
+    }
+    retryBudget_.restore(in.f64(), in.u64());
+    nextId_ = in.u64();
+    drrCursor_ = in.u64();
+    totals_.submitted = in.u64();
+    totals_.delivered = in.u64();
+    totals_.rejected = in.u64();
+    totals_.expired = in.u64();
+    totals_.bytesSubmitted = in.u64();
+    totals_.bytesAdmitted = in.u64();
+    totals_.bytesDelivered = in.u64();
+    return stats::restoreGroup(in, stats_);
 }
 
 } // namespace serving

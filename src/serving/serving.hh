@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "core/pim_mmu_op.hh"
 #include "mmu/tenant_context.hh"
@@ -212,6 +213,24 @@ class Server
     bool checkConservation(std::string *why = nullptr) const;
 
     stats::Group &stats() { return stats_; }
+
+    /**
+     * Checkpoint the server: tenant configs + address-space cursors +
+     * quota buckets + DRR state, the global retry budget, the ledger
+     * totals and stats. Only valid when idle() with an empty ledger —
+     * queued/in-flight requests hold completion closures, which cannot
+     * be serialized; snapshots are taken at quiesced points.
+     */
+    void saveState(serialize::ByteSink &out) const;
+
+    /**
+     * Inverse of saveState, for a freshly constructed Server (no
+     * addTenant calls) over a System whose MMU has already been
+     * restored: tenants re-attach to their restored address spaces
+     * instead of standing up new ones.
+     * @return false on a malformed payload.
+     */
+    bool restoreState(serialize::ByteSource &in);
 
   private:
     struct Req

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/stats_serialize.hh"
 #include "common/trace.hh"
 #include "pim/host_transfer.hh"
 #include "pim/transpose.hh"
@@ -160,6 +161,73 @@ System::setPlane(Plane plane)
                      "plane switch: " << planeName(cp.from) << " -> "
                                       << planeName(cp.to) << " (mem fnv "
                                       << cp.memoryFnv << ")");
+}
+
+void
+System::saveOwnState(serialize::ByteSink &out) const
+{
+    out.u64(dramAllocTop_);
+    out.u64(scrubScratch_);
+    out.u64(contenderSeed_);
+    out.u8(plane_ == Plane::FastForward ? 1 : 0);
+    out.u64(planeCheckpoints_.size());
+    for (const PlaneCheckpoint &cp : planeCheckpoints_) {
+        out.u64(cp.atPs);
+        out.u8(cp.from == Plane::FastForward ? 1 : 0);
+        out.u8(cp.to == Plane::FastForward ? 1 : 0);
+        out.u64(cp.ffTransfers);
+        out.u64(cp.ffBytes);
+        out.u64(cp.ffMemcpys);
+        out.u64(cp.memoryFnv);
+    }
+    out.boolean(ffStats_ != nullptr);
+    if (ffStats_)
+        stats::saveGroup(out, *ffStats_);
+    out.boolean(scrubStats_ != nullptr);
+    if (scrubStats_)
+        stats::saveGroup(out, *scrubStats_);
+}
+
+bool
+System::restoreOwnState(serialize::ByteSource &in)
+{
+    dramAllocTop_ = in.u64();
+    scrubScratch_ = in.u64();
+    contenderSeed_ = static_cast<unsigned>(in.u64());
+    const Plane plane =
+        in.u8() == 1 ? Plane::FastForward : Plane::Timing;
+    planeCheckpoints_.clear();
+    const std::uint64_t numSwitches = in.u64();
+    for (std::uint64_t i = 0; i < numSwitches && in.ok(); ++i) {
+        PlaneCheckpoint cp;
+        cp.atPs = in.u64();
+        cp.from = in.u8() == 1 ? Plane::FastForward : Plane::Timing;
+        cp.to = in.u8() == 1 ? Plane::FastForward : Plane::Timing;
+        cp.ffTransfers = in.u64();
+        cp.ffBytes = in.u64();
+        cp.ffMemcpys = in.u64();
+        cp.memoryFnv = in.u64();
+        planeCheckpoints_.push_back(cp);
+    }
+    if (in.boolean()) {
+        if (!stats::restoreGroup(in, ffStats()))
+            return false;
+    }
+    if (in.boolean()) {
+        if (!scrubStats_) {
+            scrubStats_ = std::make_unique<stats::Group>("scrub");
+            telemetry::StatsRegistry::global().add(*scrubStats_);
+        }
+        if (!stats::restoreGroup(in, *scrubStats_))
+            return false;
+    }
+    // Propagate the plane directly: the original transitions are
+    // already in planeCheckpoints_, so this must not record a new one.
+    plane_ = plane;
+    const bool fastForward = plane_ == Plane::FastForward;
+    pimMmuRuntime_->setFastForward(fastForward);
+    upmemRuntime_->setFastForward(fastForward);
+    return in.ok();
 }
 
 std::uint64_t

@@ -244,6 +244,23 @@ class System
     std::uint64_t memoryFingerprint() const;
 
     /**
+     * Checkpoint the System's own bookkeeping (allocator cursor, scrub
+     * scratch, contender seed, plane + recorded switches, lazy "ff" /
+     * "scrub" stats groups). Subsystem state is checkpointed by the
+     * subsystems themselves — see checkpoint::save(), which walks the
+     * whole machine one CRC-guarded section at a time.
+     */
+    void saveOwnState(serialize::ByteSink &out) const;
+
+    /**
+     * Inverse of saveOwnState. Re-propagates the restored plane to the
+     * runtimes without recording a PlaneCheckpoint (the restored
+     * checkpoint list already holds the original transitions).
+     * @return false on a malformed payload.
+     */
+    bool restoreOwnState(serialize::ByteSource &in);
+
+    /**
      * Run the event loop until @p pred returns true (or the queue
      * drains / @p limitPs passes). @return whether pred was satisfied.
      */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 namespace pimmmu {
 namespace telemetry {
@@ -130,6 +131,25 @@ StatsRegistry::dumpJson(std::ostream &os)
         first = false;
     }
     os << "]}\n";
+}
+
+std::vector<std::string>
+StatsRegistry::groupJsons()
+{
+    refreshAll();
+    std::vector<std::string> out;
+    out.reserve(live_.size() + retired_.size());
+    for (const Entry &e : live_) {
+        std::ostringstream os;
+        e.group->dumpJson(os);
+        out.push_back(os.str());
+    }
+    for (const stats::Group &g : retired_) {
+        std::ostringstream os;
+        g.dumpJson(os);
+        out.push_back(os.str());
+    }
+    return out;
 }
 
 bool

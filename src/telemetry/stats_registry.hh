@@ -84,6 +84,15 @@ class StatsRegistry
     /** dumpJson to a file. @return false on I/O failure. */
     bool dumpJsonFile(const std::string &path);
 
+    /**
+     * One JSON object per live + retired group (refresh applied), in
+     * registration order. Lets callers build an order-insensitive
+     * digest: a restored System registers its groups in section order
+     * rather than construction order, so a canonical fingerprint must
+     * not depend on which came first.
+     */
+    std::vector<std::string> groupJsons();
+
   private:
     struct Entry
     {

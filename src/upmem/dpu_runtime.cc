@@ -1,5 +1,7 @@
 #include "upmem/dpu_runtime.hh"
 
+#include "common/stats_serialize.hh"
+
 #include <numeric>
 
 #include "common/trace.hh"
@@ -367,6 +369,20 @@ DpuSet::pushXfer(XferKind kind, Addr heapOffset,
     }
     runtime_.pushXfer(kind, dpuIds_, hostAddrs_, bytesPerDpu,
                       heapOffset, std::move(onComplete));
+}
+
+void
+UpmemRuntime::saveState(serialize::ByteSink &out) const
+{
+    out.u64(nextXferId_);
+    stats::saveGroup(out, stats_);
+}
+
+bool
+UpmemRuntime::restoreState(serialize::ByteSource &in)
+{
+    nextXferId_ = in.u64();
+    return stats::restoreGroup(in, stats_);
 }
 
 } // namespace upmem

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "cpu/copy_thread.hh"
 #include "cpu/cpu.hh"
 #include "dram/memory_system.hh"
@@ -120,6 +121,12 @@ class UpmemRuntime
      */
     void setFastForward(bool on) { fastForward_ = on; }
     bool fastForward() const { return fastForward_; }
+
+    /** Checkpoint the transfer-id counter and stats. */
+    void saveState(serialize::ByteSink &out) const;
+
+    /** Inverse of saveState. @return false on a malformed payload. */
+    bool restoreState(serialize::ByteSource &in);
 
   private:
     EventQueue &eq_;

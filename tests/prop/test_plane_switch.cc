@@ -233,5 +233,52 @@ TEST(PlaneSwitch, MixedRunsReplayDeterministically)
     }
 }
 
+// ---------------------------------------------------------------------
+// memoryFingerprint edge cases: the digest is the identity gate for
+// checkpoint/restore and plane switches, so its canonical form must be
+// insensitive to how storage happened to grow.
+// ---------------------------------------------------------------------
+
+TEST(PlaneSwitch, AllZeroImagesFingerprintIdentically)
+{
+    sim::System a(planeConfig());
+    sim::System b(planeConfig());
+    const std::uint64_t fresh = a.memoryFingerprint();
+    EXPECT_EQ(fresh, b.memoryFingerprint());
+
+    // Writing zeros materializes backing pages and grows MRAM storage
+    // but must not change the canonical image.
+    std::vector<std::uint8_t> zeros(8 * kKiB, 0);
+    b.mem().store().write(64 * kKiB, zeros.data(), zeros.size());
+    b.pim().dpu(0).mramWrite(0, zeros.data(), zeros.size());
+    EXPECT_EQ(b.memoryFingerprint(), fresh);
+}
+
+TEST(PlaneSwitch, TrimmedMramTailIgnoresTrailingZeros)
+{
+    sim::System a(planeConfig());
+    sim::System b(planeConfig());
+    std::vector<std::uint8_t> pattern(256);
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<std::uint8_t>(i + 1);
+
+    a.pim().dpu(3).mramWrite(0, pattern.data(), pattern.size());
+
+    // Same payload, but b's DPU storage grew 16x further with zeros:
+    // the trailing-zero trim makes the images indistinguishable.
+    b.pim().dpu(3).mramWrite(0, pattern.data(), pattern.size());
+    std::vector<std::uint8_t> zeros(4 * kKiB, 0);
+    b.pim().dpu(3).mramWrite(pattern.size(), zeros.data(),
+                             zeros.size());
+    EXPECT_GT(b.pim().dpu(3).mramTouchedBytes(),
+              a.pim().dpu(3).mramTouchedBytes());
+    EXPECT_EQ(a.memoryFingerprint(), b.memoryFingerprint());
+
+    // A non-zero byte past the trimmed tail must be visible again.
+    const std::uint8_t one = 1;
+    b.pim().dpu(3).mramWrite(2 * kKiB, &one, 1);
+    EXPECT_NE(a.memoryFingerprint(), b.memoryFingerprint());
+}
+
 } // namespace testing
 } // namespace pimmmu

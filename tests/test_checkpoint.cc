@@ -1,0 +1,637 @@
+/**
+ * @file
+ * Tests for the crash-consistent checkpoint/restore subsystem:
+ * the sectioned on-disk format (CRC rejection of corrupt and torn
+ * snapshots, version gating), whole-System restore fidelity, and the
+ * crash-injection identity gates — a run that is killed and restored
+ * from its latest snapshot must be bit- and cycle-identical to the
+ * uninterrupted run, in both the timing and fast-forward planes.
+ *
+ * Suites are named Checkpoint* / Soak* so the CI TSan job can run
+ * exactly these (--gtest_filter=Checkpoint*:Soak*).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint.hh"
+#include "checkpoint/format.hh"
+#include "mmu/tenant_context.hh"
+#include "serving/serving.hh"
+#include "sim/system.hh"
+#include "telemetry/stats_registry.hh"
+#include "testing/fault_injection.hh"
+
+namespace pimmmu {
+namespace {
+
+using resilience::ErrorCode;
+
+std::string
+tmpPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** A small system so checkpoint tests run in milliseconds. */
+sim::SystemConfig
+smallConfig(sim::DesignPoint design = sim::DesignPoint::BaseDHP)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::paperTable1(design);
+    cfg.dramGeom.rows = 1024;
+    cfg.pimGeom.banks.rows = 1024;
+    return cfg;
+}
+
+/** Seed a deterministic non-zero pattern into low DRAM so transfers
+ *  move real payload and the MEMB/PIMD sections are non-trivial. */
+void
+seedMemory(sim::System &sys)
+{
+    std::vector<std::uint8_t> pattern(256 * kKiB);
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<std::uint8_t>(i * 131u + 17u);
+    sys.mem().store().write(0, pattern.data(), pattern.size());
+}
+
+// ---------------------------------------------------------------------
+// Format layer
+// ---------------------------------------------------------------------
+
+TEST(CheckpointFormat, SectionsRoundTrip)
+{
+    const std::string path = tmpPath("fmt_roundtrip.ckpt");
+    std::vector<checkpoint::Section> in;
+    serialize::ByteSink a;
+    a.u64(0xdeadbeefcafef00dull);
+    a.str("hello");
+    in.push_back(checkpoint::makeSection("AAAA", a));
+    serialize::ByteSink b; // deliberately empty payload
+    in.push_back(checkpoint::makeSection("BBBB", b, 7));
+    ASSERT_TRUE(checkpoint::writeFile(path, in).ok());
+
+    std::vector<checkpoint::Section> out;
+    ASSERT_TRUE(checkpoint::readFile(path, out).ok());
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].tag, "AAAA");
+    EXPECT_EQ(out[1].tag, "BBBB");
+    EXPECT_EQ(out[1].version, 7u);
+    EXPECT_TRUE(out[1].payload.empty());
+    const checkpoint::Section *s = findSection(out, "AAAA");
+    ASSERT_NE(s, nullptr);
+    serialize::ByteSource src(s->payload.data(), s->payload.size());
+    EXPECT_EQ(src.u64(), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(src.str(), "hello");
+    EXPECT_TRUE(src.ok() && src.atEnd());
+    EXPECT_EQ(findSection(out, "ZZZZ"), nullptr);
+}
+
+TEST(CheckpointFormat, WriterRejectsBadTag)
+{
+    serialize::ByteSink s;
+    s.u64(1);
+    std::vector<checkpoint::Section> in;
+    in.push_back(checkpoint::makeSection("TOOLONG", s));
+    const auto st =
+        checkpoint::writeFile(tmpPath("fmt_badtag.ckpt"), in);
+    EXPECT_EQ(st.code, ErrorCode::MalformedDescriptor);
+}
+
+TEST(CheckpointFormat, CorruptSectionRejected)
+{
+    namespace fault = testing::fault;
+    const std::string path = tmpPath("fmt_corrupt.ckpt");
+    serialize::ByteSink s;
+    for (int i = 0; i < 64; ++i)
+        s.u64(static_cast<std::uint64_t>(i));
+    std::vector<checkpoint::Section> in;
+    in.push_back(checkpoint::makeSection("DATA", s));
+
+    {
+        fault::Armed guard("ckpt.corrupt_section");
+        ASSERT_TRUE(checkpoint::writeFile(path, in).ok());
+        // Non-vacuity: the fault site actually fired inside the
+        // writer (counts reset when the guard disarms).
+        EXPECT_GT(fault::count("ckpt.corrupt_section"), 0u);
+    }
+
+    std::vector<checkpoint::Section> out;
+    const auto st = checkpoint::readFile(path, out);
+    EXPECT_EQ(st.code, ErrorCode::SnapshotCorrupt);
+    EXPECT_NE(st.message.find(path), std::string::npos)
+        << "diagnostic should name the file: " << st.message;
+    EXPECT_NE(st.message.find("CRC"), std::string::npos) << st.message;
+}
+
+TEST(CheckpointFormat, TruncatedFileRejected)
+{
+    namespace fault = testing::fault;
+    const std::string path = tmpPath("fmt_torn.ckpt");
+    serialize::ByteSink s;
+    for (int i = 0; i < 64; ++i)
+        s.u64(static_cast<std::uint64_t>(i));
+    std::vector<checkpoint::Section> in;
+    in.push_back(checkpoint::makeSection("DATA", s));
+
+    {
+        fault::Armed guard("ckpt.truncate_file");
+        ASSERT_TRUE(checkpoint::writeFile(path, in).ok());
+        EXPECT_GT(fault::count("ckpt.truncate_file"), 0u);
+    }
+
+    std::vector<checkpoint::Section> out;
+    const auto st = checkpoint::readFile(path, out);
+    EXPECT_EQ(st.code, ErrorCode::SnapshotCorrupt);
+    EXPECT_NE(st.message.find("truncated"), std::string::npos)
+        << st.message;
+}
+
+TEST(CheckpointFormat, BadMagicRejected)
+{
+    const std::string path = tmpPath("fmt_magic.ckpt");
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    const char junk[] = "NOTACKPTxxxxxxxxxxxxxxxx";
+    std::fwrite(junk, 1, sizeof(junk), fp);
+    std::fclose(fp);
+
+    std::vector<checkpoint::Section> out;
+    const auto st = checkpoint::readFile(path, out);
+    EXPECT_EQ(st.code, ErrorCode::SnapshotVersionMismatch);
+    EXPECT_NE(st.message.find("magic"), std::string::npos) << st.message;
+}
+
+TEST(CheckpointFormat, FutureFormatVersionRejected)
+{
+    const std::string path = tmpPath("fmt_future.ckpt");
+    serialize::ByteSink s;
+    s.u64(42);
+    std::vector<checkpoint::Section> in;
+    in.push_back(checkpoint::makeSection("DATA", s));
+    ASSERT_TRUE(checkpoint::writeFile(path, in).ok());
+
+    // Bump the little-endian format version at offset 8.
+    std::FILE *fp = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(fp, nullptr);
+    std::fseek(fp, 8, SEEK_SET);
+    const std::uint8_t v = checkpoint::kFormatVersion + 1;
+    std::fwrite(&v, 1, 1, fp);
+    std::fclose(fp);
+
+    std::vector<checkpoint::Section> out;
+    const auto st = checkpoint::readFile(path, out);
+    EXPECT_EQ(st.code, ErrorCode::SnapshotVersionMismatch);
+    EXPECT_NE(st.message.find("version"), std::string::npos)
+        << st.message;
+}
+
+TEST(CheckpointFormat, TrailingBytesRejected)
+{
+    const std::string path = tmpPath("fmt_trailing.ckpt");
+    serialize::ByteSink s;
+    s.u64(42);
+    std::vector<checkpoint::Section> in;
+    in.push_back(checkpoint::makeSection("DATA", s));
+    ASSERT_TRUE(checkpoint::writeFile(path, in).ok());
+
+    std::FILE *fp = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(fp, nullptr);
+    std::fwrite("junk", 1, 4, fp);
+    std::fclose(fp);
+
+    std::vector<checkpoint::Section> out;
+    const auto st = checkpoint::readFile(path, out);
+    EXPECT_EQ(st.code, ErrorCode::SnapshotCorrupt);
+    EXPECT_NE(st.message.find("trailing"), std::string::npos)
+        << st.message;
+}
+
+TEST(CheckpointFormat, MissingFileIsStructuredError)
+{
+    std::vector<checkpoint::Section> out;
+    const auto st =
+        checkpoint::readFile(tmpPath("does_not_exist.ckpt"), out);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code, ErrorCode::SnapshotCorrupt);
+    EXPECT_NE(st.message.find("cannot open"), std::string::npos)
+        << st.message;
+}
+
+// ---------------------------------------------------------------------
+// Whole-system save/restore
+// ---------------------------------------------------------------------
+
+TEST(CheckpointRestore, GeometryMismatchRejected)
+{
+    telemetry::StatsRegistry::global().clear();
+    const std::string path = tmpPath("restore_geom.ckpt");
+    {
+        sim::System sys(smallConfig(sim::DesignPoint::BaseDHP));
+        seedMemory(sys);
+        sys.runTransfer(core::XferDirection::DramToPim, 16, 2 * kKiB);
+        ASSERT_TRUE(sys.eq().run());
+        ASSERT_TRUE(checkpoint::save(sys, nullptr, {}, path).ok());
+    }
+    telemetry::StatsRegistry::global().clear();
+    sim::System other(smallConfig(sim::DesignPoint::Base));
+    const auto st = checkpoint::restore(other, nullptr, nullptr, path);
+    EXPECT_EQ(st.code, ErrorCode::SnapshotVersionMismatch);
+    EXPECT_NE(st.message.find("design point"), std::string::npos)
+        << st.message;
+}
+
+TEST(CheckpointRestore, ServerPresenceMismatchRejected)
+{
+    telemetry::StatsRegistry::global().clear();
+    const std::string path = tmpPath("restore_serv.ckpt");
+    {
+        sim::System sys(smallConfig());
+        ASSERT_TRUE(checkpoint::save(sys, nullptr, {}, path).ok());
+    }
+    telemetry::StatsRegistry::global().clear();
+    sim::System sys(smallConfig());
+    serving::Server server(sys, serving::ServerConfig{});
+    const auto st = checkpoint::restore(sys, &server, nullptr, path);
+    EXPECT_EQ(st.code, ErrorCode::SnapshotVersionMismatch);
+    EXPECT_NE(st.message.find("serving layer"), std::string::npos)
+        << st.message;
+}
+
+TEST(CheckpointRestore, UserBlobRoundTrips)
+{
+    telemetry::StatsRegistry::global().clear();
+    const std::string path = tmpPath("restore_user.ckpt");
+    std::vector<std::uint8_t> blobIn;
+    for (int i = 0; i < 300; ++i)
+        blobIn.push_back(static_cast<std::uint8_t>(i * 11));
+    {
+        sim::System sys(smallConfig());
+        ASSERT_TRUE(checkpoint::save(sys, nullptr, blobIn, path).ok());
+    }
+    telemetry::StatsRegistry::global().clear();
+    sim::System sys(smallConfig());
+    std::vector<std::uint8_t> blobOut;
+    ASSERT_TRUE(
+        checkpoint::restore(sys, nullptr, &blobOut, path).ok());
+    EXPECT_EQ(blobIn, blobOut);
+}
+
+TEST(CheckpointRestore, MemoryAndClockSurviveRestore)
+{
+    telemetry::StatsRegistry::global().clear();
+    const std::string path = tmpPath("restore_mem.ckpt");
+    Tick refNow = 0;
+    std::uint64_t refExec = 0, refMem = 0;
+    {
+        sim::System sys(smallConfig());
+        seedMemory(sys);
+        sys.runTransfer(core::XferDirection::DramToPim, 32, 4 * kKiB);
+        sys.runTransfer(core::XferDirection::PimToDram, 16, 2 * kKiB);
+        sys.runMemcpy(64 * kKiB);
+        ASSERT_TRUE(sys.eq().run());
+        refNow = sys.eq().now();
+        refExec = sys.eq().executed();
+        refMem = sys.memoryFingerprint();
+        ASSERT_TRUE(checkpoint::save(sys, nullptr, {}, path).ok());
+        // Saving is read-only: the live system is unperturbed.
+        EXPECT_EQ(sys.eq().now(), refNow);
+        EXPECT_EQ(sys.memoryFingerprint(), refMem);
+    }
+    telemetry::StatsRegistry::global().clear();
+    sim::System sys(smallConfig());
+    ASSERT_TRUE(checkpoint::restore(sys, nullptr, nullptr, path).ok());
+    EXPECT_EQ(sys.eq().now(), refNow);
+    EXPECT_EQ(sys.eq().executed(), refExec);
+    EXPECT_EQ(sys.memoryFingerprint(), refMem);
+}
+
+// ---------------------------------------------------------------------
+// Crash-injection identity gates
+// ---------------------------------------------------------------------
+
+struct Fingerprint
+{
+    Tick now = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t memFnv = 0;
+    std::uint64_t statsFnv = 0;
+
+    bool operator==(const Fingerprint &o) const
+    {
+        return now == o.now && executed == o.executed &&
+               memFnv == o.memFnv && statsFnv == o.statsFnv;
+    }
+};
+
+/** One deterministic workload step; the op mix cycles so every crash
+ *  point lands in a different phase of the workload. */
+void
+doOp(sim::System &sys, unsigned i)
+{
+    switch (i % 3) {
+      case 0:
+        sys.runTransfer(core::XferDirection::DramToPim, 16 + (i % 2) * 8,
+                        2 * kKiB);
+        break;
+      case 1:
+        sys.runTransfer(core::XferDirection::PimToDram, 8, 1 * kKiB);
+        break;
+      default:
+        sys.runMemcpy(32 * kKiB);
+        break;
+    }
+}
+
+/**
+ * Run @p totalOps workload steps with a checkpoint after every op; if
+ * @p crashAfter is in range, tear the whole process-visible state down
+ * at that boundary (System destroyed, stats registry cleared — the
+ * in-memory analogue of SIGKILL) and resume from the snapshot, using
+ * the op cursor stored in the USER section.
+ */
+void
+runCampaign(sim::Plane plane, unsigned totalOps, unsigned crashAfter,
+            const std::string &path, Fingerprint *out)
+{
+    telemetry::StatsRegistry::global().clear();
+    auto sys = std::make_unique<sim::System>(smallConfig());
+    seedMemory(*sys);
+    if (plane == sim::Plane::FastForward)
+        sys->setPlane(sim::Plane::FastForward);
+
+    unsigned i = 0;
+    while (i < totalOps) {
+        doOp(*sys, i);
+        ++i;
+        // Checkpoints happen only at quiesced boundaries: drain the
+        // trailing controller/bookkeeping events left after the op.
+        ASSERT_TRUE(sys->eq().run());
+        serialize::ByteSink cursor;
+        cursor.u64(i);
+        ASSERT_TRUE(
+            checkpoint::save(*sys, nullptr, cursor.data(), path).ok());
+        if (i == crashAfter) {
+            sys.reset();
+            telemetry::StatsRegistry::global().clear();
+            sys = std::make_unique<sim::System>(smallConfig());
+            std::vector<std::uint8_t> blob;
+            ASSERT_TRUE(
+                checkpoint::restore(*sys, nullptr, &blob, path).ok());
+            serialize::ByteSource src(blob.data(), blob.size());
+            i = static_cast<unsigned>(src.u64());
+            ASSERT_TRUE(src.ok() && src.atEnd());
+            ASSERT_EQ(i, crashAfter);
+        }
+    }
+    out->now = sys->eq().now();
+    out->executed = sys->eq().executed();
+    out->memFnv = sys->memoryFingerprint();
+    out->statsFnv = checkpoint::statsFingerprint();
+}
+
+void
+identityGate(sim::Plane plane)
+{
+    const unsigned kOps = 9;
+    Fingerprint ref;
+    runCampaign(plane, kOps, /*crashAfter=*/kOps + 1,
+                tmpPath("identity_ref.ckpt"), &ref);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    // The fast-forward plane completes ops without scheduling events,
+    // so only the timing plane is expected to execute any.
+    if (plane == sim::Plane::Timing)
+        ASSERT_GT(ref.executed, 0u);
+    ASSERT_NE(ref.memFnv, 0u);
+
+    // Crash at several distinct boundaries; each restored run must be
+    // bit- and cycle-identical to the uninterrupted reference.
+    for (unsigned crashAfter : {1u, 4u, 8u}) {
+        Fingerprint got;
+        runCampaign(plane, kOps, crashAfter,
+                    tmpPath("identity_crash.ckpt"), &got);
+        if (::testing::Test::HasFatalFailure())
+            return;
+        EXPECT_EQ(got.now, ref.now) << "crash@" << crashAfter;
+        EXPECT_EQ(got.executed, ref.executed) << "crash@" << crashAfter;
+        EXPECT_EQ(got.memFnv, ref.memFnv) << "crash@" << crashAfter;
+        EXPECT_EQ(got.statsFnv, ref.statsFnv)
+            << "crash@" << crashAfter;
+    }
+}
+
+TEST(CheckpointIdentity, TimingPlaneCrashRestoreIsBitIdentical)
+{
+    identityGate(sim::Plane::Timing);
+}
+
+TEST(CheckpointIdentity, FastForwardCrashRestoreIsBitIdentical)
+{
+    identityGate(sim::Plane::FastForward);
+}
+
+// ---------------------------------------------------------------------
+// Serving-layer crash/restore (mini soak)
+// ---------------------------------------------------------------------
+
+constexpr unsigned kDpusPerReq = 8;
+constexpr std::uint64_t kBytesPerDpu = 4 * kKiB;
+constexpr std::uint64_t kReqBytes = kDpusPerReq * kBytesPerDpu;
+
+/** System + Server harness that can be torn down and rebuilt around a
+ *  snapshot: rebuild() constructs fresh objects with the same configs
+ *  but registers no tenants — restore() recreates them. */
+struct SoakHarness
+{
+    serving::ServerConfig scfg;
+    std::unique_ptr<sim::System> sys;
+    std::unique_ptr<serving::Server> server;
+
+    struct Window
+    {
+        Addr srcPa = 0, dstPa = 0;
+        Addr srcVa = 0, dstVa = 0, heapVa = 0;
+    };
+    std::vector<Window> win;
+
+    explicit SoakHarness(const serving::ServerConfig &sc) : scfg(sc)
+    {
+        rebuild();
+    }
+
+    sim::SystemConfig
+    sysConfig() const
+    {
+        sim::SystemConfig cfg =
+            sim::SystemConfig::paperTable1(sim::DesignPoint::BaseDHP);
+        cfg.dramGeom.rows = 1024;
+        cfg.pimGeom.banks.rows = 1024;
+        cfg.resilience = resilience::Policy::withRetryAndMask();
+        return cfg;
+    }
+
+    void
+    rebuild()
+    {
+        server.reset();
+        sys.reset();
+        telemetry::StatsRegistry::global().clear();
+        sys = std::make_unique<sim::System>(sysConfig());
+        server = std::make_unique<serving::Server>(*sys, scfg);
+    }
+
+    serving::TenantHandle
+    addTenant(const serving::TenantConfig &tc)
+    {
+        const serving::TenantHandle h = server->addTenant(tc);
+        const std::uint64_t winBytes =
+            ((kReqBytes + mmu::kPageBytes - 1) / mmu::kPageBytes) *
+            mmu::kPageBytes;
+        Window w;
+        w.srcPa = sys->allocDram(winBytes, mmu::kPageBytes);
+        w.dstPa = sys->allocDram(winBytes, mmu::kPageBytes);
+        mmu::TenantContext &ctx = server->tenantContext(h);
+        EXPECT_TRUE(ctx.mapWindow(mapping::MemSpace::Dram, w.srcPa,
+                                  winBytes, w.srcVa)
+                        .ok());
+        EXPECT_TRUE(ctx.mapWindow(mapping::MemSpace::Dram, w.dstPa,
+                                  winBytes, w.dstVa)
+                        .ok());
+        EXPECT_TRUE(ctx.mapWindow(mapping::MemSpace::Pim,
+                                  std::uint64_t{h} * mmu::kPageBytes,
+                                  mmu::kPageBytes, w.heapVa)
+                        .ok());
+        win.push_back(w);
+
+        std::vector<std::uint8_t> pattern(kReqBytes);
+        for (std::size_t i = 0; i < pattern.size(); ++i)
+            pattern[i] =
+                static_cast<std::uint8_t>((i * 37u + 11u * h) & 0xff);
+        sys->mem().store().write(w.srcPa, pattern.data(),
+                                 pattern.size());
+        return h;
+    }
+
+    serving::Request
+    makeReq(serving::TenantHandle t, std::uint64_t tag)
+    {
+        serving::Request req;
+        req.dir = core::XferDirection::DramToPim;
+        req.sizePerPim = kBytesPerDpu;
+        req.pimHeapVa = win[t].heapVa;
+        req.deadlinePs = kTickMax;
+        req.tag = tag;
+        req.dpus.resize(kDpusPerReq);
+        req.dramVa.resize(kDpusPerReq);
+        for (unsigned i = 0; i < kDpusPerReq; ++i) {
+            req.dpus[i] = static_cast<unsigned>(t) * kDpusPerReq + i;
+            req.dramVa[i] =
+                win[t].srcVa + std::uint64_t{i} * kBytesPerDpu;
+        }
+        return req;
+    }
+};
+
+/**
+ * W windows of requests across two tenants with a checkpoint after
+ * each drained window; crashes (if any) strike at window boundaries
+ * and resume from the snapshot. Returns the final fingerprint and
+ * ledger totals.
+ */
+void
+runServingCampaign(unsigned windows,
+                   const std::vector<unsigned> &crashAt,
+                   const std::string &path, Fingerprint *out,
+                   serving::Server::Totals *totalsOut)
+{
+    serving::ServerConfig scfg;
+    SoakHarness h(scfg);
+    const auto t0 = h.addTenant(serving::TenantConfig{});
+    const auto t1 = h.addTenant(serving::TenantConfig{});
+    ASSERT_FALSE(::testing::Test::HasFailure());
+
+    std::uint64_t delivered = 0;
+    auto done = [&delivered](const serving::Result &r) {
+        if (r.outcome == serving::Outcome::Delivered)
+            ++delivered;
+    };
+
+    std::uint64_t deliveredFloor = 0;
+    unsigned w = 0;
+    while (w < windows) {
+        for (unsigned k = 0; k < 3; ++k) {
+            ASSERT_TRUE(
+                h.server
+                    ->submit(t0, h.makeReq(t0, w * 100 + k), done)
+                    .ok());
+            ASSERT_TRUE(
+                h.server
+                    ->submit(t1, h.makeReq(t1, w * 100 + 50 + k), done)
+                    .ok());
+        }
+        ASSERT_TRUE(h.server->drain());
+        ASSERT_TRUE(h.sys->eq().run());
+        ++w;
+        serialize::ByteSink cursor;
+        cursor.u64(w);
+        ASSERT_TRUE(checkpoint::save(*h.sys, h.server.get(),
+                                     cursor.data(), path)
+                        .ok());
+        if (std::find(crashAt.begin(), crashAt.end(), w) !=
+            crashAt.end()) {
+            // Counter monotonicity across the crash: totals may never
+            // move backwards once restored.
+            deliveredFloor = h.server->totals().delivered;
+            h.rebuild();
+            std::vector<std::uint8_t> blob;
+            ASSERT_TRUE(checkpoint::restore(*h.sys, h.server.get(),
+                                            &blob, path)
+                            .ok());
+            serialize::ByteSource src(blob.data(), blob.size());
+            w = static_cast<unsigned>(src.u64());
+            ASSERT_TRUE(src.ok() && src.atEnd());
+            EXPECT_GE(h.server->totals().delivered, deliveredFloor);
+        }
+    }
+
+    std::string why;
+    EXPECT_TRUE(h.server->checkConservation(&why)) << why;
+    *totalsOut = h.server->totals();
+    out->now = h.sys->eq().now();
+    out->executed = h.sys->eq().executed();
+    out->memFnv = h.sys->memoryFingerprint();
+    out->statsFnv = checkpoint::statsFingerprint();
+}
+
+TEST(SoakServing, CrashRestoreKeepsLedgerAndTimeIdentical)
+{
+    const unsigned kWindows = 6;
+    Fingerprint ref, got;
+    serving::Server::Totals refTotals, gotTotals;
+    runServingCampaign(kWindows, {}, tmpPath("soak_ref.ckpt"), &ref,
+                       &refTotals);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    EXPECT_EQ(refTotals.submitted, kWindows * 6u);
+    EXPECT_EQ(refTotals.delivered, refTotals.submitted);
+
+    runServingCampaign(kWindows, {2u, 4u}, tmpPath("soak_crash.ckpt"),
+                       &got, &gotTotals);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    EXPECT_EQ(got.now, ref.now);
+    EXPECT_EQ(got.executed, ref.executed);
+    EXPECT_EQ(got.memFnv, ref.memFnv);
+    EXPECT_EQ(got.statsFnv, ref.statsFnv);
+    EXPECT_EQ(gotTotals.submitted, refTotals.submitted);
+    EXPECT_EQ(gotTotals.delivered, refTotals.delivered);
+    EXPECT_EQ(gotTotals.bytesDelivered, refTotals.bytesDelivered);
+}
+
+} // namespace
+} // namespace pimmmu

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <set>
 #include <thread>
 
@@ -20,6 +22,7 @@
 #include "resilience/crc.hh"
 #include "resilience/ecc.hh"
 #include "resilience/manager.hh"
+#include "resilience/retry_budget.hh"
 #include "sim/system.hh"
 #include "testing/fault_injection.hh"
 
@@ -844,6 +847,79 @@ TEST(Counters, NoManagerMeansNoProbesAndNoOverhead)
     EXPECT_TRUE(st.ok()) << st.str();
     EXPECT_EQ(testing::fault::count("ecc.flip_single_bit"), 0u);
     testing::fault::disarmAll();
+}
+
+// ---------------------------------------------------------------------
+// RetryBudget: saturation and overflow guards. Soak campaigns run
+// minutes of simulated time (~1e14 ps), which is where naive token
+// arithmetic overflows or a single bad charge poisons the bucket.
+// ---------------------------------------------------------------------
+
+TEST(RetryBudget, NonFiniteChargeIsRejectedAndDoesNotPoison)
+{
+    RetryBudget b(10.0, 1.0);
+    EXPECT_FALSE(b.tryAcquire(0, std::nan("")));
+    EXPECT_FALSE(b.tryAcquire(0, std::numeric_limits<double>::infinity()));
+    EXPECT_FALSE(b.tryAcquire(0, -1.0));
+    // The bucket still works normally after the bad charges.
+    EXPECT_DOUBLE_EQ(b.tokens(), 10.0);
+    EXPECT_TRUE(b.tryAcquire(0, 10.0));
+    EXPECT_FALSE(b.tryAcquire(0, 1.0));
+}
+
+TEST(RetryBudget, PathologicalRefillRateSaturatesAtBurst)
+{
+    RetryBudget b(5.0, std::numeric_limits<double>::max());
+    ASSERT_TRUE(b.tryAcquire(0, 5.0));
+    // delta * perSecond overflows a double into +inf; the bucket must
+    // clamp to a full burst instead of going non-finite.
+    EXPECT_TRUE(b.tryAcquire(1'000'000, 5.0));
+    EXPECT_TRUE(std::isfinite(b.tokens()));
+    EXPECT_LE(b.tokens(), 5.0);
+}
+
+TEST(RetryBudget, SoakScaleTickDeltaDoesNotOverflow)
+{
+    RetryBudget b(100.0, 2.0);
+    ASSERT_TRUE(b.tryAcquire(0, 100.0));
+    // Minutes of simulated time in one refill step: 5 min = 3e14 ps.
+    const Tick fiveMinutes = 300ull * 1'000'000'000'000ull;
+    EXPECT_DOUBLE_EQ(b.available(fiveMinutes), 100.0);
+    EXPECT_TRUE(b.tryAcquire(fiveMinutes, 100.0));
+}
+
+TEST(RetryBudget, TimeBackwardsAfterRestoreIsANoOp)
+{
+    RetryBudget b(10.0, 1.0);
+    ASSERT_TRUE(b.tryAcquire(5'000'000'000'000ull, 8.0)); // t = 5 s
+    const double level = b.tokens();
+    // A restored bucket can carry a refill stamp ahead of the clock it
+    // re-attaches to; earlier ticks must not grant a wrapped refill.
+    EXPECT_DOUBLE_EQ(b.available(1'000'000), level);
+    EXPECT_DOUBLE_EQ(b.available(0), level);
+}
+
+TEST(RetryBudget, RestoreSaturatesCorruptValuesIntoRange)
+{
+    RetryBudget b(10.0, 1.0);
+    b.restore(std::nan(""), 0);
+    EXPECT_DOUBLE_EQ(b.tokens(), 10.0);
+    b.restore(-5.0, 0);
+    EXPECT_DOUBLE_EQ(b.tokens(), 0.0);
+    b.restore(1e30, 0);
+    EXPECT_DOUBLE_EQ(b.tokens(), 10.0);
+    b.restore(3.5, 123);
+    EXPECT_DOUBLE_EQ(b.tokens(), 3.5);
+    EXPECT_EQ(b.lastRefillPs(), 123u);
+}
+
+TEST(RetryBudget, UnlimitedBucketIgnoresEverything)
+{
+    RetryBudget b; // burst == 0 disables the limiter
+    EXPECT_TRUE(b.unlimited());
+    EXPECT_TRUE(b.tryAcquire(0, 1e18));
+    // Even a non-finite charge is moot when the limiter is off.
+    EXPECT_TRUE(b.tryAcquire(0, std::numeric_limits<double>::infinity()));
 }
 
 } // namespace resilience

@@ -200,4 +200,122 @@ TEST(Table, AlignsColumns)
     }
 }
 
+// ---------------------------------------------------------------------
+// Edge-case hardening: the soak campaigns push histograms through
+// checkpoint/restore cycles and weight counts past 2^32, so the
+// percentile/merge/restore paths must hold at the extremes.
+// ---------------------------------------------------------------------
+
+TEST(Stats, HistogramZeroBucketsIsSafe)
+{
+    // A degenerate zero-bucket histogram still tracks totals and the
+    // under/overflow split without indexing an empty counts vector.
+    stats::Histogram h(0.0, 100.0, 0);
+    h.sample(-5.0);
+    h.sample(50.0);
+    h.sample(500.0);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), (-5.0 + 50.0 + 500.0) / 3.0);
+    // Percentiles degrade to the range endpoints.
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+}
+
+TEST(Stats, HistogramCountsBeyond32Bits)
+{
+    // Weighted samples routinely push bucket counts past 2^32 in a
+    // minutes-long soak; the arithmetic must stay in u64/double.
+    stats::Histogram h(0.0, 100.0, 10);
+    const std::uint64_t big = (1ull << 33) + 7;
+    h.sample(15.0, big);
+    h.sample(85.0, big);
+    EXPECT_EQ(h.total(), 2 * big);
+    EXPECT_EQ(h.bucket(1), big);
+    EXPECT_EQ(h.bucket(8), big);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.0);
+    const double p50 = h.percentile(50);
+    EXPECT_GE(p50, 10.0);
+    EXPECT_LE(p50, 90.0);
+
+    stats::Histogram other(0.0, 100.0, 10);
+    other.sample(15.0, big);
+    h.merge(other);
+    EXPECT_EQ(h.total(), 3 * big);
+    EXPECT_EQ(h.bucket(1), 2 * big);
+}
+
+TEST(Stats, HistogramMergeShapeMismatchPreservesTotalsAndMean)
+{
+    stats::Histogram wide(0.0, 1000.0, 4);
+    wide.sample(100.0, 3);
+    stats::Histogram narrow(0.0, 10.0, 100);
+    narrow.sample(2.5, 5);
+    narrow.sample(-1.0); // underflow
+    narrow.sample(99.0); // overflow
+    const double expectSum = wide.sum() + narrow.sum();
+    wide.merge(narrow);
+    EXPECT_EQ(wide.total(), 3u + 5u + 1u + 1u);
+    EXPECT_DOUBLE_EQ(wide.sum(), expectSum);
+    EXPECT_DOUBLE_EQ(wide.mean(),
+                     expectSum / static_cast<double>(wide.total()));
+}
+
+TEST(Stats, HistogramRestoreIsBitExact)
+{
+    stats::Histogram h(0.0, 100.0, 8);
+    h.sample(-3.0, 2);
+    h.sample(12.5, (1ull << 34));
+    h.sample(77.0, 41);
+    h.sample(1e9, 5);
+
+    std::vector<std::uint64_t> counts;
+    for (std::size_t i = 0; i < h.buckets(); ++i)
+        counts.push_back(h.bucket(i));
+    stats::Histogram r(0.0, 100.0, 8);
+    r.restore(h.underflow(), h.overflow(), h.total(), h.sum(), counts);
+
+    EXPECT_EQ(r.total(), h.total());
+    EXPECT_EQ(r.underflow(), h.underflow());
+    EXPECT_EQ(r.overflow(), h.overflow());
+    EXPECT_DOUBLE_EQ(r.sum(), h.sum());
+    for (double p : {0.0, 25.0, 50.0, 95.0, 99.9, 100.0})
+        EXPECT_DOUBLE_EQ(r.percentile(p), h.percentile(p)) << p;
+
+    // A shape-mismatched counts vector (corrupt snapshot) resets the
+    // buckets instead of writing out of bounds.
+    stats::Histogram bad(0.0, 100.0, 4);
+    bad.restore(0, 0, h.total(), h.sum(), counts);
+    EXPECT_EQ(bad.total(), h.total());
+    for (std::size_t i = 0; i < bad.buckets(); ++i)
+        EXPECT_EQ(bad.bucket(i), 0u);
+}
+
+TEST(Stats, AverageRestoreMatchesOriginalIncludingEmpty)
+{
+    stats::Average a;
+    a.sample(3.0);
+    a.sample(-7.5);
+    stats::Average r;
+    r.restore(a.count(), a.sum(), a.min(), a.max());
+    EXPECT_EQ(r.count(), a.count());
+    EXPECT_DOUBLE_EQ(r.mean(), a.mean());
+    EXPECT_DOUBLE_EQ(r.min(), a.min());
+    EXPECT_DOUBLE_EQ(r.max(), a.max());
+
+    // Restoring a zero count reproduces the freshly constructed state:
+    // accessors report zeros, and the next sample() wins the min/max
+    // race against the infinity sentinels.
+    stats::Average empty;
+    empty.restore(0, 123.0, 5.0, 9.0);
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+    empty.sample(-2.0);
+    EXPECT_DOUBLE_EQ(empty.min(), -2.0);
+    EXPECT_DOUBLE_EQ(empty.max(), -2.0);
+}
+
 } // namespace pimmmu

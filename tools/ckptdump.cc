@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Snapshot inspector for the PIM-MMU checkpoint format (PIMCKPT1).
+ *
+ *   ckptdump <file>                 header + section table, CRC-verified
+ *   ckptdump <file> --section TAG   hexdump one section's payload
+ *
+ * Reading goes through the same checkpoint::readFile the simulator
+ * uses, so a file this tool lists clean is exactly a file restore()
+ * will accept: corrupt or torn snapshots exit non-zero with the
+ * loader's structured file/offset diagnostic. Unlike statdiff and
+ * benchmerge this tool links the checkpoint library on purpose — it
+ * exists to share the loader, not to reimplement it.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "checkpoint/format.hh"
+
+using namespace pimmmu;
+
+namespace {
+
+void
+hexdump(const std::vector<std::uint8_t> &data)
+{
+    for (std::size_t off = 0; off < data.size(); off += 16) {
+        std::printf("  %08zx  ", off);
+        for (std::size_t i = 0; i < 16; ++i) {
+            if (off + i < data.size())
+                std::printf("%02x ", data[off + i]);
+            else
+                std::printf("   ");
+            if (i == 7)
+                std::printf(" ");
+        }
+        std::printf(" |");
+        for (std::size_t i = 0; i < 16 && off + i < data.size(); ++i) {
+            const unsigned char c = data[off + i];
+            std::printf("%c", std::isprint(c) ? c : '.');
+        }
+        std::printf("|\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string wantTag;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--section") == 0 && i + 1 < argc) {
+            wantTag = argv[++i];
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "usage: %s <snapshot> [--section TAG]\n",
+                         argv[0]);
+            return 2;
+        } else {
+            path = argv[i];
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "usage: %s <snapshot> [--section TAG]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::vector<checkpoint::Section> sections;
+    const resilience::Status st = checkpoint::readFile(path, sections);
+    if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.str().c_str());
+        return 1;
+    }
+
+    if (!wantTag.empty()) {
+        const checkpoint::Section *s =
+            findSection(sections, wantTag.c_str());
+        if (!s) {
+            std::fprintf(stderr, "no section '%s' in %s\n",
+                         wantTag.c_str(), path.c_str());
+            return 1;
+        }
+        std::printf("section '%s' v%u, %zu bytes\n", s->tag.c_str(),
+                    s->version, s->payload.size());
+        hexdump(s->payload);
+        return 0;
+    }
+
+    std::uint64_t total = 0;
+    std::printf("%s: PIMCKPT1 format v%u, %zu sections, all CRCs ok\n",
+                path.c_str(), checkpoint::kFormatVersion,
+                sections.size());
+    std::printf("  %-6s %-8s %s\n", "tag", "version", "payload bytes");
+    for (const checkpoint::Section &s : sections) {
+        std::printf("  '%s' %-8u %zu\n", s.tag.c_str(), s.version,
+                    s.payload.size());
+        total += s.payload.size();
+    }
+    std::printf("  total payload: %llu bytes\n",
+                static_cast<unsigned long long>(total));
+    return 0;
+}
